@@ -1,0 +1,42 @@
+//! Fig 1 regenerator: MAE/RMSE/MAPE per model × dataset × horizon.
+//! Prints a reduced cross-product once, then times one full
+//! train-and-evaluate cell.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use traffic_bench::{bench_scale, report_scale};
+use traffic_core::{
+    eval_split, model_comparison, predict, prepare_experiment, render_fig1, train_model,
+};
+use traffic_metrics::{evaluate_horizons, PAPER_HORIZONS};
+
+fn bench(c: &mut Criterion) {
+    // One-shot reduced Fig 1: one speed + one flow dataset, three models.
+    let rows = model_comparison(
+        &["METR-LA", "PeMSD8"],
+        &["Graph-WaveNet", "GMAN", "STGCN"],
+        &report_scale(),
+    );
+    println!("\n== Fig 1 (reduced regeneration) ==\n{}", render_fig1(&rows));
+
+    // Criterion kernel: one cell (train + evaluate) per model family.
+    let scale = bench_scale();
+    let exp = prepare_experiment("METR-LA", &scale, 42);
+    let test = eval_split(&exp.data.test, &scale);
+    let mut group = c.benchmark_group("fig1/train_eval_cell");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for name in ["Graph-WaveNet", "GMAN"] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &name, |b, &name| {
+            b.iter(|| {
+                let (model, _) = train_model(name, &exp, &scale, 1);
+                let pred = predict(model.as_ref(), &test, &exp.data.scaler, scale.batch_size);
+                evaluate_horizons(&pred, &test.y_raw, &PAPER_HORIZONS, None)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

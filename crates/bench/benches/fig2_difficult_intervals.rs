@@ -1,0 +1,48 @@
+//! Fig 2 regenerator: difficult-interval MAE and relative degradation.
+//! Prints the reduced experiment once, then times interval extraction and
+//! masked evaluation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use traffic_bench::{bench_scale, report_scale};
+use traffic_core::{
+    difficult_interval_experiment, eval_split, predict, prepare_experiment, render_fig2,
+    sample_difficult_mask, train_model,
+};
+use traffic_data::{difficult_mask, PAPER_QUANTILE, PAPER_WINDOW};
+use traffic_metrics::evaluate;
+
+fn bench(c: &mut Criterion) {
+    let rows = difficult_interval_experiment(
+        "METR-LA",
+        &["Graph-WaveNet", "ASTGCN", "ST-MetaNet"],
+        &report_scale(),
+    );
+    println!("\n== Fig 2 (reduced regeneration) ==\n{}", render_fig2(&rows));
+
+    let scale = bench_scale();
+    let exp = prepare_experiment("METR-LA", &scale, 42);
+    let test = eval_split(&exp.data.test, &scale);
+    let (model, _) = train_model("Graph-WaveNet", &exp, &scale, 1);
+    let pred = predict(model.as_ref(), &test, &exp.data.scaler, scale.batch_size);
+    let mask = sample_difficult_mask(&exp.dataset, &test);
+
+    let mut group = c.benchmark_group("fig2");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.bench_function("interval_extraction", |b| {
+        b.iter(|| difficult_mask(&exp.dataset.values, PAPER_WINDOW, PAPER_QUANTILE));
+    });
+    group.bench_function("masked_evaluation", |b| {
+        b.iter(|| {
+            (
+                evaluate(&pred, &test.y_raw, None),
+                evaluate(&pred, &test.y_raw, Some(&mask)),
+            )
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

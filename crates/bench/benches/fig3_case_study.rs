@@ -1,0 +1,28 @@
+//! Fig 3 regenerator: the smooth-vs-volatile road case study, plus timing
+//! of the per-road trace assembly.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use traffic_bench::{bench_scale, report_scale};
+use traffic_core::{case_study_on, render_fig3};
+
+fn bench(c: &mut Criterion) {
+    let cs = case_study_on("PeMS-BAY", "Graph-WaveNet", &report_scale());
+    println!("\n== Fig 3 (reduced regeneration) ==\n{}", render_fig3(&cs));
+    println!(
+        "MAE ratio volatile/smooth: {:.2}× (paper example: 4.5×)\n",
+        cs.volatile.mae / cs.smooth.mae
+    );
+
+    let scale = bench_scale();
+    let mut group = c.benchmark_group("fig3");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.bench_function("case_study_pipeline", |b| {
+        b.iter(|| case_study_on("PeMS-BAY", "STG2Seq", &scale));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Substrate micro-benchmarks: the tensor/autograd kernels every model is
+//! built from. Useful for tracking performance regressions in the engine
+//! itself, independent of any experiment.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use traffic_tensor::{init, Tape, Tensor};
+
+fn bench(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(0);
+
+    let mut group = c.benchmark_group("kernels/matmul");
+    for n in [32usize, 64, 128] {
+        let a = init::uniform(&[n, n], -1.0, 1.0, &mut rng);
+        let b = init::uniform(&[n, n], -1.0, 1.0, &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bch, _| {
+            bch.iter(|| a.matmul(&b));
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("kernels/batched_matmul");
+    let a = init::uniform(&[16, 32, 32], -1.0, 1.0, &mut rng);
+    let b = init::uniform(&[32, 32], -1.0, 1.0, &mut rng);
+    group.bench_function("16x32x32_by_32x32", |bch| bch.iter(|| a.matmul(&b)));
+    group.finish();
+
+    let mut group = c.benchmark_group("kernels/conv2d");
+    let x = init::uniform(&[8, 8, 20, 12], -1.0, 1.0, &mut rng);
+    let w = init::uniform(&[8, 8, 1, 2], -1.0, 1.0, &mut rng);
+    group.bench_function("gated_tcn_shape", |bch| bch.iter(|| x.conv2d(&w, 1, 1)));
+    group.bench_function("dilated", |bch| bch.iter(|| x.conv2d(&w, 1, 4)));
+    group.finish();
+
+    let mut group = c.benchmark_group("kernels/autograd");
+    let wt = init::uniform(&[64, 64], -0.1, 0.1, &mut rng);
+    let xt = init::uniform(&[32, 64], -1.0, 1.0, &mut rng);
+    group.bench_function("mlp_forward_backward", |bch| {
+        bch.iter(|| {
+            let tape = Tape::new();
+            let w = tape.leaf(wt.clone(), true);
+            let x = tape.constant(xt.clone());
+            let loss = x.matmul(&w).relu().matmul(&w.t()).powf(2.0).mean_all();
+            tape.backward(loss)
+        });
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("kernels/broadcast");
+    let big = Tensor::ones(&[64, 1, 32]);
+    let small = Tensor::ones(&[16, 1]);
+    group.bench_function("add_64x16x32", |bch| bch.iter(|| big.add(&small)));
+    group.finish();
+
+    let mut group = c.benchmark_group("kernels/softmax");
+    let scores = init::uniform(&[16, 50, 50], -2.0, 2.0, &mut rng);
+    group.bench_function("attention_scores_16x50x50", |bch| {
+        bch.iter(|| {
+            let tape = Tape::new();
+            tape.constant(scores.clone()).softmax(2).value()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

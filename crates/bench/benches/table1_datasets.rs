@@ -1,0 +1,32 @@
+//! Table I regenerator: prints the dataset catalog and benchmarks the
+//! traffic simulator that stands in for the PeMS downloads.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use traffic_core::render_table1;
+use traffic_data::{simulate, SimConfig, Task, DATASETS};
+
+fn bench(c: &mut Criterion) {
+    println!("\n== Table I: dataset characterisation ==\n{}", render_table1());
+
+    let mut group = c.benchmark_group("table1/simulate");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for info in DATASETS.iter().take(3) {
+        let cfg = SimConfig::for_dataset(info, 0.05);
+        group.bench_with_input(BenchmarkId::from_parameter(info.name), &cfg, |b, cfg| {
+            b.iter(|| simulate(cfg));
+        });
+    }
+    // Scaling behaviour in node count.
+    for nodes in [10usize, 40, 160] {
+        let cfg = SimConfig::new(format!("scale-{nodes}"), Task::Speed, nodes, 4);
+        group.bench_with_input(BenchmarkId::new("nodes", nodes), &cfg, |b, cfg| {
+            b.iter(|| simulate(cfg));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

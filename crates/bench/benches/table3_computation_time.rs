@@ -1,0 +1,57 @@
+//! Table III regenerator: training time / epoch, inference time, and
+//! parameter count per model on (simulated) METR-LA. Prints the measured
+//! table once, then criterion-times the two kernels per model.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use traffic_bench::{bench_scale, report_scale};
+use traffic_core::{
+    computation_time_on, eval_split, predict, prepare_experiment, render_table3, train,
+    train_model, TrainConfig,
+};
+use traffic_models::ALL_MODELS;
+
+fn bench(c: &mut Criterion) {
+    // One-shot measured Table III.
+    let report = report_scale();
+    let exp = prepare_experiment("METR-LA", &report, 42);
+    let rows = computation_time_on(&exp, &ALL_MODELS, &report);
+    println!("\n== Table III (measured, reduced scale) ==\n{}", render_table3(&rows));
+
+    // Criterion kernels at smoke scale.
+    let scale = bench_scale();
+    let exp = prepare_experiment("METR-LA", &scale, 42);
+    let test = eval_split(&exp.data.test, &scale);
+
+    let mut group = c.benchmark_group("table3/train_epoch");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for &name in &ALL_MODELS {
+        let (model, _) = train_model(name, &exp, &scale, 1);
+        let cfg = TrainConfig {
+            epochs: 1,
+            batch_size: scale.batch_size,
+            max_batches_per_epoch: Some(2),
+            ..Default::default()
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(name), &name, |b, _| {
+            b.iter(|| train(model.as_ref(), &exp.data, &cfg));
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("table3/inference");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for &name in &ALL_MODELS {
+        let (model, _) = train_model(name, &exp, &scale, 1);
+        group.bench_with_input(BenchmarkId::from_parameter(name), &name, |b, _| {
+            b.iter(|| predict(model.as_ref(), &test, &exp.data.scaler, scale.batch_size));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

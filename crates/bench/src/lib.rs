@@ -1,0 +1,34 @@
+//! # traffic-bench
+//!
+//! Criterion benches regenerating every table and figure of the paper.
+//! Each bench target prints its table/figure once (at a small scale — see
+//! [`report_scale`]) and then times the representative kernel behind it.
+//!
+//! | bench target              | regenerates |
+//! |---------------------------|-------------|
+//! | `table1_datasets`         | Table I     |
+//! | `table3_computation_time` | Table III   |
+//! | `fig1_model_comparison`   | Fig 1       |
+//! | `fig2_difficult_intervals`| Fig 2       |
+//! | `fig3_case_study`         | Fig 3       |
+//! | `ablations`               | §VI design-choice ablations |
+//! | `kernels`                 | substrate micro-benchmarks  |
+
+use traffic_core::ExperimentScale;
+
+/// The scale used inside timed loops. Criterion re-runs bench bodies many
+/// times, so this stays at smoke size; use the examples for larger
+/// regenerations.
+pub fn bench_scale() -> ExperimentScale {
+    ExperimentScale::smoke()
+}
+
+/// A slightly larger one-shot scale for the printed tables (run once per
+/// bench process, outside the timed loops).
+pub fn report_scale() -> ExperimentScale {
+    let mut s = ExperimentScale::smoke();
+    s.epochs = 2;
+    s.max_train_batches = Some(20);
+    s.max_test_samples = Some(60);
+    s
+}

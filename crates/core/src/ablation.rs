@@ -1,0 +1,137 @@
+//! Ablation studies of the design choices the paper's analysis singles
+//! out (§V-A, §VI), as reusable library functions. The `ablations` bench
+//! target prints these; tests assert their structural properties.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use traffic_metrics::{evaluate_horizons, MetricSet};
+use traffic_models::{
+    GraphWavenet, GraphWavenetConfig, SpatialKind, Stgcn, StgcnConfig, TrafficModel,
+};
+
+use crate::experiment::{eval_split, prepare_experiment, train_model, PreparedExperiment};
+use crate::scale::ExperimentScale;
+use crate::trainer::{predict, train, TrainConfig};
+
+/// Result of training one ablation variant.
+#[derive(Debug, Clone)]
+pub struct AblationResult {
+    /// Variant label.
+    pub variant: String,
+    /// Parameter count.
+    pub params: usize,
+    /// MAE at 15/30/60 minutes.
+    pub mae: [f32; 3],
+}
+
+fn train_cfg(scale: &ExperimentScale, seed: u64) -> TrainConfig {
+    TrainConfig {
+        epochs: scale.epochs,
+        batch_size: scale.batch_size,
+        max_batches_per_epoch: scale.max_train_batches,
+        seed,
+        ..Default::default()
+    }
+}
+
+fn eval_three(
+    model: &dyn TrafficModel,
+    exp: &PreparedExperiment,
+    scale: &ExperimentScale,
+) -> [f32; 3] {
+    let test = eval_split(&exp.data.test, scale);
+    let pred = predict(model, &test, &exp.data.scaler, scale.batch_size);
+    let ms = evaluate_horizons(&pred, &test.y_raw, &[2, 5, 11], None);
+    [ms[0].mae, ms[1].mae, ms[2].mae]
+}
+
+/// Graph-WaveNet with vs without the self-adaptive adjacency.
+pub fn gwn_adaptive_ablation(dataset: &str, scale: &ExperimentScale) -> Vec<AblationResult> {
+    let exp = prepare_experiment(dataset, scale, 42);
+    [true, false]
+        .into_iter()
+        .map(|adaptive| {
+            let mut rng = StdRng::seed_from_u64(5);
+            let cfg = GraphWavenetConfig { use_adaptive: adaptive, ..Default::default() };
+            let model = GraphWavenet::new(&exp.ctx, cfg, &mut rng);
+            train(&model, &exp.data, &train_cfg(scale, 5));
+            AblationResult {
+                variant: format!("adaptive={adaptive}"),
+                params: model.num_params(),
+                mae: eval_three(&model, &exp, scale),
+            }
+        })
+        .collect()
+}
+
+/// STGCN with spectral (Chebyshev) vs spatial (diffusion) graph conv.
+pub fn stgcn_spatial_kind_ablation(dataset: &str, scale: &ExperimentScale) -> Vec<AblationResult> {
+    let exp = prepare_experiment(dataset, scale, 42);
+    [SpatialKind::Spectral, SpatialKind::Diffusion]
+        .into_iter()
+        .map(|kind| {
+            let mut rng = StdRng::seed_from_u64(6);
+            let model =
+                Stgcn::new(&exp.ctx, StgcnConfig { spatial_kind: kind, ..Default::default() }, &mut rng);
+            train(&model, &exp.data, &train_cfg(scale, 6));
+            AblationResult {
+                variant: format!("{kind:?}"),
+                params: model.num_params(),
+                mae: eval_three(&model, &exp, scale),
+            }
+        })
+        .collect()
+}
+
+/// Per-horizon MAE curve of one model — the error-accumulation diagnostic
+/// of §VI (RNN seq2seq models should show steeper growth).
+pub fn horizon_curve(
+    name: &str,
+    dataset: &str,
+    scale: &ExperimentScale,
+    seed: u64,
+) -> Vec<MetricSet> {
+    let exp = prepare_experiment(dataset, scale, 42);
+    let (model, _) = train_model(name, &exp, scale, seed);
+    let test = eval_split(&exp.data.test, scale);
+    let pred = predict(model.as_ref(), &test, &exp.data.scaler, scale.batch_size);
+    let horizons: Vec<usize> = (0..12).collect();
+    evaluate_horizons(&pred, &test.y_raw, &horizons, None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn smoke() -> ExperimentScale {
+        let mut s = ExperimentScale::smoke();
+        s.epochs = 2;
+        s.max_train_batches = Some(10);
+        s
+    }
+
+    #[test]
+    fn gwn_ablation_changes_params_not_shape() {
+        let res = gwn_adaptive_ablation("METR-LA", &smoke());
+        assert_eq!(res.len(), 2);
+        assert!(res[0].params > res[1].params, "adaptive variant adds embeddings");
+        for r in &res {
+            assert!(r.mae.iter().all(|m| m.is_finite()), "{}", r.variant);
+        }
+    }
+
+    #[test]
+    fn stgcn_ablation_produces_both_variants() {
+        let res = stgcn_spatial_kind_ablation("METR-LA", &smoke());
+        assert_eq!(res.len(), 2);
+        assert_ne!(res[0].params, res[1].params);
+        assert!(res.iter().all(|r| r.mae.iter().all(|m| m.is_finite())));
+    }
+
+    #[test]
+    fn horizon_curve_has_12_points() {
+        let curve = horizon_curve("STG2Seq", "METR-LA", &smoke(), 3);
+        assert_eq!(curve.len(), 12);
+        assert!(curve.iter().all(|m| m.mae.is_finite()));
+    }
+}

@@ -1,0 +1,391 @@
+//! The paper's experiments: Fig 1 (model comparison across datasets and
+//! horizons), Fig 2 (difficult intervals + degradation), Fig 3 (per-road
+//! case study).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use traffic_data::{
+    dataset_info, difficult_mask_range, difficult_runs, moving_std, prepare, simulate,
+    PreparedData, SimConfig, TrafficDataset, WindowedData, PAPER_QUANTILE, PAPER_WINDOW,
+};
+use traffic_metrics::{
+    degradation_pct, evaluate, evaluate_horizons, mean_std, MetricSet, PAPER_HORIZONS,
+    PAPER_HORIZON_LABELS,
+};
+use traffic_models::{build_model, GraphContext, TrafficModel};
+use traffic_tensor::Tensor;
+
+use crate::scale::ExperimentScale;
+use crate::trainer::{predict, train, TrainConfig, TrainReport};
+
+/// A simulated dataset, windowed and ready to train on.
+pub struct PreparedExperiment {
+    /// The simulated dataset.
+    pub dataset: TrafficDataset,
+    /// Windowed splits + scaler.
+    pub data: PreparedData,
+    /// Graph matrices.
+    pub ctx: GraphContext,
+}
+
+/// Simulates and prepares one of the catalog datasets at the given scale.
+pub fn prepare_experiment(name: &str, scale: &ExperimentScale, seed: u64) -> PreparedExperiment {
+    let info = dataset_info(name).unwrap_or_else(|| panic!("unknown dataset {name}"));
+    let cfg = SimConfig::for_dataset(info, scale.dataset_scale).with_seed(seed);
+    let dataset = simulate(&cfg);
+    let data = prepare(&dataset, 12, 12);
+    let ctx = GraphContext::from_network(&dataset.network, 8);
+    PreparedExperiment { dataset, data, ctx }
+}
+
+/// Restricts a test split to the configured evaluation budget.
+pub fn eval_split(test: &WindowedData, scale: &ExperimentScale) -> WindowedData {
+    match scale.max_test_samples {
+        Some(cap) if test.len() > cap => {
+            let k = test.len().div_ceil(cap);
+            test.stride(k)
+        }
+        _ => test.clone(),
+    }
+}
+
+/// Trains one model (fresh init from `seed`) and returns it with its
+/// training report.
+pub fn train_model(
+    name: &str,
+    exp: &PreparedExperiment,
+    scale: &ExperimentScale,
+    seed: u64,
+) -> (Box<dyn TrafficModel>, TrainReport) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let model = build_model(name, &exp.ctx, &mut rng);
+    let profile = traffic_models::train_profile(name);
+    let cfg = TrainConfig {
+        epochs: ((scale.epochs as f32 * profile.epoch_multiplier).ceil() as usize).max(1),
+        batch_size: scale.batch_size,
+        max_batches_per_epoch: scale.max_train_batches,
+        lr: profile.lr,
+        seed,
+        ..Default::default()
+    };
+    let report = train(model.as_ref(), &exp.data, &cfg);
+    (model, report)
+}
+
+// ---------------------------------------------------------------------
+// Fig 1: model comparison
+// ---------------------------------------------------------------------
+
+/// One (dataset, model, horizon) cell of Fig 1, aggregated over repeats.
+#[derive(Debug, Clone)]
+pub struct Fig1Row {
+    /// Dataset name.
+    pub dataset: String,
+    /// Model name.
+    pub model: String,
+    /// "15 min" / "30 min" / "60 min".
+    pub horizon: &'static str,
+    /// (mean, std) over repeats.
+    pub mae: (f32, f32),
+    /// (mean, std) over repeats.
+    pub rmse: (f32, f32),
+    /// (mean, std) over repeats, percent.
+    pub mape: (f32, f32),
+}
+
+/// Runs the Fig 1 cross-product: every model on every dataset, evaluated at
+/// 15/30/60 minutes, `scale.repeats` times.
+pub fn model_comparison(
+    datasets: &[&str],
+    models: &[&str],
+    scale: &ExperimentScale,
+) -> Vec<Fig1Row> {
+    let mut rows = Vec::new();
+    for &ds in datasets {
+        let exp = prepare_experiment(ds, scale, 42);
+        let test = eval_split(&exp.data.test, scale);
+        for &m in models {
+            // per-repeat metric collection: [horizon][repeat]
+            let mut mae = vec![Vec::new(); 3];
+            let mut rmse = vec![Vec::new(); 3];
+            let mut mape = vec![Vec::new(); 3];
+            for rep in 0..scale.repeats {
+                let (model, _report) = train_model(m, &exp, scale, 1000 + rep as u64);
+                let pred = predict(model.as_ref(), &test, &exp.data.scaler, scale.batch_size);
+                let metrics = evaluate_horizons(&pred, &test.y_raw, &PAPER_HORIZONS, None);
+                for (h, met) in metrics.iter().enumerate() {
+                    mae[h].push(met.mae);
+                    rmse[h].push(met.rmse);
+                    mape[h].push(met.mape);
+                }
+            }
+            for h in 0..3 {
+                rows.push(Fig1Row {
+                    dataset: ds.to_string(),
+                    model: m.to_string(),
+                    horizon: PAPER_HORIZON_LABELS[h],
+                    mae: mean_std(&mae[h]),
+                    rmse: mean_std(&rmse[h]),
+                    mape: mean_std(&mape[h]),
+                });
+            }
+        }
+    }
+    rows
+}
+
+// ---------------------------------------------------------------------
+// Fig 2: difficult intervals
+// ---------------------------------------------------------------------
+
+/// One model's row of Fig 2.
+#[derive(Debug, Clone)]
+pub struct Fig2Row {
+    /// Model name.
+    pub model: String,
+    /// MAE over the whole test set.
+    pub overall: MetricSet,
+    /// MAE restricted to difficult intervals.
+    pub difficult: MetricSet,
+    /// `100·(difficult − overall)/overall` (the paper reports 67–180%).
+    pub degradation_pct: f32,
+}
+
+/// Builds the `[S, T_out, N]` difficult mask aligned with a windowed split.
+pub fn sample_difficult_mask(dataset: &TrafficDataset, split: &WindowedData) -> Tensor {
+    let (s, t_out, n) = (split.len(), split.y_raw.shape()[1], split.y_raw.shape()[2]);
+    let lo = *split.target_start.iter().min().expect("non-empty split");
+    let hi = *split.target_start.iter().max().expect("non-empty split") + t_out;
+    let full = difficult_mask_range(&dataset.values, PAPER_WINDOW, PAPER_QUANTILE, lo..hi); // [T, N]
+    let mut out = vec![0.0f32; s * t_out * n];
+    let fm = full.as_slice();
+    for (si, &start) in split.target_start.iter().enumerate() {
+        for h in 0..t_out {
+            let t = start + h;
+            for i in 0..n {
+                out[(si * t_out + h) * n + i] = fm[t * n + i];
+            }
+        }
+    }
+    Tensor::from_vec(out, &[s, t_out, n])
+}
+
+/// Runs the Fig 2 experiment on one dataset (the paper uses METR-LA).
+pub fn difficult_interval_experiment(
+    dataset: &str,
+    models: &[&str],
+    scale: &ExperimentScale,
+) -> Vec<Fig2Row> {
+    let exp = prepare_experiment(dataset, scale, 42);
+    let test = eval_split(&exp.data.test, scale);
+    let dmask = sample_difficult_mask(&exp.dataset, &test);
+    let mut rows = Vec::new();
+    for &m in models {
+        let (model, _) = train_model(m, &exp, scale, 2000);
+        let pred = predict(model.as_ref(), &test, &exp.data.scaler, scale.batch_size);
+        let overall = evaluate(&pred, &test.y_raw, None);
+        let difficult = evaluate(&pred, &test.y_raw, Some(&dmask));
+        let degradation = if overall.mae > 0.0 && difficult.count > 0 {
+            degradation_pct(overall.mae, difficult.mae)
+        } else {
+            f32::NAN
+        };
+        rows.push(Fig2Row {
+            model: m.to_string(),
+            overall,
+            difficult,
+            degradation_pct: degradation,
+        });
+    }
+    rows
+}
+
+// ---------------------------------------------------------------------
+// Fig 3: case study
+// ---------------------------------------------------------------------
+
+/// One road's trace in the case study.
+#[derive(Debug, Clone)]
+pub struct RoadCase {
+    /// Sensor index.
+    pub node: usize,
+    /// MAE of the 1-step-ahead prediction on this road.
+    pub mae: f32,
+    /// Ground-truth series over the evaluated window.
+    pub actual: Vec<f32>,
+    /// Predicted series (5-minute-ahead predictions, consecutive samples).
+    pub predicted: Vec<f32>,
+    /// Difficult intervals `[start, end)` relative to the plotted window.
+    pub difficult: Vec<(usize, usize)>,
+}
+
+/// Fig 3: the same trained model on a smooth road vs a volatile road.
+#[derive(Debug, Clone)]
+pub struct CaseStudy {
+    /// Model used (Graph-WaveNet in the paper).
+    pub model: String,
+    /// Dataset used (PeMS-BAY in the paper).
+    pub dataset: String,
+    /// The easy road (paper: MAE ≈ 1).
+    pub smooth: RoadCase,
+    /// The hard road (paper: MAE ≈ 4.5).
+    pub volatile: RoadCase,
+}
+
+/// Runs the Fig 3 case study: train Graph-WaveNet on PeMS-BAY, then compare
+/// its 1-step trace on the steadiest vs the most volatile sensor.
+pub fn case_study(scale: &ExperimentScale) -> CaseStudy {
+    case_study_on("PeMS-BAY", "Graph-WaveNet", scale)
+}
+
+/// Parameterised variant of [`case_study`].
+pub fn case_study_on(dataset: &str, model_name: &str, scale: &ExperimentScale) -> CaseStudy {
+    let exp = prepare_experiment(dataset, scale, 42);
+    // Consecutive test samples (no striding) so the 1-step predictions form
+    // a contiguous series.
+    let test = match scale.max_test_samples {
+        Some(cap) => exp.data.test.truncate(cap),
+        None => exp.data.test.clone(),
+    };
+    let (model, _) = train_model(model_name, &exp, scale, 3000);
+    let pred = predict(model.as_ref(), &test, &exp.data.scaler, scale.batch_size);
+    let n = exp.dataset.num_nodes();
+    // Rank sensors by mean moving-std over the evaluated window.
+    let vol = |node: usize| -> f32 {
+        let series = exp.dataset.node_series(node);
+        let ms = moving_std(&series, PAPER_WINDOW);
+        let lo = test.target_start[0];
+        let hi = *test.target_start.last().expect("non-empty test split");
+        let window: Vec<f32> = (lo..hi).map(|t| ms.at(&[t])).collect();
+        window.iter().sum::<f32>() / window.len().max(1) as f32
+    };
+    let mut ranked: Vec<(usize, f32)> = (0..n).map(|i| (i, vol(i))).collect();
+    ranked.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+    let smooth_node = ranked[0].0;
+    let volatile_node = ranked[n - 1].0;
+    let lo_step = test.target_start[0];
+    let hi_step = *test.target_start.last().expect("non-empty test split") + 12;
+    let full_mask =
+        difficult_mask_range(&exp.dataset.values, PAPER_WINDOW, PAPER_QUANTILE, lo_step..hi_step);
+    let build_case = |node: usize| -> RoadCase {
+        let s = test.len();
+        let mut actual = Vec::with_capacity(s);
+        let mut predicted = Vec::with_capacity(s);
+        let mut abs_err = 0.0f32;
+        let mut cnt = 0usize;
+        for si in 0..s {
+            let a = test.y_raw.at(&[si, 0, node]);
+            let p = pred.at(&[si, 0, node]);
+            actual.push(a);
+            predicted.push(p);
+            if a != 0.0 {
+                abs_err += (p - a).abs();
+                cnt += 1;
+            }
+        }
+        // Difficult runs clipped to the plotted window.
+        let lo = test.target_start[0];
+        let runs = difficult_runs(&full_mask, node)
+            .into_iter()
+            .filter_map(|(a, b)| {
+                let a = a.max(lo);
+                let b = b.min(lo + s);
+                (a < b).then(|| (a - lo, b - lo))
+            })
+            .collect();
+        RoadCase {
+            node,
+            mae: if cnt > 0 { abs_err / cnt as f32 } else { f32::NAN },
+            actual,
+            predicted,
+            difficult: runs,
+        }
+    };
+    CaseStudy {
+        model: model_name.to_string(),
+        dataset: dataset.to_string(),
+        smooth: build_case(smooth_node),
+        volatile: build_case(volatile_node),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prepare_experiment_scales_dims() {
+        let scale = ExperimentScale::smoke();
+        let exp = prepare_experiment("METR-LA", &scale, 1);
+        // 4% of 207 nodes ≈ 8, floor 12
+        assert_eq!(exp.dataset.num_nodes(), 12);
+        assert!(!exp.data.train.is_empty());
+        assert_eq!(exp.ctx.n, 12);
+    }
+
+    #[test]
+    fn eval_split_respects_cap() {
+        let scale = ExperimentScale::smoke();
+        let exp = prepare_experiment("METR-LA", &scale, 1);
+        let test = eval_split(&exp.data.test, &scale);
+        assert!(test.len() <= 24);
+        assert!(!test.is_empty());
+    }
+
+    #[test]
+    fn sample_mask_alignment() {
+        let scale = ExperimentScale::smoke();
+        let exp = prepare_experiment("METR-LA", &scale, 1);
+        let test = eval_split(&exp.data.test, &scale);
+        let m = sample_difficult_mask(&exp.dataset, &test);
+        assert_eq!(m.shape(), test.y_raw.shape());
+        // binary
+        assert!(m.as_slice().iter().all(|&v| v == 0.0 || v == 1.0));
+        // roughly a quarter of entries marked (allow a broad band)
+        let frac = m.mean_all();
+        assert!(frac > 0.1 && frac < 0.5, "difficult fraction {frac}");
+    }
+
+    #[test]
+    fn fig2_smoke_two_models() {
+        let scale = ExperimentScale::smoke();
+        let rows = difficult_interval_experiment("METR-LA", &["STSGCN", "STG2Seq"], &scale);
+        assert_eq!(rows.len(), 2);
+        for r in &rows {
+            assert!(r.overall.mae.is_finite(), "{}", r.model);
+            assert!(r.difficult.mae.is_finite(), "{}", r.model);
+            // Difficult intervals should be harder (allowing slack for the
+            // tiny smoke run).
+            assert!(
+                r.difficult.mae > r.overall.mae * 0.5,
+                "{}: difficult {} vs overall {}",
+                r.model,
+                r.difficult.mae,
+                r.overall.mae
+            );
+        }
+    }
+
+    #[test]
+    fn fig1_smoke_one_cell() {
+        let scale = ExperimentScale::smoke();
+        let rows = model_comparison(&["PeMSD8"], &["Graph-WaveNet"], &scale);
+        assert_eq!(rows.len(), 3); // three horizons
+        for r in &rows {
+            assert!(r.mae.0.is_finite());
+            assert!(r.rmse.0 >= r.mae.0);
+            assert_eq!(r.dataset, "PeMSD8");
+        }
+    }
+
+    #[test]
+    fn case_study_smoke() {
+        let scale = ExperimentScale::smoke();
+        let cs = case_study_on("PeMS-BAY", "STG2Seq", &scale);
+        assert_ne!(cs.smooth.node, cs.volatile.node);
+        assert_eq!(cs.smooth.actual.len(), cs.smooth.predicted.len());
+        assert!(cs.smooth.actual.len() > 5);
+        assert!(cs.smooth.mae.is_finite());
+        assert!(cs.volatile.mae.is_finite());
+    }
+}

@@ -1,0 +1,218 @@
+//! Traffic-regime error decomposition — the paper's future-work question
+//! ("why does model performance differ by traffic data patterns?") made
+//! measurable. Every (sample, horizon, sensor) cell of a test split is
+//! classified into a regime, and metrics are reported per regime:
+//!
+//! - **FreeFlow**: value near the sensor's high quantile, low volatility;
+//! - **Recurring**: congested but with low moving-std (daily rush hour);
+//! - **Abrupt**: high moving-std (the paper's difficult intervals);
+//! - **Missing**: zero-valued sensor dropouts (excluded from metrics).
+
+use traffic_data::{moving_std, quantile, TrafficDataset, WindowedData, PAPER_WINDOW};
+use traffic_metrics::{evaluate, MetricSet};
+use traffic_tensor::Tensor;
+
+/// Traffic regime of one observation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Regime {
+    /// Free-flowing traffic, stable.
+    FreeFlow,
+    /// Recurring congestion (predictable slowdowns).
+    Recurring,
+    /// Abruptly changing conditions (difficult intervals).
+    Abrupt,
+    /// Missing observation.
+    Missing,
+}
+
+impl Regime {
+    /// All reportable regimes (missing is excluded from metrics).
+    pub const REPORTABLE: [Regime; 3] = [Regime::FreeFlow, Regime::Recurring, Regime::Abrupt];
+}
+
+impl std::fmt::Display for Regime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Regime::FreeFlow => write!(f, "free-flow"),
+            Regime::Recurring => write!(f, "recurring"),
+            Regime::Abrupt => write!(f, "abrupt"),
+            Regime::Missing => write!(f, "missing"),
+        }
+    }
+}
+
+/// Per-step regime labels `[T, N]` for a dataset.
+///
+/// A step is **Abrupt** when its moving-std is in the sensor's upper
+/// quartile, **FreeFlow** when its value is above the sensor's 60th
+/// percentile (speeds) — for flow data "free flow" means *low* flow, so
+/// the comparison flips — and **Recurring** otherwise.
+pub fn classify(dataset: &TrafficDataset) -> Vec<Regime> {
+    let (t, n) = (dataset.num_steps(), dataset.num_nodes());
+    let data = dataset.values.as_slice();
+    let mut out = vec![Regime::Recurring; t * n];
+    for i in 0..n {
+        let series = dataset.node_series(i);
+        let ms = moving_std(&series, PAPER_WINDOW);
+        let valid: Vec<f32> = series.as_slice().iter().copied().filter(|&v| v != 0.0).collect();
+        if valid.is_empty() {
+            for k in 0..t {
+                out[k * n + i] = Regime::Missing;
+            }
+            continue;
+        }
+        let abrupt_thresh = quantile(ms.as_slice(), 0.75);
+        let level_thresh = quantile(&valid, 0.6);
+        for k in 0..t {
+            let v = data[k * n + i];
+            out[k * n + i] = if v == 0.0 {
+                Regime::Missing
+            } else if ms.at(&[k]) >= abrupt_thresh {
+                Regime::Abrupt
+            } else {
+                let free = match dataset.task {
+                    traffic_data::Task::Speed => v >= level_thresh,
+                    traffic_data::Task::Flow => v < level_thresh,
+                };
+                if free {
+                    Regime::FreeFlow
+                } else {
+                    Regime::Recurring
+                }
+            };
+        }
+    }
+    out
+}
+
+/// Builds a 0/1 mask `[S, T_out, N]` selecting the cells of one regime.
+pub fn regime_mask(
+    labels: &[Regime],
+    dataset: &TrafficDataset,
+    split: &WindowedData,
+    regime: Regime,
+) -> Tensor {
+    let n = dataset.num_nodes();
+    assert_eq!(labels.len(), dataset.num_steps() * n);
+    let (s, t_out) = (split.len(), split.y_raw.shape()[1]);
+    let mut out = vec![0.0f32; s * t_out * n];
+    for (si, &start) in split.target_start.iter().enumerate() {
+        for h in 0..t_out {
+            let t = start + h;
+            for i in 0..n {
+                if labels[t * n + i] == regime {
+                    out[(si * t_out + h) * n + i] = 1.0;
+                }
+            }
+        }
+    }
+    Tensor::from_vec(out, &[s, t_out, n])
+}
+
+/// Metrics of one prediction set decomposed by regime.
+pub fn decompose(
+    pred: &Tensor,
+    split: &WindowedData,
+    dataset: &TrafficDataset,
+) -> Vec<(Regime, MetricSet)> {
+    let labels = classify(dataset);
+    Regime::REPORTABLE
+        .iter()
+        .map(|&r| {
+            let mask = regime_mask(&labels, dataset, split, r);
+            (r, evaluate(pred, &split.y_raw, Some(&mask)))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::{eval_split, prepare_experiment, train_model};
+    use crate::scale::ExperimentScale;
+    use crate::trainer::predict;
+    use traffic_data::{simulate, SimConfig, Task};
+
+    #[test]
+    fn classification_covers_all_steps() {
+        let ds = simulate(&SimConfig::new("regime", Task::Speed, 6, 5));
+        let labels = classify(&ds);
+        assert_eq!(labels.len(), ds.num_steps() * 6);
+        let mut counts = std::collections::HashMap::new();
+        for l in &labels {
+            *counts.entry(*l).or_insert(0usize) += 1;
+        }
+        // all three reportable regimes should be present in simulated data
+        for r in Regime::REPORTABLE {
+            assert!(counts.get(&r).copied().unwrap_or(0) > 0, "{r} missing");
+        }
+        // abrupt should be roughly a quarter (per-sensor upper quartile)
+        let abrupt = counts[&Regime::Abrupt] as f32 / labels.len() as f32;
+        assert!(abrupt > 0.15 && abrupt < 0.4, "abrupt fraction {abrupt}");
+    }
+
+    #[test]
+    fn missing_values_are_labelled_missing() {
+        let mut cfg = SimConfig::new("regime-miss", Task::Speed, 4, 4);
+        cfg.missing_rate = 0.02;
+        let ds = simulate(&cfg);
+        let labels = classify(&ds);
+        let data = ds.values.as_slice();
+        for (k, &v) in data.iter().enumerate() {
+            if v == 0.0 {
+                assert_eq!(labels[k], Regime::Missing);
+            }
+        }
+    }
+
+    #[test]
+    fn flow_freeflow_is_low_flow() {
+        let ds = simulate(&SimConfig::new("regime-flow", Task::Flow, 8, 5));
+        let labels = classify(&ds);
+        let n = ds.num_nodes();
+        // mean flow in FreeFlow cells should be below mean flow in Recurring
+        let mut ff = (0.0f64, 0usize);
+        let mut rc = (0.0f64, 0usize);
+        for k in 0..ds.num_steps() {
+            for i in 0..n {
+                let v = ds.values.at(&[k, i]) as f64;
+                match labels[k * n + i] {
+                    Regime::FreeFlow => {
+                        ff.0 += v;
+                        ff.1 += 1;
+                    }
+                    Regime::Recurring => {
+                        rc.0 += v;
+                        rc.1 += 1;
+                    }
+                    _ => {}
+                }
+            }
+        }
+        assert!(ff.0 / (ff.1 as f64) < rc.0 / (rc.1 as f64));
+    }
+
+    #[test]
+    fn decomposition_orders_difficulty() {
+        // Abrupt cells must be hardest for a trained model.
+        let mut scale = ExperimentScale::smoke();
+        scale.epochs = 3;
+        scale.max_train_batches = Some(30);
+        scale.max_test_samples = Some(80);
+        let exp = prepare_experiment("METR-LA", &scale, 9);
+        let (model, _) = train_model("Graph-WaveNet", &exp, &scale, 9);
+        let test = eval_split(&exp.data.test, &scale);
+        let pred = predict(model.as_ref(), &test, &exp.data.scaler, scale.batch_size);
+        let rows = decompose(&pred, &test, &exp.dataset);
+        let get = |r: Regime| rows.iter().find(|(x, _)| *x == r).unwrap().1;
+        let abrupt = get(Regime::Abrupt);
+        let free = get(Regime::FreeFlow);
+        assert!(abrupt.count > 0 && free.count > 0);
+        assert!(
+            abrupt.mae > free.mae,
+            "abrupt ({}) should be harder than free-flow ({})",
+            abrupt.mae,
+            free.mae
+        );
+    }
+}

@@ -1,0 +1,92 @@
+//! Experiment scale presets: one knob trading fidelity against CPU budget.
+//!
+//! The paper trains on 8× Titan RTX GPUs; this reproduction runs on CPU
+//! with an interpreted autograd, so experiments default to reduced node
+//! counts, days, and epochs. `full()` restores the paper's dimensions.
+
+/// How big an experiment run should be.
+#[derive(Debug, Clone)]
+pub struct ExperimentScale {
+    /// Fraction of Table I node/day counts to simulate, in `(0, 1]`.
+    pub dataset_scale: f64,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Independent repeats (the paper uses 5).
+    pub repeats: usize,
+    /// Cap on train batches per epoch (`None` = all).
+    pub max_train_batches: Option<usize>,
+    /// Cap on evaluated test samples (`None` = all). Samples are strided
+    /// across the test range, not truncated from its head.
+    pub max_test_samples: Option<usize>,
+}
+
+impl ExperimentScale {
+    /// Seconds-scale runs for unit/integration tests.
+    pub fn smoke() -> Self {
+        ExperimentScale {
+            dataset_scale: 0.04,
+            epochs: 1,
+            batch_size: 8,
+            repeats: 1,
+            max_train_batches: Some(6),
+            max_test_samples: Some(24),
+        }
+    }
+
+    /// Minutes-scale runs for the examples and benches.
+    pub fn quick() -> Self {
+        ExperimentScale {
+            dataset_scale: 0.08,
+            epochs: 4,
+            batch_size: 16,
+            repeats: 1,
+            max_train_batches: Some(40),
+            max_test_samples: Some(120),
+        }
+    }
+
+    /// Hours-scale runs closer to the paper's statistical setup
+    /// (still reduced from the full PeMS dimensions).
+    pub fn thorough() -> Self {
+        ExperimentScale {
+            dataset_scale: 0.15,
+            epochs: 12,
+            batch_size: 32,
+            repeats: 3,
+            max_train_batches: None,
+            max_test_samples: Some(400),
+        }
+    }
+
+    /// The paper's dimensions (requires serious compute).
+    pub fn full() -> Self {
+        ExperimentScale {
+            dataset_scale: 1.0,
+            epochs: 50,
+            batch_size: 64,
+            repeats: 5,
+            max_train_batches: None,
+            max_test_samples: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_ordered_by_cost() {
+        let s = ExperimentScale::smoke();
+        let q = ExperimentScale::quick();
+        let f = ExperimentScale::full();
+        assert!(s.dataset_scale < q.dataset_scale);
+        assert!(q.dataset_scale < f.dataset_scale);
+        assert!(s.epochs <= q.epochs && q.epochs <= f.epochs);
+        assert_eq!(f.repeats, 5); // the paper's repeat count
+        assert_eq!(f.batch_size, 64); // the paper's batch size
+        assert!(f.max_test_samples.is_none());
+    }
+}

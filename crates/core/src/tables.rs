@@ -1,0 +1,289 @@
+//! Text renderers for every table and figure of the paper.
+
+use traffic_data::DATASETS;
+use traffic_models::MODEL_TAXONOMY;
+
+use crate::experiment::{CaseStudy, Fig1Row, Fig2Row};
+use crate::report::{format_table, sparkline};
+use crate::timing::Table3Row;
+
+/// Renders Table I (dataset characterisation).
+pub fn render_table1() -> String {
+    let headers = vec![
+        "Name", "Task", "Region", "Start", "End", "Days", "Nodes", "Features", "SensorID",
+    ];
+    let rows: Vec<Vec<String>> = DATASETS
+        .iter()
+        .map(|d| {
+            vec![
+                d.name.to_string(),
+                d.task.to_string(),
+                d.region.to_string(),
+                d.start_date.to_string(),
+                d.end_date.to_string(),
+                d.days.to_string(),
+                d.nodes.to_string(),
+                d.features.to_string(),
+                if d.has_sensor_ids { "Y" } else { "N" }.to_string(),
+            ]
+        })
+        .collect();
+    let header_refs: Vec<&str> = headers.iter().map(|s| &**s).collect();
+    format_table(&header_refs, &rows)
+}
+
+/// Renders Table II (model taxonomy).
+pub fn render_table2() -> String {
+    let rows: Vec<Vec<String>> = MODEL_TAXONOMY
+        .iter()
+        .map(|m| {
+            vec![
+                m.name.to_string(),
+                format!("{:?}", m.spatial),
+                format!("{:?}", m.temporal),
+                format!("{:?}", m.output),
+                m.spatial.cons().to_string(),
+            ]
+        })
+        .collect();
+    format_table(&["Model", "Spatial", "Temporal", "Output", "Spatial cons"], &rows)
+}
+
+/// Renders Table III (computation time) rows.
+pub fn render_table3(rows: &[Table3Row]) -> String {
+    let table_rows: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.model.clone(),
+                format!("{:.2} s", r.train_time_per_epoch.as_secs_f64()),
+                format!("{:.2} s", r.inference_time.as_secs_f64()),
+                format!("{}k", r.params / 1000),
+            ]
+        })
+        .collect();
+    format_table(&["Model", "Train time/epoch", "Inference time", "# params"], &table_rows)
+}
+
+/// Renders Fig 1 rows (model comparison) as a table.
+pub fn render_fig1(rows: &[Fig1Row]) -> String {
+    let table_rows: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.dataset.clone(),
+                r.model.clone(),
+                r.horizon.to_string(),
+                format!("{:.3} ± {:.3}", r.mae.0, r.mae.1),
+                format!("{:.3} ± {:.3}", r.rmse.0, r.rmse.1),
+                format!("{:.2} ± {:.2} %", r.mape.0, r.mape.1),
+            ]
+        })
+        .collect();
+    format_table(&["Dataset", "Model", "Horizon", "MAE", "RMSE", "MAPE"], &table_rows)
+}
+
+/// Renders Fig 2 rows (difficult intervals).
+pub fn render_fig2(rows: &[Fig2Row]) -> String {
+    let table_rows: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.model.clone(),
+                format!("{:.3}", r.overall.mae),
+                format!("{:.3}", r.difficult.mae),
+                format!("{:+.1} %", r.degradation_pct),
+            ]
+        })
+        .collect();
+    format_table(&["Model", "Overall MAE", "Difficult MAE", "Degradation"], &table_rows)
+}
+
+/// Renders the Fig 3 case study with terminal sparklines.
+pub fn render_fig3(cs: &CaseStudy) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "Case study — model: {}, data: {}\n\n",
+        cs.model, cs.dataset
+    ));
+    for (label, case) in [("A (smooth)", &cs.smooth), ("B (volatile)", &cs.volatile)] {
+        out.push_str(&format!(
+            "Road {} — sensor {}, 1-step MAE {:.2}, {} difficult interval(s)\n",
+            label,
+            case.node,
+            case.mae,
+            case.difficult.len()
+        ));
+        out.push_str(&format!("  actual    {}\n", sparkline(&case.actual)));
+        out.push_str(&format!("  predicted {}\n\n", sparkline(&case.predicted)));
+    }
+    out
+}
+
+/// CSV rows for Fig 1 (for plotting outside the terminal).
+pub fn fig1_csv_rows(rows: &[Fig1Row]) -> (Vec<&'static str>, Vec<Vec<String>>) {
+    let headers = vec![
+        "dataset", "model", "horizon", "mae_mean", "mae_std", "rmse_mean", "rmse_std",
+        "mape_mean", "mape_std",
+    ];
+    let data = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.dataset.clone(),
+                r.model.clone(),
+                r.horizon.to_string(),
+                r.mae.0.to_string(),
+                r.mae.1.to_string(),
+                r.rmse.0.to_string(),
+                r.rmse.1.to_string(),
+                r.mape.0.to_string(),
+                r.mape.1.to_string(),
+            ]
+        })
+        .collect();
+    (headers, data)
+}
+
+/// CSV rows for Fig 2.
+pub fn fig2_csv_rows(rows: &[Fig2Row]) -> (Vec<&'static str>, Vec<Vec<String>>) {
+    let headers = vec!["model", "overall_mae", "difficult_mae", "degradation_pct"];
+    let data = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.model.clone(),
+                r.overall.mae.to_string(),
+                r.difficult.mae.to_string(),
+                r.degradation_pct.to_string(),
+            ]
+        })
+        .collect();
+    (headers, data)
+}
+
+/// CSV rows for the Fig 3 traces: one row per plotted step and road.
+pub fn fig3_csv_rows(cs: &CaseStudy) -> (Vec<&'static str>, Vec<Vec<String>>) {
+    let headers = vec!["road", "sensor", "step", "actual", "predicted", "difficult"];
+    let mut data = Vec::new();
+    for (label, case) in [("smooth", &cs.smooth), ("volatile", &cs.volatile)] {
+        for (i, (&a, &p)) in case.actual.iter().zip(&case.predicted).enumerate() {
+            let difficult = case.difficult.iter().any(|&(s, e)| i >= s && i < e);
+            data.push(vec![
+                label.to_string(),
+                case.node.to_string(),
+                i.to_string(),
+                a.to_string(),
+                p.to_string(),
+                u8::from(difficult).to_string(),
+            ]);
+        }
+    }
+    (headers, data)
+}
+
+/// CSV rows for Table III.
+pub fn table3_csv_rows(rows: &[Table3Row]) -> (Vec<&'static str>, Vec<Vec<String>>) {
+    let headers = vec!["model", "train_secs_per_epoch", "inference_secs", "params"];
+    let data = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.model.clone(),
+                r.train_time_per_epoch.as_secs_f64().to_string(),
+                r.inference_time.as_secs_f64().to_string(),
+                r.params.to_string(),
+            ]
+        })
+        .collect();
+    (headers, data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use traffic_metrics::MetricSet;
+
+    #[test]
+    fn table1_contains_all_datasets() {
+        let t = render_table1();
+        for d in ["METR-LA", "PeMS-BAY", "PeMSD7(M)", "PeMSD3", "PeMSD4", "PeMSD7", "PeMSD8"] {
+            assert!(t.contains(d), "missing {d}");
+        }
+        assert!(t.contains("207")); // METR-LA node count
+        assert!(t.contains("883")); // PeMSD7 node count
+    }
+
+    #[test]
+    fn table2_contains_all_models() {
+        let t = render_table2();
+        for m in MODEL_TAXONOMY {
+            assert!(t.contains(m.name));
+        }
+    }
+
+    #[test]
+    fn table3_formatting() {
+        let rows = vec![Table3Row {
+            model: "STGCN".into(),
+            train_time_per_epoch: std::time::Duration::from_millis(1480),
+            inference_time: std::time::Duration::from_millis(16700),
+            params: 320_000,
+        }];
+        let t = render_table3(&rows);
+        assert!(t.contains("1.48 s"));
+        assert!(t.contains("16.70 s"));
+        assert!(t.contains("320k"));
+    }
+
+    #[test]
+    fn fig2_formatting() {
+        let rows = vec![Fig2Row {
+            model: "GMAN".into(),
+            overall: MetricSet { mae: 2.0, rmse: 3.0, mape: 5.0, count: 10 },
+            difficult: MetricSet { mae: 4.0, rmse: 6.0, mape: 9.0, count: 3 },
+            degradation_pct: 100.0,
+        }];
+        let t = render_fig2(&rows);
+        assert!(t.contains("GMAN"));
+        assert!(t.contains("+100.0 %"));
+    }
+
+    #[test]
+    fn fig3_csv_marks_difficult_runs() {
+        let case = crate::experiment::RoadCase {
+            node: 3,
+            mae: 1.0,
+            actual: vec![60.0, 55.0, 50.0],
+            predicted: vec![59.0, 56.0, 52.0],
+            difficult: vec![(1, 3)],
+        };
+        let cs = CaseStudy {
+            model: "Graph-WaveNet".into(),
+            dataset: "PeMS-BAY".into(),
+            smooth: case.clone(),
+            volatile: case,
+        };
+        let (h, d) = fig3_csv_rows(&cs);
+        assert_eq!(h.len(), 6);
+        assert_eq!(d.len(), 6); // 3 steps × 2 roads
+        assert_eq!(d[0][5], "0");
+        assert_eq!(d[1][5], "1");
+        assert_eq!(d[2][5], "1");
+    }
+
+    #[test]
+    fn fig1_csv_roundtrip() {
+        let rows = vec![Fig1Row {
+            dataset: "METR-LA".into(),
+            model: "GMAN".into(),
+            horizon: "15 min",
+            mae: (1.0, 0.1),
+            rmse: (2.0, 0.2),
+            mape: (3.0, 0.3),
+        }];
+        let (h, d) = fig1_csv_rows(&rows);
+        assert_eq!(h.len(), d[0].len());
+        assert_eq!(d[0][0], "METR-LA");
+    }
+}

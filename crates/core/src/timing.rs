@@ -1,0 +1,77 @@
+//! Table III: computation time (training time per epoch, inference time)
+//! and parameter counts, measured on the METR-LA dataset.
+
+use std::time::Duration;
+
+use crate::experiment::{eval_split, prepare_experiment, train_model, PreparedExperiment};
+use crate::scale::ExperimentScale;
+use crate::trainer::timed_predict;
+
+/// One row of Table III.
+#[derive(Debug, Clone)]
+pub struct Table3Row {
+    /// Model name.
+    pub model: String,
+    /// Wall-clock training time per epoch.
+    pub train_time_per_epoch: Duration,
+    /// Wall-clock inference time over the evaluated test split.
+    pub inference_time: Duration,
+    /// Total scalar parameter count.
+    pub params: usize,
+}
+
+/// Measures Table III for the given models on METR-LA.
+pub fn computation_time(models: &[&str], scale: &ExperimentScale) -> Vec<Table3Row> {
+    let exp = prepare_experiment("METR-LA", scale, 42);
+    computation_time_on(&exp, models, scale)
+}
+
+/// Measures Table III on an already-prepared experiment.
+pub fn computation_time_on(
+    exp: &PreparedExperiment,
+    models: &[&str],
+    scale: &ExperimentScale,
+) -> Vec<Table3Row> {
+    let test = eval_split(&exp.data.test, scale);
+    models
+        .iter()
+        .map(|&name| {
+            let (model, report) = train_model(name, exp, scale, 4000);
+            let (_pred, inference_time) =
+                timed_predict(model.as_ref(), &test, &exp.data.scaler, scale.batch_size);
+            Table3Row {
+                model: name.to_string(),
+                train_time_per_epoch: report.mean_epoch_time,
+                inference_time,
+                params: model.num_params(),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timing_smoke() {
+        let scale = ExperimentScale::smoke();
+        let rows = computation_time(&["STGCN", "Graph-WaveNet"], &scale);
+        assert_eq!(rows.len(), 2);
+        for r in &rows {
+            assert!(r.train_time_per_epoch > Duration::ZERO, "{}", r.model);
+            assert!(r.inference_time > Duration::ZERO, "{}", r.model);
+            assert!(r.params > 0);
+        }
+        // Shape check from Table III: STGCN's many-to-one rollout makes its
+        // inference slower than Graph-WaveNet's single pass.
+        let stgcn = &rows[0];
+        let gwn = &rows[1];
+        assert!(
+            stgcn.inference_time > gwn.inference_time,
+            "STGCN {:?} should be slower than GWN {:?} at inference",
+            stgcn.inference_time,
+            gwn.inference_time
+        );
+    }
+}

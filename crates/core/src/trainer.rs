@@ -1,0 +1,367 @@
+//! Training and prediction loops shared by every experiment.
+//!
+//! Mirrors the paper's setup (§V): Adam, masked MAE loss on z-scored
+//! values, gradient clipping, mini-batches; scheduled sampling for the
+//! seq2seq models with an inverse-sigmoid decay of the teacher-forcing
+//! probability.
+
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use traffic_data::{batches, PreparedData, WindowedData, ZScore};
+use traffic_models::{train_horizon, TrafficModel, TrainCtx};
+use traffic_nn::loss::{masked_mae, null_mask};
+use traffic_nn::Adam;
+use traffic_tensor::{Tape, Tensor};
+
+/// Training configuration.
+#[derive(Debug, Clone)]
+pub struct TrainConfig {
+    /// Number of epochs.
+    pub epochs: usize,
+    /// Mini-batch size (the paper uses 64; smaller fits CPU budgets).
+    pub batch_size: usize,
+    /// Adam learning rate.
+    pub lr: f32,
+    /// Global gradient-norm clip.
+    pub grad_clip: f32,
+    /// RNG seed for shuffling / dropout / scheduled sampling.
+    pub seed: u64,
+    /// Optional cap on batches per epoch (CPU budget knob). `None` = all.
+    pub max_batches_per_epoch: Option<usize>,
+    /// Scheduled-sampling decay constant (larger = slower decay).
+    pub teacher_decay: f32,
+    /// Early stopping: abort after this many epochs without validation
+    /// improvement and restore the best weights. `None` disables it (and
+    /// skips validation entirely).
+    pub early_stop_patience: Option<usize>,
+    /// Cap on validation batches per epoch when early stopping is on.
+    pub max_val_batches: Option<usize>,
+    /// Optional step-decay LR schedule `(gamma, every_epochs)` — the
+    /// original DCRNN/Graph-WaveNet training recipes decay the lr.
+    pub lr_decay: Option<(f32, usize)>,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig {
+            epochs: 5,
+            batch_size: 16,
+            lr: 3e-3,
+            grad_clip: 5.0,
+            seed: 7,
+            max_batches_per_epoch: None,
+            teacher_decay: 60.0,
+            early_stop_patience: None,
+            max_val_batches: Some(8),
+            lr_decay: None,
+        }
+    }
+}
+
+/// What the trainer measured.
+#[derive(Debug, Clone)]
+pub struct TrainReport {
+    /// Mean masked-MAE training loss per epoch (normalised scale).
+    pub epoch_losses: Vec<f32>,
+    /// Validation losses per epoch (empty unless early stopping is on).
+    pub val_losses: Vec<f32>,
+    /// Wall-clock time per epoch.
+    pub epoch_times: Vec<Duration>,
+    /// Mean time per epoch.
+    pub mean_epoch_time: Duration,
+    /// Epoch whose weights were kept (last epoch without early stopping).
+    pub best_epoch: usize,
+}
+
+/// Mean masked-MAE loss of a model over a split (normalised scale),
+/// without touching gradients.
+pub fn validation_loss(
+    model: &dyn TrafficModel,
+    data: &WindowedData,
+    horizon: usize,
+    batch_size: usize,
+    max_batches: Option<usize>,
+) -> f32 {
+    let mut sum = 0.0f64;
+    let mut count = 0usize;
+    for batch in batches(data, batch_size, None::<&mut StdRng>) {
+        if let Some(cap) = max_batches {
+            if count >= cap {
+                break;
+            }
+        }
+        let tape = Tape::new();
+        let x = tape.constant(batch.x.clone());
+        let pred = model.forward(&tape, x, None);
+        let pred = pred.narrow(1, 0, horizon);
+        let y_norm = batch.y_norm.narrow(1, 0, horizon);
+        let y_raw = batch.y_raw.narrow(1, 0, horizon);
+        let mask = null_mask(&y_raw, 1e-3);
+        let loss = masked_mae(&tape, pred, &y_norm, &mask).value().item();
+        if loss.is_finite() {
+            sum += loss as f64;
+            count += 1;
+        }
+    }
+    if count == 0 {
+        f32::NAN
+    } else {
+        (sum / count as f64) as f32
+    }
+}
+
+/// Inverse-sigmoid scheduled-sampling probability after `step` batches.
+pub fn teacher_probability(step: usize, decay: f32) -> f32 {
+    decay / (decay + (step as f32 / decay).exp())
+}
+
+/// Trains `model` on the prepared dataset.
+pub fn train(model: &dyn TrafficModel, data: &PreparedData, cfg: &TrainConfig) -> TrainReport {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut opt = Adam::new(cfg.lr);
+    let horizon = train_horizon(model.name(), data.t_out);
+    let mut epoch_losses = Vec::with_capacity(cfg.epochs);
+    let mut val_losses = Vec::with_capacity(cfg.epochs);
+    let mut epoch_times = Vec::with_capacity(cfg.epochs);
+    let mut global_step = 0usize;
+    let mut best: Option<(f32, usize, Vec<Tensor>)> = None;
+    let mut stale = 0usize;
+    for _epoch in 0..cfg.epochs {
+        if let Some((gamma, every)) = cfg.lr_decay {
+            let schedule = traffic_nn::StepDecay::new(cfg.lr, gamma, every);
+            opt.set_lr(schedule.lr_at(_epoch));
+        }
+        let start = Instant::now();
+        let mut loss_sum = 0.0f64;
+        let mut batches_run = 0usize;
+        let mut shuffle_rng = StdRng::seed_from_u64(cfg.seed ^ (_epoch as u64).wrapping_mul(0x9e37));
+        for batch in batches(&data.train, cfg.batch_size, Some(&mut shuffle_rng)) {
+            if let Some(cap) = cfg.max_batches_per_epoch {
+                if batches_run >= cap {
+                    break;
+                }
+            }
+            let tape = Tape::new();
+            let x = tape.constant(batch.x.clone());
+            let y_norm = batch.y_norm.narrow(1, 0, horizon);
+            let y_raw = batch.y_raw.narrow(1, 0, horizon);
+            let teacher_prob = teacher_probability(global_step, cfg.teacher_decay);
+            let mut tctx =
+                TrainCtx { rng: &mut rng, teacher: Some(&batch.y_norm), teacher_prob };
+            let pred = model.forward(&tape, x, Some(&mut tctx));
+            let mask = null_mask(&y_raw, 1e-3);
+            let loss = masked_mae(&tape, pred, &y_norm, &mask);
+            let loss_val = loss.value().item();
+            if loss_val.is_finite() {
+                let grads = tape.backward(loss);
+                model.store().zero_grads();
+                model.store().capture_grads(&tape, &grads);
+                model.store().clip_grad_norm(cfg.grad_clip);
+                opt.step(model.store());
+                loss_sum += loss_val as f64;
+            }
+            batches_run += 1;
+            global_step += 1;
+        }
+        epoch_losses.push((loss_sum / batches_run.max(1) as f64) as f32);
+        epoch_times.push(start.elapsed());
+        if let Some(patience) = cfg.early_stop_patience {
+            let vl = if data.val.is_empty() {
+                *epoch_losses.last().expect("at least one epoch")
+            } else {
+                validation_loss(model, &data.val, horizon, cfg.batch_size, cfg.max_val_batches)
+            };
+            val_losses.push(vl);
+            let improved = best.as_ref().is_none_or(|(b, _, _)| vl < *b);
+            if improved {
+                best = Some((vl, _epoch, model.store().snapshot()));
+                stale = 0;
+            } else {
+                stale += 1;
+                if stale >= patience {
+                    break;
+                }
+            }
+        }
+    }
+    let best_epoch = match best {
+        Some((_, epoch, snapshot)) => {
+            model.store().restore(&snapshot);
+            epoch
+        }
+        None => epoch_losses.len().saturating_sub(1),
+    };
+    let mean_epoch_time = if epoch_times.is_empty() {
+        Duration::ZERO
+    } else {
+        epoch_times.iter().sum::<Duration>() / epoch_times.len() as u32
+    };
+    TrainReport { epoch_losses, val_losses, epoch_times, mean_epoch_time, best_epoch }
+}
+
+/// Runs the model over a windowed split and returns predictions on the
+/// **original** scale, `[S, T_out, N]`.
+pub fn predict(
+    model: &dyn TrafficModel,
+    data: &WindowedData,
+    scaler: &ZScore,
+    batch_size: usize,
+) -> Tensor {
+    let mut parts: Vec<Tensor> = Vec::new();
+    for batch in batches(data, batch_size, None::<&mut StdRng>) {
+        let tape = Tape::new();
+        let x = tape.constant(batch.x.clone());
+        let pred = model.forward(&tape, x, None);
+        parts.push(scaler.inverse(&pred.value()));
+    }
+    let refs: Vec<&Tensor> = parts.iter().collect();
+    Tensor::concat(&refs, 0)
+}
+
+/// Convenience: predict + wall-clock (Table III inference time).
+pub fn timed_predict(
+    model: &dyn TrafficModel,
+    data: &WindowedData,
+    scaler: &ZScore,
+    batch_size: usize,
+) -> (Tensor, Duration) {
+    let start = Instant::now();
+    let pred = predict(model, data, scaler, batch_size);
+    (pred, start.elapsed())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use traffic_data::{prepare, simulate, SimConfig, Task};
+    use traffic_models::{build_model, GraphContext};
+
+    fn tiny_setup() -> (PreparedData, GraphContext) {
+        let ds = simulate(&SimConfig::new("t", Task::Speed, 6, 4));
+        let prepared = prepare(&ds, 12, 12);
+        let ctx = GraphContext::from_network(&ds.network, 4);
+        (prepared, ctx)
+    }
+
+    #[test]
+    fn teacher_probability_decays() {
+        assert!(teacher_probability(0, 60.0) > 0.95);
+        assert!(teacher_probability(500, 60.0) < teacher_probability(10, 60.0));
+    }
+
+    #[test]
+    fn training_reduces_loss_graph_wavenet() {
+        let (data, ctx) = tiny_setup();
+        let mut rng = StdRng::seed_from_u64(1);
+        let model = build_model("Graph-WaveNet", &ctx, &mut rng);
+        let cfg = TrainConfig {
+            epochs: 3,
+            batch_size: 8,
+            max_batches_per_epoch: Some(10),
+            ..Default::default()
+        };
+        let report = train(model.as_ref(), &data, &cfg);
+        assert_eq!(report.epoch_losses.len(), 3);
+        assert!(
+            report.epoch_losses[2] < report.epoch_losses[0],
+            "loss should drop: {:?}",
+            report.epoch_losses
+        );
+        assert!(!model.store().has_non_finite());
+    }
+
+    #[test]
+    fn predict_shapes_and_scale() {
+        let (data, ctx) = tiny_setup();
+        let mut rng = StdRng::seed_from_u64(2);
+        let model = build_model("STSGCN", &ctx, &mut rng);
+        let pred = predict(model.as_ref(), &data.test, &data.scaler, 8);
+        assert_eq!(pred.shape()[0], data.test.len());
+        assert_eq!(pred.shape()[1], 12);
+        assert_eq!(pred.shape()[2], 6);
+        // predictions should land near the physical speed range after
+        // denormalisation (untrained, so roughly near the mean)
+        assert!(pred.mean_all() > 0.0 && pred.mean_all() < 100.0);
+    }
+
+    #[test]
+    fn timed_predict_nonzero() {
+        let (data, ctx) = tiny_setup();
+        let mut rng = StdRng::seed_from_u64(3);
+        let model = build_model("STG2Seq", &ctx, &mut rng);
+        let (_pred, dur) = timed_predict(model.as_ref(), &data.test, &data.scaler, 8);
+        assert!(dur > Duration::ZERO);
+    }
+
+    #[test]
+    fn early_stopping_restores_best_weights() {
+        let (data, ctx) = tiny_setup();
+        let mut rng = StdRng::seed_from_u64(5);
+        let model = build_model("STG2Seq", &ctx, &mut rng);
+        let cfg = TrainConfig {
+            epochs: 6,
+            batch_size: 8,
+            max_batches_per_epoch: Some(4),
+            early_stop_patience: Some(1),
+            max_val_batches: Some(2),
+            lr: 0.1, // aggressive lr to force val-loss oscillation
+            ..Default::default()
+        };
+        let report = train(model.as_ref(), &data, &cfg);
+        assert_eq!(report.val_losses.len(), report.epoch_losses.len());
+        // best epoch must be a minimiser of the recorded val losses
+        let best = report.val_losses[report.best_epoch];
+        assert!(report.val_losses.iter().all(|&v| best <= v + 1e-6));
+        // with patience 1, training stops one epoch after the best
+        assert!(report.epoch_losses.len() <= report.best_epoch + 2);
+    }
+
+    #[test]
+    fn lr_decay_schedule_is_applied() {
+        // With an aggressive decay the later epochs barely move the loss,
+        // so total improvement is smaller than without decay.
+        let (data, ctx) = tiny_setup();
+        let run = |decay: Option<(f32, usize)>| {
+            let mut rng = StdRng::seed_from_u64(8);
+            let model = build_model("STG2Seq", &ctx, &mut rng);
+            let cfg = TrainConfig {
+                epochs: 4,
+                batch_size: 8,
+                max_batches_per_epoch: Some(6),
+                lr_decay: decay,
+                ..Default::default()
+            };
+            let report = train(model.as_ref(), &data, &cfg);
+            *report.epoch_losses.last().unwrap()
+        };
+        let frozen = run(Some((1e-6, 1))); // lr collapses after epoch 0
+        let normal = run(None);
+        assert!(normal < frozen, "decayed-lr run should improve less: {normal} vs {frozen}");
+    }
+
+    #[test]
+    fn validation_loss_finite() {
+        let (data, ctx) = tiny_setup();
+        let mut rng = StdRng::seed_from_u64(6);
+        let model = build_model("GMAN", &ctx, &mut rng);
+        let vl = validation_loss(model.as_ref(), &data.val, 12, 8, Some(2));
+        assert!(vl.is_finite() && vl > 0.0);
+    }
+
+    #[test]
+    fn stgcn_trains_on_single_step() {
+        let (data, ctx) = tiny_setup();
+        let mut rng = StdRng::seed_from_u64(4);
+        let model = build_model("STGCN", &ctx, &mut rng);
+        let cfg = TrainConfig {
+            epochs: 2,
+            batch_size: 8,
+            max_batches_per_epoch: Some(6),
+            ..Default::default()
+        };
+        let report = train(model.as_ref(), &data, &cfg);
+        assert!(report.epoch_losses.iter().all(|l| l.is_finite()));
+    }
+}

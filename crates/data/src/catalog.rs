@@ -1,0 +1,201 @@
+//! The seven-dataset catalog of the paper's Table I, plus the simulation
+//! presets that stand in for the real PeMS downloads (DESIGN.md §2).
+
+/// Which quantity a dataset measures (the paper's two tasks).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Task {
+    /// Speed prediction (mph).
+    Speed,
+    /// Flow prediction (vehicles / 5 min).
+    Flow,
+}
+
+impl std::fmt::Display for Task {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Task::Speed => write!(f, "speed"),
+            Task::Flow => write!(f, "flow"),
+        }
+    }
+}
+
+/// Network topology used when simulating a dataset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Topology {
+    /// Linear freeway corridor (METR-LA, PeMS-BAY, PeMSD7(M)).
+    Corridor,
+    /// Corridor + downtown grid mix (metropolitan flow districts).
+    MetroMix,
+}
+
+/// One row of Table I.
+#[derive(Debug, Clone)]
+pub struct DatasetInfo {
+    /// Canonical dataset name.
+    pub name: &'static str,
+    /// Speed or flow.
+    pub task: Task,
+    /// Region string as printed in Table I.
+    pub region: &'static str,
+    /// Start date (as printed in Table I).
+    pub start_date: &'static str,
+    /// End date.
+    pub end_date: &'static str,
+    /// Number of days of data.
+    pub days: usize,
+    /// Number of sensors.
+    pub nodes: usize,
+    /// Features available in the original release.
+    pub features: &'static str,
+    /// Whether sensor IDs ship with the dataset.
+    pub has_sensor_ids: bool,
+    /// Whether the original data covers weekends (PeMSD7(M) does not).
+    pub includes_weekends: bool,
+    /// Topology preset used by the simulator.
+    pub topology: Topology,
+}
+
+/// All seven datasets, in the paper's column order.
+pub const DATASETS: [DatasetInfo; 7] = [
+    DatasetInfo {
+        name: "METR-LA",
+        task: Task::Speed,
+        region: "Los Angeles",
+        start_date: "3/1/2012",
+        end_date: "6/30/2012",
+        days: 122,
+        nodes: 207,
+        features: "speed",
+        has_sensor_ids: true,
+        includes_weekends: true,
+        topology: Topology::Corridor,
+    },
+    DatasetInfo {
+        name: "PeMS-BAY",
+        task: Task::Speed,
+        region: "Bay Area",
+        start_date: "1/1/2017",
+        end_date: "6/30/2017",
+        days: 181,
+        nodes: 325,
+        features: "speed",
+        has_sensor_ids: true,
+        includes_weekends: true,
+        topology: Topology::Corridor,
+    },
+    DatasetInfo {
+        name: "PeMSD7(M)",
+        task: Task::Speed,
+        region: "Los Angeles",
+        start_date: "5/1/2012",
+        end_date: "6/30/2012",
+        days: 44,
+        nodes: 228,
+        features: "speed",
+        has_sensor_ids: false,
+        includes_weekends: false,
+        topology: Topology::Corridor,
+    },
+    DatasetInfo {
+        name: "PeMSD3",
+        task: Task::Flow,
+        region: "North Central",
+        start_date: "9/1/2018",
+        end_date: "11/30/2018",
+        days: 91,
+        nodes: 358,
+        features: "flow",
+        has_sensor_ids: true,
+        includes_weekends: true,
+        topology: Topology::MetroMix,
+    },
+    DatasetInfo {
+        name: "PeMSD4",
+        task: Task::Flow,
+        region: "Bay Area",
+        start_date: "1/1/2018",
+        end_date: "2/28/2018",
+        days: 59,
+        nodes: 307,
+        features: "flow, occupancy, speed",
+        has_sensor_ids: false,
+        includes_weekends: true,
+        topology: Topology::MetroMix,
+    },
+    DatasetInfo {
+        name: "PeMSD7",
+        task: Task::Flow,
+        region: "Los Angeles",
+        start_date: "5/1/2017",
+        end_date: "8/31/2017",
+        days: 98,
+        nodes: 883,
+        features: "flow",
+        has_sensor_ids: false,
+        includes_weekends: true,
+        topology: Topology::MetroMix,
+    },
+    DatasetInfo {
+        name: "PeMSD8",
+        task: Task::Flow,
+        region: "San Bernardino",
+        start_date: "7/1/2016",
+        end_date: "8/31/2016",
+        days: 62,
+        nodes: 170,
+        features: "flow, occupancy, speed",
+        has_sensor_ids: false,
+        includes_weekends: true,
+        topology: Topology::MetroMix,
+    },
+];
+
+/// Looks a dataset up by (case-insensitive) name.
+pub fn dataset_info(name: &str) -> Option<&'static DatasetInfo> {
+    DATASETS.iter().find(|d| d.name.eq_ignore_ascii_case(name))
+}
+
+/// Names of the three speed datasets, in paper order.
+pub fn speed_datasets() -> Vec<&'static DatasetInfo> {
+    DATASETS.iter().filter(|d| d.task == Task::Speed).collect()
+}
+
+/// Names of the four flow datasets, in paper order.
+pub fn flow_datasets() -> Vec<&'static DatasetInfo> {
+    DATASETS.iter().filter(|d| d.task == Task::Flow).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_counts() {
+        assert_eq!(DATASETS.len(), 7);
+        assert_eq!(speed_datasets().len(), 3);
+        assert_eq!(flow_datasets().len(), 4);
+    }
+
+    #[test]
+    fn table1_node_counts_match_paper() {
+        assert_eq!(dataset_info("METR-LA").unwrap().nodes, 207);
+        assert_eq!(dataset_info("PeMS-BAY").unwrap().nodes, 325);
+        assert_eq!(dataset_info("PeMSD7(M)").unwrap().nodes, 228);
+        assert_eq!(dataset_info("PeMSD3").unwrap().nodes, 358);
+        assert_eq!(dataset_info("PeMSD4").unwrap().nodes, 307);
+        assert_eq!(dataset_info("PeMSD7").unwrap().nodes, 883);
+        assert_eq!(dataset_info("PeMSD8").unwrap().nodes, 170);
+    }
+
+    #[test]
+    fn lookup_case_insensitive() {
+        assert!(dataset_info("metr-la").is_some());
+        assert!(dataset_info("nope").is_none());
+    }
+
+    #[test]
+    fn pemsd7m_weekdays_only() {
+        assert!(!dataset_info("PeMSD7(M)").unwrap().includes_weekends);
+        assert!(dataset_info("METR-LA").unwrap().includes_weekends);
+    }
+}

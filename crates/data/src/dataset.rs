@@ -1,0 +1,141 @@
+//! In-memory traffic dataset: a `[T, N]` series over a road network with
+//! 5-minute time resolution, mirroring the PeMS aggregation described in
+//! the paper's Section III.
+
+use traffic_graph::RoadNetwork;
+use traffic_tensor::Tensor;
+
+use crate::catalog::Task;
+
+/// Five-minute steps per day (PeMS aggregation).
+pub const STEPS_PER_DAY: usize = 288;
+
+/// A loaded (here: simulated) traffic dataset.
+#[derive(Clone)]
+pub struct TrafficDataset {
+    /// Dataset name (matches the catalog when simulated from a preset).
+    pub name: String,
+    /// Speed or flow.
+    pub task: Task,
+    /// The road network the sensors live on.
+    pub network: RoadNetwork,
+    /// Observations `[T, N]`; missing values are encoded as `0.0`
+    /// (PeMS convention).
+    pub values: Tensor,
+    /// Whether the series covers weekends (PeMSD7(M) does not).
+    pub includes_weekends: bool,
+}
+
+impl TrafficDataset {
+    /// Total number of 5-minute steps.
+    pub fn num_steps(&self) -> usize {
+        self.values.shape()[0]
+    }
+
+    /// Number of sensors.
+    pub fn num_nodes(&self) -> usize {
+        self.values.shape()[1]
+    }
+
+    /// Number of whole days.
+    pub fn num_days(&self) -> usize {
+        self.num_steps() / STEPS_PER_DAY
+    }
+
+    /// Normalised time-of-day in `[0, 1)` for every step: the second input
+    /// feature fed to every model (paper §V: "time stamp" with min-max
+    /// normalisation).
+    pub fn time_of_day(&self) -> Tensor {
+        let t = self.num_steps();
+        Tensor::from_vec(
+            (0..t).map(|i| (i % STEPS_PER_DAY) as f32 / STEPS_PER_DAY as f32).collect(),
+            &[t],
+        )
+    }
+
+    /// Day-of-week index (0 = Monday) per step. Weekday-only datasets cycle
+    /// through 0..5.
+    pub fn day_of_week(&self) -> Vec<u8> {
+        let modulus = if self.includes_weekends { 7 } else { 5 };
+        (0..self.num_steps()).map(|i| ((i / STEPS_PER_DAY) % modulus) as u8).collect()
+    }
+
+    /// Series of one sensor: `[T]`.
+    pub fn node_series(&self, node: usize) -> Tensor {
+        assert!(node < self.num_nodes(), "node {node} out of range");
+        let t = self.num_steps();
+        let n = self.num_nodes();
+        let data = self.values.as_slice();
+        Tensor::from_vec((0..t).map(|i| data[i * n + node]).collect(), &[t])
+    }
+
+    /// Fraction of entries that are missing (exact zeros).
+    pub fn missing_fraction(&self) -> f32 {
+        let total = self.values.len();
+        if total == 0 {
+            return 0.0;
+        }
+        let missing = self.values.as_slice().iter().filter(|&&v| v == 0.0).count();
+        missing as f32 / total as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use traffic_graph::freeway_corridor;
+
+    fn toy() -> TrafficDataset {
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(1);
+        TrafficDataset {
+            name: "toy".into(),
+            task: Task::Speed,
+            network: freeway_corridor(3, 1.0, &mut rng),
+            values: Tensor::from_vec((0..(STEPS_PER_DAY * 2 * 3)).map(|i| i as f32).collect(), &[STEPS_PER_DAY * 2, 3]),
+            includes_weekends: true,
+        }
+    }
+
+    #[test]
+    fn accessors() {
+        let d = toy();
+        assert_eq!(d.num_steps(), 576);
+        assert_eq!(d.num_nodes(), 3);
+        assert_eq!(d.num_days(), 2);
+    }
+
+    #[test]
+    fn time_of_day_wraps() {
+        let d = toy();
+        let tod = d.time_of_day();
+        assert_eq!(tod.at(&[0]), 0.0);
+        assert_eq!(tod.at(&[STEPS_PER_DAY]), 0.0);
+        assert!(tod.at(&[STEPS_PER_DAY - 1]) < 1.0);
+    }
+
+    #[test]
+    fn day_of_week_cycles() {
+        let mut d = toy();
+        let dow = d.day_of_week();
+        assert_eq!(dow[0], 0);
+        assert_eq!(dow[STEPS_PER_DAY], 1);
+        d.includes_weekends = false;
+        assert!(d.day_of_week().iter().all(|&w| w < 5));
+    }
+
+    #[test]
+    fn node_series_extracts_column() {
+        let d = toy();
+        let s = d.node_series(1);
+        assert_eq!(s.at(&[0]), 1.0);
+        assert_eq!(s.at(&[1]), 4.0);
+    }
+
+    #[test]
+    fn missing_fraction_counts_zeros() {
+        let mut d = toy();
+        assert!(d.missing_fraction() > 0.0); // index 0 is a zero value
+        d.values = Tensor::ones(&[4, 3]);
+        assert_eq!(d.missing_fraction(), 0.0);
+    }
+}

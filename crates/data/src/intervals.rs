@@ -1,0 +1,193 @@
+//! Difficult-interval extraction (paper §V-B): compute a moving standard
+//! deviation with a 30-minute window, then keep the steps in the upper 25%
+//! of that statistic per sensor.
+
+use traffic_tensor::Tensor;
+
+/// 30 minutes at 5-minute resolution.
+pub const PAPER_WINDOW: usize = 6;
+/// Upper 25% (the paper's choice).
+pub const PAPER_QUANTILE: f64 = 0.75;
+
+/// Trailing moving standard deviation of a `[T]` series.
+///
+/// Position `t` covers `[t-window+1, t]`; the first `window-1` positions
+/// use the shorter available prefix.
+pub fn moving_std(series: &Tensor, window: usize) -> Tensor {
+    assert!(window >= 1, "window must be >= 1");
+    assert_eq!(series.rank(), 1, "moving_std expects a [T] series");
+    let t = series.len();
+    let x = series.as_slice();
+    let mut out = vec![0.0f32; t];
+    // Incremental sums for O(T) total work.
+    let mut sum = 0.0f64;
+    let mut sum_sq = 0.0f64;
+    for i in 0..t {
+        sum += x[i] as f64;
+        sum_sq += (x[i] as f64) * (x[i] as f64);
+        if i >= window {
+            sum -= x[i - window] as f64;
+            sum_sq -= (x[i - window] as f64) * (x[i - window] as f64);
+        }
+        let len = (i + 1).min(window) as f64;
+        let mean = sum / len;
+        let var = (sum_sq / len - mean * mean).max(0.0);
+        out[i] = var.sqrt() as f32;
+    }
+    Tensor::from_vec(out, &[t])
+}
+
+/// Empirical quantile of a slice (linear interpolation between order
+/// statistics). `q ∈ [0, 1]`.
+pub fn quantile(values: &[f32], q: f64) -> f32 {
+    assert!(!values.is_empty(), "quantile of empty slice");
+    assert!((0.0..=1.0).contains(&q));
+    let mut sorted: Vec<f32> = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = (pos - lo as f64) as f32;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// Boolean (0/1) mask `[T, N]` marking the difficult steps of each sensor:
+/// steps whose moving-std lies in the upper `1 − q` fraction for that
+/// sensor.
+pub fn difficult_mask(values: &Tensor, window: usize, q: f64) -> Tensor {
+    difficult_mask_range(values, window, q, 0..values.shape()[0])
+}
+
+/// Like [`difficult_mask`], but the per-sensor quantile threshold is fitted
+/// on (and the mask restricted to) the step range `range` — used to extract
+/// difficult intervals of the *test* region specifically, as the paper's
+/// §V-B evaluation does.
+pub fn difficult_mask_range(
+    values: &Tensor,
+    window: usize,
+    q: f64,
+    range: std::ops::Range<usize>,
+) -> Tensor {
+    assert_eq!(values.rank(), 2, "difficult_mask expects [T, N]");
+    let (t, n) = (values.shape()[0], values.shape()[1]);
+    assert!(range.end <= t && !range.is_empty(), "invalid range {range:?} for {t} steps");
+    let data = values.as_slice();
+    let mut mask = vec![0.0f32; t * n];
+    for i in 0..n {
+        let series = Tensor::from_vec((0..t).map(|k| data[k * n + i]).collect(), &[t]);
+        let ms = moving_std(&series, window);
+        let in_range: Vec<f32> = range.clone().map(|k| ms.at(&[k])).collect();
+        let thresh = quantile(&in_range, q);
+        for k in range.clone() {
+            if ms.at(&[k]) >= thresh {
+                mask[k * n + i] = 1.0;
+            }
+        }
+    }
+    Tensor::from_vec(mask, &[t, n])
+}
+
+/// Contiguous `[start, end)` runs of difficult steps for one sensor —
+/// the blue-shaded intervals of the paper's Fig 3.
+pub fn difficult_runs(mask: &Tensor, node: usize) -> Vec<(usize, usize)> {
+    let (t, n) = (mask.shape()[0], mask.shape()[1]);
+    assert!(node < n);
+    let data = mask.as_slice();
+    let mut runs = Vec::new();
+    let mut start = None;
+    for k in 0..t {
+        let on = data[k * n + node] > 0.5;
+        match (on, start) {
+            (true, None) => start = Some(k),
+            (false, Some(s)) => {
+                runs.push((s, k));
+                start = None;
+            }
+            _ => {}
+        }
+    }
+    if let Some(s) = start {
+        runs.push((s, t));
+    }
+    runs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn moving_std_constant_is_zero() {
+        let s = Tensor::full(&[20], 5.0);
+        let ms = moving_std(&s, 6);
+        assert!(ms.as_slice().iter().all(|&v| v.abs() < 1e-4));
+    }
+
+    #[test]
+    fn moving_std_spikes_on_jump() {
+        let mut v = vec![10.0f32; 30];
+        for x in v.iter_mut().skip(15).take(3) {
+            *x = 0.0; // abrupt drop
+        }
+        let ms = moving_std(&Tensor::from_vec(v, &[30]), 6);
+        // std near the jump must dominate the flat regions
+        let peak = (13..22).map(|i| ms.at(&[i])).fold(0.0f32, f32::max);
+        let flat = ms.at(&[8]);
+        assert!(peak > flat + 1.0, "peak {peak} flat {flat}");
+    }
+
+    #[test]
+    fn moving_std_matches_naive() {
+        let x = Tensor::from_vec(vec![1.0, 4.0, 2.0, 8.0, 5.0, 7.0, 1.0], &[7]);
+        let w = 3;
+        let ms = moving_std(&x, w);
+        for t in 0..7usize {
+            let lo = t.saturating_sub(w - 1);
+            let window: Vec<f32> = (lo..=t).map(|k| x.at(&[k])).collect();
+            let mean: f32 = window.iter().sum::<f32>() / window.len() as f32;
+            let var: f32 =
+                window.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / window.len() as f32;
+            assert!((ms.at(&[t]) - var.sqrt()).abs() < 1e-4, "t={t}");
+        }
+    }
+
+    #[test]
+    fn quantile_endpoints() {
+        let v = [3.0, 1.0, 2.0];
+        assert_eq!(quantile(&v, 0.0), 1.0);
+        assert_eq!(quantile(&v, 1.0), 3.0);
+        assert_eq!(quantile(&v, 0.5), 2.0);
+    }
+
+    #[test]
+    fn difficult_mask_selects_upper_quartile() {
+        // sensor 0 volatile in second half; sensor 1 flat
+        let t = 200;
+        let mut v = vec![0.0f32; t * 2];
+        for k in 0..t {
+            v[k * 2] = if k >= 100 { if k % 2 == 0 { 10.0 } else { 50.0 } } else { 30.0 };
+            v[k * 2 + 1] = 25.0;
+        }
+        let mask = difficult_mask(&Tensor::from_vec(v, &[t, 2]), PAPER_WINDOW, PAPER_QUANTILE);
+        let frac0: f32 =
+            (0..t).map(|k| mask.at(&[k, 0])).sum::<f32>() / t as f32;
+        // roughly a quarter of steps marked, all in the volatile half
+        assert!(frac0 > 0.2 && frac0 < 0.6, "frac {frac0}");
+        let early: f32 = (0..90).map(|k| mask.at(&[k, 0])).sum();
+        assert_eq!(early, 0.0, "flat half should not be difficult");
+    }
+
+    #[test]
+    fn runs_extraction() {
+        let mask = Tensor::from_vec(
+            [0.0, 1.0, 1.0, 0.0, 1.0, 0.0, 1.0, 1.0].iter().flat_map(|&v| [v]).collect(),
+            &[8, 1],
+        );
+        let runs = difficult_runs(&mask, 0);
+        assert_eq!(runs, vec![(1, 3), (4, 5), (6, 8)]);
+    }
+}

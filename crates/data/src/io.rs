@@ -1,0 +1,260 @@
+//! Disk persistence: save/load datasets as CSV so results can be plotted
+//! or compared outside this crate, and simulations can be cached.
+//!
+//! Format (`<name>.csv`):
+//! ```text
+//! # name=<name> task=<speed|flow> weekends=<0|1> nodes=<N>
+//! step,node0,node1,...
+//! 0,62.1,58.3,...
+//! ```
+//! The road network is stored alongside as `<name>.graph.csv` with one
+//! `from,to,distance_km` edge per line after a sensor block.
+
+use std::fs;
+use std::io::{BufRead, BufReader, Write};
+use std::path::Path;
+
+use traffic_graph::RoadNetwork;
+use traffic_tensor::Tensor;
+
+use crate::catalog::Task;
+use crate::dataset::TrafficDataset;
+
+/// Errors from dataset persistence.
+#[derive(Debug)]
+pub enum IoError {
+    /// Underlying filesystem error.
+    Io(std::io::Error),
+    /// The file did not match the expected format.
+    Format(String),
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "io error: {e}"),
+            IoError::Format(m) => write!(f, "format error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+impl From<std::io::Error> for IoError {
+    fn from(e: std::io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+
+/// Writes the dataset's values and network to `dir` as
+/// `<name>.csv` + `<name>.graph.csv`. Returns the value-file path.
+pub fn save_dataset(dataset: &TrafficDataset, dir: &Path) -> Result<std::path::PathBuf, IoError> {
+    fs::create_dir_all(dir)?;
+    let stem = dataset.name.replace(['/', ' '], "_");
+    let values_path = dir.join(format!("{stem}.csv"));
+    let graph_path = dir.join(format!("{stem}.graph.csv"));
+
+    let mut f = fs::File::create(&values_path)?;
+    writeln!(
+        f,
+        "# name={} task={} weekends={} nodes={}",
+        dataset.name,
+        dataset.task,
+        u8::from(dataset.includes_weekends),
+        dataset.num_nodes()
+    )?;
+    let n = dataset.num_nodes();
+    let header: Vec<String> = (0..n).map(|i| format!("node{i}")).collect();
+    writeln!(f, "step,{}", header.join(","))?;
+    let data = dataset.values.as_slice();
+    for t in 0..dataset.num_steps() {
+        let row: Vec<String> = (0..n).map(|i| format!("{}", data[t * n + i])).collect();
+        writeln!(f, "{t},{}", row.join(","))?;
+    }
+
+    let mut g = fs::File::create(&graph_path)?;
+    writeln!(g, "# sensors id,x,y then edges from,to,distance_km")?;
+    writeln!(g, "[sensors]")?;
+    for s in dataset.network.sensors() {
+        writeln!(g, "{},{},{}", s.id, s.x, s.y)?;
+    }
+    writeln!(g, "[edges]")?;
+    for e in dataset.network.edges() {
+        writeln!(g, "{},{},{}", e.from, e.to, e.distance_km)?;
+    }
+    Ok(values_path)
+}
+
+/// Loads a dataset previously written by [`save_dataset`].
+pub fn load_dataset(values_path: &Path) -> Result<TrafficDataset, IoError> {
+    let f = fs::File::open(values_path)?;
+    let mut lines = BufReader::new(f).lines();
+    let meta = lines
+        .next()
+        .ok_or_else(|| IoError::Format("empty file".into()))??;
+    if !meta.starts_with("# ") {
+        return Err(IoError::Format("missing metadata line".into()));
+    }
+    let mut name = String::new();
+    let mut task = Task::Speed;
+    let mut weekends = true;
+    let mut nodes = 0usize;
+    for kv in meta.trim_start_matches("# ").split_whitespace() {
+        let (k, v) = kv
+            .split_once('=')
+            .ok_or_else(|| IoError::Format(format!("bad metadata entry {kv}")))?;
+        match k {
+            "name" => name = v.to_string(),
+            "task" => {
+                task = match v {
+                    "speed" => Task::Speed,
+                    "flow" => Task::Flow,
+                    other => return Err(IoError::Format(format!("unknown task {other}"))),
+                }
+            }
+            "weekends" => weekends = v == "1",
+            "nodes" => {
+                nodes = v
+                    .parse()
+                    .map_err(|_| IoError::Format(format!("bad node count {v}")))?
+            }
+            _ => {}
+        }
+    }
+    let _header = lines.next().ok_or_else(|| IoError::Format("missing header".into()))??;
+    let mut values = Vec::new();
+    let mut steps = 0usize;
+    for line in lines {
+        let line = line?;
+        if line.is_empty() {
+            continue;
+        }
+        let mut cols = line.split(',');
+        let _step = cols.next();
+        for c in cols {
+            values.push(
+                c.parse::<f32>()
+                    .map_err(|_| IoError::Format(format!("bad value {c}")))?,
+            );
+        }
+        steps += 1;
+    }
+    if nodes == 0 || values.len() != steps * nodes {
+        return Err(IoError::Format(format!(
+            "value count {} does not match {steps} steps × {nodes} nodes",
+            values.len()
+        )));
+    }
+    // Network sidecar.
+    let graph_path = values_path.with_extension("").with_extension("graph.csv");
+    let network = if graph_path.exists() {
+        load_network(&graph_path)?
+    } else {
+        // Degenerate fallback: isolated sensors on a line.
+        let mut net = RoadNetwork::new();
+        for i in 0..nodes {
+            net.add_sensor(i as u32, i as f64, 0.0);
+        }
+        net
+    };
+    Ok(TrafficDataset {
+        name,
+        task,
+        network,
+        values: Tensor::from_vec(values, &[steps, nodes]),
+        includes_weekends: weekends,
+    })
+}
+
+fn load_network(path: &Path) -> Result<RoadNetwork, IoError> {
+    let f = fs::File::open(path)?;
+    let mut net = RoadNetwork::new();
+    let mut in_edges = false;
+    for line in BufReader::new(f).lines() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        match line {
+            "[sensors]" => in_edges = false,
+            "[edges]" => in_edges = true,
+            _ => {
+                let cols: Vec<&str> = line.split(',').collect();
+                if cols.len() != 3 {
+                    return Err(IoError::Format(format!("bad graph line: {line}")));
+                }
+                if in_edges {
+                    let from = cols[0].parse().map_err(|_| IoError::Format(line.into()))?;
+                    let to = cols[1].parse().map_err(|_| IoError::Format(line.into()))?;
+                    let d = cols[2].parse().map_err(|_| IoError::Format(line.into()))?;
+                    net.add_edge(from, to, d);
+                } else {
+                    let id = cols[0].parse().map_err(|_| IoError::Format(line.into()))?;
+                    let x = cols[1].parse().map_err(|_| IoError::Format(line.into()))?;
+                    let y = cols[2].parse().map_err(|_| IoError::Format(line.into()))?;
+                    net.add_sensor(id, x, y);
+                }
+            }
+        }
+    }
+    Ok(net)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simulate::{simulate, SimConfig};
+
+    fn tmpdir(tag: &str) -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!("traffic_io_{tag}_{}", std::process::id()));
+        fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let ds = simulate(&SimConfig::new("rt", Task::Speed, 5, 4));
+        let dir = tmpdir("roundtrip");
+        let path = save_dataset(&ds, &dir).unwrap();
+        let back = load_dataset(&path).unwrap();
+        assert_eq!(back.name, ds.name);
+        assert_eq!(back.task, ds.task);
+        assert_eq!(back.includes_weekends, ds.includes_weekends);
+        assert_eq!(back.num_nodes(), ds.num_nodes());
+        assert_eq!(back.num_steps(), ds.num_steps());
+        for (a, b) in back.values.as_slice().iter().zip(ds.values.as_slice()) {
+            assert!((a - b).abs() < 1e-4);
+        }
+        assert_eq!(back.network.num_edges(), ds.network.num_edges());
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn flow_task_roundtrip() {
+        let ds = simulate(&SimConfig::new("flowrt", Task::Flow, 4, 4));
+        let dir = tmpdir("flow");
+        let path = save_dataset(&ds, &dir).unwrap();
+        let back = load_dataset(&path).unwrap();
+        assert_eq!(back.task, Task::Flow);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn load_rejects_garbage() {
+        let dir = tmpdir("garbage");
+        let p = dir.join("bad.csv");
+        fs::write(&p, "not a dataset\n1,2,3\n").unwrap();
+        assert!(load_dataset(&p).is_err());
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn load_rejects_inconsistent_counts() {
+        let dir = tmpdir("counts");
+        let p = dir.join("bad.csv");
+        fs::write(&p, "# name=x task=speed weekends=1 nodes=3\nstep,a,b,c\n0,1,2\n").unwrap();
+        assert!(matches!(load_dataset(&p), Err(IoError::Format(_))));
+        fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,28 @@
+//! # traffic-data
+//!
+//! Data layer for the reproduction: the seven-dataset catalog of the
+//! paper's Table I, a synthetic PeMS-like traffic simulator standing in
+//! for the proprietary downloads, normalisation (z-score values, min-max
+//! timestamps), `T' = T = 12` sliding windows over a chronological 7:1:2
+//! split, mini-batching, and the difficult-interval extraction of §V-B
+//! (30-minute moving std, upper 25%).
+
+pub mod catalog;
+pub mod dataset;
+pub mod intervals;
+pub mod io;
+pub mod loader;
+pub mod normalize;
+pub mod simulate;
+pub mod split;
+pub mod window;
+
+pub use catalog::{dataset_info, flow_datasets, speed_datasets, DatasetInfo, Task, Topology, DATASETS};
+pub use dataset::{TrafficDataset, STEPS_PER_DAY};
+pub use io::{load_dataset, save_dataset, IoError};
+pub use intervals::{difficult_mask, difficult_mask_range, difficult_runs, moving_std, quantile, PAPER_QUANTILE, PAPER_WINDOW};
+pub use loader::{batches, Batch};
+pub use normalize::{MinMax, ZScore};
+pub use simulate::{inject_incident, simulate, SimConfig};
+pub use split::{chronological_split, paper_split, rolling_origin_splits, SplitRanges};
+pub use window::{prepare, prepare_with_split, PreparedData, WindowedData};

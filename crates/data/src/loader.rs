@@ -1,0 +1,94 @@
+//! Mini-batch iteration over windowed samples.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use traffic_tensor::Tensor;
+
+use crate::window::WindowedData;
+
+/// One mini-batch.
+pub struct Batch {
+    /// Inputs `[B, T_in, N, 2]`.
+    pub x: Tensor,
+    /// Raw-scale targets `[B, T_out, N]`.
+    pub y_raw: Tensor,
+    /// Z-scored targets `[B, T_out, N]`.
+    pub y_norm: Tensor,
+    /// Sample indices composing this batch.
+    pub indices: Vec<usize>,
+}
+
+/// Iterates `data` in mini-batches of `batch_size`, optionally shuffled.
+/// The final short batch is kept (not dropped).
+pub fn batches<'a>(
+    data: &'a WindowedData,
+    batch_size: usize,
+    shuffle: Option<&mut impl Rng>,
+) -> impl Iterator<Item = Batch> + 'a {
+    assert!(batch_size > 0);
+    let mut order: Vec<usize> = (0..data.len()).collect();
+    if let Some(rng) = shuffle {
+        order.shuffle(rng);
+    }
+    let chunks: Vec<Vec<usize>> =
+        order.chunks(batch_size).map(|c| c.to_vec()).collect();
+    chunks.into_iter().map(move |indices| Batch {
+        x: data.x.index_select0(&indices),
+        y_raw: data.y_raw.index_select0(&indices),
+        y_norm: data.y_norm.index_select0(&indices),
+        indices,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::Task;
+    use crate::simulate::{simulate, SimConfig};
+    use crate::window::prepare;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn data() -> WindowedData {
+        let d = simulate(&SimConfig::new("b", Task::Speed, 4, 4));
+        prepare(&d, 6, 6).val
+    }
+
+    #[test]
+    fn covers_all_samples_once() {
+        let w = data();
+        let total: usize =
+            batches(&w, 16, None::<&mut StdRng>).map(|b| b.indices.len()).sum();
+        assert_eq!(total, w.len());
+    }
+
+    #[test]
+    fn batch_shapes() {
+        let w = data();
+        let b = batches(&w, 8, None::<&mut StdRng>).next().unwrap();
+        assert_eq!(b.x.shape(), &[8, 6, 4, 2]);
+        assert_eq!(b.y_raw.shape(), &[8, 6, 4]);
+        assert_eq!(b.y_norm.shape(), &[8, 6, 4]);
+    }
+
+    #[test]
+    fn shuffle_changes_order_not_content() {
+        let w = data();
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut seen: Vec<usize> =
+            batches(&w, 4, Some(&mut rng)).flat_map(|b| b.indices).collect();
+        let unshuffled: Vec<usize> = (0..w.len()).collect();
+        assert_ne!(seen, unshuffled, "shuffle should permute");
+        seen.sort_unstable();
+        assert_eq!(seen, unshuffled, "every sample exactly once");
+    }
+
+    #[test]
+    fn short_final_batch_kept() {
+        let w = data();
+        let batch_size = w.len() - 1;
+        let sizes: Vec<usize> =
+            batches(&w, batch_size, None::<&mut StdRng>).map(|b| b.indices.len()).collect();
+        assert_eq!(sizes, vec![batch_size, 1]);
+    }
+}

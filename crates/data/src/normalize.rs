@@ -1,0 +1,121 @@
+//! Normalisation: z-score for traffic values, min-max for timestamps
+//! (paper §V).
+
+use traffic_tensor::Tensor;
+
+/// Z-score scaler fitted on training data only.
+#[derive(Debug, Clone, Copy)]
+pub struct ZScore {
+    /// Fitted mean.
+    pub mean: f32,
+    /// Fitted standard deviation (clamped away from zero).
+    pub std: f32,
+}
+
+impl ZScore {
+    /// Fits on the non-missing (non-zero) entries of `data`, matching how
+    /// the reference implementations fit on valid observations.
+    pub fn fit(data: &Tensor) -> Self {
+        let valid: Vec<f32> = data.as_slice().iter().copied().filter(|&v| v != 0.0).collect();
+        if valid.is_empty() {
+            return ZScore { mean: 0.0, std: 1.0 };
+        }
+        let mean = valid.iter().sum::<f32>() / valid.len() as f32;
+        let var = valid.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / valid.len() as f32;
+        ZScore { mean, std: var.sqrt().max(1e-6) }
+    }
+
+    /// `(x - mean) / std`.
+    pub fn transform(&self, data: &Tensor) -> Tensor {
+        data.map(|v| (v - self.mean) / self.std)
+    }
+
+    /// `x * std + mean`.
+    pub fn inverse(&self, data: &Tensor) -> Tensor {
+        data.map(|v| v * self.std + self.mean)
+    }
+}
+
+/// Min-max scaler to `[0, 1]`.
+#[derive(Debug, Clone, Copy)]
+pub struct MinMax {
+    /// Fitted minimum.
+    pub min: f32,
+    /// Fitted maximum.
+    pub max: f32,
+}
+
+impl MinMax {
+    /// Fits on all entries.
+    pub fn fit(data: &Tensor) -> Self {
+        MinMax { min: data.min_all(), max: data.max_all() }
+    }
+
+    /// Scales into `[0, 1]` (constant data maps to 0).
+    pub fn transform(&self, data: &Tensor) -> Tensor {
+        let range = (self.max - self.min).max(1e-9);
+        let min = self.min;
+        data.map(|v| (v - min) / range)
+    }
+
+    /// Inverse transform.
+    pub fn inverse(&self, data: &Tensor) -> Tensor {
+        let range = (self.max - self.min).max(1e-9);
+        let min = self.min;
+        data.map(|v| v * range + min)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zscore_roundtrip() {
+        let x = Tensor::from_vec(vec![50.0, 60.0, 70.0, 65.0], &[4]);
+        let s = ZScore::fit(&x);
+        let z = s.transform(&x);
+        assert!(z.mean_all().abs() < 1e-5);
+        let back = s.inverse(&z);
+        for (a, b) in back.as_slice().iter().zip(x.as_slice()) {
+            assert!((a - b).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn zscore_ignores_missing_zeros() {
+        let with_missing = Tensor::from_vec(vec![60.0, 0.0, 70.0, 0.0], &[4]);
+        let clean = Tensor::from_vec(vec![60.0, 70.0], &[2]);
+        let a = ZScore::fit(&with_missing);
+        let b = ZScore::fit(&clean);
+        assert!((a.mean - b.mean).abs() < 1e-5);
+        assert!((a.std - b.std).abs() < 1e-5);
+    }
+
+    #[test]
+    fn zscore_degenerate_data() {
+        let s = ZScore::fit(&Tensor::zeros(&[5]));
+        assert_eq!(s.mean, 0.0);
+        assert_eq!(s.std, 1.0);
+        let c = ZScore::fit(&Tensor::full(&[5], 3.0));
+        assert!(c.std >= 1e-6); // no division blowup
+    }
+
+    #[test]
+    fn minmax_unit_interval() {
+        let x = Tensor::from_vec(vec![2.0, 4.0, 6.0], &[3]);
+        let s = MinMax::fit(&x);
+        let y = s.transform(&x);
+        assert_eq!(y.as_slice(), &[0.0, 0.5, 1.0]);
+        let back = s.inverse(&y);
+        assert_eq!(back.as_slice(), x.as_slice());
+    }
+
+    #[test]
+    fn minmax_constant_data() {
+        let x = Tensor::full(&[3], 5.0);
+        let s = MinMax::fit(&x);
+        let y = s.transform(&x);
+        assert!(y.as_slice().iter().all(|&v| v == 0.0));
+    }
+}

@@ -1,0 +1,104 @@
+//! Chronological train/validation/test splitting (paper §V: 7:1:2).
+
+use std::ops::Range;
+
+/// Step ranges for train / validation / test.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SplitRanges {
+    /// Training steps.
+    pub train: Range<usize>,
+    /// Validation steps.
+    pub val: Range<usize>,
+    /// Test steps.
+    pub test: Range<usize>,
+}
+
+/// Splits `total` steps chronologically by the given fractions.
+/// The test range takes whatever remains, so the three ranges always tile
+/// `0..total` exactly.
+pub fn chronological_split(total: usize, train_frac: f64, val_frac: f64) -> SplitRanges {
+    assert!(train_frac > 0.0 && val_frac >= 0.0 && train_frac + val_frac < 1.0);
+    let train_end = (total as f64 * train_frac).round() as usize;
+    let val_end = (total as f64 * (train_frac + val_frac)).round() as usize;
+    SplitRanges { train: 0..train_end, val: train_end..val_end, test: val_end..total }
+}
+
+/// The paper's 7:1:2 split.
+pub fn paper_split(total: usize) -> SplitRanges {
+    chronological_split(total, 0.7, 0.1)
+}
+
+/// Rolling-origin evaluation splits (time-series cross-validation): `k`
+/// folds, each training on everything before its validation block and
+/// testing on the block after it. An extension beyond the paper's single
+/// 7:1:2 split, useful for variance estimates on small simulated datasets.
+pub fn rolling_origin_splits(total: usize, k: usize, min_train_frac: f64) -> Vec<SplitRanges> {
+    assert!(k >= 1, "need at least one fold");
+    assert!((0.0..1.0).contains(&min_train_frac));
+    let first_train_end = (total as f64 * min_train_frac).round() as usize;
+    let remaining = total - first_train_end;
+    let block = remaining / (k + 1);
+    assert!(block > 0, "total {total} too small for {k} rolling folds");
+    (0..k)
+        .map(|i| {
+            let train_end = first_train_end + i * block;
+            SplitRanges {
+                train: 0..train_end,
+                val: train_end..train_end + block,
+                test: train_end + block..(train_end + 2 * block).min(total),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiles_completely() {
+        let s = paper_split(1000);
+        assert_eq!(s.train, 0..700);
+        assert_eq!(s.val, 700..800);
+        assert_eq!(s.test, 800..1000);
+    }
+
+    #[test]
+    fn no_overlap_any_total() {
+        for total in [10, 123, 288, 999, 12345] {
+            let s = paper_split(total);
+            assert_eq!(s.train.end, s.val.start);
+            assert_eq!(s.val.end, s.test.start);
+            assert_eq!(s.test.end, total);
+        }
+    }
+
+    #[test]
+    fn rolling_origin_monotone() {
+        let folds = rolling_origin_splits(1000, 3, 0.5);
+        assert_eq!(folds.len(), 3);
+        for (i, f) in folds.iter().enumerate() {
+            assert_eq!(f.train.start, 0);
+            assert_eq!(f.train.end, f.val.start);
+            assert_eq!(f.val.end, f.test.start);
+            assert!(f.test.end <= 1000);
+            if i > 0 {
+                assert!(f.train.end > folds[i - 1].train.end, "training set must grow");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "too small")]
+    fn rolling_origin_rejects_tiny_series() {
+        rolling_origin_splits(10, 20, 0.5);
+    }
+
+    #[test]
+    fn custom_fractions() {
+        let s = chronological_split(100, 0.5, 0.25);
+        assert_eq!(s.train.len(), 50);
+        assert_eq!(s.val.len(), 25);
+        assert_eq!(s.test.len(), 25);
+    }
+}

@@ -1,0 +1,249 @@
+//! Sliding-window sample construction: `T' = 12` historical steps in,
+//! `T = 12` future steps out (paper §V), with the two input features the
+//! paper uses — the z-scored traffic value and the min-max-normalised
+//! time-of-day.
+
+use traffic_tensor::Tensor;
+
+use crate::dataset::TrafficDataset;
+use crate::normalize::ZScore;
+use crate::split::{paper_split, SplitRanges};
+
+/// Windowed samples for one split.
+#[derive(Clone)]
+pub struct WindowedData {
+    /// Inputs `[S, T_in, N, 2]`: features are (z-scored value, time-of-day).
+    pub x: Tensor,
+    /// Targets on the original scale `[S, T_out, N]` (missing = 0).
+    pub y_raw: Tensor,
+    /// Z-scored targets `[S, T_out, N]`.
+    pub y_norm: Tensor,
+    /// For each sample, the absolute step index of its first target step
+    /// in the source series (used by the difficult-interval evaluation).
+    pub target_start: Vec<usize>,
+}
+
+impl WindowedData {
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.x.shape()[0]
+    }
+
+    /// True when the split produced no samples.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Keeps only the first `n` samples (CPU-budget knob for evaluation).
+    /// A no-op when `n >= len`.
+    pub fn truncate(&self, n: usize) -> WindowedData {
+        if n >= self.len() {
+            return self.clone();
+        }
+        WindowedData {
+            x: self.x.narrow(0, 0, n),
+            y_raw: self.y_raw.narrow(0, 0, n),
+            y_norm: self.y_norm.narrow(0, 0, n),
+            target_start: self.target_start[..n].to_vec(),
+        }
+    }
+
+    /// Keeps every `k`-th sample starting at 0 (spreads a budget across the
+    /// whole split instead of only its head).
+    pub fn stride(&self, k: usize) -> WindowedData {
+        assert!(k >= 1);
+        if k == 1 {
+            return self.clone();
+        }
+        let idx: Vec<usize> = (0..self.len()).step_by(k).collect();
+        WindowedData {
+            x: self.x.index_select0(&idx),
+            y_raw: self.y_raw.index_select0(&idx),
+            y_norm: self.y_norm.index_select0(&idx),
+            target_start: idx.iter().map(|&i| self.target_start[i]).collect(),
+        }
+    }
+}
+
+/// A fully prepared dataset: scaler fit on train, three windowed splits.
+pub struct PreparedData {
+    /// Z-score scaler fitted on the training range only.
+    pub scaler: ZScore,
+    /// Training samples.
+    pub train: WindowedData,
+    /// Validation samples.
+    pub val: WindowedData,
+    /// Test samples.
+    pub test: WindowedData,
+    /// Input horizon.
+    pub t_in: usize,
+    /// Output horizon.
+    pub t_out: usize,
+    /// Number of sensors.
+    pub nodes: usize,
+}
+
+/// Builds windows entirely contained in `range` of the series.
+fn window_range(
+    dataset: &TrafficDataset,
+    scaler: &ZScore,
+    range: std::ops::Range<usize>,
+    t_in: usize,
+    t_out: usize,
+) -> WindowedData {
+    let n = dataset.num_nodes();
+    let tod = dataset.time_of_day();
+    let values = dataset.values.as_slice();
+    let span = t_in + t_out;
+    let count = range.len().saturating_sub(span - 1);
+    let mut x = Vec::with_capacity(count * t_in * n * 2);
+    let mut y_raw = Vec::with_capacity(count * t_out * n);
+    let mut y_norm = Vec::with_capacity(count * t_out * n);
+    let mut target_start = Vec::with_capacity(count);
+    for s in 0..count {
+        let start = range.start + s;
+        for dt in 0..t_in {
+            let t = start + dt;
+            let tv = tod.at(&[t]);
+            for i in 0..n {
+                let v = values[t * n + i];
+                x.push((v - scaler.mean) / scaler.std);
+                x.push(tv);
+            }
+        }
+        for dt in 0..t_out {
+            let t = start + t_in + dt;
+            for i in 0..n {
+                let v = values[t * n + i];
+                y_raw.push(v);
+                y_norm.push((v - scaler.mean) / scaler.std);
+            }
+        }
+        target_start.push(start + t_in);
+    }
+    WindowedData {
+        x: Tensor::from_vec(x, &[count, t_in, n, 2]),
+        y_raw: Tensor::from_vec(y_raw, &[count, t_out, n]),
+        y_norm: Tensor::from_vec(y_norm, &[count, t_out, n]),
+        target_start,
+    }
+}
+
+/// Prepares a dataset with the paper's 7:1:2 split and `T' = T = 12`
+/// windows (both configurable).
+pub fn prepare(dataset: &TrafficDataset, t_in: usize, t_out: usize) -> PreparedData {
+    prepare_with_split(dataset, t_in, t_out, paper_split(dataset.num_steps()))
+}
+
+/// Prepares a dataset with an explicit split.
+pub fn prepare_with_split(
+    dataset: &TrafficDataset,
+    t_in: usize,
+    t_out: usize,
+    split: SplitRanges,
+) -> PreparedData {
+    assert!(t_in >= 1 && t_out >= 1);
+    let train_values = dataset.values.narrow(0, split.train.start, split.train.len());
+    let scaler = ZScore::fit(&train_values);
+    PreparedData {
+        train: window_range(dataset, &scaler, split.train.clone(), t_in, t_out),
+        val: window_range(dataset, &scaler, split.val.clone(), t_in, t_out),
+        test: window_range(dataset, &scaler, split.test.clone(), t_in, t_out),
+        scaler,
+        t_in,
+        t_out,
+        nodes: dataset.num_nodes(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::Task;
+    use crate::simulate::{simulate, SimConfig};
+
+    fn tiny() -> TrafficDataset {
+        simulate(&SimConfig::new("w", Task::Speed, 6, 4))
+    }
+
+    #[test]
+    fn shapes() {
+        let d = tiny();
+        let p = prepare(&d, 12, 12);
+        assert_eq!(p.train.x.shape()[1..], [12, 6, 2]);
+        assert_eq!(p.train.y_raw.shape()[1..], [12, 6]);
+        // count = range_len - (t_in + t_out) + 1
+        let expect = (d.num_steps() * 7 / 10) - 23;
+        assert_eq!(p.train.len(), expect);
+        assert_eq!(p.train.target_start.len(), p.train.len());
+    }
+
+    #[test]
+    fn splits_do_not_leak() {
+        let d = tiny();
+        let p = prepare(&d, 12, 12);
+        // Last train window's final target step < first val window's input start.
+        let train_last_target = *p.train.target_start.last().unwrap() + 11;
+        let val_first_input = p.val.target_start[0] - 12;
+        assert!(train_last_target < val_first_input + 12 + 12);
+        // Stronger: train windows stay inside the train range.
+        let split = paper_split(d.num_steps());
+        assert!(train_last_target < split.train.end);
+        assert!(val_first_input >= split.val.start);
+    }
+
+    #[test]
+    fn normalized_input_matches_scaler() {
+        let d = tiny();
+        let p = prepare(&d, 3, 2);
+        let raw0 = d.values.at(&[0, 0]);
+        let got = p.train.x.at(&[0, 0, 0, 0]);
+        let expect = (raw0 - p.scaler.mean) / p.scaler.std;
+        assert!((got - expect).abs() < 1e-5);
+    }
+
+    #[test]
+    fn tod_feature_in_unit_interval() {
+        let d = tiny();
+        let p = prepare(&d, 12, 12);
+        let x = p.train.x.as_slice();
+        // feature 1 of every (s, t, n)
+        let mut i = 1;
+        while i < x.len() {
+            assert!((0.0..1.0).contains(&x[i]));
+            i += 2;
+        }
+    }
+
+    #[test]
+    fn y_norm_consistent_with_y_raw() {
+        let d = tiny();
+        let p = prepare(&d, 4, 4);
+        let s = p.scaler;
+        for idx in [0usize, 5, 10] {
+            let raw = p.test.y_raw.at(&[idx, 0, 0]);
+            let norm = p.test.y_norm.at(&[idx, 0, 0]);
+            assert!(((raw - s.mean) / s.std - norm).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn target_start_points_at_source() {
+        let d = tiny();
+        let p = prepare(&d, 4, 4);
+        let s0 = p.test.target_start[0];
+        let from_dataset = d.values.at(&[s0, 2]);
+        let from_window = p.test.y_raw.at(&[0, 0, 2]);
+        assert_eq!(from_dataset, from_window);
+    }
+
+    #[test]
+    fn short_range_produces_empty_split() {
+        let d = tiny();
+        // t_in + t_out bigger than the val split => empty val is fine
+        let split = SplitRanges { train: 0..900, val: 900..910, test: 910..d.num_steps() };
+        let p = prepare_with_split(&d, 12, 12, split);
+        assert!(p.val.is_empty());
+        assert!(!p.train.is_empty());
+    }
+}

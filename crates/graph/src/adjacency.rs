@@ -1,0 +1,176 @@
+//! Adjacency-matrix construction, following the paper's Section IV-B:
+//! `W_ij = exp(−dist_ij² / σ²)` with `σ` the standard deviation of the
+//! pairwise road distances, thresholded to keep the matrix sparse.
+
+use traffic_tensor::Tensor;
+
+use crate::network::RoadNetwork;
+
+/// Builds the Gaussian-kernel weighted adjacency `[N, N]` from directed
+/// edge distances. Entries below `threshold` are zeroed (DCRNN uses 0.1).
+/// The diagonal is set to 1 (self connections).
+///
+/// The kernel bandwidth `σ` is the RMS edge distance. (DCRNN's σ is the
+/// std of its dense pairwise distance matrix, which is on the order of the
+/// typical distance; using the std of *edge* distances alone would
+/// degenerate to ~0 on uniformly spaced corridors and zero out every edge.)
+pub fn gaussian_adjacency(net: &RoadNetwork, threshold: f32) -> Tensor {
+    let n = net.num_nodes();
+    let dists: Vec<f64> = net.edges().iter().map(|e| e.distance_km).collect();
+    let sigma = if dists.is_empty() {
+        1e-9
+    } else {
+        (dists.iter().map(|d| d * d).sum::<f64>() / dists.len() as f64).sqrt().max(1e-9)
+    };
+    let mut w = Tensor::zeros(&[n, n]);
+    {
+        let buf = w.make_mut();
+        for e in net.edges() {
+            let v = (-(e.distance_km * e.distance_km) / (sigma * sigma)).exp() as f32;
+            if v >= threshold {
+                buf[e.from * n + e.to] = v;
+            }
+        }
+        for i in 0..n {
+            buf[i * n + i] = 1.0;
+        }
+    }
+    w
+}
+
+/// Binary (0/1) adjacency with self-loops.
+pub fn binary_adjacency(net: &RoadNetwork) -> Tensor {
+    let n = net.num_nodes();
+    let mut a = Tensor::zeros(&[n, n]);
+    {
+        let buf = a.make_mut();
+        for e in net.edges() {
+            buf[e.from * n + e.to] = 1.0;
+        }
+        for i in 0..n {
+            buf[i * n + i] = 1.0;
+        }
+    }
+    a
+}
+
+/// Makes a directed adjacency symmetric by taking `max(A, Aᵀ)`.
+pub fn symmetrize(a: &Tensor) -> Tensor {
+    let n = a.shape()[0];
+    assert_eq!(a.shape(), &[n, n]);
+    let mut out = a.clone();
+    {
+        let buf = out.make_mut();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let m = buf[i * n + j].max(buf[j * n + i]);
+                buf[i * n + j] = m;
+                buf[j * n + i] = m;
+            }
+        }
+    }
+    out
+}
+
+/// Row-normalises a non-negative matrix into a random-walk transition
+/// matrix `P = D⁻¹ A`. All-zero rows stay zero.
+pub fn row_normalize(a: &Tensor) -> Tensor {
+    let n = a.shape()[0];
+    assert_eq!(a.shape(), &[n, n]);
+    let mut out = a.clone();
+    {
+        let buf = out.make_mut();
+        for i in 0..n {
+            let row_sum: f32 = buf[i * n..(i + 1) * n].iter().sum();
+            if row_sum > 0.0 {
+                for v in &mut buf[i * n..(i + 1) * n] {
+                    *v /= row_sum;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Population standard deviation of a slice.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+    (xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / xs.len() as f64).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path3() -> RoadNetwork {
+        let mut net = RoadNetwork::new();
+        for i in 0..3 {
+            net.add_sensor(i, i as f64, 0.0);
+        }
+        net.add_edge(0, 1, 1.0);
+        net.add_edge(1, 2, 2.0);
+        net.add_edge(2, 1, 2.0);
+        net
+    }
+
+    #[test]
+    fn gaussian_weights_decay_with_distance() {
+        let net = path3();
+        let w = gaussian_adjacency(&net, 0.0);
+        assert!(w.at(&[0, 1]) > w.at(&[1, 2]), "closer edge should weigh more");
+        assert_eq!(w.at(&[0, 2]), 0.0, "non-edges stay zero");
+        assert_eq!(w.at(&[0, 0]), 1.0, "self loops");
+    }
+
+    #[test]
+    fn threshold_sparsifies() {
+        let net = path3();
+        let dense = gaussian_adjacency(&net, 0.0);
+        let sparse = gaussian_adjacency(&net, 0.9);
+        let nnz = |t: &Tensor| t.as_slice().iter().filter(|&&v| v != 0.0).count();
+        assert!(nnz(&sparse) < nnz(&dense));
+    }
+
+    #[test]
+    fn binary_is_zero_one() {
+        let a = binary_adjacency(&path3());
+        assert!(a.as_slice().iter().all(|&v| v == 0.0 || v == 1.0));
+        assert_eq!(a.at(&[1, 2]), 1.0);
+        assert_eq!(a.at(&[2, 0]), 0.0);
+    }
+
+    #[test]
+    fn symmetrize_max() {
+        let a = binary_adjacency(&path3());
+        let s = symmetrize(&a);
+        assert_eq!(s.at(&[1, 0]), 1.0); // reverse of 0->1 added
+        assert_eq!(s, symmetrize(&s)); // idempotent
+    }
+
+    #[test]
+    fn row_normalize_stochastic() {
+        let a = gaussian_adjacency(&path3(), 0.0);
+        let p = row_normalize(&a);
+        let n = 3;
+        for i in 0..n {
+            let sum: f32 = (0..n).map(|j| p.at(&[i, j])).sum();
+            assert!((sum - 1.0).abs() < 1e-5, "row {i} sums to {sum}");
+        }
+    }
+
+    #[test]
+    fn row_normalize_keeps_zero_rows() {
+        let a = Tensor::zeros(&[2, 2]);
+        let p = row_normalize(&a);
+        assert_eq!(p.as_slice(), &[0.0; 4]);
+    }
+
+    #[test]
+    fn std_dev_basic() {
+        assert!((std_dev(&[1.0, 3.0]) - 1.0).abs() < 1e-12);
+        assert_eq!(std_dev(&[]), 0.0);
+    }
+}

@@ -1,0 +1,154 @@
+//! Small dense symmetric eigensolver (cyclic Jacobi rotations).
+//!
+//! Used for the rescaled Chebyshev Laplacian (λmax) and for the spectral
+//! node embeddings that substitute GMAN's node2vec (see DESIGN.md §2).
+//! O(N³) per sweep — fine for the few-hundred-node networks in this study.
+
+use traffic_tensor::Tensor;
+
+/// Eigen decomposition of a symmetric matrix.
+pub struct SymEigen {
+    /// Eigenvalues in ascending order.
+    pub values: Vec<f32>,
+    /// Eigenvectors as rows, aligned with `values` (`vectors[k]` is the
+    /// eigenvector of `values[k]`).
+    pub vectors: Vec<Vec<f32>>,
+}
+
+/// Jacobi eigenvalue iteration on a symmetric `[N, N]` tensor.
+///
+/// `sweeps` full cyclic sweeps (8 is plenty for graph Laplacians).
+pub fn sym_eigen(a: &Tensor, sweeps: usize) -> SymEigen {
+    let n = a.shape()[0];
+    assert_eq!(a.shape(), &[n, n], "sym_eigen expects a square matrix");
+    let mut m: Vec<f64> = a.as_slice().iter().map(|&v| v as f64).collect();
+    // Accumulate rotations in v (row-major identity).
+    let mut v = vec![0.0f64; n * n];
+    for i in 0..n {
+        v[i * n + i] = 1.0;
+    }
+    for _ in 0..sweeps {
+        let mut off = 0.0f64;
+        for p in 0..n {
+            for q in (p + 1)..n {
+                off += m[p * n + q].abs();
+            }
+        }
+        if off < 1e-12 {
+            break;
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = m[p * n + q];
+                if apq.abs() < 1e-14 {
+                    continue;
+                }
+                let app = m[p * n + p];
+                let aqq = m[q * n + q];
+                let theta = (aqq - app) / (2.0 * apq);
+                let t = theta.signum() / (theta.abs() + (theta * theta + 1.0).sqrt());
+                let c = 1.0 / (t * t + 1.0).sqrt();
+                let s = t * c;
+                // Rotate rows/columns p and q of m.
+                for k in 0..n {
+                    let mkp = m[k * n + p];
+                    let mkq = m[k * n + q];
+                    m[k * n + p] = c * mkp - s * mkq;
+                    m[k * n + q] = s * mkp + c * mkq;
+                }
+                for k in 0..n {
+                    let mpk = m[p * n + k];
+                    let mqk = m[q * n + k];
+                    m[p * n + k] = c * mpk - s * mqk;
+                    m[q * n + k] = s * mpk + c * mqk;
+                }
+                // Accumulate eigenvectors (columns of V).
+                for k in 0..n {
+                    let vkp = v[k * n + p];
+                    let vkq = v[k * n + q];
+                    v[k * n + p] = c * vkp - s * vkq;
+                    v[k * n + q] = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+    let mut pairs: Vec<(f32, Vec<f32>)> = (0..n)
+        .map(|k| {
+            let val = m[k * n + k] as f32;
+            let vec: Vec<f32> = (0..n).map(|i| v[i * n + k] as f32).collect();
+            (val, vec)
+        })
+        .collect();
+    pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+    SymEigen {
+        values: pairs.iter().map(|(v, _)| *v).collect(),
+        vectors: pairs.into_iter().map(|(_, v)| v).collect(),
+    }
+}
+
+/// Largest eigenvalue of a symmetric matrix (convenience wrapper).
+pub fn max_eigenvalue(a: &Tensor, sweeps: usize) -> f32 {
+    *sym_eigen(a, sweeps).values.last().expect("empty matrix")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diagonal_matrix() {
+        let a = Tensor::from_vec(vec![3.0, 0.0, 0.0, 1.0], &[2, 2]);
+        let e = sym_eigen(&a, 8);
+        assert!((e.values[0] - 1.0).abs() < 1e-5);
+        assert!((e.values[1] - 3.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn known_2x2() {
+        // [[2, 1], [1, 2]] has eigenvalues 1 and 3.
+        let a = Tensor::from_vec(vec![2.0, 1.0, 1.0, 2.0], &[2, 2]);
+        let e = sym_eigen(&a, 8);
+        assert!((e.values[0] - 1.0).abs() < 1e-5);
+        assert!((e.values[1] - 3.0).abs() < 1e-5);
+        // eigenvector of 3 is (1, 1)/√2 up to sign
+        let v = &e.vectors[1];
+        assert!((v[0].abs() - std::f32::consts::FRAC_1_SQRT_2).abs() < 1e-4);
+        assert!((v[0] - v[1]).abs() < 1e-4);
+    }
+
+    #[test]
+    fn reconstruction() {
+        // A = V Λ Vᵀ
+        let a = Tensor::from_vec(
+            vec![4.0, 1.0, 0.5, 1.0, 3.0, 0.2, 0.5, 0.2, 1.0],
+            &[3, 3],
+        );
+        let e = sym_eigen(&a, 10);
+        let n = 3;
+        for i in 0..n {
+            for j in 0..n {
+                let mut sum = 0.0f32;
+                for k in 0..n {
+                    sum += e.values[k] * e.vectors[k][i] * e.vectors[k][j];
+                }
+                assert!((sum - a.at(&[i, j])).abs() < 1e-3, "({i},{j}): {sum}");
+            }
+        }
+    }
+
+    #[test]
+    fn eigenvectors_orthonormal() {
+        let a = Tensor::from_vec(
+            vec![2.0, -1.0, 0.0, -1.0, 2.0, -1.0, 0.0, -1.0, 2.0],
+            &[3, 3],
+        );
+        let e = sym_eigen(&a, 10);
+        for i in 0..3 {
+            for j in 0..3 {
+                let dot: f32 = e.vectors[i].iter().zip(&e.vectors[j]).map(|(a, b)| a * b).sum();
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert!((dot - expect).abs() < 1e-4, "({i},{j}): {dot}");
+            }
+        }
+    }
+}

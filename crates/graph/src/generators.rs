@@ -1,0 +1,199 @@
+//! Synthetic road-network generators.
+//!
+//! Each of the paper's seven datasets is backed by one of these topologies,
+//! scaled to the node counts of Table I (or a configurable fraction of
+//! them): freeway corridors for the LA/Bay-Area speed networks, and mixed
+//! corridor-grid meshes for the metropolitan flow networks.
+
+use rand::Rng;
+
+use crate::network::RoadNetwork;
+
+/// A linear freeway corridor: sensors spaced along a line with mild jitter,
+/// bidirectional edges between consecutive sensors, plus occasional
+/// longer-range "express" links that model on/off-ramps rejoining.
+pub fn freeway_corridor(n: usize, mean_spacing_km: f64, rng: &mut impl Rng) -> RoadNetwork {
+    assert!(n >= 2, "corridor needs at least 2 sensors");
+    let mut net = RoadNetwork::new();
+    let mut x = 0.0;
+    for i in 0..n {
+        let jitter = rng.gen_range(-0.3..0.3) * mean_spacing_km;
+        let y = rng.gen_range(-0.2..0.2);
+        net.add_sensor(i as u32, x, y);
+        x += mean_spacing_km + jitter;
+    }
+    for i in 0..n - 1 {
+        let d = net.euclidean(i, i + 1).max(0.1);
+        net.add_edge(i, i + 1, d);
+        net.add_edge(i + 1, i, d);
+    }
+    // Express links every ~10 sensors (both directions).
+    let mut i = 0;
+    while i + 3 < n {
+        if rng.gen_bool(0.3) {
+            let j = i + 3;
+            let d = net.euclidean(i, j).max(0.1);
+            net.add_edge(i, j, d);
+            net.add_edge(j, i, d);
+        }
+        i += rng.gen_range(5..12);
+    }
+    net
+}
+
+/// A `rows × cols` urban grid with bidirectional edges between neighbours.
+/// To hit an exact sensor count that is not a product of two integers, use
+/// [`metro_mix`], which truncates its grid part.
+pub fn grid(rows: usize, cols: usize, spacing_km: f64, rng: &mut impl Rng) -> RoadNetwork {
+    assert!(rows >= 1 && cols >= 1);
+    let mut net = RoadNetwork::new();
+    for r in 0..rows {
+        for c in 0..cols {
+            let jx = rng.gen_range(-0.1..0.1) * spacing_km;
+            let jy = rng.gen_range(-0.1..0.1) * spacing_km;
+            net.add_sensor((r * cols + c) as u32, c as f64 * spacing_km + jx, r as f64 * spacing_km + jy);
+        }
+    }
+    let idx = |r: usize, c: usize| r * cols + c;
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                let d = net.euclidean(idx(r, c), idx(r, c + 1)).max(0.1);
+                net.add_edge(idx(r, c), idx(r, c + 1), d);
+                net.add_edge(idx(r, c + 1), idx(r, c), d);
+            }
+            if r + 1 < rows {
+                let d = net.euclidean(idx(r, c), idx(r + 1, c)).max(0.1);
+                net.add_edge(idx(r, c), idx(r + 1, c), d);
+                net.add_edge(idx(r + 1, c), idx(r, c), d);
+            }
+        }
+    }
+    net
+}
+
+/// Random geometric graph: `n` sensors scattered in a square, connected
+/// when within `radius_km` of each other. Guarantees connectivity by
+/// chaining nearest unvisited neighbours if needed.
+pub fn random_geometric(n: usize, side_km: f64, radius_km: f64, rng: &mut impl Rng) -> RoadNetwork {
+    assert!(n >= 2);
+    let mut net = RoadNetwork::new();
+    for i in 0..n {
+        net.add_sensor(i as u32, rng.gen_range(0.0..side_km), rng.gen_range(0.0..side_km));
+    }
+    for i in 0..n {
+        for j in 0..n {
+            if i != j {
+                let d = net.euclidean(i, j);
+                if d <= radius_km && d > 0.0 {
+                    net.add_edge(i, j, d);
+                }
+            }
+        }
+    }
+    // Stitch isolated nodes to their nearest neighbour so every sensor
+    // participates in the graph.
+    for iso in net.isolated_nodes() {
+        let mut best = usize::MAX;
+        let mut best_d = f64::INFINITY;
+        for j in 0..n {
+            if j != iso {
+                let d = net.euclidean(iso, j);
+                if d < best_d {
+                    best_d = d;
+                    best = j;
+                }
+            }
+        }
+        if best != usize::MAX {
+            let d = best_d.max(0.1);
+            net.add_edge(iso, best, d);
+            net.add_edge(best, iso, d);
+        }
+    }
+    net
+}
+
+/// Generates a network of exactly `n` nodes with a corridor-plus-grid mix
+/// that loosely matches metropolitan PeMS districts: a backbone corridor
+/// covering 60% of sensors and a downtown grid with the rest, joined at
+/// both ends.
+pub fn metro_mix(n: usize, rng: &mut impl Rng) -> RoadNetwork {
+    assert!(n >= 8, "metro_mix needs at least 8 sensors");
+    let corridor_n = (n * 3) / 5;
+    let grid_n = n - corridor_n;
+    let cols = (grid_n as f64).sqrt().ceil() as usize;
+    let rows = grid_n.div_ceil(cols);
+    let mut net = freeway_corridor(corridor_n, 1.5, rng);
+    // Append grid sensors offset below the corridor.
+    let base = net.num_nodes();
+    let g = grid(rows, cols, 0.8, rng);
+    for (added, s) in g.sensors().iter().enumerate().take(grid_n) {
+        net.add_sensor((base + added) as u32, s.x, s.y - 5.0);
+    }
+    for e in g.edges() {
+        if base + e.from < net.num_nodes() && base + e.to < net.num_nodes() {
+            net.add_edge(base + e.from, base + e.to, e.distance_km);
+        }
+    }
+    // Join corridor ends to the grid corners.
+    let d1 = net.euclidean(0, base).max(0.1);
+    net.add_edge(0, base, d1);
+    net.add_edge(base, 0, d1);
+    let last_grid = net.num_nodes() - 1;
+    let d2 = net.euclidean(corridor_n - 1, last_grid).max(0.1);
+    net.add_edge(corridor_n - 1, last_grid, d2);
+    net.add_edge(last_grid, corridor_n - 1, d2);
+    net
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(99)
+    }
+
+    #[test]
+    fn corridor_connected_chain() {
+        let net = freeway_corridor(20, 1.0, &mut rng());
+        assert_eq!(net.num_nodes(), 20);
+        assert!(net.num_edges() >= 2 * 19);
+        assert!(net.isolated_nodes().is_empty());
+    }
+
+    #[test]
+    fn grid_edge_count() {
+        let net = grid(3, 4, 1.0, &mut rng());
+        assert_eq!(net.num_nodes(), 12);
+        // 3*3 horizontal + 2*4 vertical, both directions
+        assert_eq!(net.num_edges(), 2 * (3 * 3 + 2 * 4));
+    }
+
+    #[test]
+    fn random_geometric_no_isolates() {
+        let net = random_geometric(30, 10.0, 2.0, &mut rng());
+        assert_eq!(net.num_nodes(), 30);
+        assert!(net.isolated_nodes().is_empty());
+    }
+
+    #[test]
+    fn metro_mix_exact_count() {
+        for n in [8, 20, 57] {
+            let net = metro_mix(n, &mut rng());
+            assert_eq!(net.num_nodes(), n, "metro_mix({n})");
+            assert!(net.isolated_nodes().is_empty());
+        }
+    }
+
+    #[test]
+    fn generators_deterministic_under_seed() {
+        let a = freeway_corridor(10, 1.0, &mut StdRng::seed_from_u64(5));
+        let b = freeway_corridor(10, 1.0, &mut StdRng::seed_from_u64(5));
+        assert_eq!(a.sensors(), b.sensors());
+        assert_eq!(a.edges(), b.edges());
+    }
+}

@@ -1,0 +1,122 @@
+//! Graph Laplacians for spectral graph convolutions.
+
+use traffic_tensor::Tensor;
+
+use crate::adjacency::symmetrize;
+use crate::eigen::max_eigenvalue;
+
+/// Symmetric normalised Laplacian `L = I − D^{-1/2} A D^{-1/2}` of a
+/// (symmetrised) non-negative adjacency.
+pub fn normalized_laplacian(adj: &Tensor) -> Tensor {
+    let n = adj.shape()[0];
+    assert_eq!(adj.shape(), &[n, n]);
+    let a = symmetrize(adj);
+    let deg: Vec<f32> = (0..n)
+        .map(|i| (0..n).map(|j| a.at(&[i, j])).sum::<f32>())
+        .collect();
+    let dinv_sqrt: Vec<f32> =
+        deg.iter().map(|&d| if d > 0.0 { 1.0 / d.sqrt() } else { 0.0 }).collect();
+    let mut l = Tensor::zeros(&[n, n]);
+    {
+        let buf = l.make_mut();
+        let av = a.as_slice();
+        for i in 0..n {
+            for j in 0..n {
+                let norm = dinv_sqrt[i] * av[i * n + j] * dinv_sqrt[j];
+                buf[i * n + j] = if i == j { 1.0 - norm } else { -norm };
+            }
+        }
+    }
+    l
+}
+
+/// Rescaled Laplacian for Chebyshev convolutions:
+/// `L̃ = 2L/λmax − I`, with eigenvalues mapped into `[-1, 1]`.
+pub fn scaled_laplacian(adj: &Tensor) -> Tensor {
+    let l = normalized_laplacian(adj);
+    let lmax = max_eigenvalue(&l, 12).max(1e-6);
+    let n = l.shape()[0];
+    let mut out = l.mul_scalar(2.0 / lmax);
+    {
+        let buf = out.make_mut();
+        for i in 0..n {
+            buf[i * n + i] -= 1.0;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eigen::sym_eigen;
+
+    fn path_adj(n: usize) -> Tensor {
+        let mut a = Tensor::zeros(&[n, n]);
+        {
+            let buf = a.make_mut();
+            for i in 0..n - 1 {
+                buf[i * n + i + 1] = 1.0;
+                buf[(i + 1) * n + i] = 1.0;
+            }
+        }
+        a
+    }
+
+    #[test]
+    fn laplacian_rows_sum_to_zero_on_dsqrt_scale() {
+        // For a regular graph (cycle), D^{-1/2} A D^{-1/2} has row sums 1,
+        // so L rows sum to 0.
+        let n = 4;
+        let mut a = Tensor::zeros(&[n, n]);
+        {
+            let buf = a.make_mut();
+            for i in 0..n {
+                buf[i * n + (i + 1) % n] = 1.0;
+                buf[((i + 1) % n) * n + i] = 1.0;
+            }
+        }
+        let l = normalized_laplacian(&a);
+        for i in 0..n {
+            let s: f32 = (0..n).map(|j| l.at(&[i, j])).sum();
+            assert!(s.abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn laplacian_eigenvalues_in_0_2() {
+        let l = normalized_laplacian(&path_adj(6));
+        let e = sym_eigen(&l, 12);
+        assert!(e.values[0].abs() < 1e-4, "smallest eigenvalue should be 0");
+        assert!(*e.values.last().unwrap() <= 2.0 + 1e-4);
+    }
+
+    #[test]
+    fn scaled_laplacian_spectrum_in_unit_interval() {
+        let lt = scaled_laplacian(&path_adj(6));
+        let e = sym_eigen(&lt, 12);
+        assert!(e.values[0] >= -1.0 - 1e-3);
+        assert!(*e.values.last().unwrap() <= 1.0 + 1e-3);
+        // λmax of L̃ should be exactly +1 (2·λmax/λmax − 1)
+        assert!((*e.values.last().unwrap() - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn handles_isolated_nodes() {
+        let mut a = path_adj(3);
+        // add an isolated 4th node
+        let mut bigger = Tensor::zeros(&[4, 4]);
+        {
+            let buf = bigger.make_mut();
+            for i in 0..3 {
+                for j in 0..3 {
+                    buf[i * 4 + j] = a.at(&[i, j]);
+                }
+            }
+        }
+        a = bigger;
+        let l = normalized_laplacian(&a);
+        assert!(!l.has_non_finite());
+        assert_eq!(l.at(&[3, 3]), 1.0);
+    }
+}

@@ -1,0 +1,144 @@
+//! Road-network representation: sensors (nodes) with coordinates, and
+//! directed weighted edges carrying road distances.
+
+/// A sensor station on the freeway network.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sensor {
+    /// Stable id (mirrors the PeMS sensor-id column noted in Table I).
+    pub id: u32,
+    /// Planar coordinates in kilometres (synthetic networks use a local
+    /// projection; only relative distances matter).
+    pub x: f64,
+    pub y: f64,
+}
+
+/// A directed edge `from -> to` with a road distance in kilometres.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Edge {
+    pub from: usize,
+    pub to: usize,
+    pub distance_km: f64,
+}
+
+/// A directed road network over `N` sensors.
+#[derive(Debug, Clone, Default)]
+pub struct RoadNetwork {
+    sensors: Vec<Sensor>,
+    edges: Vec<Edge>,
+}
+
+impl RoadNetwork {
+    /// Empty network.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a sensor, returning its index.
+    pub fn add_sensor(&mut self, id: u32, x: f64, y: f64) -> usize {
+        self.sensors.push(Sensor { id, x, y });
+        self.sensors.len() - 1
+    }
+
+    /// Adds a directed edge. Panics on out-of-range endpoints or
+    /// non-positive distance.
+    pub fn add_edge(&mut self, from: usize, to: usize, distance_km: f64) {
+        assert!(from < self.sensors.len() && to < self.sensors.len(), "edge endpoint out of range");
+        assert!(distance_km > 0.0, "edge distance must be positive");
+        self.edges.push(Edge { from, to, distance_km });
+    }
+
+    /// Number of sensors.
+    pub fn num_nodes(&self) -> usize {
+        self.sensors.len()
+    }
+
+    /// Number of directed edges.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// All sensors.
+    pub fn sensors(&self) -> &[Sensor] {
+        &self.sensors
+    }
+
+    /// All edges.
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// Straight-line distance between two sensors in km.
+    pub fn euclidean(&self, a: usize, b: usize) -> f64 {
+        let sa = &self.sensors[a];
+        let sb = &self.sensors[b];
+        ((sa.x - sb.x).powi(2) + (sa.y - sb.y).powi(2)).sqrt()
+    }
+
+    /// Out-neighbour lists (indices into `edges`).
+    pub fn out_edges(&self) -> Vec<Vec<usize>> {
+        let mut out = vec![Vec::new(); self.num_nodes()];
+        for (i, e) in self.edges.iter().enumerate() {
+            out[e.from].push(i);
+        }
+        out
+    }
+
+    /// Node indices with no incident edges (degenerate sensors).
+    pub fn isolated_nodes(&self) -> Vec<usize> {
+        let mut touched = vec![false; self.num_nodes()];
+        for e in &self.edges {
+            touched[e.from] = true;
+            touched[e.to] = true;
+        }
+        touched.iter().enumerate().filter(|(_, &t)| !t).map(|(i, _)| i).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_small_network() {
+        let mut net = RoadNetwork::new();
+        let a = net.add_sensor(100, 0.0, 0.0);
+        let b = net.add_sensor(101, 3.0, 4.0);
+        net.add_edge(a, b, 5.5);
+        assert_eq!(net.num_nodes(), 2);
+        assert_eq!(net.num_edges(), 1);
+        assert!((net.euclidean(a, b) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_edge_panics() {
+        let mut net = RoadNetwork::new();
+        net.add_sensor(1, 0.0, 0.0);
+        net.add_edge(0, 3, 1.0);
+    }
+
+    #[test]
+    fn isolated_detection() {
+        let mut net = RoadNetwork::new();
+        net.add_sensor(1, 0.0, 0.0);
+        net.add_sensor(2, 1.0, 0.0);
+        net.add_sensor(3, 2.0, 0.0);
+        net.add_edge(0, 1, 1.0);
+        assert_eq!(net.isolated_nodes(), vec![2]);
+    }
+
+    #[test]
+    fn out_edges_grouping() {
+        let mut net = RoadNetwork::new();
+        for i in 0..3 {
+            net.add_sensor(i, i as f64, 0.0);
+        }
+        net.add_edge(0, 1, 1.0);
+        net.add_edge(0, 2, 2.0);
+        net.add_edge(1, 2, 1.0);
+        let out = net.out_edges();
+        assert_eq!(out[0].len(), 2);
+        assert_eq!(out[1].len(), 1);
+        assert_eq!(out[2].len(), 0);
+    }
+}

@@ -1,0 +1,52 @@
+//! Random-walk transition matrices for diffusion convolutions (DCRNN,
+//! Graph-WaveNet): forward `D_O⁻¹ W` and backward `D_I⁻¹ Wᵀ`.
+
+use traffic_tensor::Tensor;
+
+use crate::adjacency::row_normalize;
+
+/// Forward random-walk transition `P_f = D_O⁻¹ W`.
+pub fn forward_transition(adj: &Tensor) -> Tensor {
+    row_normalize(adj)
+}
+
+/// Backward random-walk transition `P_b = D_I⁻¹ Wᵀ`.
+pub fn backward_transition(adj: &Tensor) -> Tensor {
+    row_normalize(&adj.t())
+}
+
+/// The `(forward, backward)` pair used as diffusion supports.
+pub fn diffusion_supports(adj: &Tensor) -> Vec<Tensor> {
+    vec![forward_transition(adj), backward_transition(adj)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn asym() -> Tensor {
+        Tensor::from_vec(vec![1.0, 2.0, 0.0, 0.0, 1.0, 1.0, 4.0, 0.0, 1.0], &[3, 3])
+    }
+
+    #[test]
+    fn forward_rows_stochastic() {
+        let p = forward_transition(&asym());
+        for i in 0..3 {
+            let s: f32 = (0..3).map(|j| p.at(&[i, j])).sum();
+            assert!((s - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn backward_is_forward_of_transpose() {
+        let a = asym();
+        assert_eq!(backward_transition(&a), forward_transition(&a.t()));
+    }
+
+    #[test]
+    fn supports_pair() {
+        let s = diffusion_supports(&asym());
+        assert_eq!(s.len(), 2);
+        assert_ne!(s[0], s[1]); // direction matters for asymmetric graphs
+    }
+}

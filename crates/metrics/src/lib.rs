@@ -1,0 +1,267 @@
+//! # traffic-metrics
+//!
+//! The paper's three evaluation metrics — MAE, RMSE, MAPE — with
+//! missing-value masking (targets equal to zero are PeMS sensor dropouts
+//! and are excluded, following the reference implementations), per-horizon
+//! evaluation at the paper's 15/30/60-minute marks, selective evaluation on
+//! difficult-interval masks, and relative-degradation computation (Fig 2).
+
+use traffic_tensor::Tensor;
+
+/// The three metrics of the paper, computed over one prediction set.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MetricSet {
+    /// Mean absolute error.
+    pub mae: f32,
+    /// Root mean squared error.
+    pub rmse: f32,
+    /// Mean absolute percentage error, in percent.
+    pub mape: f32,
+    /// Number of valid (non-masked) entries that contributed.
+    pub count: usize,
+}
+
+impl MetricSet {
+    /// An empty result (no valid entries).
+    pub fn empty() -> Self {
+        MetricSet { mae: f32::NAN, rmse: f32::NAN, mape: f32::NAN, count: 0 }
+    }
+}
+
+impl std::fmt::Display for MetricSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "MAE {:.3}  RMSE {:.3}  MAPE {:.2}%", self.mae, self.rmse, self.mape)
+    }
+}
+
+/// Computes masked MAE/RMSE/MAPE.
+///
+/// `pred` and `target` must be identically shaped; entries where
+/// `target == 0` are skipped. `extra_mask`, when given, further restricts
+/// evaluation to entries where it is `> 0.5` (used for difficult
+/// intervals).
+///
+/// ```
+/// use traffic_tensor::Tensor;
+/// let pred = Tensor::from_vec(vec![62.0, 55.0], &[2]);
+/// let truth = Tensor::from_vec(vec![60.0, 55.0], &[2]);
+/// let m = traffic_metrics::evaluate(&pred, &truth, None);
+/// assert!((m.mae - 1.0).abs() < 1e-6);
+/// ```
+pub fn evaluate(pred: &Tensor, target: &Tensor, extra_mask: Option<&Tensor>) -> MetricSet {
+    assert_eq!(pred.shape(), target.shape(), "pred/target shape mismatch");
+    if let Some(m) = extra_mask {
+        assert_eq!(m.shape(), target.shape(), "mask shape mismatch");
+    }
+    let p = pred.as_slice();
+    let t = target.as_slice();
+    let mut abs_sum = 0.0f64;
+    let mut sq_sum = 0.0f64;
+    let mut pct_sum = 0.0f64;
+    let mut count = 0usize;
+    for i in 0..t.len() {
+        if t[i] == 0.0 {
+            continue;
+        }
+        if let Some(m) = extra_mask {
+            if m.as_slice()[i] <= 0.5 {
+                continue;
+            }
+        }
+        let err = (p[i] - t[i]) as f64;
+        abs_sum += err.abs();
+        sq_sum += err * err;
+        pct_sum += (err / t[i] as f64).abs();
+        count += 1;
+    }
+    if count == 0 {
+        return MetricSet::empty();
+    }
+    MetricSet {
+        mae: (abs_sum / count as f64) as f32,
+        rmse: (sq_sum / count as f64).sqrt() as f32,
+        mape: (pct_sum / count as f64 * 100.0) as f32,
+        count,
+    }
+}
+
+/// Per-horizon evaluation over `[S, T_out, N]` predictions.
+///
+/// Returns one [`MetricSet`] per requested horizon step (0-based:
+/// horizon 2 = 15 min, 5 = 30 min, 11 = 60 min at 5-minute resolution).
+pub fn evaluate_horizons(
+    pred: &Tensor,
+    target: &Tensor,
+    horizons: &[usize],
+    extra_mask: Option<&Tensor>,
+) -> Vec<MetricSet> {
+    assert_eq!(pred.rank(), 3, "expected [S, T_out, N]");
+    assert_eq!(pred.shape(), target.shape());
+    horizons
+        .iter()
+        .map(|&h| {
+            let ph = pred.narrow(1, h, 1);
+            let th = target.narrow(1, h, 1);
+            let mh = extra_mask.map(|m| m.narrow(1, h, 1));
+            evaluate(&ph, &th, mh.as_ref())
+        })
+        .collect()
+}
+
+/// The paper's three reporting horizons at 5-minute resolution
+/// (15, 30, 60 minutes), as 0-based step indices.
+pub const PAPER_HORIZONS: [usize; 3] = [2, 5, 11];
+
+/// Human-readable labels matching [`PAPER_HORIZONS`].
+pub const PAPER_HORIZON_LABELS: [&str; 3] = ["15 min", "30 min", "60 min"];
+
+/// Per-node evaluation over `[S, T_out, N]` predictions: one [`MetricSet`]
+/// per sensor (Fig 3 selects its roads from exactly this distribution).
+pub fn evaluate_per_node(pred: &Tensor, target: &Tensor) -> Vec<MetricSet> {
+    assert_eq!(pred.rank(), 3, "expected [S, T_out, N]");
+    assert_eq!(pred.shape(), target.shape());
+    let n = pred.shape()[2];
+    (0..n)
+        .map(|i| {
+            let p = pred.narrow(2, i, 1);
+            let t = target.narrow(2, i, 1);
+            evaluate(&p, &t, None)
+        })
+        .collect()
+}
+
+/// Relative performance degradation in percent (Fig 2, second row):
+/// `100 · (difficult − overall) / overall`.
+pub fn degradation_pct(overall_mae: f32, difficult_mae: f32) -> f32 {
+    assert!(overall_mae > 0.0, "overall MAE must be positive");
+    100.0 * (difficult_mae - overall_mae) / overall_mae
+}
+
+/// Mean and population standard deviation of repeated runs (the paper
+/// repeats each experiment five times and reports mean ± std).
+pub fn mean_std(values: &[f32]) -> (f32, f32) {
+    if values.is_empty() {
+        return (f32::NAN, f32::NAN);
+    }
+    let mean = values.iter().sum::<f32>() / values.len() as f32;
+    let var =
+        values.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / values.len() as f32;
+    (mean, var.sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_prediction_zero_error() {
+        let t = Tensor::from_vec(vec![10.0, 20.0, 30.0], &[3]);
+        let m = evaluate(&t, &t, None);
+        assert_eq!(m.mae, 0.0);
+        assert_eq!(m.rmse, 0.0);
+        assert_eq!(m.mape, 0.0);
+        assert_eq!(m.count, 3);
+    }
+
+    #[test]
+    fn hand_computed_values() {
+        let p = Tensor::from_vec(vec![12.0, 18.0], &[2]);
+        let t = Tensor::from_vec(vec![10.0, 20.0], &[2]);
+        let m = evaluate(&p, &t, None);
+        assert!((m.mae - 2.0).abs() < 1e-6);
+        assert!((m.rmse - 2.0).abs() < 1e-6);
+        assert!((m.mape - 15.0).abs() < 1e-4); // (20% + 10%) / 2
+    }
+
+    #[test]
+    fn rmse_at_least_mae() {
+        let p = Tensor::from_vec(vec![1.0, 5.0, 9.0, 2.0], &[4]);
+        let t = Tensor::from_vec(vec![2.0, 2.0, 2.0, 2.0], &[4]);
+        let m = evaluate(&p, &t, None);
+        assert!(m.rmse >= m.mae);
+    }
+
+    #[test]
+    fn zero_targets_masked() {
+        let p = Tensor::from_vec(vec![100.0, 18.0], &[2]);
+        let t = Tensor::from_vec(vec![0.0, 20.0], &[2]);
+        let m = evaluate(&p, &t, None);
+        assert_eq!(m.count, 1);
+        assert!((m.mae - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn extra_mask_restricts() {
+        let p = Tensor::from_vec(vec![11.0, 25.0], &[2]);
+        let t = Tensor::from_vec(vec![10.0, 20.0], &[2]);
+        let mask = Tensor::from_vec(vec![0.0, 1.0], &[2]);
+        let m = evaluate(&p, &t, Some(&mask));
+        assert_eq!(m.count, 1);
+        assert!((m.mae - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn all_masked_is_empty() {
+        let p = Tensor::ones(&[3]);
+        let t = Tensor::zeros(&[3]);
+        let m = evaluate(&p, &t, None);
+        assert_eq!(m.count, 0);
+        assert!(m.mae.is_nan());
+    }
+
+    #[test]
+    fn horizons_slice_correctly() {
+        // error grows with horizon: h-step error = h+1
+        let s = 2;
+        let t_out = 12;
+        let n = 1;
+        let mut p = Vec::new();
+        let mut t = Vec::new();
+        for _ in 0..s {
+            for h in 0..t_out {
+                p.push(10.0 + (h + 1) as f32);
+                t.push(10.0);
+            }
+        }
+        let pred = Tensor::from_vec(p, &[s, t_out, n]);
+        let targ = Tensor::from_vec(t, &[s, t_out, n]);
+        let ms = evaluate_horizons(&pred, &targ, &PAPER_HORIZONS, None);
+        assert!((ms[0].mae - 3.0).abs() < 1e-5);
+        assert!((ms[1].mae - 6.0).abs() < 1e-5);
+        assert!((ms[2].mae - 12.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn per_node_isolates_sensors() {
+        // node 0 perfect, node 1 off by 2
+        let pred = Tensor::from_vec(vec![10.0, 22.0, 10.0, 22.0], &[2, 1, 2]);
+        let targ = Tensor::from_vec(vec![10.0, 20.0, 10.0, 20.0], &[2, 1, 2]);
+        let per = evaluate_per_node(&pred, &targ);
+        assert_eq!(per.len(), 2);
+        assert_eq!(per[0].mae, 0.0);
+        assert!((per[1].mae - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn degradation_formula() {
+        assert!((degradation_pct(2.0, 4.0) - 100.0).abs() < 1e-6);
+        assert!((degradation_pct(4.0, 4.0)).abs() < 1e-6);
+        assert!((degradation_pct(2.0, 5.6) - 180.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn mean_std_of_repeats() {
+        let (m, s) = mean_std(&[2.0, 4.0]);
+        assert_eq!(m, 3.0);
+        assert_eq!(s, 1.0);
+        let (m, s) = mean_std(&[5.0]);
+        assert_eq!(m, 5.0);
+        assert_eq!(s, 0.0);
+    }
+
+    #[test]
+    fn display_format() {
+        let m = MetricSet { mae: 1.234, rmse: 2.345, mape: 5.6, count: 10 };
+        assert_eq!(format!("{m}"), "MAE 1.234  RMSE 2.345  MAPE 5.60%");
+    }
+}

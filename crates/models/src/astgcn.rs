@@ -1,0 +1,256 @@
+//! ASTGCN (Guo et al., AAAI 2019): attention-based spatial-temporal graph
+//! convolutional network — the *recent* component, matching the paper's
+//! `T' = 12` setup. Each block applies learned temporal attention, learned
+//! spatial attention modulating a Chebyshev graph convolution, a temporal
+//! convolution, and a residual connection; a final projection emits all 12
+//! horizons at once.
+
+use rand::rngs::StdRng;
+use traffic_nn::{Conv2d, Linear, ParamStore, TemporalPadding};
+use traffic_tensor::{Tape, Tensor, Var};
+
+use crate::common::{to_conv_layout, GraphContext, TrafficModel, TrainCtx};
+use crate::meta::{taxonomy, ModelMeta};
+
+/// ASTGCN hyper-parameters.
+#[derive(Debug, Clone)]
+pub struct AstgcnConfig {
+    /// Feature width inside blocks.
+    pub channels: usize,
+    /// Chebyshev order.
+    pub cheb_k: usize,
+    /// Number of ST blocks.
+    pub blocks: usize,
+    /// Attention projection width.
+    pub attn_dim: usize,
+    /// Horizons / features.
+    pub t_in: usize,
+    pub t_out: usize,
+    pub in_features: usize,
+}
+
+impl Default for AstgcnConfig {
+    fn default() -> Self {
+        AstgcnConfig { channels: 16, cheb_k: 3, blocks: 2, attn_dim: 8, t_in: 12, t_out: 12, in_features: 2 }
+    }
+}
+
+struct AstBlock {
+    /// Temporal attention projections (queries/keys over flattened N·C).
+    t_q: Linear,
+    t_k: Linear,
+    /// Spatial attention projections (queries/keys over flattened T·C).
+    s_q: Linear,
+    s_k: Linear,
+    /// Chebyshev weights `[K, F_in, F_out]` applied with attention-scaled
+    /// polynomials.
+    cheb_w: traffic_nn::Param,
+    /// Temporal convolution.
+    t_conv: Conv2d,
+    /// Residual 1×1 conv.
+    res_conv: Conv2d,
+    f_in: usize,
+    f_out: usize,
+}
+
+/// The ASTGCN model (recent component).
+pub struct Astgcn {
+    store: ParamStore,
+    blocks: Vec<AstBlock>,
+    /// Chebyshev polynomial tensors `T_k(L̃)`, precomputed constants.
+    cheb_polys: Vec<Tensor>,
+    head: Linear,
+    cfg: AstgcnConfig,
+}
+
+impl Astgcn {
+    /// Builds ASTGCN for a graph context.
+    pub fn new(ctx: &GraphContext, cfg: AstgcnConfig, rng: &mut StdRng) -> Self {
+        let mut store = ParamStore::new();
+        let n = ctx.n;
+        // Precompute Chebyshev polynomials of the scaled Laplacian.
+        let mut polys = vec![Tensor::eye(n)];
+        if cfg.cheb_k > 1 {
+            polys.push(ctx.scaled_laplacian.clone());
+        }
+        for k in 2..cfg.cheb_k {
+            let next = ctx
+                .scaled_laplacian
+                .matmul(&polys[k - 1])
+                .mul_scalar(2.0)
+                .sub(&polys[k - 2]);
+            polys.push(next);
+        }
+        let mut blocks = Vec::new();
+        let mut f_in = cfg.in_features;
+        for b in 0..cfg.blocks {
+            let f_out = cfg.channels;
+            blocks.push(AstBlock {
+                t_q: Linear::new(&mut store, &format!("b{b}.t_q"), n * f_in, cfg.attn_dim, false, rng),
+                t_k: Linear::new(&mut store, &format!("b{b}.t_k"), n * f_in, cfg.attn_dim, false, rng),
+                s_q: Linear::new(&mut store, &format!("b{b}.s_q"), cfg.t_in * f_in, cfg.attn_dim, false, rng),
+                s_k: Linear::new(&mut store, &format!("b{b}.s_k"), cfg.t_in * f_in, cfg.attn_dim, false, rng),
+                cheb_w: store.add(
+                    format!("b{b}.cheb_w"),
+                    traffic_tensor::init::xavier_uniform(&[cfg.cheb_k, f_in, f_out], rng),
+                ),
+                t_conv: Conv2d::new(
+                    &mut store,
+                    &format!("b{b}.t_conv"),
+                    f_out,
+                    f_out,
+                    (1, 3),
+                    (1, 1),
+                    TemporalPadding::Same,
+                    true,
+                    rng,
+                ),
+                res_conv: Conv2d::new(
+                    &mut store,
+                    &format!("b{b}.res"),
+                    f_in,
+                    f_out,
+                    (1, 1),
+                    (1, 1),
+                    TemporalPadding::Valid,
+                    true,
+                    rng,
+                ),
+                f_in,
+                f_out,
+            });
+            f_in = cfg.channels;
+        }
+        let head = Linear::new(&mut store, "head", cfg.t_in * cfg.channels, cfg.t_out, true, rng);
+        Astgcn { store, blocks, cheb_polys: polys, head, cfg }
+    }
+
+    /// One ST block on `[B, T, N, F]`.
+    fn block_forward<'t>(&self, tape: &'t Tape, block: &AstBlock, x: Var<'t>) -> Var<'t> {
+        let shape = x.shape();
+        let (b, t, n, f) = (shape[0], shape[1], shape[2], shape[3]);
+        assert_eq!(f, block.f_in);
+        // ---- temporal attention over the T axis ----
+        let xt = x.reshape(&[b, t, n * f]);
+        let q = block.t_q.forward(tape, xt);
+        let k = block.t_k.forward(tape, xt);
+        let scale = 1.0 / (self.cfg.attn_dim as f32).sqrt();
+        let e = q.matmul(&k.t()).mul_scalar(scale).softmax(2); // [B, T, T]
+        let x_t = e.matmul(&xt).reshape(&[b, t, n, f]);
+        // ---- spatial attention over the N axis ----
+        let xn = x_t.permute(&[0, 2, 1, 3]).reshape(&[b, n, t * f]);
+        let sq = block.s_q.forward(tape, xn);
+        let sk = block.s_k.forward(tape, xn);
+        let s = sq.matmul(&sk.t()).mul_scalar(scale).softmax(2); // [B, N, N]
+        // ---- Chebyshev conv with attention-modulated polynomials ----
+        let w = block.cheb_w.var(tape);
+        let mut out: Option<Var<'t>> = None;
+        for kk in 0..self.cfg.cheb_k {
+            let poly = tape.constant(self.cheb_polys[kk].reshape(&[1, n, n]));
+            let mk = s.mul(&poly).reshape(&[b, 1, n, n]); // [B, 1, N, N]
+            let prop = mk.matmul(&x_t); // [B, T, N, F]
+            let wk = w.narrow(0, kk, 1).reshape(&[block.f_in, block.f_out]);
+            let term = prop.matmul(&wk);
+            out = Some(match out {
+                Some(acc) => acc.add(&term),
+                None => term,
+            });
+        }
+        let spatial = out.expect("cheb_k >= 1").relu(); // [B, T, N, F_out]
+        // ---- temporal convolution + residual ----
+        let conv_in = to_conv_layout(spatial); // [B, F, N, T]
+        let conv = block.t_conv.forward(tape, conv_in);
+        let res = block.res_conv.forward(tape, to_conv_layout(x));
+        crate::common::from_conv_layout(conv.add(&res).relu())
+    }
+}
+
+impl TrafficModel for Astgcn {
+    fn name(&self) -> &'static str {
+        "ASTGCN"
+    }
+
+    fn meta(&self) -> ModelMeta {
+        *taxonomy("ASTGCN").expect("taxonomy entry")
+    }
+
+    fn store(&self) -> &ParamStore {
+        &self.store
+    }
+
+    fn forward<'t>(
+        &self,
+        tape: &'t Tape,
+        x: Var<'t>,
+        train: Option<&mut TrainCtx<'_>>,
+    ) -> Var<'t> {
+        let _ = train;
+        let shape = x.shape();
+        let (b, t, n) = (shape[0], shape[1], shape[2]);
+        assert_eq!(t, self.cfg.t_in);
+        let mut h = x;
+        for block in &self.blocks {
+            h = self.block_forward(tape, block, h);
+        }
+        // [B, T, N, F] -> per node flatten time·features -> T_out
+        let flat = h.permute(&[0, 2, 1, 3]).reshape(&[b, n, t * self.cfg.channels]);
+        let y = self.head.forward(tape, flat); // [B, N, T_out]
+        y.permute(&[0, 2, 1])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use traffic_graph::freeway_corridor;
+
+    fn setup() -> (GraphContext, StdRng) {
+        let mut rng = StdRng::seed_from_u64(8);
+        let net = freeway_corridor(6, 1.0, &mut rng);
+        (GraphContext::from_network(&net, 4), rng)
+    }
+
+    #[test]
+    fn forward_shape() {
+        let (ctx, mut rng) = setup();
+        let model = Astgcn::new(&ctx, AstgcnConfig::default(), &mut rng);
+        let tape = Tape::new();
+        let x = tape.constant(Tensor::zeros(&[2, 12, 6, 2]));
+        let y = model.forward(&tape, x, None);
+        assert_eq!(y.shape(), vec![2, 12, 6]);
+    }
+
+    #[test]
+    fn cheb_polys_start_with_identity() {
+        let (ctx, mut rng) = setup();
+        let model = Astgcn::new(&ctx, AstgcnConfig::default(), &mut rng);
+        assert_eq!(model.cheb_polys[0], Tensor::eye(6));
+        assert_eq!(model.cheb_polys[1], ctx.scaled_laplacian);
+        assert_eq!(model.cheb_polys.len(), 3);
+    }
+
+    #[test]
+    fn grads_reach_all_params() {
+        let (ctx, mut rng) = setup();
+        let model = Astgcn::new(&ctx, AstgcnConfig::default(), &mut rng);
+        let tape = Tape::new();
+        let x = tape.constant(traffic_tensor::init::uniform(&[1, 12, 6, 2], -1.0, 1.0, &mut rng));
+        let y = model.forward(&tape, x, None);
+        let grads = tape.backward(y.powf(2.0).mean_all());
+        model.store().capture_grads(&tape, &grads);
+        for p in model.store().params() {
+            assert!(p.grad().is_some(), "no grad for {}", p.name());
+        }
+    }
+
+    #[test]
+    fn single_block_variant() {
+        let (ctx, mut rng) = setup();
+        let cfg = AstgcnConfig { blocks: 1, ..Default::default() };
+        let model = Astgcn::new(&ctx, cfg, &mut rng);
+        let tape = Tape::new();
+        let x = tape.constant(Tensor::zeros(&[1, 12, 6, 2]));
+        assert_eq!(model.forward(&tape, x, None).shape(), vec![1, 12, 6]);
+    }
+}

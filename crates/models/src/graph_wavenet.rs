@@ -1,0 +1,316 @@
+//! Graph-WaveNet (Wu et al., IJCAI 2019): stacked dilated causal gated
+//! temporal convolutions interleaved with diffusion graph convolutions,
+//! plus a **self-adaptive adjacency matrix** `softmax(relu(E₁ E₂ᵀ))`
+//! learned end-to-end. All 12 output steps are produced in a single pass —
+//! the reason Table III shows it with the fastest inference.
+
+use rand::rngs::StdRng;
+use traffic_nn::{Conv2d, DiffusionConv, GatedTemporalConv, Param, ParamStore, TemporalPadding};
+use traffic_tensor::{init, Tape, Var};
+
+use crate::common::{to_conv_layout, GraphContext, TrafficModel, TrainCtx};
+use crate::meta::{taxonomy, ModelMeta};
+
+/// Graph-WaveNet hyper-parameters.
+#[derive(Debug, Clone)]
+pub struct GraphWavenetConfig {
+    /// Residual channel width.
+    pub residual: usize,
+    /// Skip channel width.
+    pub skip: usize,
+    /// Dilation of each TCN layer.
+    pub dilations: Vec<usize>,
+    /// Diffusion steps per graph conv.
+    pub diffusion_steps: usize,
+    /// Node-embedding width of the adaptive adjacency.
+    pub adaptive_dim: usize,
+    /// Dropout probability applied to each layer's graph-conv output
+    /// during training (the original uses 0.3).
+    pub dropout: f32,
+    /// Whether the adaptive adjacency is used at all (ablation knob).
+    pub use_adaptive: bool,
+    /// Input/output horizons and feature count.
+    pub t_in: usize,
+    pub t_out: usize,
+    pub in_features: usize,
+}
+
+impl Default for GraphWavenetConfig {
+    fn default() -> Self {
+        GraphWavenetConfig {
+            residual: 12,
+            skip: 24,
+            dilations: vec![1, 2, 4],
+            diffusion_steps: 2,
+            adaptive_dim: 6,
+            dropout: 0.1,
+            use_adaptive: true,
+            t_in: 12,
+            t_out: 12,
+            in_features: 2,
+        }
+    }
+}
+
+struct GwnLayer {
+    tcn: GatedTemporalConv,
+    gconv: DiffusionConv,
+    skip_conv: Conv2d,
+}
+
+/// The Graph-WaveNet model.
+pub struct GraphWavenet {
+    store: ParamStore,
+    start: Conv2d,
+    layers: Vec<GwnLayer>,
+    end1: Conv2d,
+    end2: Conv2d,
+    e1: Option<Param>,
+    e2: Option<Param>,
+    cfg: GraphWavenetConfig,
+}
+
+impl GraphWavenet {
+    /// Builds Graph-WaveNet for a graph context.
+    pub fn new(ctx: &GraphContext, cfg: GraphWavenetConfig, rng: &mut StdRng) -> Self {
+        let mut store = ParamStore::new();
+        let start = Conv2d::new(
+            &mut store,
+            "start",
+            cfg.in_features,
+            cfg.residual,
+            (1, 1),
+            (1, 1),
+            TemporalPadding::Valid,
+            true,
+            rng,
+        );
+        let extra = usize::from(cfg.use_adaptive);
+        let mut layers = Vec::new();
+        for (i, &d) in cfg.dilations.iter().enumerate() {
+            // Valid (shrinking) dilated convolution, as in the original:
+            // each layer shortens the time axis by its dilation, so deeper
+            // layers process fewer positions — the source of Graph-WaveNet's
+            // fast single-pass inference.
+            let tcn = GatedTemporalConv::new(
+                &mut store,
+                &format!("layer{i}.tcn"),
+                cfg.residual,
+                cfg.residual,
+                2,
+                d,
+                TemporalPadding::Valid,
+                rng,
+            );
+            let gconv = DiffusionConv::new(
+                &mut store,
+                &format!("layer{i}.gconv"),
+                ctx.supports.clone(),
+                extra,
+                cfg.diffusion_steps,
+                cfg.residual,
+                cfg.residual,
+                rng,
+            );
+            let skip_conv = Conv2d::new(
+                &mut store,
+                &format!("layer{i}.skip"),
+                cfg.residual,
+                cfg.skip,
+                (1, 1),
+                (1, 1),
+                TemporalPadding::Valid,
+                true,
+                rng,
+            );
+            layers.push(GwnLayer { tcn, gconv, skip_conv });
+        }
+        let end1 = Conv2d::new(
+            &mut store, "end1", cfg.skip, cfg.skip, (1, 1), (1, 1), TemporalPadding::Valid, true, rng,
+        );
+        let end2 = Conv2d::new(
+            &mut store, "end2", cfg.skip, cfg.t_out, (1, 1), (1, 1), TemporalPadding::Valid, true, rng,
+        );
+        let (e1, e2) = if cfg.use_adaptive {
+            (
+                Some(store.add("adaptive.e1", init::normal(&[ctx.n, cfg.adaptive_dim], 0.0, 0.1, rng))),
+                Some(store.add("adaptive.e2", init::normal(&[ctx.n, cfg.adaptive_dim], 0.0, 0.1, rng))),
+            )
+        } else {
+            (None, None)
+        };
+        GraphWavenet { store, start, layers, end1, end2, e1, e2, cfg }
+    }
+
+    /// The learned adaptive adjacency `softmax(relu(E₁ E₂ᵀ))`, or `None`
+    /// when disabled.
+    pub fn adaptive_adjacency<'t>(&self, tape: &'t Tape) -> Option<Var<'t>> {
+        let (e1, e2) = (self.e1.as_ref()?, self.e2.as_ref()?);
+        let a = e1.var(tape).matmul(&e2.var(tape).t()).relu();
+        Some(a.softmax(1))
+    }
+}
+
+impl TrafficModel for GraphWavenet {
+    fn name(&self) -> &'static str {
+        "Graph-WaveNet"
+    }
+
+    fn meta(&self) -> ModelMeta {
+        *taxonomy("Graph-WaveNet").expect("taxonomy entry")
+    }
+
+    fn store(&self) -> &ParamStore {
+        &self.store
+    }
+
+    fn forward<'t>(
+        &self,
+        tape: &'t Tape,
+        x: Var<'t>,
+        mut train: Option<&mut TrainCtx<'_>>,
+    ) -> Var<'t> {
+        let shape = x.shape();
+        let (b, t, n) = (shape[0], shape[1], shape[2]);
+        assert_eq!(t, self.cfg.t_in);
+        let adaptive: Vec<Var<'t>> = self.adaptive_adjacency(tape).into_iter().collect();
+        let mut h = self.start.forward(tape, to_conv_layout(x)); // [B, R, N, T]
+        let mut skip_sum: Option<Var<'t>> = None;
+        for layer in &self.layers {
+            let residual = h;
+            let z = layer.tcn.forward(tape, h); // valid: [B, R, N, T - d]
+            // Graph conv per (remaining) time slice.
+            let zs = z.shape();
+            let (c, tt) = (zs[1], zs[3]);
+            let flat = z.permute(&[0, 3, 2, 1]).reshape(&[b * tt, n, c]);
+            let g = layer.gconv.forward_with(tape, flat, &adaptive);
+            let mut g = g.reshape(&[b, tt, n, c]).permute(&[0, 3, 2, 1]);
+            if let Some(ctx) = train.as_deref_mut() {
+                if self.cfg.dropout > 0.0 {
+                    use rand::Rng;
+                    let rng = &mut *ctx.rng;
+                    g = g.dropout(self.cfg.dropout, true, || rng.gen::<f32>());
+                }
+            }
+            // Skip connection reads only the final position of this layer.
+            let s = layer.skip_conv.forward(tape, g.narrow(3, tt - 1, 1)); // [B, S, N, 1]
+            skip_sum = Some(match skip_sum {
+                Some(acc) => acc.add(&s),
+                None => s,
+            });
+            // Residual: crop the stored input to the shortened time axis.
+            let rt = residual.shape()[3];
+            h = g.add(&residual.narrow(3, rt - tt, tt));
+        }
+        let skip = skip_sum.expect("at least one layer").relu(); // [B, S, N, 1]
+        let out = self.end2.forward(tape, self.end1.forward(tape, skip).relu()); // [B, T_out, N, 1]
+        out.reshape(&[b, self.cfg.t_out, n])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use traffic_graph::freeway_corridor;
+    use traffic_tensor::Tensor;
+
+    fn setup() -> (GraphContext, StdRng) {
+        let mut rng = StdRng::seed_from_u64(7);
+        let net = freeway_corridor(6, 1.0, &mut rng);
+        (GraphContext::from_network(&net, 4), rng)
+    }
+
+    #[test]
+    fn forward_shape() {
+        let (ctx, mut rng) = setup();
+        let model = GraphWavenet::new(&ctx, GraphWavenetConfig::default(), &mut rng);
+        let tape = Tape::new();
+        let x = tape.constant(Tensor::zeros(&[2, 12, 6, 2]));
+        let y = model.forward(&tape, x, None);
+        assert_eq!(y.shape(), vec![2, 12, 6]);
+    }
+
+    #[test]
+    fn adaptive_adjacency_rows_stochastic() {
+        let (ctx, mut rng) = setup();
+        let model = GraphWavenet::new(&ctx, GraphWavenetConfig::default(), &mut rng);
+        let tape = Tape::new();
+        let a = model.adaptive_adjacency(&tape).unwrap().value();
+        assert_eq!(a.shape(), &[6, 6]);
+        for i in 0..6 {
+            let s: f32 = (0..6).map(|j| a.at(&[i, j])).sum();
+            assert!((s - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn ablation_without_adaptive() {
+        let (ctx, mut rng) = setup();
+        let cfg = GraphWavenetConfig { use_adaptive: false, ..Default::default() };
+        let model = GraphWavenet::new(&ctx, cfg, &mut rng);
+        let tape = Tape::new();
+        assert!(model.adaptive_adjacency(&tape).is_none());
+        let x = tape.constant(Tensor::zeros(&[1, 12, 6, 2]));
+        assert_eq!(model.forward(&tape, x, None).shape(), vec![1, 12, 6]);
+        // Fewer params than the adaptive variant.
+        let mut rng2 = StdRng::seed_from_u64(7);
+        let full = GraphWavenet::new(&ctx, GraphWavenetConfig::default(), &mut rng2);
+        assert!(model.num_params() < full.num_params());
+    }
+
+    #[test]
+    fn grads_reach_all_params_including_embeddings() {
+        let (ctx, mut rng) = setup();
+        let model = GraphWavenet::new(&ctx, GraphWavenetConfig::default(), &mut rng);
+        let tape = Tape::new();
+        let x = tape.constant(init::uniform(&[1, 12, 6, 2], -1.0, 1.0, &mut rng));
+        let y = model.forward(&tape, x, None);
+        let grads = tape.backward(y.powf(2.0).mean_all());
+        model.store().capture_grads(&tape, &grads);
+        for p in model.store().params() {
+            assert!(p.grad().is_some(), "no grad for {}", p.name());
+        }
+    }
+
+    #[test]
+    fn valid_convs_shrink_receptive_field_not_output() {
+        // Dilations [1, 2, 4] consume 7 steps of the 12-step window; the
+        // output must still cover all 12 horizons from the final position.
+        let (ctx, mut rng) = setup();
+        let model = GraphWavenet::new(&ctx, GraphWavenetConfig::default(), &mut rng);
+        let tape = Tape::new();
+        let x = tape.constant(Tensor::ones(&[1, 12, 6, 2]));
+        assert_eq!(model.forward(&tape, x, None).shape(), vec![1, 12, 6]);
+    }
+
+    #[test]
+    fn early_history_still_reaches_output() {
+        // With dilations [1, 2, 4] the receptive field spans 8 steps, so
+        // perturbing t = 5 must change the output, while t = 0 lies outside
+        // the receptive field of the final position.
+        let (ctx, mut rng) = setup();
+        let model = GraphWavenet::new(&ctx, GraphWavenetConfig::default(), &mut rng);
+        let base = Tensor::zeros(&[1, 12, 6, 2]);
+        let run = |input: Tensor| {
+            let tape = Tape::new();
+            model.forward(&tape, tape.constant(input), None).value()
+        };
+        let y0 = run(base.clone());
+        let mut mid = base.clone();
+        mid.make_mut()[5 * 6 * 2] = 3.0; // t = 5, node 0, value feature
+        assert_ne!(run(mid), y0, "step inside the receptive field must matter");
+    }
+
+    #[test]
+    fn output_depends_on_input() {
+        let (ctx, mut rng) = setup();
+        let model = GraphWavenet::new(&ctx, GraphWavenetConfig::default(), &mut rng);
+        let tape = Tape::new();
+        let x0 = tape.constant(Tensor::zeros(&[1, 12, 6, 2]));
+        let x1 = tape.constant(Tensor::ones(&[1, 12, 6, 2]));
+        let y0 = model.forward(&tape, x0, None).value();
+        let y1 = model.forward(&tape, x1, None).value();
+        assert_ne!(y0, y1);
+    }
+}

@@ -1,0 +1,37 @@
+//! # traffic-models
+//!
+//! Architecture-faithful, width-reduced Rust implementations of the eight
+//! deep-learning traffic predictors compared by the paper: STGCN, DCRNN,
+//! ASTGCN, ST-MetaNet, Graph-WaveNet, STG2Seq, STSGCN, and GMAN — all
+//! behind one [`TrafficModel`] trait mapping `[B, T', N, C]` windows to
+//! `[B, T, N]` forecasts, plus the Table II taxonomy in [`meta`].
+
+pub mod astgcn;
+pub mod baselines;
+pub mod common;
+pub mod dcrnn;
+pub mod gman;
+pub mod graph_wavenet;
+pub mod meta;
+pub mod registry;
+pub mod stg2seq;
+pub mod stgcn;
+pub mod stmetanet;
+pub mod stsgcn;
+
+pub use astgcn::{Astgcn, AstgcnConfig};
+pub use baselines::{HistoricalAverage, LastValue};
+pub use common::{GraphContext, TrafficModel, TrainCtx};
+pub use dcrnn::{Dcrnn, DcrnnConfig};
+pub use gman::{Gman, GmanConfig};
+pub use graph_wavenet::{GraphWavenet, GraphWavenetConfig};
+pub use meta::{taxonomy, ModelMeta, OutputStyle, SpatialComponent, TemporalComponent, MODEL_TAXONOMY};
+pub use registry::{build_model, train_horizon, train_profile, TrainProfile, ALL_MODELS};
+pub use stg2seq::{Stg2Seq, Stg2SeqConfig};
+pub use stgcn::{SpatialKind, Stgcn, StgcnConfig};
+pub use stmetanet::{StMetaNet, StMetaNetConfig};
+pub use stsgcn::{Stsgcn, StsgcnConfig};
+
+/// Five-minute steps per day (PeMS aggregation), re-exported for rollout
+/// time-of-day arithmetic.
+pub const STEPS_PER_DAY: usize = 288;

@@ -1,0 +1,219 @@
+//! Table II: characterisation of spatial and temporal modelling methods.
+
+/// Spatial-dependency modelling component (Table II rows).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SpatialComponent {
+    /// Spectral-based graph convolution (Laplacian polynomial).
+    SpectralGcn,
+    /// Spatial-based graph convolution (adjacency / random-walk powers).
+    SpatialGcn,
+    /// Graph attention network.
+    Gat,
+    /// Attention + graph embedding (GMAN).
+    AttnGraphEmbedding,
+}
+
+impl SpatialComponent {
+    /// Pros listed in Table II.
+    pub fn pros(self) -> &'static str {
+        match self {
+            SpatialComponent::SpectralGcn | SpatialComponent::SpatialGcn => {
+                "Simple architecture; direct use of graph structures"
+            }
+            SpatialComponent::Gat => "Dynamic modeling of spatial correlation; interpretability",
+            SpatialComponent::AttnGraphEmbedding => {
+                "Dynamic spatial correlation; latent features; attention beyond the graph"
+            }
+        }
+    }
+
+    /// Cons listed in Table II.
+    pub fn cons(self) -> &'static str {
+        match self {
+            SpatialComponent::SpectralGcn | SpatialComponent::SpatialGcn => {
+                "K-hop neighboring problem; cannot consider graph structure change"
+            }
+            SpatialComponent::Gat => "High time and memory cost",
+            SpatialComponent::AttnGraphEmbedding => "Random grouping corrupts graph structures",
+        }
+    }
+}
+
+/// Temporal-dependency modelling component (Table II rows).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TemporalComponent {
+    /// Recurrent networks (sequence-to-sequence).
+    Rnn,
+    /// Convolutional temporal modelling.
+    Cnn,
+    /// Attention-based temporal modelling.
+    Attention,
+    /// CNN plus attention (ASTGCN).
+    CnnAttention,
+    /// Hierarchical graph convolution over stacked time slices (STG2Seq),
+    /// or a joint local spatio-temporal graph (STSGCN).
+    GraphOverTime,
+}
+
+impl TemporalComponent {
+    /// Pros listed in Table II (closest row).
+    pub fn pros(self) -> &'static str {
+        match self {
+            TemporalComponent::Rnn => "Consideration of all states",
+            TemporalComponent::Cnn | TemporalComponent::GraphOverTime => {
+                "Simple architecture; local feature extraction; multi-step at once"
+            }
+            TemporalComponent::Attention | TemporalComponent::CnnAttention => {
+                "Flexible feature selection; cheap long-range reference"
+            }
+        }
+    }
+
+    /// Cons listed in Table II (closest row).
+    pub fn cons(self) -> &'static str {
+        match self {
+            TemporalComponent::Rnn => "Complex architecture; hard to capture local hidden feature",
+            TemporalComponent::Cnn | TemporalComponent::GraphOverTime => {
+                "Should find the best filter size"
+            }
+            TemporalComponent::Attention | TemporalComponent::CnnAttention => {
+                "Generally high time/memory cost"
+            }
+        }
+    }
+}
+
+/// How a model produces its 12-step forecast.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OutputStyle {
+    /// Predicts a single step; multi-step requires iterated rollout
+    /// (STGCN — the cause of its long inference time in Table III).
+    ManyToOne,
+    /// Autoregressive decoder (DCRNN, ST-MetaNet — error accumulation).
+    Seq2Seq,
+    /// All horizons emitted in one pass (Graph-WaveNet, GMAN, ...).
+    Direct,
+}
+
+/// One model's Table II row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ModelMeta {
+    /// Model name.
+    pub name: &'static str,
+    /// Spatial component.
+    pub spatial: SpatialComponent,
+    /// Temporal component.
+    pub temporal: TemporalComponent,
+    /// Output style.
+    pub output: OutputStyle,
+}
+
+/// The eight models of the paper with their Table II classification.
+pub const MODEL_TAXONOMY: [ModelMeta; 8] = [
+    ModelMeta {
+        name: "STGCN",
+        spatial: SpatialComponent::SpectralGcn,
+        temporal: TemporalComponent::Cnn,
+        output: OutputStyle::ManyToOne,
+    },
+    ModelMeta {
+        name: "DCRNN",
+        spatial: SpatialComponent::SpatialGcn,
+        temporal: TemporalComponent::Rnn,
+        output: OutputStyle::Seq2Seq,
+    },
+    ModelMeta {
+        name: "ASTGCN",
+        spatial: SpatialComponent::SpectralGcn,
+        temporal: TemporalComponent::CnnAttention,
+        output: OutputStyle::Direct,
+    },
+    ModelMeta {
+        name: "ST-MetaNet",
+        spatial: SpatialComponent::Gat,
+        temporal: TemporalComponent::Rnn,
+        output: OutputStyle::Seq2Seq,
+    },
+    ModelMeta {
+        name: "Graph-WaveNet",
+        spatial: SpatialComponent::SpatialGcn,
+        temporal: TemporalComponent::Cnn,
+        output: OutputStyle::Direct,
+    },
+    ModelMeta {
+        name: "STG2Seq",
+        spatial: SpatialComponent::SpatialGcn,
+        temporal: TemporalComponent::GraphOverTime,
+        output: OutputStyle::Direct,
+    },
+    ModelMeta {
+        name: "STSGCN",
+        spatial: SpatialComponent::SpatialGcn,
+        temporal: TemporalComponent::GraphOverTime,
+        output: OutputStyle::Direct,
+    },
+    ModelMeta {
+        name: "GMAN",
+        spatial: SpatialComponent::AttnGraphEmbedding,
+        temporal: TemporalComponent::Attention,
+        output: OutputStyle::Direct,
+    },
+];
+
+/// Looks up a taxonomy row by model name.
+pub fn taxonomy(name: &str) -> Option<&'static ModelMeta> {
+    MODEL_TAXONOMY.iter().find(|m| m.name.eq_ignore_ascii_case(name))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eight_models() {
+        assert_eq!(MODEL_TAXONOMY.len(), 8);
+    }
+
+    #[test]
+    fn spectral_vs_spatial_partition_matches_paper() {
+        // Table II footnote: STGCN & ASTGCN spectral; DCRNN, Graph-WaveNet,
+        // STG2Seq, STSGCN spatial.
+        let spectral: Vec<&str> = MODEL_TAXONOMY
+            .iter()
+            .filter(|m| m.spatial == SpatialComponent::SpectralGcn)
+            .map(|m| m.name)
+            .collect();
+        assert_eq!(spectral, vec!["STGCN", "ASTGCN"]);
+        let spatial: Vec<&str> = MODEL_TAXONOMY
+            .iter()
+            .filter(|m| m.spatial == SpatialComponent::SpatialGcn)
+            .map(|m| m.name)
+            .collect();
+        assert_eq!(spatial, vec!["DCRNN", "Graph-WaveNet", "STG2Seq", "STSGCN"]);
+    }
+
+    #[test]
+    fn rnn_models_are_seq2seq() {
+        for m in &MODEL_TAXONOMY {
+            if m.temporal == TemporalComponent::Rnn {
+                assert_eq!(m.output, OutputStyle::Seq2Seq, "{}", m.name);
+            }
+        }
+    }
+
+    #[test]
+    fn lookup() {
+        assert_eq!(taxonomy("gman").unwrap().name, "GMAN");
+        assert!(taxonomy("unknown").is_none());
+    }
+
+    #[test]
+    fn pros_cons_non_empty() {
+        for m in &MODEL_TAXONOMY {
+            assert!(!m.spatial.pros().is_empty());
+            assert!(!m.spatial.cons().is_empty());
+            assert!(!m.temporal.pros().is_empty());
+            assert!(!m.temporal.cons().is_empty());
+        }
+    }
+}

@@ -1,0 +1,245 @@
+//! STG2Seq (Bai et al., IJCAI 2019): a purely graph-convolutional
+//! sequence-to-sequence model. Gated graph convolution modules (GGCMs)
+//! convolve short temporal slices of the history through the road graph; a
+//! long-term encoder covers the whole window, a short-term encoder the most
+//! recent steps, and an attention-based output module emits every horizon.
+
+use rand::rngs::StdRng;
+use traffic_nn::{DenseGraphConv, Linear, Param, ParamStore};
+use traffic_tensor::{init, Tape, Var};
+
+use crate::common::{GraphContext, TrafficModel, TrainCtx};
+use crate::meta::{taxonomy, ModelMeta};
+
+/// STG2Seq hyper-parameters.
+#[derive(Debug, Clone)]
+pub struct Stg2SeqConfig {
+    /// Feature width inside GGCMs.
+    pub channels: usize,
+    /// Temporal slice length each GGCM sees.
+    pub slice: usize,
+    /// GGCMs in the long-term encoder.
+    pub long_layers: usize,
+    /// Steps covered by the short-term encoder.
+    pub short_window: usize,
+    /// Horizons / features.
+    pub t_in: usize,
+    pub t_out: usize,
+    pub in_features: usize,
+}
+
+impl Default for Stg2SeqConfig {
+    fn default() -> Self {
+        Stg2SeqConfig {
+            channels: 32,
+            slice: 3,
+            long_layers: 2,
+            short_window: 4,
+            t_in: 12,
+            t_out: 12,
+            in_features: 2,
+        }
+    }
+}
+
+/// Gated graph convolution module: slices `slice` consecutive steps into
+/// the feature axis, graph-convolves, and applies GLU gating. Keeps the
+/// time length via causal padding.
+struct Ggcm {
+    conv: DenseGraphConv,
+    slice: usize,
+    f_in: usize,
+    f_out: usize,
+}
+
+impl Ggcm {
+    fn new(
+        store: &mut ParamStore,
+        prefix: &str,
+        ctx: &GraphContext,
+        slice: usize,
+        f_in: usize,
+        f_out: usize,
+        rng: &mut StdRng,
+    ) -> Self {
+        let conv = DenseGraphConv::new(
+            store,
+            prefix,
+            ctx.row_norm_adj.clone(),
+            slice * f_in,
+            2 * f_out, // GLU halves
+            rng,
+        );
+        Ggcm { conv, slice, f_in, f_out }
+    }
+
+    /// `[B, T, N, F_in] -> [B, T, N, F_out]`.
+    fn forward<'t>(&self, tape: &'t Tape, x: Var<'t>) -> Var<'t> {
+        let shape = x.shape();
+        let (b, t, n, f) = (shape[0], shape[1], shape[2], shape[3]);
+        assert_eq!(f, self.f_in);
+        // Causal pad along time so slice windows exist for every t.
+        let padded = x.pad(&[(0, 0), (self.slice - 1, 0), (0, 0), (0, 0)]);
+        // Window t covers padded[t .. t+slice]; concat along features.
+        let slices: Vec<Var<'t>> =
+            (0..self.slice).map(|s| padded.narrow(1, s, t)).collect();
+        let stacked = Var::concat(&slices, 3); // [B, T, N, slice·F]
+        let flat = stacked.reshape(&[b * t, n, self.slice * f]);
+        let conv = self.conv.forward(tape, flat); // [B·T, N, 2F_out]
+        let a = conv.narrow(2, 0, self.f_out);
+        let g = conv.narrow(2, self.f_out, self.f_out).sigmoid();
+        a.mul(&g).reshape(&[b, t, n, self.f_out])
+    }
+}
+
+/// The STG2Seq model.
+pub struct Stg2Seq {
+    store: ParamStore,
+    long: Vec<Ggcm>,
+    short: Ggcm,
+    /// Learned per-horizon attention queries `[T_out, F]`.
+    queries: Param,
+    key_proj: Linear,
+    out_proj: Linear,
+    cfg: Stg2SeqConfig,
+}
+
+impl Stg2Seq {
+    /// Builds STG2Seq for a graph context.
+    pub fn new(ctx: &GraphContext, cfg: Stg2SeqConfig, rng: &mut StdRng) -> Self {
+        let mut store = ParamStore::new();
+        let mut long = Vec::new();
+        let mut f_in = cfg.in_features;
+        for i in 0..cfg.long_layers {
+            long.push(Ggcm::new(&mut store, &format!("long{i}"), ctx, cfg.slice, f_in, cfg.channels, rng));
+            f_in = cfg.channels;
+        }
+        let short = Ggcm::new(&mut store, "short", ctx, cfg.slice, cfg.in_features, cfg.channels, rng);
+        let queries =
+            store.add("queries", init::xavier_uniform(&[cfg.t_out, cfg.channels], rng));
+        let key_proj = Linear::new(&mut store, "key_proj", cfg.channels, cfg.channels, false, rng);
+        let out_proj = Linear::new(&mut store, "out_proj", cfg.channels, 1, true, rng);
+        Stg2Seq { store, long, short, queries, key_proj, out_proj, cfg }
+    }
+}
+
+impl TrafficModel for Stg2Seq {
+    fn name(&self) -> &'static str {
+        "STG2Seq"
+    }
+
+    fn meta(&self) -> ModelMeta {
+        *taxonomy("STG2Seq").expect("taxonomy entry")
+    }
+
+    fn store(&self) -> &ParamStore {
+        &self.store
+    }
+
+    fn forward<'t>(
+        &self,
+        tape: &'t Tape,
+        x: Var<'t>,
+        train: Option<&mut TrainCtx<'_>>,
+    ) -> Var<'t> {
+        let _ = train;
+        let shape = x.shape();
+        let (b, t, n) = (shape[0], shape[1], shape[2]);
+        assert_eq!(t, self.cfg.t_in);
+        // Long-term encoder over the whole window.
+        let mut hl = x;
+        for layer in &self.long {
+            hl = layer.forward(tape, hl);
+        }
+        // Short-term encoder over the most recent steps.
+        let sw = self.cfg.short_window;
+        let recent = x.narrow(1, t - sw, sw);
+        let hs = self.short.forward(tape, recent);
+        // Concatenate along time: [B, T + SW, N, F].
+        let enc = Var::concat(&[hl, hs], 1);
+        let lt = t + sw;
+        let f = self.cfg.channels;
+        // Attention output: per horizon τ, softmax over encoder time.
+        // keys: [B, N, LT, F]
+        let keys = self.key_proj.forward(tape, enc).permute(&[0, 2, 1, 3]); // [B, N, LT, F]
+        let vals = enc.permute(&[0, 2, 1, 3]); // [B, N, LT, F]
+        let q = self.queries.var(tape).reshape(&[1, 1, self.cfg.t_out, f]);
+        let scale = 1.0 / (f as f32).sqrt();
+        let scores = q.matmul(&keys.t()).mul_scalar(scale); // [B, N, T_out, LT]
+        let alpha = scores.softmax(3);
+        let ctx_vec = alpha.matmul(&vals); // [B, N, T_out, F]
+        let y = self.out_proj.forward(tape, ctx_vec); // [B, N, T_out, 1]
+        let _ = lt;
+        y.reshape(&[b, n, self.cfg.t_out]).permute(&[0, 2, 1])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use traffic_tensor::Tensor;
+    use rand::SeedableRng;
+    use traffic_graph::freeway_corridor;
+
+    fn setup() -> (GraphContext, StdRng) {
+        let mut rng = StdRng::seed_from_u64(10);
+        let net = freeway_corridor(6, 1.0, &mut rng);
+        (GraphContext::from_network(&net, 4), rng)
+    }
+
+    #[test]
+    fn forward_shape() {
+        let (ctx, mut rng) = setup();
+        let model = Stg2Seq::new(&ctx, Stg2SeqConfig::default(), &mut rng);
+        let tape = Tape::new();
+        let x = tape.constant(Tensor::zeros(&[2, 12, 6, 2]));
+        let y = model.forward(&tape, x, None);
+        assert_eq!(y.shape(), vec![2, 12, 6]);
+    }
+
+    #[test]
+    fn ggcm_preserves_time_length() {
+        let (ctx, mut rng) = setup();
+        let mut store = ParamStore::new();
+        let ggcm = Ggcm::new(&mut store, "g", &ctx, 3, 2, 5, &mut rng);
+        let tape = Tape::new();
+        let x = tape.constant(Tensor::ones(&[2, 7, 6, 2]));
+        let y = ggcm.forward(&tape, x);
+        assert_eq!(y.shape(), vec![2, 7, 6, 5]);
+    }
+
+    #[test]
+    fn ggcm_is_causal() {
+        // Changing a later time step must not affect earlier outputs.
+        let (ctx, mut rng) = setup();
+        let mut store = ParamStore::new();
+        let ggcm = Ggcm::new(&mut store, "g", &ctx, 3, 1, 4, &mut rng);
+        let tape = Tape::new();
+        let base = Tensor::zeros(&[1, 6, 6, 1]);
+        let mut bumped = base.clone();
+        bumped.make_mut()[5 * 6] = 1.0; // t = 5, node 0
+        let y0 = ggcm.forward(&tape, tape.constant(base)).value();
+        let y1 = ggcm.forward(&tape, tape.constant(bumped)).value();
+        for t in 0..5 {
+            for i in 0..6 {
+                for f in 0..4 {
+                    assert_eq!(y0.at(&[0, t, i, f]), y1.at(&[0, t, i, f]), "leak at t={t}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn grads_reach_all_params() {
+        let (ctx, mut rng) = setup();
+        let model = Stg2Seq::new(&ctx, Stg2SeqConfig::default(), &mut rng);
+        let tape = Tape::new();
+        let x = tape.constant(init::uniform(&[1, 12, 6, 2], -1.0, 1.0, &mut rng));
+        let y = model.forward(&tape, x, None);
+        let grads = tape.backward(y.powf(2.0).mean_all());
+        model.store().capture_grads(&tape, &grads);
+        for p in model.store().params() {
+            assert!(p.grad().is_some(), "no grad for {}", p.name());
+        }
+    }
+}

@@ -1,0 +1,259 @@
+//! STSGCN (Song et al., AAAI 2020): spatial-temporal synchronous graph
+//! convolutional network. Three consecutive time slices are joined into one
+//! localised spatio-temporal graph of `3N` vertices; *individual* (not
+//! shared) synchronous graph-conv modules process each sliding window, and
+//! individual output heads emit each horizon — the design choice behind the
+//! largest parameter count in Table III.
+
+use rand::rngs::StdRng;
+use traffic_nn::{DenseGraphConv, Linear, ParamStore};
+use traffic_tensor::{Tape, Tensor, Var};
+
+use crate::common::{GraphContext, TrafficModel, TrainCtx};
+use crate::meta::{taxonomy, ModelMeta};
+
+/// STSGCN hyper-parameters.
+#[derive(Debug, Clone)]
+pub struct StsgcnConfig {
+    /// Feature width inside modules.
+    pub channels: usize,
+    /// Graph-conv layers per synchronous module.
+    pub layers_per_module: usize,
+    /// Horizons / features.
+    pub t_in: usize,
+    pub t_out: usize,
+    pub in_features: usize,
+}
+
+impl Default for StsgcnConfig {
+    fn default() -> Self {
+        StsgcnConfig { channels: 28, layers_per_module: 2, t_in: 12, t_out: 12, in_features: 2 }
+    }
+}
+
+/// Builds the `3N × 3N` localised spatio-temporal adjacency: the dataset
+/// graph on each diagonal block, identity links between the same sensor at
+/// consecutive slices, row-normalised.
+pub fn local_st_adjacency(adj: &Tensor) -> Tensor {
+    let n = adj.shape()[0];
+    assert_eq!(adj.shape(), &[n, n]);
+    let m = 3 * n;
+    let mut out = Tensor::zeros(&[m, m]);
+    {
+        let buf = out.make_mut();
+        let a = adj.as_slice();
+        for blk in 0..3 {
+            let off = blk * n;
+            for i in 0..n {
+                for j in 0..n {
+                    buf[(off + i) * m + off + j] = a[i * n + j];
+                }
+            }
+        }
+        // temporal links: slice k sensor i <-> slice k+1 sensor i
+        for k in 0..2 {
+            for i in 0..n {
+                let u = k * n + i;
+                let v = (k + 1) * n + i;
+                buf[u * m + v] = 1.0;
+                buf[v * m + u] = 1.0;
+            }
+        }
+    }
+    traffic_graph::row_normalize(&out)
+}
+
+/// One synchronous module: stacked graph convs on the `3N` graph with GLU
+/// activations, then crop to the middle `N` vertices.
+struct Stsgcm {
+    convs: Vec<DenseGraphConv>,
+    channels: usize,
+}
+
+impl Stsgcm {
+    fn new(
+        store: &mut ParamStore,
+        prefix: &str,
+        local_adj: &Tensor,
+        layers: usize,
+        f_in: usize,
+        channels: usize,
+        rng: &mut StdRng,
+    ) -> Self {
+        let mut convs = Vec::new();
+        let mut fi = f_in;
+        for l in 0..layers {
+            convs.push(DenseGraphConv::new(
+                store,
+                &format!("{prefix}.conv{l}"),
+                local_adj.clone(),
+                fi,
+                2 * channels,
+                rng,
+            ));
+            fi = channels;
+        }
+        Stsgcm { convs, channels }
+    }
+
+    /// `[B, 3N, F] -> [B, N, C]` (middle slice).
+    fn forward<'t>(&self, tape: &'t Tape, x: Var<'t>) -> Var<'t> {
+        let n3 = x.shape()[1];
+        let n = n3 / 3;
+        let mut h = x;
+        for conv in &self.convs {
+            let z = conv.forward(tape, h);
+            let a = z.narrow(2, 0, self.channels);
+            let g = z.narrow(2, self.channels, self.channels).sigmoid();
+            h = a.mul(&g);
+        }
+        h.narrow(1, n, n)
+    }
+}
+
+/// The STSGCN model.
+pub struct Stsgcn {
+    store: ParamStore,
+    input_proj: Linear,
+    /// One *individual* module per sliding window (t_in − 2 of them).
+    modules: Vec<Stsgcm>,
+    /// One individual output head per horizon.
+    heads: Vec<Linear>,
+    cfg: StsgcnConfig,
+}
+
+impl Stsgcn {
+    /// Builds STSGCN for a graph context.
+    pub fn new(ctx: &GraphContext, cfg: StsgcnConfig, rng: &mut StdRng) -> Self {
+        let mut store = ParamStore::new();
+        let local = local_st_adjacency(&ctx.row_norm_adj);
+        let input_proj = Linear::new(&mut store, "input_proj", cfg.in_features, cfg.channels, true, rng);
+        let windows = cfg.t_in - 2;
+        let modules = (0..windows)
+            .map(|w| {
+                Stsgcm::new(
+                    &mut store,
+                    &format!("module{w}"),
+                    &local,
+                    cfg.layers_per_module,
+                    cfg.channels,
+                    cfg.channels,
+                    rng,
+                )
+            })
+            .collect();
+        let heads = (0..cfg.t_out)
+            .map(|h| Linear::new(&mut store, &format!("head{h}"), windows * cfg.channels, 1, true, rng))
+            .collect();
+        Stsgcn { store, input_proj, modules, heads, cfg }
+    }
+}
+
+impl TrafficModel for Stsgcn {
+    fn name(&self) -> &'static str {
+        "STSGCN"
+    }
+
+    fn meta(&self) -> ModelMeta {
+        *taxonomy("STSGCN").expect("taxonomy entry")
+    }
+
+    fn store(&self) -> &ParamStore {
+        &self.store
+    }
+
+    fn forward<'t>(
+        &self,
+        tape: &'t Tape,
+        x: Var<'t>,
+        train: Option<&mut TrainCtx<'_>>,
+    ) -> Var<'t> {
+        let _ = train;
+        let shape = x.shape();
+        let (b, t, n) = (shape[0], shape[1], shape[2]);
+        assert_eq!(t, self.cfg.t_in);
+        let h = self.input_proj.forward(tape, x).relu(); // [B, T, N, C]
+        // Each window w joins slices (w, w+1, w+2) into a 3N graph.
+        let mut window_outs = Vec::with_capacity(self.modules.len());
+        for (w, module) in self.modules.iter().enumerate() {
+            let s0 = h.narrow(1, w, 1).reshape(&[b, n, self.cfg.channels]);
+            let s1 = h.narrow(1, w + 1, 1).reshape(&[b, n, self.cfg.channels]);
+            let s2 = h.narrow(1, w + 2, 1).reshape(&[b, n, self.cfg.channels]);
+            let joined = Var::concat(&[s0, s1, s2], 1); // [B, 3N, C]
+            window_outs.push(module.forward(tape, joined)); // [B, N, C]
+        }
+        // [B, N, windows · C]
+        let agg = Var::concat(&window_outs, 2);
+        let mut horizons = Vec::with_capacity(self.cfg.t_out);
+        for head in &self.heads {
+            horizons.push(head.forward(tape, agg).reshape(&[b, 1, n]));
+        }
+        Var::concat(&horizons, 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use traffic_graph::freeway_corridor;
+
+    fn setup() -> (GraphContext, StdRng) {
+        let mut rng = StdRng::seed_from_u64(11);
+        let net = freeway_corridor(5, 1.0, &mut rng);
+        (GraphContext::from_network(&net, 4), rng)
+    }
+
+    #[test]
+    fn local_adjacency_structure() {
+        let a = Tensor::from_vec(vec![0.5, 0.5, 0.5, 0.5], &[2, 2]);
+        let l = local_st_adjacency(&a);
+        assert_eq!(l.shape(), &[6, 6]);
+        // temporal link sensor 0: slice0 (row 0) ↔ slice1 (row 2)
+        assert!(l.at(&[0, 2]) > 0.0);
+        assert!(l.at(&[2, 4]) > 0.0);
+        // no direct slice0 ↔ slice2 link
+        assert_eq!(l.at(&[0, 4]), 0.0);
+        // rows stochastic
+        for i in 0..6 {
+            let s: f32 = (0..6).map(|j| l.at(&[i, j])).sum();
+            assert!((s - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn forward_shape() {
+        let (ctx, mut rng) = setup();
+        let model = Stsgcn::new(&ctx, StsgcnConfig::default(), &mut rng);
+        let tape = Tape::new();
+        let x = tape.constant(Tensor::zeros(&[2, 12, 5, 2]));
+        let y = model.forward(&tape, x, None);
+        assert_eq!(y.shape(), vec![2, 12, 5]);
+    }
+
+    #[test]
+    fn individual_modules_inflate_params() {
+        // STSGCN should dwarf a single shared-module design in parameters —
+        // the Table III observation.
+        let (ctx, mut rng) = setup();
+        let model = Stsgcn::new(&ctx, StsgcnConfig::default(), &mut rng);
+        let per_module_params: usize = 2 * (12 * 24 + 24) + (12 * 24 + 24); // rough floor
+        assert!(model.num_params() > 10 * per_module_params / 2, "{}", model.num_params());
+        assert_eq!(model.modules.len(), 10);
+        assert_eq!(model.heads.len(), 12);
+    }
+
+    #[test]
+    fn grads_reach_all_params() {
+        let (ctx, mut rng) = setup();
+        let model = Stsgcn::new(&ctx, StsgcnConfig::default(), &mut rng);
+        let tape = Tape::new();
+        let x = tape.constant(traffic_tensor::init::uniform(&[1, 12, 5, 2], -1.0, 1.0, &mut rng));
+        let y = model.forward(&tape, x, None);
+        let grads = tape.backward(y.powf(2.0).mean_all());
+        model.store().capture_grads(&tape, &grads);
+        for p in model.store().params() {
+            assert!(p.grad().is_some(), "no grad for {}", p.name());
+        }
+    }
+}

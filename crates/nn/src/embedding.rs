@@ -1,0 +1,94 @@
+//! Embedding lookup layer (learned row table with scatter-add backward).
+
+use rand::Rng;
+use traffic_tensor::{init, Tape, Var};
+
+use crate::param::{Param, ParamStore};
+
+/// A learned `[vocab, dim]` table indexed by integer ids.
+pub struct Embedding {
+    table: Param,
+    vocab: usize,
+    dim: usize,
+}
+
+impl Embedding {
+    /// New table with `N(0, 0.1)` initialisation.
+    pub fn new(
+        store: &mut ParamStore,
+        prefix: &str,
+        vocab: usize,
+        dim: usize,
+        rng: &mut impl Rng,
+    ) -> Self {
+        let table =
+            store.add(format!("{prefix}.table"), init::normal(&[vocab, dim], 0.0, 0.1, rng));
+        Embedding { table, vocab, dim }
+    }
+
+    /// Number of rows.
+    pub fn vocab(&self) -> usize {
+        self.vocab
+    }
+
+    /// Embedding width.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Looks up `ids`, returning `[len(ids), dim]`. Ids may repeat;
+    /// gradients scatter-add into the table.
+    pub fn forward<'t>(&self, tape: &'t Tape, ids: &[usize]) -> Var<'t> {
+        for &i in ids {
+            assert!(i < self.vocab, "embedding id {i} out of range (vocab {})", self.vocab);
+        }
+        self.table.var(tape).index_select0(ids)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use traffic_tensor::Tensor;
+
+    #[test]
+    fn lookup_shapes_and_values() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut store = ParamStore::new();
+        let emb = Embedding::new(&mut store, "e", 5, 3, &mut rng);
+        emb.table.set_value(Tensor::arange(15).reshape(&[5, 3]));
+        let tape = Tape::new();
+        let out = emb.forward(&tape, &[4, 0, 4]).value();
+        assert_eq!(out.shape(), &[3, 3]);
+        assert_eq!(out.at(&[0, 0]), 12.0);
+        assert_eq!(out.at(&[1, 2]), 2.0);
+        assert_eq!(out.at(&[2, 1]), 13.0);
+    }
+
+    #[test]
+    fn repeated_ids_accumulate_grads() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut store = ParamStore::new();
+        let emb = Embedding::new(&mut store, "e", 3, 2, &mut rng);
+        let tape = Tape::new();
+        let out = emb.forward(&tape, &[1, 1, 2]);
+        let grads = tape.backward(out.sum_all());
+        store.capture_grads(&tape, &grads);
+        let g = store.params()[0].grad().unwrap();
+        assert_eq!(g.at(&[0, 0]), 0.0); // unused row
+        assert_eq!(g.at(&[1, 0]), 2.0); // used twice
+        assert_eq!(g.at(&[2, 0]), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_panics() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut store = ParamStore::new();
+        let emb = Embedding::new(&mut store, "e", 3, 2, &mut rng);
+        let tape = Tape::new();
+        emb.forward(&tape, &[3]);
+    }
+}

@@ -1,0 +1,374 @@
+//! Graph convolution layers over `[B, N, F]` node-feature tensors.
+//!
+//! Three families, matching the paper's Table II taxonomy:
+//! - **spectral** ([`ChebConv`]): Chebyshev polynomials of the scaled graph
+//!   Laplacian (STGCN, ASTGCN);
+//! - **spatial** ([`DiffusionConv`], [`DenseGraphConv`]): powers of
+//!   random-walk transition matrices applied directly to the adjacency
+//!   structure (DCRNN, Graph-WaveNet, STG2Seq, STSGCN);
+//! - **attention** ([`GraphAttention`]): learned edge weights (ST-MetaNet,
+//!   and the spatial half of GMAN).
+
+use rand::Rng;
+use traffic_tensor::{init, Tape, Tensor, Var};
+
+use crate::param::{Param, ParamStore};
+
+/// Chebyshev spectral graph convolution of order `K`.
+///
+/// `y = Σ_{k<K} T_k(L̃) · x · W_k` where `T_k` is the Chebyshev recurrence
+/// and `L̃` the rescaled Laplacian (`2L/λmax − I`).
+pub struct ChebConv {
+    weights: Param, // [K, F_in, F_out]
+    bias: Param,    // [F_out]
+    laplacian: Tensor,
+    order: usize,
+}
+
+impl ChebConv {
+    /// `laplacian` must be the rescaled Laplacian `L̃ ∈ [N, N]`.
+    pub fn new(
+        store: &mut ParamStore,
+        prefix: &str,
+        laplacian: Tensor,
+        order: usize,
+        f_in: usize,
+        f_out: usize,
+        rng: &mut impl Rng,
+    ) -> Self {
+        assert!(order >= 1, "Chebyshev order must be >= 1");
+        assert_eq!(laplacian.rank(), 2, "laplacian must be [N, N]");
+        assert_eq!(laplacian.shape()[0], laplacian.shape()[1]);
+        let weights = store.add(
+            format!("{prefix}.weights"),
+            init::xavier_uniform(&[order, f_in, f_out], rng),
+        );
+        let bias = store.add(format!("{prefix}.bias"), Tensor::zeros(&[f_out]));
+        ChebConv { weights, bias, laplacian, order }
+    }
+
+    /// Forward on `[B, N, F_in] -> [B, N, F_out]`.
+    pub fn forward<'t>(&self, tape: &'t Tape, x: Var<'t>) -> Var<'t> {
+        let l = tape.constant(self.laplacian.clone());
+        let w = self.weights.var(tape);
+        let (f_in, f_out) = (self.weights.shape()[1], self.weights.shape()[2]);
+        let mut t_prev2 = x; // T_0 = x
+        let mut out = t_prev2.matmul(&w.narrow(0, 0, 1).reshape(&[f_in, f_out]));
+        if self.order > 1 {
+            let mut t_prev1 = l.matmul(&x); // T_1 = L̃ x
+            out = out.add(&t_prev1.matmul(&w.narrow(0, 1, 1).reshape(&[f_in, f_out])));
+            for k in 2..self.order {
+                // T_k = 2 L̃ T_{k-1} − T_{k-2}
+                let t_k = l.matmul(&t_prev1).mul_scalar(2.0).sub(&t_prev2);
+                out = out.add(&t_k.matmul(&w.narrow(0, k, 1).reshape(&[f_in, f_out])));
+                t_prev2 = t_prev1;
+                t_prev1 = t_k;
+            }
+        }
+        out.add(&self.bias.var(tape))
+    }
+}
+
+/// Diffusion convolution (DCRNN / Graph-WaveNet style).
+///
+/// `y = Σ_s Σ_{k≤K} (P_s)^k · x · W_{s,k}` over a set of support matrices
+/// `P_s` (typically forward and backward random-walk transitions, plus an
+/// optional learned adaptive adjacency supplied at forward time).
+pub struct DiffusionConv {
+    weights: Param, // [S*(K+1), F_in, F_out]
+    bias: Param,
+    supports: Vec<Tensor>,
+    steps: usize,
+    extra_supports: usize,
+}
+
+impl DiffusionConv {
+    /// `supports` are the fixed `[N, N]` transition matrices;
+    /// `extra_supports` reserves weight slots for adaptive matrices passed
+    /// to [`DiffusionConv::forward_with`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        store: &mut ParamStore,
+        prefix: &str,
+        supports: Vec<Tensor>,
+        extra_supports: usize,
+        steps: usize,
+        f_in: usize,
+        f_out: usize,
+        rng: &mut impl Rng,
+    ) -> Self {
+        let total = supports.len() + extra_supports;
+        assert!(total > 0, "diffusion conv needs at least one support");
+        // k = 0 term (identity) is shared once, then K terms per support.
+        let slots = 1 + total * steps;
+        let weights =
+            store.add(format!("{prefix}.weights"), init::xavier_uniform(&[slots, f_in, f_out], rng));
+        let bias = store.add(format!("{prefix}.bias"), Tensor::zeros(&[f_out]));
+        DiffusionConv { weights, bias, supports, steps, extra_supports }
+    }
+
+    /// Forward using only the fixed supports.
+    pub fn forward<'t>(&self, tape: &'t Tape, x: Var<'t>) -> Var<'t> {
+        assert_eq!(self.extra_supports, 0, "adaptive supports required; use forward_with");
+        self.forward_with(tape, x, &[])
+    }
+
+    /// Forward with additional (possibly learned) support matrices.
+    pub fn forward_with<'t>(&self, tape: &'t Tape, x: Var<'t>, adaptive: &[Var<'t>]) -> Var<'t> {
+        assert_eq!(
+            adaptive.len(),
+            self.extra_supports,
+            "expected {} adaptive supports, got {}",
+            self.extra_supports,
+            adaptive.len()
+        );
+        let w = self.weights.var(tape);
+        let (f_in, f_out) = (self.weights.shape()[1], self.weights.shape()[2]);
+        let wk = |slot: usize| w.narrow(0, slot, 1).reshape(&[f_in, f_out]);
+        // k = 0: identity.
+        let mut out = x.matmul(&wk(0));
+        let mut slot = 1;
+        let fixed: Vec<Var<'t>> =
+            self.supports.iter().map(|s| tape.constant(s.clone())).collect();
+        for p in fixed.iter().chain(adaptive.iter()) {
+            let mut xk = x;
+            for _ in 0..self.steps {
+                xk = p.matmul(&xk);
+                out = out.add(&xk.matmul(&wk(slot)));
+                slot += 1;
+            }
+        }
+        out.add(&self.bias.var(tape))
+    }
+}
+
+/// Plain dense graph convolution `y = σ(Â · x · W)` with a fixed normalised
+/// adjacency. The workhorse of STG2Seq / STSGCN-style blocks.
+pub struct DenseGraphConv {
+    weight: Param,
+    bias: Param,
+    adj: Tensor,
+}
+
+impl DenseGraphConv {
+    /// `adj` is a pre-normalised `[N, N]` propagation matrix.
+    pub fn new(
+        store: &mut ParamStore,
+        prefix: &str,
+        adj: Tensor,
+        f_in: usize,
+        f_out: usize,
+        rng: &mut impl Rng,
+    ) -> Self {
+        let weight =
+            store.add(format!("{prefix}.weight"), init::xavier_uniform(&[f_in, f_out], rng));
+        let bias = store.add(format!("{prefix}.bias"), Tensor::zeros(&[f_out]));
+        DenseGraphConv { weight, bias, adj }
+    }
+
+    /// Forward on `[B, N, F_in]` (no activation; callers choose).
+    pub fn forward<'t>(&self, tape: &'t Tape, x: Var<'t>) -> Var<'t> {
+        let a = tape.constant(self.adj.clone());
+        a.matmul(&x).matmul(&self.weight.var(tape)).add(&self.bias.var(tape))
+    }
+}
+
+/// Single-layer multi-head graph attention (GAT).
+///
+/// Dense formulation: attention scores are computed for every node pair and
+/// masked to the graph's edges (+self-loops) before the softmax.
+pub struct GraphAttention {
+    w: Param,       // [H, F_in, F_head]
+    a_src: Param,   // [H, F_head]
+    a_dst: Param,   // [H, F_head]
+    mask: Tensor,   // [N, N]: 0 on edges, -1e9 elsewhere
+    heads: usize,
+    f_head: usize,
+}
+
+impl GraphAttention {
+    /// `adj` is any `[N, N]` matrix whose non-zero entries mark edges;
+    /// self-loops are always allowed. Output feature size is
+    /// `heads * f_head` (concatenated heads).
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        store: &mut ParamStore,
+        prefix: &str,
+        adj: &Tensor,
+        heads: usize,
+        f_in: usize,
+        f_head: usize,
+        rng: &mut impl Rng,
+    ) -> Self {
+        let n = adj.shape()[0];
+        assert_eq!(adj.shape(), &[n, n], "adjacency must be square");
+        let mut mask = Tensor::zeros(&[n, n]);
+        {
+            let m = mask.make_mut();
+            let a = adj.as_slice();
+            for i in 0..n {
+                for j in 0..n {
+                    if a[i * n + j] == 0.0 && i != j {
+                        m[i * n + j] = -1e9;
+                    }
+                }
+            }
+        }
+        GraphAttention {
+            w: store.add(format!("{prefix}.w"), init::xavier_uniform(&[heads, f_in, f_head], rng)),
+            a_src: store.add(format!("{prefix}.a_src"), init::xavier_uniform(&[heads, f_head], rng)),
+            a_dst: store.add(format!("{prefix}.a_dst"), init::xavier_uniform(&[heads, f_head], rng)),
+            mask,
+            heads,
+            f_head,
+        }
+    }
+
+    /// Forward on `[B, N, F_in] -> [B, N, heads * f_head]`.
+    pub fn forward<'t>(&self, tape: &'t Tape, x: Var<'t>) -> Var<'t> {
+        let shape = x.shape();
+        let (b, n) = (shape[0], shape[1]);
+        let w = self.w.var(tape);
+        let asrc = self.a_src.var(tape);
+        let adst = self.a_dst.var(tape);
+        let mut head_outs = Vec::with_capacity(self.heads);
+        for h in 0..self.heads {
+            let f_in = self.w.shape()[1];
+            let wh = w.narrow(0, h, 1).reshape(&[f_in, self.f_head]);
+            let hx = x.matmul(&wh); // [B, N, Fh]
+            let s = hx.matmul(&asrc.narrow(0, h, 1).reshape(&[self.f_head, 1])); // [B, N, 1]
+            let d = hx.matmul(&adst.narrow(0, h, 1).reshape(&[self.f_head, 1])); // [B, N, 1]
+            // scores[i][j] = s_i + d_j
+            let scores = s.add(&d.reshape(&[b, 1, n])).leaky_relu(0.2);
+            let masked = scores.add_const(&self.mask.reshape(&[1, n, n]));
+            let alpha = masked.softmax(2);
+            head_outs.push(alpha.matmul(&hx)); // [B, N, Fh]
+        }
+        Var::concat(&head_outs, 2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use traffic_tensor::Tape;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(11)
+    }
+
+    /// Path graph 0-1-2 rescaled Laplacian substitute for tests.
+    fn toy_lap() -> Tensor {
+        Tensor::from_vec(
+            vec![0.5, -0.5, 0.0, -0.5, 1.0, -0.5, 0.0, -0.5, 0.5],
+            &[3, 3],
+        )
+    }
+
+    fn row_norm_adj() -> Tensor {
+        // path graph with self loops, row-normalised
+        Tensor::from_vec(
+            vec![0.5, 0.5, 0.0, 1.0 / 3.0, 1.0 / 3.0, 1.0 / 3.0, 0.0, 0.5, 0.5],
+            &[3, 3],
+        )
+    }
+
+    #[test]
+    fn cheb_shapes_orders() {
+        for order in 1..=3 {
+            let mut store = ParamStore::new();
+            let conv = ChebConv::new(&mut store, "c", toy_lap(), order, 2, 4, &mut rng());
+            let tape = Tape::new();
+            let x = tape.constant(Tensor::ones(&[2, 3, 2]));
+            let y = conv.forward(&tape, x);
+            assert_eq!(y.shape(), vec![2, 3, 4]);
+            assert_eq!(store.num_scalars(), order * 2 * 4 + 4);
+        }
+    }
+
+    #[test]
+    fn cheb_order1_is_linear() {
+        // K = 1 ignores the graph entirely: y = x W_0 + b
+        let mut store = ParamStore::new();
+        let conv = ChebConv::new(&mut store, "c", toy_lap(), 1, 1, 1, &mut rng());
+        conv.weights.set_value(Tensor::from_vec(vec![2.0], &[1, 1, 1]));
+        let tape = Tape::new();
+        let x = tape.constant(Tensor::from_vec(vec![1.0, 2.0, 3.0], &[1, 3, 1]));
+        let y = conv.forward(&tape, x).value();
+        assert_eq!(y.as_slice(), &[2.0, 4.0, 6.0]);
+    }
+
+    #[test]
+    fn diffusion_propagates_neighbours() {
+        let mut store = ParamStore::new();
+        let conv =
+            DiffusionConv::new(&mut store, "d", vec![row_norm_adj()], 0, 2, 1, 1, &mut rng());
+        // zero identity weight, unit first-step weight, zero rest
+        let mut w = Tensor::zeros(&[3, 1, 1]);
+        w.make_mut()[1] = 1.0;
+        conv.weights.set_value(w);
+        let tape = Tape::new();
+        // impulse at node 0
+        let x = tape.constant(Tensor::from_vec(vec![1.0, 0.0, 0.0], &[1, 3, 1]));
+        let y = conv.forward(&tape, x).value();
+        // node 2 unreachable in one hop of the path graph
+        assert!(y.at(&[0, 0, 0]) > 0.0);
+        assert!(y.at(&[0, 1, 0]) > 0.0);
+        assert_eq!(y.at(&[0, 2, 0]), 0.0);
+    }
+
+    #[test]
+    fn diffusion_with_adaptive_support() {
+        let mut store = ParamStore::new();
+        let conv =
+            DiffusionConv::new(&mut store, "d", vec![row_norm_adj()], 1, 2, 2, 3, &mut rng());
+        let tape = Tape::new();
+        let x = tape.constant(Tensor::ones(&[2, 3, 2]));
+        let adp = tape.constant(Tensor::eye(3));
+        let y = conv.forward_with(&tape, x, &[adp]);
+        assert_eq!(y.shape(), vec![2, 3, 3]);
+    }
+
+    #[test]
+    fn dense_graphconv_shapes_grads() {
+        let mut store = ParamStore::new();
+        let conv = DenseGraphConv::new(&mut store, "g", row_norm_adj(), 2, 5, &mut rng());
+        let tape = Tape::new();
+        let x = tape.constant(Tensor::ones(&[4, 3, 2]));
+        let y = conv.forward(&tape, x);
+        assert_eq!(y.shape(), vec![4, 3, 5]);
+        let grads = tape.backward(y.powf(2.0).mean_all());
+        store.capture_grads(&tape, &grads);
+        assert!(store.params().iter().all(|p| p.grad().is_some()));
+    }
+
+    #[test]
+    fn gat_respects_graph_mask() {
+        let mut store = ParamStore::new();
+        // path graph adjacency (no 0-2 edge)
+        let adj = Tensor::from_vec(vec![0.0, 1.0, 0.0, 1.0, 0.0, 1.0, 0.0, 1.0, 0.0], &[3, 3]);
+        let gat = GraphAttention::new(&mut store, "gat", &adj, 2, 2, 3, &mut rng());
+        let tape = Tape::new();
+        let x = tape.constant(Tensor::ones(&[1, 3, 2]));
+        let y = gat.forward(&tape, x);
+        assert_eq!(y.shape(), vec![1, 3, 6]);
+        // mask: nodes 0 and 2 not connected
+        assert_eq!(gat.mask.at(&[0, 2]), -1e9);
+        assert_eq!(gat.mask.at(&[0, 1]), 0.0);
+        assert_eq!(gat.mask.at(&[1, 1]), 0.0); // self loop allowed
+    }
+
+    #[test]
+    fn gat_grads_flow() {
+        let mut store = ParamStore::new();
+        let adj = Tensor::ones(&[3, 3]);
+        let gat = GraphAttention::new(&mut store, "gat", &adj, 1, 2, 2, &mut rng());
+        let tape = Tape::new();
+        let x = tape.constant(Tensor::from_vec((0..6).map(|i| i as f32 / 6.0).collect(), &[1, 3, 2]));
+        let grads = tape.backward(gat.forward(&tape, x).powf(2.0).sum_all());
+        store.capture_grads(&tape, &grads);
+        assert!(store.params().iter().all(|p| p.grad().is_some()));
+    }
+}

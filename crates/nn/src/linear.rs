@@ -1,0 +1,126 @@
+//! Fully-connected layer.
+
+use rand::Rng;
+use traffic_tensor::{init, Tape, Var};
+
+use crate::param::{Param, ParamStore};
+
+/// `y = x · Wᵀ + b`, applied to the last axis of `x`.
+///
+/// Weight layout is `[out, in]` (PyTorch convention); inputs may have any
+/// number of leading batch axes.
+///
+/// ```
+/// use rand::SeedableRng;
+/// use traffic_nn::{Linear, ParamStore};
+/// use traffic_tensor::{Tape, Tensor};
+///
+/// let mut store = ParamStore::new();
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let layer = Linear::new(&mut store, "fc", 8, 3, true, &mut rng);
+/// let tape = Tape::new();
+/// let x = tape.constant(Tensor::ones(&[4, 10, 8]));
+/// assert_eq!(layer.forward(&tape, x).shape(), vec![4, 10, 3]);
+/// ```
+pub struct Linear {
+    weight: Param,
+    bias: Option<Param>,
+    in_features: usize,
+    out_features: usize,
+}
+
+impl Linear {
+    /// Creates a linear layer with Xavier-uniform weights and zero bias.
+    pub fn new(
+        store: &mut ParamStore,
+        prefix: &str,
+        in_features: usize,
+        out_features: usize,
+        bias: bool,
+        rng: &mut impl Rng,
+    ) -> Self {
+        let weight = store.add(
+            format!("{prefix}.weight"),
+            init::xavier_uniform(&[out_features, in_features], rng),
+        );
+        let bias = bias.then(|| {
+            store.add(format!("{prefix}.bias"), traffic_tensor::Tensor::zeros(&[out_features]))
+        });
+        Linear { weight, bias, in_features, out_features }
+    }
+
+    /// Input feature size.
+    pub fn in_features(&self) -> usize {
+        self.in_features
+    }
+
+    /// Output feature size.
+    pub fn out_features(&self) -> usize {
+        self.out_features
+    }
+
+    /// Applies the layer to the last axis of `x`: `[..., in] -> [..., out]`.
+    pub fn forward<'t>(&self, tape: &'t Tape, x: Var<'t>) -> Var<'t> {
+        let shape = x.shape();
+        assert_eq!(
+            *shape.last().expect("Linear input must have rank >= 1"),
+            self.in_features,
+            "Linear expected last axis {}, got {:?}",
+            self.in_features,
+            shape
+        );
+        let w = self.weight.var(tape);
+        let y = x.matmul(&w.t());
+        match &self.bias {
+            Some(b) => y.add(&b.var(tape)),
+            None => y,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use traffic_tensor::{Tape, Tensor};
+
+    #[test]
+    fn shapes_and_bias() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut store = ParamStore::new();
+        let lin = Linear::new(&mut store, "l", 4, 3, true, &mut rng);
+        assert_eq!(store.num_scalars(), 4 * 3 + 3);
+        let tape = Tape::new();
+        let x = tape.constant(Tensor::ones(&[2, 5, 4]));
+        let y = lin.forward(&tape, x);
+        assert_eq!(y.shape(), vec![2, 5, 3]);
+    }
+
+    #[test]
+    fn gradient_reaches_weights() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut store = ParamStore::new();
+        let lin = Linear::new(&mut store, "l", 2, 2, true, &mut rng);
+        let tape = Tape::new();
+        let x = tape.constant(Tensor::ones(&[3, 2]));
+        let loss = lin.forward(&tape, x).powf(2.0).mean_all();
+        let grads = tape.backward(loss);
+        store.capture_grads(&tape, &grads);
+        for p in store.params() {
+            assert!(p.grad().is_some(), "no grad for {}", p.name());
+        }
+    }
+
+    #[test]
+    fn linear_matches_manual() {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        let lin = Linear::new(&mut store, "l", 2, 1, false, &mut rng);
+        lin.weight.set_value(Tensor::from_vec(vec![2.0, -1.0], &[1, 2]));
+        let tape = Tape::new();
+        let x = tape.constant(Tensor::from_vec(vec![3.0, 4.0], &[1, 2]));
+        let y = lin.forward(&tape, x);
+        assert_eq!(y.value().as_slice(), &[2.0]);
+    }
+}

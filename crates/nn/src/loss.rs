@@ -1,0 +1,119 @@
+//! Regression losses with missing-value masking.
+//!
+//! PeMS-style data marks missing samples with zeros; following DCRNN and
+//! Graph-WaveNet, losses mask out entries whose *target* is (near) zero so
+//! models are not trained to predict sensor dropouts.
+
+use traffic_tensor::{Tape, Tensor, Var};
+
+/// Builds the standard null-value mask: 1 where `|target| > eps`, else 0,
+/// normalised to mean 1 over the valid entries (PyTorch DCRNN convention).
+pub fn null_mask(target: &Tensor, eps: f32) -> Tensor {
+    let raw = target.map(|v| if v.abs() > eps { 1.0 } else { 0.0 });
+    let mean = raw.mean_all();
+    if mean <= 0.0 {
+        return raw; // everything missing: zero mask (loss becomes 0)
+    }
+    raw.mul_scalar(1.0 / mean)
+}
+
+/// Masked mean absolute error between prediction and a constant target.
+pub fn masked_mae<'t>(_tape: &'t Tape, pred: Var<'t>, target: &Tensor, mask: &Tensor) -> Var<'t> {
+    let diff = pred.add_const(&target.neg());
+    diff.abs().mul_const(mask).mean_all()
+}
+
+/// Masked mean squared error.
+pub fn masked_mse<'t>(_tape: &'t Tape, pred: Var<'t>, target: &Tensor, mask: &Tensor) -> Var<'t> {
+    let diff = pred.add_const(&target.neg());
+    diff.powf(2.0).mul_const(mask).mean_all()
+}
+
+/// Masked Huber (smooth-L1) loss with threshold `delta`.
+///
+/// Quadratic near zero, linear in the tails; `delta` controls the switch.
+/// Implemented as a smooth blend that is exactly differentiable everywhere.
+pub fn masked_huber<'t>(
+    tape: &'t Tape,
+    pred: Var<'t>,
+    target: &Tensor,
+    mask: &Tensor,
+    delta: f32,
+) -> Var<'t> {
+    let diff = pred.add_const(&target.neg());
+    let a = diff.abs();
+    // huber(x) = 0.5 x²           if |x| <= δ
+    //          = δ|x| - 0.5 δ²    otherwise
+    // Build via constant masks on |x| (values known at forward time).
+    let av = a.value();
+    let quad_mask = av.map(|v| if v <= delta { 1.0 } else { 0.0 });
+    let lin_mask = av.map(|v| if v <= delta { 0.0 } else { 1.0 });
+    let quad = diff.powf(2.0).mul_scalar(0.5).mul_const(&quad_mask);
+    let lin = a.mul_scalar(delta).add_scalar(-0.5 * delta * delta).mul_const(&lin_mask);
+    let _ = tape;
+    quad.add(&lin).mul_const(mask).mean_all()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mask_ignores_zeros() {
+        let t = Tensor::from_vec(vec![1.0, 0.0, 3.0, 0.0], &[4]);
+        let m = null_mask(&t, 1e-3);
+        // two valid of four → raw mean 0.5 → valid entries weighted 2
+        assert_eq!(m.as_slice(), &[2.0, 0.0, 2.0, 0.0]);
+    }
+
+    #[test]
+    fn mask_all_missing_is_zero() {
+        let t = Tensor::zeros(&[3]);
+        let m = null_mask(&t, 1e-3);
+        assert_eq!(m.as_slice(), &[0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn mae_matches_hand_computed() {
+        let tape = Tape::new();
+        let pred = tape.leaf(Tensor::from_vec(vec![2.0, 5.0], &[2]), true);
+        let target = Tensor::from_vec(vec![1.0, 7.0], &[2]);
+        let mask = Tensor::ones(&[2]);
+        let loss = masked_mae(&tape, pred, &target, &mask);
+        assert!((loss.value().item() - 1.5).abs() < 1e-6); // (1 + 2) / 2
+    }
+
+    #[test]
+    fn mae_masking_removes_missing_targets() {
+        let tape = Tape::new();
+        let pred = tape.leaf(Tensor::from_vec(vec![2.0, 100.0], &[2]), true);
+        let target = Tensor::from_vec(vec![1.0, 0.0], &[2]);
+        let mask = null_mask(&target, 1e-3);
+        let loss = masked_mae(&tape, pred, &target, &mask);
+        // only the first entry counts, weighted 2, averaged over 2 elements → |2-1| = 1
+        assert!((loss.value().item() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn mse_gradient_is_linear_in_error() {
+        let tape = Tape::new();
+        let pred = tape.leaf(Tensor::from_vec(vec![3.0], &[1]), true);
+        let target = Tensor::from_vec(vec![1.0], &[1]);
+        let mask = Tensor::ones(&[1]);
+        let loss = masked_mse(&tape, pred, &target, &mask);
+        let grads = tape.backward(loss);
+        // d/dp (p - t)² = 2(p - t) = 4
+        assert!((grads.get(pred).unwrap().as_slice()[0] - 4.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn huber_interpolates() {
+        let tape = Tape::new();
+        let pred = tape.leaf(Tensor::from_vec(vec![0.5, 3.0], &[2]), true);
+        let target = Tensor::zeros(&[2]);
+        let mask = Tensor::ones(&[2]);
+        let loss = masked_huber(&tape, pred, &target, &mask, 1.0);
+        // [0.5·0.25, 1·3 − 0.5] = [0.125, 2.5]; mean = 1.3125
+        assert!((loss.value().item() - 1.3125).abs() < 1e-5);
+    }
+}

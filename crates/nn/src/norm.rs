@@ -1,0 +1,155 @@
+//! Normalisation layers.
+
+use traffic_tensor::{Tape, Tensor, Var};
+
+use crate::param::{Param, ParamStore};
+
+/// Layer normalisation over the last axis, with learned scale and shift.
+pub struct LayerNorm {
+    gamma: Param,
+    beta: Param,
+    features: usize,
+    eps: f32,
+}
+
+impl LayerNorm {
+    /// New layer with `gamma = 1`, `beta = 0`.
+    pub fn new(store: &mut ParamStore, prefix: &str, features: usize) -> Self {
+        let gamma = store.add(format!("{prefix}.gamma"), Tensor::ones(&[features]));
+        let beta = store.add(format!("{prefix}.beta"), Tensor::zeros(&[features]));
+        LayerNorm { gamma, beta, features, eps: 1e-5 }
+    }
+
+    /// Normalises the last axis of `x` to zero mean / unit variance, then
+    /// applies the learned affine transform.
+    pub fn forward<'t>(&self, tape: &'t Tape, x: Var<'t>) -> Var<'t> {
+        let shape = x.shape();
+        let last = shape.len() - 1;
+        assert_eq!(shape[last], self.features, "LayerNorm feature mismatch");
+        let mean = x.mean_axes(&[last], true);
+        let centered = x.sub(&mean);
+        let var = centered.powf(2.0).mean_axes(&[last], true);
+        let norm = centered.div(&var.add_scalar(self.eps).sqrt());
+        norm.mul(&self.gamma.var(tape)).add(&self.beta.var(tape))
+    }
+}
+
+/// Batch normalisation over the channel axis of `[B, C, N, T]` tensors.
+///
+/// Training mode uses batch statistics and updates running estimates; eval
+/// mode uses the running estimates.
+pub struct BatchNorm2d {
+    gamma: Param,
+    beta: Param,
+    running_mean: std::cell::RefCell<Tensor>,
+    running_var: std::cell::RefCell<Tensor>,
+    channels: usize,
+    momentum: f32,
+    eps: f32,
+}
+
+impl BatchNorm2d {
+    /// New layer with unit scale, zero shift, zero running mean, unit
+    /// running variance.
+    pub fn new(store: &mut ParamStore, prefix: &str, channels: usize) -> Self {
+        BatchNorm2d {
+            gamma: store.add(format!("{prefix}.gamma"), Tensor::ones(&[channels])),
+            beta: store.add(format!("{prefix}.beta"), Tensor::zeros(&[channels])),
+            running_mean: std::cell::RefCell::new(Tensor::zeros(&[channels])),
+            running_var: std::cell::RefCell::new(Tensor::ones(&[channels])),
+            channels,
+            momentum: 0.1,
+            eps: 1e-5,
+        }
+    }
+
+    /// Forward over `[B, C, N, T]`.
+    pub fn forward<'t>(&self, tape: &'t Tape, x: Var<'t>, training: bool) -> Var<'t> {
+        let shape = x.shape();
+        assert_eq!(shape.len(), 4, "BatchNorm2d expects [B, C, N, T]");
+        assert_eq!(shape[1], self.channels, "BatchNorm2d channel mismatch");
+        let c = self.channels;
+        let (mean, var) = if training {
+            let m = x.mean_axes(&[0, 2, 3], true); // [1, C, 1, 1]
+            let v = x.sub(&m).powf(2.0).mean_axes(&[0, 2, 3], true);
+            // Update running stats from the forward values.
+            let mv = m.value().reshape(&[c]);
+            let vv = v.value().reshape(&[c]);
+            {
+                let mut rm = self.running_mean.borrow_mut();
+                *rm = rm.mul_scalar(1.0 - self.momentum).add(&mv.mul_scalar(self.momentum));
+                let mut rv = self.running_var.borrow_mut();
+                *rv = rv.mul_scalar(1.0 - self.momentum).add(&vv.mul_scalar(self.momentum));
+            }
+            (m, v)
+        } else {
+            let m = tape.constant(self.running_mean.borrow().reshape(&[1, c, 1, 1]));
+            let v = tape.constant(self.running_var.borrow().reshape(&[1, c, 1, 1]));
+            (m, v)
+        };
+        let norm = x.sub(&mean).div(&var.add_scalar(self.eps).sqrt());
+        let g = self.gamma.var(tape).reshape(&[1, c, 1, 1]);
+        let b = self.beta.var(tape).reshape(&[1, c, 1, 1]);
+        norm.mul(&g).add(&b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use traffic_tensor::Tape;
+
+    #[test]
+    fn layernorm_zero_mean_unit_var() {
+        let mut store = ParamStore::new();
+        let ln = LayerNorm::new(&mut store, "ln", 4);
+        let tape = Tape::new();
+        let x = tape.constant(Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 10.0, 0.0, -10.0, 4.0], &[2, 4]));
+        let y = ln.forward(&tape, x).value();
+        for r in 0..2 {
+            let row: Vec<f32> = (0..4).map(|c| y.at(&[r, c])).collect();
+            let mean: f32 = row.iter().sum::<f32>() / 4.0;
+            let var: f32 = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / 4.0;
+            assert!(mean.abs() < 1e-4, "mean {mean}");
+            assert!((var - 1.0).abs() < 1e-2, "var {var}");
+        }
+    }
+
+    #[test]
+    fn layernorm_grads() {
+        let mut store = ParamStore::new();
+        let ln = LayerNorm::new(&mut store, "ln", 3);
+        let tape = Tape::new();
+        let x = tape.constant(Tensor::from_vec(vec![1.0, 5.0, -2.0], &[1, 3]));
+        let grads = tape.backward(ln.forward(&tape, x).powf(2.0).sum_all());
+        store.capture_grads(&tape, &grads);
+        assert!(store.params().iter().all(|p| p.grad().is_some()));
+    }
+
+    #[test]
+    fn batchnorm_train_normalises_channels() {
+        let mut store = ParamStore::new();
+        let bn = BatchNorm2d::new(&mut store, "bn", 2);
+        let tape = Tape::new();
+        let x = tape.constant(Tensor::from_vec(
+            (0..16).map(|i| i as f32).collect(),
+            &[2, 2, 2, 2],
+        ));
+        let y = bn.forward(&tape, x, true).value();
+        // per-channel mean ≈ 0
+        let ym = y.mean_axes(&[0, 2, 3], false);
+        assert!(ym.as_slice().iter().all(|v| v.abs() < 1e-4));
+    }
+
+    #[test]
+    fn batchnorm_eval_uses_running_stats() {
+        let mut store = ParamStore::new();
+        let bn = BatchNorm2d::new(&mut store, "bn", 1);
+        // Without any training step, running stats are (0, 1): eval is identity.
+        let tape = Tape::new();
+        let x = tape.constant(Tensor::from_vec(vec![5.0, -3.0], &[2, 1, 1, 1]));
+        let y = bn.forward(&tape, x, false).value();
+        assert!((y.at(&[0, 0, 0, 0]) - 5.0).abs() < 1e-3);
+        assert!((y.at(&[1, 0, 0, 0]) + 3.0).abs() < 1e-3);
+    }
+}

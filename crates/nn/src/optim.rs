@@ -1,0 +1,226 @@
+//! First-order optimizers operating on a [`ParamStore`].
+
+use traffic_tensor::Tensor;
+
+use crate::param::ParamStore;
+
+/// Stochastic gradient descent with optional momentum and weight decay.
+pub struct Sgd {
+    lr: f32,
+    momentum: f32,
+    weight_decay: f32,
+    velocity: Vec<Option<Tensor>>,
+}
+
+impl Sgd {
+    /// Plain SGD.
+    pub fn new(lr: f32) -> Self {
+        Sgd { lr, momentum: 0.0, weight_decay: 0.0, velocity: Vec::new() }
+    }
+
+    /// SGD with momentum and L2 weight decay.
+    pub fn with_momentum(lr: f32, momentum: f32, weight_decay: f32) -> Self {
+        Sgd { lr, momentum, weight_decay, velocity: Vec::new() }
+    }
+
+    /// Current learning rate.
+    pub fn lr(&self) -> f32 {
+        self.lr
+    }
+
+    /// Updates the learning rate (schedulers).
+    pub fn set_lr(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+
+    /// Applies one update using the gradients stored in `store`.
+    pub fn step(&mut self, store: &ParamStore) {
+        self.velocity.resize(store.len(), None);
+        for (i, p) in store.params().iter().enumerate() {
+            let Some(mut g) = p.grad() else { continue };
+            if self.weight_decay > 0.0 {
+                g = g.add(&p.value().mul_scalar(self.weight_decay));
+            }
+            let update = if self.momentum > 0.0 {
+                let v = match &self.velocity[i] {
+                    Some(v) => v.mul_scalar(self.momentum).add(&g),
+                    None => g,
+                };
+                self.velocity[i] = Some(v.clone());
+                v
+            } else {
+                g
+            };
+            p.set_value(p.value().sub(&update.mul_scalar(self.lr)));
+        }
+    }
+}
+
+/// Adam optimizer (Kingma & Ba) with optional weight decay, matching the
+/// training setup used by the paper's reference implementations.
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    weight_decay: f32,
+    t: i32,
+    m: Vec<Option<Tensor>>,
+    v: Vec<Option<Tensor>>,
+}
+
+impl Adam {
+    /// Adam with the standard `(0.9, 0.999, 1e-8)` hyper-parameters.
+    pub fn new(lr: f32) -> Self {
+        Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, weight_decay: 0.0, t: 0, m: Vec::new(), v: Vec::new() }
+    }
+
+    /// Adds L2 weight decay.
+    pub fn with_weight_decay(mut self, wd: f32) -> Self {
+        self.weight_decay = wd;
+        self
+    }
+
+    /// Current learning rate.
+    pub fn lr(&self) -> f32 {
+        self.lr
+    }
+
+    /// Updates the learning rate (schedulers).
+    pub fn set_lr(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+
+    /// Applies one update using the gradients stored in `store`.
+    pub fn step(&mut self, store: &ParamStore) {
+        self.m.resize(store.len(), None);
+        self.v.resize(store.len(), None);
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t);
+        let bc2 = 1.0 - self.beta2.powi(self.t);
+        for (i, p) in store.params().iter().enumerate() {
+            let Some(mut g) = p.grad() else { continue };
+            if self.weight_decay > 0.0 {
+                g = g.add(&p.value().mul_scalar(self.weight_decay));
+            }
+            let m = match &self.m[i] {
+                Some(m) => m.mul_scalar(self.beta1).add(&g.mul_scalar(1.0 - self.beta1)),
+                None => g.mul_scalar(1.0 - self.beta1),
+            };
+            let v = match &self.v[i] {
+                Some(v) => v
+                    .mul_scalar(self.beta2)
+                    .add(&g.zip_map(&g, |a, b| a * b).mul_scalar(1.0 - self.beta2)),
+                None => g.zip_map(&g, |a, b| a * b).mul_scalar(1.0 - self.beta2),
+            };
+            let m_hat = m.mul_scalar(1.0 / bc1);
+            let v_hat = v.mul_scalar(1.0 / bc2);
+            let update = m_hat.zip_map(&v_hat, |mh, vh| mh / (vh.sqrt() + self.eps));
+            p.set_value(p.value().sub(&update.mul_scalar(self.lr)));
+            self.m[i] = Some(m);
+            self.v[i] = Some(v);
+        }
+    }
+}
+
+/// Multiplicative step-decay learning-rate schedule.
+pub struct StepDecay {
+    base_lr: f32,
+    gamma: f32,
+    step_every: usize,
+}
+
+impl StepDecay {
+    /// Multiplies the lr by `gamma` every `step_every` epochs.
+    pub fn new(base_lr: f32, gamma: f32, step_every: usize) -> Self {
+        assert!(step_every > 0);
+        StepDecay { base_lr, gamma, step_every }
+    }
+
+    /// Learning rate at the given (0-based) epoch.
+    pub fn lr_at(&self, epoch: usize) -> f32 {
+        self.base_lr * self.gamma.powi((epoch / self.step_every) as i32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use traffic_tensor::Tape;
+
+    fn quadratic_step(store: &ParamStore) {
+        // loss = 0.5 * sum(w²); grad = w
+        let tape = Tape::new();
+        let w = store.params()[0].var(&tape);
+        let loss = w.powf(2.0).mul_scalar(0.5).sum_all();
+        let grads = tape.backward(loss);
+        store.zero_grads();
+        store.capture_grads(&tape, &grads);
+    }
+
+    #[test]
+    fn sgd_descends_quadratic() {
+        let mut store = ParamStore::new();
+        store.add("w", Tensor::from_vec(vec![10.0, -8.0], &[2]));
+        let mut opt = Sgd::new(0.5);
+        for _ in 0..20 {
+            quadratic_step(&store);
+            opt.step(&store);
+        }
+        let w = store.params()[0].value();
+        assert!(w.as_slice().iter().all(|v| v.abs() < 0.01), "{w:?}");
+    }
+
+    #[test]
+    fn adam_descends_quadratic() {
+        let mut store = ParamStore::new();
+        store.add("w", Tensor::from_vec(vec![5.0, -3.0], &[2]));
+        let mut opt = Adam::new(0.3);
+        for _ in 0..100 {
+            quadratic_step(&store);
+            opt.step(&store);
+        }
+        let w = store.params()[0].value();
+        assert!(w.as_slice().iter().all(|v| v.abs() < 0.05), "{w:?}");
+    }
+
+    #[test]
+    fn adam_skips_params_without_grads() {
+        let mut store = ParamStore::new();
+        store.add("w", Tensor::from_vec(vec![1.0], &[1]));
+        store.add("unused", Tensor::from_vec(vec![7.0], &[1]));
+        let mut opt = Adam::new(0.1);
+        quadratic_step(&store); // only touches "w"
+        opt.step(&store);
+        assert_eq!(store.params()[1].value().as_slice(), &[7.0]);
+        assert_ne!(store.params()[0].value().as_slice(), &[1.0]);
+    }
+
+    #[test]
+    fn momentum_accelerates() {
+        let mut plain_store = ParamStore::new();
+        plain_store.add("w", Tensor::from_vec(vec![10.0], &[1]));
+        let mut momentum_store = ParamStore::new();
+        momentum_store.add("w", Tensor::from_vec(vec![10.0], &[1]));
+        let mut plain = Sgd::new(0.05);
+        let mut with_m = Sgd::with_momentum(0.05, 0.9, 0.0);
+        for _ in 0..10 {
+            quadratic_step(&plain_store);
+            plain.step(&plain_store);
+            quadratic_step(&momentum_store);
+            with_m.step(&momentum_store);
+        }
+        let p = plain_store.params()[0].value().item();
+        let m = momentum_store.params()[0].value().item();
+        assert!(m < p, "momentum should descend faster: {m} vs {p}");
+    }
+
+    #[test]
+    fn step_decay_schedule() {
+        let s = StepDecay::new(1.0, 0.1, 10);
+        assert_eq!(s.lr_at(0), 1.0);
+        assert_eq!(s.lr_at(9), 1.0);
+        assert!((s.lr_at(10) - 0.1).abs() < 1e-7);
+        assert!((s.lr_at(25) - 0.01).abs() < 1e-7);
+    }
+}

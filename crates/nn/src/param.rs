@@ -1,0 +1,282 @@
+//! Trainable parameters and the store that owns them.
+//!
+//! A [`Parameter`] owns its current value and (after a backward pass) its
+//! gradient. During a forward pass, [`Parameter::var`] binds the parameter
+//! to the active [`Tape`] exactly once and caches the binding, so layers can
+//! freely call it multiple times.
+
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
+
+use traffic_tensor::{Gradients, Tape, Tensor, Var};
+
+/// One trainable tensor.
+pub struct Parameter {
+    name: String,
+    value: RefCell<Tensor>,
+    grad: RefCell<Option<Tensor>>,
+    /// `(tape_id, var_id)` of the leaf created for the current forward pass.
+    binding: Cell<(u64, usize)>,
+}
+
+/// Shared handle to a [`Parameter`].
+pub type Param = Rc<Parameter>;
+
+impl Parameter {
+    fn new(name: String, value: Tensor) -> Param {
+        Rc::new(Parameter {
+            name,
+            value: RefCell::new(value),
+            grad: RefCell::new(None),
+            binding: Cell::new((0, usize::MAX)),
+        })
+    }
+
+    /// The parameter's registered name (unique within its store).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// A copy of the current value.
+    pub fn value(&self) -> Tensor {
+        self.value.borrow().clone()
+    }
+
+    /// Shape of the parameter.
+    pub fn shape(&self) -> Vec<usize> {
+        self.value.borrow().shape().to_vec()
+    }
+
+    /// Number of scalar weights.
+    pub fn numel(&self) -> usize {
+        self.value.borrow().len()
+    }
+
+    /// Replaces the value (used by optimizers and weight loading).
+    pub fn set_value(&self, t: Tensor) {
+        assert_eq!(
+            t.shape(),
+            self.value.borrow().shape(),
+            "set_value shape mismatch for parameter {}",
+            self.name
+        );
+        *self.value.borrow_mut() = t;
+    }
+
+    /// The gradient captured by the last backward pass, if any.
+    pub fn grad(&self) -> Option<Tensor> {
+        self.grad.borrow().clone()
+    }
+
+    /// Clears the stored gradient.
+    pub fn zero_grad(&self) {
+        *self.grad.borrow_mut() = None;
+    }
+
+    /// Binds this parameter to `tape` as a `requires_grad` leaf, caching the
+    /// binding so repeated calls during one forward pass reuse the same node.
+    pub fn var<'t>(&self, tape: &'t Tape) -> Var<'t> {
+        let (tid, vid) = self.binding.get();
+        if tid == tape.id() {
+            return tape.var(vid);
+        }
+        let v = tape.leaf(self.value(), true);
+        self.binding.set((tape.id(), v.id()));
+        v
+    }
+
+    /// Accumulates the gradient for this parameter from `grads`, if it was
+    /// bound to `tape` during the forward pass.
+    fn capture(&self, tape: &Tape, grads: &Gradients) {
+        let (tid, vid) = self.binding.get();
+        if tid != tape.id() {
+            return;
+        }
+        if let Some(g) = grads.get_by_id(vid) {
+            let mut slot = self.grad.borrow_mut();
+            *slot = Some(match slot.take() {
+                Some(acc) => acc.add(g),
+                None => g.clone(),
+            });
+        }
+    }
+}
+
+/// Owns every parameter of a model.
+#[derive(Default)]
+pub struct ParamStore {
+    params: Vec<Param>,
+}
+
+impl ParamStore {
+    /// Empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a parameter. Names must be unique; a duplicate panics.
+    pub fn add(&mut self, name: impl Into<String>, value: Tensor) -> Param {
+        let name = name.into();
+        assert!(
+            self.params.iter().all(|p| p.name != name),
+            "duplicate parameter name: {name}"
+        );
+        let p = Parameter::new(name, value);
+        self.params.push(Rc::clone(&p));
+        p
+    }
+
+    /// All parameters in registration order.
+    pub fn params(&self) -> &[Param] {
+        &self.params
+    }
+
+    /// Number of registered parameters (tensors, not scalars).
+    pub fn len(&self) -> usize {
+        self.params.len()
+    }
+
+    /// True when no parameters are registered.
+    pub fn is_empty(&self) -> bool {
+        self.params.is_empty()
+    }
+
+    /// Total number of scalar weights (the paper's "# of params").
+    pub fn num_scalars(&self) -> usize {
+        self.params.iter().map(|p| p.numel()).sum()
+    }
+
+    /// Copies gradients out of a finished backward pass into each parameter.
+    pub fn capture_grads(&self, tape: &Tape, grads: &Gradients) {
+        for p in &self.params {
+            p.capture(tape, grads);
+        }
+    }
+
+    /// Clears all stored gradients.
+    pub fn zero_grads(&self) {
+        for p in &self.params {
+            p.zero_grad();
+        }
+    }
+
+    /// Global L2 norm of all gradients (0 when none stored).
+    pub fn grad_norm(&self) -> f32 {
+        let mut sq = 0.0f32;
+        for p in &self.params {
+            if let Some(g) = p.grad() {
+                sq += g.as_slice().iter().map(|&v| v * v).sum::<f32>();
+            }
+        }
+        sq.sqrt()
+    }
+
+    /// Scales all gradients so the global norm is at most `max_norm`.
+    pub fn clip_grad_norm(&self, max_norm: f32) {
+        let norm = self.grad_norm();
+        if norm > max_norm && norm > 0.0 {
+            let scale = max_norm / norm;
+            for p in &self.params {
+                let scaled = p.grad().map(|g| g.mul_scalar(scale));
+                *p.grad.borrow_mut() = scaled;
+            }
+        }
+    }
+
+    /// Copies every parameter value (cheap: buffers are shared until
+    /// mutated). Used for best-epoch snapshots.
+    pub fn snapshot(&self) -> Vec<Tensor> {
+        self.params.iter().map(|p| p.value()).collect()
+    }
+
+    /// Restores values from a snapshot taken on the same store.
+    pub fn restore(&self, snapshot: &[Tensor]) {
+        assert_eq!(snapshot.len(), self.params.len(), "snapshot size mismatch");
+        for (p, t) in self.params.iter().zip(snapshot) {
+            p.set_value(t.clone());
+        }
+    }
+
+    /// True if any parameter or stored gradient contains NaN/Inf.
+    pub fn has_non_finite(&self) -> bool {
+        self.params.iter().any(|p| {
+            p.value().has_non_finite() || p.grad().is_some_and(|g| g.has_non_finite())
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binding_reuse_within_tape() {
+        let mut store = ParamStore::new();
+        let w = store.add("w", Tensor::ones(&[2]));
+        let tape = Tape::new();
+        let v1 = w.var(&tape);
+        let v2 = w.var(&tape);
+        assert_eq!(v1.id(), v2.id());
+        let tape2 = Tape::new();
+        let v3 = w.var(&tape2);
+        assert_eq!(v3.id(), 0); // fresh tape, fresh leaf
+    }
+
+    #[test]
+    fn grads_flow_to_parameters() {
+        let mut store = ParamStore::new();
+        let w = store.add("w", Tensor::from_vec(vec![2.0, 3.0], &[2]));
+        let tape = Tape::new();
+        let wv = w.var(&tape);
+        let loss = wv.mul(&wv).sum_all(); // d/dw = 2w
+        let grads = tape.backward(loss);
+        store.capture_grads(&tape, &grads);
+        assert_eq!(w.grad().unwrap().as_slice(), &[4.0, 6.0]);
+        store.zero_grads();
+        assert!(w.grad().is_none());
+    }
+
+    #[test]
+    fn grads_accumulate_across_batches() {
+        let mut store = ParamStore::new();
+        let w = store.add("w", Tensor::from_vec(vec![1.0], &[1]));
+        for _ in 0..2 {
+            let tape = Tape::new();
+            let wv = w.var(&tape);
+            let loss = wv.sum_all();
+            let grads = tape.backward(loss);
+            store.capture_grads(&tape, &grads);
+        }
+        assert_eq!(w.grad().unwrap().as_slice(), &[2.0]);
+    }
+
+    #[test]
+    fn clip_reduces_norm() {
+        let mut store = ParamStore::new();
+        let w = store.add("w", Tensor::from_vec(vec![3.0, 4.0], &[2]));
+        let tape = Tape::new();
+        let wv = w.var(&tape);
+        let loss = wv.mul(&wv).sum_all().mul_scalar(0.5); // grad = w = [3,4], norm 5
+        let grads = tape.backward(loss);
+        store.capture_grads(&tape, &grads);
+        assert!((store.grad_norm() - 5.0).abs() < 1e-5);
+        store.clip_grad_norm(1.0);
+        assert!((store.grad_norm() - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn scalar_count() {
+        let mut store = ParamStore::new();
+        store.add("a", Tensor::zeros(&[3, 4]));
+        store.add("b", Tensor::zeros(&[5]));
+        assert_eq!(store.num_scalars(), 17);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate parameter name")]
+    fn duplicate_names_panic() {
+        let mut store = ParamStore::new();
+        store.add("w", Tensor::zeros(&[1]));
+        store.add("w", Tensor::zeros(&[1]));
+    }
+}

@@ -1,0 +1,166 @@
+//! Recurrent cells. Traffic seq2seq models (DCRNN, ST-MetaNet) run these
+//! per time step over `[B·N, F]` flattened node-batches.
+
+use rand::Rng;
+use traffic_tensor::{Tape, Tensor, Var};
+
+use crate::linear::Linear;
+use crate::param::ParamStore;
+
+/// Standard GRU cell: `[B, in] × [B, hidden] -> [B, hidden]`.
+pub struct GruCell {
+    /// Computes `[r | z]` gates from `[x | h]`.
+    gates: Linear,
+    /// Computes candidate state from `[x | r⊙h]`.
+    candidate: Linear,
+    hidden: usize,
+}
+
+impl GruCell {
+    /// New cell with Xavier-initialised gate transforms.
+    pub fn new(
+        store: &mut ParamStore,
+        prefix: &str,
+        input: usize,
+        hidden: usize,
+        rng: &mut impl Rng,
+    ) -> Self {
+        let gates = Linear::new(store, &format!("{prefix}.gates"), input + hidden, 2 * hidden, true, rng);
+        let candidate =
+            Linear::new(store, &format!("{prefix}.candidate"), input + hidden, hidden, true, rng);
+        GruCell { gates, candidate, hidden }
+    }
+
+    /// Hidden state size.
+    pub fn hidden_size(&self) -> usize {
+        self.hidden
+    }
+
+    /// Zero initial state for batch size `b`.
+    pub fn zero_state<'t>(&self, tape: &'t Tape, b: usize) -> Var<'t> {
+        tape.constant(Tensor::zeros(&[b, self.hidden]))
+    }
+
+    /// One step: returns the next hidden state.
+    pub fn step<'t>(&self, tape: &'t Tape, x: Var<'t>, h: Var<'t>) -> Var<'t> {
+        let xh = Var::concat(&[x, h], 1);
+        let rz = self.gates.forward(tape, xh).sigmoid();
+        let r = rz.narrow(1, 0, self.hidden);
+        let z = rz.narrow(1, self.hidden, self.hidden);
+        let xrh = Var::concat(&[x, r.mul(&h)], 1);
+        let c = self.candidate.forward(tape, xrh).tanh();
+        // h' = z ⊙ h + (1 - z) ⊙ c
+        z.mul(&h).add(&z.neg().add_scalar(1.0).mul(&c))
+    }
+}
+
+/// Standard LSTM cell: `[B, in] × ([B, h], [B, h]) -> ([B, h], [B, h])`.
+pub struct LstmCell {
+    /// Computes `[i | f | g | o]` pre-activations from `[x | h]`.
+    gates: Linear,
+    hidden: usize,
+}
+
+impl LstmCell {
+    /// New cell.
+    pub fn new(
+        store: &mut ParamStore,
+        prefix: &str,
+        input: usize,
+        hidden: usize,
+        rng: &mut impl Rng,
+    ) -> Self {
+        let gates = Linear::new(store, &format!("{prefix}.gates"), input + hidden, 4 * hidden, true, rng);
+        LstmCell { gates, hidden }
+    }
+
+    /// Hidden state size.
+    pub fn hidden_size(&self) -> usize {
+        self.hidden
+    }
+
+    /// Zero `(h, c)` state for batch size `b`.
+    pub fn zero_state<'t>(&self, tape: &'t Tape, b: usize) -> (Var<'t>, Var<'t>) {
+        let z = tape.constant(Tensor::zeros(&[b, self.hidden]));
+        (z, z)
+    }
+
+    /// One step: returns `(h', c')`.
+    pub fn step<'t>(&self, tape: &'t Tape, x: Var<'t>, h: Var<'t>, c: Var<'t>) -> (Var<'t>, Var<'t>) {
+        let xh = Var::concat(&[x, h], 1);
+        let pre = self.gates.forward(tape, xh);
+        let i = pre.narrow(1, 0, self.hidden).sigmoid();
+        let f = pre.narrow(1, self.hidden, self.hidden).sigmoid();
+        let g = pre.narrow(1, 2 * self.hidden, self.hidden).tanh();
+        let o = pre.narrow(1, 3 * self.hidden, self.hidden).sigmoid();
+        let c2 = f.mul(&c).add(&i.mul(&g));
+        let h2 = o.mul(&c2.tanh());
+        (h2, c2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn gru_step_shapes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut store = ParamStore::new();
+        let cell = GruCell::new(&mut store, "gru", 3, 5, &mut rng);
+        let tape = Tape::new();
+        let x = tape.constant(Tensor::ones(&[4, 3]));
+        let h = cell.zero_state(&tape, 4);
+        let h2 = cell.step(&tape, x, h);
+        assert_eq!(h2.shape(), vec![4, 5]);
+        // GRU state stays bounded
+        assert!(h2.value().as_slice().iter().all(|v| v.abs() <= 1.0));
+    }
+
+    #[test]
+    fn gru_zero_update_keeps_state_bounded_over_time() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut store = ParamStore::new();
+        let cell = GruCell::new(&mut store, "gru", 2, 4, &mut rng);
+        let tape = Tape::new();
+        let x = tape.constant(Tensor::ones(&[2, 2]));
+        let mut h = cell.zero_state(&tape, 2);
+        for _ in 0..20 {
+            h = cell.step(&tape, x, h);
+        }
+        assert!(h.value().as_slice().iter().all(|v| v.is_finite() && v.abs() <= 1.0));
+    }
+
+    #[test]
+    fn lstm_step_shapes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut store = ParamStore::new();
+        let cell = LstmCell::new(&mut store, "lstm", 3, 6, &mut rng);
+        let tape = Tape::new();
+        let x = tape.constant(Tensor::ones(&[2, 3]));
+        let (h, c) = cell.zero_state(&tape, 2);
+        let (h2, c2) = cell.step(&tape, x, h, c);
+        assert_eq!(h2.shape(), vec![2, 6]);
+        assert_eq!(c2.shape(), vec![2, 6]);
+    }
+
+    #[test]
+    fn gru_grads_flow_through_time() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut store = ParamStore::new();
+        let cell = GruCell::new(&mut store, "gru", 2, 3, &mut rng);
+        let tape = Tape::new();
+        let x = tape.constant(Tensor::ones(&[1, 2]));
+        let mut h = cell.zero_state(&tape, 1);
+        for _ in 0..4 {
+            h = cell.step(&tape, x, h);
+        }
+        let grads = tape.backward(h.powf(2.0).sum_all());
+        store.capture_grads(&tape, &grads);
+        for p in store.params() {
+            assert!(p.grad().is_some(), "no grad for {}", p.name());
+        }
+    }
+}

@@ -1,0 +1,183 @@
+//! Finite-difference gradient verification of every layer in the crate —
+//! the composition-level complement to the per-op checks in
+//! `traffic-tensor`.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use traffic_nn::*;
+use traffic_tensor::{init, Tape, Tensor};
+
+/// Generic numeric-vs-analytic check for a closure over one parameter
+/// store: perturbs every parameter scalar and compares the loss slope.
+fn check_params(
+    store: &ParamStore,
+    tol: f32,
+    eps: f32,
+    loss_fn: impl Fn(&Tape) -> f32 + Copy,
+    run: impl Fn() -> (f32, Vec<Option<Tensor>>),
+) {
+    let (_, grads) = run();
+    for (pi, p) in store.params().iter().enumerate() {
+        let g = grads[pi].as_ref().unwrap_or_else(|| panic!("no grad for {}", p.name()));
+        let original = p.value();
+        for j in 0..original.len().min(6) {
+            // probe a handful of scalars per parameter
+            let mut plus = original.clone();
+            plus.make_mut()[j] += eps;
+            p.set_value(plus);
+            let tape = Tape::new();
+            let lp = loss_fn(&tape);
+            let mut minus = original.clone();
+            minus.make_mut()[j] -= eps;
+            p.set_value(minus);
+            let tape = Tape::new();
+            let lm = loss_fn(&tape);
+            p.set_value(original.clone());
+            let numeric = (lp - lm) / (2.0 * eps);
+            let analytic = g.as_slice()[j];
+            let denom = numeric.abs().max(analytic.abs()).max(1e-2);
+            assert!(
+                (numeric - analytic).abs() / denom < tol,
+                "{} [{j}]: numeric {numeric} vs analytic {analytic}",
+                p.name()
+            );
+            let _ = tape;
+        }
+    }
+}
+
+/// Boilerplate: runs `loss_fn` once with grads captured into the store.
+fn run_once(store: &ParamStore, loss_fn: impl Fn(&Tape) -> traffic_tensor::Var<'_> + Copy) {
+    let eval = |tape: &Tape| loss_fn(tape).value().item();
+    let run = || {
+        store.zero_grads();
+        let tape = Tape::new();
+        let loss = loss_fn(&tape);
+        let v = loss.value().item();
+        let grads = tape.backward(loss);
+        store.capture_grads(&tape, &grads);
+        let gs = store.params().iter().map(|p| p.grad()).collect();
+        (v, gs)
+    };
+    check_params(store, 0.08, 5e-3, eval, run);
+}
+
+#[test]
+fn linear_gradcheck() {
+    let mut rng = StdRng::seed_from_u64(0);
+    let mut store = ParamStore::new();
+    let lin = Linear::new(&mut store, "l", 3, 2, true, &mut rng);
+    let x = init::uniform(&[4, 3], -1.0, 1.0, &mut rng);
+    run_once(&store, |tape| lin.forward(tape, tape.constant(x.clone())).powf(2.0).mean_all());
+}
+
+#[test]
+fn gru_cell_gradcheck() {
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut store = ParamStore::new();
+    let cell = GruCell::new(&mut store, "g", 2, 3, &mut rng);
+    let x = init::uniform(&[2, 2], -1.0, 1.0, &mut rng);
+    run_once(&store, |tape| {
+        let xv = tape.constant(x.clone());
+        let mut h = cell.zero_state(tape, 2);
+        for _ in 0..3 {
+            h = cell.step(tape, xv, h);
+        }
+        h.powf(2.0).sum_all()
+    });
+}
+
+#[test]
+fn lstm_cell_gradcheck() {
+    let mut rng = StdRng::seed_from_u64(2);
+    let mut store = ParamStore::new();
+    let cell = LstmCell::new(&mut store, "l", 2, 3, &mut rng);
+    let x = init::uniform(&[2, 2], -1.0, 1.0, &mut rng);
+    run_once(&store, |tape| {
+        let xv = tape.constant(x.clone());
+        let (mut h, mut c) = cell.zero_state(tape, 2);
+        for _ in 0..2 {
+            let (h2, c2) = cell.step(tape, xv, h, c);
+            h = h2;
+            c = c2;
+        }
+        h.mul(&c).sum_all()
+    });
+}
+
+#[test]
+fn conv2d_gradcheck() {
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut store = ParamStore::new();
+    let conv = Conv2d::new(
+        &mut store, "c", 2, 2, (1, 2), (1, 2), TemporalPadding::Causal, true, &mut rng,
+    );
+    let x = init::uniform(&[1, 2, 3, 6], -1.0, 1.0, &mut rng);
+    run_once(&store, |tape| conv.forward(tape, tape.constant(x.clone())).powf(2.0).mean_all());
+}
+
+#[test]
+fn layernorm_gradcheck() {
+    let mut rng = StdRng::seed_from_u64(4);
+    let mut store = ParamStore::new();
+    let ln = LayerNorm::new(&mut store, "ln", 4);
+    let x = init::uniform(&[3, 4], -2.0, 2.0, &mut rng);
+    run_once(&store, |tape| ln.forward(tape, tape.constant(x.clone())).powf(2.0).sum_all());
+}
+
+#[test]
+fn cheb_conv_gradcheck() {
+    let mut rng = StdRng::seed_from_u64(5);
+    let lap = Tensor::from_vec(
+        vec![0.5, -0.5, 0.0, -0.5, 1.0, -0.5, 0.0, -0.5, 0.5],
+        &[3, 3],
+    );
+    let mut store = ParamStore::new();
+    let conv = ChebConv::new(&mut store, "c", lap, 3, 2, 2, &mut rng);
+    let x = init::uniform(&[2, 3, 2], -1.0, 1.0, &mut rng);
+    run_once(&store, |tape| conv.forward(tape, tape.constant(x.clone())).powf(2.0).mean_all());
+}
+
+#[test]
+fn diffusion_conv_gradcheck() {
+    let mut rng = StdRng::seed_from_u64(6);
+    let p = Tensor::from_vec(
+        vec![0.5, 0.5, 0.0, 1.0 / 3.0, 1.0 / 3.0, 1.0 / 3.0, 0.0, 0.5, 0.5],
+        &[3, 3],
+    );
+    let mut store = ParamStore::new();
+    let conv = DiffusionConv::new(&mut store, "d", vec![p], 0, 2, 2, 2, &mut rng);
+    let x = init::uniform(&[2, 3, 2], -1.0, 1.0, &mut rng);
+    run_once(&store, |tape| conv.forward(tape, tape.constant(x.clone())).powf(2.0).mean_all());
+}
+
+#[test]
+fn gat_gradcheck() {
+    let mut rng = StdRng::seed_from_u64(7);
+    let adj = Tensor::from_vec(vec![0.0, 1.0, 0.0, 1.0, 0.0, 1.0, 0.0, 1.0, 0.0], &[3, 3]);
+    let mut store = ParamStore::new();
+    let gat = GraphAttention::new(&mut store, "g", &adj, 2, 2, 2, &mut rng);
+    let x = init::uniform(&[1, 3, 2], -1.0, 1.0, &mut rng);
+    run_once(&store, |tape| gat.forward(tape, tape.constant(x.clone())).powf(2.0).sum_all());
+}
+
+#[test]
+fn mha_gradcheck() {
+    let mut rng = StdRng::seed_from_u64(8);
+    let mut store = ParamStore::new();
+    let mha = MultiHeadAttention::new(&mut store, "m", 4, 2, &mut rng);
+    let x = init::uniform(&[2, 3, 4], -1.0, 1.0, &mut rng);
+    run_once(&store, |tape| {
+        let xv = tape.constant(x.clone());
+        mha.forward(tape, xv, xv).powf(2.0).mean_all()
+    });
+}
+
+#[test]
+fn gated_temporal_conv_gradcheck() {
+    let mut rng = StdRng::seed_from_u64(9);
+    let mut store = ParamStore::new();
+    let g = GatedTemporalConv::new(&mut store, "g", 2, 2, 2, 1, TemporalPadding::Causal, &mut rng);
+    let x = init::uniform(&[1, 2, 2, 5], -1.0, 1.0, &mut rng);
+    run_once(&store, |tape| g.forward(tape, tape.constant(x.clone())).powf(2.0).sum_all());
+}

@@ -1,0 +1,199 @@
+//! Finite-difference gradient checking used by the test suites of this crate
+//! and every downstream crate that defines new differentiable compositions.
+
+use crate::tape::Tape;
+use crate::tensor::Tensor;
+
+/// Result of a gradient check: max absolute and relative deviation between
+/// analytic and numeric gradients.
+#[derive(Debug, Clone, Copy)]
+pub struct GradCheckReport {
+    /// Largest absolute difference across all checked inputs.
+    pub max_abs_err: f32,
+    /// Largest relative difference (denominator clamped to 1e-3).
+    pub max_rel_err: f32,
+}
+
+/// Checks the analytic gradient of `f` at `inputs` against central finite
+/// differences.
+///
+/// `f` receives a fresh tape and leaf variables (one per input, all with
+/// `requires_grad`) and must return a scalar loss variable on that tape.
+pub fn grad_check(
+    inputs: &[Tensor],
+    eps: f32,
+    f: impl for<'a> Fn(&'a Tape, &[crate::tape::Var<'a>]) -> crate::tape::Var<'a> + Copy,
+) -> GradCheckReport {
+    // Analytic gradients.
+    let tape = Tape::new();
+    let vars: Vec<_> = inputs.iter().map(|t| tape.leaf(t.clone(), true)).collect();
+    let loss = {
+        // We need the Vars borrowed with the right lifetime.
+        let refs: Vec<_> = vars.to_vec();
+        f(&tape, &refs)
+    };
+    let grads = tape.backward(loss);
+    let analytic: Vec<Tensor> = vars
+        .iter()
+        .map(|v| grads.get(*v).cloned().unwrap_or_else(|| Tensor::zeros(v.value().shape())))
+        .collect();
+
+    let eval = |perturbed: &[Tensor]| -> f32 {
+        let tape = Tape::new();
+        let vars: Vec<_> = perturbed.iter().map(|t| tape.leaf(t.clone(), true)).collect();
+        f(&tape, &vars).value().item()
+    };
+
+    let mut max_abs = 0.0f32;
+    let mut max_rel = 0.0f32;
+    for (i, input) in inputs.iter().enumerate() {
+        for j in 0..input.len() {
+            let mut plus: Vec<Tensor> = inputs.to_vec();
+            let mut minus: Vec<Tensor> = inputs.to_vec();
+            plus[i].make_mut()[j] += eps;
+            minus[i].make_mut()[j] -= eps;
+            let numeric = (eval(&plus) - eval(&minus)) / (2.0 * eps);
+            let a = analytic[i].as_slice()[j];
+            let abs = (numeric - a).abs();
+            let rel = abs / numeric.abs().max(a.abs()).max(1e-3);
+            max_abs = max_abs.max(abs);
+            max_rel = max_rel.max(rel);
+        }
+    }
+    GradCheckReport { max_abs_err: max_abs, max_rel_err: max_rel }
+}
+
+/// Asserts a gradient check passes with the given relative tolerance.
+pub fn assert_grad_ok(
+    inputs: &[Tensor],
+    tol: f32,
+    f: impl for<'a> Fn(&'a Tape, &[crate::tape::Var<'a>]) -> crate::tape::Var<'a> + Copy,
+) {
+    let report = grad_check(inputs, 1e-2, f);
+    assert!(
+        report.max_rel_err < tol,
+        "gradient check failed: max_rel_err = {} (abs {}), tol = {tol}",
+        report.max_rel_err,
+        report.max_abs_err
+    );
+}
+
+#[cfg(test)]
+#[allow(clippy::cloned_ref_to_slice_refs)] // explicit arrays read clearer in grad-check calls
+mod tests {
+    use super::*;
+    use crate::init;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(1234)
+    }
+
+    #[test]
+    fn check_add_mul() {
+        let mut r = rng();
+        let a = init::uniform(&[2, 3], -1.0, 1.0, &mut r);
+        let b = init::uniform(&[2, 3], -1.0, 1.0, &mut r);
+        assert_grad_ok(&[a, b], 1e-2, |_t, v| v[0].mul(&v[1]).add(&v[0]).sum_all());
+    }
+
+    #[test]
+    fn check_broadcast_ops() {
+        let mut r = rng();
+        let a = init::uniform(&[2, 3], -1.0, 1.0, &mut r);
+        let b = init::uniform(&[3], 0.5, 1.5, &mut r); // keep away from 0 for div
+        assert_grad_ok(&[a.clone(), b.clone()], 1e-2, |_t, v| v[0].div(&v[1]).sum_all());
+        assert_grad_ok(&[a, b], 1e-2, |_t, v| v[0].sub(&v[1]).powf(2.0).sum_all());
+    }
+
+    #[test]
+    fn check_activations() {
+        let mut r = rng();
+        let x = init::uniform(&[3, 4], -2.0, 2.0, &mut r);
+        assert_grad_ok(&[x.clone()], 2e-2, |_t, v| v[0].tanh().sum_all());
+        assert_grad_ok(&[x.clone()], 2e-2, |_t, v| v[0].sigmoid().mean_all());
+        let pos = x.map(|v| v.abs() + 0.5);
+        assert_grad_ok(&[pos.clone()], 2e-2, |_t, v| v[0].ln().sum_all());
+        assert_grad_ok(&[pos], 2e-2, |_t, v| v[0].sqrt().sum_all());
+        assert_grad_ok(&[x], 2e-2, |_t, v| v[0].leaky_relu(0.1).sum_all());
+    }
+
+    #[test]
+    fn check_matmul() {
+        let mut r = rng();
+        let a = init::uniform(&[2, 3], -1.0, 1.0, &mut r);
+        let b = init::uniform(&[3, 4], -1.0, 1.0, &mut r);
+        assert_grad_ok(&[a, b], 1e-2, |_t, v| v[0].matmul(&v[1]).powf(2.0).sum_all());
+    }
+
+    #[test]
+    fn check_batched_matmul() {
+        let mut r = rng();
+        let a = init::uniform(&[2, 2, 3], -1.0, 1.0, &mut r);
+        let b = init::uniform(&[3, 2], -1.0, 1.0, &mut r);
+        assert_grad_ok(&[a, b], 1e-2, |_t, v| v[0].matmul(&v[1]).sum_all());
+    }
+
+    #[test]
+    fn check_softmax() {
+        let mut r = rng();
+        let x = init::uniform(&[2, 5], -1.0, 1.0, &mut r);
+        let w = init::uniform(&[2, 5], -1.0, 1.0, &mut r);
+        // weighted sum so softmax gradient is nontrivial
+        assert_grad_ok(&[x, w], 2e-2, |_t, v| v[0].softmax(1).mul(&v[1]).sum_all());
+    }
+
+    #[test]
+    fn check_reductions_and_shapes() {
+        let mut r = rng();
+        let x = init::uniform(&[2, 3, 4], -1.0, 1.0, &mut r);
+        assert_grad_ok(&[x.clone()], 1e-2, |_t, v| {
+            v[0].sum_axes(&[1], false).powf(2.0).sum_all()
+        });
+        assert_grad_ok(&[x.clone()], 1e-2, |_t, v| {
+            v[0].mean_axes(&[0, 2], true).powf(2.0).sum_all()
+        });
+        assert_grad_ok(&[x.clone()], 1e-2, |_t, v| {
+            v[0].permute(&[2, 0, 1]).narrow(0, 1, 2).sum_all()
+        });
+        assert_grad_ok(&[x], 1e-2, |_t, v| {
+            v[0].reshape(&[6, 4]).t().pad(&[(1, 0), (0, 2)]).powf(2.0).sum_all()
+        });
+    }
+
+    #[test]
+    fn check_conv2d() {
+        let mut r = rng();
+        let x = init::uniform(&[2, 2, 3, 6], -1.0, 1.0, &mut r);
+        let w = init::uniform(&[3, 2, 1, 2], -1.0, 1.0, &mut r);
+        assert_grad_ok(&[x.clone(), w.clone()], 2e-2, |_t, v| {
+            v[0].conv2d(&v[1], 1, 1).powf(2.0).sum_all()
+        });
+        // dilated
+        assert_grad_ok(&[x, w], 2e-2, |_t, v| v[0].conv2d(&v[1], 1, 2).powf(2.0).sum_all());
+    }
+
+    #[test]
+    fn check_index_select() {
+        let mut r = rng();
+        let x = init::uniform(&[4, 3], -1.0, 1.0, &mut r);
+        assert_grad_ok(&[x], 1e-2, |_t, v| {
+            v[0].index_select0(&[0, 2, 2]).powf(2.0).sum_all()
+        });
+    }
+
+    #[test]
+    fn check_concat_stack() {
+        let mut r = rng();
+        let a = init::uniform(&[2, 2], -1.0, 1.0, &mut r);
+        let b = init::uniform(&[2, 3], -1.0, 1.0, &mut r);
+        assert_grad_ok(&[a.clone(), b], 1e-2, |_t, v| {
+            crate::tape::Var::concat(&[v[0], v[1]], 1).powf(2.0).sum_all()
+        });
+        let c = init::uniform(&[2, 2], -1.0, 1.0, &mut r);
+        assert_grad_ok(&[a, c], 1e-2, |_t, v| {
+            crate::tape::Var::stack(&[v[0], v[1]], 1).powf(2.0).sum_all()
+        });
+    }
+}

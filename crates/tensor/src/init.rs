@@ -1,0 +1,105 @@
+//! Weight initialisers. All take an explicit RNG so experiments are
+//! reproducible under fixed seeds.
+
+use rand::distributions::{Distribution, Uniform};
+use rand::Rng;
+
+use crate::tensor::Tensor;
+
+/// Uniform on `[lo, hi)`.
+pub fn uniform(shape: &[usize], lo: f32, hi: f32, rng: &mut impl Rng) -> Tensor {
+    let dist = Uniform::new(lo, hi);
+    Tensor::from_vec(
+        (0..crate::shape::numel(shape)).map(|_| dist.sample(rng)).collect(),
+        shape,
+    )
+}
+
+/// Standard normal scaled by `std`.
+pub fn normal(shape: &[usize], mean: f32, std: f32, rng: &mut impl Rng) -> Tensor {
+    // Box-Muller; avoids a rand_distr dependency.
+    let n = crate::shape::numel(shape);
+    let mut data = Vec::with_capacity(n);
+    while data.len() < n {
+        let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+        let u2: f32 = rng.gen_range(0.0..1.0);
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f32::consts::PI * u2;
+        data.push(mean + std * r * theta.cos());
+        if data.len() < n {
+            data.push(mean + std * r * theta.sin());
+        }
+    }
+    Tensor::from_vec(data, shape)
+}
+
+/// Glorot/Xavier uniform: `U(-a, a)` with `a = sqrt(6 / (fan_in + fan_out))`.
+pub fn xavier_uniform(shape: &[usize], rng: &mut impl Rng) -> Tensor {
+    let (fan_in, fan_out) = fans(shape);
+    let a = (6.0 / (fan_in + fan_out) as f32).sqrt();
+    uniform(shape, -a, a, rng)
+}
+
+/// Kaiming/He uniform for ReLU layers: `U(-a, a)` with
+/// `a = sqrt(6 / fan_in)`.
+pub fn kaiming_uniform(shape: &[usize], rng: &mut impl Rng) -> Tensor {
+    let (fan_in, _) = fans(shape);
+    let a = (6.0 / fan_in.max(1) as f32).sqrt();
+    uniform(shape, -a, a, rng)
+}
+
+/// `(fan_in, fan_out)` for linear (`[out, in]`) and conv
+/// (`[out, in, kh, kw]`) weight layouts.
+fn fans(shape: &[usize]) -> (usize, usize) {
+    match shape.len() {
+        0 => (1, 1),
+        1 => (shape[0], shape[0]),
+        2 => (shape[1], shape[0]),
+        _ => {
+            let receptive: usize = shape[2..].iter().product();
+            (shape[1] * receptive, shape[0] * receptive)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_in_range() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let t = uniform(&[100], -0.5, 0.5, &mut rng);
+        assert!(t.as_slice().iter().all(|&v| (-0.5..0.5).contains(&v)));
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let t = normal(&[10_000], 1.0, 2.0, &mut rng);
+        assert!((t.mean_all() - 1.0).abs() < 0.1);
+        assert!((t.std_all() - 2.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn xavier_bound() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let t = xavier_uniform(&[8, 4], &mut rng);
+        let a = (6.0f32 / 12.0).sqrt();
+        assert!(t.as_slice().iter().all(|&v| v.abs() <= a));
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let mut r1 = StdRng::seed_from_u64(42);
+        let mut r2 = StdRng::seed_from_u64(42);
+        assert_eq!(xavier_uniform(&[3, 3], &mut r1), xavier_uniform(&[3, 3], &mut r2));
+    }
+
+    #[test]
+    fn conv_fans() {
+        assert_eq!(fans(&[16, 8, 1, 3]), (24, 48));
+    }
+}

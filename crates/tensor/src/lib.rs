@@ -1,0 +1,39 @@
+//! # traffic-tensor
+//!
+//! A from-scratch dense `f32` tensor library with reverse-mode automatic
+//! differentiation, built as the numerical substrate for reproducing
+//! *"An Empirical Experiment on Deep Learning Models for Predicting Traffic
+//! Data"* (ICDE 2021) in pure Rust.
+//!
+//! ## Layout
+//! - [`Tensor`]: contiguous row-major `f32` storage, NumPy-style
+//!   broadcasting, batched matmul, stride-1 dilated conv2d, reductions.
+//! - [`Tape`] / [`Var`]: define-by-run autograd. Operations on [`Var`]
+//!   record backward closures; [`Tape::backward`] runs one reverse sweep.
+//! - [`init`]: seeded weight initialisers (uniform/normal/Xavier/Kaiming).
+//! - [`gradcheck`]: central-finite-difference gradient verification used
+//!   throughout the workspace's test suites.
+//!
+//! ## Example
+//! ```
+//! use traffic_tensor::{Tape, Tensor};
+//!
+//! let tape = Tape::new();
+//! let w = tape.leaf(Tensor::from_vec(vec![0.5, -1.0], &[2, 1]), true);
+//! let x = tape.constant(Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]));
+//! let loss = x.matmul(&w).powf(2.0).mean_all();
+//! let grads = tape.backward(loss);
+//! assert_eq!(grads.get(w).unwrap().shape(), &[2, 1]);
+//! ```
+
+pub mod conv;
+pub mod gradcheck;
+pub mod init;
+mod linalg;
+mod reduce;
+pub mod shape;
+mod tape;
+mod tensor;
+
+pub use tape::{Gradients, Tape, Var};
+pub use tensor::Tensor;

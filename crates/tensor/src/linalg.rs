@@ -1,0 +1,225 @@
+//! Batched matrix multiplication with broadcasting over leading axes.
+
+use crate::shape::{broadcast_shapes, broadcast_strides, numel, strides_for};
+use crate::tensor::Tensor;
+
+/// Plain `m×k · k×n` kernel on contiguous slices, accumulating into `out`.
+///
+/// Loop order (i, l, j) keeps the innermost loop streaming over contiguous
+/// rows of `b` and `out`, which lets LLVM auto-vectorise it.
+fn matmul_kernel(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(out.len(), m * n);
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        let out_row = &mut out[i * n..(i + 1) * n];
+        for (l, &av) in a_row.iter().enumerate() {
+            if av == 0.0 {
+                continue; // adjacency matrices are sparse; skip zero rows cheaply
+            }
+            let b_row = &b[l * n..(l + 1) * n];
+            for j in 0..n {
+                out_row[j] += av * b_row[j];
+            }
+        }
+    }
+}
+
+impl Tensor {
+    /// Batched matrix product.
+    ///
+    /// Shapes `[..., m, k] · [..., k, n] -> [..., m, n]`; leading (batch)
+    /// axes broadcast like elementwise ops. Rank-1 operands are promoted to
+    /// row/column matrices and the promoted axis removed from the result.
+    ///
+    /// ```
+    /// use traffic_tensor::Tensor;
+    /// let batch = Tensor::ones(&[4, 2, 3]);       // 4 matrices of 2×3
+    /// let weights = Tensor::ones(&[3, 5]);        // shared 3×5
+    /// assert_eq!(batch.matmul(&weights).shape(), &[4, 2, 5]);
+    /// ```
+    pub fn matmul(&self, other: &Tensor) -> Tensor {
+        // Promote rank-1 operands.
+        let (a, squeeze_m) = if self.rank() == 1 {
+            (self.reshape(&[1, self.shape()[0]]), true)
+        } else {
+            (self.clone(), false)
+        };
+        let (b, squeeze_n) = if other.rank() == 1 {
+            (other.reshape(&[other.shape()[0], 1]), true)
+        } else {
+            (other.clone(), false)
+        };
+        assert!(a.rank() >= 2 && b.rank() >= 2);
+        let (m, ka) = (a.shape()[a.rank() - 2], a.shape()[a.rank() - 1]);
+        let (kb, n) = (b.shape()[b.rank() - 2], b.shape()[b.rank() - 1]);
+        assert_eq!(
+            ka, kb,
+            "matmul inner-dimension mismatch: {:?} · {:?}",
+            self.shape(),
+            other.shape()
+        );
+        let a_batch = &a.shape()[..a.rank() - 2];
+        let b_batch = &b.shape()[..b.rank() - 2];
+        let batch = broadcast_shapes(a_batch, b_batch).unwrap_or_else(|| {
+            panic!("matmul batch-dimension mismatch: {:?} · {:?}", self.shape(), other.shape())
+        });
+        let nbatch = numel(&batch);
+
+        // Per-batch flat offsets into a and b via broadcast strides measured
+        // in whole matrices.
+        let a_mat = m * ka;
+        let b_mat = kb * n;
+        let a_bstr = broadcast_strides(a_batch, &batch);
+        let b_bstr = broadcast_strides(b_batch, &batch);
+        let batch_strides = strides_for(&batch);
+
+        let mut out_shape = batch.clone();
+        out_shape.push(m);
+        out_shape.push(n);
+        let mut out = vec![0.0f32; nbatch * m * n];
+        let run_range = |out_chunk: &mut [f32], lo: usize| {
+            let mut coords = vec![0usize; batch.len()];
+            for (i, dst) in out_chunk.chunks_mut(m * n).enumerate() {
+                let bi = lo + i;
+                crate::shape::unravel(bi, &batch, &mut coords);
+                let a_off: usize = coords.iter().zip(&a_bstr).map(|(c, s)| c * s).sum();
+                let b_off: usize = coords.iter().zip(&b_bstr).map(|(c, s)| c * s).sum();
+                matmul_kernel(
+                    &a.as_slice()[a_off * a_mat..a_off * a_mat + a_mat],
+                    &b.as_slice()[b_off * b_mat..b_off * b_mat + b_mat],
+                    dst,
+                    m,
+                    ka,
+                    n,
+                );
+            }
+        };
+        // Parallelise across batches when there is enough work to amortise
+        // thread spawn cost (~10 µs each).
+        let total_flops = nbatch * m * ka * n;
+        let threads = if total_flops >= 1 << 21 {
+            std::thread::available_parallelism().map(|x| x.get()).unwrap_or(1).min(nbatch).min(8)
+        } else {
+            1
+        };
+        if threads > 1 {
+            let per = nbatch.div_ceil(threads);
+            std::thread::scope(|scope| {
+                for (ci, chunk) in out.chunks_mut(per * m * n).enumerate() {
+                    let run = &run_range;
+                    scope.spawn(move || run(chunk, ci * per));
+                }
+            });
+        } else {
+            run_range(&mut out, 0);
+        }
+        let _ = &batch_strides;
+        let t = Tensor::from_vec(out, &out_shape);
+        // Undo rank-1 promotions.
+        match (squeeze_m, squeeze_n) {
+            (false, false) => t,
+            (true, false) => {
+                let mut s = out_shape.clone();
+                s.remove(s.len() - 2);
+                t.reshape(&s)
+            }
+            (false, true) => {
+                let mut s = out_shape.clone();
+                s.pop();
+                t.reshape(&s)
+            }
+            (true, true) => t.reshape(&[]),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mat2x2() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        let b = Tensor::from_vec(vec![5.0, 6.0, 7.0, 8.0], &[2, 2]);
+        let c = a.matmul(&b);
+        assert_eq!(c.as_slice(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let a = Tensor::arange(6).reshape(&[2, 3]);
+        assert_eq!(a.matmul(&Tensor::eye(3)), a);
+        assert_eq!(Tensor::eye(2).matmul(&a), a);
+    }
+
+    #[test]
+    fn batched_broadcast() {
+        // [2, 2, 3] · [3, 2] -> [2, 2, 2]
+        let a = Tensor::arange(12).reshape(&[2, 2, 3]);
+        let b = Tensor::arange(6).reshape(&[3, 2]);
+        let c = a.matmul(&b);
+        assert_eq!(c.shape(), &[2, 2, 2]);
+        // first batch, first row: [0,1,2]·cols of b
+        assert_eq!(c.at(&[0, 0, 0]), 0.0 * 0.0 + 1.0 * 2.0 + 2.0 * 4.0);
+        assert_eq!(c.at(&[1, 1, 1]), 9.0 * 1.0 + 10.0 * 3.0 + 11.0 * 5.0);
+    }
+
+    #[test]
+    fn vec_promotions() {
+        let a = Tensor::from_vec(vec![1.0, 2.0], &[2]);
+        let m = Tensor::from_vec(vec![1.0, 0.0, 0.0, 2.0], &[2, 2]);
+        let vm = a.matmul(&m);
+        assert_eq!(vm.shape(), &[2]);
+        assert_eq!(vm.as_slice(), &[1.0, 4.0]);
+        let mv = m.matmul(&a);
+        assert_eq!(mv.shape(), &[2]);
+        assert_eq!(mv.as_slice(), &[1.0, 4.0]);
+        let dot = a.matmul(&a);
+        assert_eq!(dot.shape(), &[] as &[usize]);
+        assert_eq!(dot.item(), 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner-dimension mismatch")]
+    fn inner_mismatch() {
+        Tensor::zeros(&[2, 3]).matmul(&Tensor::zeros(&[2, 3]));
+    }
+
+    #[test]
+    fn parallel_path_matches_serial() {
+        // Big enough batch to cross the threading threshold; results must
+        // equal the per-batch serial kernel.
+        let nb = 64;
+        let (m, k, n) = (16, 16, 16);
+        let a = Tensor::from_vec(
+            (0..nb * m * k).map(|i| ((i % 97) as f32 - 48.0) * 0.01).collect(),
+            &[nb, m, k],
+        );
+        let b = Tensor::from_vec(
+            (0..nb * k * n).map(|i| ((i % 89) as f32 - 44.0) * 0.01).collect(),
+            &[nb, k, n],
+        );
+        let whole = a.matmul(&b);
+        for bi in [0usize, 31, 63] {
+            let ai = a.narrow(0, bi, 1).reshape(&[m, k]);
+            let bj = b.narrow(0, bi, 1).reshape(&[k, n]);
+            let expect = ai.matmul(&bj);
+            let got = whole.narrow(0, bi, 1).reshape(&[m, n]);
+            for (x, y) in got.as_slice().iter().zip(expect.as_slice()) {
+                assert!((x - y).abs() < 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn transpose_identity() {
+        // (A·B)ᵀ = Bᵀ·Aᵀ
+        let a = Tensor::arange(6).reshape(&[2, 3]);
+        let b = Tensor::arange(12).reshape(&[3, 4]);
+        let lhs = a.matmul(&b).t();
+        let rhs = b.t().matmul(&a.t());
+        assert_eq!(lhs, rhs);
+    }
+}

@@ -1,0 +1,175 @@
+//! Axis reductions and the `unbroadcast` adjoint used by autograd.
+
+use crate::shape::{broadcast_strides, for_each_broadcast2, numel, strides_for};
+use crate::tensor::Tensor;
+
+impl Tensor {
+    /// Sums over the given axes. With `keepdim` the reduced axes stay as
+    /// size-1; otherwise they are removed.
+    pub fn sum_axes(&self, axes: &[usize], keepdim: bool) -> Tensor {
+        let rank = self.rank();
+        let mut reduce = vec![false; rank];
+        for &a in axes {
+            crate::shape::check_axis(a, rank);
+            reduce[a] = true;
+        }
+        let kept_shape: Vec<usize> = self
+            .shape()
+            .iter()
+            .enumerate()
+            .map(|(i, &d)| if reduce[i] { 1 } else { d })
+            .collect();
+        let mut out = vec![0.0f32; numel(&kept_shape)];
+        // Iterate input; accumulate into the output position with reduced
+        // axes clamped to zero.
+        let out_strides = strides_for(&kept_shape);
+        let mut acc_strides = out_strides.clone();
+        for i in 0..rank {
+            if reduce[i] {
+                acc_strides[i] = 0;
+            }
+        }
+        let zero = vec![0usize; rank];
+        let data = self.as_slice();
+        for_each_broadcast2(self.shape(), &acc_strides, &zero, |flat, o, _| {
+            out[o] += data[flat];
+        });
+        let t = Tensor::from_vec(out, &kept_shape);
+        if keepdim {
+            t
+        } else {
+            let squeezed: Vec<usize> = kept_shape
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| !reduce[*i])
+                .map(|(_, &d)| d)
+                .collect();
+            t.reshape(&squeezed)
+        }
+    }
+
+    /// Mean over the given axes.
+    pub fn mean_axes(&self, axes: &[usize], keepdim: bool) -> Tensor {
+        let count: usize = axes.iter().map(|&a| self.shape()[a]).product();
+        self.sum_axes(axes, keepdim).mul_scalar(1.0 / count.max(1) as f32)
+    }
+
+    /// Maximum over a single axis (keepdim). Used for numerically stable
+    /// softmax; not differentiable through our tape (softmax handles its own
+    /// backward).
+    pub fn max_axis_keepdim(&self, axis: usize) -> Tensor {
+        crate::shape::check_axis(axis, self.rank());
+        let outer: usize = self.shape()[..axis].iter().product();
+        let d = self.shape()[axis];
+        let inner: usize = self.shape()[axis + 1..].iter().product();
+        let mut out = vec![f32::NEG_INFINITY; outer * inner];
+        let data = self.as_slice();
+        for o in 0..outer {
+            for k in 0..d {
+                let base = (o * d + k) * inner;
+                for i in 0..inner {
+                    let v = data[base + i];
+                    let slot = &mut out[o * inner + i];
+                    if v > *slot {
+                        *slot = v;
+                    }
+                }
+            }
+        }
+        let mut shape = self.shape().to_vec();
+        shape[axis] = 1;
+        Tensor::from_vec(out, &shape)
+    }
+
+    /// Adjoint of broadcasting: reduces `self` (shaped like the broadcast
+    /// output) back to `target_shape` by summing over expanded axes.
+    pub fn unbroadcast(&self, target_shape: &[usize]) -> Tensor {
+        if self.shape() == target_shape {
+            return self.clone();
+        }
+        let rank = self.rank();
+        let offset = rank - target_shape.len();
+        // Sum away leading extra axes plus axes where target had size 1.
+        let mut axes: Vec<usize> = (0..offset).collect();
+        for (i, &d) in target_shape.iter().enumerate() {
+            if d == 1 && self.shape()[offset + i] != 1 {
+                axes.push(offset + i);
+            }
+        }
+        let reduced = self.sum_axes(&axes, true);
+        reduced.reshape(target_shape)
+    }
+
+    /// Expands `self` to `shape` by broadcasting (materialised copy).
+    pub fn broadcast_to(&self, shape: &[usize]) -> Tensor {
+        if self.shape() == shape {
+            return self.clone();
+        }
+        let src = broadcast_strides(self.shape(), shape);
+        let zero = vec![0usize; shape.len()];
+        let mut out = vec![0.0f32; numel(shape)];
+        let data = self.as_slice();
+        for_each_broadcast2(shape, &src, &zero, |o, s, _| out[o] = data[s]);
+        Tensor::from_vec(out, shape)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sum_one_axis() {
+        let a = Tensor::arange(6).reshape(&[2, 3]);
+        let s0 = a.sum_axes(&[0], false);
+        assert_eq!(s0.shape(), &[3]);
+        assert_eq!(s0.as_slice(), &[3.0, 5.0, 7.0]);
+        let s1 = a.sum_axes(&[1], true);
+        assert_eq!(s1.shape(), &[2, 1]);
+        assert_eq!(s1.as_slice(), &[3.0, 12.0]);
+    }
+
+    #[test]
+    fn sum_multi_axis() {
+        let a = Tensor::arange(24).reshape(&[2, 3, 4]);
+        let s = a.sum_axes(&[0, 2], false);
+        assert_eq!(s.shape(), &[3]);
+        // axis-1 slice k sums rows k of both batches over last axis
+        assert_eq!(s.as_slice(), &[60.0, 92.0, 124.0]);
+    }
+
+    #[test]
+    fn mean_axes_matches_sum() {
+        let a = Tensor::arange(6).reshape(&[2, 3]);
+        let m = a.mean_axes(&[0], false);
+        assert_eq!(m.as_slice(), &[1.5, 2.5, 3.5]);
+    }
+
+    #[test]
+    fn max_axis() {
+        let a = Tensor::from_vec(vec![1.0, 9.0, 3.0, 4.0, 0.0, 6.0], &[2, 3]);
+        let m = a.max_axis_keepdim(1);
+        assert_eq!(m.shape(), &[2, 1]);
+        assert_eq!(m.as_slice(), &[9.0, 6.0]);
+        let m0 = a.max_axis_keepdim(0);
+        assert_eq!(m0.as_slice(), &[4.0, 9.0, 6.0]);
+    }
+
+    #[test]
+    fn unbroadcast_reverses_broadcast() {
+        let a = Tensor::ones(&[2, 1, 3]);
+        let big = a.broadcast_to(&[4, 2, 5, 3]);
+        assert_eq!(big.shape(), &[4, 2, 5, 3]);
+        let back = big.unbroadcast(&[2, 1, 3]);
+        assert_eq!(back.shape(), &[2, 1, 3]);
+        // each element was replicated 4*5 = 20 times
+        assert!(back.as_slice().iter().all(|&v| v == 20.0));
+    }
+
+    #[test]
+    fn broadcast_to_values() {
+        let a = Tensor::from_vec(vec![1.0, 2.0], &[2, 1]);
+        let b = a.broadcast_to(&[2, 3]);
+        assert_eq!(b.as_slice(), &[1.0, 1.0, 1.0, 2.0, 2.0, 2.0]);
+    }
+}

@@ -1,0 +1,725 @@
+//! Reverse-mode automatic differentiation.
+//!
+//! A [`Tape`] records every operation of a forward pass; [`Var`] is a cheap
+//! copyable handle to a node on that tape. Calling [`Tape::backward`] on a
+//! scalar loss returns the gradients of every `requires_grad` leaf.
+//!
+//! Nodes are appended in topological order (parents always precede
+//! children), so backpropagation is a single reverse sweep over the node
+//! list — no sorting needed.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::conv::{col2im, conv_out_len, im2col};
+use crate::tensor::Tensor;
+
+static TAPE_IDS: AtomicU64 = AtomicU64::new(1);
+
+type BackFn = Box<dyn Fn(&Tensor) -> Vec<Tensor>>;
+
+struct Node {
+    value: Tensor,
+    requires_grad: bool,
+    parents: Vec<usize>,
+    /// Maps the gradient flowing into this node to gradient contributions
+    /// for each parent (aligned with `parents`). `None` for leaves.
+    backward: Option<BackFn>,
+}
+
+/// The recording tape for one forward/backward pass.
+pub struct Tape {
+    id: u64,
+    nodes: RefCell<Vec<Node>>,
+}
+
+impl Default for Tape {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Tape {
+    /// Creates an empty tape with a process-unique id.
+    pub fn new() -> Self {
+        Tape { id: TAPE_IDS.fetch_add(1, Ordering::Relaxed), nodes: RefCell::new(Vec::new()) }
+    }
+
+    /// Process-unique identifier (used by parameter caches).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Number of recorded nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.borrow().len()
+    }
+
+    /// True when nothing has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn push(&self, node: Node) -> usize {
+        let mut nodes = self.nodes.borrow_mut();
+        nodes.push(node);
+        nodes.len() - 1
+    }
+
+    /// Inserts a leaf tensor. Set `requires_grad` for trainable parameters.
+    pub fn leaf(&self, value: Tensor, requires_grad: bool) -> Var<'_> {
+        let id = self.push(Node { value, requires_grad, parents: Vec::new(), backward: None });
+        Var { tape: self, id }
+    }
+
+    /// Convenience: a non-differentiable constant leaf.
+    pub fn constant(&self, value: Tensor) -> Var<'_> {
+        self.leaf(value, false)
+    }
+
+    /// Reconstructs a [`Var`] from a node id previously obtained via
+    /// [`Var::id`]. Used by parameter stores to cache leaf bindings across a
+    /// forward pass. Panics if the id is out of range.
+    pub fn var(&self, id: usize) -> Var<'_> {
+        assert!(id < self.len(), "var id {id} out of range (tape has {} nodes)", self.len());
+        Var { tape: self, id }
+    }
+
+    fn value_of(&self, id: usize) -> Tensor {
+        self.nodes.borrow()[id].value.clone()
+    }
+
+    fn requires_grad(&self, id: usize) -> bool {
+        self.nodes.borrow()[id].requires_grad
+    }
+
+    fn unary(
+        &self,
+        parent: &Var<'_>,
+        value: Tensor,
+        back: impl Fn(&Tensor) -> Tensor + 'static,
+    ) -> Var<'_> {
+        let rg = self.requires_grad(parent.id);
+        let node = Node {
+            value,
+            requires_grad: rg,
+            parents: vec![parent.id],
+            backward: if rg { Some(Box::new(move |g| vec![back(g)])) } else { None },
+        };
+        Var { tape: self, id: self.push(node) }
+    }
+
+    fn binary(
+        &self,
+        a: &Var<'_>,
+        b: &Var<'_>,
+        value: Tensor,
+        back: impl Fn(&Tensor) -> (Tensor, Tensor) + 'static,
+    ) -> Var<'_> {
+        let rg = self.requires_grad(a.id) || self.requires_grad(b.id);
+        let node = Node {
+            value,
+            requires_grad: rg,
+            parents: vec![a.id, b.id],
+            backward: if rg {
+                Some(Box::new(move |g| {
+                    let (ga, gb) = back(g);
+                    vec![ga, gb]
+                }))
+            } else {
+                None
+            },
+        };
+        Var { tape: self, id: self.push(node) }
+    }
+
+    /// Runs reverse-mode differentiation from the scalar `loss`.
+    pub fn backward(&self, loss: Var<'_>) -> Gradients {
+        assert_eq!(
+            loss.tape.id, self.id,
+            "backward called with a Var from a different tape"
+        );
+        let nodes = self.nodes.borrow();
+        assert_eq!(
+            nodes[loss.id].value.len(),
+            1,
+            "backward requires a scalar loss, got shape {:?}",
+            nodes[loss.id].value.shape()
+        );
+        let mut grads: Vec<Option<Tensor>> = vec![None; nodes.len()];
+        grads[loss.id] = Some(Tensor::ones(nodes[loss.id].value.shape()));
+        for id in (0..=loss.id).rev() {
+            let Some(g) = grads[id].take() else { continue };
+            let node = &nodes[id];
+            if let Some(back) = &node.backward {
+                let parent_grads = back(&g);
+                debug_assert_eq!(parent_grads.len(), node.parents.len());
+                for (pid, pg) in node.parents.iter().zip(parent_grads) {
+                    if !nodes[*pid].requires_grad {
+                        continue;
+                    }
+                    match &mut grads[*pid] {
+                        Some(acc) => *acc = acc.add(&pg),
+                        slot => *slot = Some(pg),
+                    }
+                }
+            } else if node.requires_grad {
+                grads[id] = Some(g); // keep leaf gradient
+            }
+        }
+        Gradients { tape_id: self.id, grads }
+    }
+}
+
+/// Gradients produced by [`Tape::backward`], indexed by [`Var`].
+pub struct Gradients {
+    tape_id: u64,
+    grads: Vec<Option<Tensor>>,
+}
+
+impl Gradients {
+    /// Gradient for `var`, if it was reached and requires grad.
+    pub fn get(&self, var: Var<'_>) -> Option<&Tensor> {
+        assert_eq!(var.tape.id, self.tape_id, "Var from a different tape");
+        self.grads.get(var.id).and_then(|g| g.as_ref())
+    }
+
+    /// Like [`Gradients::get`] but by raw node id (used by parameter stores
+    /// that cache var ids across a forward pass).
+    pub fn get_by_id(&self, id: usize) -> Option<&Tensor> {
+        self.grads.get(id).and_then(|g| g.as_ref())
+    }
+}
+
+/// A handle to a node on a [`Tape`].
+#[derive(Clone, Copy)]
+pub struct Var<'t> {
+    tape: &'t Tape,
+    id: usize,
+}
+
+impl<'t> Var<'t> {
+    /// Raw node id (stable for the lifetime of the tape).
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// The tape this variable belongs to.
+    pub fn tape(&self) -> &'t Tape {
+        self.tape
+    }
+
+    /// A copy of the forward value.
+    pub fn value(&self) -> Tensor {
+        self.tape.value_of(self.id)
+    }
+
+    /// Shape of the forward value.
+    pub fn shape(&self) -> Vec<usize> {
+        self.tape.nodes.borrow()[self.id].value.shape().to_vec()
+    }
+
+    // ------------------------------------------------------------------
+    // Elementwise binary (broadcasting)
+    // ------------------------------------------------------------------
+
+    /// Broadcast addition.
+    pub fn add(&self, other: &Var<'t>) -> Var<'t> {
+        let (av, bv) = (self.value(), other.value());
+        let (ash, bsh) = (av.shape().to_vec(), bv.shape().to_vec());
+        self.tape.binary(self, other, av.add(&bv), move |g| {
+            (g.unbroadcast(&ash), g.unbroadcast(&bsh))
+        })
+    }
+
+    /// Broadcast subtraction.
+    pub fn sub(&self, other: &Var<'t>) -> Var<'t> {
+        let (av, bv) = (self.value(), other.value());
+        let (ash, bsh) = (av.shape().to_vec(), bv.shape().to_vec());
+        self.tape.binary(self, other, av.sub(&bv), move |g| {
+            (g.unbroadcast(&ash), g.neg().unbroadcast(&bsh))
+        })
+    }
+
+    /// Broadcast elementwise product.
+    pub fn mul(&self, other: &Var<'t>) -> Var<'t> {
+        let (av, bv) = (self.value(), other.value());
+        let (ash, bsh) = (av.shape().to_vec(), bv.shape().to_vec());
+        let (ac, bc) = (av.clone(), bv.clone());
+        self.tape.binary(self, other, av.mul(&bv), move |g| {
+            (g.mul(&bc).unbroadcast(&ash), g.mul(&ac).unbroadcast(&bsh))
+        })
+    }
+
+    /// Broadcast elementwise division.
+    pub fn div(&self, other: &Var<'t>) -> Var<'t> {
+        let (av, bv) = (self.value(), other.value());
+        let (ash, bsh) = (av.shape().to_vec(), bv.shape().to_vec());
+        let (ac, bc) = (av.clone(), bv.clone());
+        self.tape.binary(self, other, av.div(&bv), move |g| {
+            let ga = g.div(&bc).unbroadcast(&ash);
+            // d/db (a/b) = -a / b²
+            let gb = g.mul(&ac).div(&bc.mul(&bc)).neg().unbroadcast(&bsh);
+            (ga, gb)
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Elementwise unary
+    // ------------------------------------------------------------------
+
+    /// Negation.
+    pub fn neg(&self) -> Var<'t> {
+        self.tape.unary(self, self.value().neg(), |g| g.neg())
+    }
+
+    /// Adds a scalar constant.
+    pub fn add_scalar(&self, s: f32) -> Var<'t> {
+        self.tape.unary(self, self.value().add_scalar(s), |g| g.clone())
+    }
+
+    /// Multiplies by a scalar constant.
+    pub fn mul_scalar(&self, s: f32) -> Var<'t> {
+        self.tape.unary(self, self.value().mul_scalar(s), move |g| g.mul_scalar(s))
+    }
+
+    /// Elementwise power with constant exponent.
+    pub fn powf(&self, p: f32) -> Var<'t> {
+        let x = self.value();
+        let xc = x.clone();
+        self.tape.unary(self, x.powf(p), move |g| g.mul(&xc.powf(p - 1.0).mul_scalar(p)))
+    }
+
+    /// Rectified linear unit.
+    pub fn relu(&self) -> Var<'t> {
+        let x = self.value();
+        let mask = x.map(|v| if v > 0.0 { 1.0 } else { 0.0 });
+        self.tape.unary(self, x.clamp_min(0.0), move |g| g.mul(&mask))
+    }
+
+    /// Leaky ReLU with negative slope `alpha`.
+    pub fn leaky_relu(&self, alpha: f32) -> Var<'t> {
+        let x = self.value();
+        let mask = x.map(|v| if v > 0.0 { 1.0 } else { alpha });
+        let y = x.map(|v| if v > 0.0 { v } else { alpha * v });
+        self.tape.unary(self, y, move |g| g.mul(&mask))
+    }
+
+    /// Logistic sigmoid.
+    pub fn sigmoid(&self) -> Var<'t> {
+        let y = self.value().map(|v| 1.0 / (1.0 + (-v).exp()));
+        let yc = y.clone();
+        self.tape.unary(self, y, move |g| g.mul(&yc.zip_map(&yc, |a, b| a * (1.0 - b))))
+    }
+
+    /// Hyperbolic tangent.
+    pub fn tanh(&self) -> Var<'t> {
+        let y = self.value().map(f32::tanh);
+        let yc = y.clone();
+        self.tape.unary(self, y, move |g| g.mul(&yc.map(|v| 1.0 - v * v)))
+    }
+
+    /// Elementwise exponential.
+    pub fn exp(&self) -> Var<'t> {
+        let y = self.value().exp();
+        let yc = y.clone();
+        self.tape.unary(self, y, move |g| g.mul(&yc))
+    }
+
+    /// Elementwise natural log.
+    pub fn ln(&self) -> Var<'t> {
+        let x = self.value();
+        let xc = x.clone();
+        self.tape.unary(self, x.ln(), move |g| g.div(&xc))
+    }
+
+    /// Elementwise square root.
+    pub fn sqrt(&self) -> Var<'t> {
+        let y = self.value().sqrt();
+        let yc = y.clone();
+        self.tape.unary(self, y, move |g| g.div(&yc.mul_scalar(2.0)))
+    }
+
+    /// Smooth absolute value: `sqrt(x² + eps)`; with `eps = 0` this is exact
+    /// `|x|` with subgradient sign(x).
+    pub fn abs(&self) -> Var<'t> {
+        let x = self.value();
+        let sign = x.map(|v| if v >= 0.0 { 1.0 } else { -1.0 });
+        self.tape.unary(self, x.abs(), move |g| g.mul(&sign))
+    }
+
+    /// Multiplies by a constant mask tensor (no gradient into the mask).
+    pub fn mul_const(&self, mask: &Tensor) -> Var<'t> {
+        let m = mask.clone();
+        let y = self.value().mul(mask);
+        let tgt = self.shape();
+        self.tape.unary(self, y, move |g| g.mul(&m).unbroadcast(&tgt))
+    }
+
+    /// Adds a constant tensor (no gradient into the constant).
+    pub fn add_const(&self, c: &Tensor) -> Var<'t> {
+        let y = self.value().add(c);
+        let tgt = self.shape();
+        self.tape.unary(self, y, move |g| g.unbroadcast(&tgt))
+    }
+
+    // ------------------------------------------------------------------
+    // Reductions
+    // ------------------------------------------------------------------
+
+    /// Sum over all elements → scalar.
+    pub fn sum_all(&self) -> Var<'t> {
+        let x = self.value();
+        let shape = x.shape().to_vec();
+        self.tape
+            .unary(self, Tensor::scalar(x.sum_all()), move |g| {
+                Tensor::full(&shape, g.item())
+            })
+    }
+
+    /// Mean over all elements → scalar.
+    pub fn mean_all(&self) -> Var<'t> {
+        let n = self.value().len().max(1);
+        self.sum_all().mul_scalar(1.0 / n as f32)
+    }
+
+    /// Sum over `axes` (keepdim).
+    pub fn sum_axes(&self, axes: &[usize], keepdim: bool) -> Var<'t> {
+        let x = self.value();
+        let in_shape = x.shape().to_vec();
+        let y = x.sum_axes(axes, keepdim);
+        let kept: Vec<usize> = {
+            let mut s = in_shape.clone();
+            for &a in axes {
+                s[a] = 1;
+            }
+            s
+        };
+        self.tape.unary(self, y, move |g| {
+            g.reshape(&kept).broadcast_to(&in_shape)
+        })
+    }
+
+    /// Mean over `axes` (keepdim).
+    pub fn mean_axes(&self, axes: &[usize], keepdim: bool) -> Var<'t> {
+        let count: usize = {
+            let s = self.shape();
+            axes.iter().map(|&a| s[a]).product()
+        };
+        self.sum_axes(axes, keepdim).mul_scalar(1.0 / count.max(1) as f32)
+    }
+
+    // ------------------------------------------------------------------
+    // Linear algebra & shape
+    // ------------------------------------------------------------------
+
+    /// Batched matrix product with broadcasting batch axes.
+    pub fn matmul(&self, other: &Var<'t>) -> Var<'t> {
+        let (a, b) = (self.value(), other.value());
+        assert!(a.rank() >= 2 && b.rank() >= 2, "Var::matmul requires rank >= 2 operands");
+        let (ac, bc) = (a.clone(), b.clone());
+        let (ash, bsh) = (a.shape().to_vec(), b.shape().to_vec());
+        let y = a.matmul(&b);
+        self.tape.binary(self, other, y, move |g| {
+            let ga = g.matmul(&bc.t()).unbroadcast(&ash);
+            let gb = ac.t().matmul(g).unbroadcast(&bsh);
+            (ga, gb)
+        })
+    }
+
+    /// Reshape (element count preserved).
+    pub fn reshape(&self, shape: &[usize]) -> Var<'t> {
+        let x = self.value();
+        let orig = x.shape().to_vec();
+        let y = x.reshape(shape);
+        self.tape.unary(self, y, move |g| g.reshape(&orig))
+    }
+
+    /// Axis permutation.
+    pub fn permute(&self, perm: &[usize]) -> Var<'t> {
+        let x = self.value();
+        let y = x.permute(perm);
+        // Inverse permutation for the backward pass.
+        let mut inv = vec![0usize; perm.len()];
+        for (i, &p) in perm.iter().enumerate() {
+            inv[p] = i;
+        }
+        self.tape.unary(self, y, move |g| g.permute(&inv))
+    }
+
+    /// Transpose of the last two axes.
+    pub fn t(&self) -> Var<'t> {
+        let r = self.shape().len();
+        let mut perm: Vec<usize> = (0..r).collect();
+        perm.swap(r - 1, r - 2);
+        self.permute(&perm)
+    }
+
+    /// Narrow: `len` slices from `start` along `axis`.
+    pub fn narrow(&self, axis: usize, start: usize, len: usize) -> Var<'t> {
+        let x = self.value();
+        let full = x.shape()[axis];
+        let y = x.narrow(axis, start, len);
+        let rank = x.rank();
+        self.tape.unary(self, y, move |g| {
+            let mut pads = vec![(0usize, 0usize); rank];
+            pads[axis] = (start, full - start - len);
+            g.pad(&pads)
+        })
+    }
+
+    /// Zero padding per axis.
+    pub fn pad(&self, pads: &[(usize, usize)]) -> Var<'t> {
+        let x = self.value();
+        let y = x.pad(pads);
+        let pads = pads.to_vec();
+        self.tape.unary(self, y, move |g| g.unpad(&pads))
+    }
+
+    /// Concatenates variables along `axis`.
+    pub fn concat(parts: &[Var<'t>], axis: usize) -> Var<'t> {
+        assert!(!parts.is_empty(), "concat of zero vars");
+        let tape = parts[0].tape;
+        let values: Vec<Tensor> = parts.iter().map(|p| p.value()).collect();
+        let refs: Vec<&Tensor> = values.iter().collect();
+        let y = Tensor::concat(&refs, axis);
+        let sizes: Vec<usize> = values.iter().map(|v| v.shape()[axis]).collect();
+        let rg = parts.iter().any(|p| tape.requires_grad(p.id));
+        let node = Node {
+            value: y,
+            requires_grad: rg,
+            parents: parts.iter().map(|p| p.id).collect(),
+            backward: if rg {
+                Some(Box::new(move |g| {
+                    let mut out = Vec::with_capacity(sizes.len());
+                    let mut off = 0;
+                    for &s in &sizes {
+                        out.push(g.narrow(axis, off, s));
+                        off += s;
+                    }
+                    out
+                }))
+            } else {
+                None
+            },
+        };
+        Var { tape, id: tape.push(node) }
+    }
+
+    /// Stacks rank-equal variables along a new leading position of `axis`.
+    pub fn stack(parts: &[Var<'t>], axis: usize) -> Var<'t> {
+        let expanded: Vec<Var<'t>> = parts
+            .iter()
+            .map(|p| {
+                let mut s = p.shape();
+                s.insert(axis, 1);
+                p.reshape(&s)
+            })
+            .collect();
+        Var::concat(&expanded, axis)
+    }
+
+    /// Softmax along `axis` (numerically stable).
+    pub fn softmax(&self, axis: usize) -> Var<'t> {
+        let x = self.value();
+        let m = x.max_axis_keepdim(axis);
+        let e = x.sub(&m).exp();
+        let s = e.sum_axes(&[axis], true);
+        let y = e.div(&s);
+        let yc = y.clone();
+        self.tape.unary(self, y, move |g| {
+            // dx = (g - sum(g*y, axis)) * y
+            let dot = g.mul(&yc).sum_axes(&[axis], true);
+            g.sub(&dot).mul(&yc)
+        })
+    }
+
+    /// Inverted dropout. In training mode zeroes each element with
+    /// probability `p` and rescales survivors by `1/(1-p)`; identity in eval
+    /// mode. `mask_source` supplies uniform randoms in `[0, 1)`.
+    pub fn dropout(&self, p: f32, training: bool, uniform: impl FnMut() -> f32) -> Var<'t> {
+        if !training || p <= 0.0 {
+            return *self;
+        }
+        assert!(p < 1.0, "dropout probability must be < 1, got {p}");
+        let mut uniform = uniform;
+        let scale = 1.0 / (1.0 - p);
+        let x = self.value();
+        let mask =
+            Tensor::from_vec(
+                (0..x.len()).map(|_| if uniform() < p { 0.0 } else { scale }).collect(),
+                x.shape(),
+            );
+        self.mul_const(&mask)
+    }
+
+    /// Gathers rows of axis 0 (embedding lookup). Backward scatter-adds.
+    pub fn index_select0(&self, indices: &[usize]) -> Var<'t> {
+        let x = self.value();
+        let y = x.index_select0(indices);
+        let idx = indices.to_vec();
+        let in_shape = x.shape().to_vec();
+        self.tape.unary(self, y, move |g| {
+            let inner: usize = in_shape[1..].iter().product();
+            let mut out = Tensor::zeros(&in_shape);
+            {
+                let buf = out.make_mut();
+                let gs = g.as_slice();
+                for (row, &i) in idx.iter().enumerate() {
+                    for j in 0..inner {
+                        buf[i * inner + j] += gs[row * inner + j];
+                    }
+                }
+            }
+            out
+        })
+    }
+
+    /// Stride-1 dilated conv2d: `self` `[B, C, H, W]`, `weight`
+    /// `[O, C, KH, KW]` → `[B, O, OH, OW]`.
+    pub fn conv2d(&self, weight: &Var<'t>, dh: usize, dw: usize) -> Var<'t> {
+        let x = self.value();
+        let w = weight.value();
+        let (b, c, h, wd) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
+        let (o, _, kh, kw) = (w.shape()[0], w.shape()[1], w.shape()[2], w.shape()[3]);
+        let oh = conv_out_len(h, kh, dh);
+        let ow = conv_out_len(wd, kw, dw);
+        let cols = im2col(&x, kh, kw, dh, dw); // [B, CKK, L]
+        let wmat = w.reshape(&[o, c * kh * kw]);
+        let y = wmat.matmul(&cols).reshape(&[b, o, oh, ow]);
+        let w_shape = w.shape().to_vec();
+        self.tape.binary(self, weight, y, move |g| {
+            let gmat = g.reshape(&[b, o, oh * ow]); // [B, O, L]
+            // grad wrt weight: sum over batch of g · colsᵀ
+            let gw = gmat.matmul(&cols.t()); // [B, O, CKK]
+            let gw = gw.sum_axes(&[0], false).reshape(&w_shape);
+            // grad wrt input: wᵀ · g, folded back
+            let gcols = wmat.t().matmul(&gmat); // [B, CKK, L]
+            let gx = col2im(&gcols, c, h, wd, kh, kw, dh, dw);
+            (gx, gw)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_mul_backward() {
+        let tape = Tape::new();
+        let a = tape.leaf(Tensor::from_vec(vec![1.0, 2.0], &[2]), true);
+        let b = tape.leaf(Tensor::from_vec(vec![3.0, 4.0], &[2]), true);
+        // loss = sum(a * b + a)
+        let loss = a.mul(&b).add(&a).sum_all();
+        assert_eq!(loss.value().item(), 1.0 * 3.0 + 1.0 + 2.0 * 4.0 + 2.0);
+        let g = tape.backward(loss);
+        assert_eq!(g.get(a).unwrap().as_slice(), &[4.0, 5.0]); // b + 1
+        assert_eq!(g.get(b).unwrap().as_slice(), &[1.0, 2.0]); // a
+    }
+
+    #[test]
+    fn broadcast_backward_unbroadcasts() {
+        let tape = Tape::new();
+        let a = tape.leaf(Tensor::ones(&[2, 3]), true);
+        let b = tape.leaf(Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3]), true);
+        let loss = a.mul(&b).sum_all();
+        let g = tape.backward(loss);
+        assert_eq!(g.get(a).unwrap().shape(), &[2, 3]);
+        assert_eq!(g.get(b).unwrap().shape(), &[3]);
+        assert_eq!(g.get(b).unwrap().as_slice(), &[2.0, 2.0, 2.0]); // summed over rows
+    }
+
+    #[test]
+    fn matmul_backward_shapes() {
+        let tape = Tape::new();
+        let a = tape.leaf(Tensor::ones(&[4, 2, 3]), true);
+        let b = tape.leaf(Tensor::ones(&[3, 5]), true);
+        let loss = a.matmul(&b).sum_all();
+        let g = tape.backward(loss);
+        assert_eq!(g.get(a).unwrap().shape(), &[4, 2, 3]);
+        assert_eq!(g.get(b).unwrap().shape(), &[3, 5]);
+        // each b element participates 4*2 times
+        assert!(g.get(b).unwrap().as_slice().iter().all(|&v| v == 8.0));
+    }
+
+    #[test]
+    fn no_grad_paths_skipped() {
+        let tape = Tape::new();
+        let a = tape.constant(Tensor::ones(&[2]));
+        let b = tape.leaf(Tensor::ones(&[2]), true);
+        let loss = a.mul(&b).sum_all();
+        let g = tape.backward(loss);
+        assert!(g.get(a).is_none());
+        assert!(g.get(b).is_some());
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let tape = Tape::new();
+        let x = tape.leaf(Tensor::from_vec(vec![1.0, 2.0, 3.0, 1.0, 1.0, 1.0], &[2, 3]), true);
+        let y = x.softmax(1);
+        let v = y.value();
+        for r in 0..2 {
+            let s: f32 = (0..3).map(|c| v.at(&[r, c])).sum();
+            assert!((s - 1.0).abs() < 1e-6);
+        }
+        // gradient of sum(softmax) is ~0 (softmax outputs sum to constant)
+        let g = tape.backward(y.sum_all());
+        assert!(g.get(x).unwrap().as_slice().iter().all(|&v| v.abs() < 1e-6));
+    }
+
+    #[test]
+    fn diamond_accumulates() {
+        // loss = sum(x*x + x) — x used twice, gradients must accumulate.
+        let tape = Tape::new();
+        let x = tape.leaf(Tensor::from_vec(vec![3.0], &[1]), true);
+        let loss = x.mul(&x).add(&x).sum_all();
+        let g = tape.backward(loss);
+        assert_eq!(g.get(x).unwrap().as_slice(), &[7.0]); // 2x + 1
+    }
+
+    #[test]
+    fn concat_narrow_backward() {
+        let tape = Tape::new();
+        let a = tape.leaf(Tensor::ones(&[2, 2]), true);
+        let b = tape.leaf(Tensor::ones(&[2, 3]), true);
+        let c = Var::concat(&[a, b], 1);
+        assert_eq!(c.shape(), vec![2, 5]);
+        // take only the b-part; a should get zero grad
+        let loss = c.narrow(1, 2, 3).sum_all();
+        let g = tape.backward(loss);
+        assert!(g.get(a).unwrap().as_slice().iter().all(|&v| v == 0.0));
+        assert!(g.get(b).unwrap().as_slice().iter().all(|&v| v == 1.0));
+    }
+
+    #[test]
+    fn dropout_eval_is_identity() {
+        let tape = Tape::new();
+        let x = tape.leaf(Tensor::ones(&[4]), true);
+        let y = x.dropout(0.5, false, || 0.0);
+        assert_eq!(y.value().as_slice(), &[1.0; 4]);
+    }
+
+    #[test]
+    fn dropout_train_scales() {
+        let tape = Tape::new();
+        let x = tape.leaf(Tensor::ones(&[4]), true);
+        // uniform always 0.9 > p: all survive with scale 2
+        let y = x.dropout(0.5, true, || 0.9);
+        assert_eq!(y.value().as_slice(), &[2.0; 4]);
+    }
+
+    #[test]
+    fn stack_shapes() {
+        let tape = Tape::new();
+        let a = tape.constant(Tensor::ones(&[2, 3]));
+        let b = tape.constant(Tensor::zeros(&[2, 3]));
+        let s = Var::stack(&[a, b], 0);
+        assert_eq!(s.shape(), vec![2, 2, 3]);
+        let s1 = Var::stack(&[a, b], 1);
+        assert_eq!(s1.shape(), vec![2, 2, 3]);
+        assert_eq!(s1.value().at(&[0, 0, 0]), 1.0);
+        assert_eq!(s1.value().at(&[0, 1, 0]), 0.0);
+    }
+}

@@ -1,0 +1,554 @@
+//! The dense, contiguous, row-major `f32` tensor underlying everything else.
+//!
+//! `Tensor` is immutable-by-convention: operations return new tensors, and
+//! cloning is cheap (the buffer is behind an [`Arc`]). The optimizer mutates
+//! parameters through [`Tensor::make_mut`].
+
+use std::sync::Arc;
+
+use crate::shape::{
+    broadcast_shapes, broadcast_strides, for_each_broadcast2, numel, strides_for,
+};
+
+/// A dense row-major `f32` tensor of arbitrary rank.
+#[derive(Clone)]
+pub struct Tensor {
+    data: Arc<Vec<f32>>,
+    shape: Vec<usize>,
+}
+
+impl std::fmt::Debug for Tensor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let preview: Vec<f32> = self.data.iter().take(8).copied().collect();
+        write!(f, "Tensor{:?} {:?}{}", self.shape, preview, if self.len() > 8 { "…" } else { "" })
+    }
+}
+
+impl Tensor {
+    // ------------------------------------------------------------------
+    // Constructors
+    // ------------------------------------------------------------------
+
+    /// Builds a tensor from raw data. Panics if `data.len() != numel(shape)`.
+    pub fn from_vec(data: Vec<f32>, shape: &[usize]) -> Self {
+        assert_eq!(
+            data.len(),
+            numel(shape),
+            "data length {} does not match shape {:?}",
+            data.len(),
+            shape
+        );
+        Tensor { data: Arc::new(data), shape: shape.to_vec() }
+    }
+
+    /// A scalar (rank-0) tensor.
+    pub fn scalar(v: f32) -> Self {
+        Tensor::from_vec(vec![v], &[])
+    }
+
+    /// All-zeros tensor.
+    pub fn zeros(shape: &[usize]) -> Self {
+        Tensor::from_vec(vec![0.0; numel(shape)], shape)
+    }
+
+    /// All-ones tensor.
+    pub fn ones(shape: &[usize]) -> Self {
+        Tensor::from_vec(vec![1.0; numel(shape)], shape)
+    }
+
+    /// Constant-filled tensor.
+    pub fn full(shape: &[usize], v: f32) -> Self {
+        Tensor::from_vec(vec![v; numel(shape)], shape)
+    }
+
+    /// Identity matrix of size `n`.
+    pub fn eye(n: usize) -> Self {
+        let mut data = vec![0.0; n * n];
+        for i in 0..n {
+            data[i * n + i] = 1.0;
+        }
+        Tensor::from_vec(data, &[n, n])
+    }
+
+    /// `[0, 1, ..., n-1]` as a rank-1 tensor.
+    pub fn arange(n: usize) -> Self {
+        Tensor::from_vec((0..n).map(|i| i as f32).collect(), &[n])
+    }
+
+    // ------------------------------------------------------------------
+    // Accessors
+    // ------------------------------------------------------------------
+
+    /// The shape of the tensor.
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Rank (number of axes).
+    pub fn rank(&self) -> usize {
+        self.shape.len()
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the tensor holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Immutable view of the underlying buffer (row-major).
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view; clones the buffer if it is shared (copy-on-write).
+    pub fn make_mut(&mut self) -> &mut [f32] {
+        Arc::make_mut(&mut self.data).as_mut_slice()
+    }
+
+    /// Consumes the tensor, returning its buffer (cloning only if shared).
+    pub fn into_vec(self) -> Vec<f32> {
+        match Arc::try_unwrap(self.data) {
+            Ok(v) => v,
+            Err(arc) => (*arc).clone(),
+        }
+    }
+
+    /// The single value of a one-element tensor.
+    pub fn item(&self) -> f32 {
+        assert_eq!(self.len(), 1, "item() requires a one-element tensor, got {:?}", self.shape);
+        self.data[0]
+    }
+
+    /// Value at multi-dimensional coordinates.
+    pub fn at(&self, coords: &[usize]) -> f32 {
+        assert_eq!(coords.len(), self.rank(), "coordinate rank mismatch");
+        let strides = strides_for(&self.shape);
+        for (i, (&c, &d)) in coords.iter().zip(&self.shape).enumerate() {
+            assert!(c < d, "coordinate {c} out of bounds for axis {i} (size {d})");
+        }
+        self.data[crate::shape::ravel(coords, &strides)]
+    }
+
+    // ------------------------------------------------------------------
+    // Elementwise (unary)
+    // ------------------------------------------------------------------
+
+    /// Applies `f` to every element.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        Tensor::from_vec(self.data.iter().map(|&v| f(v)).collect(), &self.shape)
+    }
+
+    /// Elementwise combination with an identically-shaped tensor (no
+    /// broadcasting; use the operator impls for broadcasting).
+    pub fn zip_map(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
+        assert_eq!(self.shape, other.shape, "zip_map requires identical shapes");
+        Tensor::from_vec(
+            self.data.iter().zip(other.data.iter()).map(|(&a, &b)| f(a, b)).collect(),
+            &self.shape,
+        )
+    }
+
+    /// Negation.
+    pub fn neg(&self) -> Tensor {
+        self.map(|v| -v)
+    }
+
+    /// Elementwise absolute value.
+    pub fn abs(&self) -> Tensor {
+        self.map(f32::abs)
+    }
+
+    /// Elementwise exponential.
+    pub fn exp(&self) -> Tensor {
+        self.map(f32::exp)
+    }
+
+    /// Elementwise natural log.
+    pub fn ln(&self) -> Tensor {
+        self.map(f32::ln)
+    }
+
+    /// Elementwise square root.
+    pub fn sqrt(&self) -> Tensor {
+        self.map(f32::sqrt)
+    }
+
+    /// Elementwise power.
+    pub fn powf(&self, p: f32) -> Tensor {
+        self.map(|v| v.powf(p))
+    }
+
+    /// Adds a scalar.
+    pub fn add_scalar(&self, s: f32) -> Tensor {
+        self.map(|v| v + s)
+    }
+
+    /// Multiplies by a scalar.
+    pub fn mul_scalar(&self, s: f32) -> Tensor {
+        self.map(|v| v * s)
+    }
+
+    /// Elementwise maximum with a scalar.
+    pub fn clamp_min(&self, lo: f32) -> Tensor {
+        self.map(|v| v.max(lo))
+    }
+
+    /// Elementwise minimum with a scalar.
+    pub fn clamp_max(&self, hi: f32) -> Tensor {
+        self.map(|v| v.min(hi))
+    }
+
+    // ------------------------------------------------------------------
+    // Broadcast binary kernels
+    // ------------------------------------------------------------------
+
+    /// Broadcasting binary op. Panics on incompatible shapes.
+    pub fn broadcast_zip(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
+        if self.shape == other.shape {
+            // Fast path: no index arithmetic.
+            return Tensor::from_vec(
+                self.data.iter().zip(other.data.iter()).map(|(&a, &b)| f(a, b)).collect(),
+                &self.shape,
+            );
+        }
+        let out_shape = broadcast_shapes(&self.shape, &other.shape).unwrap_or_else(|| {
+            panic!("cannot broadcast {:?} with {:?}", self.shape, other.shape)
+        });
+        let a_str = broadcast_strides(&self.shape, &out_shape);
+        let b_str = broadcast_strides(&other.shape, &out_shape);
+        let mut out = vec![0.0f32; numel(&out_shape)];
+        let a = &self.data;
+        let b = &other.data;
+        for_each_broadcast2(&out_shape, &a_str, &b_str, |o, ai, bi| {
+            out[o] = f(a[ai], b[bi]);
+        });
+        Tensor::from_vec(out, &out_shape)
+    }
+
+    /// Broadcast add.
+    pub fn add(&self, other: &Tensor) -> Tensor {
+        self.broadcast_zip(other, |a, b| a + b)
+    }
+
+    /// Broadcast subtract.
+    pub fn sub(&self, other: &Tensor) -> Tensor {
+        self.broadcast_zip(other, |a, b| a - b)
+    }
+
+    /// Broadcast multiply.
+    pub fn mul(&self, other: &Tensor) -> Tensor {
+        self.broadcast_zip(other, |a, b| a * b)
+    }
+
+    /// Broadcast divide.
+    pub fn div(&self, other: &Tensor) -> Tensor {
+        self.broadcast_zip(other, |a, b| a / b)
+    }
+
+    // ------------------------------------------------------------------
+    // Shape manipulation
+    // ------------------------------------------------------------------
+
+    /// Reinterprets the buffer under a new shape with equal element count.
+    /// Zero-copy (shares the buffer).
+    pub fn reshape(&self, shape: &[usize]) -> Tensor {
+        assert_eq!(
+            numel(shape),
+            self.len(),
+            "reshape {:?} -> {:?} changes element count",
+            self.shape,
+            shape
+        );
+        Tensor { data: Arc::clone(&self.data), shape: shape.to_vec() }
+    }
+
+    /// Reorders axes. `perm` must be a permutation of `0..rank`.
+    pub fn permute(&self, perm: &[usize]) -> Tensor {
+        assert_eq!(perm.len(), self.rank(), "permutation rank mismatch");
+        let mut seen = vec![false; perm.len()];
+        for &p in perm {
+            assert!(p < perm.len() && !seen[p], "invalid permutation {perm:?}");
+            seen[p] = true;
+        }
+        let out_shape: Vec<usize> = perm.iter().map(|&p| self.shape[p]).collect();
+        let in_strides = strides_for(&self.shape);
+        // Stride of output axis i is the input stride of the axis it came from.
+        let src_strides: Vec<usize> = perm.iter().map(|&p| in_strides[p]).collect();
+        let mut out = vec![0.0f32; self.len()];
+        let zero = vec![0usize; out_shape.len()];
+        let data = &self.data;
+        for_each_broadcast2(&out_shape, &src_strides, &zero, |o, s, _| {
+            out[o] = data[s];
+        });
+        Tensor::from_vec(out, &out_shape)
+    }
+
+    /// Swaps the last two axes (matrix transpose, batched).
+    pub fn t(&self) -> Tensor {
+        let r = self.rank();
+        assert!(r >= 2, "t() requires rank >= 2");
+        let mut perm: Vec<usize> = (0..r).collect();
+        perm.swap(r - 1, r - 2);
+        self.permute(&perm)
+    }
+
+    /// Extracts `len` consecutive slices starting at `start` along `axis`.
+    pub fn narrow(&self, axis: usize, start: usize, len: usize) -> Tensor {
+        crate::shape::check_axis(axis, self.rank());
+        assert!(
+            start + len <= self.shape[axis],
+            "narrow [{start}, {}) exceeds axis {axis} of size {}",
+            start + len,
+            self.shape[axis]
+        );
+        let outer: usize = self.shape[..axis].iter().product();
+        let inner: usize = self.shape[axis + 1..].iter().product();
+        let d = self.shape[axis];
+        let mut out = Vec::with_capacity(outer * len * inner);
+        for o in 0..outer {
+            let base = o * d * inner + start * inner;
+            out.extend_from_slice(&self.data[base..base + len * inner]);
+        }
+        let mut shape = self.shape.clone();
+        shape[axis] = len;
+        Tensor::from_vec(out, &shape)
+    }
+
+    /// Concatenates tensors along `axis`. All other axes must match.
+    pub fn concat(parts: &[&Tensor], axis: usize) -> Tensor {
+        assert!(!parts.is_empty(), "concat of zero tensors");
+        let rank = parts[0].rank();
+        crate::shape::check_axis(axis, rank);
+        for p in parts {
+            assert_eq!(p.rank(), rank, "concat rank mismatch");
+            for ax in 0..rank {
+                if ax != axis {
+                    assert_eq!(
+                        p.shape[ax], parts[0].shape[ax],
+                        "concat shape mismatch on axis {ax}"
+                    );
+                }
+            }
+        }
+        let outer: usize = parts[0].shape[..axis].iter().product();
+        let inner: usize = parts[0].shape[axis + 1..].iter().product();
+        let total_axis: usize = parts.iter().map(|p| p.shape[axis]).sum();
+        let mut out = Vec::with_capacity(outer * total_axis * inner);
+        for o in 0..outer {
+            for p in parts {
+                let d = p.shape[axis];
+                let base = o * d * inner;
+                out.extend_from_slice(&p.data[base..base + d * inner]);
+            }
+        }
+        let mut shape = parts[0].shape.clone();
+        shape[axis] = total_axis;
+        Tensor::from_vec(out, &shape)
+    }
+
+    /// Zero-pads each axis by `(before, after)` amounts.
+    pub fn pad(&self, pads: &[(usize, usize)]) -> Tensor {
+        assert_eq!(pads.len(), self.rank(), "pad spec rank mismatch");
+        let out_shape: Vec<usize> =
+            self.shape.iter().zip(pads).map(|(&d, &(b, a))| d + b + a).collect();
+        let mut out = vec![0.0f32; numel(&out_shape)];
+        let out_strides = strides_for(&out_shape);
+        let in_strides = strides_for(&self.shape);
+        let rank = self.rank();
+        let mut coords = vec![0usize; rank];
+        for flat in 0..self.len() {
+            crate::shape::unravel(flat, &self.shape, &mut coords);
+            let mut o = 0usize;
+            for i in 0..rank {
+                o += (coords[i] + pads[i].0) * out_strides[i];
+            }
+            out[o] = self.data[flat];
+            let _ = in_strides; // strides kept for clarity; flat already row-major
+        }
+        Tensor::from_vec(out, &out_shape)
+    }
+
+    /// Inverse of [`Tensor::pad`]: crops `(before, after)` from each axis.
+    pub fn unpad(&self, pads: &[(usize, usize)]) -> Tensor {
+        assert_eq!(pads.len(), self.rank(), "unpad spec rank mismatch");
+        let mut t = self.clone();
+        for (axis, &(b, a)) in pads.iter().enumerate() {
+            if b == 0 && a == 0 {
+                continue;
+            }
+            let d = t.shape[axis];
+            t = t.narrow(axis, b, d - b - a);
+        }
+        t
+    }
+
+    /// Selects rows of axis 0 by index (gather). Indices may repeat.
+    pub fn index_select0(&self, indices: &[usize]) -> Tensor {
+        assert!(self.rank() >= 1, "index_select0 requires rank >= 1");
+        let inner: usize = self.shape[1..].iter().product();
+        let mut out = Vec::with_capacity(indices.len() * inner);
+        for &i in indices {
+            assert!(i < self.shape[0], "index {i} out of bounds for axis 0 size {}", self.shape[0]);
+            out.extend_from_slice(&self.data[i * inner..(i + 1) * inner]);
+        }
+        let mut shape = self.shape.clone();
+        shape[0] = indices.len();
+        Tensor::from_vec(out, &shape)
+    }
+
+    // ------------------------------------------------------------------
+    // Whole-tensor statistics (used heavily by data prep / metrics)
+    // ------------------------------------------------------------------
+
+    /// Sum of all elements.
+    pub fn sum_all(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Mean of all elements (0 for empty tensors).
+    pub fn mean_all(&self) -> f32 {
+        if self.is_empty() {
+            0.0
+        } else {
+            self.sum_all() / self.len() as f32
+        }
+    }
+
+    /// Population standard deviation of all elements.
+    pub fn std_all(&self) -> f32 {
+        if self.is_empty() {
+            return 0.0;
+        }
+        let m = self.mean_all();
+        let var = self.data.iter().map(|&v| (v - m) * (v - m)).sum::<f32>() / self.len() as f32;
+        var.sqrt()
+    }
+
+    /// Minimum element (`+inf` for empty tensors).
+    pub fn min_all(&self) -> f32 {
+        self.data.iter().copied().fold(f32::INFINITY, f32::min)
+    }
+
+    /// Maximum element (`-inf` for empty tensors).
+    pub fn max_all(&self) -> f32 {
+        self.data.iter().copied().fold(f32::NEG_INFINITY, f32::max)
+    }
+
+    /// True if any element is NaN or infinite.
+    pub fn has_non_finite(&self) -> bool {
+        self.data.iter().any(|v| !v.is_finite())
+    }
+}
+
+impl PartialEq for Tensor {
+    fn eq(&self, other: &Self) -> bool {
+        self.shape == other.shape && self.data == other.data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(data: &[f32], shape: &[usize]) -> Tensor {
+        Tensor::from_vec(data.to_vec(), shape)
+    }
+
+    #[test]
+    fn constructors() {
+        assert_eq!(Tensor::zeros(&[2, 2]).as_slice(), &[0.0; 4]);
+        assert_eq!(Tensor::ones(&[3]).as_slice(), &[1.0; 3]);
+        assert_eq!(Tensor::eye(2).as_slice(), &[1.0, 0.0, 0.0, 1.0]);
+        assert_eq!(Tensor::arange(3).as_slice(), &[0.0, 1.0, 2.0]);
+        assert_eq!(Tensor::scalar(5.0).item(), 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match shape")]
+    fn bad_shape_panics() {
+        Tensor::from_vec(vec![1.0, 2.0], &[3]);
+    }
+
+    #[test]
+    fn broadcast_add() {
+        let a = t(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        let b = t(&[10.0, 20.0, 30.0], &[3]);
+        let c = a.add(&b);
+        assert_eq!(c.shape(), &[2, 3]);
+        assert_eq!(c.as_slice(), &[11.0, 22.0, 33.0, 14.0, 25.0, 36.0]);
+    }
+
+    #[test]
+    fn broadcast_col() {
+        let a = t(&[1.0, 2.0], &[2, 1]);
+        let b = t(&[10.0, 20.0, 30.0], &[1, 3]);
+        let c = a.mul(&b);
+        assert_eq!(c.shape(), &[2, 3]);
+        assert_eq!(c.as_slice(), &[10.0, 20.0, 30.0, 20.0, 40.0, 60.0]);
+    }
+
+    #[test]
+    fn permute_transpose() {
+        let a = t(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        let at = a.t();
+        assert_eq!(at.shape(), &[3, 2]);
+        assert_eq!(at.as_slice(), &[1.0, 4.0, 2.0, 5.0, 3.0, 6.0]);
+        // permute rank-3
+        let b = Tensor::arange(24).reshape(&[2, 3, 4]);
+        let bp = b.permute(&[2, 0, 1]);
+        assert_eq!(bp.shape(), &[4, 2, 3]);
+        assert_eq!(bp.at(&[1, 1, 2]), b.at(&[1, 2, 1]));
+    }
+
+    #[test]
+    fn narrow_and_concat_roundtrip() {
+        let a = Tensor::arange(24).reshape(&[2, 3, 4]);
+        let p0 = a.narrow(1, 0, 1);
+        let p1 = a.narrow(1, 1, 2);
+        let back = Tensor::concat(&[&p0, &p1], 1);
+        assert_eq!(back, a);
+    }
+
+    #[test]
+    fn pad_unpad_roundtrip() {
+        let a = Tensor::arange(6).reshape(&[2, 3]);
+        let p = a.pad(&[(1, 0), (2, 1)]);
+        assert_eq!(p.shape(), &[3, 6]);
+        assert_eq!(p.at(&[0, 0]), 0.0);
+        assert_eq!(p.at(&[1, 2]), 0.0 + a.at(&[0, 0]));
+        assert_eq!(p.unpad(&[(1, 0), (2, 1)]), a);
+    }
+
+    #[test]
+    fn index_select_rows() {
+        let a = Tensor::arange(6).reshape(&[3, 2]);
+        let s = a.index_select0(&[2, 0, 2]);
+        assert_eq!(s.shape(), &[3, 2]);
+        assert_eq!(s.as_slice(), &[4.0, 5.0, 0.0, 1.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    fn stats() {
+        let a = t(&[1.0, 2.0, 3.0, 4.0], &[4]);
+        assert_eq!(a.sum_all(), 10.0);
+        assert_eq!(a.mean_all(), 2.5);
+        assert!((a.std_all() - 1.118034).abs() < 1e-5);
+        assert_eq!(a.min_all(), 1.0);
+        assert_eq!(a.max_all(), 4.0);
+        assert!(!a.has_non_finite());
+        assert!(t(&[f32::NAN], &[1]).has_non_finite());
+    }
+
+    #[test]
+    fn copy_on_write() {
+        let a = Tensor::ones(&[3]);
+        let mut b = a.clone();
+        b.make_mut()[0] = 9.0;
+        assert_eq!(a.as_slice(), &[1.0, 1.0, 1.0]);
+        assert_eq!(b.as_slice(), &[9.0, 1.0, 1.0]);
+    }
+}

@@ -1,0 +1,140 @@
+//! Property-based tests of the tensor engine: algebraic identities,
+//! broadcasting laws, and autograd vs finite differences on random shapes.
+
+use proptest::prelude::*;
+use traffic_tensor::gradcheck::grad_check;
+use traffic_tensor::{shape, Tensor};
+
+fn small_shape() -> impl Strategy<Value = Vec<usize>> {
+    prop::collection::vec(1usize..5, 1..4)
+}
+
+fn tensor_for(shape_v: Vec<usize>) -> impl Strategy<Value = Tensor> {
+    let n = shape::numel(&shape_v);
+    prop::collection::vec(-2.0f32..2.0, n..=n)
+        .prop_map(move |data| Tensor::from_vec(data, &shape_v))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn add_associative((a, b, c) in small_shape().prop_flat_map(|s| {
+        (tensor_for(s.clone()), tensor_for(s.clone()), tensor_for(s))
+    })) {
+        let lhs = a.add(&b).add(&c);
+        let rhs = a.add(&b.add(&c));
+        for (x, y) in lhs.as_slice().iter().zip(rhs.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn mul_distributes_over_add((a, b, c) in small_shape().prop_flat_map(|s| {
+        (tensor_for(s.clone()), tensor_for(s.clone()), tensor_for(s))
+    })) {
+        let lhs = a.mul(&b.add(&c));
+        let rhs = a.mul(&b).add(&a.mul(&c));
+        for (x, y) in lhs.as_slice().iter().zip(rhs.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn broadcast_shape_law(s1 in small_shape(), s2 in small_shape()) {
+        // broadcast is symmetric when defined
+        let b12 = shape::broadcast_shapes(&s1, &s2);
+        let b21 = shape::broadcast_shapes(&s2, &s1);
+        prop_assert_eq!(b12, b21);
+    }
+
+    #[test]
+    fn reshape_preserves_sum(t in small_shape().prop_flat_map(tensor_for)) {
+        let n = t.len();
+        let flat = t.reshape(&[n]);
+        prop_assert!((flat.sum_all() - t.sum_all()).abs() < 1e-3);
+    }
+
+    #[test]
+    fn sum_axes_total_matches(t in small_shape().prop_flat_map(tensor_for)) {
+        let axes: Vec<usize> = (0..t.rank()).collect();
+        let all = t.sum_axes(&axes, false);
+        prop_assert!((all.item() - t.sum_all()).abs() < 1e-2);
+    }
+
+    #[test]
+    fn matmul_associative_3(m in 1usize..4, k in 1usize..4, l in 1usize..4, n in 1usize..4) {
+        // (A·B)·C == A·(B·C) within fp tolerance
+        let a = Tensor::from_vec((0..m * k).map(|i| (i as f32 * 0.37).sin()).collect(), &[m, k]);
+        let b = Tensor::from_vec((0..k * l).map(|i| (i as f32 * 0.21).cos()).collect(), &[k, l]);
+        let c = Tensor::from_vec((0..l * n).map(|i| (i as f32 * 0.13).sin()).collect(), &[l, n]);
+        let lhs = a.matmul(&b).matmul(&c);
+        let rhs = a.matmul(&b.matmul(&c));
+        for (x, y) in lhs.as_slice().iter().zip(rhs.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-3, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn autograd_matches_numeric_on_random_composite(
+        t in small_shape().prop_flat_map(tensor_for)
+    ) {
+        // f(x) = sum(tanh(x) * x + 0.5 x²) — smooth everywhere.
+        let report = grad_check(&[t], 1e-2, |_tape, v| {
+            v[0].tanh().mul(&v[0]).add(&v[0].powf(2.0).mul_scalar(0.5)).sum_all()
+        });
+        prop_assert!(report.max_rel_err < 5e-2, "rel err {}", report.max_rel_err);
+    }
+
+    #[test]
+    fn conv_linear_in_input(b in 1usize..3, c in 1usize..3, h in 1usize..3, w in 4usize..8) {
+        // conv2d(x + y) == conv2d(x) + conv2d(y)
+        let mk = |seed: f32| {
+            Tensor::from_vec(
+                (0..b * c * h * w).map(|i| ((i as f32 + seed) * 0.3).sin()).collect(),
+                &[b, c, h, w],
+            )
+        };
+        let x = mk(0.0);
+        let y = mk(7.0);
+        let kern = Tensor::from_vec(
+            (0..(2 * c) * 2).map(|i| (i as f32 * 0.11).cos()).collect(),
+            &[2, c, 1, 2],
+        );
+        let lhs = x.add(&y).conv2d(&kern, 1, 1);
+        let rhs = x.conv2d(&kern, 1, 1).add(&y.conv2d(&kern, 1, 1));
+        for (p, q) in lhs.as_slice().iter().zip(rhs.as_slice()) {
+            prop_assert!((p - q).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn narrow_concat_roundtrip(t in small_shape().prop_flat_map(tensor_for), axis_seed in 0usize..8) {
+        let axis = axis_seed % t.rank();
+        let d = t.shape()[axis];
+        prop_assume!(d >= 2);
+        let split = d / 2;
+        let a = t.narrow(axis, 0, split);
+        let b = t.narrow(axis, split, d - split);
+        prop_assert_eq!(Tensor::concat(&[&a, &b], axis), t);
+    }
+
+    #[test]
+    fn softmax_is_distribution(rows in 1usize..5, cols in 2usize..6) {
+        let t = Tensor::from_vec(
+            (0..rows * cols).map(|i| ((i * 31 % 17) as f32 - 8.0) * 0.7).collect(),
+            &[rows, cols],
+        );
+        let tape = traffic_tensor::Tape::new();
+        let y = tape.constant(t).softmax(1).value();
+        for r in 0..rows {
+            let mut sum = 0.0f32;
+            for c in 0..cols {
+                let v = y.at(&[r, c]);
+                prop_assert!((0.0..=1.0).contains(&v));
+                sum += v;
+            }
+            prop_assert!((sum - 1.0).abs() < 1e-5);
+        }
+    }
+}

@@ -1,0 +1,48 @@
+//! Extension experiment: classical baselines (persistence, historical
+//! average) vs a deep model, making the Fig 1 error magnitudes
+//! interpretable.
+//!
+//! ```text
+//! cargo run --release --example baselines [-- --scale smoke|quick]
+//! ```
+
+use traffic_suite::core::{eval_split, predict, prepare_experiment, train_model};
+use traffic_suite::data::STEPS_PER_DAY;
+use traffic_suite::metrics::{evaluate_horizons, PAPER_HORIZONS, PAPER_HORIZON_LABELS};
+use traffic_suite::models::{HistoricalAverage, LastValue, TrafficModel};
+use traffic_suite::scale_from_args;
+
+fn report(name: &str, model: &dyn TrafficModel, exp: &traffic_suite::core::PreparedExperiment, scale: &traffic_suite::core::ExperimentScale) {
+    let test = eval_split(&exp.data.test, scale);
+    let pred = predict(model, &test, &exp.data.scaler, scale.batch_size);
+    let ms = evaluate_horizons(&pred, &test.y_raw, &PAPER_HORIZONS, None);
+    println!("\n{name} ({} params)", model.num_params());
+    for (label, m) in PAPER_HORIZON_LABELS.iter().zip(&ms) {
+        println!("  {label}: {m}");
+    }
+}
+
+fn main() {
+    let scale = scale_from_args();
+    println!("== Baselines vs deep models (METR-LA) ==");
+    let exp = prepare_experiment("METR-LA", &scale, 42);
+
+    let last = LastValue::new(12);
+    report("LastValue (persistence)", &last, &exp, &scale);
+
+    let split = traffic_suite::data::paper_split(exp.dataset.num_steps());
+    let ha = HistoricalAverage::fit(
+        &exp.dataset.values,
+        split.train.end,
+        exp.data.scaler.mean,
+        exp.data.scaler.std,
+        STEPS_PER_DAY,
+        12,
+    );
+    report("HistoricalAverage", &ha, &exp, &scale);
+
+    let (gwn, _) = train_model("Graph-WaveNet", &exp, &scale, 1);
+    report("Graph-WaveNet (trained)", gwn.as_ref(), &exp, &scale);
+    println!("\nA deep model should beat persistence at every horizon and the");
+    println!("historical average especially at short horizons.");
+}

@@ -1,0 +1,43 @@
+//! Table III: training time per epoch, inference time, and parameter
+//! counts for all eight models on (simulated) METR-LA.
+//!
+//! ```text
+//! cargo run --release --example computation_time [-- --scale smoke|quick]
+//! ```
+
+use traffic_suite::core::{computation_time, render_table3, table3_csv_rows, write_csv};
+use traffic_suite::models::ALL_MODELS;
+use traffic_suite::scale_from_args;
+
+fn main() {
+    let scale = scale_from_args();
+    println!(
+        "== Table III: computation time on METR-LA ({:.0}% scale, {} epochs) ==\n",
+        scale.dataset_scale * 100.0,
+        scale.epochs
+    );
+    let rows = computation_time(&ALL_MODELS, &scale);
+    print!("{}", render_table3(&rows));
+    println!("\nPaper shape checks:");
+    let find = |n: &str| rows.iter().find(|r| r.model == n).expect("row");
+    let stgcn = find("STGCN");
+    let gwn = find("Graph-WaveNet");
+    println!(
+        "  STGCN fastest training? train/epoch {:.2}s (min of all: {:.2}s)",
+        stgcn.train_time_per_epoch.as_secs_f64(),
+        rows.iter().map(|r| r.train_time_per_epoch.as_secs_f64()).fold(f64::INFINITY, f64::min)
+    );
+    println!(
+        "  Graph-WaveNet fastest inference? {:.2}s (min of all: {:.2}s)",
+        gwn.inference_time.as_secs_f64(),
+        rows.iter().map(|r| r.inference_time.as_secs_f64()).fold(f64::INFINITY, f64::min)
+    );
+    let max_params = rows.iter().max_by_key(|r| r.params).expect("rows");
+    println!("  Largest model: {} ({}k params)", max_params.model, max_params.params / 1000);
+    let (headers, csv) = table3_csv_rows(&rows);
+    let out = std::path::Path::new("reports/table3_computation_time.csv");
+    match write_csv(out, &headers, &csv) {
+        Ok(()) => println!("wrote {}", out.display()),
+        Err(e) => eprintln!("csv write failed: {e}"),
+    }
+}

@@ -1,0 +1,36 @@
+//! Fig 2: MAE and relative degradation on abruptly-changing ("difficult")
+//! intervals — 30-minute moving std, upper 25% — on METR-LA.
+//!
+//! ```text
+//! cargo run --release --example difficult_intervals [-- --scale smoke|quick]
+//! ```
+
+use traffic_suite::core::{difficult_interval_experiment, fig2_csv_rows, render_fig2, write_csv};
+use traffic_suite::models::ALL_MODELS;
+use traffic_suite::scale_from_args;
+
+fn main() {
+    let scale = scale_from_args();
+    println!("== Fig 2: difficult intervals on METR-LA ==\n");
+    let rows = difficult_interval_experiment("METR-LA", &ALL_MODELS, &scale);
+    print!("{}", render_fig2(&rows));
+    println!("\nPaper shape checks:");
+    let worst = rows
+        .iter()
+        .filter(|r| r.degradation_pct.is_finite())
+        .max_by(|a, b| a.degradation_pct.partial_cmp(&b.degradation_pct).unwrap());
+    let best = rows
+        .iter()
+        .filter(|r| r.degradation_pct.is_finite())
+        .min_by(|a, b| a.degradation_pct.partial_cmp(&b.degradation_pct).unwrap());
+    if let (Some(w), Some(b)) = (worst, best) {
+        println!("  most robust (paper: ASTGCN): {} ({:+.1}%)", b.model, b.degradation_pct);
+        println!("  least robust (paper: ST-MetaNet): {} ({:+.1}%)", w.model, w.degradation_pct);
+    }
+    let (headers, csv) = fig2_csv_rows(&rows);
+    let out = std::path::Path::new("reports/fig2_difficult_intervals.csv");
+    match write_csv(out, &headers, &csv) {
+        Ok(()) => println!("\nwrote {}", out.display()),
+        Err(e) => eprintln!("csv write failed: {e}"),
+    }
+}

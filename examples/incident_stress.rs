@@ -1,0 +1,73 @@
+//! Failure-injection stress test: train a model on clean traffic, then
+//! inject a controlled incident into the test period and measure how much
+//! the prediction error spikes around it — a controlled, single-event
+//! version of the paper's difficult-interval analysis.
+//!
+//! ```text
+//! cargo run --release --example incident_stress [-- --scale smoke|quick]
+//! ```
+
+use traffic_suite::core::{predict, sparkline, train, TrainConfig};
+use traffic_suite::data::{inject_incident, prepare, simulate, SimConfig, Task};
+use traffic_suite::metrics::evaluate;
+use traffic_suite::models::{build_model, GraphContext};
+use traffic_suite::scale_from_args;
+
+fn main() {
+    let scale = scale_from_args();
+    // Clean world: no random incidents, no missing data.
+    let mut cfg = SimConfig::new("stress", Task::Speed, 10, 8);
+    cfg.incident_rate = 0.0;
+    cfg.missing_rate = 0.0;
+    let clean = simulate(&cfg);
+    let data = prepare(&clean, 12, 12);
+    let ctx = GraphContext::from_network(&clean.network, 4);
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(0);
+    let model = build_model("Graph-WaveNet", &ctx, &mut rng);
+    let tc = TrainConfig {
+        epochs: scale.epochs,
+        batch_size: scale.batch_size,
+        max_batches_per_epoch: scale.max_train_batches,
+        ..Default::default()
+    };
+    println!("training Graph-WaveNet on incident-free data…");
+    train(model.as_ref(), &data, &tc);
+
+    // Stress world: same data plus one injected incident in the test range.
+    let node = 4;
+    let split = traffic_suite::data::paper_split(clean.num_steps());
+    let incident_start = split.test.start + 60;
+    let mut stressed = clean.clone();
+    inject_incident(&mut stressed, node, incident_start, 4, 10, 0.9);
+    let stressed_data = prepare(&stressed, 12, 12);
+
+    let eval_windows = |d: &traffic_suite::data::PreparedData| {
+        let test = d.test.truncate(scale.max_test_samples.unwrap_or(usize::MAX));
+        let pred = predict(model.as_ref(), &test, &d.scaler, scale.batch_size);
+        (test, pred)
+    };
+    let (clean_test, clean_pred) = eval_windows(&data);
+    let (stress_test, stress_pred) = eval_windows(&stressed_data);
+
+    let m_clean = evaluate(&clean_pred, &clean_test.y_raw, None);
+    let m_stress = evaluate(&stress_pred, &stress_test.y_raw, None);
+    println!("\noverall test MAE  clean: {:.3}   with incident: {:.3}", m_clean.mae, m_stress.mae);
+
+    // Zoom in on the incident neighbourhood on the affected sensor.
+    let rel = incident_start - stress_test.target_start[0];
+    let lo = rel.saturating_sub(12);
+    let hi = (rel + 36).min(stress_test.len());
+    let actual: Vec<f32> = (lo..hi).map(|s| stress_test.y_raw.at(&[s, 0, node])).collect();
+    let predicted: Vec<f32> = (lo..hi).map(|s| stress_pred.at(&[s, 0, node])).collect();
+    let err: Vec<f32> =
+        actual.iter().zip(&predicted).map(|(a, p)| (a - p).abs()).collect();
+    println!("\nsensor {node} around the injected incident (1-step horizon):");
+    println!("  actual    {}", sparkline(&actual));
+    println!("  predicted {}", sparkline(&predicted));
+    println!("  |error|   {}", sparkline(&err));
+    let peak_err = err.iter().cloned().fold(0.0f32, f32::max);
+    let base_err: f32 = err[..8.min(err.len())].iter().sum::<f32>() / 8.0_f32.min(err.len() as f32);
+    println!("\npeak |error| near incident: {peak_err:.2} (baseline before: {base_err:.2})");
+    println!("the model tracks recurring traffic but cannot anticipate the abrupt, non-recurring drop —");
+    println!("the paper's central difficult-interval observation (Fig 3 B).");
+}

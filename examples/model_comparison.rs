@@ -1,0 +1,45 @@
+//! Fig 1: accuracy comparison of all eight models across the seven
+//! datasets at 15/30/60-minute horizons. Writes a CSV next to the text
+//! report.
+//!
+//! ```text
+//! cargo run --release --example model_comparison [-- --scale smoke|quick] \
+//!     [-- --datasets METR-LA,PeMSD8] [-- --models Graph-WaveNet,GMAN]
+//! ```
+
+use std::path::Path;
+
+use traffic_suite::core::{fig1_csv_rows, model_comparison, render_fig1, write_csv};
+use traffic_suite::data::DATASETS;
+use traffic_suite::models::ALL_MODELS;
+use traffic_suite::scale_from_args;
+
+fn list_arg(flag: &str, default: Vec<String>) -> Vec<String> {
+    std::env::args()
+        .skip_while(|a| a != flag)
+        .nth(1)
+        .map(|v| v.split(',').map(|s| s.trim().to_string()).collect())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let scale = scale_from_args();
+    let datasets = list_arg("--datasets", DATASETS.iter().map(|d| d.name.to_string()).collect());
+    let models = list_arg("--models", ALL_MODELS.iter().map(|m| m.to_string()).collect());
+    let ds_refs: Vec<&str> = datasets.iter().map(|s| &**s).collect();
+    let m_refs: Vec<&str> = models.iter().map(|s| &**s).collect();
+    println!(
+        "== Fig 1: model comparison ({} datasets × {} models × 3 horizons, {} repeat(s)) ==\n",
+        ds_refs.len(),
+        m_refs.len(),
+        scale.repeats
+    );
+    let rows = model_comparison(&ds_refs, &m_refs, &scale);
+    print!("{}", render_fig1(&rows));
+    let (headers, csv) = fig1_csv_rows(&rows);
+    let out = Path::new("reports/fig1_model_comparison.csv");
+    match write_csv(out, &headers, &csv) {
+        Ok(()) => println!("\nwrote {}", out.display()),
+        Err(e) => eprintln!("\ncsv write failed: {e}"),
+    }
+}

@@ -1,0 +1,22 @@
+//! Table II: characterisation of the eight models' spatial and temporal
+//! modelling components.
+//!
+//! ```text
+//! cargo run --release --example model_taxonomy
+//! ```
+
+use traffic_suite::core::render_table2;
+use traffic_suite::models::MODEL_TAXONOMY;
+
+fn main() {
+    println!("== Table II: model taxonomy ==\n");
+    print!("{}", render_table2());
+    println!("\nDetails:");
+    for m in &MODEL_TAXONOMY {
+        println!("\n{}", m.name);
+        println!("  spatial  {:?}: + {}", m.spatial, m.spatial.pros());
+        println!("           - {}", m.spatial.cons());
+        println!("  temporal {:?}: + {}", m.temporal, m.temporal.pros());
+        println!("           - {}", m.temporal.cons());
+    }
+}

@@ -1,0 +1,62 @@
+//! Extension experiment: rolling-origin (time-series) cross-validation —
+//! trains on growing history, evaluates each fold's held-out future block,
+//! and reports the variance the paper approximates with 5 repeated runs.
+//!
+//! ```text
+//! cargo run --release --example rolling_validation [-- --scale smoke|quick]
+//! ```
+
+use traffic_suite::core::{predict, train, TrainConfig};
+use traffic_suite::data::{
+    dataset_info, prepare_with_split, rolling_origin_splits, simulate, SimConfig,
+};
+use traffic_suite::metrics::{evaluate, mean_std};
+use traffic_suite::models::{build_model, GraphContext};
+use traffic_suite::scale_from_args;
+
+fn main() {
+    let scale = scale_from_args();
+    let info = dataset_info("PeMSD8").expect("catalog entry");
+    let sim = SimConfig::for_dataset(info, scale.dataset_scale);
+    let dataset = simulate(&sim);
+    println!(
+        "== Rolling-origin validation: Graph-WaveNet on {} ({} sensors × {} days) ==",
+        dataset.name,
+        dataset.num_nodes(),
+        dataset.num_days()
+    );
+    let ctx = GraphContext::from_network(&dataset.network, 4);
+    let folds = rolling_origin_splits(dataset.num_steps(), 3, 0.5);
+    let mut maes = Vec::new();
+    for (i, split) in folds.into_iter().enumerate() {
+        let data = prepare_with_split(&dataset, 12, 12, split.clone());
+        if data.test.is_empty() {
+            println!("fold {i}: test block too short, skipped");
+            continue;
+        }
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(i as u64);
+        let model = build_model("Graph-WaveNet", &ctx, &mut rng);
+        let cfg = TrainConfig {
+            epochs: scale.epochs,
+            batch_size: scale.batch_size,
+            max_batches_per_epoch: scale.max_train_batches,
+            seed: i as u64,
+            ..Default::default()
+        };
+        train(model.as_ref(), &data, &cfg);
+        let test = match scale.max_test_samples {
+            Some(cap) => data.test.truncate(cap),
+            None => data.test.clone(),
+        };
+        let m = evaluate(&predict(model.as_ref(), &test, &data.scaler, scale.batch_size), &test.y_raw, None);
+        println!(
+            "fold {i}: train steps {:>6}, test block [{}, {}): {m}",
+            split.train.len(),
+            split.test.start,
+            split.test.end
+        );
+        maes.push(m.mae);
+    }
+    let (mean, std) = mean_std(&maes);
+    println!("\nacross folds: MAE {mean:.3} ± {std:.3}");
+}

@@ -1,0 +1,124 @@
+#!/usr/bin/env python3
+"""Plot the CSV artifacts written by the examples (requires matplotlib).
+
+Usage:
+    python3 scripts/plot_results.py reports/
+
+Produces PNGs next to each CSV:
+- fig1_model_comparison.csv  -> grouped bar chart per dataset/horizon (MAE)
+- fig2_difficult_intervals.csv -> overall-vs-difficult MAE bars + degradation
+- fig3_case_study.csv        -> actual-vs-predicted traces with difficult
+                                intervals shaded (the paper's Fig 3)
+"""
+import csv
+import sys
+from collections import defaultdict
+from pathlib import Path
+
+
+def read(path):
+    with open(path) as f:
+        return list(csv.DictReader(f))
+
+
+def plot_fig1(path, plt):
+    rows = read(path)
+    datasets = sorted({r["dataset"] for r in rows})
+    horizons = ["15 min", "30 min", "60 min"]
+    for ds in datasets:
+        sub = [r for r in rows if r["dataset"] == ds]
+        models = sorted({r["model"] for r in sub})
+        fig, ax = plt.subplots(figsize=(9, 4))
+        width = 0.8 / len(horizons)
+        for hi, h in enumerate(horizons):
+            vals = []
+            for m in models:
+                match = [r for r in sub if r["model"] == m and r["horizon"] == h]
+                vals.append(float(match[0]["mae_mean"]) if match else float("nan"))
+            xs = [i + hi * width for i in range(len(models))]
+            ax.bar(xs, vals, width, label=h)
+        ax.set_xticks([i + width for i in range(len(models))])
+        ax.set_xticklabels(models, rotation=30, ha="right")
+        ax.set_ylabel("MAE")
+        ax.set_title(f"Fig 1 — {ds}")
+        ax.legend()
+        out = path.parent / f"fig1_{ds.replace('(', '').replace(')', '')}.png"
+        fig.tight_layout()
+        fig.savefig(out, dpi=150)
+        print("wrote", out)
+
+
+def plot_fig2(path, plt):
+    rows = read(path)
+    models = [r["model"] for r in rows]
+    overall = [float(r["overall_mae"]) for r in rows]
+    difficult = [float(r["difficult_mae"]) for r in rows]
+    fig, (a1, a2) = plt.subplots(2, 1, figsize=(8, 6), sharex=True)
+    xs = range(len(models))
+    a1.bar([x - 0.2 for x in xs], overall, 0.4, label="overall")
+    a1.bar([x + 0.2 for x in xs], difficult, 0.4, label="difficult")
+    a1.set_ylabel("MAE")
+    a1.legend()
+    a2.bar(xs, [float(r["degradation_pct"]) for r in rows], color="tab:red")
+    a2.set_ylabel("degradation %")
+    a2.set_xticks(list(xs))
+    a2.set_xticklabels(models, rotation=30, ha="right")
+    fig.suptitle("Fig 2 — difficult intervals")
+    out = path.parent / "fig2.png"
+    fig.tight_layout()
+    fig.savefig(out, dpi=150)
+    print("wrote", out)
+
+
+def plot_fig3(path, plt):
+    rows = read(path)
+    roads = defaultdict(list)
+    for r in rows:
+        roads[r["road"]].append(r)
+    fig, axes = plt.subplots(len(roads), 1, figsize=(10, 3 * len(roads)))
+    if len(roads) == 1:
+        axes = [axes]
+    for ax, (road, rs) in zip(axes, roads.items()):
+        steps = [int(r["step"]) for r in rs]
+        ax.plot(steps, [float(r["actual"]) for r in rs], label="actual", color="black")
+        ax.plot(steps, [float(r["predicted"]) for r in rs], label="predicted", color="tab:red")
+        in_run = False
+        start = 0
+        for r in rs + [{"difficult": "0", "step": str(len(rs))}]:
+            d = r["difficult"] == "1"
+            if d and not in_run:
+                start, in_run = int(r["step"]), True
+            elif not d and in_run:
+                ax.axvspan(start, int(r["step"]), alpha=0.2, color="tab:blue")
+                in_run = False
+        ax.set_title(f"Road {road} (sensor {rs[0]['sensor']})")
+        ax.legend()
+    out = path.parent / "fig3.png"
+    fig.tight_layout()
+    fig.savefig(out, dpi=150)
+    print("wrote", out)
+
+
+def main():
+    try:
+        import matplotlib
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        sys.exit("matplotlib required: pip install matplotlib")
+    reports = Path(sys.argv[1] if len(sys.argv) > 1 else "reports")
+    jobs = [
+        ("fig1_model_comparison.csv", plot_fig1),
+        ("fig2_difficult_intervals.csv", plot_fig2),
+        ("fig3_case_study.csv", plot_fig3),
+    ]
+    for name, fn in jobs:
+        p = reports / name
+        if p.exists():
+            fn(p, plt)
+        else:
+            print("skip (missing):", p)
+
+
+if __name__ == "__main__":
+    main()

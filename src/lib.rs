@@ -1,0 +1,50 @@
+//! # traffic-suite
+//!
+//! Facade crate for the pure-Rust reproduction of *"An Empirical
+//! Experiment on Deep Learning Models for Predicting Traffic Data"*
+//! (ICDE 2021). Re-exports every workspace crate under one roof:
+//!
+//! - [`tensor`]: from-scratch autograd tensor engine
+//! - [`nn`]: layers, losses, optimizers
+//! - [`graph`]: road networks, adjacencies, Laplacians, embeddings
+//! - [`data`]: the 7 simulated PeMS datasets, windowing, difficult intervals
+//! - [`metrics`]: masked MAE/RMSE/MAPE, horizons, degradation
+//! - [`models`]: the 8 architectures (STGCN … GMAN)
+//! - [`core`]: trainer + every table/figure regenerator
+//!
+//! ```no_run
+//! use traffic_suite::core::{model_comparison, ExperimentScale};
+//!
+//! let rows = model_comparison(&["METR-LA"], &["Graph-WaveNet", "GMAN"],
+//!                             &ExperimentScale::quick());
+//! for r in &rows {
+//!     println!("{} {} {}: MAE {:.3}", r.dataset, r.model, r.horizon, r.mae.0);
+//! }
+//! ```
+
+pub use traffic_core as core;
+pub use traffic_data as data;
+pub use traffic_graph as graph;
+pub use traffic_metrics as metrics;
+pub use traffic_models as models;
+pub use traffic_nn as nn;
+pub use traffic_tensor as tensor;
+
+/// Parses the common `--scale` CLI argument used by the examples.
+/// Accepts `smoke`, `quick`, `thorough`, `full`; defaults to `quick`.
+pub fn scale_from_args() -> core::ExperimentScale {
+    let arg = std::env::args()
+        .skip_while(|a| a != "--scale")
+        .nth(1)
+        .unwrap_or_else(|| "quick".to_string());
+    match arg.as_str() {
+        "smoke" => core::ExperimentScale::smoke(),
+        "quick" => core::ExperimentScale::quick(),
+        "thorough" => core::ExperimentScale::thorough(),
+        "full" => core::ExperimentScale::full(),
+        other => {
+            eprintln!("unknown scale '{other}', using quick");
+            core::ExperimentScale::quick()
+        }
+    }
+}

@@ -1,0 +1,156 @@
+//! Integration tests: full pipelines from simulation through training to
+//! evaluation, spanning every workspace crate.
+
+use traffic_suite::core::{
+    eval_split, predict, prepare_experiment, sample_difficult_mask, train_model,
+    ExperimentScale,
+};
+use traffic_suite::data::{prepare, simulate, SimConfig, Task};
+use traffic_suite::metrics::{evaluate, evaluate_horizons, PAPER_HORIZONS};
+use traffic_suite::models::{build_model, GraphContext};
+
+fn smoke() -> ExperimentScale {
+    ExperimentScale::smoke()
+}
+
+#[test]
+fn train_and_evaluate_graph_wavenet_improves_over_init() {
+    let scale = smoke();
+    let exp = prepare_experiment("METR-LA", &scale, 7);
+    let test = eval_split(&exp.data.test, &scale);
+    // Untrained baseline.
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(99);
+    let untrained = build_model("Graph-WaveNet", &exp.ctx, &mut rng);
+    let before = evaluate(
+        &predict(untrained.as_ref(), &test, &exp.data.scaler, 8),
+        &test.y_raw,
+        None,
+    );
+    // Trained.
+    let mut scale2 = smoke();
+    scale2.epochs = 2;
+    scale2.max_train_batches = Some(30);
+    let (model, report) = train_model("Graph-WaveNet", &exp, &scale2, 7);
+    let after = evaluate(
+        &predict(model.as_ref(), &test, &exp.data.scaler, 8),
+        &test.y_raw,
+        None,
+    );
+    assert!(
+        after.mae < before.mae,
+        "training should improve MAE: {} -> {}",
+        before.mae,
+        after.mae
+    );
+    assert!(report.epoch_losses.iter().all(|l| l.is_finite()));
+}
+
+#[test]
+fn all_eight_models_complete_one_training_step() {
+    let scale = smoke();
+    let exp = prepare_experiment("PeMSD8", &scale, 3);
+    let mut tiny = smoke();
+    tiny.epochs = 1;
+    tiny.max_train_batches = Some(2);
+    for name in traffic_suite::models::ALL_MODELS {
+        let (model, report) = train_model(name, &exp, &tiny, 5);
+        // per-model profiles may multiply the epoch budget (GMAN trains 2×)
+        assert!(!report.epoch_losses.is_empty(), "{name}");
+        assert!(report.epoch_losses[0].is_finite(), "{name}");
+        assert!(!model.store().has_non_finite(), "{name} has NaN weights");
+        let test = eval_split(&exp.data.test, &tiny);
+        let pred = predict(model.as_ref(), &test, &exp.data.scaler, 8);
+        assert_eq!(pred.shape(), test.y_raw.shape(), "{name}");
+        assert!(!pred.has_non_finite(), "{name} produced NaN predictions");
+    }
+}
+
+#[test]
+fn results_reproducible_under_fixed_seed() {
+    let scale = smoke();
+    let exp1 = prepare_experiment("METR-LA", &scale, 11);
+    let exp2 = prepare_experiment("METR-LA", &scale, 11);
+    assert_eq!(exp1.dataset.values, exp2.dataset.values, "simulation must be deterministic");
+    let mut tiny = smoke();
+    tiny.epochs = 1;
+    tiny.max_train_batches = Some(4);
+    let (m1, _) = train_model("STSGCN", &exp1, &tiny, 21);
+    let (m2, _) = train_model("STSGCN", &exp2, &tiny, 21);
+    let test1 = eval_split(&exp1.data.test, &tiny);
+    let test2 = eval_split(&exp2.data.test, &tiny);
+    let p1 = predict(m1.as_ref(), &test1, &exp1.data.scaler, 8);
+    let p2 = predict(m2.as_ref(), &test2, &exp2.data.scaler, 8);
+    assert_eq!(p1, p2, "identical seeds must give identical predictions");
+}
+
+#[test]
+fn different_seeds_give_different_models() {
+    let scale = smoke();
+    let exp = prepare_experiment("METR-LA", &scale, 11);
+    let mut tiny = smoke();
+    tiny.epochs = 1;
+    tiny.max_train_batches = Some(2);
+    let (m1, _) = train_model("STG2Seq", &exp, &tiny, 1);
+    let (m2, _) = train_model("STG2Seq", &exp, &tiny, 2);
+    let test = eval_split(&exp.data.test, &tiny);
+    let p1 = predict(m1.as_ref(), &test, &exp.data.scaler, 8);
+    let p2 = predict(m2.as_ref(), &test, &exp.data.scaler, 8);
+    assert_ne!(p1, p2);
+}
+
+#[test]
+fn difficult_mask_pipeline_marks_upper_quartile() {
+    let scale = smoke();
+    let exp = prepare_experiment("PeMS-BAY", &scale, 13);
+    let test = eval_split(&exp.data.test, &scale);
+    let mask = sample_difficult_mask(&exp.dataset, &test);
+    let frac = mask.mean_all();
+    assert!(
+        frac > 0.1 && frac < 0.55,
+        "difficult fraction should be near 25%, got {frac}"
+    );
+    // Evaluating with the mask must use fewer points than without.
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(5);
+    let model = build_model("STG2Seq", &exp.ctx, &mut rng);
+    let pred = predict(model.as_ref(), &test, &exp.data.scaler, 8);
+    let overall = evaluate(&pred, &test.y_raw, None);
+    let difficult = evaluate(&pred, &test.y_raw, Some(&mask));
+    assert!(difficult.count < overall.count);
+    assert!(difficult.count > 0);
+}
+
+#[test]
+fn horizon_errors_grow_for_trained_model() {
+    // Fundamental sanity: 60-minute predictions should be harder than
+    // 15-minute ones once the model has actually learned something.
+    let mut scale = smoke();
+    scale.epochs = 3;
+    scale.max_train_batches = Some(40);
+    scale.max_test_samples = Some(60);
+    let exp = prepare_experiment("METR-LA", &scale, 17);
+    let (model, _) = train_model("Graph-WaveNet", &exp, &scale, 17);
+    let test = eval_split(&exp.data.test, &scale);
+    let pred = predict(model.as_ref(), &test, &exp.data.scaler, scale.batch_size);
+    let ms = evaluate_horizons(&pred, &test.y_raw, &PAPER_HORIZONS, None);
+    assert!(
+        ms[2].mae > ms[0].mae,
+        "60-min MAE {} should exceed 15-min MAE {}",
+        ms[2].mae,
+        ms[0].mae
+    );
+}
+
+#[test]
+fn custom_dataset_pipeline_without_catalog() {
+    // The public API must work for user-defined datasets, not only the
+    // seven presets.
+    let ds = simulate(&SimConfig::new("custom-city", Task::Flow, 14, 5));
+    assert_eq!(ds.name, "custom-city");
+    let data = prepare(&ds, 12, 12);
+    let ctx = GraphContext::from_network(&ds.network, 6);
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(0);
+    let model = build_model("GMAN", &ctx, &mut rng);
+    let pred = predict(model.as_ref(), &data.test.truncate(10), &data.scaler, 4);
+    assert_eq!(pred.shape()[0], 10);
+    assert!(!pred.has_non_finite());
+}

@@ -1,0 +1,112 @@
+//! Cross-cutting behavioural contracts every model must satisfy:
+//! batch independence, determinism in eval mode, and sensitivity to graph
+//! structure.
+
+use traffic_suite::models::{build_model, GraphContext, ALL_MODELS};
+use traffic_suite::tensor::{Tape, Tensor};
+
+fn ctx_and_input(nodes: usize) -> (GraphContext, Tensor) {
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(77);
+    let net = traffic_suite::graph::freeway_corridor(nodes, 1.0, &mut rng);
+    let ctx = GraphContext::from_network(&net, 4);
+    // Realistic input: value feature varying, proper tod track.
+    let mut x = Vec::new();
+    for b in 0..2 {
+        for t in 0..12 {
+            for i in 0..nodes {
+                x.push(((b * 31 + t * 7 + i * 3) as f32 * 0.37).sin());
+                x.push(t as f32 / 288.0);
+            }
+        }
+    }
+    (ctx, Tensor::from_vec(x, &[2, 12, nodes, 2]))
+}
+
+#[test]
+fn eval_forward_is_deterministic() {
+    let (ctx, x) = ctx_and_input(6);
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(1);
+    for name in ALL_MODELS {
+        let model = build_model(name, &ctx, &mut rng);
+        let tape1 = Tape::new();
+        let y1 = model.forward(&tape1, tape1.constant(x.clone()), None).value();
+        let tape2 = Tape::new();
+        let y2 = model.forward(&tape2, tape2.constant(x.clone()), None).value();
+        assert_eq!(y1, y2, "{name} must be deterministic in eval mode");
+    }
+}
+
+#[test]
+fn batch_samples_are_independent() {
+    // Running a sample alone must give the same output as running it in a
+    // batch — no cross-sample leakage (none of the models use batch norm).
+    let (ctx, x) = ctx_and_input(6);
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(2);
+    for name in ALL_MODELS {
+        let model = build_model(name, &ctx, &mut rng);
+        let tape = Tape::new();
+        let batch_out = model.forward(&tape, tape.constant(x.clone()), None).value();
+        let single = x.narrow(0, 1, 1); // second sample alone
+        let tape2 = Tape::new();
+        let solo_out = model.forward(&tape2, tape2.constant(single), None).value();
+        let n = 6;
+        for h in 0..12 {
+            for i in 0..n {
+                let a = batch_out.at(&[1, h, i]);
+                let b = solo_out.at(&[0, h, i]);
+                assert!(
+                    (a - b).abs() < 1e-4,
+                    "{name}: sample output depends on batch ({a} vs {b} at h={h}, i={i})"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn models_use_graph_structure() {
+    // Perturbing one sensor's history must affect its neighbours'
+    // predictions for every graph-aware model (spatial information flows).
+    let (ctx, x) = ctx_and_input(6);
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(3);
+    let mut bumped = x.clone();
+    {
+        // bump sensor 2's value feature over the last 4 input steps, sample 0
+        let buf = bumped.make_mut();
+        let n = 6;
+        for t in 8..12 {
+            buf[((t * n) + 2) * 2] += 2.0;
+        }
+    }
+    for name in ALL_MODELS {
+        let model = build_model(name, &ctx, &mut rng);
+        let tape = Tape::new();
+        let base = model.forward(&tape, tape.constant(x.clone()), None).value();
+        let tape2 = Tape::new();
+        let pert = model.forward(&tape2, tape2.constant(bumped.clone()), None).value();
+        // neighbour = sensor 1 or 3 on the corridor
+        let mut moved = 0.0f32;
+        for h in 0..12 {
+            moved += (base.at(&[0, h, 1]) - pert.at(&[0, h, 1])).abs();
+            moved += (base.at(&[0, h, 3]) - pert.at(&[0, h, 3])).abs();
+        }
+        assert!(
+            moved > 1e-4,
+            "{name}: perturbing sensor 2 should influence neighbours (moved {moved})"
+        );
+    }
+}
+
+#[test]
+fn untrained_outputs_are_bounded() {
+    // Fresh models must not blow up on moderately scaled inputs.
+    let (ctx, x) = ctx_and_input(6);
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(4);
+    for name in ALL_MODELS {
+        let model = build_model(name, &ctx, &mut rng);
+        let tape = Tape::new();
+        let y = model.forward(&tape, tape.constant(x.clone()), None).value();
+        assert!(!y.has_non_finite(), "{name}");
+        assert!(y.abs().max_all() < 1e3, "{name}: output magnitude {}", y.abs().max_all());
+    }
+}

@@ -1,0 +1,117 @@
+//! Per-model training contracts: every architecture must be able to reduce
+//! its training loss on a small dataset, stay numerically stable, and
+//! respect its output-style semantics.
+
+use traffic_suite::core::{train, TrainConfig};
+use traffic_suite::data::{prepare, simulate, SimConfig, Task};
+use traffic_suite::models::{build_model, GraphContext, OutputStyle, ALL_MODELS};
+
+fn setup() -> (traffic_suite::data::PreparedData, GraphContext) {
+    let mut cfg = SimConfig::new("train-contract", Task::Speed, 8, 5);
+    cfg.missing_rate = 0.0;
+    let ds = simulate(&cfg);
+    let data = prepare(&ds, 12, 12);
+    let ctx = GraphContext::from_network(&ds.network, 4);
+    (data, ctx)
+}
+
+/// Loss after a few epochs must drop meaningfully below the first epoch.
+fn assert_learns(name: &str) {
+    let (data, ctx) = setup();
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(1);
+    let model = build_model(name, &ctx, &mut rng);
+    let cfg = TrainConfig {
+        epochs: 3,
+        batch_size: 16,
+        max_batches_per_epoch: Some(12),
+        ..Default::default()
+    };
+    let report = train(model.as_ref(), &data, &cfg);
+    let first = report.epoch_losses[0];
+    let last = *report.epoch_losses.last().unwrap();
+    assert!(
+        last < first * 0.9,
+        "{name} failed to learn: losses {:?}",
+        report.epoch_losses
+    );
+    assert!(!model.store().has_non_finite(), "{name}: non-finite weights after training");
+}
+
+#[test]
+fn stgcn_learns() {
+    assert_learns("STGCN");
+}
+
+#[test]
+fn dcrnn_learns() {
+    assert_learns("DCRNN");
+}
+
+#[test]
+fn astgcn_learns() {
+    assert_learns("ASTGCN");
+}
+
+#[test]
+fn stmetanet_learns() {
+    assert_learns("ST-MetaNet");
+}
+
+#[test]
+fn graph_wavenet_learns() {
+    assert_learns("Graph-WaveNet");
+}
+
+#[test]
+fn stg2seq_learns() {
+    assert_learns("STG2Seq");
+}
+
+#[test]
+fn stsgcn_learns() {
+    assert_learns("STSGCN");
+}
+
+#[test]
+fn gman_learns() {
+    assert_learns("GMAN");
+}
+
+#[test]
+fn output_styles_match_taxonomy() {
+    let (_, ctx) = setup();
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(2);
+    for name in ALL_MODELS {
+        let model = build_model(name, &ctx, &mut rng);
+        let meta = model.meta();
+        let horizon = traffic_suite::models::train_horizon(name, 12);
+        match meta.output {
+            OutputStyle::ManyToOne => assert_eq!(horizon, 1, "{name}"),
+            _ => assert_eq!(horizon, 12, "{name}"),
+        }
+    }
+}
+
+#[test]
+fn deep_model_beats_persistence_when_trained() {
+    use traffic_suite::core::predict;
+    use traffic_suite::metrics::evaluate;
+    use traffic_suite::models::LastValue;
+
+    let (data, ctx) = setup();
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(3);
+    let model = build_model("Graph-WaveNet", &ctx, &mut rng);
+    let cfg = TrainConfig { epochs: 4, batch_size: 16, max_batches_per_epoch: Some(40), ..Default::default() };
+    train(model.as_ref(), &data, &cfg);
+
+    let test = data.test.truncate(80);
+    let deep = evaluate(&predict(model.as_ref(), &test, &data.scaler, 16), &test.y_raw, None);
+    let persistence = LastValue::new(12);
+    let base = evaluate(&predict(&persistence, &test, &data.scaler, 16), &test.y_raw, None);
+    assert!(
+        deep.mae < base.mae,
+        "trained Graph-WaveNet (MAE {}) should beat persistence (MAE {})",
+        deep.mae,
+        base.mae
+    );
+}

@@ -1,0 +1,73 @@
+//! Integration tests for persistence: model checkpoints round-trip through
+//! disk and reproduce identical predictions; datasets round-trip through
+//! CSV and reproduce identical experiments.
+
+use traffic_suite::core::{predict, train, TrainConfig};
+use traffic_suite::data::{load_dataset, prepare, save_dataset, simulate, SimConfig, Task};
+use traffic_suite::models::{build_model, GraphContext};
+use traffic_suite::nn::{load_weights, save_weights};
+
+fn tmpdir(tag: &str) -> std::path::PathBuf {
+    let d = std::env::temp_dir().join(format!("traffic_persist_{tag}_{}", std::process::id()));
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+#[test]
+fn trained_model_checkpoint_reproduces_predictions() {
+    let ds = simulate(&SimConfig::new("ckpt", Task::Speed, 6, 4));
+    let data = prepare(&ds, 12, 12);
+    let ctx = GraphContext::from_network(&ds.network, 4);
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(1);
+    let model = build_model("Graph-WaveNet", &ctx, &mut rng);
+    let cfg = TrainConfig { epochs: 1, batch_size: 8, max_batches_per_epoch: Some(5), ..Default::default() };
+    train(model.as_ref(), &data, &cfg);
+
+    let test = data.test.truncate(10);
+    let pred_before = predict(model.as_ref(), &test, &data.scaler, 8);
+
+    let dir = tmpdir("ckpt");
+    let path = dir.join("gwn.tnn");
+    save_weights(model.store(), &path).unwrap();
+
+    // Fresh model with different init must differ, then match after load.
+    let mut rng2 = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(999);
+    let fresh = build_model("Graph-WaveNet", &ctx, &mut rng2);
+    let pred_fresh = predict(fresh.as_ref(), &test, &data.scaler, 8);
+    assert_ne!(pred_before, pred_fresh, "different init should differ");
+    load_weights(fresh.store(), &path).unwrap();
+    let pred_after = predict(fresh.as_ref(), &test, &data.scaler, 8);
+    assert_eq!(pred_before, pred_after, "checkpoint must reproduce predictions exactly");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn checkpoint_rejects_cross_model_load() {
+    let ds = simulate(&SimConfig::new("cross", Task::Speed, 6, 4));
+    let ctx = GraphContext::from_network(&ds.network, 4);
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(1);
+    let gwn = build_model("Graph-WaveNet", &ctx, &mut rng);
+    let gman = build_model("GMAN", &ctx, &mut rng);
+    let dir = tmpdir("cross");
+    let path = dir.join("gwn.tnn");
+    save_weights(gwn.store(), &path).unwrap();
+    assert!(load_weights(gman.store(), &path).is_err(), "GMAN must reject GWN checkpoint");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn dataset_roundtrip_preserves_experiment() {
+    let ds = simulate(&SimConfig::new("dsrt", Task::Flow, 8, 4));
+    let dir = tmpdir("dsrt");
+    let path = save_dataset(&ds, &dir).unwrap();
+    let back = load_dataset(&path).unwrap();
+    // Windowing must produce identical sample counts and near-identical
+    // scalers (f32 text roundtrip).
+    let a = prepare(&ds, 12, 12);
+    let b = prepare(&back, 12, 12);
+    assert_eq!(a.train.len(), b.train.len());
+    assert_eq!(a.test.len(), b.test.len());
+    assert!((a.scaler.mean - b.scaler.mean).abs() < 1e-2);
+    assert!((a.scaler.std - b.scaler.std).abs() < 1e-2);
+    std::fs::remove_dir_all(&dir).ok();
+}

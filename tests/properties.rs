@@ -1,0 +1,160 @@
+//! Property-based tests over the public API: tensor algebra invariants,
+//! normalisation round-trips, windowing invariants, metric identities, and
+//! difficult-interval quantile coverage.
+
+use proptest::prelude::*;
+use traffic_suite::data::{moving_std, quantile, MinMax, ZScore};
+use traffic_suite::metrics::{evaluate, mean_std};
+use traffic_suite::tensor::Tensor;
+
+fn finite_vec(len: std::ops::Range<usize>) -> impl Strategy<Value = Vec<f32>> {
+    prop::collection::vec(-1e3f32..1e3, len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn tensor_add_commutes(a in finite_vec(1..64)) {
+        let b: Vec<f32> = a.iter().map(|v| v * 0.5 + 1.0).collect();
+        let n = a.len();
+        let ta = Tensor::from_vec(a, &[n]);
+        let tb = Tensor::from_vec(b, &[n]);
+        prop_assert_eq!(ta.add(&tb), tb.add(&ta));
+    }
+
+    #[test]
+    fn tensor_matmul_identity(a in finite_vec(4..36)) {
+        let n = (a.len() as f64).sqrt().floor() as usize;
+        let a = &a[..n * n];
+        let t = Tensor::from_vec(a.to_vec(), &[n, n]);
+        let prod = t.matmul(&Tensor::eye(n));
+        for (x, y) in prod.as_slice().iter().zip(t.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn transpose_involution(a in finite_vec(6..48)) {
+        let rows = 2;
+        let cols = a.len() / rows;
+        let t = Tensor::from_vec(a[..rows * cols].to_vec(), &[rows, cols]);
+        prop_assert_eq!(t.t().t(), t);
+    }
+
+    #[test]
+    fn broadcast_then_unbroadcast_sums(v in finite_vec(2..8), reps in 2usize..5) {
+        let n = v.len();
+        let t = Tensor::from_vec(v, &[1, n]);
+        let big = t.broadcast_to(&[reps, n]);
+        let back = big.unbroadcast(&[1, n]);
+        for i in 0..n {
+            let expect = t.as_slice()[i] * reps as f32;
+            prop_assert!((back.as_slice()[i] - expect).abs() < 1e-3 * expect.abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn zscore_roundtrip(v in finite_vec(4..128)) {
+        prop_assume!(v.iter().any(|&x| x != 0.0));
+        let n = v.len();
+        let t = Tensor::from_vec(v, &[n]);
+        let s = ZScore::fit(&t);
+        let back = s.inverse(&s.transform(&t));
+        for (a, b) in back.as_slice().iter().zip(t.as_slice()) {
+            prop_assert!((a - b).abs() < 1e-2 * b.abs().max(1.0), "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn minmax_bounds(v in finite_vec(2..128)) {
+        let n = v.len();
+        let t = Tensor::from_vec(v, &[n]);
+        let s = MinMax::fit(&t);
+        let y = s.transform(&t);
+        for &x in y.as_slice() {
+            prop_assert!((-1e-4..=1.0001).contains(&x));
+        }
+    }
+
+    #[test]
+    fn quantile_monotone(v in finite_vec(2..64), q1 in 0.0f64..1.0, q2 in 0.0f64..1.0) {
+        let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        prop_assert!(quantile(&v, lo) <= quantile(&v, hi) + 1e-6);
+    }
+
+    #[test]
+    fn moving_std_nonnegative_and_bounded(v in finite_vec(8..128), w in 1usize..10) {
+        let n = v.len();
+        let overall_range = {
+            let lo = v.iter().cloned().fold(f32::INFINITY, f32::min);
+            let hi = v.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+            hi - lo
+        };
+        let ms = moving_std(&Tensor::from_vec(v, &[n]), w);
+        for &x in ms.as_slice() {
+            prop_assert!(x >= 0.0);
+            prop_assert!(x <= overall_range + 1e-3);
+        }
+    }
+
+    #[test]
+    fn mae_bounded_by_rmse(p in finite_vec(4..64)) {
+        let n = p.len();
+        let target: Vec<f32> = p.iter().map(|v| v + 1.0).collect();
+        prop_assume!(target.iter().all(|&t| t != 0.0));
+        let m = evaluate(
+            &Tensor::from_vec(p, &[n]),
+            &Tensor::from_vec(target, &[n]),
+            None,
+        );
+        prop_assert!(m.mae <= m.rmse + 1e-4);
+    }
+
+    #[test]
+    fn metric_scale_invariance(v in finite_vec(4..64), shift in 1.0f32..50.0) {
+        // MAE of (pred+c, target+c) with nonzero targets equals MAE of
+        // (pred, target) — translation invariance.
+        let n = v.len();
+        let pred: Vec<f32> = v.iter().map(|x| x + shift).collect();
+        let target: Vec<f32> = v.iter().map(|x| x + shift + 2.0).collect();
+        prop_assume!(target.iter().all(|&t| t.abs() > 1e-3));
+        let m = evaluate(
+            &Tensor::from_vec(pred, &[n]),
+            &Tensor::from_vec(target, &[n]),
+            None,
+        );
+        prop_assert!((m.mae - 2.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn mean_std_consistent(v in finite_vec(1..64)) {
+        let (mean, std) = mean_std(&v);
+        prop_assert!(std >= 0.0);
+        let lo = v.iter().cloned().fold(f32::INFINITY, f32::min);
+        let hi = v.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        prop_assert!(mean >= lo - 1e-3 && mean <= hi + 1e-3);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn windowing_sample_count_invariant(nodes in 3usize..8, days in 4usize..7) {
+        use traffic_suite::data::{prepare, simulate, SimConfig, Task};
+        let ds = simulate(&SimConfig::new("prop", Task::Speed, nodes, days));
+        let p = prepare(&ds, 12, 12);
+        let total = ds.num_steps();
+        let span = 23usize;
+        // each split contributes len - span windows (when long enough);
+        // boundaries use round() like `chronological_split`
+        let train_len = (total as f64 * 0.7).round() as usize;
+        let val_end = (total as f64 * 0.8).round() as usize;
+        let expect = |len: usize| len.saturating_sub(span);
+        prop_assert_eq!(p.train.len(), expect(train_len));
+        prop_assert_eq!(p.test.len(), expect(total - val_end));
+        // x shape invariants
+        prop_assert_eq!(&p.train.x.shape()[1..], &[12, nodes, 2][..]);
+    }
+}
