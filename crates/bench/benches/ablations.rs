@@ -62,7 +62,8 @@ fn train_stgcn(kind: traffic_models::SpatialKind) {
     let exp = prepare_experiment("METR-LA", &scale, 42);
     let test = eval_split(&exp.data.test, &scale);
     let mut rng = StdRng::seed_from_u64(6);
-    let model = Stgcn::new(&exp.ctx, StgcnConfig { spatial_kind: kind, ..Default::default() }, &mut rng);
+    let model =
+        Stgcn::new(&exp.ctx, StgcnConfig { spatial_kind: kind, ..Default::default() }, &mut rng);
     let tc = TrainConfig {
         epochs: scale.epochs,
         batch_size: scale.batch_size,
@@ -86,6 +87,7 @@ fn train_stgcn(kind: traffic_models::SpatialKind) {
 }
 
 fn bench(c: &mut Criterion) {
+    let _run = traffic_bench::bench_run("ablations");
     println!("\n== Ablation: Graph-WaveNet adaptive adjacency ==");
     train_gwn(true);
     train_gwn(false);

@@ -10,6 +10,7 @@ use traffic_core::{
 use traffic_metrics::{evaluate_horizons, PAPER_HORIZONS};
 
 fn bench(c: &mut Criterion) {
+    let _run = traffic_bench::bench_run("fig1_model_comparison");
     // One-shot reduced Fig 1: one speed + one flow dataset, three models.
     let rows = model_comparison(
         &["METR-LA", "PeMSD8"],

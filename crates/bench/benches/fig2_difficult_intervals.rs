@@ -12,6 +12,7 @@ use traffic_data::{difficult_mask, PAPER_QUANTILE, PAPER_WINDOW};
 use traffic_metrics::evaluate;
 
 fn bench(c: &mut Criterion) {
+    let _run = traffic_bench::bench_run("fig2_difficult_intervals");
     let rows = difficult_interval_experiment(
         "METR-LA",
         &["Graph-WaveNet", "ASTGCN", "ST-MetaNet"],
@@ -34,12 +35,7 @@ fn bench(c: &mut Criterion) {
         b.iter(|| difficult_mask(&exp.dataset.values, PAPER_WINDOW, PAPER_QUANTILE));
     });
     group.bench_function("masked_evaluation", |b| {
-        b.iter(|| {
-            (
-                evaluate(&pred, &test.y_raw, None),
-                evaluate(&pred, &test.y_raw, Some(&mask)),
-            )
-        });
+        b.iter(|| (evaluate(&pred, &test.y_raw, None), evaluate(&pred, &test.y_raw, Some(&mask))));
     });
     group.finish();
 }

@@ -6,6 +6,7 @@ use traffic_bench::{bench_scale, report_scale};
 use traffic_core::{case_study_on, render_fig3};
 
 fn bench(c: &mut Criterion) {
+    let _run = traffic_bench::bench_run("fig3_case_study");
     let cs = case_study_on("PeMS-BAY", "Graph-WaveNet", &report_scale());
     println!("\n== Fig 3 (reduced regeneration) ==\n{}", render_fig3(&cs));
     println!(

@@ -8,6 +8,7 @@ use rand::SeedableRng;
 use traffic_tensor::{init, Tape, Tensor};
 
 fn bench(c: &mut Criterion) {
+    let _run = traffic_bench::bench_run("kernels");
     let mut rng = StdRng::seed_from_u64(0);
 
     let mut group = c.benchmark_group("kernels/matmul");

@@ -6,6 +6,7 @@ use traffic_core::render_table1;
 use traffic_data::{simulate, SimConfig, Task, DATASETS};
 
 fn bench(c: &mut Criterion) {
+    let _run = traffic_bench::bench_run("table1_datasets");
     println!("\n== Table I: dataset characterisation ==\n{}", render_table1());
 
     let mut group = c.benchmark_group("table1/simulate");

@@ -11,6 +11,7 @@ use traffic_core::{
 use traffic_models::ALL_MODELS;
 
 fn bench(c: &mut Criterion) {
+    let _run = traffic_bench::bench_run("table3_computation_time");
     // One-shot measured Table III.
     let report = report_scale();
     let exp = prepare_experiment("METR-LA", &report, 42);

@@ -15,6 +15,7 @@
 //! | `kernels`                 | substrate micro-benchmarks  |
 
 use traffic_core::ExperimentScale;
+use traffic_obs::Run;
 
 /// The scale used inside timed loops. Criterion re-runs bench bodies many
 /// times, so this stays at smoke size; use the examples for larger
@@ -31,4 +32,14 @@ pub fn report_scale() -> ExperimentScale {
     s.max_train_batches = Some(20);
     s.max_test_samples = Some(60);
     s
+}
+
+/// Starts a telemetry run for a bench target, writing a JSONL manifest
+/// to `reports/runs/bench-<name>.jsonl` at the workspace root (cargo
+/// runs bench binaries from the package directory, so a relative path
+/// would scatter manifests). Returns `None` — and the bench simply runs
+/// without a manifest — if the directory is not writable.
+pub fn bench_run(name: &str) -> Option<Run> {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/../../reports/runs");
+    Run::named(&format!("bench-{name}")).jsonl(dir).start().ok()
 }

@@ -71,8 +71,11 @@ pub fn stgcn_spatial_kind_ablation(dataset: &str, scale: &ExperimentScale) -> Ve
         .into_iter()
         .map(|kind| {
             let mut rng = StdRng::seed_from_u64(6);
-            let model =
-                Stgcn::new(&exp.ctx, StgcnConfig { spatial_kind: kind, ..Default::default() }, &mut rng);
+            let model = Stgcn::new(
+                &exp.ctx,
+                StgcnConfig { spatial_kind: kind, ..Default::default() },
+                &mut rng,
+            );
             train(&model, &exp.data, &train_cfg(scale, 6));
             AblationResult {
                 variant: format!("{kind:?}"),

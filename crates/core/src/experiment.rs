@@ -29,12 +29,36 @@ pub struct PreparedExperiment {
 }
 
 /// Simulates and prepares one of the catalog datasets at the given scale.
+/// Each stage (simulate, windowing, graph matrices) runs under its own
+/// span, and a `dataset_prepared` event summarises the result.
 pub fn prepare_experiment(name: &str, scale: &ExperimentScale, seed: u64) -> PreparedExperiment {
     let info = dataset_info(name).unwrap_or_else(|| panic!("unknown dataset {name}"));
     let cfg = SimConfig::for_dataset(info, scale.dataset_scale).with_seed(seed);
+    let prep_span = traffic_obs::span!("prepare", dataset = name, seed = seed);
+
+    let sim_span = traffic_obs::span!("simulate");
     let dataset = simulate(&cfg);
+    sim_span.finish();
+
+    let window_span = traffic_obs::span!("window");
     let data = prepare(&dataset, 12, 12);
+    window_span.finish();
+
+    let graph_span = traffic_obs::span!("graph");
     let ctx = GraphContext::from_network(&dataset.network, 8);
+    graph_span.finish();
+
+    let prep_s = prep_span.finish().as_secs_f64();
+    traffic_obs::emit_with(|| {
+        traffic_obs::Event::new("dataset_prepared")
+            .with("dataset", name)
+            .with("nodes", dataset.num_nodes() as u64)
+            .with("steps", dataset.values.shape()[0] as u64)
+            .with("train_windows", data.train.len() as u64)
+            .with("val_windows", data.val.len() as u64)
+            .with("test_windows", data.test.len() as u64)
+            .with("prepare_s", prep_s)
+    });
     PreparedExperiment { dataset, data, ctx }
 }
 

@@ -125,12 +125,9 @@ pub fn check_fig1(rows: &[Fig1Row]) -> Vec<Finding> {
         let long = mean_mae(rows, m, Some("60 min"))?;
         (short > 0.0).then(|| long / short)
     };
-    let rnn: Vec<f32> =
-        ["DCRNN", "ST-MetaNet"].iter().filter_map(|m| growth_ratio(m)).collect();
-    let direct: Vec<f32> = ["Graph-WaveNet", "GMAN", "STSGCN"]
-        .iter()
-        .filter_map(|m| growth_ratio(m))
-        .collect();
+    let rnn: Vec<f32> = ["DCRNN", "ST-MetaNet"].iter().filter_map(|m| growth_ratio(m)).collect();
+    let direct: Vec<f32> =
+        ["Graph-WaveNet", "GMAN", "STSGCN"].iter().filter_map(|m| growth_ratio(m)).collect();
     if !rnn.is_empty() && !direct.is_empty() {
         let rnn_mean = rnn.iter().sum::<f32>() / rnn.len() as f32;
         let direct_mean = direct.iter().sum::<f32>() / direct.len() as f32;
@@ -220,7 +217,9 @@ pub fn check_table3(rows: &[Table3Row]) -> Vec<Finding> {
         "STGCN requires the shortest training time per epoch",
         min_train.map(|r| r.model == "STGCN"),
         min_train
-            .map(|r| format!("fastest training: {} ({:.2?}/epoch)", r.model, r.train_time_per_epoch))
+            .map(|r| {
+                format!("fastest training: {} ({:.2?}/epoch)", r.model, r.train_time_per_epoch)
+            })
             .unwrap_or_default(),
     ));
     out.push(Finding::new(
@@ -258,8 +257,7 @@ pub fn check_table3(rows: &[Table3Row]) -> Vec<Finding> {
 /// Checks the Fig 2 claims (§V-B).
 pub fn check_fig2(rows: &[Fig2Row]) -> Vec<Finding> {
     let mut out = Vec::new();
-    let finite: Vec<&Fig2Row> =
-        rows.iter().filter(|r| r.degradation_pct.is_finite()).collect();
+    let finite: Vec<&Fig2Row> = rows.iter().filter(|r| r.degradation_pct.is_finite()).collect();
     if finite.is_empty() {
         return vec![Finding::new(
             "fig2.empty",
@@ -279,9 +277,8 @@ pub fn check_fig2(rows: &[Fig2Row]) -> Vec<Finding> {
         format!("measured degradation range: {lo:.1}% … {hi:.1}%"),
     ));
     // Claim: ASTGCN is the most robust (smallest decline).
-    let most_robust = finite
-        .iter()
-        .min_by(|a, b| a.degradation_pct.partial_cmp(&b.degradation_pct).unwrap());
+    let most_robust =
+        finite.iter().min_by(|a, b| a.degradation_pct.partial_cmp(&b.degradation_pct).unwrap());
     out.push(Finding::new(
         "fig2.astgcn_robust",
         "ASTGCN shows the lowest performance decline (most robust to abrupt change)",
@@ -291,9 +288,8 @@ pub fn check_fig2(rows: &[Fig2Row]) -> Vec<Finding> {
             .unwrap_or_default(),
     ));
     // Claim: ST-MetaNet is (nearly) the worst on difficult intervals.
-    let least_robust = finite
-        .iter()
-        .max_by(|a, b| a.degradation_pct.partial_cmp(&b.degradation_pct).unwrap());
+    let least_robust =
+        finite.iter().max_by(|a, b| a.degradation_pct.partial_cmp(&b.degradation_pct).unwrap());
     out.push(Finding::new(
         "fig2.stmetanet_fragile",
         "ST-MetaNet shows almost the worst performance with difficult intervals",
@@ -336,7 +332,10 @@ pub fn render_findings(findings: &[Finding]) -> String {
             Some(false) => "❌",
             None => "⚠️",
         };
-        out.push_str(&format!("- {mark} **{}** — {}\n    - evidence: {}\n", f.id, f.claim, f.evidence));
+        out.push_str(&format!(
+            "- {mark} **{}** — {}\n    - evidence: {}\n",
+            f.id, f.claim, f.evidence
+        ));
     }
     out
 }
@@ -397,8 +396,8 @@ mod tests {
             degradation_pct: 100.0 * (difficult - overall) / overall,
         };
         let rows = vec![
-            mk("ASTGCN", 2.0, 3.0),      // +50%
-            mk("ST-MetaNet", 2.0, 5.6),  // +180%
+            mk("ASTGCN", 2.0, 3.0),        // +50%
+            mk("ST-MetaNet", 2.0, 5.6),    // +180%
             mk("Graph-WaveNet", 1.5, 3.0), // +100%
         ];
         let f = check_fig2(&rows);

@@ -15,19 +15,25 @@ pub mod tables;
 pub mod timing;
 pub mod trainer;
 
-pub use ablation::{gwn_adaptive_ablation, horizon_curve, stgcn_spatial_kind_ablation, AblationResult};
-pub use findings::{check_fig1, check_fig1_flow, check_fig2, check_table3, fig1_winners, render_findings, Finding};
+pub use ablation::{
+    gwn_adaptive_ablation, horizon_curve, stgcn_spatial_kind_ablation, AblationResult,
+};
 pub use experiment::{
     case_study, case_study_on, difficult_interval_experiment, eval_split, model_comparison,
     prepare_experiment, sample_difficult_mask, train_model, CaseStudy, Fig1Row, Fig2Row,
     PreparedExperiment, RoadCase,
 };
+pub use findings::{
+    check_fig1, check_fig1_flow, check_fig2, check_table3, fig1_winners, render_findings, Finding,
+};
 pub use regimes::{classify, decompose, regime_mask, Regime};
 pub use report::{format_table, sparkline, write_csv};
 pub use scale::ExperimentScale;
 pub use tables::{
-    fig1_csv_rows, fig2_csv_rows, fig3_csv_rows, table3_csv_rows, render_fig1, render_fig2, render_fig3, render_table1, render_table2,
-    render_table3,
+    fig1_csv_rows, fig2_csv_rows, fig3_csv_rows, render_fig1, render_fig2, render_fig3,
+    render_span_summary, render_table1, render_table2, render_table3, table3_csv_rows,
 };
 pub use timing::{computation_time, computation_time_on, Table3Row};
-pub use trainer::{predict, teacher_probability, timed_predict, train, validation_loss, TrainConfig, TrainReport};
+pub use trainer::{
+    predict, teacher_probability, timed_predict, train, validation_loss, TrainConfig, TrainReport,
+};

@@ -14,11 +14,7 @@ pub fn format_table(headers: &[&str], rows: &[Vec<String>]) -> String {
             widths[i] = widths[i].max(cell.len());
         }
     }
-    let sep: String = widths
-        .iter()
-        .map(|w| "-".repeat(w + 2))
-        .collect::<Vec<_>>()
-        .join("+");
+    let sep: String = widths.iter().map(|w| "-".repeat(w + 2)).collect::<Vec<_>>().join("+");
     let fmt_row = |cells: &[String]| -> String {
         cells
             .iter()
@@ -62,21 +58,10 @@ pub fn write_csv(path: &Path, headers: &[&str], rows: &[Vec<String>]) -> std::io
 }
 
 /// A crude unicode sparkline for terminal figures (Fig 3 case study).
+/// The single implementation lives in `traffic-obs` (the console sink
+/// uses the same renderer for live loss curves).
 pub fn sparkline(values: &[f32]) -> String {
-    const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
-    if values.is_empty() {
-        return String::new();
-    }
-    let lo = values.iter().copied().fold(f32::INFINITY, f32::min);
-    let hi = values.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-    let range = (hi - lo).max(1e-9);
-    values
-        .iter()
-        .map(|v| {
-            let idx = (((v - lo) / range) * 7.0).round() as usize;
-            BARS[idx.min(7)]
-        })
-        .collect()
+    traffic_obs::sparkline(values)
 }
 
 #[cfg(test)]
@@ -87,10 +72,7 @@ mod tests {
     fn table_alignment() {
         let t = format_table(
             &["model", "mae"],
-            &[
-                vec!["STGCN".into(), "3.1".into()],
-                vec!["Graph-WaveNet".into(), "2.7".into()],
-            ],
+            &[vec!["STGCN".into(), "3.1".into()], vec!["Graph-WaveNet".into(), "2.7".into()]],
         );
         let lines: Vec<&str> = t.lines().collect();
         assert_eq!(lines.len(), 4);

@@ -9,9 +9,8 @@ use crate::timing::Table3Row;
 
 /// Renders Table I (dataset characterisation).
 pub fn render_table1() -> String {
-    let headers = vec![
-        "Name", "Task", "Region", "Start", "End", "Days", "Nodes", "Features", "SensorID",
-    ];
+    let headers =
+        vec!["Name", "Task", "Region", "Start", "End", "Days", "Nodes", "Features", "SensorID"];
     let rows: Vec<Vec<String>> = DATASETS
         .iter()
         .map(|d| {
@@ -102,10 +101,7 @@ pub fn render_fig2(rows: &[Fig2Row]) -> String {
 /// Renders the Fig 3 case study with terminal sparklines.
 pub fn render_fig3(cs: &CaseStudy) -> String {
     let mut out = String::new();
-    out.push_str(&format!(
-        "Case study — model: {}, data: {}\n\n",
-        cs.model, cs.dataset
-    ));
+    out.push_str(&format!("Case study — model: {}, data: {}\n\n", cs.model, cs.dataset));
     for (label, case) in [("A (smooth)", &cs.smooth), ("B (volatile)", &cs.volatile)] {
         out.push_str(&format!(
             "Road {} — sensor {}, 1-step MAE {:.2}, {} difficult interval(s)\n",
@@ -123,8 +119,15 @@ pub fn render_fig3(cs: &CaseStudy) -> String {
 /// CSV rows for Fig 1 (for plotting outside the terminal).
 pub fn fig1_csv_rows(rows: &[Fig1Row]) -> (Vec<&'static str>, Vec<Vec<String>>) {
     let headers = vec![
-        "dataset", "model", "horizon", "mae_mean", "mae_std", "rmse_mean", "rmse_std",
-        "mape_mean", "mape_std",
+        "dataset",
+        "model",
+        "horizon",
+        "mae_mean",
+        "mae_std",
+        "rmse_mean",
+        "rmse_std",
+        "mape_mean",
+        "mape_std",
     ];
     let data = rows
         .iter()
@@ -180,6 +183,33 @@ pub fn fig3_csv_rows(cs: &CaseStudy) -> (Vec<&'static str>, Vec<Vec<String>>) {
         }
     }
     (headers, data)
+}
+
+/// Renders a wall-clock summary from the `traffic-obs` span registry:
+/// one row per distinct span path finished since `marker`, aggregated
+/// over repeats. Useful at the end of a run to see where time went.
+pub fn render_span_summary(marker: u64) -> String {
+    use std::collections::BTreeMap;
+    let mut agg: BTreeMap<String, (usize, f64, f64)> = BTreeMap::new();
+    for s in traffic_obs::spans_since(marker) {
+        let entry = agg.entry(s.path).or_insert((0, 0.0, 0.0));
+        entry.0 += 1;
+        entry.1 += s.dur.as_secs_f64();
+        entry.2 = entry.2.max(s.dur.as_secs_f64());
+    }
+    let rows: Vec<Vec<String>> = agg
+        .iter()
+        .map(|(path, &(count, total, max))| {
+            vec![
+                path.clone(),
+                count.to_string(),
+                format!("{total:.3} s"),
+                format!("{:.3} s", total / count as f64),
+                format!("{max:.3} s"),
+            ]
+        })
+        .collect();
+    format_table(&["span", "count", "total", "mean", "max"], &rows)
 }
 
 /// CSV rows for Table III.
@@ -270,6 +300,17 @@ mod tests {
         assert_eq!(d[0][5], "0");
         assert_eq!(d[1][5], "1");
         assert_eq!(d[2][5], "1");
+    }
+
+    #[test]
+    fn span_summary_lists_finished_spans() {
+        let marker = traffic_obs::span_marker();
+        {
+            let _g = traffic_obs::span!("tables_summary_test");
+        }
+        let t = render_span_summary(marker);
+        assert!(t.contains("tables_summary_test"));
+        assert!(t.contains("span"));
     }
 
     #[test]

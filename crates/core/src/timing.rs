@@ -1,7 +1,14 @@
 //! Table III: computation time (training time per epoch, inference time)
 //! and parameter counts, measured on the METR-LA dataset.
+//!
+//! Timings are read back from the `traffic-obs` span registry rather
+//! than ad-hoc stopwatches: `trainer::train` opens a `train/epoch` span
+//! per epoch and `timed_predict` a `predict` span, so the table is
+//! derived from the same records any sink observes.
 
 use std::time::Duration;
+
+use traffic_obs::span::{span_marker, span_stats_local};
 
 use crate::experiment::{eval_split, prepare_experiment, train_model, PreparedExperiment};
 use crate::scale::ExperimentScale;
@@ -36,12 +43,23 @@ pub fn computation_time_on(
     models
         .iter()
         .map(|&name| {
+            let marker = span_marker();
             let (model, report) = train_model(name, exp, scale, 4000);
-            let (_pred, inference_time) =
+            let (_pred, stopwatch_inference) =
                 timed_predict(model.as_ref(), &test, &exp.data.scaler, scale.batch_size);
+            // Prefer the span registry (this thread's spans only, so
+            // concurrent experiments can't pollute the row); the raw
+            // measurements only back it up if the ring buffer evicted
+            // the records mid-run.
+            let epoch_stats = span_stats_local("train/epoch", marker);
+            let train_time_per_epoch =
+                if epoch_stats.count > 0 { epoch_stats.mean } else { report.mean_epoch_time };
+            let predict_stats = span_stats_local("predict", marker);
+            let inference_time =
+                if predict_stats.count > 0 { predict_stats.total } else { stopwatch_inference };
             Table3Row {
                 model: name.to_string(),
-                train_time_per_epoch: report.mean_epoch_time,
+                train_time_per_epoch,
                 inference_time,
                 params: model.num_params(),
             }
@@ -52,6 +70,26 @@ pub fn computation_time_on(
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn span_timings_match_trainer_report() {
+        // Table III must agree with the trainer's own bookkeeping: the
+        // span-registry mean epoch time and the TrainReport mean come
+        // from the same guard, so they may differ only by aggregation
+        // rounding (well under the ±10% budget).
+        let scale = ExperimentScale::smoke();
+        let exp = prepare_experiment("METR-LA", &scale, 42);
+        let marker = span_marker();
+        let (_model, report) = train_model("STGCN", &exp, &scale, 4000);
+        let stats = span_stats_local("train/epoch", marker);
+        assert_eq!(stats.count, report.epoch_times.len());
+        let span_mean = stats.mean.as_secs_f64();
+        let report_mean = report.mean_epoch_time.as_secs_f64();
+        assert!(
+            (span_mean - report_mean).abs() <= 0.1 * report_mean.max(1e-9),
+            "span mean {span_mean}s vs report mean {report_mean}s"
+        );
+    }
 
     #[test]
     fn timing_smoke() {

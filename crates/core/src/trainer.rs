@@ -5,7 +5,7 @@
 //! seq2seq models with an inverse-sigmoid decay of the teacher-forcing
 //! probability.
 
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -13,6 +13,7 @@ use traffic_data::{batches, PreparedData, WindowedData, ZScore};
 use traffic_models::{train_horizon, TrafficModel, TrainCtx};
 use traffic_nn::loss::{masked_mae, null_mask};
 use traffic_nn::Adam;
+use traffic_obs::{counter, emit_with, gauge, histogram, span, Event};
 use traffic_tensor::{Tape, Tensor};
 
 /// Training configuration.
@@ -133,23 +134,26 @@ pub fn train(model: &dyn TrafficModel, data: &PreparedData, cfg: &TrainConfig) -
             let schedule = traffic_nn::StepDecay::new(cfg.lr, gamma, every);
             opt.set_lr(schedule.lr_at(_epoch));
         }
-        let start = Instant::now();
+        let epoch_span = span!("train/epoch", model = model.name(), epoch = _epoch as u64);
         let mut loss_sum = 0.0f64;
         let mut batches_run = 0usize;
-        let mut shuffle_rng = StdRng::seed_from_u64(cfg.seed ^ (_epoch as u64).wrapping_mul(0x9e37));
+        let mut samples_seen = 0usize;
+        let mut shuffle_rng =
+            StdRng::seed_from_u64(cfg.seed ^ (_epoch as u64).wrapping_mul(0x9e37));
         for batch in batches(&data.train, cfg.batch_size, Some(&mut shuffle_rng)) {
             if let Some(cap) = cfg.max_batches_per_epoch {
                 if batches_run >= cap {
                     break;
                 }
             }
+            let batch_span = span!("train/batch");
+            let batch_samples = batch.x.shape()[0];
             let tape = Tape::new();
             let x = tape.constant(batch.x.clone());
             let y_norm = batch.y_norm.narrow(1, 0, horizon);
             let y_raw = batch.y_raw.narrow(1, 0, horizon);
             let teacher_prob = teacher_probability(global_step, cfg.teacher_decay);
-            let mut tctx =
-                TrainCtx { rng: &mut rng, teacher: Some(&batch.y_norm), teacher_prob };
+            let mut tctx = TrainCtx { rng: &mut rng, teacher: Some(&batch.y_norm), teacher_prob };
             let pred = model.forward(&tape, x, Some(&mut tctx));
             let mask = null_mask(&y_raw, 1e-3);
             let loss = masked_mae(&tape, pred, &y_norm, &mask);
@@ -158,20 +162,34 @@ pub fn train(model: &dyn TrafficModel, data: &PreparedData, cfg: &TrainConfig) -
                 let grads = tape.backward(loss);
                 model.store().zero_grads();
                 model.store().capture_grads(&tape, &grads);
-                model.store().clip_grad_norm(cfg.grad_clip);
+                let grad_norm = model.store().clip_grad_norm(cfg.grad_clip);
+                gauge("train.grad_norm").set(grad_norm as f64);
                 opt.step(model.store());
                 loss_sum += loss_val as f64;
+            } else {
+                counter("train.nonfinite_batches").inc();
             }
+            counter("train.batches").inc();
+            histogram("train.batch_s").record_duration(batch_span.finish());
             batches_run += 1;
+            samples_seen += batch_samples;
             global_step += 1;
         }
-        epoch_losses.push((loss_sum / batches_run.max(1) as f64) as f32);
-        epoch_times.push(start.elapsed());
+        let epoch_loss = (loss_sum / batches_run.max(1) as f64) as f32;
+        epoch_losses.push(epoch_loss);
+        let epoch_dur = epoch_span.finish();
+        epoch_times.push(epoch_dur);
+        histogram("train.epoch_s").record_duration(epoch_dur);
+        let mut stop = false;
         if let Some(patience) = cfg.early_stop_patience {
             let vl = if data.val.is_empty() {
                 *epoch_losses.last().expect("at least one epoch")
             } else {
-                validation_loss(model, &data.val, horizon, cfg.batch_size, cfg.max_val_batches)
+                let val_span = span!("train/validate", model = model.name(), epoch = _epoch as u64);
+                let vl =
+                    validation_loss(model, &data.val, horizon, cfg.batch_size, cfg.max_val_batches);
+                val_span.finish();
+                vl
             };
             val_losses.push(vl);
             let improved = best.as_ref().is_none_or(|(b, _, _)| vl < *b);
@@ -181,9 +199,31 @@ pub fn train(model: &dyn TrafficModel, data: &PreparedData, cfg: &TrainConfig) -
             } else {
                 stale += 1;
                 if stale >= patience {
-                    break;
+                    stop = true;
                 }
             }
+        }
+        // One structured event per epoch; the closure means no Event is
+        // built when no sink is installed.
+        emit_with(|| {
+            let secs = epoch_dur.as_secs_f64();
+            let mut ev = Event::new("epoch")
+                .with("model", model.name())
+                .with("epoch", _epoch as u64)
+                .with("loss", epoch_loss)
+                .with("epoch_s", secs)
+                .with("teacher_prob", teacher_probability(global_step, cfg.teacher_decay))
+                .with("batches", batches_run as u64);
+            if secs > 0.0 {
+                ev = ev.with("samples_per_sec", samples_seen as f64 / secs);
+            }
+            if let Some(vl) = val_losses.last() {
+                ev = ev.with("val_loss", *vl);
+            }
+            ev
+        });
+        if stop {
+            break;
         }
     }
     let best_epoch = match best {
@@ -220,16 +260,20 @@ pub fn predict(
     Tensor::concat(&refs, 0)
 }
 
-/// Convenience: predict + wall-clock (Table III inference time).
+/// Convenience: predict + wall-clock (Table III inference time). The
+/// measurement is a `predict` span, so it also lands in the span
+/// registry and any installed sink.
 pub fn timed_predict(
     model: &dyn TrafficModel,
     data: &WindowedData,
     scaler: &ZScore,
     batch_size: usize,
 ) -> (Tensor, Duration) {
-    let start = Instant::now();
+    let guard = span!("predict", model = model.name(), windows = data.len() as u64);
     let pred = predict(model, data, scaler, batch_size);
-    (pred, start.elapsed())
+    let dur = guard.finish();
+    histogram("predict.window_s").record(dur.as_secs_f64() / data.len().max(1) as f64);
+    (pred, dur)
 }
 
 #[cfg(test)]

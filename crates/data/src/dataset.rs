@@ -91,7 +91,10 @@ mod tests {
             name: "toy".into(),
             task: Task::Speed,
             network: freeway_corridor(3, 1.0, &mut rng),
-            values: Tensor::from_vec((0..(STEPS_PER_DAY * 2 * 3)).map(|i| i as f32).collect(), &[STEPS_PER_DAY * 2, 3]),
+            values: Tensor::from_vec(
+                (0..(STEPS_PER_DAY * 2 * 3)).map(|i| i as f32).collect(),
+                &[STEPS_PER_DAY * 2, 3],
+            ),
             includes_weekends: true,
         }
     }

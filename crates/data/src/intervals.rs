@@ -169,12 +169,19 @@ mod tests {
         let t = 200;
         let mut v = vec![0.0f32; t * 2];
         for k in 0..t {
-            v[k * 2] = if k >= 100 { if k % 2 == 0 { 10.0 } else { 50.0 } } else { 30.0 };
+            v[k * 2] = if k >= 100 {
+                if k % 2 == 0 {
+                    10.0
+                } else {
+                    50.0
+                }
+            } else {
+                30.0
+            };
             v[k * 2 + 1] = 25.0;
         }
         let mask = difficult_mask(&Tensor::from_vec(v, &[t, 2]), PAPER_WINDOW, PAPER_QUANTILE);
-        let frac0: f32 =
-            (0..t).map(|k| mask.at(&[k, 0])).sum::<f32>() / t as f32;
+        let frac0: f32 = (0..t).map(|k| mask.at(&[k, 0])).sum::<f32>() / t as f32;
         // roughly a quarter of steps marked, all in the volatile half
         assert!(frac0 > 0.2 && frac0 < 0.6, "frac {frac0}");
         let early: f32 = (0..90).map(|k| mask.at(&[k, 0])).sum();

@@ -89,9 +89,7 @@ pub fn save_dataset(dataset: &TrafficDataset, dir: &Path) -> Result<std::path::P
 pub fn load_dataset(values_path: &Path) -> Result<TrafficDataset, IoError> {
     let f = fs::File::open(values_path)?;
     let mut lines = BufReader::new(f).lines();
-    let meta = lines
-        .next()
-        .ok_or_else(|| IoError::Format("empty file".into()))??;
+    let meta = lines.next().ok_or_else(|| IoError::Format("empty file".into()))??;
     if !meta.starts_with("# ") {
         return Err(IoError::Format("missing metadata line".into()));
     }
@@ -114,9 +112,7 @@ pub fn load_dataset(values_path: &Path) -> Result<TrafficDataset, IoError> {
             }
             "weekends" => weekends = v == "1",
             "nodes" => {
-                nodes = v
-                    .parse()
-                    .map_err(|_| IoError::Format(format!("bad node count {v}")))?
+                nodes = v.parse().map_err(|_| IoError::Format(format!("bad node count {v}")))?
             }
             _ => {}
         }
@@ -132,10 +128,7 @@ pub fn load_dataset(values_path: &Path) -> Result<TrafficDataset, IoError> {
         let mut cols = line.split(',');
         let _step = cols.next();
         for c in cols {
-            values.push(
-                c.parse::<f32>()
-                    .map_err(|_| IoError::Format(format!("bad value {c}")))?,
-            );
+            values.push(c.parse::<f32>().map_err(|_| IoError::Format(format!("bad value {c}")))?);
         }
         steps += 1;
     }

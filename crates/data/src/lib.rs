@@ -17,10 +17,15 @@ pub mod simulate;
 pub mod split;
 pub mod window;
 
-pub use catalog::{dataset_info, flow_datasets, speed_datasets, DatasetInfo, Task, Topology, DATASETS};
+pub use catalog::{
+    dataset_info, flow_datasets, speed_datasets, DatasetInfo, Task, Topology, DATASETS,
+};
 pub use dataset::{TrafficDataset, STEPS_PER_DAY};
+pub use intervals::{
+    difficult_mask, difficult_mask_range, difficult_runs, moving_std, quantile, PAPER_QUANTILE,
+    PAPER_WINDOW,
+};
 pub use io::{load_dataset, save_dataset, IoError};
-pub use intervals::{difficult_mask, difficult_mask_range, difficult_runs, moving_std, quantile, PAPER_QUANTILE, PAPER_WINDOW};
 pub use loader::{batches, Batch};
 pub use normalize::{MinMax, ZScore};
 pub use simulate::{inject_incident, simulate, SimConfig};

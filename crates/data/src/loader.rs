@@ -30,8 +30,7 @@ pub fn batches<'a>(
     if let Some(rng) = shuffle {
         order.shuffle(rng);
     }
-    let chunks: Vec<Vec<usize>> =
-        order.chunks(batch_size).map(|c| c.to_vec()).collect();
+    let chunks: Vec<Vec<usize>> = order.chunks(batch_size).map(|c| c.to_vec()).collect();
     chunks.into_iter().map(move |indices| Batch {
         x: data.x.index_select0(&indices),
         y_raw: data.y_raw.index_select0(&indices),
@@ -57,8 +56,7 @@ mod tests {
     #[test]
     fn covers_all_samples_once() {
         let w = data();
-        let total: usize =
-            batches(&w, 16, None::<&mut StdRng>).map(|b| b.indices.len()).sum();
+        let total: usize = batches(&w, 16, None::<&mut StdRng>).map(|b| b.indices.len()).sum();
         assert_eq!(total, w.len());
     }
 
@@ -75,8 +73,7 @@ mod tests {
     fn shuffle_changes_order_not_content() {
         let w = data();
         let mut rng = StdRng::seed_from_u64(3);
-        let mut seen: Vec<usize> =
-            batches(&w, 4, Some(&mut rng)).flat_map(|b| b.indices).collect();
+        let mut seen: Vec<usize> = batches(&w, 4, Some(&mut rng)).flat_map(|b| b.indices).collect();
         let unshuffled: Vec<usize> = (0..w.len()).collect();
         assert_ne!(seen, unshuffled, "shuffle should permute");
         seen.sort_unstable();

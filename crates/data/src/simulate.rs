@@ -101,7 +101,8 @@ fn demand_profile(step_of_day: usize, weekend: bool, rng_day_jitter: (f32, f32))
     if weekend {
         0.08 + bump(13.0, 3.0, 0.45)
     } else {
-        0.08 + bump(8.0 + 0.3 * jm, 1.4, 0.85 + 0.15 * jm) + bump(17.5 + 0.3 * je, 1.9, 0.95 + 0.15 * je)
+        0.08 + bump(8.0 + 0.3 * jm, 1.4, 0.85 + 0.15 * jm)
+            + bump(17.5 + 0.3 * je, 1.9, 0.95 + 0.15 * je)
     }
 }
 
@@ -205,14 +206,12 @@ pub fn simulate(config: &SimConfig) -> TrafficDataset {
     }
 
     // Day-level demand jitter (shared across nodes — regional weather etc.).
-    let day_jitter: Vec<(f32, f32)> = (0..config.days)
-        .map(|_| (rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)))
-        .collect();
+    let day_jitter: Vec<(f32, f32)> =
+        (0..config.days).map(|_| (rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0))).collect();
 
     let mut congestion_prev = vec![0.0f32; n];
     let mut values = vec![0.0f32; total_steps * n];
-    let weekend_of_day =
-        |day: usize| config.includes_weekends && matches!(day % 7, 5 | 6);
+    let weekend_of_day = |day: usize| config.includes_weekends && matches!(day % 7, 5 | 6);
 
     for t in 0..total_steps {
         let day = t / STEPS_PER_DAY;
@@ -226,13 +225,14 @@ pub fn simulate(config: &SimConfig) -> TrafficDataset {
                 upstream[i].iter().map(|&j| congestion_prev[j]).sum::<f32>()
                     / upstream[i].len() as f32
             };
-            let c = (sensitivity[i] * demand + 0.35 * up + incident_level[t * n + i])
-                .clamp(0.0, 1.4);
+            let c =
+                (sensitivity[i] * demand + 0.35 * up + incident_level[t * n + i]).clamp(0.0, 1.4);
             congestion[i] = c;
             let v = match config.task {
                 Task::Speed => {
                     let drop = 0.72 * (c / 1.4);
-                    let noise = config.noise_level * free_flow[i]
+                    let noise = config.noise_level
+                        * free_flow[i]
                         * (rng.gen_range(-1.0f32..1.0) + rng.gen_range(-1.0f32..1.0))
                         / 2.0;
                     (free_flow[i] * (1.0 - drop) + noise).clamp(3.0, 75.0)
@@ -242,7 +242,8 @@ pub fn simulate(config: &SimConfig) -> TrafficDataset {
                     // collapses slightly past capacity (c > 1).
                     let util = if c <= 1.0 { c } else { 1.0 - 0.35 * (c - 1.0) };
                     let base = 0.06 * capacity[i];
-                    let noise = config.noise_level * capacity[i]
+                    let noise = config.noise_level
+                        * capacity[i]
                         * (rng.gen_range(-1.0f32..1.0) + rng.gen_range(-1.0f32..1.0))
                         / 2.0;
                     (base + capacity[i] * util.max(0.0) * 0.9 + noise).max(1.0)

@@ -119,10 +119,7 @@ mod tests {
     #[test]
     fn reconstruction() {
         // A = V Λ Vᵀ
-        let a = Tensor::from_vec(
-            vec![4.0, 1.0, 0.5, 1.0, 3.0, 0.2, 0.5, 0.2, 1.0],
-            &[3, 3],
-        );
+        let a = Tensor::from_vec(vec![4.0, 1.0, 0.5, 1.0, 3.0, 0.2, 0.5, 0.2, 1.0], &[3, 3]);
         let e = sym_eigen(&a, 10);
         let n = 3;
         for i in 0..n {
@@ -138,10 +135,7 @@ mod tests {
 
     #[test]
     fn eigenvectors_orthonormal() {
-        let a = Tensor::from_vec(
-            vec![2.0, -1.0, 0.0, -1.0, 2.0, -1.0, 0.0, -1.0, 2.0],
-            &[3, 3],
-        );
+        let a = Tensor::from_vec(vec![2.0, -1.0, 0.0, -1.0, 2.0, -1.0, 0.0, -1.0, 2.0], &[3, 3]);
         let e = sym_eigen(&a, 10);
         for i in 0..3 {
             for j in 0..3 {

@@ -51,7 +51,11 @@ pub fn grid(rows: usize, cols: usize, spacing_km: f64, rng: &mut impl Rng) -> Ro
         for c in 0..cols {
             let jx = rng.gen_range(-0.1..0.1) * spacing_km;
             let jy = rng.gen_range(-0.1..0.1) * spacing_km;
-            net.add_sensor((r * cols + c) as u32, c as f64 * spacing_km + jx, r as f64 * spacing_km + jy);
+            net.add_sensor(
+                (r * cols + c) as u32,
+                c as f64 * spacing_km + jx,
+                r as f64 * spacing_km + jy,
+            );
         }
     }
     let idx = |r: usize, c: usize| r * cols + c;

@@ -11,9 +11,7 @@ pub fn normalized_laplacian(adj: &Tensor) -> Tensor {
     let n = adj.shape()[0];
     assert_eq!(adj.shape(), &[n, n]);
     let a = symmetrize(adj);
-    let deg: Vec<f32> = (0..n)
-        .map(|i| (0..n).map(|j| a.at(&[i, j])).sum::<f32>())
-        .collect();
+    let deg: Vec<f32> = (0..n).map(|i| (0..n).map(|j| a.at(&[i, j])).sum::<f32>()).collect();
     let dinv_sqrt: Vec<f32> =
         deg.iter().map(|&d| if d > 0.0 { 1.0 / d.sqrt() } else { 0.0 }).collect();
     let mut l = Tensor::zeros(&[n, n]);

@@ -144,8 +144,7 @@ pub fn mean_std(values: &[f32]) -> (f32, f32) {
         return (f32::NAN, f32::NAN);
     }
     let mean = values.iter().sum::<f32>() / values.len() as f32;
-    let var =
-        values.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / values.len() as f32;
+    let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / values.len() as f32;
     (mean, var.sqrt())
 }
 

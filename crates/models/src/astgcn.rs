@@ -31,7 +31,15 @@ pub struct AstgcnConfig {
 
 impl Default for AstgcnConfig {
     fn default() -> Self {
-        AstgcnConfig { channels: 16, cheb_k: 3, blocks: 2, attn_dim: 8, t_in: 12, t_out: 12, in_features: 2 }
+        AstgcnConfig {
+            channels: 16,
+            cheb_k: 3,
+            blocks: 2,
+            attn_dim: 8,
+            t_in: 12,
+            t_out: 12,
+            in_features: 2,
+        }
     }
 }
 
@@ -74,11 +82,8 @@ impl Astgcn {
             polys.push(ctx.scaled_laplacian.clone());
         }
         for k in 2..cfg.cheb_k {
-            let next = ctx
-                .scaled_laplacian
-                .matmul(&polys[k - 1])
-                .mul_scalar(2.0)
-                .sub(&polys[k - 2]);
+            let next =
+                ctx.scaled_laplacian.matmul(&polys[k - 1]).mul_scalar(2.0).sub(&polys[k - 2]);
             polys.push(next);
         }
         let mut blocks = Vec::new();
@@ -86,10 +91,38 @@ impl Astgcn {
         for b in 0..cfg.blocks {
             let f_out = cfg.channels;
             blocks.push(AstBlock {
-                t_q: Linear::new(&mut store, &format!("b{b}.t_q"), n * f_in, cfg.attn_dim, false, rng),
-                t_k: Linear::new(&mut store, &format!("b{b}.t_k"), n * f_in, cfg.attn_dim, false, rng),
-                s_q: Linear::new(&mut store, &format!("b{b}.s_q"), cfg.t_in * f_in, cfg.attn_dim, false, rng),
-                s_k: Linear::new(&mut store, &format!("b{b}.s_k"), cfg.t_in * f_in, cfg.attn_dim, false, rng),
+                t_q: Linear::new(
+                    &mut store,
+                    &format!("b{b}.t_q"),
+                    n * f_in,
+                    cfg.attn_dim,
+                    false,
+                    rng,
+                ),
+                t_k: Linear::new(
+                    &mut store,
+                    &format!("b{b}.t_k"),
+                    n * f_in,
+                    cfg.attn_dim,
+                    false,
+                    rng,
+                ),
+                s_q: Linear::new(
+                    &mut store,
+                    &format!("b{b}.s_q"),
+                    cfg.t_in * f_in,
+                    cfg.attn_dim,
+                    false,
+                    rng,
+                ),
+                s_k: Linear::new(
+                    &mut store,
+                    &format!("b{b}.s_k"),
+                    cfg.t_in * f_in,
+                    cfg.attn_dim,
+                    false,
+                    rng,
+                ),
                 cheb_w: store.add(
                     format!("b{b}.cheb_w"),
                     traffic_tensor::init::xavier_uniform(&[cfg.cheb_k, f_in, f_out], rng),
@@ -142,7 +175,7 @@ impl Astgcn {
         let sq = block.s_q.forward(tape, xn);
         let sk = block.s_k.forward(tape, xn);
         let s = sq.matmul(&sk.t()).mul_scalar(scale).softmax(2); // [B, N, N]
-        // ---- Chebyshev conv with attention-modulated polynomials ----
+                                                                 // ---- Chebyshev conv with attention-modulated polynomials ----
         let w = block.cheb_w.var(tape);
         let mut out: Option<Var<'t>> = None;
         for kk in 0..self.cfg.cheb_k {
@@ -157,7 +190,7 @@ impl Astgcn {
             });
         }
         let spatial = out.expect("cheb_k >= 1").relu(); // [B, T, N, F_out]
-        // ---- temporal convolution + residual ----
+                                                        // ---- temporal convolution + residual ----
         let conv_in = to_conv_layout(spatial); // [B, F, N, T]
         let conv = block.t_conv.forward(tape, conv_in);
         let res = block.res_conv.forward(tape, to_conv_layout(x));
@@ -178,12 +211,7 @@ impl TrafficModel for Astgcn {
         &self.store
     }
 
-    fn forward<'t>(
-        &self,
-        tape: &'t Tape,
-        x: Var<'t>,
-        train: Option<&mut TrainCtx<'_>>,
-    ) -> Var<'t> {
+    fn forward<'t>(&self, tape: &'t Tape, x: Var<'t>, train: Option<&mut TrainCtx<'_>>) -> Var<'t> {
         let _ = train;
         let shape = x.shape();
         let (b, t, n) = (shape[0], shape[1], shape[2]);

@@ -96,11 +96,8 @@ impl HistoricalAverage {
         }
         let mut profile = vec![0.0f32; steps_per_day * n];
         for k in 0..steps_per_day * n {
-            let mean = if counts[k] > 0 {
-                (sums[k] / counts[k] as f64) as f32
-            } else {
-                scaler_mean
-            };
+            let mean =
+                if counts[k] > 0 { (sums[k] / counts[k] as f64) as f32 } else { scaler_mean };
             profile[k] = (mean - scaler_mean) / scaler_std;
         }
         HistoricalAverage {
@@ -207,14 +204,11 @@ mod tests {
         let ha = HistoricalAverage::fit(&values, 8, 0.0, 1.0, steps_per_day, 2);
         let tape = Tape::new();
         // last input step has tod = 1/4 (sod 1); targets are sods 2 and 3
-        let x = tape.constant(Tensor::from_vec(
-            vec![0.0, 0.25, 0.0, 0.25],
-            &[1, 1, 2, 2],
-        ));
+        let x = tape.constant(Tensor::from_vec(vec![0.0, 0.25, 0.0, 0.25], &[1, 1, 2, 2]));
         let y = ha.forward(&tape, x, None).value();
         assert_eq!(y.at(&[0, 0, 0]), 3.0); // sod 2 profile of node 0
         assert_eq!(y.at(&[0, 1, 0]), 4.0); // sod 3
-        // node 1 had only missing data → profile falls back to scaler mean (0)
+                                           // node 1 had only missing data → profile falls back to scaler mean (0)
         assert_eq!(y.at(&[0, 0, 1]), 0.0);
     }
 }

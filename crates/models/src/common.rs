@@ -3,8 +3,8 @@
 
 use rand::rngs::StdRng;
 use traffic_graph::{
-    diffusion_supports, gaussian_adjacency, row_normalize, scaled_laplacian,
-    spectral_embedding, symmetrize, RoadNetwork,
+    diffusion_supports, gaussian_adjacency, row_normalize, scaled_laplacian, spectral_embedding,
+    symmetrize, RoadNetwork,
 };
 use traffic_nn::ParamStore;
 use traffic_tensor::{Tape, Tensor, Var};
@@ -70,8 +70,7 @@ pub trait TrafficModel {
 
     /// Forward pass: `x` is `[B, T_in, N, C]`, returns `[B, T_out, N]`
     /// (z-scored scale). `train` is `None` during evaluation.
-    fn forward<'t>(&self, tape: &'t Tape, x: Var<'t>, train: Option<&mut TrainCtx<'_>>)
-        -> Var<'t>;
+    fn forward<'t>(&self, tape: &'t Tape, x: Var<'t>, train: Option<&mut TrainCtx<'_>>) -> Var<'t>;
 
     /// Total number of scalar parameters.
     fn num_params(&self) -> usize {

@@ -33,7 +33,14 @@ pub struct DcrnnConfig {
 
 impl Default for DcrnnConfig {
     fn default() -> Self {
-        DcrnnConfig { hidden: 16, num_layers: 2, diffusion_steps: 2, t_in: 12, t_out: 12, in_features: 2 }
+        DcrnnConfig {
+            hidden: 16,
+            num_layers: 2,
+            diffusion_steps: 2,
+            t_in: 12,
+            t_out: 12,
+            in_features: 2,
+        }
     }
 }
 

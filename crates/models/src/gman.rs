@@ -83,11 +83,8 @@ impl StAttBlock {
         let hs = self.spatial.forward(tape, sp_in, sp_in).reshape(&[b, t, n, d]);
         // Temporal attention: time attends over time, per node.
         let tp_in = hs_in.permute(&[0, 2, 1, 3]).reshape(&[b * n, t, d]);
-        let ht = self
-            .temporal
-            .forward(tape, tp_in, tp_in)
-            .reshape(&[b, n, t, d])
-            .permute(&[0, 2, 1, 3]);
+        let ht =
+            self.temporal.forward(tape, tp_in, tp_in).reshape(&[b, n, t, d]).permute(&[0, 2, 1, 3]);
         // Gated fusion.
         let g = self.gate_s.forward(tape, hs).add(&self.gate_t.forward(tape, ht)).sigmoid();
         let fused = g.mul(&hs).add(&g.neg().add_scalar(1.0).mul(&ht));
@@ -129,10 +126,8 @@ impl Gman {
             .map(|i| StAttBlock::new(&mut store, &format!("enc{i}"), cfg.d, cfg.heads, rng))
             .collect();
         let transform = MultiHeadAttention::new(&mut store, "transform", cfg.d, cfg.heads, rng);
-        let horizon_emb = store.add(
-            "horizon_emb",
-            traffic_tensor::init::normal(&[cfg.t_out, cfg.d], 0.0, 0.1, rng),
-        );
+        let horizon_emb = store
+            .add("horizon_emb", traffic_tensor::init::normal(&[cfg.t_out, cfg.d], 0.0, 0.1, rng));
         let decoder = (0..cfg.dec_blocks)
             .map(|i| StAttBlock::new(&mut store, &format!("dec{i}"), cfg.d, cfg.heads, rng))
             .collect();
@@ -202,10 +197,7 @@ impl Gman {
                 fut.push(cur);
             }
         }
-        (
-            Tensor::from_vec(hist, &[b, t_in]),
-            Tensor::from_vec(fut, &[b, self.cfg.t_out]),
-        )
+        (Tensor::from_vec(hist, &[b, t_in]), Tensor::from_vec(fut, &[b, self.cfg.t_out]))
     }
 }
 
@@ -222,12 +214,7 @@ impl TrafficModel for Gman {
         &self.store
     }
 
-    fn forward<'t>(
-        &self,
-        tape: &'t Tape,
-        x: Var<'t>,
-        train: Option<&mut TrainCtx<'_>>,
-    ) -> Var<'t> {
+    fn forward<'t>(&self, tape: &'t Tape, x: Var<'t>, train: Option<&mut TrainCtx<'_>>) -> Var<'t> {
         let shape = x.shape();
         let (b, t_in, n, _c) = (shape[0], shape[1], shape[2], shape[3]);
         assert_eq!(t_in, self.cfg.t_in);
@@ -236,12 +223,9 @@ impl TrafficModel for Gman {
         let (tod_hist, tod_fut) = self.tod_tracks(&xv);
         let se = self.spatial_embedding(tape);
         let ste_hist = self.temporal_embedding(tape, &tod_hist).add(&se); // [B, T_in, N, D]
-        let hzn = self
-            .horizon_emb
-            .var(tape)
-            .reshape(&[1, self.cfg.t_out, 1, d]);
+        let hzn = self.horizon_emb.var(tape).reshape(&[1, self.cfg.t_out, 1, d]);
         let ste_fut = self.temporal_embedding(tape, &tod_fut).add(&se).add(&hzn); // [B, T_out, N, D]
-        // Input projection of the value feature.
+                                                                                  // Input projection of the value feature.
         let vals = x.narrow(3, 0, 1); // [B, T, N, 1]
         let mut h = self.input_proj.forward(tape, vals); // [B, T, N, D]
         for block in &self.encoder {
@@ -256,10 +240,7 @@ impl TrafficModel for Gman {
         }
         // Transform attention: future time steps query historical ones.
         let q = ste_fut.permute(&[0, 2, 1, 3]).reshape(&[b * n, self.cfg.t_out, d]);
-        let kv = h
-            .add(&ste_hist)
-            .permute(&[0, 2, 1, 3])
-            .reshape(&[b * n, t_in, d]);
+        let kv = h.add(&ste_hist).permute(&[0, 2, 1, 3]).reshape(&[b * n, t_in, d]);
         let mut hd = self
             .transform
             .forward(tape, q, kv)

@@ -126,19 +126,42 @@ impl GraphWavenet {
             layers.push(GwnLayer { tcn, gconv, skip_conv });
         }
         let end1 = Conv2d::new(
-            &mut store, "end1", cfg.skip, cfg.skip, (1, 1), (1, 1), TemporalPadding::Valid, true, rng,
+            &mut store,
+            "end1",
+            cfg.skip,
+            cfg.skip,
+            (1, 1),
+            (1, 1),
+            TemporalPadding::Valid,
+            true,
+            rng,
         );
         let end2 = Conv2d::new(
-            &mut store, "end2", cfg.skip, cfg.t_out, (1, 1), (1, 1), TemporalPadding::Valid, true, rng,
+            &mut store,
+            "end2",
+            cfg.skip,
+            cfg.t_out,
+            (1, 1),
+            (1, 1),
+            TemporalPadding::Valid,
+            true,
+            rng,
         );
-        let (e1, e2) = if cfg.use_adaptive {
-            (
-                Some(store.add("adaptive.e1", init::normal(&[ctx.n, cfg.adaptive_dim], 0.0, 0.1, rng))),
-                Some(store.add("adaptive.e2", init::normal(&[ctx.n, cfg.adaptive_dim], 0.0, 0.1, rng))),
-            )
-        } else {
-            (None, None)
-        };
+        let (e1, e2) =
+            if cfg.use_adaptive {
+                (
+                    Some(store.add(
+                        "adaptive.e1",
+                        init::normal(&[ctx.n, cfg.adaptive_dim], 0.0, 0.1, rng),
+                    )),
+                    Some(store.add(
+                        "adaptive.e2",
+                        init::normal(&[ctx.n, cfg.adaptive_dim], 0.0, 0.1, rng),
+                    )),
+                )
+            } else {
+                (None, None)
+            };
         GraphWavenet { store, start, layers, end1, end2, e1, e2, cfg }
     }
 
@@ -179,7 +202,7 @@ impl TrafficModel for GraphWavenet {
         for layer in &self.layers {
             let residual = h;
             let z = layer.tcn.forward(tape, h); // valid: [B, R, N, T - d]
-            // Graph conv per (remaining) time slice.
+                                                // Graph conv per (remaining) time slice.
             let zs = z.shape();
             let (c, tt) = (zs[1], zs[3]);
             let flat = z.permute(&[0, 3, 2, 1]).reshape(&[b * tt, n, c]);

@@ -25,7 +25,9 @@ pub use common::{GraphContext, TrafficModel, TrainCtx};
 pub use dcrnn::{Dcrnn, DcrnnConfig};
 pub use gman::{Gman, GmanConfig};
 pub use graph_wavenet::{GraphWavenet, GraphWavenetConfig};
-pub use meta::{taxonomy, ModelMeta, OutputStyle, SpatialComponent, TemporalComponent, MODEL_TAXONOMY};
+pub use meta::{
+    taxonomy, ModelMeta, OutputStyle, SpatialComponent, TemporalComponent, MODEL_TAXONOMY,
+};
 pub use registry::{build_model, train_horizon, train_profile, TrainProfile, ALL_MODELS};
 pub use stg2seq::{Stg2Seq, Stg2SeqConfig};
 pub use stgcn::{SpatialKind, Stgcn, StgcnConfig};

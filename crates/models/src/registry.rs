@@ -14,16 +14,8 @@ use crate::stmetanet::{StMetaNet, StMetaNetConfig};
 use crate::stsgcn::{Stsgcn, StsgcnConfig};
 
 /// The eight model names in the paper's presentation order.
-pub const ALL_MODELS: [&str; 8] = [
-    "STGCN",
-    "DCRNN",
-    "ASTGCN",
-    "ST-MetaNet",
-    "Graph-WaveNet",
-    "STG2Seq",
-    "STSGCN",
-    "GMAN",
-];
+pub const ALL_MODELS: [&str; 8] =
+    ["STGCN", "DCRNN", "ASTGCN", "ST-MetaNet", "Graph-WaveNet", "STG2Seq", "STSGCN", "GMAN"];
 
 /// Builds a model by name with default configuration.
 ///

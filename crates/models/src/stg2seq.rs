@@ -81,8 +81,7 @@ impl Ggcm {
         // Causal pad along time so slice windows exist for every t.
         let padded = x.pad(&[(0, 0), (self.slice - 1, 0), (0, 0), (0, 0)]);
         // Window t covers padded[t .. t+slice]; concat along features.
-        let slices: Vec<Var<'t>> =
-            (0..self.slice).map(|s| padded.narrow(1, s, t)).collect();
+        let slices: Vec<Var<'t>> = (0..self.slice).map(|s| padded.narrow(1, s, t)).collect();
         let stacked = Var::concat(&slices, 3); // [B, T, N, slice·F]
         let flat = stacked.reshape(&[b * t, n, self.slice * f]);
         let conv = self.conv.forward(tape, flat); // [B·T, N, 2F_out]
@@ -111,12 +110,20 @@ impl Stg2Seq {
         let mut long = Vec::new();
         let mut f_in = cfg.in_features;
         for i in 0..cfg.long_layers {
-            long.push(Ggcm::new(&mut store, &format!("long{i}"), ctx, cfg.slice, f_in, cfg.channels, rng));
+            long.push(Ggcm::new(
+                &mut store,
+                &format!("long{i}"),
+                ctx,
+                cfg.slice,
+                f_in,
+                cfg.channels,
+                rng,
+            ));
             f_in = cfg.channels;
         }
-        let short = Ggcm::new(&mut store, "short", ctx, cfg.slice, cfg.in_features, cfg.channels, rng);
-        let queries =
-            store.add("queries", init::xavier_uniform(&[cfg.t_out, cfg.channels], rng));
+        let short =
+            Ggcm::new(&mut store, "short", ctx, cfg.slice, cfg.in_features, cfg.channels, rng);
+        let queries = store.add("queries", init::xavier_uniform(&[cfg.t_out, cfg.channels], rng));
         let key_proj = Linear::new(&mut store, "key_proj", cfg.channels, cfg.channels, false, rng);
         let out_proj = Linear::new(&mut store, "out_proj", cfg.channels, 1, true, rng);
         Stg2Seq { store, long, short, queries, key_proj, out_proj, cfg }
@@ -136,12 +143,7 @@ impl TrafficModel for Stg2Seq {
         &self.store
     }
 
-    fn forward<'t>(
-        &self,
-        tape: &'t Tape,
-        x: Var<'t>,
-        train: Option<&mut TrainCtx<'_>>,
-    ) -> Var<'t> {
+    fn forward<'t>(&self, tape: &'t Tape, x: Var<'t>, train: Option<&mut TrainCtx<'_>>) -> Var<'t> {
         let _ = train;
         let shape = x.shape();
         let (b, t, n) = (shape[0], shape[1], shape[2]);
@@ -177,9 +179,9 @@ impl TrafficModel for Stg2Seq {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use traffic_tensor::Tensor;
     use rand::SeedableRng;
     use traffic_graph::freeway_corridor;
+    use traffic_tensor::Tensor;
 
     fn setup() -> (GraphContext, StdRng) {
         let mut rng = StdRng::seed_from_u64(10);

@@ -217,12 +217,7 @@ impl TrafficModel for Stgcn {
         &self.store
     }
 
-    fn forward<'t>(
-        &self,
-        tape: &'t Tape,
-        x: Var<'t>,
-        train: Option<&mut TrainCtx<'_>>,
-    ) -> Var<'t> {
+    fn forward<'t>(&self, tape: &'t Tape, x: Var<'t>, train: Option<&mut TrainCtx<'_>>) -> Var<'t> {
         let shape = x.shape();
         let (b, n) = (shape[0], shape[2]);
         if let Some(ctx) = train {
@@ -258,8 +253,8 @@ impl Stgcn {
 mod tests {
     use super::*;
     use rand::SeedableRng;
-    use traffic_tensor::Tensor;
     use traffic_graph::freeway_corridor;
+    use traffic_tensor::Tensor;
 
     fn setup() -> (GraphContext, StdRng) {
         let mut rng = StdRng::seed_from_u64(5);

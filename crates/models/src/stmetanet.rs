@@ -33,7 +33,14 @@ pub struct StMetaNetConfig {
 
 impl Default for StMetaNetConfig {
     fn default() -> Self {
-        StMetaNetConfig { hidden: 16, meta_hidden: 16, heads: 2, t_in: 12, t_out: 12, in_features: 2 }
+        StMetaNetConfig {
+            hidden: 16,
+            meta_hidden: 16,
+            heads: 2,
+            t_in: 12,
+            t_out: 12,
+            in_features: 2,
+        }
     }
 }
 
@@ -90,11 +97,30 @@ impl StMetaNet {
         let encoder = GruCell::new(&mut store, "encoder", cfg.in_features, cfg.hidden, rng);
         let f_head = cfg.hidden / cfg.heads;
         assert!(cfg.hidden.is_multiple_of(cfg.heads), "hidden must divide heads");
-        let gat = GraphAttention::new(&mut store, "gat", &ctx.adjacency, cfg.heads, cfg.hidden, f_head, rng);
+        let gat = GraphAttention::new(
+            &mut store,
+            "gat",
+            &ctx.adjacency,
+            cfg.heads,
+            cfg.hidden,
+            f_head,
+            rng,
+        );
         let gat_proj = Linear::new(&mut store, "gat_proj", cfg.hidden, cfg.hidden, true, rng);
         let decoder = GruCell::new(&mut store, "decoder", 1, cfg.hidden, rng);
         let proj = Linear::new(&mut store, "proj", cfg.hidden, 1, true, rng);
-        StMetaNet { store, node_meta: meta, meta_enc, meta_dec, encoder, gat, gat_proj, decoder, proj, cfg }
+        StMetaNet {
+            store,
+            node_meta: meta,
+            meta_enc,
+            meta_dec,
+            encoder,
+            gat,
+            gat_proj,
+            decoder,
+            proj,
+            cfg,
+        }
     }
 
     /// Runs a meta learner: `[N, D_meta] -> ([1, N, H] scale, [1, N, H] bias)`.
@@ -104,7 +130,8 @@ impl StMetaNet {
         let out = learner.1.forward(tape, h); // [N, 2H]
         let n = self.node_meta.shape()[0];
         let scale = out.narrow(1, 0, self.cfg.hidden).reshape(&[1, n, self.cfg.hidden]);
-        let bias = out.narrow(1, self.cfg.hidden, self.cfg.hidden).reshape(&[1, n, self.cfg.hidden]);
+        let bias =
+            out.narrow(1, self.cfg.hidden, self.cfg.hidden).reshape(&[1, n, self.cfg.hidden]);
         (scale, bias)
     }
 
@@ -152,8 +179,8 @@ impl TrafficModel for StMetaNet {
         let hb = h.reshape(&[b, n, h_dim]);
         let sp = self.gat.forward(tape, hb); // [B, N, H] (heads concat = H)
         let mixed = self.gat_proj.forward(tape, sp).relu().add(&hb); // residual
-        // ---- decoder (meta-GAT interleaved, as in the original's
-        // RNN → meta-GAT → RNN stacking) ----
+                                                                     // ---- decoder (meta-GAT interleaved, as in the original's
+                                                                     // RNN → meta-GAT → RNN stacking) ----
         let mut hd = mixed.reshape(&[b * n, h_dim]);
         let mut dec_in = tape.constant(Tensor::zeros(&[b * n, 1]));
         let mut outs = Vec::with_capacity(self.cfg.t_out);
@@ -223,9 +250,8 @@ mod tests {
         let (scale, _bias) = model.film(&tape, &model.meta_enc);
         let v = scale.value();
         // At least two nodes should get different FiLM scales.
-        let row = |i: usize| -> Vec<f32> {
-            (0..model.cfg.hidden).map(|h| v.at(&[0, i, h])).collect()
-        };
+        let row =
+            |i: usize| -> Vec<f32> { (0..model.cfg.hidden).map(|h| v.at(&[0, i, h])).collect() };
         assert_ne!(row(0), row(5));
     }
 
@@ -258,4 +284,3 @@ mod tests {
         assert_ne!(run(1.0), run(0.0));
     }
 }
-

@@ -127,7 +127,8 @@ impl Stsgcn {
     pub fn new(ctx: &GraphContext, cfg: StsgcnConfig, rng: &mut StdRng) -> Self {
         let mut store = ParamStore::new();
         let local = local_st_adjacency(&ctx.row_norm_adj);
-        let input_proj = Linear::new(&mut store, "input_proj", cfg.in_features, cfg.channels, true, rng);
+        let input_proj =
+            Linear::new(&mut store, "input_proj", cfg.in_features, cfg.channels, true, rng);
         let windows = cfg.t_in - 2;
         let modules = (0..windows)
             .map(|w| {
@@ -143,7 +144,9 @@ impl Stsgcn {
             })
             .collect();
         let heads = (0..cfg.t_out)
-            .map(|h| Linear::new(&mut store, &format!("head{h}"), windows * cfg.channels, 1, true, rng))
+            .map(|h| {
+                Linear::new(&mut store, &format!("head{h}"), windows * cfg.channels, 1, true, rng)
+            })
             .collect();
         Stsgcn { store, input_proj, modules, heads, cfg }
     }
@@ -162,18 +165,13 @@ impl TrafficModel for Stsgcn {
         &self.store
     }
 
-    fn forward<'t>(
-        &self,
-        tape: &'t Tape,
-        x: Var<'t>,
-        train: Option<&mut TrainCtx<'_>>,
-    ) -> Var<'t> {
+    fn forward<'t>(&self, tape: &'t Tape, x: Var<'t>, train: Option<&mut TrainCtx<'_>>) -> Var<'t> {
         let _ = train;
         let shape = x.shape();
         let (b, t, n) = (shape[0], shape[1], shape[2]);
         assert_eq!(t, self.cfg.t_in);
         let h = self.input_proj.forward(tape, x).relu(); // [B, T, N, C]
-        // Each window w joins slices (w, w+1, w+2) into a 3N graph.
+                                                         // Each window w joins slices (w, w+1, w+2) into a 3N graph.
         let mut window_outs = Vec::with_capacity(self.modules.len());
         for (w, module) in self.modules.iter().enumerate() {
             let s0 = h.narrow(1, w, 1).reshape(&[b, n, self.cfg.channels]);

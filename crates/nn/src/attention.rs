@@ -64,9 +64,8 @@ impl MultiHeadAttention {
         let lk = ks[1];
         let dh = self.d_model / self.heads;
         // Project, split into heads: [B, L, D] -> [B, L, H, dh] -> [B, H, L, dh]
-        let split = |x: Var<'t>, l: usize| {
-            x.reshape(&[b, l, self.heads, dh]).permute(&[0, 2, 1, 3])
-        };
+        let split =
+            |x: Var<'t>, l: usize| x.reshape(&[b, l, self.heads, dh]).permute(&[0, 2, 1, 3]);
         let q = split(self.wq.forward(tape, query), lq);
         let k = split(self.wk.forward(tape, context), lk);
         let v = split(self.wv.forward(tape, context), lk);

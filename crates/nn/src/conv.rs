@@ -154,7 +154,15 @@ mod tests {
     fn valid_shrinks_time() {
         let mut store = ParamStore::new();
         let conv = Conv2d::new(
-            &mut store, "c", 2, 4, (1, 3), (1, 1), TemporalPadding::Valid, true, &mut rng(),
+            &mut store,
+            "c",
+            2,
+            4,
+            (1, 3),
+            (1, 1),
+            TemporalPadding::Valid,
+            true,
+            &mut rng(),
         );
         let tape = Tape::new();
         let x = tape.constant(Tensor::ones(&[2, 2, 5, 12]));
@@ -166,7 +174,15 @@ mod tests {
     fn causal_preserves_time_and_causality() {
         let mut store = ParamStore::new();
         let conv = Conv2d::new(
-            &mut store, "c", 1, 1, (1, 2), (1, 2), TemporalPadding::Causal, false, &mut rng(),
+            &mut store,
+            "c",
+            1,
+            1,
+            (1, 2),
+            (1, 2),
+            TemporalPadding::Causal,
+            false,
+            &mut rng(),
         );
         let tape = Tape::new();
         // impulse at t = 5
@@ -185,7 +201,15 @@ mod tests {
     fn same_keeps_length() {
         let mut store = ParamStore::new();
         let conv = Conv2d::new(
-            &mut store, "c", 1, 3, (1, 3), (1, 1), TemporalPadding::Same, true, &mut rng(),
+            &mut store,
+            "c",
+            1,
+            3,
+            (1, 3),
+            (1, 1),
+            TemporalPadding::Same,
+            true,
+            &mut rng(),
         );
         let tape = Tape::new();
         let x = tape.constant(Tensor::ones(&[1, 1, 4, 7]));
@@ -196,7 +220,14 @@ mod tests {
     fn gated_conv_bounded_output() {
         let mut store = ParamStore::new();
         let g = GatedTemporalConv::new(
-            &mut store, "g", 2, 3, 2, 1, TemporalPadding::Causal, &mut rng(),
+            &mut store,
+            "g",
+            2,
+            3,
+            2,
+            1,
+            TemporalPadding::Causal,
+            &mut rng(),
         );
         let tape = Tape::new();
         let x = tape.constant(Tensor::ones(&[1, 2, 3, 6]));
@@ -210,7 +241,15 @@ mod tests {
     fn grads_reach_conv_weights() {
         let mut store = ParamStore::new();
         let conv = Conv2d::new(
-            &mut store, "c", 2, 2, (1, 2), (1, 1), TemporalPadding::Causal, true, &mut rng(),
+            &mut store,
+            "c",
+            2,
+            2,
+            (1, 2),
+            (1, 1),
+            TemporalPadding::Causal,
+            true,
+            &mut rng(),
         );
         let tape = Tape::new();
         let x = tape.constant(Tensor::ones(&[1, 2, 2, 4]));

@@ -39,10 +39,8 @@ impl ChebConv {
         assert!(order >= 1, "Chebyshev order must be >= 1");
         assert_eq!(laplacian.rank(), 2, "laplacian must be [N, N]");
         assert_eq!(laplacian.shape()[0], laplacian.shape()[1]);
-        let weights = store.add(
-            format!("{prefix}.weights"),
-            init::xavier_uniform(&[order, f_in, f_out], rng),
-        );
+        let weights = store
+            .add(format!("{prefix}.weights"), init::xavier_uniform(&[order, f_in, f_out], rng));
         let bias = store.add(format!("{prefix}.bias"), Tensor::zeros(&[f_out]));
         ChebConv { weights, bias, laplacian, order }
     }
@@ -101,8 +99,8 @@ impl DiffusionConv {
         assert!(total > 0, "diffusion conv needs at least one support");
         // k = 0 term (identity) is shared once, then K terms per support.
         let slots = 1 + total * steps;
-        let weights =
-            store.add(format!("{prefix}.weights"), init::xavier_uniform(&[slots, f_in, f_out], rng));
+        let weights = store
+            .add(format!("{prefix}.weights"), init::xavier_uniform(&[slots, f_in, f_out], rng));
         let bias = store.add(format!("{prefix}.bias"), Tensor::zeros(&[f_out]));
         DiffusionConv { weights, bias, supports, steps, extra_supports }
     }
@@ -128,8 +126,7 @@ impl DiffusionConv {
         // k = 0: identity.
         let mut out = x.matmul(&wk(0));
         let mut slot = 1;
-        let fixed: Vec<Var<'t>> =
-            self.supports.iter().map(|s| tape.constant(s.clone())).collect();
+        let fixed: Vec<Var<'t>> = self.supports.iter().map(|s| tape.constant(s.clone())).collect();
         for p in fixed.iter().chain(adaptive.iter()) {
             let mut xk = x;
             for _ in 0..self.steps {
@@ -178,10 +175,10 @@ impl DenseGraphConv {
 /// Dense formulation: attention scores are computed for every node pair and
 /// masked to the graph's edges (+self-loops) before the softmax.
 pub struct GraphAttention {
-    w: Param,       // [H, F_in, F_head]
-    a_src: Param,   // [H, F_head]
-    a_dst: Param,   // [H, F_head]
-    mask: Tensor,   // [N, N]: 0 on edges, -1e9 elsewhere
+    w: Param,     // [H, F_in, F_head]
+    a_src: Param, // [H, F_head]
+    a_dst: Param, // [H, F_head]
+    mask: Tensor, // [N, N]: 0 on edges, -1e9 elsewhere
     heads: usize,
     f_head: usize,
 }
@@ -216,8 +213,10 @@ impl GraphAttention {
         }
         GraphAttention {
             w: store.add(format!("{prefix}.w"), init::xavier_uniform(&[heads, f_in, f_head], rng)),
-            a_src: store.add(format!("{prefix}.a_src"), init::xavier_uniform(&[heads, f_head], rng)),
-            a_dst: store.add(format!("{prefix}.a_dst"), init::xavier_uniform(&[heads, f_head], rng)),
+            a_src: store
+                .add(format!("{prefix}.a_src"), init::xavier_uniform(&[heads, f_head], rng)),
+            a_dst: store
+                .add(format!("{prefix}.a_dst"), init::xavier_uniform(&[heads, f_head], rng)),
             mask,
             heads,
             f_head,
@@ -238,7 +237,7 @@ impl GraphAttention {
             let hx = x.matmul(&wh); // [B, N, Fh]
             let s = hx.matmul(&asrc.narrow(0, h, 1).reshape(&[self.f_head, 1])); // [B, N, 1]
             let d = hx.matmul(&adst.narrow(0, h, 1).reshape(&[self.f_head, 1])); // [B, N, 1]
-            // scores[i][j] = s_i + d_j
+                                                                                 // scores[i][j] = s_i + d_j
             let scores = s.add(&d.reshape(&[b, 1, n])).leaky_relu(0.2);
             let masked = scores.add_const(&self.mask.reshape(&[1, n, n]));
             let alpha = masked.softmax(2);
@@ -261,10 +260,7 @@ mod tests {
 
     /// Path graph 0-1-2 rescaled Laplacian substitute for tests.
     fn toy_lap() -> Tensor {
-        Tensor::from_vec(
-            vec![0.5, -0.5, 0.0, -0.5, 1.0, -0.5, 0.0, -0.5, 0.5],
-            &[3, 3],
-        )
+        Tensor::from_vec(vec![0.5, -0.5, 0.0, -0.5, 1.0, -0.5, 0.0, -0.5, 0.5], &[3, 3])
     }
 
     fn row_norm_adj() -> Tensor {
@@ -366,7 +362,8 @@ mod tests {
         let adj = Tensor::ones(&[3, 3]);
         let gat = GraphAttention::new(&mut store, "gat", &adj, 1, 2, 2, &mut rng());
         let tape = Tape::new();
-        let x = tape.constant(Tensor::from_vec((0..6).map(|i| i as f32 / 6.0).collect(), &[1, 3, 2]));
+        let x =
+            tape.constant(Tensor::from_vec((0..6).map(|i| i as f32 / 6.0).collect(), &[1, 3, 2]));
         let grads = tape.backward(gat.forward(&tape, x).powf(2.0).sum_all());
         store.capture_grads(&tape, &grads);
         assert!(store.params().iter().all(|p| p.grad().is_some()));

@@ -22,10 +22,10 @@ pub mod optim;
 pub mod param;
 pub mod rnn;
 
-pub use checkpoint::{load_weights, save_weights, CheckpointError};
 pub use attention::{scaled_dot_attention, MultiHeadAttention};
-pub use embedding::Embedding;
+pub use checkpoint::{load_weights, save_weights, CheckpointError};
 pub use conv::{Conv2d, GatedTemporalConv, TemporalPadding};
+pub use embedding::Embedding;
 pub use graphconv::{ChebConv, DenseGraphConv, DiffusionConv, GraphAttention};
 pub use linear::Linear;
 pub use norm::{BatchNorm2d, LayerNorm};

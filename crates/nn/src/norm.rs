@@ -104,7 +104,8 @@ mod tests {
         let mut store = ParamStore::new();
         let ln = LayerNorm::new(&mut store, "ln", 4);
         let tape = Tape::new();
-        let x = tape.constant(Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 10.0, 0.0, -10.0, 4.0], &[2, 4]));
+        let x = tape
+            .constant(Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 10.0, 0.0, -10.0, 4.0], &[2, 4]));
         let y = ln.forward(&tape, x).value();
         for r in 0..2 {
             let row: Vec<f32> = (0..4).map(|c| y.at(&[r, c])).collect();
@@ -131,10 +132,7 @@ mod tests {
         let mut store = ParamStore::new();
         let bn = BatchNorm2d::new(&mut store, "bn", 2);
         let tape = Tape::new();
-        let x = tape.constant(Tensor::from_vec(
-            (0..16).map(|i| i as f32).collect(),
-            &[2, 2, 2, 2],
-        ));
+        let x = tape.constant(Tensor::from_vec((0..16).map(|i| i as f32).collect(), &[2, 2, 2, 2]));
         let y = bn.forward(&tape, x, true).value();
         // per-channel mean ≈ 0
         let ym = y.mean_axes(&[0, 2, 3], false);

@@ -117,10 +117,7 @@ impl ParamStore {
     /// Registers a parameter. Names must be unique; a duplicate panics.
     pub fn add(&mut self, name: impl Into<String>, value: Tensor) -> Param {
         let name = name.into();
-        assert!(
-            self.params.iter().all(|p| p.name != name),
-            "duplicate parameter name: {name}"
-        );
+        assert!(self.params.iter().all(|p| p.name != name), "duplicate parameter name: {name}");
         let p = Parameter::new(name, value);
         self.params.push(Rc::clone(&p));
         p
@@ -172,7 +169,8 @@ impl ParamStore {
     }
 
     /// Scales all gradients so the global norm is at most `max_norm`.
-    pub fn clip_grad_norm(&self, max_norm: f32) {
+    /// Returns the pre-clip norm (useful for gradient telemetry).
+    pub fn clip_grad_norm(&self, max_norm: f32) -> f32 {
         let norm = self.grad_norm();
         if norm > max_norm && norm > 0.0 {
             let scale = max_norm / norm;
@@ -181,6 +179,7 @@ impl ParamStore {
                 *p.grad.borrow_mut() = scaled;
             }
         }
+        norm
     }
 
     /// Copies every parameter value (cheap: buffers are shared until
@@ -199,9 +198,9 @@ impl ParamStore {
 
     /// True if any parameter or stored gradient contains NaN/Inf.
     pub fn has_non_finite(&self) -> bool {
-        self.params.iter().any(|p| {
-            p.value().has_non_finite() || p.grad().is_some_and(|g| g.has_non_finite())
-        })
+        self.params
+            .iter()
+            .any(|p| p.value().has_non_finite() || p.grad().is_some_and(|g| g.has_non_finite()))
     }
 }
 

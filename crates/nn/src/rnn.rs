@@ -25,7 +25,8 @@ impl GruCell {
         hidden: usize,
         rng: &mut impl Rng,
     ) -> Self {
-        let gates = Linear::new(store, &format!("{prefix}.gates"), input + hidden, 2 * hidden, true, rng);
+        let gates =
+            Linear::new(store, &format!("{prefix}.gates"), input + hidden, 2 * hidden, true, rng);
         let candidate =
             Linear::new(store, &format!("{prefix}.candidate"), input + hidden, hidden, true, rng);
         GruCell { gates, candidate, hidden }
@@ -70,7 +71,8 @@ impl LstmCell {
         hidden: usize,
         rng: &mut impl Rng,
     ) -> Self {
-        let gates = Linear::new(store, &format!("{prefix}.gates"), input + hidden, 4 * hidden, true, rng);
+        let gates =
+            Linear::new(store, &format!("{prefix}.gates"), input + hidden, 4 * hidden, true, rng);
         LstmCell { gates, hidden }
     }
 
@@ -86,7 +88,13 @@ impl LstmCell {
     }
 
     /// One step: returns `(h', c')`.
-    pub fn step<'t>(&self, tape: &'t Tape, x: Var<'t>, h: Var<'t>, c: Var<'t>) -> (Var<'t>, Var<'t>) {
+    pub fn step<'t>(
+        &self,
+        tape: &'t Tape,
+        x: Var<'t>,
+        h: Var<'t>,
+        c: Var<'t>,
+    ) -> (Var<'t>, Var<'t>) {
         let xh = Var::concat(&[x, h], 1);
         let pre = self.gates.forward(tape, xh);
         let i = pre.narrow(1, 0, self.hidden).sigmoid();

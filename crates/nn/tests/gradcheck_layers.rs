@@ -109,9 +109,8 @@ fn lstm_cell_gradcheck() {
 fn conv2d_gradcheck() {
     let mut rng = StdRng::seed_from_u64(3);
     let mut store = ParamStore::new();
-    let conv = Conv2d::new(
-        &mut store, "c", 2, 2, (1, 2), (1, 2), TemporalPadding::Causal, true, &mut rng,
-    );
+    let conv =
+        Conv2d::new(&mut store, "c", 2, 2, (1, 2), (1, 2), TemporalPadding::Causal, true, &mut rng);
     let x = init::uniform(&[1, 2, 3, 6], -1.0, 1.0, &mut rng);
     run_once(&store, |tape| conv.forward(tape, tape.constant(x.clone())).powf(2.0).mean_all());
 }
@@ -128,10 +127,7 @@ fn layernorm_gradcheck() {
 #[test]
 fn cheb_conv_gradcheck() {
     let mut rng = StdRng::seed_from_u64(5);
-    let lap = Tensor::from_vec(
-        vec![0.5, -0.5, 0.0, -0.5, 1.0, -0.5, 0.0, -0.5, 0.5],
-        &[3, 3],
-    );
+    let lap = Tensor::from_vec(vec![0.5, -0.5, 0.0, -0.5, 1.0, -0.5, 0.0, -0.5, 0.5], &[3, 3]);
     let mut store = ParamStore::new();
     let conv = ChebConv::new(&mut store, "c", lap, 3, 2, 2, &mut rng);
     let x = init::uniform(&[2, 3, 2], -1.0, 1.0, &mut rng);

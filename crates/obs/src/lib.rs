@@ -1,0 +1,115 @@
+//! # traffic-obs
+//!
+//! Zero-dependency observability layer for the whole train/eval
+//! pipeline: hierarchical **spans** (wall-clock timing with RAII
+//! guards and a thread-safe global registry), **metrics** (counters,
+//! gauges, fixed-bucket histograms with quantile readout), and
+//! **sinks** (a human console sink with live loss sparklines, and a
+//! JSONL event sink writing per-run manifests under
+//! `reports/runs/<name>.jsonl`).
+//!
+//! Design rules:
+//!
+//! - **Spans always time.** Table III rows are sourced from span
+//!   durations, so `span!(..)` measures and registers even when no
+//!   sink is installed. Registration is a bounded ring buffer — the
+//!   registry can never grow without bound.
+//! - **Events are free when disabled.** [`emit_with`] does not even
+//!   build the [`Event`] unless a sink is listening, so an
+//!   uninstrumented-looking run stays within noise of the
+//!   pre-telemetry baseline.
+//! - **Metrics are atomics.** Counter/gauge/histogram updates are
+//!   lock-free after the first name lookup; hot loops hold a
+//!   `&'static` handle.
+//!
+//! ```
+//! use traffic_obs as obs;
+//! use traffic_obs::span;
+//!
+//! let marker = obs::span_marker();
+//! {
+//!     let _epoch = span!("train/epoch", epoch = 0);
+//!     obs::histogram("train/batch_s").record(0.012);
+//! }
+//! let spans = obs::spans_since(marker);
+//! assert_eq!(spans[0].name, "train/epoch");
+//! ```
+
+pub mod event;
+pub mod json;
+pub mod metrics;
+pub mod run;
+pub mod sink;
+pub mod span;
+
+pub use event::{Event, IntoValue, Value};
+pub use metrics::{
+    counter, gauge, histogram, metrics_snapshot, reset_metrics, Counter, Gauge, Histogram,
+};
+pub use run::{Run, RunBuilder};
+pub use sink::{add_sink, clear_sinks, enabled, remove_sink, ConsoleSink, JsonlSink, Sink};
+pub use span::{
+    current_thread_id, span_marker, span_stats, span_stats_local, spans_since, SpanGuard,
+    SpanRecord, SpanStats,
+};
+
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// Emits an event to every installed sink (no-op when none installed).
+pub fn emit(event: &Event) {
+    sink::dispatch(event);
+}
+
+/// Builds and emits an event only when a sink is listening — use on hot
+/// paths so disabled telemetry costs one atomic load.
+pub fn emit_with(f: impl FnOnce() -> Event) {
+    if enabled() {
+        sink::dispatch(&f());
+    }
+}
+
+/// Milliseconds since the process-wide telemetry clock started.
+pub fn elapsed_ms() -> f64 {
+    static START: OnceLock<Instant> = OnceLock::new();
+    START.get_or_init(Instant::now).elapsed().as_secs_f64() * 1e3
+}
+
+/// A crude unicode sparkline for terminal figures and live loss curves.
+pub fn sparkline(values: &[f32]) -> String {
+    const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    if values.is_empty() {
+        return String::new();
+    }
+    let lo = values.iter().copied().fold(f32::INFINITY, f32::min);
+    let hi = values.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let range = (hi - lo).max(1e-9);
+    values
+        .iter()
+        .map(|v| {
+            let idx = (((v - lo) / range) * 7.0).round() as usize;
+            BARS[idx.min(7)]
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sparkline_shapes() {
+        assert_eq!(sparkline(&[]), "");
+        let s = sparkline(&[0.0, 1.0, 2.0, 3.0]);
+        assert_eq!(s.chars().count(), 4);
+        assert!(s.starts_with('▁') && s.ends_with('█'));
+        assert!(sparkline(&[5.0, 5.0]).chars().all(|c| c == '▁'));
+    }
+
+    #[test]
+    fn elapsed_is_monotone() {
+        let a = elapsed_ms();
+        let b = elapsed_ms();
+        assert!(b >= a);
+    }
+}

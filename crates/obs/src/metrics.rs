@@ -1,0 +1,422 @@
+//! Lock-free metric primitives: counters, gauges, and fixed-bucket
+//! log-scale histograms with quantile readout.
+//!
+//! Metrics are interned in a global registry by name; [`counter`],
+//! [`gauge`], and [`histogram`] hand back `&'static` references, so hot
+//! loops look a name up once and then update via bare atomics.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::event::Event;
+
+/// Monotone event count.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current count.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// Resets to zero.
+    pub fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Last-write-wins scalar.
+#[derive(Debug)]
+pub struct Gauge {
+    bits: AtomicU64,
+}
+
+impl Default for Gauge {
+    fn default() -> Self {
+        Gauge { bits: AtomicU64::new(0f64.to_bits()) }
+    }
+}
+
+impl Gauge {
+    /// Stores a value.
+    pub fn set(&self, v: f64) {
+        self.bits.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Loads the last stored value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+
+    /// Resets to zero.
+    pub fn reset(&self) {
+        self.set(0.0);
+    }
+}
+
+/// Log-scale bucket layout: `BUCKETS_PER_DECADE` buckets per decade
+/// over `[10^MIN_EXP, 10^MAX_EXP)`, so neighbouring bucket edges differ
+/// by a factor of `10^(1/40) ≈ 1.059` — quantiles read back within
+/// ~6% relative error anywhere in the covered 18 decades.
+const BUCKETS_PER_DECADE: usize = 40;
+const MIN_EXP: i32 = -9;
+const MAX_EXP: i32 = 9;
+const N_BUCKETS: usize = ((MAX_EXP - MIN_EXP) as usize) * BUCKETS_PER_DECADE;
+
+/// Fixed-bucket histogram of positive samples (counts, latencies,
+/// losses, throughput). Zero/negative samples land in an underflow
+/// bucket; samples past `10^9` in an overflow bucket.
+pub struct Histogram {
+    buckets: Box<[AtomicU64]>, // [underflow, N_BUCKETS.., overflow]
+    count: AtomicU64,
+    sum_bits: AtomicU64, // f64 accumulated via CAS
+    min_bits: AtomicU64,
+    max_bits: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        let buckets: Vec<AtomicU64> = (0..N_BUCKETS + 2).map(|_| AtomicU64::new(0)).collect();
+        Histogram {
+            buckets: buckets.into_boxed_slice(),
+            count: AtomicU64::new(0),
+            sum_bits: AtomicU64::new(0f64.to_bits()),
+            min_bits: AtomicU64::new(f64::INFINITY.to_bits()),
+            max_bits: AtomicU64::new(f64::NEG_INFINITY.to_bits()),
+        }
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Histogram")
+            .field("count", &self.count())
+            .field("mean", &self.mean())
+            .finish()
+    }
+}
+
+fn bucket_index(v: f64) -> usize {
+    if v <= 0.0 || v.is_nan() || !v.is_finite() {
+        return 0; // underflow (also NaN / non-positive)
+    }
+    let pos = (v.log10() - MIN_EXP as f64) * BUCKETS_PER_DECADE as f64;
+    if pos < 0.0 {
+        0
+    } else if pos >= N_BUCKETS as f64 {
+        N_BUCKETS + 1
+    } else {
+        pos as usize + 1
+    }
+}
+
+fn bucket_bounds(idx: usize) -> (f64, f64) {
+    // idx is 1-based within the log range
+    let exp_lo = MIN_EXP as f64 + (idx - 1) as f64 / BUCKETS_PER_DECADE as f64;
+    let exp_hi = MIN_EXP as f64 + idx as f64 / BUCKETS_PER_DECADE as f64;
+    (10f64.powf(exp_lo), 10f64.powf(exp_hi))
+}
+
+impl Histogram {
+    /// Records one sample.
+    pub fn record(&self, v: f64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        if v.is_finite() {
+            let mut cur = self.sum_bits.load(Ordering::Relaxed);
+            loop {
+                let next = (f64::from_bits(cur) + v).to_bits();
+                match self.sum_bits.compare_exchange_weak(
+                    cur,
+                    next,
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => break,
+                    Err(actual) => cur = actual,
+                }
+            }
+            update_extreme(&self.min_bits, v, |new, old| new < old);
+            update_extreme(&self.max_bits, v, |new, old| new > old);
+        }
+    }
+
+    /// Records a [`std::time::Duration`] in seconds.
+    pub fn record_duration(&self, d: std::time::Duration) {
+        self.record(d.as_secs_f64());
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Arithmetic mean of finite samples (NaN when empty).
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            f64::NAN
+        } else {
+            f64::from_bits(self.sum_bits.load(Ordering::Relaxed)) / n as f64
+        }
+    }
+
+    /// Smallest finite sample (NaN when empty).
+    pub fn min(&self) -> f64 {
+        let v = f64::from_bits(self.min_bits.load(Ordering::Relaxed));
+        if v.is_finite() {
+            v
+        } else {
+            f64::NAN
+        }
+    }
+
+    /// Largest finite sample (NaN when empty).
+    pub fn max(&self) -> f64 {
+        let v = f64::from_bits(self.max_bits.load(Ordering::Relaxed));
+        if v.is_finite() {
+            v
+        } else {
+            f64::NAN
+        }
+    }
+
+    /// Approximate quantile `q ∈ [0, 1]` (NaN when empty). Bucketed
+    /// estimate: the geometric midpoint of the bucket containing the
+    /// rank, clamped to the observed min/max.
+    pub fn quantile(&self, q: f64) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            return f64::NAN;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * n as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (idx, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= rank {
+                let est = if idx == 0 {
+                    self.min()
+                } else if idx == N_BUCKETS + 1 {
+                    self.max()
+                } else {
+                    let (lo, hi) = bucket_bounds(idx);
+                    (lo * hi).sqrt()
+                };
+                let (lo, hi) = (self.min(), self.max());
+                return if lo.is_finite() { est.clamp(lo, hi) } else { est };
+            }
+        }
+        self.max()
+    }
+
+    /// Resets all state.
+    pub fn reset(&self) {
+        for b in self.buckets.iter() {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum_bits.store(0f64.to_bits(), Ordering::Relaxed);
+        self.min_bits.store(f64::INFINITY.to_bits(), Ordering::Relaxed);
+        self.max_bits.store(f64::NEG_INFINITY.to_bits(), Ordering::Relaxed);
+    }
+}
+
+fn update_extreme(bits: &AtomicU64, v: f64, better: impl Fn(f64, f64) -> bool) {
+    let mut cur = bits.load(Ordering::Relaxed);
+    while better(v, f64::from_bits(cur)) {
+        match bits.compare_exchange_weak(cur, v.to_bits(), Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => break,
+            Err(actual) => cur = actual,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------
+
+#[derive(Default)]
+struct Registry {
+    counters: HashMap<String, &'static Counter>,
+    gauges: HashMap<String, &'static Gauge>,
+    histograms: HashMap<String, &'static Histogram>,
+}
+
+static REGISTRY: Mutex<Option<Registry>> = Mutex::new(None);
+
+fn with_registry<R>(f: impl FnOnce(&mut Registry) -> R) -> R {
+    let mut guard = REGISTRY.lock().expect("metrics registry poisoned");
+    f(guard.get_or_insert_with(Registry::default))
+}
+
+/// Interns (or fetches) the counter of this name.
+pub fn counter(name: &str) -> &'static Counter {
+    with_registry(|r| {
+        *r.counters
+            .entry(name.to_string())
+            .or_insert_with(|| Box::leak(Box::new(Counter::default())))
+    })
+}
+
+/// Interns (or fetches) the gauge of this name.
+pub fn gauge(name: &str) -> &'static Gauge {
+    with_registry(|r| {
+        *r.gauges.entry(name.to_string()).or_insert_with(|| Box::leak(Box::new(Gauge::default())))
+    })
+}
+
+/// Interns (or fetches) the histogram of this name.
+pub fn histogram(name: &str) -> &'static Histogram {
+    with_registry(|r| {
+        *r.histograms
+            .entry(name.to_string())
+            .or_insert_with(|| Box::leak(Box::new(Histogram::default())))
+    })
+}
+
+/// Resets every registered metric to its empty state (run isolation;
+/// tests). Handles stay valid — they point at the same interned slots.
+pub fn reset_metrics() {
+    with_registry(|r| {
+        for c in r.counters.values() {
+            c.reset();
+        }
+        for g in r.gauges.values() {
+            g.reset();
+        }
+        for h in r.histograms.values() {
+            h.reset();
+        }
+    })
+}
+
+/// Snapshot of every registered metric as `metric` events, sorted by
+/// name (what the run manifest's summary section is built from).
+pub fn metrics_snapshot() -> Vec<Event> {
+    with_registry(|r| {
+        let mut out = Vec::new();
+        let mut counters: Vec<_> = r.counters.iter().collect();
+        counters.sort_by(|a, b| a.0.cmp(b.0));
+        for (name, c) in counters {
+            out.push(
+                Event::new("metric")
+                    .with("metric", name.as_str())
+                    .with("kind", "counter")
+                    .with("value", c.get()),
+            );
+        }
+        let mut gauges: Vec<_> = r.gauges.iter().collect();
+        gauges.sort_by(|a, b| a.0.cmp(b.0));
+        for (name, g) in gauges {
+            out.push(
+                Event::new("metric")
+                    .with("metric", name.as_str())
+                    .with("kind", "gauge")
+                    .with("value", g.get()),
+            );
+        }
+        let mut histograms: Vec<_> = r.histograms.iter().collect();
+        histograms.sort_by(|a, b| a.0.cmp(b.0));
+        for (name, h) in histograms {
+            out.push(
+                Event::new("metric")
+                    .with("metric", name.as_str())
+                    .with("kind", "histogram")
+                    .with("count", h.count())
+                    .with("mean", h.mean())
+                    .with("min", h.min())
+                    .with("max", h.max())
+                    .with("p50", h.quantile(0.50))
+                    .with("p90", h.quantile(0.90))
+                    .with("p99", h.quantile(0.99)),
+            );
+        }
+        out
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_basics() {
+        let c = Counter::default();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        c.reset();
+        assert_eq!(c.get(), 0);
+    }
+
+    #[test]
+    fn gauge_basics() {
+        let g = Gauge::default();
+        assert_eq!(g.get(), 0.0);
+        g.set(-2.5);
+        assert_eq!(g.get(), -2.5);
+    }
+
+    #[test]
+    fn histogram_uniform_quantiles() {
+        let h = Histogram::default();
+        for i in 1..=10_000u32 {
+            h.record(i as f64);
+        }
+        assert_eq!(h.count(), 10_000);
+        assert!((h.mean() - 5000.5).abs() < 1.0);
+        assert_eq!(h.min(), 1.0);
+        assert_eq!(h.max(), 10_000.0);
+        for (q, expect) in [(0.5, 5000.0), (0.9, 9000.0), (0.99, 9900.0)] {
+            let got = h.quantile(q);
+            let rel = (got - expect).abs() / expect;
+            assert!(rel < 0.10, "p{q}: got {got}, want ~{expect} (rel {rel:.3})");
+        }
+    }
+
+    #[test]
+    fn histogram_small_values() {
+        let h = Histogram::default();
+        for _ in 0..100 {
+            h.record(1e-3);
+        }
+        let p50 = h.quantile(0.5);
+        assert!((p50 - 1e-3).abs() / 1e-3 < 0.10, "p50 {p50}");
+    }
+
+    #[test]
+    fn histogram_handles_edge_samples() {
+        let h = Histogram::default();
+        h.record(0.0);
+        h.record(-5.0);
+        h.record(f64::NAN);
+        h.record(2.0);
+        assert_eq!(h.count(), 4);
+        // min/max only track finite samples
+        assert_eq!(h.max(), 2.0);
+        assert_eq!(h.min(), -5.0);
+    }
+
+    #[test]
+    fn registry_interns() {
+        let a = counter("test/interned");
+        let b = counter("test/interned");
+        assert!(std::ptr::eq(a, b));
+        a.inc();
+        assert_eq!(b.get(), 1);
+    }
+}

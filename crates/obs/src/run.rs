@@ -1,0 +1,131 @@
+//! Run lifecycle: installs sinks, brackets the run with
+//! `run_start`/`run_end` events, and appends a metrics summary to the
+//! manifest when the run ends.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Instant;
+
+use crate::event::Event;
+use crate::sink::{add_sink, remove_sink, ConsoleSink, JsonlSink, Sink};
+
+/// Builder for [`Run`].
+pub struct RunBuilder {
+    name: String,
+    console: bool,
+    jsonl_dir: Option<PathBuf>,
+    reset_metrics: bool,
+}
+
+impl RunBuilder {
+    /// Attaches a [`ConsoleSink`] (live epoch lines + sparkline).
+    pub fn console(mut self, on: bool) -> Self {
+        self.console = on;
+        self
+    }
+
+    /// Attaches a [`JsonlSink`] writing `<dir>/<name>.jsonl`.
+    pub fn jsonl(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.jsonl_dir = Some(dir.into());
+        self
+    }
+
+    /// Whether global metrics reset when the run starts (default true,
+    /// so each manifest's summary covers only its own run).
+    pub fn reset_metrics(mut self, on: bool) -> Self {
+        self.reset_metrics = on;
+        self
+    }
+
+    /// Installs the sinks and starts the run.
+    pub fn start(self) -> std::io::Result<Run> {
+        let mut sinks: Vec<Arc<dyn Sink>> = Vec::new();
+        let mut manifest_path = None;
+        if self.console {
+            sinks.push(Arc::new(ConsoleSink::new()));
+        }
+        if let Some(dir) = &self.jsonl_dir {
+            let jsonl = JsonlSink::create(dir, &self.name)?;
+            manifest_path = Some(jsonl.path().to_path_buf());
+            sinks.push(Arc::new(jsonl));
+        }
+        if self.reset_metrics {
+            crate::metrics::reset_metrics();
+        }
+        for s in &sinks {
+            add_sink(Arc::clone(s));
+        }
+        let run =
+            Run { name: self.name, sinks, manifest_path, started: Instant::now(), ended: false };
+        crate::emit(&Event::new("run_start").with("run", run.name.as_str()));
+        Ok(run)
+    }
+}
+
+/// An active telemetry run (RAII: ending/shutdown happens on drop).
+///
+/// ```no_run
+/// let run = traffic_obs::Run::named("demo")
+///     .console(true)
+///     .jsonl("reports/runs")
+///     .start()?;
+/// // ... train, emit events ...
+/// drop(run); // writes summary + run_end, detaches sinks
+/// # std::io::Result::Ok(())
+/// ```
+pub struct Run {
+    name: String,
+    sinks: Vec<Arc<dyn Sink>>,
+    manifest_path: Option<PathBuf>,
+    started: Instant,
+    ended: bool,
+}
+
+impl Run {
+    /// Starts building a run with the given manifest name.
+    pub fn named(name: &str) -> RunBuilder {
+        RunBuilder { name: name.to_string(), console: false, jsonl_dir: None, reset_metrics: true }
+    }
+
+    /// Run name (manifest file stem).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Path of the JSONL manifest, when one was requested.
+    pub fn manifest_path(&self) -> Option<&std::path::Path> {
+        self.manifest_path.as_deref()
+    }
+
+    /// Ends the run explicitly (otherwise happens on drop).
+    pub fn finish(mut self) {
+        self.end();
+    }
+
+    fn end(&mut self) {
+        if self.ended {
+            return;
+        }
+        self.ended = true;
+        // summary: every registered metric, then the run_end banner
+        for ev in crate::metrics::metrics_snapshot() {
+            crate::emit(&ev.with("run", self.name.as_str()));
+        }
+        crate::emit(
+            &Event::new("run_end")
+                .with("run", self.name.as_str())
+                .with("wall_s", self.started.elapsed().as_secs_f64()),
+        );
+        crate::sink::flush_all();
+        for s in &self.sinks {
+            remove_sink(s);
+        }
+        self.sinks.clear();
+    }
+}
+
+impl Drop for Run {
+    fn drop(&mut self) {
+        self.end();
+    }
+}

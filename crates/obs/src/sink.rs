@@ -1,0 +1,214 @@
+//! Event sinks and the global dispatch table.
+//!
+//! Sinks receive every emitted [`Event`]. The dispatch fast path is a
+//! single relaxed atomic load, so with no sink installed the
+//! instrumented pipeline runs at baseline speed.
+
+use std::collections::HashMap;
+use std::fs;
+use std::io::{BufWriter, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+
+use crate::event::{Event, Value};
+
+/// Receives emitted events. Implementations must be cheap and
+/// non-panicking: they run inline on the training thread.
+pub trait Sink: Send + Sync {
+    /// Called for every emitted event.
+    fn on_event(&self, event: &Event);
+
+    /// Flushes buffered output.
+    fn flush(&self) {}
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static SINKS: RwLock<Vec<Arc<dyn Sink>>> = RwLock::new(Vec::new());
+
+/// True when at least one sink is installed.
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Installs a sink; events flow to it until [`remove_sink`] /
+/// [`clear_sinks`].
+pub fn add_sink(sink: Arc<dyn Sink>) {
+    let mut sinks = SINKS.write().expect("sink table poisoned");
+    sinks.push(sink);
+    ENABLED.store(true, Ordering::Relaxed);
+}
+
+/// Removes a specific sink (by identity).
+pub fn remove_sink(sink: &Arc<dyn Sink>) {
+    let mut sinks = SINKS.write().expect("sink table poisoned");
+    sinks.retain(|s| !Arc::ptr_eq(s, sink));
+    ENABLED.store(!sinks.is_empty(), Ordering::Relaxed);
+}
+
+/// Removes every sink.
+pub fn clear_sinks() {
+    let mut sinks = SINKS.write().expect("sink table poisoned");
+    sinks.clear();
+    ENABLED.store(false, Ordering::Relaxed);
+}
+
+pub(crate) fn dispatch(event: &Event) {
+    if !enabled() {
+        return;
+    }
+    let sinks = SINKS.read().expect("sink table poisoned");
+    for s in sinks.iter() {
+        s.on_event(event);
+    }
+}
+
+pub(crate) fn flush_all() {
+    let sinks = SINKS.read().expect("sink table poisoned");
+    for s in sinks.iter() {
+        s.flush();
+    }
+}
+
+// ---------------------------------------------------------------------
+// Console sink
+// ---------------------------------------------------------------------
+
+/// Human-oriented sink: prints one line per epoch with a live loss
+/// sparkline, plus run banners. Span and metric events are skipped
+/// (they belong in the JSONL manifest).
+#[derive(Default)]
+pub struct ConsoleSink {
+    loss_curves: Mutex<HashMap<String, Vec<f32>>>,
+}
+
+impl ConsoleSink {
+    /// New console sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+fn field_f64(e: &Event, key: &str) -> Option<f64> {
+    match e.get(key) {
+        Some(Value::F64(x)) => Some(*x),
+        Some(Value::I64(x)) => Some(*x as f64),
+        Some(Value::U64(x)) => Some(*x as f64),
+        _ => None,
+    }
+}
+
+fn field_str<'e>(e: &'e Event, key: &str) -> Option<&'e str> {
+    match e.get(key) {
+        Some(Value::Str(s)) => Some(s.as_str()),
+        _ => None,
+    }
+}
+
+impl Sink for ConsoleSink {
+    fn on_event(&self, event: &Event) {
+        match event.kind.as_str() {
+            "run_start" => {
+                let name = field_str(event, "run").unwrap_or("?");
+                println!("[obs] run '{name}' started");
+            }
+            "run_end" => {
+                let name = field_str(event, "run").unwrap_or("?");
+                let wall = field_f64(event, "wall_s").unwrap_or(f64::NAN);
+                println!("[obs] run '{name}' finished in {wall:.2}s");
+            }
+            "epoch" => {
+                let model = field_str(event, "model").unwrap_or("?").to_string();
+                let epoch = field_f64(event, "epoch").unwrap_or(-1.0) as i64;
+                let loss = field_f64(event, "loss").unwrap_or(f64::NAN);
+                let spark = {
+                    let mut curves = self.loss_curves.lock().expect("console sink poisoned");
+                    let curve = curves.entry(model.clone()).or_default();
+                    curve.push(loss as f32);
+                    crate::sparkline(curve)
+                };
+                let mut line = format!("[obs] {model} epoch {epoch} loss {loss:.4}");
+                if let Some(vl) = field_f64(event, "val_loss") {
+                    line.push_str(&format!(" val {vl:.4}"));
+                }
+                if let Some(t) = field_f64(event, "epoch_s") {
+                    line.push_str(&format!(" ({t:.2}s"));
+                    if let Some(sps) = field_f64(event, "samples_per_sec") {
+                        line.push_str(&format!(", {sps:.0} samples/s"));
+                    }
+                    line.push(')');
+                }
+                println!("{line}  {spark}");
+            }
+            _ => {}
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// JSONL sink
+// ---------------------------------------------------------------------
+
+/// Machine-oriented sink: every event as one JSON line in a per-run
+/// manifest (`<dir>/<run>.jsonl`), suitable for `scripts/plot_results.py`
+/// and BENCH-style trajectories.
+pub struct JsonlSink {
+    path: PathBuf,
+    writer: Mutex<BufWriter<fs::File>>,
+}
+
+impl JsonlSink {
+    /// Creates (truncating) `<dir>/<run>.jsonl`.
+    pub fn create(dir: impl AsRef<Path>, run: &str) -> std::io::Result<Self> {
+        let dir = dir.as_ref();
+        fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{run}.jsonl"));
+        let file = fs::File::create(&path)?;
+        Ok(JsonlSink { path, writer: Mutex::new(BufWriter::new(file)) })
+    }
+
+    /// Where this sink writes.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Sink for JsonlSink {
+    fn on_event(&self, event: &Event) {
+        let mut w = self.writer.lock().expect("jsonl sink poisoned");
+        // I/O errors are swallowed on purpose: telemetry must never
+        // take down a training run.
+        let _ = writeln!(w, "{}", event.to_json());
+    }
+
+    fn flush(&self) {
+        let _ = self.writer.lock().expect("jsonl sink poisoned").flush();
+    }
+}
+
+impl Drop for JsonlSink {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jsonl_sink_writes_lines() {
+        let dir = std::env::temp_dir().join("traffic_obs_sink_test");
+        let sink = JsonlSink::create(&dir, "unit").unwrap();
+        sink.on_event(&Event::new("a").with("x", 1u64));
+        sink.on_event(&Event::new("b").with("y", "z"));
+        sink.flush();
+        let content = fs::read_to_string(sink.path()).unwrap();
+        let lines: Vec<&str> = content.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for line in lines {
+            crate::json::parse(line).unwrap();
+        }
+        fs::remove_dir_all(&dir).ok();
+    }
+}

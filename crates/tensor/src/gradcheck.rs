@@ -148,9 +148,7 @@ mod tests {
     fn check_reductions_and_shapes() {
         let mut r = rng();
         let x = init::uniform(&[2, 3, 4], -1.0, 1.0, &mut r);
-        assert_grad_ok(&[x.clone()], 1e-2, |_t, v| {
-            v[0].sum_axes(&[1], false).powf(2.0).sum_all()
-        });
+        assert_grad_ok(&[x.clone()], 1e-2, |_t, v| v[0].sum_axes(&[1], false).powf(2.0).sum_all());
         assert_grad_ok(&[x.clone()], 1e-2, |_t, v| {
             v[0].mean_axes(&[0, 2], true).powf(2.0).sum_all()
         });
@@ -178,9 +176,7 @@ mod tests {
     fn check_index_select() {
         let mut r = rng();
         let x = init::uniform(&[4, 3], -1.0, 1.0, &mut r);
-        assert_grad_ok(&[x], 1e-2, |_t, v| {
-            v[0].index_select0(&[0, 2, 2]).powf(2.0).sum_all()
-        });
+        assert_grad_ok(&[x], 1e-2, |_t, v| v[0].index_select0(&[0, 2, 2]).powf(2.0).sum_all());
     }
 
     #[test]

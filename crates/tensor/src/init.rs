@@ -9,10 +9,7 @@ use crate::tensor::Tensor;
 /// Uniform on `[lo, hi)`.
 pub fn uniform(shape: &[usize], lo: f32, hi: f32, rng: &mut impl Rng) -> Tensor {
     let dist = Uniform::new(lo, hi);
-    Tensor::from_vec(
-        (0..crate::shape::numel(shape)).map(|_| dist.sample(rng)).collect(),
-        shape,
-    )
+    Tensor::from_vec((0..crate::shape::numel(shape)).map(|_| dist.sample(rng)).collect(), shape)
 }
 
 /// Standard normal scaled by `std`.

@@ -55,7 +55,8 @@ impl Tensor {
         let (m, ka) = (a.shape()[a.rank() - 2], a.shape()[a.rank() - 1]);
         let (kb, n) = (b.shape()[b.rank() - 2], b.shape()[b.rank() - 1]);
         assert_eq!(
-            ka, kb,
+            ka,
+            kb,
             "matmul inner-dimension mismatch: {:?} · {:?}",
             self.shape(),
             other.shape()

@@ -13,12 +13,8 @@ impl Tensor {
             crate::shape::check_axis(a, rank);
             reduce[a] = true;
         }
-        let kept_shape: Vec<usize> = self
-            .shape()
-            .iter()
-            .enumerate()
-            .map(|(i, &d)| if reduce[i] { 1 } else { d })
-            .collect();
+        let kept_shape: Vec<usize> =
+            self.shape().iter().enumerate().map(|(i, &d)| if reduce[i] { 1 } else { d }).collect();
         let mut out = vec![0.0f32; numel(&kept_shape)];
         // Iterate input; accumulate into the output position with reduced
         // axes clamped to zero.

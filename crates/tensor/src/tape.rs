@@ -135,10 +135,7 @@ impl Tape {
 
     /// Runs reverse-mode differentiation from the scalar `loss`.
     pub fn backward(&self, loss: Var<'_>) -> Gradients {
-        assert_eq!(
-            loss.tape.id, self.id,
-            "backward called with a Var from a different tape"
-        );
+        assert_eq!(loss.tape.id, self.id, "backward called with a Var from a different tape");
         let nodes = self.nodes.borrow();
         assert_eq!(
             nodes[loss.id].value.len(),
@@ -227,9 +224,8 @@ impl<'t> Var<'t> {
     pub fn add(&self, other: &Var<'t>) -> Var<'t> {
         let (av, bv) = (self.value(), other.value());
         let (ash, bsh) = (av.shape().to_vec(), bv.shape().to_vec());
-        self.tape.binary(self, other, av.add(&bv), move |g| {
-            (g.unbroadcast(&ash), g.unbroadcast(&bsh))
-        })
+        self.tape
+            .binary(self, other, av.add(&bv), move |g| (g.unbroadcast(&ash), g.unbroadcast(&bsh)))
     }
 
     /// Broadcast subtraction.
@@ -371,10 +367,7 @@ impl<'t> Var<'t> {
     pub fn sum_all(&self) -> Var<'t> {
         let x = self.value();
         let shape = x.shape().to_vec();
-        self.tape
-            .unary(self, Tensor::scalar(x.sum_all()), move |g| {
-                Tensor::full(&shape, g.item())
-            })
+        self.tape.unary(self, Tensor::scalar(x.sum_all()), move |g| Tensor::full(&shape, g.item()))
     }
 
     /// Mean over all elements → scalar.
@@ -395,9 +388,7 @@ impl<'t> Var<'t> {
             }
             s
         };
-        self.tape.unary(self, y, move |g| {
-            g.reshape(&kept).broadcast_to(&in_shape)
-        })
+        self.tape.unary(self, y, move |g| g.reshape(&kept).broadcast_to(&in_shape))
     }
 
     /// Mean over `axes` (keepdim).
@@ -545,11 +536,10 @@ impl<'t> Var<'t> {
         let mut uniform = uniform;
         let scale = 1.0 / (1.0 - p);
         let x = self.value();
-        let mask =
-            Tensor::from_vec(
-                (0..x.len()).map(|_| if uniform() < p { 0.0 } else { scale }).collect(),
-                x.shape(),
-            );
+        let mask = Tensor::from_vec(
+            (0..x.len()).map(|_| if uniform() < p { 0.0 } else { scale }).collect(),
+            x.shape(),
+        );
         self.mul_const(&mask)
     }
 
@@ -590,7 +580,7 @@ impl<'t> Var<'t> {
         let w_shape = w.shape().to_vec();
         self.tape.binary(self, weight, y, move |g| {
             let gmat = g.reshape(&[b, o, oh * ow]); // [B, O, L]
-            // grad wrt weight: sum over batch of g · colsᵀ
+                                                    // grad wrt weight: sum over batch of g · colsᵀ
             let gw = gmat.matmul(&cols.t()); // [B, O, CKK]
             let gw = gw.sum_axes(&[0], false).reshape(&w_shape);
             // grad wrt input: wᵀ · g, folded back

@@ -6,9 +6,7 @@
 
 use std::sync::Arc;
 
-use crate::shape::{
-    broadcast_shapes, broadcast_strides, for_each_broadcast2, numel, strides_for,
-};
+use crate::shape::{broadcast_shapes, broadcast_strides, for_each_broadcast2, numel, strides_for};
 
 /// A dense row-major `f32` tensor of arbitrary rank.
 #[derive(Clone)]
@@ -215,9 +213,8 @@ impl Tensor {
                 &self.shape,
             );
         }
-        let out_shape = broadcast_shapes(&self.shape, &other.shape).unwrap_or_else(|| {
-            panic!("cannot broadcast {:?} with {:?}", self.shape, other.shape)
-        });
+        let out_shape = broadcast_shapes(&self.shape, &other.shape)
+            .unwrap_or_else(|| panic!("cannot broadcast {:?} with {:?}", self.shape, other.shape));
         let a_str = broadcast_strides(&self.shape, &out_shape);
         let b_str = broadcast_strides(&other.shape, &out_shape);
         let mut out = vec![0.0f32; numel(&out_shape)];

@@ -12,7 +12,12 @@ use traffic_suite::metrics::{evaluate_horizons, PAPER_HORIZONS, PAPER_HORIZON_LA
 use traffic_suite::models::{HistoricalAverage, LastValue, TrafficModel};
 use traffic_suite::scale_from_args;
 
-fn report(name: &str, model: &dyn TrafficModel, exp: &traffic_suite::core::PreparedExperiment, scale: &traffic_suite::core::ExperimentScale) {
+fn report(
+    name: &str,
+    model: &dyn TrafficModel,
+    exp: &traffic_suite::core::PreparedExperiment,
+    scale: &traffic_suite::core::ExperimentScale,
+) {
     let test = eval_split(&exp.data.test, scale);
     let pred = predict(model, &test, &exp.data.scaler, scale.batch_size);
     let ms = evaluate_horizons(&pred, &test.y_raw, &PAPER_HORIZONS, None);

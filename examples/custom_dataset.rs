@@ -61,11 +61,7 @@ fn main() {
     let report = train(model.as_ref(), &data, &cfg);
     println!(
         "trained STG2Seq: losses {:?} (best epoch {})",
-        report
-            .epoch_losses
-            .iter()
-            .map(|l| format!("{l:.3}"))
-            .collect::<Vec<_>>(),
+        report.epoch_losses.iter().map(|l| format!("{l:.3}")).collect::<Vec<_>>(),
         report.best_epoch + 1
     );
 

@@ -13,10 +13,7 @@ fn main() {
     print!("{}", render_table1());
 
     let scale = scale_from_args();
-    println!(
-        "\n== Simulated counterparts at {:.0}% scale ==\n",
-        scale.dataset_scale * 100.0
-    );
+    println!("\n== Simulated counterparts at {:.0}% scale ==\n", scale.dataset_scale * 100.0);
     for info in &DATASETS {
         let cfg = SimConfig::for_dataset(info, scale.dataset_scale);
         let ds = simulate(&cfg);

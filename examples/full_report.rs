@@ -12,8 +12,7 @@ use std::path::PathBuf;
 
 use traffic_suite::core::{
     case_study, check_fig1, check_fig1_flow, check_fig2, check_table3, computation_time,
-    difficult_interval_experiment, fig1_winners, model_comparison, render_fig3,
-    render_findings,
+    difficult_interval_experiment, fig1_winners, model_comparison, render_fig3, render_findings,
 };
 use traffic_suite::data::DATASETS;
 use traffic_suite::models::ALL_MODELS;
@@ -67,10 +66,7 @@ fn main() {
         })
         .collect();
     writeln!(md, "## Table III — computation time (METR-LA, measured)\n").unwrap();
-    md.push_str(&md_table(
-        &["Model", "Train s/epoch", "Inference s", "# params"],
-        &rows,
-    ));
+    md.push_str(&md_table(&["Model", "Train s/epoch", "Inference s", "# params"], &rows));
     md.push('\n');
     md.push_str(&render_findings(&check_table3(&t3)));
     md.push('\n');
@@ -145,4 +141,3 @@ fn main() {
     println!("{md}");
     eprintln!("wrote {}", out_path.display());
 }
-

@@ -59,8 +59,7 @@ fn main() {
     let hi = (rel + 36).min(stress_test.len());
     let actual: Vec<f32> = (lo..hi).map(|s| stress_test.y_raw.at(&[s, 0, node])).collect();
     let predicted: Vec<f32> = (lo..hi).map(|s| stress_pred.at(&[s, 0, node])).collect();
-    let err: Vec<f32> =
-        actual.iter().zip(&predicted).map(|(a, p)| (a - p).abs()).collect();
+    let err: Vec<f32> = actual.iter().zip(&predicted).map(|(a, p)| (a - p).abs()).collect();
     println!("\nsensor {node} around the injected incident (1-step horizon):");
     println!("  actual    {}", sparkline(&actual));
     println!("  predicted {}", sparkline(&predicted));
@@ -68,6 +67,8 @@ fn main() {
     let peak_err = err.iter().cloned().fold(0.0f32, f32::max);
     let base_err: f32 = err[..8.min(err.len())].iter().sum::<f32>() / 8.0_f32.min(err.len() as f32);
     println!("\npeak |error| near incident: {peak_err:.2} (baseline before: {base_err:.2})");
-    println!("the model tracks recurring traffic but cannot anticipate the abrupt, non-recurring drop —");
+    println!(
+        "the model tracks recurring traffic but cannot anticipate the abrupt, non-recurring drop —"
+    );
     println!("the paper's central difficult-interval observation (Fig 3 B).");
 }

@@ -5,9 +5,7 @@
 //! cargo run --release --example quickstart [-- --scale smoke|quick|thorough|full]
 //! ```
 
-use traffic_suite::core::{
-    eval_split, predict, prepare_experiment, train_model,
-};
+use traffic_suite::core::{eval_split, predict, prepare_experiment, train_model};
 use traffic_suite::metrics::{evaluate_horizons, PAPER_HORIZONS, PAPER_HORIZON_LABELS};
 use traffic_suite::scale_from_args;
 

@@ -31,8 +31,7 @@ fn main() {
         let pred = predict(model.as_ref(), &test, &exp.data.scaler, scale.batch_size);
         let parts = decompose(&pred, &test, &exp.dataset);
         let get = |r: Regime| parts.iter().find(|(x, _)| *x == r).map(|(_, m)| *m).unwrap();
-        let (ff, rc, ab) =
-            (get(Regime::FreeFlow), get(Regime::Recurring), get(Regime::Abrupt));
+        let (ff, rc, ab) = (get(Regime::FreeFlow), get(Regime::Recurring), get(Regime::Abrupt));
         rows.push(vec![
             name.clone(),
             format!("{:.3} ({})", ff.mae, ff.count),

@@ -48,7 +48,11 @@ fn main() {
             Some(cap) => data.test.truncate(cap),
             None => data.test.clone(),
         };
-        let m = evaluate(&predict(model.as_ref(), &test, &data.scaler, scale.batch_size), &test.y_raw, None);
+        let m = evaluate(
+            &predict(model.as_ref(), &test, &data.scaler, scale.batch_size),
+            &test.y_raw,
+            None,
+        );
         println!(
             "fold {i}: train steps {:>6}, test block [{}, {}): {m}",
             split.train.len(),

@@ -1,0 +1,59 @@
+//! Telemetry demo: trains one model with the console sink showing live
+//! per-epoch loss lines, writes a JSONL manifest under `reports/runs/`,
+//! then parses the manifest back and prints where the time went.
+//!
+//! ```sh
+//! cargo run --release --example telemetry -- --scale smoke
+//! ```
+
+use traffic_suite::core::{
+    eval_split, prepare_experiment, render_span_summary, timed_predict, train_model,
+};
+use traffic_suite::obs;
+
+fn main() {
+    let scale = traffic_suite::scale_from_args();
+    let marker = obs::span_marker();
+
+    let run = obs::Run::named("telemetry-demo")
+        .console(true)
+        .jsonl("reports/runs")
+        .start()
+        .expect("reports/runs must be writable");
+    let manifest = run.manifest_path().expect("jsonl sink requested").to_path_buf();
+
+    let exp = prepare_experiment("METR-LA", &scale, 42);
+    let (model, report) = train_model("Graph-WaveNet", &exp, &scale, 7);
+    let test = eval_split(&exp.data.test, &scale);
+    let (_pred, inference) =
+        timed_predict(model.as_ref(), &test, &exp.data.scaler, scale.batch_size);
+    run.finish(); // summary metrics + run_end, sinks detached
+
+    println!("\n== where the time went ==\n{}", render_span_summary(marker));
+    println!(
+        "trained {} epochs (mean {:.2?}/epoch), inference over {} windows took {:.2?}",
+        report.epoch_losses.len(),
+        report.mean_epoch_time,
+        test.len(),
+        inference
+    );
+
+    // The manifest is plain JSONL: one event per line, parseable with
+    // the bundled zero-dependency parser.
+    let content = std::fs::read_to_string(&manifest).expect("manifest readable");
+    let mut kinds = std::collections::BTreeMap::new();
+    for line in content.lines() {
+        let ev = obs::json::parse(line).expect("valid JSON line");
+        let kind = ev.get("type").and_then(|v| v.as_str()).unwrap_or("?").to_string();
+        *kinds.entry(kind).or_insert(0usize) += 1;
+    }
+    println!("\n== manifest {} ==", manifest.display());
+    for (kind, n) in &kinds {
+        println!("  {kind:<18} × {n}");
+    }
+    let last = content.lines().last().expect("non-empty manifest");
+    println!(
+        "\nfinal event, pretty-printed:\n{}",
+        obs::json::pretty(&obs::json::parse(last).unwrap())
+    );
+}

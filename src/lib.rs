@@ -11,6 +11,8 @@
 //! - [`metrics`]: masked MAE/RMSE/MAPE, horizons, degradation
 //! - [`models`]: the 8 architectures (STGCN … GMAN)
 //! - [`core`]: trainer + every table/figure regenerator
+//! - [`obs`]: structured tracing + metrics (spans, counters/histograms,
+//!   console + JSONL sinks writing per-run manifests)
 //!
 //! ```no_run
 //! use traffic_suite::core::{model_comparison, ExperimentScale};
@@ -28,6 +30,7 @@ pub use traffic_graph as graph;
 pub use traffic_metrics as metrics;
 pub use traffic_models as models;
 pub use traffic_nn as nn;
+pub use traffic_obs as obs;
 pub use traffic_tensor as tensor;
 
 /// Parses the common `--scale` CLI argument used by the examples.

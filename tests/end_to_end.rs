@@ -2,8 +2,7 @@
 //! evaluation, spanning every workspace crate.
 
 use traffic_suite::core::{
-    eval_split, predict, prepare_experiment, sample_difficult_mask, train_model,
-    ExperimentScale,
+    eval_split, predict, prepare_experiment, sample_difficult_mask, train_model, ExperimentScale,
 };
 use traffic_suite::data::{prepare, simulate, SimConfig, Task};
 use traffic_suite::metrics::{evaluate, evaluate_horizons, PAPER_HORIZONS};
@@ -21,27 +20,15 @@ fn train_and_evaluate_graph_wavenet_improves_over_init() {
     // Untrained baseline.
     let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(99);
     let untrained = build_model("Graph-WaveNet", &exp.ctx, &mut rng);
-    let before = evaluate(
-        &predict(untrained.as_ref(), &test, &exp.data.scaler, 8),
-        &test.y_raw,
-        None,
-    );
+    let before =
+        evaluate(&predict(untrained.as_ref(), &test, &exp.data.scaler, 8), &test.y_raw, None);
     // Trained.
     let mut scale2 = smoke();
     scale2.epochs = 2;
     scale2.max_train_batches = Some(30);
     let (model, report) = train_model("Graph-WaveNet", &exp, &scale2, 7);
-    let after = evaluate(
-        &predict(model.as_ref(), &test, &exp.data.scaler, 8),
-        &test.y_raw,
-        None,
-    );
-    assert!(
-        after.mae < before.mae,
-        "training should improve MAE: {} -> {}",
-        before.mae,
-        after.mae
-    );
+    let after = evaluate(&predict(model.as_ref(), &test, &exp.data.scaler, 8), &test.y_raw, None);
+    assert!(after.mae < before.mae, "training should improve MAE: {} -> {}", before.mae, after.mae);
     assert!(report.epoch_losses.iter().all(|l| l.is_finite()));
 }
 
@@ -105,10 +92,7 @@ fn difficult_mask_pipeline_marks_upper_quartile() {
     let test = eval_split(&exp.data.test, &scale);
     let mask = sample_difficult_mask(&exp.dataset, &test);
     let frac = mask.mean_all();
-    assert!(
-        frac > 0.1 && frac < 0.55,
-        "difficult fraction should be near 25%, got {frac}"
-    );
+    assert!(frac > 0.1 && frac < 0.55, "difficult fraction should be near 25%, got {frac}");
     // Evaluating with the mask must use fewer points than without.
     let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(5);
     let model = build_model("STG2Seq", &exp.ctx, &mut rng);

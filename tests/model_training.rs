@@ -29,11 +29,7 @@ fn assert_learns(name: &str) {
     let report = train(model.as_ref(), &data, &cfg);
     let first = report.epoch_losses[0];
     let last = *report.epoch_losses.last().unwrap();
-    assert!(
-        last < first * 0.9,
-        "{name} failed to learn: losses {:?}",
-        report.epoch_losses
-    );
+    assert!(last < first * 0.9, "{name} failed to learn: losses {:?}", report.epoch_losses);
     assert!(!model.store().has_non_finite(), "{name}: non-finite weights after training");
 }
 
@@ -101,7 +97,12 @@ fn deep_model_beats_persistence_when_trained() {
     let (data, ctx) = setup();
     let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(3);
     let model = build_model("Graph-WaveNet", &ctx, &mut rng);
-    let cfg = TrainConfig { epochs: 4, batch_size: 16, max_batches_per_epoch: Some(40), ..Default::default() };
+    let cfg = TrainConfig {
+        epochs: 4,
+        batch_size: 16,
+        max_batches_per_epoch: Some(40),
+        ..Default::default()
+    };
     train(model.as_ref(), &data, &cfg);
 
     let test = data.test.truncate(80);

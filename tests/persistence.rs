@@ -20,7 +20,12 @@ fn trained_model_checkpoint_reproduces_predictions() {
     let ctx = GraphContext::from_network(&ds.network, 4);
     let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(1);
     let model = build_model("Graph-WaveNet", &ctx, &mut rng);
-    let cfg = TrainConfig { epochs: 1, batch_size: 8, max_batches_per_epoch: Some(5), ..Default::default() };
+    let cfg = TrainConfig {
+        epochs: 1,
+        batch_size: 8,
+        max_batches_per_epoch: Some(5),
+        ..Default::default()
+    };
     train(model.as_ref(), &data, &cfg);
 
     let test = data.test.truncate(10);

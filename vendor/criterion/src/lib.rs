@@ -1,0 +1,238 @@
+//! Offline vendored subset of the `criterion` API.
+//!
+//! Provides the types and macros the workspace benches use —
+//! [`Criterion`], [`BenchmarkGroup`], [`BenchmarkId`], [`Bencher`],
+//! `criterion_group!`, `criterion_main!`, [`black_box`] — with a simple
+//! time-bounded measurement loop instead of criterion's full statistical
+//! pipeline. Each benchmark prints `name  time: [mean]  (iters)` so the
+//! bench binaries stay useful for coarse regression tracking in an
+//! environment with no crates.io access.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Entry point handed to bench functions.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    default_cfg: MeasurementConfig,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct MeasurementConfig {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            default_cfg: MeasurementConfig {
+                sample_size: 10,
+                warm_up_time: Duration::from_millis(200),
+                measurement_time: Duration::from_secs(1),
+            },
+        }
+    }
+}
+
+impl Criterion {
+    /// Upstream parses CLI args here; the stub accepts them silently so
+    /// `cargo bench -- <filter>` does not error.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let cfg = self.default_cfg;
+        BenchmarkGroup { _parent: self, name: name.into(), cfg }
+    }
+
+    /// Benchmarks a single function.
+    pub fn bench_function<F>(&mut self, id: impl Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let cfg = self.default_cfg;
+        run_benchmark(&id.to_string(), cfg, f);
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing measurement settings.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    cfg: MeasurementConfig,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.cfg.sample_size = n.max(1);
+        self
+    }
+
+    /// Warm-up duration before measurement.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.cfg.warm_up_time = d;
+        self
+    }
+
+    /// Target duration of the measurement phase.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.cfg.measurement_time = d;
+        self
+    }
+
+    /// Benchmarks a closure under `id` within this group.
+    pub fn bench_function<F>(&mut self, id: impl Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(&format!("{}/{}", self.name, id), self.cfg, f);
+        self
+    }
+
+    /// Benchmarks a closure that receives a borrowed input.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_benchmark(&format!("{}/{}", self.name, id), self.cfg, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (no-op in the stub; kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function_name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId { id: format!("{function_name}/{parameter}") }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Timing harness passed to each benchmark closure.
+pub struct Bencher {
+    cfg: MeasurementConfig,
+    mean: Option<Duration>,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `f`, warming up first, then sampling until the measurement
+    /// budget or sample count is exhausted.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up: at least one call, bounded by the configured time.
+        let warm_start = Instant::now();
+        loop {
+            black_box(f());
+            if warm_start.elapsed() >= self.cfg.warm_up_time {
+                break;
+            }
+        }
+        let budget = self.cfg.measurement_time;
+        let start = Instant::now();
+        let mut iters = 0u64;
+        while iters < self.cfg.sample_size as u64 && start.elapsed() < budget {
+            black_box(f());
+            iters += 1;
+        }
+        let total = start.elapsed();
+        self.mean = Some(total / iters.max(1) as u32);
+        self.iters = iters;
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(name: &str, cfg: MeasurementConfig, mut f: F) {
+    // Respect `cargo bench -- <filter>` the way libtest does: skip
+    // benchmarks whose name does not contain any given filter substring.
+    let filters: Vec<String> = std::env::args().skip(1).filter(|a| !a.starts_with('-')).collect();
+    if !filters.is_empty() && !filters.iter().any(|needle| name.contains(needle.as_str())) {
+        return;
+    }
+    let mut b = Bencher { cfg, mean: None, iters: 0 };
+    f(&mut b);
+    match b.mean {
+        Some(mean) => println!("{name:<50} time: [{mean:>12.3?}]  ({} iters)", b.iters),
+        None => println!("{name:<50} (no measurement — Bencher::iter never called)"),
+    }
+}
+
+/// Declares a function running the listed benchmark targets.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $cfg;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_measures() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("stub");
+        group.sample_size(3);
+        group.warm_up_time(Duration::from_millis(1));
+        group.measurement_time(Duration::from_millis(10));
+        let mut calls = 0u32;
+        group.bench_function("counting", |b| {
+            b.iter(|| {
+                calls += 1;
+                calls
+            })
+        });
+        group.finish();
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 32).to_string(), "f/32");
+        assert_eq!(BenchmarkId::from_parameter("GMAN").to_string(), "GMAN");
+    }
+}

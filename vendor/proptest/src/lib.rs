@@ -1,0 +1,168 @@
+//! Offline vendored subset of the `proptest` API.
+//!
+//! This workspace builds without network access, so the slice of
+//! proptest it uses is reimplemented here: the [`proptest!`] macro
+//! (including `#![proptest_config(..)]`), range/tuple/`Just` strategies,
+//! `prop::collection::vec`, `prop_map`/`prop_flat_map`, and the
+//! `prop_assert*`/`prop_assume!` macros.
+//!
+//! Differences from upstream: generation is deterministic per test
+//! (seeded from the test's module path and name), there is no shrinking
+//! — a failing case panics immediately with the generated inputs'
+//! debug output where available — and no persistence of regression
+//! files. For the algebraic-law style tests in this workspace that
+//! trade-off is fine: failures remain reproducible because the stream
+//! is deterministic.
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// `proptest::prelude` — everything the tests import.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+
+    /// Namespace mirror of upstream's `prelude::prop`.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Main harness macro: a block of `#[test] fn name(pat in strategy, ..) { .. }`
+/// items, each run for `ProptestConfig::cases` generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests!{ config = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests!{
+            config = ($crate::test_runner::ProptestConfig::default());
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    (config = ($cfg:expr);
+     $( $(#[$meta:meta])* fn $name:ident( $($pat:pat in $strat:expr),+ $(,)? ) $body:block )* ) => {
+        $(
+            $(#[$meta])*
+            // the immediately-called closure is the `?`/early-return
+            // boundary for prop_assume! rejections
+            #[allow(clippy::redundant_closure_call)]
+            fn $name() {
+                let __config: $crate::test_runner::ProptestConfig = $cfg;
+                let mut __rng = $crate::test_runner::TestRng::from_name(
+                    concat!(module_path!(), "::", stringify!($name)),
+                );
+                let mut __passed: u32 = 0;
+                let mut __attempts: u32 = 0;
+                let __max_attempts = __config.cases.saturating_mul(20).max(1000);
+                while __passed < __config.cases {
+                    __attempts += 1;
+                    assert!(
+                        __attempts <= __max_attempts,
+                        "proptest: too many rejected cases ({__passed} passed of {} wanted)",
+                        __config.cases,
+                    );
+                    $(let $pat = $crate::strategy::Strategy::generate(&{ $strat }, &mut __rng);)+
+                    let __outcome: ::std::result::Result<(), $crate::test_runner::Rejected> =
+                        (move || { $body ::std::result::Result::Ok(()) })();
+                    if __outcome.is_ok() {
+                        __passed += 1;
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a proptest case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond)
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        assert!($cond, $($fmt)+)
+    };
+}
+
+/// Asserts equality inside a proptest case.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {
+        assert_eq!($a, $b)
+    };
+    ($a:expr, $b:expr, $($fmt:tt)+) => {
+        assert_eq!($a, $b, $($fmt)+)
+    };
+}
+
+/// Asserts inequality inside a proptest case.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {
+        assert_ne!($a, $b)
+    };
+    ($a:expr, $b:expr, $($fmt:tt)+) => {
+        assert_ne!($a, $b, $($fmt)+)
+    };
+}
+
+/// Rejects the current case (does not count towards `cases`) when the
+/// precondition is false.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::Rejected);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_in_bounds(x in 3usize..9, f in -1.5f32..2.5) {
+            prop_assert!((3..9).contains(&x));
+            prop_assert!((-1.5..2.5).contains(&f));
+        }
+
+        #[test]
+        fn tuples_and_maps((a, b) in (0u8..4, 0u64..100).prop_map(|(a, b)| (a, b + 1))) {
+            prop_assert!(a < 4);
+            prop_assert!((1..=100).contains(&b));
+        }
+
+        #[test]
+        fn vec_sizes(v in prop::collection::vec(0i32..10, 2..5)) {
+            prop_assert!((2..5).contains(&v.len()));
+            prop_assert!(v.iter().all(|&x| (0..10).contains(&x)));
+        }
+
+        #[test]
+        fn flat_map_links_sizes(pair in (1usize..6).prop_flat_map(|n| {
+            (prop::collection::vec(0.0f64..1.0, n..=n), Just(n))
+        })) {
+            let (v, n) = pair;
+            prop_assert_eq!(v.len(), n);
+        }
+
+        #[test]
+        fn assume_rejects(x in 0usize..10) {
+            prop_assume!(x % 2 == 0);
+            prop_assert!(x % 2 == 0);
+        }
+    }
+}

@@ -1,0 +1,36 @@
+//! Distribution traits (`rand::distributions` subset).
+
+use std::ops::Range;
+
+use crate::{RngCore, SampleRange};
+
+/// A distribution over values of `T`.
+pub trait Distribution<T> {
+    /// Draws one value.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Uniform distribution over `[low, high)`.
+#[derive(Debug, Clone, Copy)]
+pub struct Uniform<T> {
+    low: T,
+    high: T,
+}
+
+impl<T: Copy + PartialOrd> Uniform<T> {
+    /// Uniform over `[low, high)`; panics when the range is empty.
+    pub fn new(low: T, high: T) -> Self {
+        assert!(low < high, "Uniform::new called with empty range");
+        Uniform { low, high }
+    }
+}
+
+impl<T> Distribution<T> for Uniform<T>
+where
+    T: Copy,
+    Range<T>: SampleRange<T>,
+{
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T {
+        (self.low..self.high).sample_single(rng)
+    }
+}

@@ -1,0 +1,48 @@
+//! Concrete RNGs: xoshiro256++ behind the `StdRng`/`SmallRng` names.
+
+use crate::{RngCore, SeedableRng};
+
+/// xoshiro256++ — fast, 256-bit state, passes BigCrush; more than enough
+/// for simulation and weight init. Not cryptographic.
+#[derive(Debug, Clone)]
+pub struct Xoshiro256PlusPlus {
+    s: [u64; 4],
+}
+
+impl RngCore for Xoshiro256PlusPlus {
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[0].wrapping_add(self.s[3]).rotate_left(23).wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+impl SeedableRng for Xoshiro256PlusPlus {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut s = [0u64; 4];
+        for (i, chunk) in seed.chunks(8).enumerate() {
+            let mut w = [0u8; 8];
+            w.copy_from_slice(chunk);
+            s[i] = u64::from_le_bytes(w);
+        }
+        // an all-zero state is a fixed point; nudge it
+        if s == [0; 4] {
+            s = [0x9e37_79b9_7f4a_7c15, 1, 2, 3];
+        }
+        Xoshiro256PlusPlus { s }
+    }
+}
+
+/// The workspace's standard seedable RNG.
+pub type StdRng = Xoshiro256PlusPlus;
+
+/// Small fast RNG (same generator here).
+pub type SmallRng = Xoshiro256PlusPlus;
