@@ -13,6 +13,7 @@
 //! | `fig3_case_study`         | Fig 3       |
 //! | `ablations`               | §VI design-choice ablations |
 //! | `kernels`                 | substrate micro-benchmarks  |
+//! | `gemm`                    | `BENCH_gemm.json` (seed vs blocked vs pool GEMM, CSR vs dense) |
 
 use traffic_core::ExperimentScale;
 use traffic_obs::Run;

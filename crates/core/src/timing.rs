@@ -40,6 +40,9 @@ pub fn computation_time_on(
     scale: &ExperimentScale,
 ) -> Vec<Table3Row> {
     let test = eval_split(&exp.data.test, scale);
+    // Spin the worker pool up outside the measured region so thread
+    // start-up is not billed to the first model's epoch span.
+    traffic_tensor::pool::warmup();
     models
         .iter()
         .map(|&name| {

@@ -1,6 +1,6 @@
 //! Graph Laplacians for spectral graph convolutions.
 
-use traffic_tensor::Tensor;
+use traffic_tensor::{Propagator, Tensor};
 
 use crate::adjacency::symmetrize;
 use crate::eigen::max_eigenvalue;
@@ -11,7 +11,8 @@ pub fn normalized_laplacian(adj: &Tensor) -> Tensor {
     let n = adj.shape()[0];
     assert_eq!(adj.shape(), &[n, n]);
     let a = symmetrize(adj);
-    let deg: Vec<f32> = (0..n).map(|i| (0..n).map(|j| a.at(&[i, j])).sum::<f32>()).collect();
+    let av = a.as_slice();
+    let deg: Vec<f32> = av.chunks_exact(n.max(1)).map(|row| row.iter().sum::<f32>()).collect();
     let dinv_sqrt: Vec<f32> =
         deg.iter().map(|&d| if d > 0.0 { 1.0 / d.sqrt() } else { 0.0 }).collect();
     let mut l = Tensor::zeros(&[n, n]);
@@ -42,6 +43,14 @@ pub fn scaled_laplacian(adj: &Tensor) -> Tensor {
         }
     }
     out
+}
+
+/// [`scaled_laplacian`] packaged as a [`Propagator`]: CSR when the
+/// road network's thresholded adjacency leaves `L̃` sparse, dense
+/// otherwise. This is the operator Chebyshev layers apply every
+/// forward/backward step.
+pub fn scaled_laplacian_propagator(adj: &Tensor) -> Propagator {
+    Propagator::from_matrix(scaled_laplacian(adj))
 }
 
 #[cfg(test)]
@@ -97,6 +106,20 @@ mod tests {
         assert!(*e.values.last().unwrap() <= 1.0 + 1e-3);
         // λmax of L̃ should be exactly +1 (2·λmax/λmax − 1)
         assert!((*e.values.last().unwrap() - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn propagator_matches_scaled_laplacian() {
+        let adj = path_adj(32);
+        let prop = scaled_laplacian_propagator(&adj);
+        assert!(prop.is_sparse(), "path-graph Laplacian is tridiagonal");
+        let lt = scaled_laplacian(&adj);
+        let x = Tensor::arange(32 * 2).reshape(&[32, 2]).mul_scalar(0.01);
+        let got = prop.apply_tensor(&x);
+        let want = lt.matmul(&x);
+        for (g, w) in got.as_slice().iter().zip(want.as_slice()) {
+            assert!((g - w).abs() < 1e-5, "{g} vs {w}");
+        }
     }
 
     #[test]

@@ -18,6 +18,8 @@ pub mod transition;
 pub use adjacency::{binary_adjacency, gaussian_adjacency, row_normalize, symmetrize};
 pub use embedding::spectral_embedding;
 pub use generators::{freeway_corridor, grid, metro_mix, random_geometric};
-pub use laplacian::{normalized_laplacian, scaled_laplacian};
+pub use laplacian::{normalized_laplacian, scaled_laplacian, scaled_laplacian_propagator};
 pub use network::{Edge, RoadNetwork, Sensor};
-pub use transition::{backward_transition, diffusion_supports, forward_transition};
+pub use transition::{
+    backward_transition, diffusion_support_propagators, diffusion_supports, forward_transition,
+};

@@ -1,7 +1,7 @@
 //! Random-walk transition matrices for diffusion convolutions (DCRNN,
 //! Graph-WaveNet): forward `D_O⁻¹ W` and backward `D_I⁻¹ Wᵀ`.
 
-use traffic_tensor::Tensor;
+use traffic_tensor::{Propagator, Tensor};
 
 use crate::adjacency::row_normalize;
 
@@ -18,6 +18,13 @@ pub fn backward_transition(adj: &Tensor) -> Tensor {
 /// The `(forward, backward)` pair used as diffusion supports.
 pub fn diffusion_supports(adj: &Tensor) -> Vec<Tensor> {
     vec![forward_transition(adj), backward_transition(adj)]
+}
+
+/// [`diffusion_supports`] packaged as [`Propagator`]s: row-normalising
+/// preserves the adjacency's sparsity pattern, so thresholded road
+/// graphs get the CSR spmm path in every diffusion step.
+pub fn diffusion_support_propagators(adj: &Tensor) -> Vec<Propagator> {
+    diffusion_supports(adj).into_iter().map(Propagator::from_matrix).collect()
 }
 
 #[cfg(test)]
@@ -48,5 +55,35 @@ mod tests {
         let s = diffusion_supports(&asym());
         assert_eq!(s.len(), 2);
         assert_ne!(s[0], s[1]); // direction matters for asymmetric graphs
+    }
+
+    #[test]
+    fn propagators_match_dense_supports() {
+        // A thresholded corridor graph is band-sparse, so both supports
+        // should take the CSR path — and still apply identically.
+        let n = 24;
+        let mut a = Tensor::zeros(&[n, n]);
+        {
+            let buf = a.make_mut();
+            for i in 0..n {
+                buf[i * n + i] = 1.0;
+                if i + 1 < n {
+                    buf[i * n + i + 1] = 0.6;
+                    buf[(i + 1) * n + i] = 0.4;
+                }
+            }
+        }
+        let dense = diffusion_supports(&a);
+        let props = diffusion_support_propagators(&a);
+        assert_eq!(props.len(), dense.len());
+        let x = Tensor::arange(n * 3).reshape(&[n, 3]).mul_scalar(0.05);
+        for (p, d) in props.iter().zip(&dense) {
+            assert!(p.is_sparse(), "band graph should pick CSR");
+            let got = p.apply_tensor(&x);
+            let want = d.matmul(&x);
+            for (g, w) in got.as_slice().iter().zip(want.as_slice()) {
+                assert!((g - w).abs() < 1e-5, "{g} vs {w}");
+            }
+        }
     }
 }

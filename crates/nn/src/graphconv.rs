@@ -10,7 +10,7 @@
 //!   and the spatial half of GMAN).
 
 use rand::Rng;
-use traffic_tensor::{init, Tape, Tensor, Var};
+use traffic_tensor::{init, Propagator, Tape, Tensor, Var};
 
 use crate::param::{Param, ParamStore};
 
@@ -21,7 +21,7 @@ use crate::param::{Param, ParamStore};
 pub struct ChebConv {
     weights: Param, // [K, F_in, F_out]
     bias: Param,    // [F_out]
-    laplacian: Tensor,
+    laplacian: Propagator,
     order: usize,
 }
 
@@ -42,22 +42,21 @@ impl ChebConv {
         let weights = store
             .add(format!("{prefix}.weights"), init::xavier_uniform(&[order, f_in, f_out], rng));
         let bias = store.add(format!("{prefix}.bias"), Tensor::zeros(&[f_out]));
-        ChebConv { weights, bias, laplacian, order }
+        ChebConv { weights, bias, laplacian: Propagator::from_matrix(laplacian), order }
     }
 
     /// Forward on `[B, N, F_in] -> [B, N, F_out]`.
     pub fn forward<'t>(&self, tape: &'t Tape, x: Var<'t>) -> Var<'t> {
-        let l = tape.constant(self.laplacian.clone());
         let w = self.weights.var(tape);
         let (f_in, f_out) = (self.weights.shape()[1], self.weights.shape()[2]);
         let mut t_prev2 = x; // T_0 = x
         let mut out = t_prev2.matmul(&w.narrow(0, 0, 1).reshape(&[f_in, f_out]));
         if self.order > 1 {
-            let mut t_prev1 = l.matmul(&x); // T_1 = L̃ x
+            let mut t_prev1 = self.laplacian.apply(tape, x); // T_1 = L̃ x
             out = out.add(&t_prev1.matmul(&w.narrow(0, 1, 1).reshape(&[f_in, f_out])));
             for k in 2..self.order {
                 // T_k = 2 L̃ T_{k-1} − T_{k-2}
-                let t_k = l.matmul(&t_prev1).mul_scalar(2.0).sub(&t_prev2);
+                let t_k = self.laplacian.apply(tape, t_prev1).mul_scalar(2.0).sub(&t_prev2);
                 out = out.add(&t_k.matmul(&w.narrow(0, k, 1).reshape(&[f_in, f_out])));
                 t_prev2 = t_prev1;
                 t_prev1 = t_k;
@@ -75,7 +74,7 @@ impl ChebConv {
 pub struct DiffusionConv {
     weights: Param, // [S*(K+1), F_in, F_out]
     bias: Param,
-    supports: Vec<Tensor>,
+    supports: Vec<Propagator>,
     steps: usize,
     extra_supports: usize,
 }
@@ -102,6 +101,7 @@ impl DiffusionConv {
         let weights = store
             .add(format!("{prefix}.weights"), init::xavier_uniform(&[slots, f_in, f_out], rng));
         let bias = store.add(format!("{prefix}.bias"), Tensor::zeros(&[f_out]));
+        let supports = supports.into_iter().map(Propagator::from_matrix).collect();
         DiffusionConv { weights, bias, supports, steps, extra_supports }
     }
 
@@ -126,8 +126,15 @@ impl DiffusionConv {
         // k = 0: identity.
         let mut out = x.matmul(&wk(0));
         let mut slot = 1;
-        let fixed: Vec<Var<'t>> = self.supports.iter().map(|s| tape.constant(s.clone())).collect();
-        for p in fixed.iter().chain(adaptive.iter()) {
+        for p in &self.supports {
+            let mut xk = x;
+            for _ in 0..self.steps {
+                xk = p.apply(tape, xk);
+                out = out.add(&xk.matmul(&wk(slot)));
+                slot += 1;
+            }
+        }
+        for p in adaptive {
             let mut xk = x;
             for _ in 0..self.steps {
                 xk = p.matmul(&xk);
@@ -144,7 +151,7 @@ impl DiffusionConv {
 pub struct DenseGraphConv {
     weight: Param,
     bias: Param,
-    adj: Tensor,
+    adj: Propagator,
 }
 
 impl DenseGraphConv {
@@ -160,13 +167,12 @@ impl DenseGraphConv {
         let weight =
             store.add(format!("{prefix}.weight"), init::xavier_uniform(&[f_in, f_out], rng));
         let bias = store.add(format!("{prefix}.bias"), Tensor::zeros(&[f_out]));
-        DenseGraphConv { weight, bias, adj }
+        DenseGraphConv { weight, bias, adj: Propagator::from_matrix(adj) }
     }
 
     /// Forward on `[B, N, F_in]` (no activation; callers choose).
     pub fn forward<'t>(&self, tape: &'t Tape, x: Var<'t>) -> Var<'t> {
-        let a = tape.constant(self.adj.clone());
-        a.matmul(&x).matmul(&self.weight.var(tape)).add(&self.bias.var(tape))
+        self.adj.apply(tape, x).matmul(&self.weight.var(tape)).add(&self.bias.var(tape))
     }
 }
 

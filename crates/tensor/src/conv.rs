@@ -4,7 +4,8 @@
 //! `(1, k)` kernels (temporal convs) or square kernels; padding (e.g. causal
 //! padding for dilated TCNs) is applied by the caller with [`Tensor::pad`].
 
-use crate::tensor::Tensor;
+use crate::pool;
+use crate::tensor::{Tensor, ELEMENTWISE_PAR_THRESHOLD};
 
 /// Output spatial size of a stride-1 dilated convolution (no padding).
 pub fn conv_out_len(input: usize, kernel: usize, dilation: usize) -> usize {
@@ -19,28 +20,39 @@ pub fn im2col(input: &Tensor, kh: usize, kw: usize, dh: usize, dw: usize) -> Ten
     let (b, c, h, w) = (input.shape()[0], input.shape()[1], input.shape()[2], input.shape()[3]);
     let oh = conv_out_len(h, kh, dh);
     let ow = conv_out_len(w, kw, dw);
-    let mut out = vec![0.0f32; b * c * kh * kw * oh * ow];
+    let batch_block = c * kh * kw * oh * ow;
+    let mut out = vec![0.0f32; b * batch_block];
     let data = input.as_slice();
     let in_hw = h * w;
     let out_cols = oh * ow;
-    for bi in 0..b {
-        for ci in 0..c {
-            let in_base = (bi * c + ci) * in_hw;
-            for ki in 0..kh {
-                for kj in 0..kw {
-                    let row = ((ci * kh + ki) * kw + kj) * out_cols + bi * c * kh * kw * out_cols;
-                    for oi in 0..oh {
-                        let src = in_base + (oi + ki * dh) * w + kj * dw;
-                        let dst = row + oi * ow;
-                        // The source walks the W axis with unit stride (only
-                        // the kernel taps are dilated), so this is always a
-                        // contiguous copy.
-                        out[dst..dst + ow].copy_from_slice(&data[src..src + ow]);
+    // Each batch element owns one disjoint `batch_block` of the output,
+    // so batches fan out across the pool; the per-batch copy loop is
+    // unchanged and the small-tensor path runs inline as a single chunk.
+    let chunk =
+        if b > 1 && out.len() >= ELEMENTWISE_PAR_THRESHOLD { batch_block } else { out.len() };
+    pool::parallel_chunks_mut(&mut out, chunk, |chunk_idx, dst| {
+        let batches = chunk / batch_block;
+        for local in 0..batches {
+            let bi = chunk_idx * batches + local;
+            let dst = &mut dst[local * batch_block..(local + 1) * batch_block];
+            for ci in 0..c {
+                let in_base = (bi * c + ci) * in_hw;
+                for ki in 0..kh {
+                    for kj in 0..kw {
+                        let row = ((ci * kh + ki) * kw + kj) * out_cols;
+                        for oi in 0..oh {
+                            let src = in_base + (oi + ki * dh) * w + kj * dw;
+                            let at = row + oi * ow;
+                            // The source walks the W axis with unit stride
+                            // (only the kernel taps are dilated), so this is
+                            // always a contiguous copy.
+                            dst[at..at + ow].copy_from_slice(&data[src..src + ow]);
+                        }
                     }
                 }
             }
         }
-    }
+    });
     Tensor::from_vec(out, &[b, c * kh * kw, oh * ow])
 }
 
@@ -63,25 +75,37 @@ pub fn col2im(
     let ow = conv_out_len(w, kw, dw);
     assert_eq!(cols.shape()[1], c * kh * kw);
     assert_eq!(cols.shape()[2], oh * ow);
-    let mut out = vec![0.0f32; b * c * h * w];
+    let batch_block = c * h * w;
+    let mut out = vec![0.0f32; b * batch_block];
     let data = cols.as_slice();
     let out_cols = oh * ow;
-    for bi in 0..b {
-        for ci in 0..c {
-            let out_base = (bi * c + ci) * h * w;
-            for ki in 0..kh {
-                for kj in 0..kw {
-                    let row = bi * c * kh * kw * out_cols + ((ci * kh + ki) * kw + kj) * out_cols;
-                    for oi in 0..oh {
-                        for oj in 0..ow {
-                            out[out_base + (oi + ki * dh) * w + oj + kj * dw] +=
-                                data[row + oi * ow + oj];
+    // Overlapping kernel taps only collide within one batch element, so
+    // batch-level chunks keep the scatter-accumulate race-free and the
+    // per-batch accumulation order unchanged.
+    let chunk =
+        if b > 1 && out.len() >= ELEMENTWISE_PAR_THRESHOLD { batch_block } else { out.len() };
+    pool::parallel_chunks_mut(&mut out, chunk, |chunk_idx, dst| {
+        let batches = chunk / batch_block;
+        for local in 0..batches {
+            let bi = chunk_idx * batches + local;
+            let dst = &mut dst[local * batch_block..(local + 1) * batch_block];
+            for ci in 0..c {
+                let out_base = ci * h * w;
+                for ki in 0..kh {
+                    for kj in 0..kw {
+                        let row =
+                            bi * c * kh * kw * out_cols + ((ci * kh + ki) * kw + kj) * out_cols;
+                        for oi in 0..oh {
+                            for oj in 0..ow {
+                                dst[out_base + (oi + ki * dh) * w + oj + kj * dw] +=
+                                    data[row + oi * ow + oj];
+                            }
                         }
                     }
                 }
             }
         }
-    }
+    });
     Tensor::from_vec(out, &[b, c, h, w])
 }
 

@@ -1,0 +1,311 @@
+//! Blocked single-precision GEMM (`out += a · b`) and the naive
+//! reference kernel it replaced.
+//!
+//! The kernel cache-blocks the reduction axis (`KC`) and register-tiles
+//! the output (`MR × NR`): each tile is loaded once, accumulated in
+//! registers across the whole `k`-block, and stored once, cutting
+//! output traffic by `KC×` and `b`-row traffic by `MR×` versus the
+//! seed's one-row-at-a-time loop, while the fixed-width `NR` strip
+//! keeps the inner loop LLVM-vectorised (with hardware FMA when the
+//! target provides it — the workspace builds with `target-cpu=native`).
+//! Each output element receives its `k` addends one at a time in
+//! ascending order (the tile is *loaded* before accumulating, never
+//! merged as a block sum), so results are independent of thread count
+//! and deterministic for a given build; without FMA they are
+//! bit-identical to [`matmul_naive`], with FMA they differ from it only
+//! by the fused roundings (≲1e-6 relative at k ≈ 200).
+//!
+//! FLOP accounting: callers that time a multiply report it through
+//! [`record_flops`], which feeds the `compute/flops` counter and the
+//! `compute/gemm_gflops` histogram in the `traffic-obs` registry —
+//! that is where run manifests and `BENCH_gemm.json` read GFLOP/s from.
+
+use std::sync::OnceLock;
+
+use crate::pool;
+
+/// Reduction-axis cache block: `KC · n` floats of `b` stay hot in L2
+/// while `m` output rows stream past.
+const KC: usize = 256;
+/// Register tile height: rows of `a` advanced together.
+const MR: usize = 6;
+/// Register tile width: the accumulator strip held in registers while a
+/// `k`-block streams past (`MR · NR` floats = 12 AVX2 registers, the
+/// classic 6×16 kernel — leaves room for the `b` strip and broadcasts).
+const NR: usize = 16;
+/// Minimum rows per parallel task; below this, dispatch overhead wins.
+const MIN_ROWS_PER_TASK: usize = 8;
+
+/// Fused multiply-add when the target has hardware FMA (the workspace
+/// builds with `target-cpu=native`, so this is compile-time constant);
+/// plain mul+add otherwise — `f32::mul_add` without hardware support
+/// falls back to a correctly-rounded software routine that is orders of
+/// magnitude slower. Either way the kernel is deterministic for a given
+/// build and independent of thread count.
+#[inline(always)]
+fn madd(a: f32, b: f32, acc: f32) -> f32 {
+    if cfg!(target_feature = "fma") {
+        a.mul_add(b, acc)
+    } else {
+        acc + a * b
+    }
+}
+
+/// Plain `m×k · k×n` triple loop on contiguous slices, accumulating
+/// into `out`. This is the seed engine's kernel, kept verbatim —
+/// including its per-element zero-skip branch — so it serves both as
+/// the correctness reference for the blocked kernel's proptests and as
+/// the baseline that `BENCH_gemm.json` speedups are measured against.
+pub fn matmul_naive(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(out.len(), m * n);
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        let out_row = &mut out[i * n..(i + 1) * n];
+        for (l, &av) in a_row.iter().enumerate() {
+            if av == 0.0 {
+                continue; // adjacency matrices are sparse; skip zero rows cheaply
+            }
+            let b_row = &b[l * n..(l + 1) * n];
+            for j in 0..n {
+                out_row[j] += av * b_row[j];
+            }
+        }
+    }
+}
+
+/// Serial blocked GEMM: `out += a · b` with `a: [m, k]`, `b: [k, n]`,
+/// `out: [m, n]`, all contiguous row-major.
+pub fn gemm(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(out.len(), m * n);
+    if m == 0 || n == 0 || k == 0 {
+        return;
+    }
+    // Block the reduction so the active `b` panel (`kc · n` floats)
+    // stays cached across the whole sweep over `m`.
+    let mut a_pack = [0.0f32; MR * KC];
+    let mut pc = 0;
+    while pc < k {
+        let kc = KC.min(k - pc);
+        let b_panel = &b[pc * n..(pc + kc) * n];
+        let mut i = 0;
+        while i + MR <= m {
+            pack_a::<MR>(&mut a_pack, &a[i * k + pc..], k, kc);
+            micro_tile::<MR>(&a_pack, b_panel, &mut out[i * n..(i + MR) * n], kc, n);
+            i += MR;
+        }
+        let rem = m - i;
+        if rem > 0 {
+            let a_rows = &a[i * k + pc..];
+            let out_rows = &mut out[i * n..(i + rem) * n];
+            match rem {
+                1 => tail::<1>(&mut a_pack, a_rows, k, b_panel, out_rows, kc, n),
+                2 => tail::<2>(&mut a_pack, a_rows, k, b_panel, out_rows, kc, n),
+                3 => tail::<3>(&mut a_pack, a_rows, k, b_panel, out_rows, kc, n),
+                4 => tail::<4>(&mut a_pack, a_rows, k, b_panel, out_rows, kc, n),
+                _ => tail::<5>(&mut a_pack, a_rows, k, b_panel, out_rows, kc, n),
+            }
+        }
+        pc += kc;
+    }
+}
+
+/// Packs an `R × kc` tile of `a` (row stride `lda`) into `p`-major
+/// layout: `a_pack[p * R + r] = a[r][p]`, so the micro-kernel's
+/// per-`p` coefficient loads are contiguous.
+#[inline(always)]
+fn pack_a<const R: usize>(a_pack: &mut [f32], a_rows: &[f32], lda: usize, kc: usize) {
+    for p in 0..kc {
+        for r in 0..R {
+            a_pack[p * R + r] = a_rows[r * lda + p];
+        }
+    }
+}
+
+#[inline(always)]
+#[allow(clippy::too_many_arguments)] // internal trampoline mirroring micro_tile
+fn tail<const R: usize>(
+    a_pack: &mut [f32],
+    a_rows: &[f32],
+    lda: usize,
+    b_panel: &[f32],
+    out_rows: &mut [f32],
+    kc: usize,
+    n: usize,
+) {
+    pack_a::<R>(a_pack, a_rows, lda, kc);
+    micro_tile::<R>(a_pack, b_panel, out_rows, kc, n);
+}
+
+/// `R`-row register tile: walks the output in `R × NR` strips, each
+/// loaded into a register accumulator, updated for every `p` in the
+/// `k`-block, and stored back once. `a_pack` is the tile of `a` in
+/// `p`-major packed layout (see [`pack_a`]); `out_rows` is `R`
+/// contiguous output rows.
+#[inline(always)]
+fn micro_tile<const R: usize>(
+    a_pack: &[f32],
+    b_panel: &[f32],
+    out_rows: &mut [f32],
+    kc: usize,
+    n: usize,
+) {
+    debug_assert_eq!(out_rows.len(), R * n);
+    let mut j = 0;
+    while j + NR <= n {
+        let mut acc = [[0.0f32; NR]; R];
+        for (r, acc_row) in acc.iter_mut().enumerate() {
+            acc_row.copy_from_slice(&out_rows[r * n + j..r * n + j + NR]);
+        }
+        for p in 0..kc {
+            let b_strip: &[f32; NR] =
+                b_panel[p * n + j..p * n + j + NR].try_into().expect("NR strip");
+            let coeffs = &a_pack[p * R..(p + 1) * R];
+            for (acc_row, &coeff) in acc.iter_mut().zip(coeffs) {
+                for (av, &bv) in acc_row.iter_mut().zip(b_strip) {
+                    *av = madd(coeff, bv, *av);
+                }
+            }
+        }
+        for (r, acc_row) in acc.iter().enumerate() {
+            out_rows[r * n + j..r * n + j + NR].copy_from_slice(acc_row);
+        }
+        j += NR;
+    }
+    if j < n {
+        // Remainder strip (< NR columns): accumulate straight into the
+        // output rows; same ascending-`p` order, just without the
+        // register residency.
+        for p in 0..kc {
+            let b_row = &b_panel[p * n + j..(p + 1) * n];
+            let coeffs = &a_pack[p * R..(p + 1) * R];
+            for r in 0..R {
+                let coeff = coeffs[r];
+                let out_row = &mut out_rows[r * n + j..r * n + n];
+                for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                    *o = madd(coeff, bv, *o);
+                }
+            }
+        }
+    }
+}
+
+/// Row-parallel blocked GEMM: splits `m` into disjoint row blocks
+/// across the worker pool, each running the serial kernel. Per-element
+/// accumulation order is unchanged, so results are bit-identical to
+/// [`gemm`] at any thread count.
+pub fn gemm_parallel(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    let threads = pool::effective_threads();
+    if threads <= 1 || m < 2 * MIN_ROWS_PER_TASK {
+        return gemm(a, b, out, m, k, n);
+    }
+    let rows_per_task = m.div_ceil(threads * 2).max(MIN_ROWS_PER_TASK);
+    pool::parallel_chunks_mut(out, rows_per_task * n, |ci, out_chunk| {
+        let r0 = ci * rows_per_task;
+        let rows = out_chunk.len() / n;
+        gemm(&a[r0 * k..(r0 + rows) * k], b, out_chunk, rows, k, n);
+    });
+}
+
+struct GemmMetrics {
+    flops: &'static traffic_obs::Counter,
+    gflops: &'static traffic_obs::Histogram,
+}
+
+fn metrics() -> &'static GemmMetrics {
+    static METRICS: OnceLock<GemmMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| GemmMetrics {
+        flops: traffic_obs::counter("compute/flops"),
+        gflops: traffic_obs::histogram("compute/gemm_gflops"),
+    })
+}
+
+/// Records `flops` floating-point operations taking `secs` seconds:
+/// bumps the cumulative `compute/flops` counter and, for non-trivial
+/// timings, the `compute/gemm_gflops` rate histogram.
+pub fn record_flops(flops: usize, secs: f64) {
+    let m = metrics();
+    m.flops.add(flops as u64);
+    if secs > 0.0 && flops > 0 {
+        m.gflops.record(flops as f64 / secs / 1e9);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fill(len: usize, seed: u32) -> Vec<f32> {
+        (0..len)
+            .map(|i| {
+                (((i as u32).wrapping_mul(2654435761).wrapping_add(seed) % 1000) as f32 / 500.0)
+                    - 1.0
+            })
+            .collect()
+    }
+
+    fn check_shape(m: usize, k: usize, n: usize) {
+        let a = fill(m * k, 1);
+        let b = fill(k * n, 2);
+        let mut want = vec![0.0f32; m * n];
+        matmul_naive(&a, &b, &mut want, m, k, n);
+        let mut got = vec![0.0f32; m * n];
+        gemm(&a, &b, &mut got, m, k, n);
+        if cfg!(target_feature = "fma") {
+            // FMA changes each addend's rounding, nothing else.
+            for (g, w) in got.iter().zip(&want) {
+                assert!((g - w).abs() <= 1e-4 * w.abs().max(1.0), "{g} vs {w} at {m}x{k}x{n}");
+            }
+        } else {
+            assert_eq!(got, want, "blocked kernel diverged at {m}x{k}x{n}");
+        }
+        // Thread-count determinism is unconditional: the parallel kernel
+        // must match the serial one bit for bit.
+        let mut par = vec![0.0f32; m * n];
+        gemm_parallel(&a, &b, &mut par, m, k, n);
+        assert_eq!(par, got, "parallel kernel diverged at {m}x{k}x{n}");
+    }
+
+    #[test]
+    fn matches_naive_bitwise() {
+        for &(m, k, n) in &[
+            (1, 1, 1),
+            (4, 4, 4),
+            (5, 3, 7),
+            (7, 300, 1), // k crosses a KC boundary, n = 1
+            (64, 64, 64),
+            (207, 207, 64), // METR-LA graph-conv shape
+            (33, 513, 17),
+        ] {
+            check_shape(m, k, n);
+        }
+    }
+
+    #[test]
+    fn degenerate_dims_are_noops() {
+        check_shape(0, 3, 3);
+        check_shape(3, 0, 3);
+        check_shape(3, 3, 0);
+        let mut out = vec![1.0f32; 9];
+        gemm(&[], &[], &mut out, 3, 0, 3);
+        assert!(out.iter().all(|&v| v == 1.0), "k = 0 must leave the accumulator untouched");
+    }
+
+    #[test]
+    fn accumulates_into_out() {
+        let (m, k, n) = (3, 3, 3);
+        let a = fill(9, 3);
+        let b = fill(9, 4);
+        let mut once = vec![0.0f32; 9];
+        gemm(&a, &b, &mut once, m, k, n);
+        let mut twice = vec![0.0f32; 9];
+        gemm(&a, &b, &mut twice, m, k, n);
+        gemm(&a, &b, &mut twice, m, k, n);
+        for (t, o) in twice.iter().zip(&once) {
+            assert!((t - 2.0 * o).abs() < 1e-4);
+        }
+    }
+}

@@ -8,6 +8,10 @@
 //! ## Layout
 //! - [`Tensor`]: contiguous row-major `f32` storage, NumPy-style
 //!   broadcasting, batched matmul, stride-1 dilated conv2d, reductions.
+//! - [`pool`] / [`gemm`] / [`sparse`]: the traffic-compute runtime — a
+//!   persistent worker pool (`TRAFFIC_THREADS`), a blocked
+//!   register-tiled GEMM with intra-matrix parallelism, and CSR sparse
+//!   graph operators ([`Propagator`]) used by the graph-conv layers.
 //! - [`Tape`] / [`Var`]: define-by-run autograd. Operations on [`Var`]
 //!   record backward closures; [`Tape::backward`] runs one reverse sweep.
 //! - [`init`]: seeded weight initialisers (uniform/normal/Xavier/Kaiming).
@@ -27,13 +31,17 @@
 //! ```
 
 pub mod conv;
+pub mod gemm;
 pub mod gradcheck;
 pub mod init;
 mod linalg;
+pub mod pool;
 mod reduce;
 pub mod shape;
+pub mod sparse;
 mod tape;
 mod tensor;
 
+pub use sparse::{CsrMatrix, Propagator};
 pub use tape::{Gradients, Tape, Var};
 pub use tensor::Tensor;

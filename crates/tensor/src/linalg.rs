@@ -1,30 +1,21 @@
 //! Batched matrix multiplication with broadcasting over leading axes.
+//!
+//! Products are computed by the blocked, register-tiled kernel in
+//! [`crate::gemm`] and scheduled on the persistent worker pool
+//! ([`crate::pool`]): tasks are `(batch, row-block)` slices of the
+//! output, so a batch-1 `[N, N] · [N, F]` graph-conv product — the hot
+//! shape of every model's forward pass — uses every core, not just one.
+//! Accumulation order per output element never changes with the task
+//! split, so results are bit-identical at any `TRAFFIC_THREADS`.
 
-use crate::shape::{broadcast_shapes, broadcast_strides, numel, strides_for};
+use crate::gemm;
+use crate::pool;
+use crate::shape::{broadcast_shapes, broadcast_strides, numel};
 use crate::tensor::Tensor;
 
-/// Plain `m×k · k×n` kernel on contiguous slices, accumulating into `out`.
-///
-/// Loop order (i, l, j) keeps the innermost loop streaming over contiguous
-/// rows of `b` and `out`, which lets LLVM auto-vectorise it.
-fn matmul_kernel(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
-    debug_assert_eq!(a.len(), m * k);
-    debug_assert_eq!(b.len(), k * n);
-    debug_assert_eq!(out.len(), m * n);
-    for i in 0..m {
-        let a_row = &a[i * k..(i + 1) * k];
-        let out_row = &mut out[i * n..(i + 1) * n];
-        for (l, &av) in a_row.iter().enumerate() {
-            if av == 0.0 {
-                continue; // adjacency matrices are sparse; skip zero rows cheaply
-            }
-            let b_row = &b[l * n..(l + 1) * n];
-            for j in 0..n {
-                out_row[j] += av * b_row[j];
-            }
-        }
-    }
-}
+/// Below this many flops a multiply runs inline on the calling thread;
+/// dispatch overhead beats any parallel win.
+const PAR_FLOPS: usize = 1 << 17;
 
 impl Tensor {
     /// Batched matrix product.
@@ -40,16 +31,21 @@ impl Tensor {
     /// assert_eq!(batch.matmul(&weights).shape(), &[4, 2, 5]);
     /// ```
     pub fn matmul(&self, other: &Tensor) -> Tensor {
-        // Promote rank-1 operands.
+        // Promote rank-1 operands by reference; already-matrix operands
+        // are borrowed as-is (no Tensor clone on the fast path).
+        let promoted_a;
         let (a, squeeze_m) = if self.rank() == 1 {
-            (self.reshape(&[1, self.shape()[0]]), true)
+            promoted_a = self.reshape(&[1, self.shape()[0]]);
+            (&promoted_a, true)
         } else {
-            (self.clone(), false)
+            (self, false)
         };
+        let promoted_b;
         let (b, squeeze_n) = if other.rank() == 1 {
-            (other.reshape(&[other.shape()[0], 1]), true)
+            promoted_b = other.reshape(&[other.shape()[0], 1]);
+            (&promoted_b, true)
         } else {
-            (other.clone(), false)
+            (other, false)
         };
         assert!(a.rank() >= 2 && b.rank() >= 2);
         let (m, ka) = (a.shape()[a.rank() - 2], a.shape()[a.rank() - 1]);
@@ -68,55 +64,65 @@ impl Tensor {
         });
         let nbatch = numel(&batch);
 
-        // Per-batch flat offsets into a and b via broadcast strides measured
-        // in whole matrices.
+        // Per-batch flat offsets (in whole matrices) into a and b,
+        // computed once with an odometer over the broadcast strides —
+        // no per-batch unravel in the hot path.
         let a_mat = m * ka;
         let b_mat = kb * n;
-        let a_bstr = broadcast_strides(a_batch, &batch);
-        let b_bstr = broadcast_strides(b_batch, &batch);
-        let batch_strides = strides_for(&batch);
+        let offsets = batch_offsets(&batch, a_batch, b_batch);
 
         let mut out_shape = batch.clone();
         out_shape.push(m);
         out_shape.push(n);
         let mut out = vec![0.0f32; nbatch * m * n];
-        let run_range = |out_chunk: &mut [f32], lo: usize| {
-            let mut coords = vec![0usize; batch.len()];
-            for (i, dst) in out_chunk.chunks_mut(m * n).enumerate() {
-                let bi = lo + i;
-                crate::shape::unravel(bi, &batch, &mut coords);
-                let a_off: usize = coords.iter().zip(&a_bstr).map(|(c, s)| c * s).sum();
-                let b_off: usize = coords.iter().zip(&b_bstr).map(|(c, s)| c * s).sum();
-                matmul_kernel(
-                    &a.as_slice()[a_off * a_mat..a_off * a_mat + a_mat],
-                    &b.as_slice()[b_off * b_mat..b_off * b_mat + b_mat],
+        let a_data = a.as_slice();
+        let b_data = b.as_slice();
+        let total_flops = 2 * nbatch * m * ka * n;
+        let timer = std::time::Instant::now();
+        if total_flops < PAR_FLOPS || pool::effective_threads() <= 1 {
+            for (bi, dst) in out.chunks_mut(m * n).enumerate() {
+                let (a_off, b_off) = offsets[bi];
+                gemm::gemm(
+                    &a_data[a_off * a_mat..(a_off + 1) * a_mat],
+                    &b_data[b_off * b_mat..(b_off + 1) * b_mat],
                     dst,
                     m,
                     ka,
                     n,
                 );
             }
-        };
-        // Parallelise across batches when there is enough work to amortise
-        // thread spawn cost (~10 µs each).
-        let total_flops = nbatch * m * ka * n;
-        let threads = if total_flops >= 1 << 21 {
-            std::thread::available_parallelism().map(|x| x.get()).unwrap_or(1).min(nbatch).min(8)
         } else {
-            1
-        };
-        if threads > 1 {
-            let per = nbatch.div_ceil(threads);
-            std::thread::scope(|scope| {
-                for (ci, chunk) in out.chunks_mut(per * m * n).enumerate() {
-                    let run = &run_range;
-                    scope.spawn(move || run(chunk, ci * per));
+            // Task space: (batch, row-block). Small batches still get
+            // intra-matrix parallelism; big batches split per matrix.
+            let threads = pool::effective_threads();
+            let blocks_per_batch = (threads * 2 / nbatch).clamp(1, m.max(1));
+            let rows_per_block = m.div_ceil(blocks_per_batch).max(1);
+            let mut ranges = Vec::with_capacity(nbatch * blocks_per_batch);
+            let mut tasks = Vec::with_capacity(nbatch * blocks_per_batch);
+            for bi in 0..nbatch {
+                let mut r0 = 0;
+                while r0 < m {
+                    let rows = rows_per_block.min(m - r0);
+                    ranges.push(bi * m * n + r0 * n..bi * m * n + (r0 + rows) * n);
+                    tasks.push((bi, r0, rows));
+                    r0 += rows;
                 }
+            }
+            pool::parallel_ranges_mut(&mut out, &ranges, |ti, dst| {
+                let (bi, r0, rows) = tasks[ti];
+                let (a_off, b_off) = offsets[bi];
+                let a_base = a_off * a_mat + r0 * ka;
+                gemm::gemm(
+                    &a_data[a_base..a_base + rows * ka],
+                    &b_data[b_off * b_mat..(b_off + 1) * b_mat],
+                    dst,
+                    rows,
+                    ka,
+                    n,
+                );
             });
-        } else {
-            run_range(&mut out, 0);
         }
-        let _ = &batch_strides;
+        gemm::record_flops(total_flops, timer.elapsed().as_secs_f64());
         let t = Tensor::from_vec(out, &out_shape);
         // Undo rank-1 promotions.
         match (squeeze_m, squeeze_n) {
@@ -134,6 +140,33 @@ impl Tensor {
             (true, true) => t.reshape(&[]),
         }
     }
+}
+
+/// Flat `(a, b)` matrix offsets for every broadcast batch index,
+/// generated by a single odometer sweep (one allocation total).
+fn batch_offsets(batch: &[usize], a_batch: &[usize], b_batch: &[usize]) -> Vec<(usize, usize)> {
+    let nbatch = numel(batch);
+    let a_bstr = broadcast_strides(a_batch, batch);
+    let b_bstr = broadcast_strides(b_batch, batch);
+    let mut offsets = Vec::with_capacity(nbatch);
+    let mut coords = vec![0usize; batch.len()];
+    let mut a_off = 0usize;
+    let mut b_off = 0usize;
+    for _ in 0..nbatch {
+        offsets.push((a_off, b_off));
+        for axis in (0..batch.len()).rev() {
+            coords[axis] += 1;
+            a_off += a_bstr[axis];
+            b_off += b_bstr[axis];
+            if coords[axis] < batch[axis] {
+                break;
+            }
+            a_off -= coords[axis] * a_bstr[axis];
+            b_off -= coords[axis] * b_bstr[axis];
+            coords[axis] = 0;
+        }
+    }
+    offsets
 }
 
 #[cfg(test)]
@@ -168,6 +201,23 @@ mod tests {
     }
 
     #[test]
+    fn two_sided_batch_broadcast() {
+        // [2, 1, 2, 3] · [1, 3, 3, 2] -> [2, 3, 2, 2]
+        let a = Tensor::arange(2 * 2 * 3).reshape(&[2, 1, 2, 3]);
+        let b = Tensor::arange(3 * 3 * 2).reshape(&[1, 3, 3, 2]);
+        let c = a.matmul(&b);
+        assert_eq!(c.shape(), &[2, 3, 2, 2]);
+        // spot-check against the per-batch product
+        for (i, j) in [(0usize, 0usize), (1, 2), (0, 1)] {
+            let ai = a.narrow(0, i, 1).reshape(&[2, 3]);
+            let bj = b.narrow(1, j, 1).reshape(&[3, 2]);
+            let want = ai.matmul(&bj);
+            let got = c.narrow(0, i, 1).narrow(1, j, 1).reshape(&[2, 2]);
+            assert_eq!(got, want, "batch ({i}, {j})");
+        }
+    }
+
+    #[test]
     fn vec_promotions() {
         let a = Tensor::from_vec(vec![1.0, 2.0], &[2]);
         let m = Tensor::from_vec(vec![1.0, 0.0, 0.0, 2.0], &[2, 2]);
@@ -190,8 +240,8 @@ mod tests {
 
     #[test]
     fn parallel_path_matches_serial() {
-        // Big enough batch to cross the threading threshold; results must
-        // equal the per-batch serial kernel.
+        // Big enough to cross the dispatch threshold; results must be
+        // bit-identical to the per-batch serial kernel.
         let nb = 64;
         let (m, k, n) = (16, 16, 16);
         let a = Tensor::from_vec(
@@ -208,9 +258,29 @@ mod tests {
             let bj = b.narrow(0, bi, 1).reshape(&[k, n]);
             let expect = ai.matmul(&bj);
             let got = whole.narrow(0, bi, 1).reshape(&[m, n]);
-            for (x, y) in got.as_slice().iter().zip(expect.as_slice()) {
-                assert!((x - y).abs() < 1e-5);
-            }
+            assert_eq!(got, expect, "batch {bi}");
+        }
+    }
+
+    #[test]
+    fn batch1_intra_matrix_parallel_matches_reference() {
+        // The graph-conv shape: one big [N, N] · [N, F] product, split
+        // across row blocks. Must equal the naive reference kernel.
+        let (m, k, n) = (203, 203, 48);
+        let a = Tensor::from_vec(
+            (0..m * k).map(|i| ((i % 113) as f32 - 56.0) * 0.013).collect(),
+            &[m, k],
+        );
+        let b = Tensor::from_vec(
+            (0..k * n).map(|i| ((i % 127) as f32 - 63.0) * 0.011).collect(),
+            &[k, n],
+        );
+        let got = a.matmul(&b);
+        let mut want = vec![0.0f32; m * n];
+        crate::gemm::matmul_naive(a.as_slice(), b.as_slice(), &mut want, m, k, n);
+        for (g, w) in got.as_slice().iter().zip(&want) {
+            // FMA builds round each addend once instead of twice.
+            assert!((g - w).abs() <= 1e-4 * w.abs().max(1.0), "{g} vs {w}");
         }
     }
 

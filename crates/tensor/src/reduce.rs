@@ -1,11 +1,17 @@
 //! Axis reductions and the `unbroadcast` adjoint used by autograd.
 
+use crate::pool;
 use crate::shape::{broadcast_strides, for_each_broadcast2, numel, strides_for};
-use crate::tensor::Tensor;
+use crate::tensor::{Tensor, ELEMENTWISE_PAR_THRESHOLD};
 
 impl Tensor {
     /// Sums over the given axes. With `keepdim` the reduced axes stay as
     /// size-1; otherwise they are removed.
+    ///
+    /// Output-slot-major: each output element owns its reduction, so
+    /// slots parallelise across the worker pool while the per-slot
+    /// accumulation order (ascending input offset) — and therefore the
+    /// result — is identical at any thread count.
     pub fn sum_axes(&self, axes: &[usize], keepdim: bool) -> Tensor {
         let rank = self.rank();
         let mut reduce = vec![false; rank];
@@ -15,20 +21,65 @@ impl Tensor {
         }
         let kept_shape: Vec<usize> =
             self.shape().iter().enumerate().map(|(i, &d)| if reduce[i] { 1 } else { d }).collect();
-        let mut out = vec![0.0f32; numel(&kept_shape)];
-        // Iterate input; accumulate into the output position with reduced
-        // axes clamped to zero.
-        let out_strides = strides_for(&kept_shape);
-        let mut acc_strides = out_strides.clone();
-        for i in 0..rank {
-            if reduce[i] {
-                acc_strides[i] = 0;
+        let out_len = numel(&kept_shape);
+        let in_strides = strides_for(self.shape());
+        // Offsets of the reduced subspace relative to a slot's base,
+        // in ascending order (one odometer sweep, shared by all slots).
+        let red_axes: Vec<usize> = (0..rank).filter(|&i| reduce[i]).collect();
+        let red_len: usize = red_axes.iter().map(|&i| self.shape()[i]).product();
+        let mut red_offsets = Vec::with_capacity(red_len);
+        {
+            let mut coords = vec![0usize; red_axes.len()];
+            let mut off = 0usize;
+            for _ in 0..red_len {
+                red_offsets.push(off);
+                for ci in (0..red_axes.len()).rev() {
+                    let axis = red_axes[ci];
+                    coords[ci] += 1;
+                    off += in_strides[axis];
+                    if coords[ci] < self.shape()[axis] {
+                        break;
+                    }
+                    off -= coords[ci] * in_strides[axis];
+                    coords[ci] = 0;
+                }
             }
         }
-        let zero = vec![0usize; rank];
+        // Contiguous when the reduced subspace is a trailing block.
+        let contiguous = red_offsets.last().map(|&o| o == red_len - 1).unwrap_or(true);
+        let kept_axes: Vec<(usize, usize)> =
+            (0..rank).filter(|&i| !reduce[i]).map(|i| (self.shape()[i], in_strides[i])).collect();
         let data = self.as_slice();
-        for_each_broadcast2(self.shape(), &acc_strides, &zero, |flat, o, _| {
-            out[o] += data[flat];
+        let slot_base = |slot: usize| -> usize {
+            let mut rem = slot;
+            let mut base = 0usize;
+            for &(dim, stride) in kept_axes.iter().rev() {
+                base += (rem % dim) * stride;
+                rem /= dim;
+            }
+            base
+        };
+        let mut out = vec![0.0f32; out_len];
+        let chunk = if self.len() < ELEMENTWISE_PAR_THRESHOLD {
+            out_len // single chunk → runs inline
+        } else {
+            out_len.div_ceil(pool::effective_threads() * 2).max(1)
+        };
+        pool::parallel_chunks_mut(&mut out, chunk, |ci, dst| {
+            for (local, slot_out) in dst.iter_mut().enumerate() {
+                let base = slot_base(ci * chunk + local);
+                let mut acc = 0.0f32;
+                if contiguous {
+                    for &v in &data[base..base + red_len] {
+                        acc += v;
+                    }
+                } else {
+                    for &off in &red_offsets {
+                        acc += data[base + off];
+                    }
+                }
+                *slot_out = acc;
+            }
         });
         let t = Tensor::from_vec(out, &kept_shape);
         if keepdim {

@@ -93,7 +93,7 @@ impl Tape {
         self.nodes.borrow()[id].requires_grad
     }
 
-    fn unary(
+    pub(crate) fn unary(
         &self,
         parent: &Var<'_>,
         value: Tensor,

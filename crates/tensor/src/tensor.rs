@@ -6,7 +6,14 @@
 
 use std::sync::Arc;
 
+use crate::pool;
 use crate::shape::{broadcast_shapes, broadcast_strides, for_each_broadcast2, numel, strides_for};
+
+/// Elementwise kernels at or above this many elements fan out across
+/// the worker pool; smaller ones run inline (dispatch costs more than
+/// the loop). Chunks map one-to-one between input and output, so the
+/// result is identical at any thread count.
+pub(crate) const ELEMENTWISE_PAR_THRESHOLD: usize = 1 << 16;
 
 /// A dense row-major `f32` tensor of arbitrary rank.
 #[derive(Clone)]
@@ -135,19 +142,45 @@ impl Tensor {
     // Elementwise (unary)
     // ------------------------------------------------------------------
 
-    /// Applies `f` to every element.
-    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
-        Tensor::from_vec(self.data.iter().map(|&v| f(v)).collect(), &self.shape)
+    /// Applies `f` to every element. Large tensors are processed in
+    /// parallel chunks on the worker pool.
+    pub fn map(&self, f: impl Fn(f32) -> f32 + Sync) -> Tensor {
+        if self.len() < ELEMENTWISE_PAR_THRESHOLD {
+            return Tensor::from_vec(self.data.iter().map(|&v| f(v)).collect(), &self.shape);
+        }
+        let mut out = vec![0.0f32; self.len()];
+        let chunk = self.len().div_ceil(pool::effective_threads() * 2).max(1);
+        let src = &self.data;
+        pool::parallel_chunks_mut(&mut out, chunk, |ci, dst| {
+            let base = ci * chunk;
+            let src = &src[base..base + dst.len()];
+            for (o, &v) in dst.iter_mut().zip(src) {
+                *o = f(v);
+            }
+        });
+        Tensor::from_vec(out, &self.shape)
     }
 
     /// Elementwise combination with an identically-shaped tensor (no
     /// broadcasting; use the operator impls for broadcasting).
-    pub fn zip_map(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
+    pub fn zip_map(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32 + Sync) -> Tensor {
         assert_eq!(self.shape, other.shape, "zip_map requires identical shapes");
-        Tensor::from_vec(
-            self.data.iter().zip(other.data.iter()).map(|(&a, &b)| f(a, b)).collect(),
-            &self.shape,
-        )
+        if self.len() < ELEMENTWISE_PAR_THRESHOLD {
+            return Tensor::from_vec(
+                self.data.iter().zip(other.data.iter()).map(|(&a, &b)| f(a, b)).collect(),
+                &self.shape,
+            );
+        }
+        let mut out = vec![0.0f32; self.len()];
+        let chunk = self.len().div_ceil(pool::effective_threads() * 2).max(1);
+        let (a, b) = (&self.data, &other.data);
+        pool::parallel_chunks_mut(&mut out, chunk, |ci, dst| {
+            let base = ci * chunk;
+            for (i, o) in dst.iter_mut().enumerate() {
+                *o = f(a[base + i], b[base + i]);
+            }
+        });
+        Tensor::from_vec(out, &self.shape)
     }
 
     /// Negation.
@@ -205,13 +238,10 @@ impl Tensor {
     // ------------------------------------------------------------------
 
     /// Broadcasting binary op. Panics on incompatible shapes.
-    pub fn broadcast_zip(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
+    pub fn broadcast_zip(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32 + Sync) -> Tensor {
         if self.shape == other.shape {
-            // Fast path: no index arithmetic.
-            return Tensor::from_vec(
-                self.data.iter().zip(other.data.iter()).map(|(&a, &b)| f(a, b)).collect(),
-                &self.shape,
-            );
+            // Fast path: no index arithmetic (parallel when large).
+            return self.zip_map(other, f);
         }
         let out_shape = broadcast_shapes(&self.shape, &other.shape)
             .unwrap_or_else(|| panic!("cannot broadcast {:?} with {:?}", self.shape, other.shape));

@@ -1,9 +1,11 @@
 //! Property-based tests of the tensor engine: algebraic identities,
-//! broadcasting laws, and autograd vs finite differences on random shapes.
+//! broadcasting laws, autograd vs finite differences, and the
+//! traffic-compute kernels (blocked GEMM, CSR spmm) against the naive
+//! reference on random shapes.
 
 use proptest::prelude::*;
 use traffic_tensor::gradcheck::grad_check;
-use traffic_tensor::{shape, Tensor};
+use traffic_tensor::{gemm, shape, CsrMatrix, Tensor};
 
 fn small_shape() -> impl Strategy<Value = Vec<usize>> {
     prop::collection::vec(1usize..5, 1..4)
@@ -117,6 +119,62 @@ proptest! {
         let a = t.narrow(axis, 0, split);
         let b = t.narrow(axis, split, d - split);
         prop_assert_eq!(Tensor::concat(&[&a, &b], axis), t);
+    }
+
+    #[test]
+    fn blocked_gemm_matches_naive(
+        // Ranges cross the MR (6) and NR (16) tile boundaries and
+        // include the degenerate k = 0 / n = 1 edges.
+        m in 1usize..20,
+        k in 0usize..24,
+        n in 1usize..36,
+        seed in 0u32..1000,
+    ) {
+        let a: Vec<f32> =
+            (0..m * k).map(|i| (((i as u32 + seed) % 97) as f32 - 48.0) * 0.03).collect();
+        let b: Vec<f32> =
+            (0..k * n).map(|i| (((i as u32 * 7 + seed) % 89) as f32 - 44.0) * 0.025).collect();
+        let mut want = vec![0.0f32; m * n];
+        gemm::matmul_naive(&a, &b, &mut want, m, k, n);
+        let mut got = vec![0.0f32; m * n];
+        gemm::gemm(&a, &b, &mut got, m, k, n);
+        let mut par = vec![0.0f32; m * n];
+        gemm::gemm_parallel(&a, &b, &mut par, m, k, n);
+        for ((g, p), w) in got.iter().zip(&par).zip(&want) {
+            prop_assert!((g - w).abs() <= 1e-4 * w.abs().max(1.0), "blocked {g} vs naive {w}");
+            // parallel vs serial blocked is bit-exact at any thread count
+            prop_assert!(p == g, "parallel {p} vs serial {g}");
+        }
+    }
+
+    #[test]
+    fn csr_spmm_matches_naive(
+        rows in 1usize..16,
+        cols in 1usize..16,
+        f in 1usize..8,
+        density_pct in 0usize..100,
+        seed in 0u32..1000,
+    ) {
+        // Pseudo-random sparsity pattern covering empty, banded-ish,
+        // and fully dense matrices.
+        let dense_data: Vec<f32> = (0..rows * cols)
+            .map(|i| {
+                let h = (i as u32).wrapping_mul(2654435761).wrapping_add(seed) % 100;
+                if (h as usize) < density_pct { (h as f32 - 50.0) * 0.04 } else { 0.0 }
+            })
+            .collect();
+        let dense = Tensor::from_vec(dense_data.clone(), &[rows, cols]);
+        let csr = CsrMatrix::from_dense(&dense);
+        let x: Vec<f32> =
+            (0..cols * f).map(|i| (((i as u32 * 13 + seed) % 71) as f32 - 35.0) * 0.05).collect();
+        let mut want = vec![0.0f32; rows * f];
+        gemm::matmul_naive(&dense_data, &x, &mut want, rows, cols, f);
+        let got = csr.matmul(&Tensor::from_vec(x, &[cols, f]));
+        for (g, w) in got.as_slice().iter().zip(&want) {
+            prop_assert!((g - w).abs() <= 1e-4 * w.abs().max(1.0), "csr {g} vs naive {w}");
+        }
+        // transpose round-trips through the counting sort
+        prop_assert_eq!(csr.transpose().transpose().to_dense(), dense);
     }
 
     #[test]

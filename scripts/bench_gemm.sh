@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Regenerates BENCH_gemm.json at the workspace root: seed-naive vs
+# blocked vs blocked+pool GEMM on the batch-1 METR-LA graph-conv shape
+# [207, 207] · [207, 64], and CSR vs dense spmm at 10% density.
+#
+# Usage:
+#   scripts/bench_gemm.sh            # full run (stable best-of timings)
+#   BENCH_SMOKE=1 scripts/bench_gemm.sh   # fast CI smoke pass
+#
+# TRAFFIC_THREADS caps the worker pool (default: all cores), e.g.:
+#   TRAFFIC_THREADS=8 scripts/bench_gemm.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+cargo bench -p traffic-bench --bench gemm
+echo
+echo "--- BENCH_gemm.json ---"
+cat BENCH_gemm.json

@@ -1,0 +1,39 @@
+//! Thread-count determinism: the compute pool splits only output ranges
+//! (never the reduction axis), so training must produce bit-identical
+//! losses no matter how many workers run. `TRAFFIC_THREADS=1` vs
+//! `TRAFFIC_THREADS=8` is exercised here via the equivalent
+//! [`pool::set_thread_cap`] override, which both runs in one process.
+
+use traffic_suite::core::{train, TrainConfig};
+use traffic_suite::data::{prepare, simulate, SimConfig, Task};
+use traffic_suite::models::{build_model, GraphContext};
+use traffic_suite::tensor::pool;
+
+fn stgcn_losses(thread_cap: usize) -> Vec<u32> {
+    pool::set_thread_cap(thread_cap);
+    pool::warmup();
+    let mut cfg = SimConfig::new("determinism", Task::Speed, 8, 5);
+    cfg.missing_rate = 0.0;
+    let ds = simulate(&cfg);
+    let data = prepare(&ds, 12, 12);
+    let ctx = GraphContext::from_network(&ds.network, 4);
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(7);
+    let model = build_model("STGCN", &ctx, &mut rng);
+    let train_cfg = TrainConfig {
+        epochs: 2,
+        batch_size: 16,
+        max_batches_per_epoch: Some(8),
+        ..Default::default()
+    };
+    let report = train(model.as_ref(), &data, &train_cfg);
+    // Compare exact bit patterns, not approximate values.
+    report.epoch_losses.iter().map(|l| l.to_bits()).collect()
+}
+
+#[test]
+fn stgcn_losses_identical_across_thread_counts() {
+    let serial = stgcn_losses(1);
+    let pooled = stgcn_losses(8);
+    pool::set_thread_cap(usize::MAX);
+    assert_eq!(serial, pooled, "2-epoch STGCN losses must be bit-identical with 1 vs 8 threads");
+}
