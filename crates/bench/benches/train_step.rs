@@ -1,0 +1,313 @@
+//! Training-step throughput benchmark behind `BENCH_train.json`.
+//!
+//! Not a criterion harness: the numbers feed an acceptance gate (see
+//! README §Performance). For STGCN and Graph-WaveNet on the simulated
+//! METR-LA shape (207 nodes, 12-in/12-out windows) it measures the full
+//! training step — forward, backward, gradient clip, optimizer — and
+//! reports three configurations per model:
+//!
+//! - `baseline`: the engine *before* the traffic-mem PR, measured by
+//!   the pinned harness `scripts/prepr_train_step.rs` in a worktree of
+//!   the pre-PR commit and passed in via `BENCH_PREPR_*` env vars
+//!   (`scripts/bench_train.sh --prepr` orchestrates this). When the
+//!   vars are absent, `baseline` falls back to the pool-off ablation
+//!   and says so in its `kind` field.
+//! - `pool_off`: the current engine with the buffer pool disabled
+//!   (`TRAFFIC_MEM_CAP=0`), a fresh `Tape` per step, and the allocating
+//!   reference optimizer (`Adam::step_reference`) — what recycling
+//!   alone buys on top of this PR's kernels.
+//! - `pooled`: the shipping configuration — buffer recycling on, one
+//!   tape reused via `Tape::reset()`, fused in-place `Adam::step`.
+//!
+//! Besides median wall-clock and thread-CPU seconds per step, each mode
+//! reports fresh heap bytes per step (the `mem/bytes_allocated` counter
+//! delta) and the pooled mode its steady-state `mem/pool_hit_rate`.
+//!
+//! Run with `scripts/bench_train.sh`, or directly:
+//! `cargo bench --bench train_step` (`BENCH_SMOKE=1` for a fast CI
+//! pass). Diagnostics: `BENCH_PHASES=1` prints per-phase mean times;
+//! `BENCH_MATRIX=1` sweeps pool/tape-reuse/fused-optimizer combos for
+//! STGCN and exits.
+
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use traffic_core::TrainConfig;
+use traffic_data::{batches, prepare, simulate, Batch, SimConfig, Task};
+use traffic_models::{build_model, train_horizon, GraphContext, TrainCtx};
+use traffic_nn::loss::{masked_mae, null_mask};
+use traffic_nn::Adam;
+use traffic_tensor::{mem, pool, Tape};
+
+struct ModeStats {
+    step_secs: f64,
+    cpu_step_secs: f64,
+    samples_per_sec: f64,
+    bytes_per_step: f64,
+    hit_rate: f64,
+}
+
+/// Nanoseconds this thread has actually run on a CPU
+/// (`/proc/thread-self/schedstat`, field 1). Unlike wall clock this is
+/// immune to scheduler steal from other tenants of the host, which on a
+/// shared single-core box can swamp a 1.3× effect with ±10% noise. All
+/// training work runs on the calling thread here (the worker pool only
+/// engages with ≥ 2 effective threads), so thread CPU time covers the
+/// whole step. Falls back to 0 where the file is absent (non-Linux);
+/// the JSON then reports wall clock only.
+fn thread_cpu_ns() -> u64 {
+    std::fs::read_to_string("/proc/thread-self/schedstat")
+        .ok()
+        .and_then(|s| s.split_whitespace().next().and_then(|v| v.parse().ok()))
+        .unwrap_or(0)
+}
+
+/// Runs `warmup + measure` training steps over `batch_set` (cycled) and
+/// times the measured window. `pooled` selects the traffic-mem
+/// configuration; the arithmetic is bit-identical either way.
+#[allow(clippy::too_many_arguments)]
+fn run_mode(
+    model_name: &str,
+    ctx: &GraphContext,
+    batch_set: &[Batch],
+    t_out: usize,
+    cfg: &TrainConfig,
+    pooled: bool,
+    warmup: usize,
+    measure: usize,
+) -> ModeStats {
+    run_matrix(model_name, ctx, batch_set, t_out, cfg, pooled, pooled, pooled, warmup, measure)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_matrix(
+    model_name: &str,
+    ctx: &GraphContext,
+    batch_set: &[Batch],
+    t_out: usize,
+    cfg: &TrainConfig,
+    pooled: bool,
+    reuse_tape: bool,
+    fused: bool,
+    warmup: usize,
+    measure: usize,
+) -> ModeStats {
+    if pooled {
+        mem::set_mem_cap(usize::MAX); // TRAFFIC_MEM_CAP / default
+    } else {
+        mem::set_mem_cap(0);
+    }
+    mem::trim();
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let model = build_model(model_name, ctx, &mut rng);
+    let mut opt = Adam::new(cfg.lr);
+    let horizon = train_horizon(model_name, t_out);
+    let mut tape = Tape::new();
+    let bytes = traffic_obs::counter("mem/bytes_allocated");
+    let hits = traffic_obs::counter("mem/pool_hits");
+    let misses = traffic_obs::counter("mem/pool_misses");
+    let mut batch_size = 0usize;
+    let mut phases = [0.0f64; 4];
+    let mut times = Vec::with_capacity(measure);
+    let mut cpu_times = Vec::with_capacity(measure);
+    let (mut b0, mut h0, mut m0) = (0u64, 0u64, 0u64);
+    for step in 0..warmup + measure {
+        if step == warmup {
+            (b0, h0, m0) = (bytes.get(), hits.get(), misses.get());
+        }
+        let t_step = Instant::now();
+        let cpu0 = thread_cpu_ns();
+        let batch = &batch_set[step % batch_set.len()];
+        batch_size = batch.x.shape()[0];
+        if reuse_tape {
+            tape.reset();
+        } else {
+            tape = Tape::new();
+        }
+        let x = tape.constant(batch.x.clone());
+        let y_norm = batch.y_norm.narrow(1, 0, horizon);
+        let y_raw = batch.y_raw.narrow(1, 0, horizon);
+        let mut tctx = TrainCtx { rng: &mut rng, teacher: Some(&batch.y_norm), teacher_prob: 0.5 };
+        let p0 = Instant::now();
+        let pred = model.forward(&tape, x, Some(&mut tctx));
+        let mask = null_mask(&y_raw, 1e-3);
+        let loss = masked_mae(&tape, pred, &y_norm, &mask);
+        let p1 = Instant::now();
+        let grads = tape.backward(loss);
+        let p2 = Instant::now();
+        model.store().zero_grads();
+        model.store().capture_grads(&tape, &grads);
+        model.store().clip_grad_norm(cfg.grad_clip);
+        let p3 = Instant::now();
+        if fused {
+            opt.step(model.store());
+        } else {
+            opt.step_reference(model.store());
+        }
+        if step >= warmup {
+            phases[0] += p1.duration_since(p0).as_secs_f64();
+            phases[1] += p2.duration_since(p1).as_secs_f64();
+            phases[2] += p3.duration_since(p2).as_secs_f64();
+            phases[3] += p3.elapsed().as_secs_f64();
+        }
+        if step >= warmup {
+            times.push(t_step.elapsed().as_secs_f64());
+            cpu_times.push((thread_cpu_ns() - cpu0) as f64 * 1e-9);
+        }
+    }
+    // Median step time: robust to interference spikes from the rest of
+    // the machine, which a mean over a short window is not.
+    times.sort_by(f64::total_cmp);
+    let secs = times[times.len() / 2];
+    cpu_times.sort_by(f64::total_cmp);
+    let cpu_secs = cpu_times[cpu_times.len() / 2];
+    if std::env::var("BENCH_PHASES").map(|v| v == "1").unwrap_or(false) {
+        eprintln!(
+            "  phases (mean ms): fwd {:.1} bwd {:.1} clip {:.1} opt {:.1}",
+            phases[0] * 1e3 / measure as f64,
+            phases[1] * 1e3 / measure as f64,
+            phases[2] * 1e3 / measure as f64,
+            phases[3] * 1e3 / measure as f64,
+        );
+    }
+    let (db, dh, dm) = (bytes.get() - b0, (hits.get() - h0) as f64, (misses.get() - m0) as f64);
+    mem::refresh_gauges();
+    mem::set_mem_cap(usize::MAX);
+    ModeStats {
+        step_secs: secs,
+        cpu_step_secs: cpu_secs,
+        samples_per_sec: batch_size as f64 / secs,
+        bytes_per_step: db as f64 / measure as f64,
+        hit_rate: if dh + dm > 0.0 { dh / (dh + dm) } else { 0.0 },
+    }
+}
+
+fn main() {
+    let smoke = std::env::var("BENCH_SMOKE").map(|v| v == "1").unwrap_or(false);
+    // METR-LA shape: 207 sensors, 12-step in/out windows (paper §V).
+    let (nodes, batch_size, warmup, measure) = if smoke { (16, 8, 1, 2) } else { (207, 16, 3, 25) };
+    pool::warmup();
+    let threads = pool::num_threads();
+
+    let mut sim = SimConfig::new("bench-train", Task::Speed, nodes, 2);
+    sim.missing_rate = 0.0;
+    let ds = simulate(&sim);
+    let data = prepare(&ds, 12, 12);
+    let ctx = GraphContext::from_network(&ds.network, 4);
+    let cfg = TrainConfig { batch_size, ..Default::default() };
+    let mut shuffle = StdRng::seed_from_u64(cfg.seed);
+    let batch_set: Vec<Batch> =
+        batches(&data.train, batch_size, Some(&mut shuffle)).take(8).collect();
+
+    if std::env::var("BENCH_MATRIX").map(|v| v == "1").unwrap_or(false) {
+        for (pool_on, reuse, fused) in
+            [(false, false, false), (true, false, false), (true, true, false), (true, true, true)]
+        {
+            let s = run_matrix(
+                "STGCN", &ctx, &batch_set, data.t_out, &cfg, pool_on, reuse, fused, warmup, measure,
+            );
+            eprintln!(
+                "pool={} reuse={} fused={}: wall {:.4}s cpu {:.4}s/step ({:.0} bytes/step)",
+                pool_on, reuse, fused, s.step_secs, s.cpu_step_secs, s.bytes_per_step
+            );
+        }
+        return;
+    }
+
+    let prepr_commit = std::env::var("BENCH_PREPR_COMMIT").ok();
+    let mut entries = Vec::new();
+    for model_name in ["STGCN", "Graph-WaveNet"] {
+        eprintln!("benchmarking {model_name} (pool-off ablation)...");
+        let base = run_mode(model_name, &ctx, &batch_set, data.t_out, &cfg, false, warmup, measure);
+        eprintln!("benchmarking {model_name} (pooled)...");
+        let pooled =
+            run_mode(model_name, &ctx, &batch_set, data.t_out, &cfg, true, warmup, measure);
+        let peak_nodes = traffic_obs::gauge("mem/tape_peak_nodes").get();
+        // Pre-PR baseline measured by scripts/prepr_train_step.rs,
+        // handed over as BENCH_PREPR_<MODEL>_SECS / _CPU_SECS.
+        let env_key = model_name.to_uppercase().replace('-', "_");
+        let prepr: Option<(f64, f64)> = match (
+            std::env::var(format!("BENCH_PREPR_{env_key}_SECS")),
+            std::env::var(format!("BENCH_PREPR_{env_key}_CPU_SECS")),
+        ) {
+            (Ok(w), Ok(c)) => w.parse().ok().zip(c.parse().ok()),
+            _ => None,
+        };
+        let (baseline_json, base_secs) = match (&prepr, &prepr_commit) {
+            (Some((w, c)), Some(commit)) => (
+                format!(
+                    "{{\"kind\": \"prepr\", \"commit\": \"{commit}\", \
+                     \"step_secs\": {w:.6e}, \"cpu_step_secs\": {c:.6e}}}"
+                ),
+                *w,
+            ),
+            _ => (
+                format!(
+                    "{{\"kind\": \"pool_off_ablation\", \"step_secs\": {:.6e}, \
+                     \"cpu_step_secs\": {:.6e}}}",
+                    base.step_secs, base.cpu_step_secs
+                ),
+                base.step_secs,
+            ),
+        };
+        entries.push(format!(
+            concat!(
+                "    \"{name}\": {{\n",
+                "      \"baseline\": {baseline},\n",
+                "      \"pool_off\": {{\"step_secs\": {bs:.6e}, \"cpu_step_secs\": {bc:.6e}, ",
+                "\"samples_per_sec\": {bsp:.2}, \"bytes_allocated_per_step\": {bb:.0}}},\n",
+                "      \"pooled\": {{\"step_secs\": {ps:.6e}, \"cpu_step_secs\": {pc:.6e}, ",
+                "\"samples_per_sec\": {psp:.2}, ",
+                "\"bytes_allocated_per_step\": {pb:.0}, \"pool_hit_rate\": {hr:.4}}},\n",
+                "      \"tape_peak_nodes\": {peak:.0},\n",
+                "      \"speedup_pooled_vs_baseline\": {spd:.3},\n",
+                "      \"speedup_pooled_vs_pool_off\": {spd_ab:.3}\n",
+                "    }}"
+            ),
+            name = model_name,
+            baseline = baseline_json,
+            bs = base.step_secs,
+            bc = base.cpu_step_secs,
+            bsp = base.samples_per_sec,
+            bb = base.bytes_per_step,
+            ps = pooled.step_secs,
+            pc = pooled.cpu_step_secs,
+            psp = pooled.samples_per_sec,
+            pb = pooled.bytes_per_step,
+            hr = pooled.hit_rate,
+            peak = peak_nodes,
+            spd = base_secs / pooled.step_secs,
+            spd_ab = base.step_secs / pooled.step_secs,
+        ));
+    }
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"dataset\": {{\"nodes\": {nodes}, \"t_in\": 12, \"t_out\": 12, ",
+            "\"batch_size\": {batch}}},\n",
+            "  \"pool_threads\": {threads},\n",
+            "  \"smoke\": {smoke},\n",
+            "  \"steps\": {{\"warmup\": {warmup}, \"measured\": {measure}}},\n",
+            "  \"models\": {{\n",
+            "{entries}\n",
+            "  }}\n",
+            "}}\n"
+        ),
+        nodes = nodes,
+        batch = batch_size,
+        threads = threads,
+        smoke = smoke,
+        warmup = warmup,
+        measure = measure,
+        entries = entries.join(",\n"),
+    );
+    print!("{json}");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_train.json");
+    if let Err(e) = std::fs::write(path, &json) {
+        eprintln!("warning: could not write {path}: {e}");
+    } else {
+        eprintln!("wrote {path}");
+    }
+}

@@ -87,13 +87,16 @@ pub fn validation_loss(
 ) -> f32 {
     let mut sum = 0.0f64;
     let mut count = 0usize;
+    // One tape for the whole split: `reset` keeps the node list's
+    // capacity and recycles node buffers into the traffic-mem pool.
+    let mut tape = Tape::new();
     for batch in batches(data, batch_size, None::<&mut StdRng>) {
         if let Some(cap) = max_batches {
             if count >= cap {
                 break;
             }
         }
-        let tape = Tape::new();
+        tape.reset();
         let x = tape.constant(batch.x.clone());
         let pred = model.forward(&tape, x, None);
         let pred = pred.narrow(1, 0, horizon);
@@ -129,6 +132,9 @@ pub fn train(model: &dyn TrafficModel, data: &PreparedData, cfg: &TrainConfig) -
     let mut global_step = 0usize;
     let mut best: Option<(f32, usize, Vec<Tensor>)> = None;
     let mut stale = 0usize;
+    // One tape for the whole run; `reset` per batch retains capacity and
+    // returns the previous batch's node buffers to the traffic-mem pool.
+    let mut tape = Tape::new();
     for _epoch in 0..cfg.epochs {
         if let Some((gamma, every)) = cfg.lr_decay {
             let schedule = traffic_nn::StepDecay::new(cfg.lr, gamma, every);
@@ -148,7 +154,7 @@ pub fn train(model: &dyn TrafficModel, data: &PreparedData, cfg: &TrainConfig) -
             }
             let batch_span = span!("train/batch");
             let batch_samples = batch.x.shape()[0];
-            let tape = Tape::new();
+            tape.reset();
             let x = tape.constant(batch.x.clone());
             let y_norm = batch.y_norm.narrow(1, 0, horizon);
             let y_raw = batch.y_raw.narrow(1, 0, horizon);
@@ -180,6 +186,8 @@ pub fn train(model: &dyn TrafficModel, data: &PreparedData, cfg: &TrainConfig) -
         let epoch_dur = epoch_span.finish();
         epoch_times.push(epoch_dur);
         histogram("train.epoch_s").record_duration(epoch_dur);
+        // Publish mem/pool_hit_rate & friends once per epoch.
+        traffic_tensor::mem::refresh_gauges();
         let mut stop = false;
         if let Some(patience) = cfg.early_stop_patience {
             let vl = if data.val.is_empty() {
@@ -250,11 +258,14 @@ pub fn predict(
     batch_size: usize,
 ) -> Tensor {
     let mut parts: Vec<Tensor> = Vec::new();
+    let mut tape = Tape::new();
     for batch in batches(data, batch_size, None::<&mut StdRng>) {
-        let tape = Tape::new();
+        tape.reset();
         let x = tape.constant(batch.x.clone());
         let pred = model.forward(&tape, x, None);
-        parts.push(scaler.inverse(&pred.value()));
+        let mut denorm = pred.value();
+        scaler.inverse_owned(&mut denorm);
+        parts.push(denorm);
     }
     let refs: Vec<&Tensor> = parts.iter().collect();
     Tensor::concat(&refs, 0)

@@ -34,6 +34,19 @@ impl ZScore {
     pub fn inverse(&self, data: &Tensor) -> Tensor {
         data.map(|v| v * self.std + self.mean)
     }
+
+    /// In-place `(x - mean) / std` on an owned tensor (same arithmetic
+    /// as [`ZScore::transform`], no fresh allocation when unshared).
+    pub fn transform_owned(&self, data: &mut Tensor) {
+        let (mean, std) = (self.mean, self.std);
+        data.map_inplace(move |v| (v - mean) / std);
+    }
+
+    /// In-place `x * std + mean` on an owned tensor.
+    pub fn inverse_owned(&self, data: &mut Tensor) {
+        let (mean, std) = (self.mean, self.std);
+        data.map_inplace(move |v| v * std + mean);
+    }
 }
 
 /// Min-max scaler to `[0, 1]`.
@@ -80,6 +93,20 @@ mod tests {
         for (a, b) in back.as_slice().iter().zip(x.as_slice()) {
             assert!((a - b).abs() < 1e-4);
         }
+    }
+
+    #[test]
+    fn zscore_owned_matches_allocating() {
+        let x = Tensor::from_vec(vec![50.0, 60.0, 70.0, 65.0], &[4]);
+        let s = ZScore::fit(&x);
+        let mut z_owned = x.clone();
+        s.transform_owned(&mut z_owned);
+        assert_eq!(z_owned.as_slice(), s.transform(&x).as_slice());
+        let mut back = z_owned.clone();
+        s.inverse_owned(&mut back);
+        assert_eq!(back.as_slice(), s.inverse(&z_owned).as_slice());
+        // the source tensor is untouched (copy-on-write)
+        assert_eq!(x.as_slice(), &[50.0, 60.0, 70.0, 65.0]);
     }
 
     #[test]

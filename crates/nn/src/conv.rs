@@ -131,11 +131,13 @@ impl GatedTemporalConv {
         GatedTemporalConv { filter, gate }
     }
 
-    /// `tanh(F(x)) ⊙ σ(G(x))` on `[B, C, N, T]`.
+    /// `tanh(F(x)) ⊙ σ(G(x))` on `[B, C, N, T]`, as one fused tape node
+    /// (`Var::gated_tanh_sigmoid`): single-pass forward and backward
+    /// instead of three elementwise ops, bit-identical arithmetic.
     pub fn forward<'t>(&self, tape: &'t Tape, x: Var<'t>) -> Var<'t> {
-        let f = self.filter.forward(tape, x).tanh();
-        let g = self.gate.forward(tape, x).sigmoid();
-        f.mul(&g)
+        let f = self.filter.forward(tape, x);
+        let g = self.gate.forward(tape, x);
+        f.gated_tanh_sigmoid(&g)
     }
 }
 

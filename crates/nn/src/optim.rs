@@ -1,4 +1,13 @@
 //! First-order optimizers operating on a [`ParamStore`].
+//!
+//! The `step` implementations are fused and in-place (traffic-mem): the
+//! moment buffers are updated with [`Tensor::zip_map_assign`] and the
+//! parameter write goes through [`crate::param::Parameter::update_value`],
+//! so a steady-state optimizer step performs zero heap allocations. The
+//! per-element arithmetic (and its order) is exactly that of the
+//! allocating reference implementations kept alongside
+//! ([`Adam::step_reference`], [`Sgd::step_reference`]) — the test suite
+//! asserts the two remain bit-identical.
 
 use traffic_tensor::Tensor;
 
@@ -34,7 +43,34 @@ impl Sgd {
     }
 
     /// Applies one update using the gradients stored in `store`.
+    /// Fused and in-place; bit-identical to [`Sgd::step_reference`].
     pub fn step(&mut self, store: &ParamStore) {
+        self.velocity.resize(store.len(), None);
+        let (lr, mom, wd) = (self.lr, self.momentum, self.weight_decay);
+        for (i, p) in store.params().iter().enumerate() {
+            let Some(mut g) = p.grad() else { continue };
+            if wd > 0.0 {
+                let pv = p.value();
+                g.zip_map_assign(&pv, |gi, pi| gi + pi * wd);
+            }
+            let update = if mom > 0.0 {
+                match &mut self.velocity[i] {
+                    Some(v) => v.zip_map_assign(&g, |vi, gi| vi * mom + gi),
+                    slot => *slot = Some(g),
+                }
+                self.velocity[i].as_ref().unwrap().clone()
+            } else {
+                g
+            };
+            p.update_value(|t| t.zip_map_assign(&update, |pi, ui| pi - ui * lr));
+        }
+    }
+
+    /// The original allocating implementation, kept as the arithmetic
+    /// reference for the fused [`Sgd::step`] (tests assert bit-identical
+    /// parameter trajectories) and as the pre-traffic-mem baseline for
+    /// the training-throughput bench.
+    pub fn step_reference(&mut self, store: &ParamStore) {
         self.velocity.resize(store.len(), None);
         for (i, p) in store.params().iter().enumerate() {
             let Some(mut g) = p.grad() else { continue };
@@ -101,7 +137,46 @@ impl Adam {
     }
 
     /// Applies one update using the gradients stored in `store`.
+    /// Fused and in-place; bit-identical to [`Adam::step_reference`].
     pub fn step(&mut self, store: &ParamStore) {
+        self.m.resize(store.len(), None);
+        self.v.resize(store.len(), None);
+        self.t += 1;
+        // Same scalar prefactors the reference computes via `mul_scalar`.
+        let (b1, b2, eps, lr, wd) = (self.beta1, self.beta2, self.eps, self.lr, self.weight_decay);
+        let c1 = 1.0 - b1;
+        let c2 = 1.0 - b2;
+        let inv_bc1 = 1.0 / (1.0 - b1.powi(self.t));
+        let inv_bc2 = 1.0 / (1.0 - b2.powi(self.t));
+        for (i, p) in store.params().iter().enumerate() {
+            let Some(mut g) = p.grad() else { continue };
+            if wd > 0.0 {
+                let pv = p.value();
+                g.zip_map_assign(&pv, |gi, pi| gi + pi * wd);
+            }
+            match &mut self.m[i] {
+                Some(m) => m.zip_map_assign(&g, |mi, gi| mi * b1 + gi * c1),
+                slot => *slot = Some(g.map(|gi| gi * c1)),
+            }
+            match &mut self.v[i] {
+                Some(v) => v.zip_map_assign(&g, |vi, gi| vi * b2 + (gi * gi) * c2),
+                slot => *slot = Some(g.map(|gi| (gi * gi) * c2)),
+            }
+            let (m, v) = (self.m[i].as_ref().unwrap(), self.v[i].as_ref().unwrap());
+            p.update_value(|t| {
+                t.zip_map2_assign(m, v, |pi, mi, vi| {
+                    let update = (mi * inv_bc1) / ((vi * inv_bc2).sqrt() + eps);
+                    pi - update * lr
+                })
+            });
+        }
+    }
+
+    /// The original allocating implementation, kept as the arithmetic
+    /// reference for the fused [`Adam::step`] (tests assert bit-identical
+    /// parameter trajectories) and as the pre-traffic-mem baseline for
+    /// the training-throughput bench.
+    pub fn step_reference(&mut self, store: &ParamStore) {
         self.m.resize(store.len(), None);
         self.v.resize(store.len(), None);
         self.t += 1;
@@ -222,6 +297,55 @@ mod tests {
         let p = plain_store.params()[0].value().item();
         let m = momentum_store.params()[0].value().item();
         assert!(m < p, "momentum should descend faster: {m} vs {p}");
+    }
+
+    fn seeded_store() -> ParamStore {
+        let mut store = ParamStore::new();
+        let w: Vec<f32> = (0..37).map(|i| ((i % 13) as f32 - 6.0) * 0.37).collect();
+        store.add("w", Tensor::from_vec(w, &[37]));
+        store
+    }
+
+    fn bits(t: &Tensor) -> Vec<u32> {
+        t.as_slice().iter().map(|v| v.to_bits()).collect()
+    }
+
+    #[test]
+    fn fused_adam_bit_identical_to_reference() {
+        let fused_store = seeded_store();
+        let ref_store = seeded_store();
+        let mut fused = Adam::new(0.05).with_weight_decay(1e-3);
+        let mut reference = Adam::new(0.05).with_weight_decay(1e-3);
+        for step in 0..25 {
+            quadratic_step(&fused_store);
+            fused.step(&fused_store);
+            quadratic_step(&ref_store);
+            reference.step_reference(&ref_store);
+            assert_eq!(
+                bits(&fused_store.params()[0].value()),
+                bits(&ref_store.params()[0].value()),
+                "fused Adam diverged from reference at step {step}"
+            );
+        }
+    }
+
+    #[test]
+    fn fused_sgd_bit_identical_to_reference() {
+        let fused_store = seeded_store();
+        let ref_store = seeded_store();
+        let mut fused = Sgd::with_momentum(0.05, 0.9, 1e-3);
+        let mut reference = Sgd::with_momentum(0.05, 0.9, 1e-3);
+        for step in 0..25 {
+            quadratic_step(&fused_store);
+            fused.step(&fused_store);
+            quadratic_step(&ref_store);
+            reference.step_reference(&ref_store);
+            assert_eq!(
+                bits(&fused_store.params()[0].value()),
+                bits(&ref_store.params()[0].value()),
+                "fused SGD diverged from reference at step {step}"
+            );
+        }
     }
 
     #[test]

@@ -63,6 +63,13 @@ impl Parameter {
         *self.value.borrow_mut() = t;
     }
 
+    /// Mutates the value in place (fused optimizer steps). The closure
+    /// gets the stored tensor directly; copy-on-write inside the tensor
+    /// keeps any outstanding snapshots/tape leaves unchanged.
+    pub fn update_value(&self, f: impl FnOnce(&mut Tensor)) {
+        f(&mut self.value.borrow_mut());
+    }
+
     /// The gradient captured by the last backward pass, if any.
     pub fn grad(&self) -> Option<Tensor> {
         self.grad.borrow().clone()
@@ -94,10 +101,12 @@ impl Parameter {
         }
         if let Some(g) = grads.get_by_id(vid) {
             let mut slot = self.grad.borrow_mut();
-            *slot = Some(match slot.take() {
-                Some(acc) => acc.add(g),
-                None => g.clone(),
-            });
+            match &mut *slot {
+                // In-place accumulation: same elementwise add order as
+                // the old allocating `acc.add(g)`.
+                Some(acc) => acc.add_assign(g),
+                none => *none = Some(g.clone()),
+            }
         }
     }
 }
@@ -175,8 +184,10 @@ impl ParamStore {
         if norm > max_norm && norm > 0.0 {
             let scale = max_norm / norm;
             for p in &self.params {
-                let scaled = p.grad().map(|g| g.mul_scalar(scale));
-                *p.grad.borrow_mut() = scaled;
+                if let Some(g) = p.grad.borrow_mut().as_mut() {
+                    // In place; same arithmetic as `g.mul_scalar(scale)`.
+                    g.map_inplace(|v| v * scale);
+                }
             }
         }
         norm

@@ -21,7 +21,8 @@ pub fn im2col(input: &Tensor, kh: usize, kw: usize, dh: usize, dw: usize) -> Ten
     let oh = conv_out_len(h, kh, dh);
     let ow = conv_out_len(w, kw, dw);
     let batch_block = c * kh * kw * oh * ow;
-    let mut out = vec![0.0f32; b * batch_block];
+    // Every output slot is covered by exactly one contiguous copy below.
+    let mut out = crate::mem::take_uninit(b * batch_block);
     let data = input.as_slice();
     let in_hw = h * w;
     let out_cols = oh * ow;
@@ -76,7 +77,8 @@ pub fn col2im(
     assert_eq!(cols.shape()[1], c * kh * kw);
     assert_eq!(cols.shape()[2], oh * ow);
     let batch_block = c * h * w;
-    let mut out = vec![0.0f32; b * batch_block];
+    // The fold accumulates (`+=`), so the output must start zeroed.
+    let mut out = crate::mem::take_zeroed(b * batch_block);
     let data = cols.as_slice();
     let out_cols = oh * ow;
     // Overlapping kernel taps only collide within one batch element, so

@@ -1,5 +1,6 @@
-//! Blocked single-precision GEMM (`out += a · b`) and the naive
-//! reference kernel it replaced.
+//! Blocked single-precision GEMM (`out += a · b`, plus an
+//! overwrite-mode `out = a · b` variant) and the naive reference
+//! kernel it replaced.
 //!
 //! The kernel cache-blocks the reduction axis (`KC`) and register-tiles
 //! the output (`MR × NR`): each tile is loaded once, accumulated in
@@ -78,6 +79,190 @@ pub fn matmul_naive(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n
 /// Serial blocked GEMM: `out += a · b` with `a: [m, k]`, `b: [k, n]`,
 /// `out: [m, n]`, all contiguous row-major.
 pub fn gemm(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    gemm_impl::<false>(a, b, out, m, k, n);
+}
+
+/// Serial blocked GEMM that *overwrites*: `out = a · b`, ignoring
+/// whatever `out` held before (it may be recycled-buffer garbage).
+///
+/// The first `k`-block initialises the register tile to `0.0` instead
+/// of loading `out` — the floating-point operation sequence per element
+/// is exactly "start from zero, add `k` products in ascending order",
+/// identical to calling [`gemm`] on a pre-zeroed buffer, so the two are
+/// bit-for-bit equal. It exists so callers can feed pooled buffers from
+/// `mem::take_uninit` and skip a full memset pass over the output.
+pub fn gemm_overwrite(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    if k == 0 {
+        // Empty reduction: the product is all zeros, and there is no
+        // k-block to write them for us.
+        out.fill(0.0);
+        return;
+    }
+    gemm_impl::<true>(a, b, out, m, k, n);
+}
+
+/// Overwrite-mode GEMM with the *left* operand given in transposed
+/// storage: `at` holds `aᵀ` as a row-major `[k, m]` matrix and the call
+/// computes `out = a · b`. The packing step reads `R` *consecutive*
+/// elements per `k`-row (better than the strided gather the normal
+/// orientation needs), so backward passes can feed activations straight
+/// from memory instead of materialising a full `.t()` copy first.
+/// Arithmetic per output element is the ascending-`k` sequence of
+/// [`gemm`]; results are bit-identical to `gemm_overwrite` on a
+/// pre-transposed copy.
+pub fn gemm_overwrite_at(at: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(at.len(), k * m);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(out.len(), m * n);
+    if k == 0 {
+        out.fill(0.0);
+        return;
+    }
+    if m == 0 || n == 0 {
+        return;
+    }
+    let mut a_pack = [0.0f32; MR * KC];
+    let mut pc = 0;
+    while pc < k {
+        let kc = KC.min(k - pc);
+        let first = pc == 0;
+        let b_panel = &b[pc * n..(pc + kc) * n];
+        // `at` rows pc..pc+kc hold the k-slice; column i is output row i.
+        let at_panel = &at[pc * m..(pc + kc) * m];
+        let mut i = 0;
+        while i + MR <= m {
+            pack_at::<MR>(&mut a_pack, &at_panel[i..], m, kc);
+            let out_rows = &mut out[i * n..(i + MR) * n];
+            if first {
+                micro_tile::<MR, true>(&a_pack, b_panel, out_rows, kc, n);
+            } else {
+                micro_tile::<MR, false>(&a_pack, b_panel, out_rows, kc, n);
+            }
+            i += MR;
+        }
+        let rem = m - i;
+        if rem > 0 {
+            let at_rows = &at_panel[i..];
+            let out_rows = &mut out[i * n..(i + rem) * n];
+            macro_rules! tail_at {
+                ($r:literal, $first:literal) => {{
+                    pack_at::<$r>(&mut a_pack, at_rows, m, kc);
+                    micro_tile::<$r, $first>(&a_pack, b_panel, out_rows, kc, n);
+                }};
+            }
+            match (rem, first) {
+                (1, true) => tail_at!(1, true),
+                (2, true) => tail_at!(2, true),
+                (3, true) => tail_at!(3, true),
+                (4, true) => tail_at!(4, true),
+                (_, true) => tail_at!(5, true),
+                (1, false) => tail_at!(1, false),
+                (2, false) => tail_at!(2, false),
+                (3, false) => tail_at!(3, false),
+                (4, false) => tail_at!(4, false),
+                (_, false) => tail_at!(5, false),
+            }
+        }
+        pc += kc;
+    }
+}
+
+/// Overwrite-mode GEMM with the *right* operand given in transposed
+/// storage: `bt` holds `bᵀ` as a row-major `[n, k]` matrix and the call
+/// computes `out = a · b`. Each `k`-block transposes its `kc × n` slice
+/// of `b` into `scratch` (caller-provided, at least `min(k, KC) · n`
+/// long — pass a pooled buffer) and then runs the normal kernel on the
+/// packed panel, which is a pure data-movement change: results are
+/// bit-identical to `gemm_overwrite` on a pre-transposed copy, without
+/// ever materialising one at full size.
+pub fn gemm_overwrite_bt(
+    a: &[f32],
+    bt: &[f32],
+    scratch: &mut [f32],
+    out: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(bt.len(), n * k);
+    debug_assert_eq!(out.len(), m * n);
+    if k == 0 {
+        out.fill(0.0);
+        return;
+    }
+    if m == 0 || n == 0 {
+        return;
+    }
+    debug_assert!(scratch.len() >= KC.min(k) * n);
+    let mut a_pack = [0.0f32; MR * KC];
+    let mut pc = 0;
+    while pc < k {
+        let kc = KC.min(k - pc);
+        let first = pc == 0;
+        // Transpose this k-slice of bᵀ into the scratch panel:
+        // scratch[p][j] = bt[j][pc + p]. The panel is small enough to
+        // stay cached while every output row streams past it.
+        for (j, bt_row) in bt.chunks_exact(k).enumerate() {
+            for (p, &v) in bt_row[pc..pc + kc].iter().enumerate() {
+                scratch[p * n + j] = v;
+            }
+        }
+        let b_panel = &scratch[..kc * n];
+        let mut i = 0;
+        while i + MR <= m {
+            pack_a::<MR>(&mut a_pack, &a[i * k + pc..], k, kc);
+            let out_rows = &mut out[i * n..(i + MR) * n];
+            if first {
+                micro_tile::<MR, true>(&a_pack, b_panel, out_rows, kc, n);
+            } else {
+                micro_tile::<MR, false>(&a_pack, b_panel, out_rows, kc, n);
+            }
+            i += MR;
+        }
+        let rem = m - i;
+        if rem > 0 {
+            let a_rows = &a[i * k + pc..];
+            let out_rows = &mut out[i * n..(i + rem) * n];
+            if first {
+                match rem {
+                    1 => tail::<1, true>(&mut a_pack, a_rows, k, b_panel, out_rows, kc, n),
+                    2 => tail::<2, true>(&mut a_pack, a_rows, k, b_panel, out_rows, kc, n),
+                    3 => tail::<3, true>(&mut a_pack, a_rows, k, b_panel, out_rows, kc, n),
+                    4 => tail::<4, true>(&mut a_pack, a_rows, k, b_panel, out_rows, kc, n),
+                    _ => tail::<5, true>(&mut a_pack, a_rows, k, b_panel, out_rows, kc, n),
+                }
+            } else {
+                match rem {
+                    1 => tail::<1, false>(&mut a_pack, a_rows, k, b_panel, out_rows, kc, n),
+                    2 => tail::<2, false>(&mut a_pack, a_rows, k, b_panel, out_rows, kc, n),
+                    3 => tail::<3, false>(&mut a_pack, a_rows, k, b_panel, out_rows, kc, n),
+                    4 => tail::<4, false>(&mut a_pack, a_rows, k, b_panel, out_rows, kc, n),
+                    _ => tail::<5, false>(&mut a_pack, a_rows, k, b_panel, out_rows, kc, n),
+                }
+            }
+        }
+        pc += kc;
+    }
+}
+
+/// Scratch length [`gemm_overwrite_bt`] needs for a `k × n` right-hand
+/// side: one `kc × n` panel.
+pub fn bt_scratch_len(k: usize, n: usize) -> usize {
+    KC.min(k) * n
+}
+
+/// Shared body of [`gemm`] / [`gemm_overwrite`]. `OVERWRITE` selects
+/// whether the *first* `k`-block loads the output tile (accumulate) or
+/// starts it at zero (overwrite); later blocks always accumulate.
+fn gemm_impl<const OVERWRITE: bool>(
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
     debug_assert_eq!(a.len(), m * k);
     debug_assert_eq!(b.len(), k * n);
     debug_assert_eq!(out.len(), m * n);
@@ -90,23 +275,39 @@ pub fn gemm(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize)
     let mut pc = 0;
     while pc < k {
         let kc = KC.min(k - pc);
+        let first = OVERWRITE && pc == 0;
         let b_panel = &b[pc * n..(pc + kc) * n];
         let mut i = 0;
         while i + MR <= m {
             pack_a::<MR>(&mut a_pack, &a[i * k + pc..], k, kc);
-            micro_tile::<MR>(&a_pack, b_panel, &mut out[i * n..(i + MR) * n], kc, n);
+            let out_rows = &mut out[i * n..(i + MR) * n];
+            if first {
+                micro_tile::<MR, true>(&a_pack, b_panel, out_rows, kc, n);
+            } else {
+                micro_tile::<MR, false>(&a_pack, b_panel, out_rows, kc, n);
+            }
             i += MR;
         }
         let rem = m - i;
         if rem > 0 {
             let a_rows = &a[i * k + pc..];
             let out_rows = &mut out[i * n..(i + rem) * n];
-            match rem {
-                1 => tail::<1>(&mut a_pack, a_rows, k, b_panel, out_rows, kc, n),
-                2 => tail::<2>(&mut a_pack, a_rows, k, b_panel, out_rows, kc, n),
-                3 => tail::<3>(&mut a_pack, a_rows, k, b_panel, out_rows, kc, n),
-                4 => tail::<4>(&mut a_pack, a_rows, k, b_panel, out_rows, kc, n),
-                _ => tail::<5>(&mut a_pack, a_rows, k, b_panel, out_rows, kc, n),
+            if first {
+                match rem {
+                    1 => tail::<1, true>(&mut a_pack, a_rows, k, b_panel, out_rows, kc, n),
+                    2 => tail::<2, true>(&mut a_pack, a_rows, k, b_panel, out_rows, kc, n),
+                    3 => tail::<3, true>(&mut a_pack, a_rows, k, b_panel, out_rows, kc, n),
+                    4 => tail::<4, true>(&mut a_pack, a_rows, k, b_panel, out_rows, kc, n),
+                    _ => tail::<5, true>(&mut a_pack, a_rows, k, b_panel, out_rows, kc, n),
+                }
+            } else {
+                match rem {
+                    1 => tail::<1, false>(&mut a_pack, a_rows, k, b_panel, out_rows, kc, n),
+                    2 => tail::<2, false>(&mut a_pack, a_rows, k, b_panel, out_rows, kc, n),
+                    3 => tail::<3, false>(&mut a_pack, a_rows, k, b_panel, out_rows, kc, n),
+                    4 => tail::<4, false>(&mut a_pack, a_rows, k, b_panel, out_rows, kc, n),
+                    _ => tail::<5, false>(&mut a_pack, a_rows, k, b_panel, out_rows, kc, n),
+                }
             }
         }
         pc += kc;
@@ -125,9 +326,20 @@ fn pack_a<const R: usize>(a_pack: &mut [f32], a_rows: &[f32], lda: usize, kc: us
     }
 }
 
+/// Packs an `R × kc` tile of `a` from *transposed* storage: `at_cols`
+/// starts at row 0, column `i` of the `[kc, m]` panel (row stride
+/// `ldat`), so `a_pack[p * R + r] = at[p][r]` — a contiguous `R`-wide
+/// copy per `k`-row, no striding at all.
+#[inline(always)]
+fn pack_at<const R: usize>(a_pack: &mut [f32], at_cols: &[f32], ldat: usize, kc: usize) {
+    for p in 0..kc {
+        a_pack[p * R..p * R + R].copy_from_slice(&at_cols[p * ldat..p * ldat + R]);
+    }
+}
+
 #[inline(always)]
 #[allow(clippy::too_many_arguments)] // internal trampoline mirroring micro_tile
-fn tail<const R: usize>(
+fn tail<const R: usize, const FIRST: bool>(
     a_pack: &mut [f32],
     a_rows: &[f32],
     lda: usize,
@@ -137,16 +349,18 @@ fn tail<const R: usize>(
     n: usize,
 ) {
     pack_a::<R>(a_pack, a_rows, lda, kc);
-    micro_tile::<R>(a_pack, b_panel, out_rows, kc, n);
+    micro_tile::<R, FIRST>(a_pack, b_panel, out_rows, kc, n);
 }
 
 /// `R`-row register tile: walks the output in `R × NR` strips, each
 /// loaded into a register accumulator, updated for every `p` in the
 /// `k`-block, and stored back once. `a_pack` is the tile of `a` in
 /// `p`-major packed layout (see [`pack_a`]); `out_rows` is `R`
-/// contiguous output rows.
+/// contiguous output rows. With `FIRST` the accumulator starts at zero
+/// instead of loading `out_rows` (whose contents may be garbage) —
+/// per-element arithmetic is otherwise identical.
 #[inline(always)]
-fn micro_tile<const R: usize>(
+fn micro_tile<const R: usize, const FIRST: bool>(
     a_pack: &[f32],
     b_panel: &[f32],
     out_rows: &mut [f32],
@@ -157,8 +371,10 @@ fn micro_tile<const R: usize>(
     let mut j = 0;
     while j + NR <= n {
         let mut acc = [[0.0f32; NR]; R];
-        for (r, acc_row) in acc.iter_mut().enumerate() {
-            acc_row.copy_from_slice(&out_rows[r * n + j..r * n + j + NR]);
+        if !FIRST {
+            for (r, acc_row) in acc.iter_mut().enumerate() {
+                acc_row.copy_from_slice(&out_rows[r * n + j..r * n + j + NR]);
+            }
         }
         for p in 0..kc {
             let b_strip: &[f32; NR] =
@@ -178,7 +394,13 @@ fn micro_tile<const R: usize>(
     if j < n {
         // Remainder strip (< NR columns): accumulate straight into the
         // output rows; same ascending-`p` order, just without the
-        // register residency.
+        // register residency. In `FIRST` mode seed the strip with the
+        // zeros the accumulate path would have read.
+        if FIRST {
+            for r in 0..R {
+                out_rows[r * n + j..r * n + n].fill(0.0);
+            }
+        }
         for p in 0..kc {
             let b_row = &b_panel[p * n + j..(p + 1) * n];
             let coeffs = &a_pack[p * R..(p + 1) * R];
@@ -292,6 +514,28 @@ mod tests {
         let mut out = vec![1.0f32; 9];
         gemm(&[], &[], &mut out, 3, 0, 3);
         assert!(out.iter().all(|&v| v == 1.0), "k = 0 must leave the accumulator untouched");
+    }
+
+    #[test]
+    fn overwrite_matches_zeroed_accumulate_bitwise() {
+        for &(m, k, n) in &[(1, 1, 1), (5, 3, 7), (7, 300, 17), (64, 64, 64), (13, 513, 1)] {
+            let a = fill(m * k, 5);
+            let b = fill(k * n, 6);
+            let mut want = vec![0.0f32; m * n];
+            gemm(&a, &b, &mut want, m, k, n);
+            // Seed with garbage the overwrite kernel must ignore.
+            let mut got = vec![f32::NAN; m * n];
+            gemm_overwrite(&a, &b, &mut got, m, k, n);
+            assert_eq!(
+                got.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                want.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "overwrite kernel diverged at {m}x{k}x{n}"
+            );
+        }
+        // k = 0: empty reduction must produce zeros, not stale garbage.
+        let mut out = vec![f32::NAN; 6];
+        gemm_overwrite(&[], &[], &mut out, 2, 0, 3);
+        assert!(out.iter().all(|&v| v == 0.0));
     }
 
     #[test]

@@ -12,6 +12,9 @@
 //!   persistent worker pool (`TRAFFIC_THREADS`), a blocked
 //!   register-tiled GEMM with intra-matrix parallelism, and CSR sparse
 //!   graph operators ([`Propagator`]) used by the graph-conv layers.
+//! - [`mem`]: the traffic-mem layer — a size-class buffer pool that
+//!   recycles `Vec<f32>` backing stores (`TRAFFIC_MEM_CAP`), making
+//!   steady-state training steps allocate ~zero.
 //! - [`Tape`] / [`Var`]: define-by-run autograd. Operations on [`Var`]
 //!   record backward closures; [`Tape::backward`] runs one reverse sweep.
 //! - [`init`]: seeded weight initialisers (uniform/normal/Xavier/Kaiming).
@@ -31,10 +34,12 @@
 //! ```
 
 pub mod conv;
+pub mod fastmath;
 pub mod gemm;
 pub mod gradcheck;
 pub mod init;
 mod linalg;
+pub mod mem;
 pub mod pool;
 mod reduce;
 pub mod shape;

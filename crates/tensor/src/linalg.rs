@@ -47,9 +47,51 @@ impl Tensor {
         } else {
             (other, false)
         };
-        assert!(a.rank() >= 2 && b.rank() >= 2);
-        let (m, ka) = (a.shape()[a.rank() - 2], a.shape()[a.rank() - 1]);
-        let (kb, n) = (b.shape()[b.rank() - 2], b.shape()[b.rank() - 1]);
+        let t = a.matmul_general(b, false, false);
+        let out_shape = t.shape().to_vec();
+        // Undo rank-1 promotions.
+        match (squeeze_m, squeeze_n) {
+            (false, false) => t,
+            (true, false) => {
+                let mut s = out_shape;
+                s.remove(s.len() - 2);
+                t.reshape(&s)
+            }
+            (false, true) => {
+                let mut s = out_shape;
+                s.pop();
+                t.reshape(&s)
+            }
+            (true, true) => t.reshape(&[]),
+        }
+    }
+
+    /// `selfᵀ · other` without materialising the transpose: `self` is
+    /// read as if its last two axes were swapped. Bit-identical to
+    /// `self.t().matmul(other)` — the kernel packs the same values in
+    /// the same `k`-ascending order, it just reads them from transposed
+    /// storage. Both operands must have rank ≥ 2.
+    pub fn matmul_tn(&self, other: &Tensor) -> Tensor {
+        self.matmul_general(other, true, false)
+    }
+
+    /// `self · otherᵀ` without materialising the transpose (see
+    /// [`Tensor::matmul_tn`]); bit-identical to
+    /// `self.matmul(&other.t())`. Both operands must have rank ≥ 2.
+    pub fn matmul_nt(&self, other: &Tensor) -> Tensor {
+        self.matmul_general(other, false, true)
+    }
+
+    /// Shared batched-GEMM driver. `ta` / `tb` read the corresponding
+    /// operand with its last two axes logically swapped, feeding the
+    /// transposed-storage kernels in [`crate::gemm`] — no `.t()` copy.
+    fn matmul_general(&self, other: &Tensor, ta: bool, tb: bool) -> Tensor {
+        let (a, b) = (self, other);
+        assert!(a.rank() >= 2 && b.rank() >= 2, "matmul_general requires rank >= 2 operands");
+        let (a_rows, a_cols) = (a.shape()[a.rank() - 2], a.shape()[a.rank() - 1]);
+        let (b_rows, b_cols) = (b.shape()[b.rank() - 2], b.shape()[b.rank() - 1]);
+        let (m, ka) = if ta { (a_cols, a_rows) } else { (a_rows, a_cols) };
+        let (kb, n) = if tb { (b_cols, b_rows) } else { (b_rows, b_cols) };
         assert_eq!(
             ka,
             kb,
@@ -67,30 +109,55 @@ impl Tensor {
         // Per-batch flat offsets (in whole matrices) into a and b,
         // computed once with an odometer over the broadcast strides —
         // no per-batch unravel in the hot path.
-        let a_mat = m * ka;
-        let b_mat = kb * n;
+        let a_mat = a_rows * a_cols;
+        let b_mat = b_rows * b_cols;
         let offsets = batch_offsets(&batch, a_batch, b_batch);
 
         let mut out_shape = batch.clone();
         out_shape.push(m);
         out_shape.push(n);
-        let mut out = vec![0.0f32; nbatch * m * n];
+        // The overwrite-mode kernels fully write their output (first
+        // k-block stores instead of accumulating), so the buffer can
+        // come back from the pool dirty — no memset pass.
+        let mut out = crate::mem::take_uninit(nbatch * m * n);
         let a_data = a.as_slice();
         let b_data = b.as_slice();
         let total_flops = 2 * nbatch * m * ka * n;
         let timer = std::time::Instant::now();
-        if total_flops < PAR_FLOPS || pool::effective_threads() <= 1 {
-            for (bi, dst) in out.chunks_mut(m * n).enumerate() {
-                let (a_off, b_off) = offsets[bi];
-                gemm::gemm(
-                    &a_data[a_off * a_mat..(a_off + 1) * a_mat],
-                    &b_data[b_off * b_mat..(b_off + 1) * b_mat],
-                    dst,
-                    m,
-                    ka,
-                    n,
-                );
+        // One output matrix: a · b slices for batch bi, through the
+        // kernel matching the operand orientations.
+        let run_one = |bi: usize, dst: &mut [f32], scratch: &mut Vec<f32>| {
+            let (a_off, b_off) = offsets[bi];
+            let a_sl = &a_data[a_off * a_mat..(a_off + 1) * a_mat];
+            let b_sl = &b_data[b_off * b_mat..(b_off + 1) * b_mat];
+            match (ta, tb) {
+                (false, false) => gemm::gemm_overwrite(a_sl, b_sl, dst, m, ka, n),
+                (true, false) => gemm::gemm_overwrite_at(a_sl, b_sl, dst, m, ka, n),
+                (false, true) => {
+                    let need = gemm::bt_scratch_len(ka, n);
+                    if scratch.len() < need {
+                        *scratch = crate::mem::take_uninit(need);
+                    }
+                    gemm::gemm_overwrite_bt(a_sl, b_sl, scratch, dst, m, ka, n)
+                }
+                (true, true) => unreachable!("no caller transposes both operands"),
             }
+        };
+        let parallel = total_flops >= PAR_FLOPS && pool::effective_threads() > 1;
+        if !parallel {
+            let mut scratch = Vec::new();
+            for (bi, dst) in out.chunks_mut(m * n).enumerate() {
+                run_one(bi, dst, &mut scratch);
+            }
+            crate::mem::recycle(scratch);
+        } else if ta || tb {
+            // Transposed operands parallelise over whole batch matrices
+            // (row-splitting would re-pack the shared panel per block).
+            pool::parallel_chunks_mut(&mut out, m * n, |bi, dst| {
+                let mut scratch = Vec::new();
+                run_one(bi, dst, &mut scratch);
+                crate::mem::recycle(scratch);
+            });
         } else {
             // Task space: (batch, row-block). Small batches still get
             // intra-matrix parallelism; big batches split per matrix.
@@ -112,7 +179,7 @@ impl Tensor {
                 let (bi, r0, rows) = tasks[ti];
                 let (a_off, b_off) = offsets[bi];
                 let a_base = a_off * a_mat + r0 * ka;
-                gemm::gemm(
+                gemm::gemm_overwrite(
                     &a_data[a_base..a_base + rows * ka],
                     &b_data[b_off * b_mat..(b_off + 1) * b_mat],
                     dst,
@@ -123,22 +190,7 @@ impl Tensor {
             });
         }
         gemm::record_flops(total_flops, timer.elapsed().as_secs_f64());
-        let t = Tensor::from_vec(out, &out_shape);
-        // Undo rank-1 promotions.
-        match (squeeze_m, squeeze_n) {
-            (false, false) => t,
-            (true, false) => {
-                let mut s = out_shape.clone();
-                s.remove(s.len() - 2);
-                t.reshape(&s)
-            }
-            (false, true) => {
-                let mut s = out_shape.clone();
-                s.pop();
-                t.reshape(&s)
-            }
-            (true, true) => t.reshape(&[]),
-        }
+        Tensor::from_vec(out, &out_shape)
     }
 }
 
@@ -281,6 +333,59 @@ mod tests {
         for (g, w) in got.as_slice().iter().zip(&want) {
             // FMA builds round each addend once instead of twice.
             assert!((g - w).abs() <= 1e-4 * w.abs().max(1.0), "{g} vs {w}");
+        }
+    }
+
+    #[test]
+    fn transposed_variants_match_materialized_transpose_bitwise() {
+        // Shapes cross the register-tile and KC boundaries and include
+        // batched + broadcast cases; results must be bit-identical to
+        // materialising the transpose.
+        let cases: &[(&[usize], &[usize])] = &[
+            (&[7, 5], &[7, 9]),          // tn: aᵀ[5,7]·b[7,9]
+            (&[300, 13], &[300, 33]),    // tn across KC
+            (&[4, 20, 6], &[4, 20, 11]), // batched tn
+            (&[129, 64], &[64, 300]),    // plain shapes reused below for nt
+        ];
+        for (ash, bsh) in cases {
+            let a = Tensor::from_vec(
+                (0..ash.iter().product()).map(|i| ((i % 101) as f32 - 50.0) * 0.017).collect(),
+                ash,
+            );
+            let b = Tensor::from_vec(
+                (0..bsh.iter().product()).map(|i| ((i % 83) as f32 - 41.0) * 0.019).collect(),
+                bsh,
+            );
+            if a.shape()[a.rank() - 2] == b.shape()[b.rank() - 2] {
+                let want = a.t().matmul(&b);
+                let got = a.matmul_tn(&b);
+                assert_eq!(got.shape(), want.shape());
+                for (g, w) in got.as_slice().iter().zip(want.as_slice()) {
+                    assert_eq!(g.to_bits(), w.to_bits(), "tn {ash:?}·{bsh:?}: {g} vs {w}");
+                }
+            }
+        }
+        // nt: a[m,k]·bᵀ where b is stored [n,k]; batched + broadcast.
+        for (ash, bsh) in [
+            (vec![5, 7], vec![9, 7]),
+            (vec![13, 300], vec![33, 300]),
+            (vec![4, 20, 6], vec![4, 11, 6]),
+            (vec![3, 1, 8, 17], vec![5, 12, 17]), // broadcast batch axes
+        ] {
+            let a = Tensor::from_vec(
+                (0..ash.iter().product()).map(|i| ((i % 97) as f32 - 48.0) * 0.021).collect(),
+                &ash,
+            );
+            let b = Tensor::from_vec(
+                (0..bsh.iter().product()).map(|i| ((i % 89) as f32 - 44.0) * 0.023).collect(),
+                &bsh,
+            );
+            let want = a.matmul(&b.t());
+            let got = a.matmul_nt(&b);
+            assert_eq!(got.shape(), want.shape());
+            for (g, w) in got.as_slice().iter().zip(want.as_slice()) {
+                assert_eq!(g.to_bits(), w.to_bits(), "nt {ash:?}·{bsh:?}: {g} vs {w}");
+            }
         }
     }
 

@@ -1,0 +1,423 @@
+//! traffic-mem: size-class recycling of tensor backing stores.
+//!
+//! PR 2 moved the per-step cost of training into the kernels; what was
+//! left on the profile was the allocator. Every `map`/`zip_map`/
+//! `zeros`/`matmul` allocated a fresh `Vec<f32>`, and the hot shapes of
+//! a training step (`[B, N, F]` activations, `[N, N]` supports) sit
+//! right at the glibc mmap threshold, so steady-state training paid
+//! mmap/munmap plus page-fault zeroing on every mini-batch.
+//!
+//! This module is the fix: a process-global, thread-safe pool of
+//! `Vec<f32>` backing stores bucketed by power-of-two size class.
+//! [`Buffer`] is the reference-counted handle `Tensor` wraps its data
+//! in — when the last `Arc<Buffer>` drops, the heap allocation goes
+//! back to its size class instead of to the allocator, and the next
+//! tensor of a similar size reuses it. Because training repeats the
+//! same shapes batch after batch, the pool converges to a fixed working
+//! set and steady-state steps allocate ~zero.
+//!
+//! Guarantees:
+//! - **No aliasing**: a buffer enters the pool only when its refcount
+//!   hits zero, so a pooled vec is never shared with a live tensor.
+//! - **Bit-identical results**: recycling only changes *where* an
+//!   output buffer comes from, never what is written to it. Kernels
+//!   that take a [`take_uninit`] buffer overwrite every element (debug
+//!   builds poison recycled memory with NaN to enforce this); all other
+//!   paths take explicitly filled buffers.
+//! - **Bounded retention**: the pool retains at most `TRAFFIC_MEM_CAP`
+//!   bytes (default 256 MiB); beyond the high-water mark, returned
+//!   buffers are dropped. `TRAFFIC_MEM_CAP=0` disables recycling
+//!   entirely — the determinism suite trains with the pool on and off
+//!   and asserts bit-identical losses.
+//!
+//! Observable through `traffic-obs`: `mem/bytes_allocated` (fresh heap
+//! bytes), `mem/pool_hits` / `mem/pool_misses` (with the derived
+//! `mem/pool_hit_rate` gauge), and `mem/pool_retained_bytes`.
+
+use std::ops::Deref;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// Smallest pooled class: 2^6 = 64 elements (256 B). Anything smaller
+/// goes straight to the allocator — tiny vecs are cheap and pooling
+/// them would just add lock traffic.
+const MIN_CLASS_BITS: u32 = 6;
+/// Largest pooled class: 2^28 elements (1 GiB). Larger one-off buffers
+/// bypass the pool.
+const MAX_CLASS_BITS: u32 = 28;
+const N_CLASSES: usize = (MAX_CLASS_BITS - MIN_CLASS_BITS + 1) as usize;
+
+/// Default retained-bytes high-water mark when `TRAFFIC_MEM_CAP` is
+/// unset: 256 MiB, comfortably above the working set of the largest
+/// model on the METR-LA shape.
+const DEFAULT_CAP_BYTES: usize = 256 << 20;
+
+/// Runtime override for the retention cap; `usize::MAX` means "use the
+/// `TRAFFIC_MEM_CAP` env var / default". Tests and benches flip this to
+/// compare pooled vs unpooled runs in one process, mirroring
+/// [`crate::pool::set_thread_cap`].
+static CAP_OVERRIDE: AtomicUsize = AtomicUsize::new(usize::MAX);
+
+/// Bytes currently retained across all free lists.
+static RETAINED: AtomicUsize = AtomicUsize::new(0);
+
+struct MemMetrics {
+    hits: &'static traffic_obs::Counter,
+    misses: &'static traffic_obs::Counter,
+    bytes_allocated: &'static traffic_obs::Counter,
+    retained_bytes: &'static traffic_obs::Gauge,
+    hit_rate: &'static traffic_obs::Gauge,
+}
+
+fn metrics() -> &'static MemMetrics {
+    static METRICS: OnceLock<MemMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| MemMetrics {
+        hits: traffic_obs::counter("mem/pool_hits"),
+        misses: traffic_obs::counter("mem/pool_misses"),
+        bytes_allocated: traffic_obs::counter("mem/bytes_allocated"),
+        retained_bytes: traffic_obs::gauge("mem/pool_retained_bytes"),
+        hit_rate: traffic_obs::gauge("mem/pool_hit_rate"),
+    })
+}
+
+fn classes() -> &'static [Mutex<Vec<Vec<f32>>>; N_CLASSES] {
+    static CLASSES: OnceLock<[Mutex<Vec<Vec<f32>>>; N_CLASSES]> = OnceLock::new();
+    CLASSES.get_or_init(|| std::array::from_fn(|_| Mutex::new(Vec::new())))
+}
+
+/// Retention cap in bytes. `0` disables recycling entirely.
+pub fn mem_cap() -> usize {
+    let over = CAP_OVERRIDE.load(Ordering::Relaxed);
+    if over != usize::MAX {
+        return over;
+    }
+    static ENV: OnceLock<usize> = OnceLock::new();
+    *ENV.get_or_init(|| {
+        std::env::var("TRAFFIC_MEM_CAP")
+            .ok()
+            .and_then(|s| s.trim().parse::<usize>().ok())
+            .unwrap_or(DEFAULT_CAP_BYTES)
+    })
+}
+
+/// Overrides the retention cap at runtime (`0` disables the pool; pass
+/// `usize::MAX` to restore the `TRAFFIC_MEM_CAP` / default behaviour).
+/// Determinism tests train pooled and unpooled in one process with it.
+pub fn set_mem_cap(bytes: usize) {
+    CAP_OVERRIDE.store(bytes, Ordering::Relaxed);
+}
+
+/// Smallest class whose buffers are guaranteed to hold `n` elements.
+/// `None` when `n` is outside the pooled range.
+fn class_for_request(n: usize) -> Option<usize> {
+    if n == 0 {
+        return None;
+    }
+    let bits = usize::BITS - (n - 1).leading_zeros(); // ceil(log2(n))
+    let bits = bits.max(MIN_CLASS_BITS);
+    if bits > MAX_CLASS_BITS {
+        None
+    } else {
+        Some((bits - MIN_CLASS_BITS) as usize)
+    }
+}
+
+/// Class a returned buffer of this capacity belongs to: every vec in
+/// class `c` has capacity ≥ 2^(MIN_CLASS_BITS + c).
+fn class_for_capacity(cap: usize) -> Option<usize> {
+    if cap < (1 << MIN_CLASS_BITS) {
+        return None;
+    }
+    let bits = (usize::BITS - 1 - cap.leading_zeros()).min(MAX_CLASS_BITS); // floor(log2(cap))
+    Some((bits - MIN_CLASS_BITS) as usize)
+}
+
+/// Pops a recycled vec with capacity ≥ `n`, or `None` on a pool miss.
+fn pop_recycled(n: usize) -> Option<Vec<f32>> {
+    if mem_cap() == 0 {
+        return None;
+    }
+    let class = class_for_request(n)?;
+    let mut list = classes()[class].lock().expect("mem pool poisoned");
+    let v = list.pop()?;
+    debug_assert!(v.capacity() >= n);
+    RETAINED.fetch_sub(v.capacity() * 4, Ordering::Relaxed);
+    Some(v)
+}
+
+fn fresh(n: usize) -> Vec<f32> {
+    // Round fresh allocations up to the class size so the buffer can
+    // serve any future request in its class once recycled.
+    let cap = match class_for_request(n) {
+        Some(class) => 1usize << (MIN_CLASS_BITS + class as u32),
+        None => n,
+    };
+    metrics().bytes_allocated.add((cap * 4) as u64);
+    Vec::with_capacity(cap)
+}
+
+fn take(n: usize) -> Vec<f32> {
+    match pop_recycled(n) {
+        Some(v) => {
+            metrics().hits.inc();
+            v
+        }
+        None => {
+            metrics().misses.inc();
+            fresh(n)
+        }
+    }
+}
+
+/// An empty vec with capacity ≥ `n`, for `extend_from_slice`-style
+/// builders (`narrow`, `concat`, gathers).
+pub(crate) fn take_capacity(n: usize) -> Vec<f32> {
+    let mut v = take(n);
+    v.clear();
+    v
+}
+
+/// A vec of `n` elements all equal to `fill`.
+pub(crate) fn take_filled(n: usize, fill: f32) -> Vec<f32> {
+    let mut v = take(n);
+    v.clear();
+    v.resize(n, fill);
+    v
+}
+
+/// A vec of `n` zeros.
+pub(crate) fn take_zeroed(n: usize) -> Vec<f32> {
+    take_filled(n, 0.0)
+}
+
+/// A vec of `n` elements with **unspecified contents** (stale data from
+/// a previous tensor on a pool hit). The caller must overwrite every
+/// element before the buffer is read; debug builds poison recycled
+/// contents with NaN so a missed write surfaces immediately in tests.
+pub(crate) fn take_uninit(n: usize) -> Vec<f32> {
+    let mut v = take(n);
+    #[cfg(debug_assertions)]
+    {
+        for x in v.iter_mut() {
+            *x = f32::NAN;
+        }
+        v.resize(n, f32::NAN);
+    }
+    v.truncate(n);
+    v.resize(n, 0.0);
+    v
+}
+
+/// Returns a backing store to its size class, or drops it when the
+/// pool is disabled, the vec is outside the pooled range, or retention
+/// would exceed the high-water mark.
+pub(crate) fn recycle(v: Vec<f32>) {
+    let cap_bytes = v.capacity() * 4;
+    if cap_bytes == 0 {
+        return;
+    }
+    let limit = mem_cap();
+    if limit == 0 {
+        return;
+    }
+    let Some(class) = class_for_capacity(v.capacity()) else { return };
+    if RETAINED.load(Ordering::Relaxed) + cap_bytes > limit {
+        return; // high-water mark: let the allocator have it back
+    }
+    RETAINED.fetch_add(cap_bytes, Ordering::Relaxed);
+    classes()[class].lock().expect("mem pool poisoned").push(v);
+}
+
+/// Drops every retained buffer (tests; memory-pressure escape hatch).
+pub fn trim() {
+    for class in classes().iter() {
+        let mut list = class.lock().expect("mem pool poisoned");
+        for v in list.drain(..) {
+            RETAINED.fetch_sub(v.capacity() * 4, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Bytes currently retained by the pool.
+pub fn retained_bytes() -> usize {
+    RETAINED.load(Ordering::Relaxed)
+}
+
+/// Pool hit rate since the last counter reset (0 when nothing was
+/// requested yet). Also publishes the `mem/pool_*` gauges.
+pub fn refresh_gauges() -> f64 {
+    let m = metrics();
+    let hits = m.hits.get() as f64;
+    let total = hits + m.misses.get() as f64;
+    let rate = if total > 0.0 { hits / total } else { 0.0 };
+    m.hit_rate.set(rate);
+    m.retained_bytes.set(retained_bytes() as f64);
+    rate
+}
+
+// ---------------------------------------------------------------------
+// Buffer: the refcounted backing store Tensor wraps
+// ---------------------------------------------------------------------
+
+/// The backing store of a [`crate::Tensor`], held behind an `Arc`.
+/// Cloning a tensor clones the handle; mutation goes through
+/// copy-on-write (`Arc::make_mut`), where [`Buffer::clone`] copies into
+/// a pooled allocation. Dropping the last handle recycles the heap
+/// allocation into the size-class pool.
+pub struct Buffer {
+    vec: Vec<f32>,
+}
+
+impl Buffer {
+    /// Wraps an existing vec without copying.
+    pub(crate) fn from_vec(vec: Vec<f32>) -> Buffer {
+        Buffer { vec }
+    }
+
+    pub(crate) fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.vec
+    }
+
+    /// Steals the vec, leaving an empty buffer behind (so the eventual
+    /// drop recycles nothing).
+    pub(crate) fn take_vec(&mut self) -> Vec<f32> {
+        std::mem::take(&mut self.vec)
+    }
+}
+
+impl Deref for Buffer {
+    type Target = [f32];
+
+    fn deref(&self) -> &[f32] {
+        &self.vec
+    }
+}
+
+impl Clone for Buffer {
+    fn clone(&self) -> Buffer {
+        let mut v = take_uninit(self.vec.len());
+        v.copy_from_slice(&self.vec);
+        Buffer { vec: v }
+    }
+}
+
+impl Drop for Buffer {
+    fn drop(&mut self) {
+        recycle(std::mem::take(&mut self.vec));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Serialises tests that mutate the process-global cap/pool.
+    fn pool_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn class_mapping() {
+        assert_eq!(class_for_request(0), None);
+        assert_eq!(class_for_request(1), Some(0));
+        assert_eq!(class_for_request(64), Some(0));
+        assert_eq!(class_for_request(65), Some(1));
+        assert_eq!(class_for_request(128), Some(1));
+        assert_eq!(class_for_request(1 << 28), Some(N_CLASSES - 1));
+        assert_eq!(class_for_request((1 << 28) + 1), None);
+        assert_eq!(class_for_capacity(63), None);
+        assert_eq!(class_for_capacity(64), Some(0));
+        assert_eq!(class_for_capacity(127), Some(0));
+        assert_eq!(class_for_capacity(128), Some(1));
+    }
+
+    #[test]
+    fn recycle_roundtrip_reuses_capacity() {
+        let _guard = pool_lock();
+        set_mem_cap(usize::MAX);
+        trim();
+        let v = take_filled(100, 1.0);
+        let cap = v.capacity();
+        assert!(cap >= 128, "fresh alloc rounds up to class size, got {cap}");
+        recycle(v);
+        assert_eq!(retained_bytes(), cap * 4);
+        let w = take_filled(100, 2.0);
+        assert_eq!(w.capacity(), cap, "same-class request must reuse the buffer");
+        assert_eq!(retained_bytes(), 0);
+        assert!(w.iter().all(|&x| x == 2.0));
+        trim();
+    }
+
+    #[test]
+    fn cap_zero_disables_recycling() {
+        let _guard = pool_lock();
+        set_mem_cap(0);
+        trim();
+        let v = take_filled(256, 1.0);
+        recycle(v);
+        assert_eq!(retained_bytes(), 0, "disabled pool must retain nothing");
+        set_mem_cap(usize::MAX);
+    }
+
+    #[test]
+    fn high_water_mark_drops_excess() {
+        let _guard = pool_lock();
+        trim();
+        set_mem_cap(1024); // one 256-element buffer (1 KiB) fits, no more
+        recycle(Vec::with_capacity(256));
+        assert_eq!(retained_bytes(), 1024);
+        recycle(Vec::with_capacity(256));
+        assert_eq!(retained_bytes(), 1024, "second buffer exceeds the cap and is dropped");
+        set_mem_cap(usize::MAX);
+        trim();
+    }
+
+    #[test]
+    fn take_uninit_has_requested_len() {
+        let _guard = pool_lock();
+        set_mem_cap(usize::MAX);
+        trim();
+        recycle(take_filled(300, 7.0));
+        let v = take_uninit(200);
+        assert_eq!(v.len(), 200);
+        let w = take_uninit(500);
+        assert_eq!(w.len(), 500);
+        trim();
+    }
+
+    #[test]
+    fn tiny_and_huge_requests_bypass_pool() {
+        let _guard = pool_lock();
+        set_mem_cap(usize::MAX);
+        trim();
+        recycle(take_filled(8, 1.0)); // capacity 64 (min class) — pooled
+        let before = retained_bytes();
+        recycle(Vec::with_capacity(16)); // below min class — dropped
+        assert_eq!(retained_bytes(), before);
+        trim();
+    }
+
+    #[test]
+    fn buffer_drop_recycles() {
+        let _guard = pool_lock();
+        set_mem_cap(usize::MAX);
+        trim();
+        let b = Buffer::from_vec(take_filled(1000, 3.0));
+        assert_eq!(retained_bytes(), 0);
+        let cap = b.vec.capacity();
+        drop(b);
+        assert_eq!(retained_bytes(), cap * 4);
+        trim();
+    }
+
+    #[test]
+    fn buffer_clone_is_independent() {
+        let _guard = pool_lock();
+        let a = Buffer::from_vec(vec![1.0, 2.0, 3.0]);
+        let mut b = a.clone();
+        b.as_mut_slice()[0] = 9.0;
+        assert_eq!(a[0], 1.0);
+        assert_eq!(b[0], 9.0);
+    }
+}

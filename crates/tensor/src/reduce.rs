@@ -59,7 +59,8 @@ impl Tensor {
             }
             base
         };
-        let mut out = vec![0.0f32; out_len];
+        // Every slot is written exactly once (`*slot_out = acc`).
+        let mut out = crate::mem::take_uninit(out_len);
         let chunk = if self.len() < ELEMENTWISE_PAR_THRESHOLD {
             out_len // single chunk → runs inline
         } else {
@@ -109,7 +110,7 @@ impl Tensor {
         let outer: usize = self.shape()[..axis].iter().product();
         let d = self.shape()[axis];
         let inner: usize = self.shape()[axis + 1..].iter().product();
-        let mut out = vec![f32::NEG_INFINITY; outer * inner];
+        let mut out = crate::mem::take_filled(outer * inner, f32::NEG_INFINITY);
         let data = self.as_slice();
         for o in 0..outer {
             for k in 0..d {
@@ -154,7 +155,8 @@ impl Tensor {
         }
         let src = broadcast_strides(self.shape(), shape);
         let zero = vec![0usize; shape.len()];
-        let mut out = vec![0.0f32; numel(shape)];
+        // Every slot is written exactly once by the broadcast sweep.
+        let mut out = crate::mem::take_uninit(numel(shape));
         let data = self.as_slice();
         for_each_broadcast2(shape, &src, &zero, |o, s, _| out[o] = data[s]);
         Tensor::from_vec(out, shape)

@@ -7,23 +7,74 @@
 //! Nodes are appended in topological order (parents always precede
 //! children), so backpropagation is a single reverse sweep over the node
 //! list — no sorting needed.
+//!
+//! Allocation discipline (traffic-mem): node values and closure captures
+//! are refcounted buffer handles, so recording and backward closures never
+//! deep-copy tensor data. Parent links are stored inline (no per-node
+//! `Vec` for the 1–2 parent common case), backward closures stream parent
+//! gradients into a sink instead of materialising a `Vec<Tensor>` per
+//! node, and the sweep accumulates diamonds in place with
+//! [`Tensor::add_assign`]. A tape is reusable across mini-batches via
+//! [`Tape::reset`], which keeps the node list's capacity.
 
 use std::cell::RefCell;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::OnceLock;
 
 use crate::conv::{col2im, conv_out_len, im2col};
 use crate::tensor::Tensor;
 
 static TAPE_IDS: AtomicU64 = AtomicU64::new(1);
 
-type BackFn = Box<dyn Fn(&Tensor) -> Vec<Tensor>>;
+/// Largest node count any tape reached (published as the
+/// `mem/tape_peak_nodes` gauge at each backward pass).
+static PEAK_NODES: AtomicUsize = AtomicUsize::new(0);
+
+fn peak_nodes_gauge() -> &'static traffic_obs::Gauge {
+    static GAUGE: OnceLock<&'static traffic_obs::Gauge> = OnceLock::new();
+    GAUGE.get_or_init(|| traffic_obs::gauge("mem/tape_peak_nodes"))
+}
+
+/// Streams gradient contributions to parents: `sink(slot, grad)` where
+/// `slot` indexes the node's parent list. No intermediate `Vec<Tensor>`.
+type BackFn = Box<dyn Fn(&Tensor, &mut dyn FnMut(usize, Tensor))>;
+
+/// Parent links, inline for the ubiquitous 1–2 parent nodes so tape
+/// recording does not allocate a `Vec<usize>` per node.
+enum Parents {
+    None,
+    One(usize),
+    Two(usize, usize),
+    Many(Vec<usize>),
+}
+
+impl Parents {
+    fn len(&self) -> usize {
+        match self {
+            Parents::None => 0,
+            Parents::One(_) => 1,
+            Parents::Two(..) => 2,
+            Parents::Many(v) => v.len(),
+        }
+    }
+
+    fn get(&self, slot: usize) -> usize {
+        match (self, slot) {
+            (Parents::One(a), 0) => *a,
+            (Parents::Two(a, _), 0) => *a,
+            (Parents::Two(_, b), 1) => *b,
+            (Parents::Many(v), s) => v[s],
+            _ => panic!("parent slot {slot} out of range"),
+        }
+    }
+}
 
 struct Node {
     value: Tensor,
     requires_grad: bool,
-    parents: Vec<usize>,
+    parents: Parents,
     /// Maps the gradient flowing into this node to gradient contributions
-    /// for each parent (aligned with `parents`). `None` for leaves.
+    /// for each parent slot. `None` for leaves.
     backward: Option<BackFn>,
 }
 
@@ -50,6 +101,20 @@ impl Tape {
         self.id
     }
 
+    /// Clears the tape for the next forward pass while keeping the node
+    /// list's capacity, so a trainer reuses one tape for a whole run
+    /// instead of reallocating it every mini-batch. Dropped node values
+    /// recycle their buffers into the traffic-mem pool. The tape gets a
+    /// fresh id, invalidating any cached parameter bindings (exactly as
+    /// if a new tape had been built).
+    pub fn reset(&mut self) {
+        let nodes = self.nodes.get_mut();
+        let peak = PEAK_NODES.fetch_max(nodes.len(), Ordering::Relaxed).max(nodes.len());
+        peak_nodes_gauge().set(peak as f64);
+        nodes.clear();
+        self.id = TAPE_IDS.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Number of recorded nodes.
     pub fn len(&self) -> usize {
         self.nodes.borrow().len()
@@ -68,7 +133,7 @@ impl Tape {
 
     /// Inserts a leaf tensor. Set `requires_grad` for trainable parameters.
     pub fn leaf(&self, value: Tensor, requires_grad: bool) -> Var<'_> {
-        let id = self.push(Node { value, requires_grad, parents: Vec::new(), backward: None });
+        let id = self.push(Node { value, requires_grad, parents: Parents::None, backward: None });
         Var { tape: self, id }
     }
 
@@ -103,8 +168,8 @@ impl Tape {
         let node = Node {
             value,
             requires_grad: rg,
-            parents: vec![parent.id],
-            backward: if rg { Some(Box::new(move |g| vec![back(g)])) } else { None },
+            parents: Parents::One(parent.id),
+            backward: if rg { Some(Box::new(move |g, sink| sink(0, back(g)))) } else { None },
         };
         Var { tape: self, id: self.push(node) }
     }
@@ -120,11 +185,12 @@ impl Tape {
         let node = Node {
             value,
             requires_grad: rg,
-            parents: vec![a.id, b.id],
+            parents: Parents::Two(a.id, b.id),
             backward: if rg {
-                Some(Box::new(move |g| {
+                Some(Box::new(move |g, sink| {
                     let (ga, gb) = back(g);
-                    vec![ga, gb]
+                    sink(0, ga);
+                    sink(1, gb);
                 }))
             } else {
                 None
@@ -143,23 +209,28 @@ impl Tape {
             "backward requires a scalar loss, got shape {:?}",
             nodes[loss.id].value.shape()
         );
+        PEAK_NODES.fetch_max(nodes.len(), Ordering::Relaxed);
         let mut grads: Vec<Option<Tensor>> = vec![None; nodes.len()];
         grads[loss.id] = Some(Tensor::ones(nodes[loss.id].value.shape()));
         for id in (0..=loss.id).rev() {
             let Some(g) = grads[id].take() else { continue };
             let node = &nodes[id];
             if let Some(back) = &node.backward {
-                let parent_grads = back(&g);
-                debug_assert_eq!(parent_grads.len(), node.parents.len());
-                for (pid, pg) in node.parents.iter().zip(parent_grads) {
-                    if !nodes[*pid].requires_grad {
-                        continue;
+                let nparents = node.parents.len();
+                back(&g, &mut |slot, pg| {
+                    debug_assert!(slot < nparents);
+                    let pid = node.parents.get(slot);
+                    if !nodes[pid].requires_grad {
+                        return;
                     }
-                    match &mut grads[*pid] {
-                        Some(acc) => *acc = acc.add(&pg),
+                    match &mut grads[pid] {
+                        // Diamonds accumulate in place into the (pooled,
+                        // uniquely owned) accumulator — same elementwise
+                        // add order as the allocating `acc.add(&pg)`.
+                        Some(acc) => acc.add_assign(&pg),
                         slot => *slot = Some(pg),
                     }
-                }
+                });
             } else if node.requires_grad {
                 grads[id] = Some(g); // keep leaf gradient
             }
@@ -206,7 +277,8 @@ impl<'t> Var<'t> {
         self.tape
     }
 
-    /// A copy of the forward value.
+    /// The forward value. With refcounted buffers this is a cheap handle
+    /// copy (pointer + shape), not a deep clone of the data.
     pub fn value(&self) -> Tensor {
         self.tape.value_of(self.id)
     }
@@ -301,18 +373,33 @@ impl<'t> Var<'t> {
         self.tape.unary(self, y, move |g| g.mul(&mask))
     }
 
-    /// Logistic sigmoid.
+    /// Logistic sigmoid. Backward is a single fused pass
+    /// (`g · y·(1 − y)`) instead of two allocating elementwise ops.
     pub fn sigmoid(&self) -> Var<'t> {
-        let y = self.value().map(|v| 1.0 / (1.0 + (-v).exp()));
+        let y = self.value().map(crate::fastmath::sigmoid);
         let yc = y.clone();
-        self.tape.unary(self, y, move |g| g.mul(&yc.zip_map(&yc, |a, b| a * (1.0 - b))))
+        self.tape.unary(self, y, move |g| g.zip_map(&yc, |g, y| (g * y) * (1.0 - y)))
     }
 
-    /// Hyperbolic tangent.
+    /// Hyperbolic tangent, via the ~4× faster [`crate::fastmath::tanh`]
+    /// kernel (a few f32 ulps from libm). Backward is a single fused
+    /// pass (`g · (1 − y²)`).
     pub fn tanh(&self) -> Var<'t> {
-        let y = self.value().map(f32::tanh);
+        let y = self.value().map(crate::fastmath::tanh);
         let yc = y.clone();
-        self.tape.unary(self, y, move |g| g.mul(&yc.map(|v| 1.0 - v * v)))
+        self.tape.unary(self, y, move |g| g.zip_map(&yc, |g, y| g * (1.0 - y * y)))
+    }
+
+    /// Fused gated activation `tanh(self) ⊙ σ(gate)` — the
+    /// STGCN/Graph-WaveNet gated-temporal-conv nonlinearity as one tape
+    /// node. Forward computes `t = tanh(self)`, `s = σ(gate)` and the
+    /// product in a single pass; backward streams both parent gradients
+    /// (`(g·s)·(1 − t²)` and `((g·t)·s)·(1 − s)`) in one pass. Identical
+    /// arithmetic to `self.tanh().mul(&gate.sigmoid())` but records one
+    /// node instead of three and halves the elementwise traffic.
+    pub fn gated_tanh_sigmoid(&self, gate: &Var<'t>) -> Var<'t> {
+        let (out, t, s) = Tensor::gated_tanh_sigmoid(&self.value(), &gate.value());
+        self.tape.binary(self, gate, out, move |g| Tensor::gated_tanh_sigmoid_backward(g, &t, &s))
     }
 
     /// Elementwise exponential.
@@ -412,8 +499,10 @@ impl<'t> Var<'t> {
         let (ash, bsh) = (a.shape().to_vec(), b.shape().to_vec());
         let y = a.matmul(&b);
         self.tape.binary(self, other, y, move |g| {
-            let ga = g.matmul(&bc.t()).unbroadcast(&ash);
-            let gb = ac.t().matmul(g).unbroadcast(&bsh);
+            // Transposed-storage kernels: bit-identical to materialising
+            // `.t()` first, without the full permute copy per step.
+            let ga = g.matmul_nt(&bc).unbroadcast(&ash);
+            let gb = ac.matmul_tn(g).unbroadcast(&bsh);
             (ga, gb)
         })
     }
@@ -479,16 +568,14 @@ impl<'t> Var<'t> {
         let node = Node {
             value: y,
             requires_grad: rg,
-            parents: parts.iter().map(|p| p.id).collect(),
+            parents: Parents::Many(parts.iter().map(|p| p.id).collect()),
             backward: if rg {
-                Some(Box::new(move |g| {
-                    let mut out = Vec::with_capacity(sizes.len());
+                Some(Box::new(move |g, sink| {
                     let mut off = 0;
-                    for &s in &sizes {
-                        out.push(g.narrow(axis, off, s));
+                    for (slot, &s) in sizes.iter().enumerate() {
+                        sink(slot, g.narrow(axis, off, s));
                         off += s;
                     }
-                    out
                 }))
             } else {
                 None
@@ -581,10 +668,10 @@ impl<'t> Var<'t> {
         self.tape.binary(self, weight, y, move |g| {
             let gmat = g.reshape(&[b, o, oh * ow]); // [B, O, L]
                                                     // grad wrt weight: sum over batch of g · colsᵀ
-            let gw = gmat.matmul(&cols.t()); // [B, O, CKK]
+            let gw = gmat.matmul_nt(&cols); // [B, O, CKK]
             let gw = gw.sum_axes(&[0], false).reshape(&w_shape);
             // grad wrt input: wᵀ · g, folded back
-            let gcols = wmat.t().matmul(&gmat); // [B, CKK, L]
+            let gcols = wmat.matmul_tn(&gmat); // [B, CKK, L]
             let gx = col2im(&gcols, c, h, wd, kh, kw, dh, dw);
             (gx, gw)
         })
@@ -606,6 +693,36 @@ mod tests {
         let g = tape.backward(loss);
         assert_eq!(g.get(a).unwrap().as_slice(), &[4.0, 5.0]); // b + 1
         assert_eq!(g.get(b).unwrap().as_slice(), &[1.0, 2.0]); // a
+    }
+
+    #[test]
+    fn gated_tanh_sigmoid_matches_unfused_bitwise() {
+        // Forward and both parent gradients must be bit-identical to the
+        // three-op composition tanh(f) ⊙ σ(g) — same kernels, same
+        // association order, one tape node.
+        let vals: Vec<f32> = (0..257).map(|i| (i as f32 * 0.11).sin() * 4.0).collect();
+        let gvals: Vec<f32> = (0..257).map(|i| (i as f32 * 0.07).cos() * 5.0).collect();
+        let fused = {
+            let tape = Tape::new();
+            let f = tape.leaf(Tensor::from_vec(vals.clone(), &[257]), true);
+            let g = tape.leaf(Tensor::from_vec(gvals.clone(), &[257]), true);
+            let out = f.gated_tanh_sigmoid(&g);
+            let grads = tape.backward(out.powf(2.0).sum_all());
+            (out.value(), grads.get(f).unwrap().clone(), grads.get(g).unwrap().clone())
+        };
+        let unfused = {
+            let tape = Tape::new();
+            let f = tape.leaf(Tensor::from_vec(vals, &[257]), true);
+            let g = tape.leaf(Tensor::from_vec(gvals, &[257]), true);
+            let out = f.tanh().mul(&g.sigmoid());
+            let grads = tape.backward(out.powf(2.0).sum_all());
+            (out.value(), grads.get(f).unwrap().clone(), grads.get(g).unwrap().clone())
+        };
+        for (a, b) in [(&fused.0, &unfused.0), (&fused.1, &unfused.1), (&fused.2, &unfused.2)] {
+            for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+                assert_eq!(x.to_bits(), y.to_bits(), "{x} vs {y}");
+            }
+        }
     }
 
     #[test]
@@ -698,6 +815,24 @@ mod tests {
         // uniform always 0.9 > p: all survive with scale 2
         let y = x.dropout(0.5, true, || 0.9);
         assert_eq!(y.value().as_slice(), &[2.0; 4]);
+    }
+
+    #[test]
+    fn reset_reuses_tape_with_fresh_id() {
+        let mut tape = Tape::new();
+        let a = tape.leaf(Tensor::from_vec(vec![1.0, 2.0], &[2]), true);
+        let loss = a.mul(&a).sum_all();
+        let g = tape.backward(loss);
+        assert_eq!(g.get(a).unwrap().as_slice(), &[2.0, 4.0]);
+        let old_id = tape.id();
+        tape.reset();
+        assert_ne!(tape.id(), old_id, "reset must invalidate cached bindings");
+        assert!(tape.is_empty());
+        // The tape records and differentiates again after reset.
+        let b = tape.leaf(Tensor::from_vec(vec![3.0], &[1]), true);
+        let loss2 = b.mul(&b).sum_all();
+        let g2 = tape.backward(loss2);
+        assert_eq!(g2.get(b).unwrap().as_slice(), &[6.0]);
     }
 
     #[test]

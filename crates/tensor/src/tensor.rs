@@ -2,10 +2,16 @@
 //!
 //! `Tensor` is immutable-by-convention: operations return new tensors, and
 //! cloning is cheap (the buffer is behind an [`Arc`]). The optimizer mutates
-//! parameters through [`Tensor::make_mut`].
+//! parameters in place through the `*_inplace` / `*_assign` kernels, which
+//! copy-on-write via [`Tensor::make_mut`] when the buffer is shared.
+//!
+//! Backing stores come from (and return to) the traffic-mem size-class
+//! pool ([`crate::mem`]): output buffers of every kernel are pooled, so
+//! steady-state training steps recycle instead of allocating.
 
 use std::sync::Arc;
 
+use crate::mem::{self, Buffer};
 use crate::pool;
 use crate::shape::{broadcast_shapes, broadcast_strides, for_each_broadcast2, numel, strides_for};
 
@@ -15,10 +21,48 @@ use crate::shape::{broadcast_shapes, broadcast_strides, for_each_broadcast2, num
 /// result is identical at any thread count.
 pub(crate) const ELEMENTWISE_PAR_THRESHOLD: usize = 1 << 16;
 
+/// Raw-pointer wrapper so a fused multi-output kernel can hand disjoint
+/// windows of its side outputs to pool tasks (mirroring the disjoint
+/// chunks `parallel_chunks_mut` makes of the primary output). Soundness
+/// is argued at each use site.
+#[derive(Clone, Copy)]
+struct SendMutPtr(*mut f32);
+unsafe impl Send for SendMutPtr {}
+unsafe impl Sync for SendMutPtr {}
+
+/// Odometer over the cartesian product of `dims`, calling
+/// `f(dst_offset, src_offset)` for every coordinate with the two
+/// offsets accumulated from the given stride sets. With empty `dims`
+/// calls `f(0, 0)` once.
+fn for_each_offsets(
+    dims: &[usize],
+    dst_strides: &[usize],
+    src_strides: &[usize],
+    mut f: impl FnMut(usize, usize),
+) {
+    let total: usize = dims.iter().product();
+    let mut coords = vec![0usize; dims.len()];
+    let (mut doff, mut soff) = (0usize, 0usize);
+    for _ in 0..total {
+        f(doff, soff);
+        for ax in (0..dims.len()).rev() {
+            coords[ax] += 1;
+            doff += dst_strides[ax];
+            soff += src_strides[ax];
+            if coords[ax] < dims[ax] {
+                break;
+            }
+            doff -= dims[ax] * dst_strides[ax];
+            soff -= dims[ax] * src_strides[ax];
+            coords[ax] = 0;
+        }
+    }
+}
+
 /// A dense row-major `f32` tensor of arbitrary rank.
 #[derive(Clone)]
 pub struct Tensor {
-    data: Arc<Vec<f32>>,
+    data: Arc<Buffer>,
     shape: Vec<usize>,
 }
 
@@ -43,7 +87,7 @@ impl Tensor {
             data.len(),
             shape
         );
-        Tensor { data: Arc::new(data), shape: shape.to_vec() }
+        Tensor { data: Arc::new(Buffer::from_vec(data)), shape: shape.to_vec() }
     }
 
     /// A scalar (rank-0) tensor.
@@ -53,22 +97,22 @@ impl Tensor {
 
     /// All-zeros tensor.
     pub fn zeros(shape: &[usize]) -> Self {
-        Tensor::from_vec(vec![0.0; numel(shape)], shape)
+        Tensor::from_vec(mem::take_zeroed(numel(shape)), shape)
     }
 
     /// All-ones tensor.
     pub fn ones(shape: &[usize]) -> Self {
-        Tensor::from_vec(vec![1.0; numel(shape)], shape)
+        Tensor::full(shape, 1.0)
     }
 
     /// Constant-filled tensor.
     pub fn full(shape: &[usize], v: f32) -> Self {
-        Tensor::from_vec(vec![v; numel(shape)], shape)
+        Tensor::from_vec(mem::take_filled(numel(shape), v), shape)
     }
 
     /// Identity matrix of size `n`.
     pub fn eye(n: usize) -> Self {
-        let mut data = vec![0.0; n * n];
+        let mut data = mem::take_zeroed(n * n);
         for i in 0..n {
             data[i * n + i] = 1.0;
         }
@@ -77,7 +121,11 @@ impl Tensor {
 
     /// `[0, 1, ..., n-1]` as a rank-1 tensor.
     pub fn arange(n: usize) -> Self {
-        Tensor::from_vec((0..n).map(|i| i as f32).collect(), &[n])
+        let mut data = mem::take_uninit(n);
+        for (i, v) in data.iter_mut().enumerate() {
+            *v = i as f32;
+        }
+        Tensor::from_vec(data, &[n])
     }
 
     // ------------------------------------------------------------------
@@ -117,8 +165,8 @@ impl Tensor {
     /// Consumes the tensor, returning its buffer (cloning only if shared).
     pub fn into_vec(self) -> Vec<f32> {
         match Arc::try_unwrap(self.data) {
-            Ok(v) => v,
-            Err(arc) => (*arc).clone(),
+            Ok(mut buf) => buf.take_vec(),
+            Err(arc) => arc.to_vec(),
         }
     }
 
@@ -145,12 +193,15 @@ impl Tensor {
     /// Applies `f` to every element. Large tensors are processed in
     /// parallel chunks on the worker pool.
     pub fn map(&self, f: impl Fn(f32) -> f32 + Sync) -> Tensor {
+        let mut out = mem::take_uninit(self.len());
+        let src: &[f32] = &self.data;
         if self.len() < ELEMENTWISE_PAR_THRESHOLD {
-            return Tensor::from_vec(self.data.iter().map(|&v| f(v)).collect(), &self.shape);
+            for (o, &v) in out.iter_mut().zip(src) {
+                *o = f(v);
+            }
+            return Tensor::from_vec(out, &self.shape);
         }
-        let mut out = vec![0.0f32; self.len()];
         let chunk = self.len().div_ceil(pool::effective_threads() * 2).max(1);
-        let src = &self.data;
         pool::parallel_chunks_mut(&mut out, chunk, |ci, dst| {
             let base = ci * chunk;
             let src = &src[base..base + dst.len()];
@@ -161,19 +212,38 @@ impl Tensor {
         Tensor::from_vec(out, &self.shape)
     }
 
+    /// In-place [`Tensor::map`]: overwrites every element with `f(x)`.
+    /// Copies first (from the pool) when the buffer is shared.
+    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32 + Sync) {
+        let n = self.len();
+        let buf = self.make_mut();
+        if n < ELEMENTWISE_PAR_THRESHOLD {
+            for v in buf.iter_mut() {
+                *v = f(*v);
+            }
+            return;
+        }
+        let chunk = n.div_ceil(pool::effective_threads() * 2).max(1);
+        pool::parallel_chunks_mut(buf, chunk, |_ci, dst| {
+            for v in dst.iter_mut() {
+                *v = f(*v);
+            }
+        });
+    }
+
     /// Elementwise combination with an identically-shaped tensor (no
     /// broadcasting; use the operator impls for broadcasting).
     pub fn zip_map(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32 + Sync) -> Tensor {
         assert_eq!(self.shape, other.shape, "zip_map requires identical shapes");
+        let mut out = mem::take_uninit(self.len());
+        let (a, b): (&[f32], &[f32]) = (&self.data, &other.data);
         if self.len() < ELEMENTWISE_PAR_THRESHOLD {
-            return Tensor::from_vec(
-                self.data.iter().zip(other.data.iter()).map(|(&a, &b)| f(a, b)).collect(),
-                &self.shape,
-            );
+            for (i, o) in out.iter_mut().enumerate() {
+                *o = f(a[i], b[i]);
+            }
+            return Tensor::from_vec(out, &self.shape);
         }
-        let mut out = vec![0.0f32; self.len()];
         let chunk = self.len().div_ceil(pool::effective_threads() * 2).max(1);
-        let (a, b) = (&self.data, &other.data);
         pool::parallel_chunks_mut(&mut out, chunk, |ci, dst| {
             let base = ci * chunk;
             for (i, o) in dst.iter_mut().enumerate() {
@@ -181,6 +251,163 @@ impl Tensor {
             }
         });
         Tensor::from_vec(out, &self.shape)
+    }
+
+    /// In-place [`Tensor::zip_map`]: `self[i] = f(self[i], other[i])`.
+    /// Exact same per-element arithmetic as the allocating form, so a
+    /// rewrite from `x = x.zip_map(..)` to `x.zip_map_assign(..)` is
+    /// bit-identical.
+    pub fn zip_map_assign(&mut self, other: &Tensor, f: impl Fn(f32, f32) -> f32 + Sync) {
+        assert_eq!(self.shape, other.shape, "zip_map_assign requires identical shapes");
+        let n = self.len();
+        let src: &[f32] = &other.data;
+        let buf = self.make_mut();
+        if n < ELEMENTWISE_PAR_THRESHOLD {
+            for (v, &b) in buf.iter_mut().zip(src) {
+                *v = f(*v, b);
+            }
+            return;
+        }
+        let chunk = n.div_ceil(pool::effective_threads() * 2).max(1);
+        pool::parallel_chunks_mut(buf, chunk, |ci, dst| {
+            let base = ci * chunk;
+            for (i, v) in dst.iter_mut().enumerate() {
+                *v = f(*v, src[base + i]);
+            }
+        });
+    }
+
+    /// Ternary in-place kernel: `self[i] = f(self[i], a[i], b[i])`.
+    /// Used by the fused optimizer step (one pass over `p`, `m`, `v`
+    /// instead of six temporaries).
+    pub fn zip_map2_assign(
+        &mut self,
+        a: &Tensor,
+        b: &Tensor,
+        f: impl Fn(f32, f32, f32) -> f32 + Sync,
+    ) {
+        assert_eq!(self.shape, a.shape, "zip_map2_assign requires identical shapes");
+        assert_eq!(self.shape, b.shape, "zip_map2_assign requires identical shapes");
+        let n = self.len();
+        let (sa, sb): (&[f32], &[f32]) = (&a.data, &b.data);
+        let buf = self.make_mut();
+        if n < ELEMENTWISE_PAR_THRESHOLD {
+            for (i, v) in buf.iter_mut().enumerate() {
+                *v = f(*v, sa[i], sb[i]);
+            }
+            return;
+        }
+        let chunk = n.div_ceil(pool::effective_threads() * 2).max(1);
+        pool::parallel_chunks_mut(buf, chunk, |ci, dst| {
+            let base = ci * chunk;
+            for (i, v) in dst.iter_mut().enumerate() {
+                *v = f(*v, sa[base + i], sb[base + i]);
+            }
+        });
+    }
+
+    /// Fused gated activation `tanh(f) ⊙ σ(g)` (identical shapes).
+    ///
+    /// Returns `(out, t, s)` where `t = tanh(f)` and `s = σ(g)` — the
+    /// two saved activations the backward pass needs — computed in one
+    /// pass instead of the three passes (tanh, sigmoid, mul) the
+    /// unfused composition records. Uses [`crate::fastmath::tanh`];
+    /// arithmetic is element-for-element identical to
+    /// `f.map(fastmath::tanh)`, `g.map(fastmath::sigmoid)`, `t.mul(&s)`.
+    pub fn gated_tanh_sigmoid(f: &Tensor, g: &Tensor) -> (Tensor, Tensor, Tensor) {
+        assert_eq!(f.shape, g.shape, "gated_tanh_sigmoid requires identical shapes");
+        let n = f.len();
+        let (fd, gd): (&[f32], &[f32]) = (&f.data, &g.data);
+        let mut t = mem::take_uninit(n);
+        let mut s = mem::take_uninit(n);
+        let mut out = mem::take_uninit(n);
+        let kernel = |fd: &[f32], gd: &[f32], t: &mut [f32], s: &mut [f32], out: &mut [f32]| {
+            for i in 0..out.len() {
+                let tv = crate::fastmath::tanh(fd[i]);
+                let sv = crate::fastmath::sigmoid(gd[i]);
+                t[i] = tv;
+                s[i] = sv;
+                out[i] = tv * sv;
+            }
+        };
+        if n < ELEMENTWISE_PAR_THRESHOLD {
+            kernel(fd, gd, &mut t, &mut s, &mut out);
+        } else {
+            let chunk = n.div_ceil(pool::effective_threads() * 2).max(1);
+            let (tp, sp) = (SendMutPtr(t.as_mut_ptr()), SendMutPtr(s.as_mut_ptr()));
+            pool::parallel_chunks_mut(&mut out, chunk, |ci, dst| {
+                let (tp, sp) = (tp, sp); // capture the Sync wrappers, not the raw fields
+                let base = ci * chunk;
+                // SAFETY: chunks are disjoint slices of `out`, and the
+                // matching `[base, base + len)` windows of `t` and `s`
+                // are therefore disjoint too; both vecs outlive the
+                // dispatch (joined before this function returns).
+                let (tc, sc) = unsafe {
+                    (
+                        std::slice::from_raw_parts_mut(tp.0.add(base), dst.len()),
+                        std::slice::from_raw_parts_mut(sp.0.add(base), dst.len()),
+                    )
+                };
+                kernel(&fd[base..base + dst.len()], &gd[base..base + dst.len()], tc, sc, dst);
+            });
+        }
+        (
+            Tensor::from_vec(out, &f.shape),
+            Tensor::from_vec(t, &f.shape),
+            Tensor::from_vec(s, &f.shape),
+        )
+    }
+
+    /// Backward of [`Tensor::gated_tanh_sigmoid`] in one pass:
+    /// `gf = (grad·s)·(1 − t²)`, `gg = ((grad·t)·s)·(1 − s)` — the same
+    /// association order as the unfused mul/tanh/sigmoid backward chain,
+    /// so the fused op is bit-identical end to end.
+    pub fn gated_tanh_sigmoid_backward(grad: &Tensor, t: &Tensor, s: &Tensor) -> (Tensor, Tensor) {
+        assert_eq!(grad.shape, t.shape, "gated_tanh_sigmoid_backward shape mismatch");
+        assert_eq!(grad.shape, s.shape, "gated_tanh_sigmoid_backward shape mismatch");
+        let n = grad.len();
+        let (gd, td, sd): (&[f32], &[f32], &[f32]) = (&grad.data, &t.data, &s.data);
+        let mut gf = mem::take_uninit(n);
+        let mut gg = mem::take_uninit(n);
+        let kernel = |gd: &[f32], td: &[f32], sd: &[f32], gf: &mut [f32], gg: &mut [f32]| {
+            for i in 0..gf.len() {
+                let (g, tv, sv) = (gd[i], td[i], sd[i]);
+                gf[i] = (g * sv) * (1.0 - tv * tv);
+                gg[i] = ((g * tv) * sv) * (1.0 - sv);
+            }
+        };
+        if n < ELEMENTWISE_PAR_THRESHOLD {
+            kernel(gd, td, sd, &mut gf, &mut gg);
+        } else {
+            let chunk = n.div_ceil(pool::effective_threads() * 2).max(1);
+            let gp = SendMutPtr(gg.as_mut_ptr());
+            pool::parallel_chunks_mut(&mut gf, chunk, move |ci, dst| {
+                let gp = gp; // capture the Sync wrapper, not the raw field
+                let base = ci * chunk;
+                // SAFETY: disjoint windows of `gg` mirror the disjoint
+                // chunks of `gf`; `gg` outlives the joined dispatch.
+                let gc = unsafe { std::slice::from_raw_parts_mut(gp.0.add(base), dst.len()) };
+                kernel(
+                    &gd[base..base + dst.len()],
+                    &td[base..base + dst.len()],
+                    &sd[base..base + dst.len()],
+                    dst,
+                    gc,
+                );
+            });
+        }
+        (Tensor::from_vec(gf, &grad.shape), Tensor::from_vec(gg, &grad.shape))
+    }
+
+    /// Fused in-place accumulate: `self += other` (identical shapes).
+    /// Bit-identical to `self = self.add(other)` for equal shapes.
+    pub fn add_assign(&mut self, other: &Tensor) {
+        self.zip_map_assign(other, |a, b| a + b);
+    }
+
+    /// Fused axpy: `self += alpha * other` (identical shapes).
+    pub fn scaled_add_assign(&mut self, alpha: f32, other: &Tensor) {
+        self.zip_map_assign(other, move |a, b| a + alpha * b);
     }
 
     /// Negation.
@@ -247,7 +474,7 @@ impl Tensor {
             .unwrap_or_else(|| panic!("cannot broadcast {:?} with {:?}", self.shape, other.shape));
         let a_str = broadcast_strides(&self.shape, &out_shape);
         let b_str = broadcast_strides(&other.shape, &out_shape);
-        let mut out = vec![0.0f32; numel(&out_shape)];
+        let mut out = mem::take_uninit(numel(&out_shape));
         let a = &self.data;
         let b = &other.data;
         for_each_broadcast2(&out_shape, &a_str, &b_str, |o, ai, bi| {
@@ -305,11 +532,52 @@ impl Tensor {
         let in_strides = strides_for(&self.shape);
         // Stride of output axis i is the input stride of the axis it came from.
         let src_strides: Vec<usize> = perm.iter().map(|&p| in_strides[p]).collect();
-        let mut out = vec![0.0f32; self.len()];
-        let zero = vec![0usize; out_shape.len()];
-        let data = &self.data;
-        for_each_broadcast2(&out_shape, &src_strides, &zero, |o, s, _| {
-            out[o] = data[s];
+        let out_strides = strides_for(&out_shape);
+        let mut out = mem::take_uninit(self.len());
+        let data: &[f32] = &self.data;
+        let r = out_shape.len();
+        if r == 0 || self.is_empty() {
+            out.copy_from_slice(data);
+            return Tensor::from_vec(out, &out_shape);
+        }
+        if src_strides[r - 1] == 1 {
+            // The innermost output axis is contiguous in the source:
+            // copy whole runs instead of walking elements.
+            let run = out_shape[r - 1];
+            for_each_offsets(
+                &out_shape[..r - 1],
+                &out_strides[..r - 1],
+                &src_strides[..r - 1],
+                |doff, soff| out[doff..doff + run].copy_from_slice(&data[soff..soff + run]),
+            );
+            return Tensor::from_vec(out, &out_shape);
+        }
+        // General case: the source's innermost axis landed at output
+        // position `q` (exists and differs from r-1 here). Tile the
+        // (q, last) plane — reads stream contiguously along `q`, writes
+        // along the last axis — instead of a strided per-element walk.
+        let q = perm.iter().position(|&p| p == self.rank() - 1).expect("perm is a permutation");
+        let (m, n) = (out_shape[q], out_shape[r - 1]);
+        let (dq, sj) = (out_strides[q], src_strides[r - 1]);
+        let outer: Vec<usize> = (0..r - 1).filter(|&ax| ax != q).collect();
+        let outer_shape: Vec<usize> = outer.iter().map(|&ax| out_shape[ax]).collect();
+        let outer_dst: Vec<usize> = outer.iter().map(|&ax| out_strides[ax]).collect();
+        let outer_src: Vec<usize> = outer.iter().map(|&ax| src_strides[ax]).collect();
+        const TILE: usize = 32;
+        for_each_offsets(&outer_shape, &outer_dst, &outer_src, |doff, soff| {
+            for i0 in (0..m).step_by(TILE) {
+                let ie = (i0 + TILE).min(m);
+                for j0 in (0..n).step_by(TILE) {
+                    let je = (j0 + TILE).min(n);
+                    for i in i0..ie {
+                        let (d_row, s_col) = (doff + i * dq, soff + i);
+                        let dst = &mut out[d_row + j0..d_row + je];
+                        for (jj, o) in dst.iter_mut().enumerate() {
+                            *o = data[s_col + (j0 + jj) * sj];
+                        }
+                    }
+                }
+            }
         });
         Tensor::from_vec(out, &out_shape)
     }
@@ -335,7 +603,7 @@ impl Tensor {
         let outer: usize = self.shape[..axis].iter().product();
         let inner: usize = self.shape[axis + 1..].iter().product();
         let d = self.shape[axis];
-        let mut out = Vec::with_capacity(outer * len * inner);
+        let mut out = mem::take_capacity(outer * len * inner);
         for o in 0..outer {
             let base = o * d * inner + start * inner;
             out.extend_from_slice(&self.data[base..base + len * inner]);
@@ -364,7 +632,7 @@ impl Tensor {
         let outer: usize = parts[0].shape[..axis].iter().product();
         let inner: usize = parts[0].shape[axis + 1..].iter().product();
         let total_axis: usize = parts.iter().map(|p| p.shape[axis]).sum();
-        let mut out = Vec::with_capacity(outer * total_axis * inner);
+        let mut out = mem::take_capacity(outer * total_axis * inner);
         for o in 0..outer {
             for p in parts {
                 let d = p.shape[axis];
@@ -378,25 +646,88 @@ impl Tensor {
     }
 
     /// Zero-pads each axis by `(before, after)` amounts.
+    ///
+    /// Writes the output in contiguous runs — zero fills exactly where
+    /// padding lives, bulk copies for interior rows — so the buffer can
+    /// come back from the pool dirty (every element is written once).
     pub fn pad(&self, pads: &[(usize, usize)]) -> Tensor {
         assert_eq!(pads.len(), self.rank(), "pad spec rank mismatch");
+        if pads.iter().all(|&(b, a)| b == 0 && a == 0) {
+            return self.clone();
+        }
         let out_shape: Vec<usize> =
             self.shape.iter().zip(pads).map(|(&d, &(b, a))| d + b + a).collect();
-        let mut out = vec![0.0f32; numel(&out_shape)];
-        let out_strides = strides_for(&out_shape);
-        let in_strides = strides_for(&self.shape);
-        let rank = self.rank();
-        let mut coords = vec![0usize; rank];
-        for flat in 0..self.len() {
-            crate::shape::unravel(flat, &self.shape, &mut coords);
-            let mut o = 0usize;
-            for i in 0..rank {
-                o += (coords[i] + pads[i].0) * out_strides[i];
-            }
-            out[o] = self.data[flat];
-            let _ = in_strides; // strides kept for clarity; flat already row-major
+        let mut out = mem::take_uninit(numel(&out_shape));
+        // Trailing unpadded axes collapse into one contiguous run.
+        let mut tail = self.rank();
+        while tail > 0 && pads[tail - 1] == (0, 0) {
+            tail -= 1;
         }
+        let run: usize = self.shape[tail..].iter().product();
+        let in_strides = strides_for(&self.shape);
+        let out_strides = strides_for(&out_shape);
+        Tensor::pad_rec(
+            0,
+            tail,
+            run,
+            &self.data,
+            &mut out,
+            &self.shape,
+            pads,
+            &in_strides,
+            &out_strides,
+        );
         Tensor::from_vec(out, &out_shape)
+    }
+
+    /// See [`Tensor::pad`]. Descends one axis per level; at each level
+    /// the before/after padding is a contiguous zero fill and the body
+    /// recurses, bottoming out in a bulk copy of the collapsed
+    /// unpadded-suffix run. Every output element is written exactly
+    /// once, so the destination may start as recycled garbage.
+    #[allow(clippy::too_many_arguments)]
+    fn pad_rec(
+        axis: usize,
+        tail: usize,
+        run: usize,
+        src: &[f32],
+        dst: &mut [f32],
+        shape: &[usize],
+        pads: &[(usize, usize)],
+        in_strides: &[usize],
+        out_strides: &[usize],
+    ) {
+        if axis == tail {
+            dst[..run].copy_from_slice(&src[..run]);
+            return;
+        }
+        let (b, a) = pads[axis];
+        let d = shape[axis];
+        let os = out_strides[axis];
+        let is = in_strides[axis];
+        dst[..b * os].fill(0.0);
+        if axis + 1 == tail {
+            // Innermost padded axis: the whole interior is one
+            // contiguous input block (the suffix axes are unpadded, so
+            // `os == run` and `is == run`), no need to recurse per row.
+            dst[b * os..(b + d) * os].copy_from_slice(&src[..d * is]);
+            dst[(b + d) * os..(b + d + a) * os].fill(0.0);
+            return;
+        }
+        for j in 0..d {
+            Tensor::pad_rec(
+                axis + 1,
+                tail,
+                run,
+                &src[j * is..],
+                &mut dst[(b + j) * os..],
+                shape,
+                pads,
+                in_strides,
+                out_strides,
+            );
+        }
+        dst[(b + d) * os..(b + d + a) * os].fill(0.0);
     }
 
     /// Inverse of [`Tensor::pad`]: crops `(before, after)` from each axis.
@@ -417,7 +748,7 @@ impl Tensor {
     pub fn index_select0(&self, indices: &[usize]) -> Tensor {
         assert!(self.rank() >= 1, "index_select0 requires rank >= 1");
         let inner: usize = self.shape[1..].iter().product();
-        let mut out = Vec::with_capacity(indices.len() * inner);
+        let mut out = mem::take_capacity(indices.len() * inner);
         for &i in indices {
             assert!(i < self.shape[0], "index {i} out of bounds for axis 0 size {}", self.shape[0]);
             out.extend_from_slice(&self.data[i * inner..(i + 1) * inner]);
@@ -473,7 +804,7 @@ impl Tensor {
 
 impl PartialEq for Tensor {
     fn eq(&self, other: &Self) -> bool {
-        self.shape == other.shape && self.data == other.data
+        self.shape == other.shape && self.as_slice() == other.as_slice()
     }
 }
 
@@ -577,5 +908,46 @@ mod tests {
         b.make_mut()[0] = 9.0;
         assert_eq!(a.as_slice(), &[1.0, 1.0, 1.0]);
         assert_eq!(b.as_slice(), &[9.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn inplace_matches_allocating() {
+        let a = t(&[1.0, -2.0, 3.0, -4.0], &[4]);
+        let b = t(&[0.5, 0.25, -1.0, 2.0], &[4]);
+        let mut m = a.clone();
+        m.map_inplace(|v| v * 2.0 + 1.0);
+        assert_eq!(m, a.map(|v| v * 2.0 + 1.0));
+        let mut z = a.clone();
+        z.zip_map_assign(&b, |x, y| x * y + 1.0);
+        assert_eq!(z, a.zip_map(&b, |x, y| x * y + 1.0));
+        let mut s = a.clone();
+        s.add_assign(&b);
+        assert_eq!(s, a.add(&b));
+        let mut axpy = a.clone();
+        axpy.scaled_add_assign(-0.5, &b);
+        assert_eq!(axpy, a.zip_map(&b, |x, y| x + (-0.5) * y));
+        let mut tern = a.clone();
+        tern.zip_map2_assign(&b, &s, |x, y, z| x + y * z);
+        for i in 0..4 {
+            assert_eq!(tern.as_slice()[i], a.as_slice()[i] + b.as_slice()[i] * s.as_slice()[i]);
+        }
+    }
+
+    #[test]
+    fn inplace_cow_preserves_shared_buffer() {
+        let a = Tensor::ones(&[4]);
+        let mut b = a.clone(); // shares the buffer
+        b.map_inplace(|v| v + 1.0);
+        assert_eq!(a.as_slice(), &[1.0; 4], "shared source must be untouched");
+        assert_eq!(b.as_slice(), &[2.0; 4]);
+    }
+
+    #[test]
+    fn inplace_self_aliased_operand() {
+        let mut a = t(&[1.0, 2.0, 3.0], &[3]);
+        let alias = a.clone();
+        a.add_assign(&alias); // COW kicks in; reads stay consistent
+        assert_eq!(a.as_slice(), &[2.0, 4.0, 6.0]);
+        assert_eq!(alias.as_slice(), &[1.0, 2.0, 3.0]);
     }
 }

@@ -140,10 +140,15 @@ proptest! {
         gemm::gemm(&a, &b, &mut got, m, k, n);
         let mut par = vec![0.0f32; m * n];
         gemm::gemm_parallel(&a, &b, &mut par, m, k, n);
-        for ((g, p), w) in got.iter().zip(&par).zip(&want) {
+        // Overwrite mode must ignore garbage in `out` and still match
+        // the zeroed accumulate kernel bit for bit.
+        let mut over = vec![f32::NAN; m * n];
+        gemm::gemm_overwrite(&a, &b, &mut over, m, k, n);
+        for (((g, p), o), w) in got.iter().zip(&par).zip(&over).zip(&want) {
             prop_assert!((g - w).abs() <= 1e-4 * w.abs().max(1.0), "blocked {g} vs naive {w}");
             // parallel vs serial blocked is bit-exact at any thread count
             prop_assert!(p == g, "parallel {p} vs serial {g}");
+            prop_assert!(o.to_bits() == g.to_bits(), "overwrite {o} vs accumulate {g}");
         }
     }
 
@@ -175,6 +180,92 @@ proptest! {
         }
         // transpose round-trips through the counting sort
         prop_assert_eq!(csr.transpose().transpose().to_dense(), dense);
+    }
+
+    #[test]
+    fn permute_fast_paths_match_reference(
+        // Ranks 1–4 with axis sizes crossing the 32-wide transpose
+        // tile, and a pseudo-random permutation — exercises both the
+        // contiguous-run path and the tiled-transpose path against a
+        // naive per-element reference.
+        dims in prop::collection::vec(1usize..40, 1..5),
+        perm_seed in 0usize..24,
+    ) {
+        prop_assume!(shape::numel(&dims) <= 20_000);
+        let r = dims.len();
+        let mut perm: Vec<usize> = (0..r).collect();
+        // Lehmer-style shuffle from the seed so all permutations occur.
+        let mut s = perm_seed;
+        for i in (1..r).rev() {
+            perm.swap(i, s % (i + 1));
+            s /= i + 1;
+        }
+        let t = Tensor::from_vec(
+            (0..shape::numel(&dims)).map(|i| (i as f32 * 0.37).sin()).collect(),
+            &dims,
+        );
+        let got = t.permute(&perm);
+        // Naive reference: out[coords] = in[coords mapped through perm].
+        let out_shape: Vec<usize> = perm.iter().map(|&p| dims[p]).collect();
+        prop_assert_eq!(got.shape(), &out_shape[..]);
+        let mut coords = vec![0usize; r];
+        for _ in 0..t.len() {
+            let mut in_coords = vec![0usize; r];
+            for (o, &p) in perm.iter().enumerate() {
+                in_coords[p] = coords[o];
+            }
+            prop_assert_eq!(got.at(&coords).to_bits(), t.at(&in_coords).to_bits());
+            for ax in (0..r).rev() {
+                coords[ax] += 1;
+                if coords[ax] < out_shape[ax] {
+                    break;
+                }
+                coords[ax] = 0;
+            }
+        }
+    }
+
+    #[test]
+    fn fused_gated_activation_matches_composition(
+        t in small_shape().prop_flat_map(tensor_for),
+        seed in 0u32..100,
+    ) {
+        // Tensor-level fused kernel vs the three-op composition, bitwise
+        // (forward and both gradients).
+        let g = Tensor::from_vec(
+            t.as_slice().iter().enumerate()
+                .map(|(i, &v)| (v * 1.7 + (i as f32 + seed as f32) * 0.01).cos() * 3.0)
+                .collect(),
+            t.shape(),
+        );
+        let (out, tt, ss) = Tensor::gated_tanh_sigmoid(&t, &g);
+        let want_t = t.map(traffic_tensor::fastmath::tanh);
+        let want_s = g.map(traffic_tensor::fastmath::sigmoid);
+        let want_out = want_t.mul(&want_s);
+        for (a, b) in [(&out, &want_out), (&tt, &want_t), (&ss, &want_s)] {
+            for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+                prop_assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+        let upstream = Tensor::ones(t.shape());
+        let (gf, gg) = Tensor::gated_tanh_sigmoid_backward(&upstream, &tt, &ss);
+        let want_gf = upstream.mul(&want_s).zip_map(&want_t, |gs, y| gs * (1.0 - y * y));
+        let want_gg = upstream.mul(&want_t).zip_map(&want_s, |gt, y| (gt * y) * (1.0 - y));
+        for (a, b) in [(&gf, &want_gf), (&gg, &want_gg)] {
+            for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+                prop_assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn fast_tanh_tracks_libm(x in -20.0f32..20.0) {
+        let got = traffic_tensor::fastmath::tanh(x) as f64;
+        let want = (x as f64).tanh();
+        prop_assert!(
+            (got - want).abs() <= 6e-7 * want.abs().max(1e-10),
+            "tanh({x}) = {got} vs libm {want}"
+        );
     }
 
     #[test]

@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# Regenerates BENCH_train.json at the workspace root: full training-step
+# throughput (forward + backward + clip + Adam) for STGCN and
+# Graph-WaveNet on the simulated METR-LA shape.
+#
+# Two comparisons are reported per model:
+#   - baseline (pre-PR): the engine as it existed before the
+#     traffic-mem PR, measured from a detached worktree of
+#     $PREPR_COMMIT with the pinned harness scripts/prepr_train_step.rs
+#     (--prepr, or reuse previously exported BENCH_PREPR_* env vars);
+#   - pool_off (ablation): the current engine with the buffer pool
+#     disabled, a fresh tape per step, and the reference optimizer —
+#     isolates what recycling alone buys on today's kernels.
+#
+# Usage:
+#   scripts/bench_train.sh --prepr         # full run incl. pre-PR baseline
+#   scripts/bench_train.sh                 # full run (reuses BENCH_PREPR_* if set)
+#   BENCH_SMOKE=1 scripts/bench_train.sh   # fast CI smoke pass
+#
+# TRAFFIC_THREADS caps the worker pool (default: all cores), e.g.:
+#   TRAFFIC_THREADS=8 scripts/bench_train.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+# The commit immediately before the traffic-mem PR landed.
+PREPR_COMMIT="${PREPR_COMMIT:-1d50a57df84b60f70210be0b68d8bb5097a7827c}"
+
+if [[ "${1:-}" == "--prepr" ]]; then
+  WT=.bench-prepr
+  if [[ ! -d "$WT" ]]; then
+    git worktree add --detach "$WT" "$PREPR_COMMIT"
+  fi
+  cp scripts/prepr_train_step.rs "$WT/crates/bench/benches/"
+  if ! grep -q 'name = "prepr_train_step"' "$WT/crates/bench/Cargo.toml"; then
+    printf '\n[[bench]]\nname = "prepr_train_step"\nharness = false\n' \
+      >> "$WT/crates/bench/Cargo.toml"
+  fi
+  echo "measuring pre-PR baseline at $PREPR_COMMIT..."
+  out=$(cd "$WT" && cargo bench -p traffic-bench --bench prepr_train_step 2>/dev/null \
+        | grep '^PREPR ')
+  echo "$out"
+  export BENCH_PREPR_COMMIT="$PREPR_COMMIT"
+  export BENCH_PREPR_STGCN_SECS=$(echo "$out" | awk '$2 == "STGCN" {print $3}')
+  export BENCH_PREPR_STGCN_CPU_SECS=$(echo "$out" | awk '$2 == "STGCN" {print $4}')
+  export BENCH_PREPR_GRAPH_WAVENET_SECS=$(echo "$out" | awk '$2 == "Graph-WaveNet" {print $3}')
+  export BENCH_PREPR_GRAPH_WAVENET_CPU_SECS=$(echo "$out" | awk '$2 == "Graph-WaveNet" {print $4}')
+fi
+
+cargo bench -p traffic-bench --bench train_step
+echo
+echo "--- BENCH_train.json ---"
+cat BENCH_train.json

@@ -1,0 +1,104 @@
+//! Pre-traffic-mem training-step baseline harness.
+//!
+//! This file is NOT built as part of the workspace. `scripts/
+//! bench_train.sh --prepr` copies it into a detached git worktree of
+//! the commit *before* the traffic-mem PR, registers it as a bench
+//! target there, and runs it to measure the true pre-PR steady-state
+//! training-step time on the exact workload `train_step.rs` uses
+//! (same simulated METR-LA shape, same seeds, same warmup/measure
+//! schedule). The numbers feed `BENCH_train.json` as the `baseline`
+//! entries, so the reported speedup compares the shipping engine
+//! against the engine as it existed before the PR — not against a
+//! pool-off ablation that already benefits from the PR's kernels.
+//!
+//! It intentionally uses only APIs that exist at the pre-PR commit:
+//! a fresh `Tape` per step and the (then only) allocating `Adam::step`.
+
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use traffic_core::TrainConfig;
+use traffic_data::{batches, prepare, simulate, Batch, SimConfig, Task};
+use traffic_models::{build_model, train_horizon, GraphContext, TrainCtx};
+use traffic_nn::loss::{masked_mae, null_mask};
+use traffic_nn::Adam;
+use traffic_tensor::{pool, Tape};
+
+/// Thread CPU nanoseconds (`/proc/thread-self/schedstat` field 1) —
+/// immune to scheduler steal on shared hosts; 0 where unsupported.
+fn thread_cpu_ns() -> u64 {
+    std::fs::read_to_string("/proc/thread-self/schedstat")
+        .ok()
+        .and_then(|s| s.split_whitespace().next().and_then(|v| v.parse().ok()))
+        .unwrap_or(0)
+}
+
+fn run(
+    model_name: &str,
+    ctx: &GraphContext,
+    batch_set: &[Batch],
+    t_out: usize,
+    cfg: &TrainConfig,
+    warmup: usize,
+    measure: usize,
+) -> (f64, f64) {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let model = build_model(model_name, ctx, &mut rng);
+    let mut opt = Adam::new(cfg.lr);
+    let horizon = train_horizon(model_name, t_out);
+    let mut times = Vec::with_capacity(measure);
+    let mut cpu_times = Vec::with_capacity(measure);
+    for step in 0..warmup + measure {
+        let t_step = Instant::now();
+        let cpu0 = thread_cpu_ns();
+        let batch = &batch_set[step % batch_set.len()];
+        let tape = Tape::new();
+        let x = tape.constant(batch.x.clone());
+        let y_norm = batch.y_norm.narrow(1, 0, horizon);
+        let y_raw = batch.y_raw.narrow(1, 0, horizon);
+        let mut tctx =
+            TrainCtx { rng: &mut rng, teacher: Some(&batch.y_norm), teacher_prob: 0.5 };
+        let pred = model.forward(&tape, x, Some(&mut tctx));
+        let mask = null_mask(&y_raw, 1e-3);
+        let loss = masked_mae(&tape, pred, &y_norm, &mask);
+        let grads = tape.backward(loss);
+        model.store().zero_grads();
+        model.store().capture_grads(&tape, &grads);
+        model.store().clip_grad_norm(cfg.grad_clip);
+        opt.step(model.store());
+        if step >= warmup {
+            times.push(t_step.elapsed().as_secs_f64());
+            cpu_times.push((thread_cpu_ns() - cpu0) as f64 * 1e-9);
+        }
+    }
+    times.sort_by(f64::total_cmp);
+    cpu_times.sort_by(f64::total_cmp);
+    (times[times.len() / 2], cpu_times[cpu_times.len() / 2])
+}
+
+fn main() {
+    let smoke = std::env::var("BENCH_SMOKE").map(|v| v == "1").unwrap_or(false);
+    // Must mirror train_step.rs exactly so the comparison is apples to
+    // apples: METR-LA shape, same seeds, same batch cycle.
+    let (nodes, batch_size, warmup, measure) =
+        if smoke { (16, 8, 1, 2) } else { (207, 16, 3, 25) };
+    pool::warmup();
+
+    let mut sim = SimConfig::new("bench-train", Task::Speed, nodes, 2);
+    sim.missing_rate = 0.0;
+    let ds = simulate(&sim);
+    let data = prepare(&ds, 12, 12);
+    let ctx = GraphContext::from_network(&ds.network, 4);
+    let cfg = TrainConfig { batch_size, ..Default::default() };
+    let mut shuffle = StdRng::seed_from_u64(cfg.seed);
+    let batch_set: Vec<Batch> =
+        batches(&data.train, batch_size, Some(&mut shuffle)).take(8).collect();
+
+    for model_name in ["STGCN", "Graph-WaveNet"] {
+        eprintln!("benchmarking {model_name} (pre-PR engine)...");
+        let (wall, cpu) = run(model_name, &ctx, &batch_set, data.t_out, &cfg, warmup, measure);
+        // Machine-readable: PREPR <model> <wall_secs> <cpu_secs>
+        println!("PREPR {model_name} {wall:.6} {cpu:.6}");
+    }
+}

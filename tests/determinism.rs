@@ -1,13 +1,24 @@
-//! Thread-count determinism: the compute pool splits only output ranges
-//! (never the reduction axis), so training must produce bit-identical
-//! losses no matter how many workers run. `TRAFFIC_THREADS=1` vs
-//! `TRAFFIC_THREADS=8` is exercised here via the equivalent
-//! [`pool::set_thread_cap`] override, which both runs in one process.
+//! Run-to-run determinism of training:
+//! - thread counts: the compute pool splits only output ranges (never
+//!   the reduction axis), so `TRAFFIC_THREADS=1` vs `TRAFFIC_THREADS=8`
+//!   must produce bit-identical losses (exercised via the equivalent
+//!   [`pool::set_thread_cap`] override, which both runs in one process);
+//! - buffer recycling: the traffic-mem pool only changes where output
+//!   buffers come from, never what is written, so `TRAFFIC_MEM_CAP=0`
+//!   (pool off) vs the default (pool on) must also be bit-identical
+//!   (exercised via [`mem::set_mem_cap`]).
 
 use traffic_suite::core::{train, TrainConfig};
 use traffic_suite::data::{prepare, simulate, SimConfig, Task};
 use traffic_suite::models::{build_model, GraphContext};
-use traffic_suite::tensor::pool;
+use traffic_suite::tensor::{mem, pool};
+
+/// Both tests flip process-global knobs (thread cap, mem cap); they
+/// serialise on one lock so neither observes the other mid-flip.
+fn knob_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
 
 fn stgcn_losses(thread_cap: usize) -> Vec<u32> {
     pool::set_thread_cap(thread_cap);
@@ -32,8 +43,27 @@ fn stgcn_losses(thread_cap: usize) -> Vec<u32> {
 
 #[test]
 fn stgcn_losses_identical_across_thread_counts() {
+    let _guard = knob_lock();
     let serial = stgcn_losses(1);
     let pooled = stgcn_losses(8);
     pool::set_thread_cap(usize::MAX);
     assert_eq!(serial, pooled, "2-epoch STGCN losses must be bit-identical with 1 vs 8 threads");
+}
+
+#[test]
+fn stgcn_losses_identical_with_mem_pool_on_and_off() {
+    let _guard = knob_lock();
+    // TRAFFIC_MEM_CAP=0 equivalent: recycling disabled, every buffer
+    // comes fresh from the allocator.
+    mem::set_mem_cap(0);
+    mem::trim();
+    let unpooled = stgcn_losses(usize::MAX);
+    // Default-cap equivalent: buffers recycle through the size classes.
+    mem::set_mem_cap(256 << 20);
+    let recycled = stgcn_losses(usize::MAX);
+    mem::set_mem_cap(usize::MAX);
+    assert_eq!(
+        unpooled, recycled,
+        "2-epoch STGCN losses must be bit-identical with the buffer pool on vs off"
+    );
 }
