@@ -1,0 +1,78 @@
+//! CLI front-end for [`traffic_bench::regression`]: compares a candidate
+//! bench report against a baseline and exits non-zero on regressions.
+//!
+//! ```text
+//! check_bench [--tol 0.15] [--min-secs 0.001] [--strict] <baseline.json> <candidate.json>
+//! ```
+//!
+//! `--tol` (or the `BENCH_TOL` env var) sets the relative tolerance; a
+//! timing leaf fails only when `candidate > baseline * (1 + tol)`.
+//! `--min-secs` (or `BENCH_MIN_SECS`, default 1ms) skips baselines too
+//! short to gate on a relative tolerance. Gated leaves missing from the
+//! candidate are warnings unless `--strict`.
+
+use std::process::ExitCode;
+
+use traffic_bench::regression::{compare, render};
+use traffic_obs::json::parse;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: check_bench [--tol X] [--min-secs S] [--strict] <baseline.json> <candidate.json>"
+    );
+    ExitCode::FAILURE
+}
+
+fn load(path: &str) -> Result<traffic_obs::json::Json, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    parse(&text).map_err(|e| format!("{path}: invalid JSON: {e:?}"))
+}
+
+fn main() -> ExitCode {
+    let mut tol: f64 = std::env::var("BENCH_TOL").ok().and_then(|s| s.parse().ok()).unwrap_or(0.15);
+    let mut min_secs: f64 =
+        std::env::var("BENCH_MIN_SECS").ok().and_then(|s| s.parse().ok()).unwrap_or(0.001);
+    let mut strict = false;
+    let mut paths: Vec<String> = Vec::new();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--strict" => strict = true,
+            "--tol" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) => tol = v,
+                None => return usage(),
+            },
+            "--min-secs" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) => min_secs = v,
+                None => return usage(),
+            },
+            _ if arg.starts_with('-') => return usage(),
+            _ => paths.push(arg),
+        }
+    }
+    let [baseline, candidate] = paths.as_slice() else {
+        return usage();
+    };
+
+    let (base, cand) = match (load(baseline), load(candidate)) {
+        (Ok(b), Ok(c)) => (b, c),
+        (b, c) => {
+            for err in [b.err(), c.err()].into_iter().flatten() {
+                eprintln!("check_bench: {err}");
+            }
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let cmp = compare(&base, &cand, tol, min_secs);
+    print!("{baseline} vs {candidate}\n{}", render(&cmp, tol));
+
+    if !cmp.regressions.is_empty() || (strict && !cmp.missing.is_empty()) {
+        eprintln!("check_bench: FAIL");
+        ExitCode::FAILURE
+    } else {
+        println!("check_bench: OK");
+        ExitCode::SUCCESS
+    }
+}

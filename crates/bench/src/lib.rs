@@ -18,6 +18,8 @@
 use traffic_core::ExperimentScale;
 use traffic_obs::Run;
 
+pub mod regression;
+
 /// The scale used inside timed loops. Criterion re-runs bench bodies many
 /// times, so this stays at smoke size; use the examples for larger
 /// regenerations.

@@ -1,0 +1,209 @@
+//! Perf-regression comparison between two bench-report JSON documents.
+//!
+//! The bench targets write flat-ish JSON reports (`BENCH_train.json`,
+//! `BENCH_gemm.json`). This module diffs a *candidate* report against a
+//! committed *baseline* and flags timing leaves that regressed past a
+//! tolerance. Only leaves whose key ends in `secs` are gated — those are
+//! the wall/CPU timings where **higher is worse**; derived ratios
+//! (`speedup_*`, `gflops`, hit rates) follow from them and would double
+//! count a regression.
+//!
+//! The comparison is structural, so new keys in the candidate are ignored
+//! and keys missing from the candidate are reported (warn by default,
+//! fatal under `--strict` in the `check_bench` binary) rather than
+//! silently skipped.
+//!
+//! Leaves with a baseline below `min_secs` are skipped entirely: at
+//! microsecond scale a relative tolerance measures scheduler noise and
+//! host differences, not regressions.
+
+use traffic_obs::json::Json;
+
+/// One gated leaf that was present in both documents.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Delta {
+    /// Dotted path from the document root, e.g. `models.STGCN.pooled.step_secs`.
+    pub path: String,
+    pub base: f64,
+    pub cand: f64,
+}
+
+impl Delta {
+    /// Relative change vs baseline; positive means the candidate is slower.
+    pub fn ratio(&self) -> f64 {
+        (self.cand - self.base) / self.base
+    }
+}
+
+/// Result of comparing a candidate report against a baseline.
+#[derive(Debug, Default)]
+pub struct Comparison {
+    /// Every gated leaf found in both documents.
+    pub checked: Vec<Delta>,
+    /// Gated leaves where the candidate exceeded `base * (1 + tol)`.
+    pub regressions: Vec<Delta>,
+    /// Gated leaves that got at least `tol` faster (informational).
+    pub improvements: Vec<Delta>,
+    /// Dotted paths of gated baseline leaves absent from the candidate.
+    pub missing: Vec<String>,
+}
+
+/// True for keys this module gates: raw timings where higher is worse.
+fn gated_key(key: &str) -> bool {
+    key.ends_with("secs")
+}
+
+/// Walks `base`, pairing every gated numeric leaf with the candidate.
+/// Baselines shorter than `min_secs` are ignored (too small to gate on
+/// a relative tolerance).
+pub fn compare(base: &Json, cand: &Json, tol: f64, min_secs: f64) -> Comparison {
+    let mut out = Comparison::default();
+    walk(base, Some(cand), "", tol, min_secs, &mut out);
+    out
+}
+
+fn walk(
+    base: &Json,
+    cand: Option<&Json>,
+    path: &str,
+    tol: f64,
+    min_secs: f64,
+    out: &mut Comparison,
+) {
+    match base {
+        Json::Obj(map) => {
+            for (key, bval) in map {
+                let sub = if path.is_empty() { key.clone() } else { format!("{path}.{key}") };
+                let cval = match cand {
+                    Some(Json::Obj(cmap)) => cmap.get(key),
+                    _ => None,
+                };
+                walk(bval, cval, &sub, tol, min_secs, out);
+            }
+        }
+        Json::Num(b) => {
+            let key = path.rsplit('.').next().unwrap_or(path);
+            if !gated_key(key) || !b.is_finite() || *b < min_secs || *b <= 0.0 {
+                return;
+            }
+            match cand {
+                Some(Json::Num(c)) if c.is_finite() => {
+                    let delta = Delta { path: path.to_string(), base: *b, cand: *c };
+                    if *c > b * (1.0 + tol) {
+                        out.regressions.push(delta.clone());
+                    } else if *c < b * (1.0 - tol) {
+                        out.improvements.push(delta.clone());
+                    }
+                    out.checked.push(delta);
+                }
+                _ => out.missing.push(path.to_string()),
+            }
+        }
+        // Arrays and scalars other than objects/numbers carry no gated
+        // timings in the bench reports; nothing to do.
+        _ => {}
+    }
+}
+
+/// Renders a human-readable report, one line per noteworthy leaf.
+pub fn render(cmp: &Comparison, tol: f64) -> String {
+    let mut s = String::new();
+    s.push_str(&format!(
+        "checked {} timing leaves (tolerance {:.0}%): {} regressed, {} improved, {} missing\n",
+        cmp.checked.len(),
+        tol * 100.0,
+        cmp.regressions.len(),
+        cmp.improvements.len(),
+        cmp.missing.len(),
+    ));
+    for d in &cmp.regressions {
+        s.push_str(&format!(
+            "  REGRESSION {:<48} {:>12.6}s -> {:>12.6}s ({:+.1}%)\n",
+            d.path,
+            d.base,
+            d.cand,
+            d.ratio() * 100.0
+        ));
+    }
+    for d in &cmp.improvements {
+        s.push_str(&format!(
+            "  improved   {:<48} {:>12.6}s -> {:>12.6}s ({:+.1}%)\n",
+            d.path,
+            d.base,
+            d.cand,
+            d.ratio() * 100.0
+        ));
+    }
+    for path in &cmp.missing {
+        s.push_str(&format!("  MISSING    {path} (present in baseline, absent in candidate)\n"));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use traffic_obs::json::parse;
+
+    fn doc(s: &str) -> Json {
+        parse(s).expect("test JSON must parse")
+    }
+
+    #[test]
+    fn flags_only_regressed_secs_leaves() {
+        let base = doc(r#"{"a":{"step_secs":1.0,"gflops":10.0},"cpu_step_secs":2.0}"#);
+        let cand = doc(r#"{"a":{"step_secs":1.3,"gflops":1.0},"cpu_step_secs":2.1}"#);
+        let cmp = compare(&base, &cand, 0.15, 0.0);
+        // gflops is not gated even though it collapsed; cpu_step_secs moved
+        // 5%, inside tolerance.
+        assert_eq!(cmp.checked.len(), 2);
+        assert_eq!(cmp.regressions.len(), 1);
+        assert_eq!(cmp.regressions[0].path, "a.step_secs");
+        assert!(cmp.missing.is_empty());
+    }
+
+    #[test]
+    fn improvements_and_missing_are_reported_separately() {
+        let base = doc(r#"{"fast_secs":1.0,"gone_secs":1.0,"note":"x"}"#);
+        let cand = doc(r#"{"fast_secs":0.5,"extra_secs":9.0}"#);
+        let cmp = compare(&base, &cand, 0.15, 0.0);
+        assert_eq!(cmp.improvements.len(), 1);
+        assert_eq!(cmp.improvements[0].path, "fast_secs");
+        assert_eq!(cmp.missing, vec!["gone_secs".to_string()]);
+        // extra_secs exists only in the candidate: new benches are not
+        // regressions.
+        assert!(cmp.regressions.is_empty());
+    }
+
+    #[test]
+    fn zero_and_non_numeric_baselines_are_skipped() {
+        let base = doc(r#"{"zero_secs":0.0,"str_secs":"n/a","nested":{"warm_secs":0.1}}"#);
+        let cand = doc(r#"{"zero_secs":99.0,"str_secs":"n/a","nested":{"warm_secs":0.1}}"#);
+        let cmp = compare(&base, &cand, 0.15, 0.0);
+        assert_eq!(cmp.checked.len(), 1);
+        assert!(cmp.regressions.is_empty());
+    }
+
+    #[test]
+    fn min_secs_floor_skips_noise_scale_leaves() {
+        // A 30µs kernel doubling is scheduler noise, not a regression;
+        // the same doubling at 30ms is gated.
+        let base = doc(r#"{"tiny_secs":0.00003,"big_secs":0.03}"#);
+        let cand = doc(r#"{"tiny_secs":0.00006,"big_secs":0.06}"#);
+        let cmp = compare(&base, &cand, 0.15, 0.001);
+        assert_eq!(cmp.checked.len(), 1);
+        assert_eq!(cmp.regressions.len(), 1);
+        assert_eq!(cmp.regressions[0].path, "big_secs");
+    }
+
+    #[test]
+    fn render_mentions_each_bucket() {
+        let base = doc(r#"{"slow_secs":1.0,"gone_secs":1.0}"#);
+        let cand = doc(r#"{"slow_secs":2.0}"#);
+        let cmp = compare(&base, &cand, 0.15, 0.0);
+        let text = render(&cmp, 0.15);
+        assert!(text.contains("REGRESSION slow_secs"));
+        assert!(text.contains("MISSING    gone_secs"));
+        assert!(text.contains("1 regressed"));
+    }
+}

@@ -160,17 +160,27 @@ pub fn train(model: &dyn TrafficModel, data: &PreparedData, cfg: &TrainConfig) -
             let y_raw = batch.y_raw.narrow(1, 0, horizon);
             let teacher_prob = teacher_probability(global_step, cfg.teacher_decay);
             let mut tctx = TrainCtx { rng: &mut rng, teacher: Some(&batch.y_norm), teacher_prob };
-            let pred = model.forward(&tape, x, Some(&mut tctx));
+            // Phase-level profile ops: the per-kernel ops recorded inside
+            // (gemm/…, bwd/…) nest under these in the Chrome trace.
+            let pred = {
+                let _prof = traffic_obs::profile::op("train", "forward");
+                model.forward(&tape, x, Some(&mut tctx))
+            };
             let mask = null_mask(&y_raw, 1e-3);
             let loss = masked_mae(&tape, pred, &y_norm, &mask);
             let loss_val = loss.value().item();
             if loss_val.is_finite() {
-                let grads = tape.backward(loss);
+                let grads = {
+                    let _prof = traffic_obs::profile::op("train", "backward");
+                    tape.backward(loss)
+                };
+                let _prof = traffic_obs::profile::op("train", "optim");
                 model.store().zero_grads();
                 model.store().capture_grads(&tape, &grads);
                 let grad_norm = model.store().clip_grad_norm(cfg.grad_clip);
                 gauge("train.grad_norm").set(grad_norm as f64);
                 opt.step(model.store());
+                drop(_prof);
                 loss_sum += loss_val as f64;
             } else {
                 counter("train.nonfinite_batches").inc();
@@ -186,6 +196,12 @@ pub fn train(model: &dyn TrafficModel, data: &PreparedData, cfg: &TrainConfig) -
         let epoch_dur = epoch_span.finish();
         epoch_times.push(epoch_dur);
         histogram("train.epoch_s").record_duration(epoch_dur);
+        // Histogram (not just a console-event field) so the manifest's
+        // metrics summary carries throughput alongside predict.window_s.
+        if epoch_dur.as_secs_f64() > 0.0 {
+            histogram("train.samples_per_sec")
+                .record(samples_seen as f64 / epoch_dur.as_secs_f64());
+        }
         // Publish mem/pool_hit_rate & friends once per epoch.
         traffic_tensor::mem::refresh_gauges();
         let mut stop = false;

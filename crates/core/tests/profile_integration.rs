@@ -1,0 +1,56 @@
+//! End-to-end profiling over real training steps: for each paper model,
+//! a profiled smoke-scale epoch must produce a flame table dominated by
+//! a handful of hot ops and a Chrome trace the bundled parser accepts.
+//!
+//! One `#[test]` only: the profiler is process-global state and cargo
+//! runs tests within a binary concurrently.
+
+use traffic_core::{prepare_experiment, train_model, ExperimentScale};
+use traffic_obs::profile;
+
+#[test]
+fn profiled_training_concentrates_time_and_exports_valid_traces() {
+    let scale = ExperimentScale::smoke();
+    let exp = prepare_experiment("METR-LA", &scale, 11);
+
+    for model_name in ["STGCN", "Graph-WaveNet"] {
+        profile::clear();
+        profile::start();
+        let (_model, report) = train_model(model_name, &exp, &scale, 7);
+        profile::stop();
+        assert!(!report.epoch_losses.is_empty(), "{model_name} must train");
+
+        let stats = profile::flame_table();
+        assert!(
+            stats.len() >= 5,
+            "{model_name}: expected a rich op mix, got {} distinct ops",
+            stats.len()
+        );
+        // The table is sorted by self time: the top five ops must cover
+        // the majority of where the step actually went.
+        let total: u64 = stats.iter().map(|s| s.self_ns).sum();
+        let top5: u64 = stats.iter().take(5).map(|s| s.self_ns).sum();
+        assert!(
+            top5 * 2 > total,
+            "{model_name}: top-5 ops cover {top5} of {total} ns — profile is too flat"
+        );
+        // Training must exercise the forward, backward, and kernel hooks.
+        for expect in ["train/forward", "train/backward", "bwd/", "gemm/"] {
+            assert!(
+                stats.iter().any(|s| format!("{}/{}", s.cat, s.name).starts_with(expect)),
+                "{model_name}: no `{expect}*` op in flame table"
+            );
+        }
+
+        let trace = profile::chrome_trace();
+        let doc = traffic_obs::json::parse(&trace)
+            .unwrap_or_else(|e| panic!("{model_name}: chrome trace must parse: {e:?}"));
+        match doc.get("traceEvents") {
+            Some(traffic_obs::json::Json::Arr(evs)) => {
+                assert!(evs.len() > stats.len(), "{model_name}: trace has per-op events")
+            }
+            other => panic!("{model_name}: traceEvents must be an array, got {other:?}"),
+        }
+    }
+    profile::clear();
+}

@@ -3,10 +3,11 @@
 //! Zero-dependency observability layer for the whole train/eval
 //! pipeline: hierarchical **spans** (wall-clock timing with RAII
 //! guards and a thread-safe global registry), **metrics** (counters,
-//! gauges, fixed-bucket histograms with quantile readout), and
-//! **sinks** (a human console sink with live loss sparklines, and a
-//! JSONL event sink writing per-run manifests under
-//! `reports/runs/<name>.jsonl`).
+//! gauges, fixed-bucket histograms with quantile readout), **sinks**
+//! (a human console sink with live loss sparklines, and a JSONL event
+//! sink writing per-run manifests under `reports/runs/<name>.jsonl`),
+//! and an op-level **profiler** ([`profile`]) exporting flame tables
+//! and Chrome `trace_event` files.
 //!
 //! Design rules:
 //!
@@ -38,6 +39,7 @@
 pub mod event;
 pub mod json;
 pub mod metrics;
+pub mod profile;
 pub mod run;
 pub mod sink;
 pub mod span;
@@ -69,10 +71,22 @@ pub fn emit_with(f: impl FnOnce() -> Event) {
     }
 }
 
+/// The process-wide telemetry clock: one `Instant` shared by event
+/// timestamps and the op profiler, so manifest `ts_ms` values and
+/// trace-event timestamps line up.
+fn clock() -> Instant {
+    static START: OnceLock<Instant> = OnceLock::new();
+    *START.get_or_init(Instant::now)
+}
+
 /// Milliseconds since the process-wide telemetry clock started.
 pub fn elapsed_ms() -> f64 {
-    static START: OnceLock<Instant> = OnceLock::new();
-    START.get_or_init(Instant::now).elapsed().as_secs_f64() * 1e3
+    clock().elapsed().as_secs_f64() * 1e3
+}
+
+/// Nanoseconds since the process-wide telemetry clock started.
+pub fn elapsed_ns() -> u64 {
+    clock().elapsed().as_nanos() as u64
 }
 
 /// A crude unicode sparkline for terminal figures and live loss curves.

@@ -1,0 +1,435 @@
+//! traffic-prof: op-level profiling with flame-table and Chrome-trace
+//! export.
+//!
+//! Spans ([`crate::span`]) time coarse regions (`train/epoch`,
+//! `train/batch`); this module times individual *ops* — one GEMM, one
+//! tape node's backward closure, one pool task, one mem-pool
+//! take/recycle — so a training step can be attributed kernel by
+//! kernel. Design rules:
+//!
+//! - **Off means off.** [`op`] starts with a single relaxed atomic
+//!   load; when profiling is disabled it returns an inert guard
+//!   without touching a thread-local, taking a lock, or allocating
+//!   (asserted by a counting-allocator test). Instrumented hot paths
+//!   stay within noise of uninstrumented ones.
+//! - **Per-thread recording.** Each thread appends [`OpRecord`]s to
+//!   its own buffer (registered globally once per thread), so
+//!   recording never contends across pool workers. Buffers are capped
+//!   at [`MAX_RECORDS_PER_THREAD`]; overflow increments a `dropped`
+//!   counter instead of growing without bound.
+//! - **Self time vs total time.** A per-thread frame stack subtracts
+//!   child op time from each parent, so the flame table can rank ops
+//!   by *self* time (where the cycles actually went) while still
+//!   reporting inclusive totals.
+//!
+//! Two exporters read the buffers back:
+//!
+//! - [`flame_table`] / [`render_flame_table`]: per-op aggregates
+//!   (count, total, self, % of self time, gflops, GB/s), sorted by
+//!   self time.
+//! - [`chrome_trace`]: a Chrome `trace_event` JSON document (complete
+//!   `"X"` events plus `"M"` thread-name metadata, one lane per
+//!   thread including pool workers) loadable in Perfetto or
+//!   `chrome://tracing`.
+//!
+//! [`crate::RunBuilder::profiled`] wires both into the run lifecycle:
+//! profiling starts with the run and, at run end, the flame table
+//! lands in the manifest (as `op_stat` events) and both report files
+//! land under the chosen directory.
+
+use std::cell::{Cell, RefCell};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use crate::event::push_json_str;
+
+/// Per-thread record cap (~25 MB worst case at ~96 B/record). Beyond
+/// it, records are counted as dropped rather than stored.
+pub const MAX_RECORDS_PER_THREAD: usize = 1 << 18;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// True while profiling is recording. One relaxed atomic load — cheap
+/// enough for per-node and per-allocation call sites.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// One finished op.
+#[derive(Debug, Clone)]
+pub struct OpRecord {
+    /// Coarse category (`gemm`, `bwd`, `pool`, `mem`, `conv`, …).
+    pub cat: &'static str,
+    /// Op name within the category (`nn`, `mul`, `take`, …).
+    pub name: &'static str,
+    /// Start, nanoseconds on the process-wide telemetry clock.
+    pub start_ns: u64,
+    /// Inclusive wall-clock duration.
+    pub dur_ns: u64,
+    /// Duration minus time spent in nested ops on the same thread.
+    pub self_ns: u64,
+    /// Floating-point operations attributed to this op (0 = n/a).
+    pub flops: u64,
+    /// Bytes moved (read + written) by this op (0 = n/a).
+    pub bytes: u64,
+    /// Tape node id for `bwd` ops (-1 = not a tape node).
+    pub node: i64,
+    /// Per-thread op sequence number (assigned at start).
+    pub seq: u64,
+    /// `seq` of the enclosing op on the same thread (-1 = top level).
+    pub parent: i64,
+}
+
+struct ThreadBuf {
+    /// Dense obs thread id ([`crate::current_thread_id`]).
+    thread: u64,
+    /// Lane label for the trace (OS thread name when available).
+    name: Mutex<String>,
+    records: Mutex<Vec<OpRecord>>,
+    dropped: AtomicU64,
+}
+
+fn registry() -> &'static Mutex<Vec<Arc<ThreadBuf>>> {
+    static REGISTRY: OnceLock<Mutex<Vec<Arc<ThreadBuf>>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+struct Frame {
+    seq: u64,
+    child_ns: u64,
+}
+
+thread_local! {
+    static BUF: Arc<ThreadBuf> = {
+        let buf = Arc::new(ThreadBuf {
+            thread: crate::current_thread_id(),
+            name: Mutex::new(
+                std::thread::current().name().unwrap_or("thread").to_string(),
+            ),
+            records: Mutex::new(Vec::new()),
+            dropped: AtomicU64::new(0),
+        });
+        registry().lock().expect("profile registry poisoned").push(Arc::clone(&buf));
+        buf
+    };
+    static FRAMES: RefCell<Vec<Frame>> = const { RefCell::new(Vec::new()) };
+    static NEXT_SEQ: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Clears all recorded ops and starts recording.
+pub fn start() {
+    clear();
+    ENABLED.store(true, Ordering::SeqCst);
+}
+
+/// Stops recording. Recorded ops stay readable until the next
+/// [`start`] / [`clear`].
+pub fn stop() {
+    ENABLED.store(false, Ordering::SeqCst);
+}
+
+/// Drops every recorded op (thread buffers keep their lane names).
+pub fn clear() {
+    for buf in registry().lock().expect("profile registry poisoned").iter() {
+        buf.records.lock().expect("profile buffer poisoned").clear();
+        buf.dropped.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Overrides the calling thread's lane label in the Chrome trace
+/// (defaults to the OS thread name, e.g. `traffic-compute-3`).
+pub fn set_thread_name(name: &str) {
+    BUF.with(|b| *b.name.lock().expect("profile buffer poisoned") = name.to_string());
+}
+
+/// Opens an op. Records on drop when profiling is enabled; otherwise
+/// the guard is inert and the call costs one atomic load.
+#[inline]
+pub fn op(cat: &'static str, name: &'static str) -> OpGuard {
+    if !enabled() {
+        return OpGuard {
+            active: false,
+            cat,
+            name,
+            start_ns: 0,
+            seq: 0,
+            parent: -1,
+            flops: 0,
+            bytes: 0,
+            node: -1,
+        };
+    }
+    let start_ns = crate::elapsed_ns();
+    let seq = NEXT_SEQ.with(|s| {
+        let v = s.get();
+        s.set(v + 1);
+        v
+    });
+    let parent = FRAMES.with(|frames| {
+        let mut frames = frames.borrow_mut();
+        let parent = frames.last().map(|f| f.seq as i64).unwrap_or(-1);
+        frames.push(Frame { seq, child_ns: 0 });
+        parent
+    });
+    OpGuard { active: true, cat, name, start_ns, seq, parent, flops: 0, bytes: 0, node: -1 }
+}
+
+/// RAII guard for one op; see [`op`].
+pub struct OpGuard {
+    active: bool,
+    cat: &'static str,
+    name: &'static str,
+    start_ns: u64,
+    seq: u64,
+    parent: i64,
+    flops: u64,
+    bytes: u64,
+    node: i64,
+}
+
+impl OpGuard {
+    /// Attributes floating-point work to this op.
+    #[inline]
+    pub fn set_flops(&mut self, flops: usize) {
+        self.flops = flops as u64;
+    }
+
+    /// Attributes bytes moved (read + written) to this op.
+    #[inline]
+    pub fn set_bytes(&mut self, bytes: usize) {
+        self.bytes = bytes as u64;
+    }
+
+    /// Tags this op with a tape node id (`bwd` ops).
+    #[inline]
+    pub fn set_node(&mut self, id: usize) {
+        self.node = id as i64;
+    }
+}
+
+impl Drop for OpGuard {
+    fn drop(&mut self) {
+        if !self.active {
+            return;
+        }
+        let dur_ns = crate::elapsed_ns().saturating_sub(self.start_ns);
+        let child_ns = FRAMES.with(|frames| {
+            let mut frames = frames.borrow_mut();
+            // Pop our own frame; search from the top so a leaked guard
+            // cannot desynchronise every later op on this thread.
+            let child = match frames.iter().rposition(|f| f.seq == self.seq) {
+                Some(pos) => frames.remove(pos).child_ns,
+                None => 0,
+            };
+            if let Some(top) = frames.last_mut() {
+                top.child_ns += dur_ns;
+            }
+            child
+        });
+        let record = OpRecord {
+            cat: self.cat,
+            name: self.name,
+            start_ns: self.start_ns,
+            dur_ns,
+            self_ns: dur_ns.saturating_sub(child_ns),
+            flops: self.flops,
+            bytes: self.bytes,
+            node: self.node,
+            seq: self.seq,
+            parent: self.parent,
+        };
+        BUF.with(|buf| {
+            let mut records = buf.records.lock().expect("profile buffer poisoned");
+            if records.len() < MAX_RECORDS_PER_THREAD {
+                records.push(record);
+            } else {
+                buf.dropped.fetch_add(1, Ordering::Relaxed);
+            }
+        });
+    }
+}
+
+/// Snapshot of one thread's recorded ops.
+#[derive(Debug, Clone)]
+pub struct ThreadProfile {
+    /// Dense obs thread id.
+    pub thread: u64,
+    /// Lane label (OS thread name unless overridden).
+    pub name: String,
+    /// Recorded ops in finish order.
+    pub records: Vec<OpRecord>,
+    /// Ops dropped after the per-thread cap was hit.
+    pub dropped: u64,
+}
+
+/// Copies every thread's recorded ops out of the registry.
+pub fn snapshot() -> Vec<ThreadProfile> {
+    registry()
+        .lock()
+        .expect("profile registry poisoned")
+        .iter()
+        .map(|buf| ThreadProfile {
+            thread: buf.thread,
+            name: buf.name.lock().expect("profile buffer poisoned").clone(),
+            records: buf.records.lock().expect("profile buffer poisoned").clone(),
+            dropped: buf.dropped.load(Ordering::Relaxed),
+        })
+        .collect()
+}
+
+/// Total recorded ops across all threads.
+pub fn op_count() -> usize {
+    registry()
+        .lock()
+        .expect("profile registry poisoned")
+        .iter()
+        .map(|buf| buf.records.lock().expect("profile buffer poisoned").len())
+        .sum()
+}
+
+/// Per-op aggregate over every thread.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OpStat {
+    /// Category (`gemm`, `bwd`, …).
+    pub cat: &'static str,
+    /// Op name within the category.
+    pub name: &'static str,
+    /// Number of recorded instances.
+    pub count: u64,
+    /// Sum of inclusive durations.
+    pub total_ns: u64,
+    /// Sum of self (exclusive) durations.
+    pub self_ns: u64,
+    /// Sum of attributed flops.
+    pub flops: u64,
+    /// Sum of attributed bytes.
+    pub bytes: u64,
+}
+
+/// Aggregates all recorded ops into per-`(cat, name)` stats, sorted by
+/// self time descending — the flame table.
+pub fn flame_table() -> Vec<OpStat> {
+    let mut agg: std::collections::BTreeMap<(&'static str, &'static str), OpStat> =
+        std::collections::BTreeMap::new();
+    for tp in snapshot() {
+        for r in &tp.records {
+            let stat = agg.entry((r.cat, r.name)).or_insert(OpStat {
+                cat: r.cat,
+                name: r.name,
+                count: 0,
+                total_ns: 0,
+                self_ns: 0,
+                flops: 0,
+                bytes: 0,
+            });
+            stat.count += 1;
+            stat.total_ns += r.dur_ns;
+            stat.self_ns += r.self_ns;
+            stat.flops += r.flops;
+            stat.bytes += r.bytes;
+        }
+    }
+    let mut stats: Vec<OpStat> = agg.into_values().collect();
+    stats.sort_by_key(|s| std::cmp::Reverse(s.self_ns));
+    stats
+}
+
+/// Renders a flame table as fixed-width text. `self%` is each op's
+/// share of the summed self time, so the column totals ≈ 100%.
+pub fn render_flame_table(stats: &[OpStat]) -> String {
+    let total_self: u64 = stats.iter().map(|s| s.self_ns).sum();
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<22} {:>8} {:>11} {:>11} {:>7} {:>8} {:>8}\n",
+        "op", "count", "total_ms", "self_ms", "self%", "gflops", "GB/s"
+    ));
+    for s in stats {
+        let pct = if total_self > 0 { s.self_ns as f64 / total_self as f64 * 100.0 } else { 0.0 };
+        let secs = s.total_ns as f64 * 1e-9;
+        let gflops = if s.flops > 0 && secs > 0.0 { s.flops as f64 / secs / 1e9 } else { 0.0 };
+        let gbs = if s.bytes > 0 && secs > 0.0 { s.bytes as f64 / secs / 1e9 } else { 0.0 };
+        out.push_str(&format!(
+            "{:<22} {:>8} {:>11.3} {:>11.3} {:>6.1}% {:>8.2} {:>8.2}\n",
+            format!("{}/{}", s.cat, s.name),
+            s.count,
+            s.total_ns as f64 * 1e-6,
+            s.self_ns as f64 * 1e-6,
+            pct,
+            gflops,
+            gbs,
+        ));
+    }
+    let dropped: u64 = snapshot().iter().map(|t| t.dropped).sum();
+    if dropped > 0 {
+        out.push_str(&format!("({dropped} ops dropped past the per-thread record cap)\n"));
+    }
+    out
+}
+
+/// Serialises every recorded op as a Chrome `trace_event` JSON document
+/// (one `"X"` complete event per op, `"M"` thread-name metadata per
+/// lane). Load the file in <https://ui.perfetto.dev> or
+/// `chrome://tracing`; nesting is reconstructed from timestamps, and
+/// pool workers appear as their own lanes so queue stalls are visible.
+pub fn chrome_trace() -> String {
+    let threads = snapshot();
+    let n: usize = threads.iter().map(|t| t.records.len() + 1).sum();
+    let mut out = String::with_capacity(64 + n * 128);
+    out.push_str("{\"traceEvents\":[");
+    let mut first = true;
+    let mut push_sep = |out: &mut String| {
+        if first {
+            first = false;
+        } else {
+            out.push(',');
+        }
+        out.push('\n');
+    };
+    for tp in &threads {
+        push_sep(&mut out);
+        out.push_str(&format!(
+            "{{\"ph\":\"M\",\"pid\":1,\"tid\":{},\"name\":\"thread_name\",\"args\":{{\"name\":",
+            tp.thread
+        ));
+        push_json_str(&mut out, &tp.name);
+        out.push_str("}}");
+        for r in &tp.records {
+            push_sep(&mut out);
+            out.push_str(&format!("{{\"ph\":\"X\",\"pid\":1,\"tid\":{},\"name\":", tp.thread));
+            push_json_str(&mut out, &format!("{}/{}", r.cat, r.name));
+            out.push_str(&format!(",\"cat\":\"{}\"", r.cat));
+            // trace_event timestamps are microseconds.
+            out.push_str(&format!(
+                ",\"ts\":{:.3},\"dur\":{:.3}",
+                r.start_ns as f64 * 1e-3,
+                r.dur_ns as f64 * 1e-3
+            ));
+            out.push_str(&format!(",\"args\":{{\"seq\":{},\"parent\":{}", r.seq, r.parent));
+            if r.flops > 0 {
+                out.push_str(&format!(",\"flops\":{}", r.flops));
+            }
+            if r.bytes > 0 {
+                out.push_str(&format!(",\"bytes\":{}", r.bytes));
+            }
+            if r.node >= 0 {
+                out.push_str(&format!(",\"node\":{}", r.node));
+            }
+            out.push_str("}}");
+        }
+    }
+    out.push_str("\n]}");
+    out
+}
+
+/// Writes the flame table to `<dir>/<run>.txt` and the Chrome trace to
+/// `<dir>/<run>.trace.json`; returns both paths.
+pub fn write_reports(dir: &Path, run: &str) -> std::io::Result<(PathBuf, PathBuf)> {
+    std::fs::create_dir_all(dir)?;
+    let txt = dir.join(format!("{run}.txt"));
+    let trace = dir.join(format!("{run}.trace.json"));
+    std::fs::write(&txt, render_flame_table(&flame_table()))?;
+    std::fs::write(&trace, chrome_trace())?;
+    Ok((txt, trace))
+}

@@ -1,6 +1,17 @@
 //! Run lifecycle: installs sinks, brackets the run with
 //! `run_start`/`run_end` events, and appends a metrics summary to the
 //! manifest when the run ends.
+//!
+//! Every `run_start` event carries a reproducibility header: the git
+//! commit the process was built from (read from `.git` without
+//! spawning a subprocess), the thread configuration (`TRAFFIC_THREADS`
+//! or hardware parallelism), and the `TRAFFIC_MEM_CAP` setting.
+//!
+//! With [`RunBuilder::profiled`], the op profiler
+//! ([`crate::profile`]) records for the lifetime of the run; at run
+//! end the flame table is appended to the manifest as `op_stat` events
+//! and both report files (`<run>.txt`, `<run>.trace.json`) are written
+//! under the chosen directory.
 
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -9,11 +20,15 @@ use std::time::Instant;
 use crate::event::Event;
 use crate::sink::{add_sink, remove_sink, ConsoleSink, JsonlSink, Sink};
 
+/// Flame-table rows exported to the manifest as `op_stat` events.
+const MANIFEST_OP_STATS: usize = 16;
+
 /// Builder for [`Run`].
 pub struct RunBuilder {
     name: String,
     console: bool,
     jsonl_dir: Option<PathBuf>,
+    profile_dir: Option<PathBuf>,
     reset_metrics: bool,
 }
 
@@ -27,6 +42,14 @@ impl RunBuilder {
     /// Attaches a [`JsonlSink`] writing `<dir>/<name>.jsonl`.
     pub fn jsonl(mut self, dir: impl Into<PathBuf>) -> Self {
         self.jsonl_dir = Some(dir.into());
+        self
+    }
+
+    /// Enables op-level profiling for the run and writes the flame
+    /// table (`<dir>/<name>.txt`) and Chrome trace
+    /// (`<dir>/<name>.trace.json`) when the run ends.
+    pub fn profiled(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.profile_dir = Some(dir.into());
         self
     }
 
@@ -55,11 +78,69 @@ impl RunBuilder {
         for s in &sinks {
             add_sink(Arc::clone(s));
         }
-        let run =
-            Run { name: self.name, sinks, manifest_path, started: Instant::now(), ended: false };
-        crate::emit(&Event::new("run_start").with("run", run.name.as_str()));
+        if self.profile_dir.is_some() {
+            crate::profile::start();
+        }
+        let run = Run {
+            name: self.name,
+            sinks,
+            manifest_path,
+            profile_dir: self.profile_dir,
+            started: Instant::now(),
+            ended: false,
+        };
+        crate::emit(
+            &Event::new("run_start")
+                .with("run", run.name.as_str())
+                .with("git", git_commit().unwrap_or_else(|| "unknown".to_string()))
+                .with("threads", configured_threads() as u64)
+                .with(
+                    "mem_cap",
+                    std::env::var("TRAFFIC_MEM_CAP").unwrap_or_else(|_| "default".to_string()),
+                ),
+        );
         Ok(run)
     }
+}
+
+/// Thread count the compute pool will use: `TRAFFIC_THREADS` when set,
+/// otherwise hardware parallelism. Mirrors the pool's own sizing logic
+/// (duplicated here because `traffic-obs` sits below the tensor crate).
+fn configured_threads() -> usize {
+    std::env::var("TRAFFIC_THREADS")
+        .ok()
+        .and_then(|s| s.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1))
+}
+
+/// Current git commit hash, read straight from `.git` (no subprocess):
+/// walks up from the working directory to the repo root, follows
+/// `HEAD`'s symbolic ref through loose refs and `packed-refs`.
+pub fn git_commit() -> Option<String> {
+    let mut dir = std::env::current_dir().ok()?;
+    let git = loop {
+        let candidate = dir.join(".git");
+        if candidate.is_dir() {
+            break candidate;
+        }
+        if !dir.pop() {
+            return None;
+        }
+    };
+    let head = std::fs::read_to_string(git.join("HEAD")).ok()?;
+    let head = head.trim();
+    let Some(refname) = head.strip_prefix("ref: ") else {
+        return (head.len() >= 7).then(|| head.to_string()); // detached HEAD
+    };
+    if let Ok(hash) = std::fs::read_to_string(git.join(refname)) {
+        return Some(hash.trim().to_string());
+    }
+    let packed = std::fs::read_to_string(git.join("packed-refs")).ok()?;
+    packed
+        .lines()
+        .filter(|l| !l.starts_with('#') && !l.starts_with('^'))
+        .find_map(|l| l.strip_suffix(refname).map(|hash| hash.trim().to_string()))
 }
 
 /// An active telemetry run (RAII: ending/shutdown happens on drop).
@@ -77,6 +158,7 @@ pub struct Run {
     name: String,
     sinks: Vec<Arc<dyn Sink>>,
     manifest_path: Option<PathBuf>,
+    profile_dir: Option<PathBuf>,
     started: Instant,
     ended: bool,
 }
@@ -84,7 +166,13 @@ pub struct Run {
 impl Run {
     /// Starts building a run with the given manifest name.
     pub fn named(name: &str) -> RunBuilder {
-        RunBuilder { name: name.to_string(), console: false, jsonl_dir: None, reset_metrics: true }
+        RunBuilder {
+            name: name.to_string(),
+            console: false,
+            jsonl_dir: None,
+            profile_dir: None,
+            reset_metrics: true,
+        }
     }
 
     /// Run name (manifest file stem).
@@ -107,6 +195,31 @@ impl Run {
             return;
         }
         self.ended = true;
+        if let Some(dir) = self.profile_dir.take() {
+            crate::profile::stop();
+            // Flame table into the manifest, then the report files.
+            for s in crate::profile::flame_table().iter().take(MANIFEST_OP_STATS) {
+                crate::emit(
+                    &Event::new("op_stat")
+                        .with("run", self.name.as_str())
+                        .with("op", format!("{}/{}", s.cat, s.name))
+                        .with("count", s.count)
+                        .with("total_ms", s.total_ns as f64 * 1e-6)
+                        .with("self_ms", s.self_ns as f64 * 1e-6)
+                        .with("flops", s.flops)
+                        .with("bytes", s.bytes),
+                );
+            }
+            match crate::profile::write_reports(&dir, &self.name) {
+                Ok((txt, trace)) => crate::emit(
+                    &Event::new("profile")
+                        .with("run", self.name.as_str())
+                        .with("flame_table", txt.display().to_string())
+                        .with("trace", trace.display().to_string()),
+                ),
+                Err(e) => eprintln!("warning: could not write profile reports to {dir:?}: {e}"),
+            }
+        }
         // summary: every registered metric, then the run_end banner
         for ev in crate::metrics::metrics_snapshot() {
             crate::emit(&ev.with("run", self.name.as_str()));

@@ -1,0 +1,109 @@
+//! Profiler invariants that need process-global control: a counting
+//! allocator to prove the disabled path allocates nothing, and exclusive
+//! ownership of the global profiler state. Everything lives in ONE
+//! `#[test]` because cargo runs tests in one binary concurrently and
+//! both the allocator counter and the profiler registry are global.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct Counting;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for Counting {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static A: Counting = Counting;
+
+use traffic_obs::profile;
+
+#[test]
+fn disabled_is_allocation_free_and_flame_table_is_consistent() {
+    // --- disabled path: no allocations, no records ---
+    assert!(!profile::enabled(), "profiling must start disabled");
+    // Warm up lazy statics (thread-locals, clock) outside the window.
+    {
+        let _g = profile::op("warm", "up");
+    }
+    let before = ALLOCS.load(Ordering::Relaxed);
+    for _ in 0..1000 {
+        let mut g = profile::op("gemm", "nn");
+        g.set_flops(1 << 20);
+        g.set_bytes(1 << 16);
+        g.set_node(42);
+    }
+    let after = ALLOCS.load(Ordering::Relaxed);
+    assert_eq!(after - before, 0, "disabled profiling op() must not allocate");
+    assert_eq!(profile::op_count(), 0, "disabled profiling must record nothing");
+
+    // --- enabled path: nesting, self-time, and flame-table sums ---
+    profile::start();
+    {
+        let _outer = profile::op("train", "forward");
+        for _ in 0..3 {
+            let mut inner = profile::op("gemm", "nn");
+            inner.set_flops(1000);
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+    {
+        let _solo = profile::op("mem", "take");
+    }
+    profile::stop();
+
+    let stats = profile::flame_table();
+    assert_eq!(stats.len(), 3, "three distinct ops recorded: {stats:?}");
+
+    let total_self: u64 = stats.iter().map(|s| s.self_ns).sum();
+    let pct_sum: f64 = stats.iter().map(|s| s.self_ns as f64 / total_self as f64 * 100.0).sum();
+    assert!((pct_sum - 100.0).abs() < 1e-6, "self-time percentages must sum to 100, got {pct_sum}");
+
+    let fwd = stats.iter().find(|s| s.cat == "train" && s.name == "forward").unwrap();
+    let gemm = stats.iter().find(|s| s.cat == "gemm" && s.name == "nn").unwrap();
+    assert_eq!(gemm.count, 3);
+    assert_eq!(gemm.flops, 3000);
+    // The parent's total covers its own self time plus all nested ops.
+    assert!(
+        fwd.total_ns >= fwd.self_ns + gemm.total_ns,
+        "parent total {} must cover self {} + child total {}",
+        fwd.total_ns,
+        fwd.self_ns,
+        gemm.total_ns
+    );
+    // ~6ms slept inside children, ~1ms in the parent itself: self time
+    // must be far below total for the parent.
+    assert!(fwd.self_ns < fwd.total_ns / 2, "nested time must not count as parent self time");
+
+    let rendered = profile::render_flame_table(&stats);
+    assert!(rendered.contains("train/forward"), "rendered table lists ops: {rendered}");
+
+    // --- chrome trace is valid JSON with the right event count ---
+    let trace = profile::chrome_trace();
+    let doc = traffic_obs::json::parse(&trace).expect("chrome trace must parse");
+    let events = match doc.get("traceEvents") {
+        Some(traffic_obs::json::Json::Arr(evs)) => evs,
+        other => panic!("traceEvents must be an array, got {other:?}"),
+    };
+    let complete =
+        events.iter().filter(|e| e.get("ph").and_then(|p| p.as_str()) == Some("X")).count();
+    assert_eq!(complete, 5, "one X event per recorded op");
+    assert!(
+        events.iter().any(|e| e.get("ph").and_then(|p| p.as_str()) == Some("M")),
+        "trace must carry thread_name metadata"
+    );
+
+    // stop() keeps records (reports run after the fact); clear() drops them.
+    assert_eq!(profile::op_count(), 5);
+    profile::clear();
+    assert_eq!(profile::op_count(), 0);
+}

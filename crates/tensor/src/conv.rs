@@ -24,6 +24,8 @@ pub fn im2col(input: &Tensor, kh: usize, kw: usize, dh: usize, dw: usize) -> Ten
     // Every output slot is covered by exactly one contiguous copy below.
     let mut out = crate::mem::take_uninit(b * batch_block);
     let data = input.as_slice();
+    let mut prof = traffic_obs::profile::op("conv", "im2col");
+    prof.set_bytes((data.len() + out.len()) * 4);
     let in_hw = h * w;
     let out_cols = oh * ow;
     // Each batch element owns one disjoint `batch_block` of the output,
@@ -80,6 +82,8 @@ pub fn col2im(
     // The fold accumulates (`+=`), so the output must start zeroed.
     let mut out = crate::mem::take_zeroed(b * batch_block);
     let data = cols.as_slice();
+    let mut prof = traffic_obs::profile::op("conv", "col2im");
+    prof.set_bytes((data.len() + out.len()) * 4);
     let out_cols = oh * ow;
     // Overlapping kernel taps only collide within one batch element, so
     // batch-level chunks keep the scatter-accumulate race-free and the

@@ -124,6 +124,15 @@ impl Tensor {
         let b_data = b.as_slice();
         let total_flops = 2 * nbatch * m * ka * n;
         let timer = std::time::Instant::now();
+        let orient = match (ta, tb) {
+            (false, false) => "nn",
+            (true, false) => "tn",
+            (false, true) => "nt",
+            (true, true) => "tt",
+        };
+        let mut prof = traffic_obs::profile::op("gemm", orient);
+        prof.set_flops(total_flops);
+        prof.set_bytes((a_data.len() + b_data.len() + out.len()) * 4);
         // One output matrix: a · b slices for batch bi, through the
         // kernel matching the operand orientations.
         let run_one = |bi: usize, dst: &mut [f32], scratch: &mut Vec<f32>| {

@@ -157,6 +157,8 @@ fn fresh(n: usize) -> Vec<f32> {
 }
 
 fn take(n: usize) -> Vec<f32> {
+    let mut prof = traffic_obs::profile::op("mem", "take");
+    prof.set_bytes(n * 4);
     match pop_recycled(n) {
         Some(v) => {
             metrics().hits.inc();
@@ -216,6 +218,8 @@ pub(crate) fn recycle(v: Vec<f32>) {
     if cap_bytes == 0 {
         return;
     }
+    let mut prof = traffic_obs::profile::op("mem", "recycle");
+    prof.set_bytes(cap_bytes);
     let limit = mem_cap();
     if limit == 0 {
         return;

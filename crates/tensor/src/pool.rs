@@ -100,6 +100,9 @@ struct Pool {
 
 fn run_job(job: Job) {
     metrics().tasks.inc();
+    // One trace-event per task: with per-thread lanes in the Chrome
+    // trace, gaps between `pool/task` blocks are queue stalls.
+    let _prof = traffic_obs::profile::op("pool", "task");
     let body = job.body;
     // Propagate panics to the dispatching thread instead of aborting a
     // detached worker; the latch must complete regardless.

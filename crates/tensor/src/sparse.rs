@@ -160,6 +160,9 @@ impl CsrMatrix {
         let mut out = vec![0.0f32; nbatch * self.rows * f];
         let xd = x.as_slice();
         let flops_per_batch = 2 * self.nnz() * f;
+        let mut prof = traffic_obs::profile::op("spmm", "csr");
+        prof.set_flops(flops_per_batch * nbatch);
+        prof.set_bytes((2 * self.nnz() + xd.len() + out.len()) * 4);
         let rows_per_task = if flops_per_batch < PAR_FLOPS {
             self.rows // single chunk → inline
         } else {
@@ -260,11 +263,11 @@ impl Propagator {
         match self {
             Propagator::Dense { at, .. } => {
                 let at = at.clone();
-                tape.unary(&x, y, move |g| at.matmul(g))
+                tape.unary("prop_apply", &x, y, move |g| at.matmul(g))
             }
             Propagator::Sparse { at, .. } => {
                 let at = Arc::clone(at);
-                tape.unary(&x, y, move |g| at.matmul(g))
+                tape.unary("prop_apply", &x, y, move |g| at.matmul(g))
             }
         }
     }

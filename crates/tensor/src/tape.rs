@@ -70,6 +70,9 @@ impl Parents {
 }
 
 struct Node {
+    /// Static op name recorded at forward time; names the `bwd` profile
+    /// op when `Tape::backward` runs under the profiler.
+    op: &'static str,
     value: Tensor,
     requires_grad: bool,
     parents: Parents,
@@ -133,7 +136,13 @@ impl Tape {
 
     /// Inserts a leaf tensor. Set `requires_grad` for trainable parameters.
     pub fn leaf(&self, value: Tensor, requires_grad: bool) -> Var<'_> {
-        let id = self.push(Node { value, requires_grad, parents: Parents::None, backward: None });
+        let id = self.push(Node {
+            op: "leaf",
+            value,
+            requires_grad,
+            parents: Parents::None,
+            backward: None,
+        });
         Var { tape: self, id }
     }
 
@@ -160,12 +169,14 @@ impl Tape {
 
     pub(crate) fn unary(
         &self,
+        op: &'static str,
         parent: &Var<'_>,
         value: Tensor,
         back: impl Fn(&Tensor) -> Tensor + 'static,
     ) -> Var<'_> {
         let rg = self.requires_grad(parent.id);
         let node = Node {
+            op,
             value,
             requires_grad: rg,
             parents: Parents::One(parent.id),
@@ -176,6 +187,7 @@ impl Tape {
 
     fn binary(
         &self,
+        op: &'static str,
         a: &Var<'_>,
         b: &Var<'_>,
         value: Tensor,
@@ -183,6 +195,7 @@ impl Tape {
     ) -> Var<'_> {
         let rg = self.requires_grad(a.id) || self.requires_grad(b.id);
         let node = Node {
+            op,
             value,
             requires_grad: rg,
             parents: Parents::Two(a.id, b.id),
@@ -212,10 +225,21 @@ impl Tape {
         PEAK_NODES.fetch_max(nodes.len(), Ordering::Relaxed);
         let mut grads: Vec<Option<Tensor>> = vec![None; nodes.len()];
         grads[loss.id] = Some(Tensor::ones(nodes[loss.id].value.shape()));
+        // One load up front: when the profiler is off the sweep carries
+        // zero per-node overhead beyond a branch on a local bool.
+        let profiling = traffic_obs::profile::enabled();
         for id in (0..=loss.id).rev() {
             let Some(g) = grads[id].take() else { continue };
             let node = &nodes[id];
             if let Some(back) = &node.backward {
+                let mut prof = if profiling {
+                    let mut guard = traffic_obs::profile::op("bwd", node.op);
+                    guard.set_node(id);
+                    guard.set_bytes(node.value.len() * 4);
+                    Some(guard)
+                } else {
+                    None
+                };
                 let nparents = node.parents.len();
                 back(&g, &mut |slot, pg| {
                     debug_assert!(slot < nparents);
@@ -231,6 +255,7 @@ impl Tape {
                         slot => *slot = Some(pg),
                     }
                 });
+                prof.take(); // close the bwd op before the next node starts
             } else if node.requires_grad {
                 grads[id] = Some(g); // keep leaf gradient
             }
@@ -296,15 +321,16 @@ impl<'t> Var<'t> {
     pub fn add(&self, other: &Var<'t>) -> Var<'t> {
         let (av, bv) = (self.value(), other.value());
         let (ash, bsh) = (av.shape().to_vec(), bv.shape().to_vec());
-        self.tape
-            .binary(self, other, av.add(&bv), move |g| (g.unbroadcast(&ash), g.unbroadcast(&bsh)))
+        self.tape.binary("add", self, other, av.add(&bv), move |g| {
+            (g.unbroadcast(&ash), g.unbroadcast(&bsh))
+        })
     }
 
     /// Broadcast subtraction.
     pub fn sub(&self, other: &Var<'t>) -> Var<'t> {
         let (av, bv) = (self.value(), other.value());
         let (ash, bsh) = (av.shape().to_vec(), bv.shape().to_vec());
-        self.tape.binary(self, other, av.sub(&bv), move |g| {
+        self.tape.binary("sub", self, other, av.sub(&bv), move |g| {
             (g.unbroadcast(&ash), g.neg().unbroadcast(&bsh))
         })
     }
@@ -314,7 +340,7 @@ impl<'t> Var<'t> {
         let (av, bv) = (self.value(), other.value());
         let (ash, bsh) = (av.shape().to_vec(), bv.shape().to_vec());
         let (ac, bc) = (av.clone(), bv.clone());
-        self.tape.binary(self, other, av.mul(&bv), move |g| {
+        self.tape.binary("mul", self, other, av.mul(&bv), move |g| {
             (g.mul(&bc).unbroadcast(&ash), g.mul(&ac).unbroadcast(&bsh))
         })
     }
@@ -324,7 +350,7 @@ impl<'t> Var<'t> {
         let (av, bv) = (self.value(), other.value());
         let (ash, bsh) = (av.shape().to_vec(), bv.shape().to_vec());
         let (ac, bc) = (av.clone(), bv.clone());
-        self.tape.binary(self, other, av.div(&bv), move |g| {
+        self.tape.binary("div", self, other, av.div(&bv), move |g| {
             let ga = g.div(&bc).unbroadcast(&ash);
             // d/db (a/b) = -a / b²
             let gb = g.mul(&ac).div(&bc.mul(&bc)).neg().unbroadcast(&bsh);
@@ -338,31 +364,31 @@ impl<'t> Var<'t> {
 
     /// Negation.
     pub fn neg(&self) -> Var<'t> {
-        self.tape.unary(self, self.value().neg(), |g| g.neg())
+        self.tape.unary("neg", self, self.value().neg(), |g| g.neg())
     }
 
     /// Adds a scalar constant.
     pub fn add_scalar(&self, s: f32) -> Var<'t> {
-        self.tape.unary(self, self.value().add_scalar(s), |g| g.clone())
+        self.tape.unary("add_scalar", self, self.value().add_scalar(s), |g| g.clone())
     }
 
     /// Multiplies by a scalar constant.
     pub fn mul_scalar(&self, s: f32) -> Var<'t> {
-        self.tape.unary(self, self.value().mul_scalar(s), move |g| g.mul_scalar(s))
+        self.tape.unary("mul_scalar", self, self.value().mul_scalar(s), move |g| g.mul_scalar(s))
     }
 
     /// Elementwise power with constant exponent.
     pub fn powf(&self, p: f32) -> Var<'t> {
         let x = self.value();
         let xc = x.clone();
-        self.tape.unary(self, x.powf(p), move |g| g.mul(&xc.powf(p - 1.0).mul_scalar(p)))
+        self.tape.unary("powf", self, x.powf(p), move |g| g.mul(&xc.powf(p - 1.0).mul_scalar(p)))
     }
 
     /// Rectified linear unit.
     pub fn relu(&self) -> Var<'t> {
         let x = self.value();
         let mask = x.map(|v| if v > 0.0 { 1.0 } else { 0.0 });
-        self.tape.unary(self, x.clamp_min(0.0), move |g| g.mul(&mask))
+        self.tape.unary("relu", self, x.clamp_min(0.0), move |g| g.mul(&mask))
     }
 
     /// Leaky ReLU with negative slope `alpha`.
@@ -370,7 +396,7 @@ impl<'t> Var<'t> {
         let x = self.value();
         let mask = x.map(|v| if v > 0.0 { 1.0 } else { alpha });
         let y = x.map(|v| if v > 0.0 { v } else { alpha * v });
-        self.tape.unary(self, y, move |g| g.mul(&mask))
+        self.tape.unary("leaky_relu", self, y, move |g| g.mul(&mask))
     }
 
     /// Logistic sigmoid. Backward is a single fused pass
@@ -378,7 +404,7 @@ impl<'t> Var<'t> {
     pub fn sigmoid(&self) -> Var<'t> {
         let y = self.value().map(crate::fastmath::sigmoid);
         let yc = y.clone();
-        self.tape.unary(self, y, move |g| g.zip_map(&yc, |g, y| (g * y) * (1.0 - y)))
+        self.tape.unary("sigmoid", self, y, move |g| g.zip_map(&yc, |g, y| (g * y) * (1.0 - y)))
     }
 
     /// Hyperbolic tangent, via the ~4× faster [`crate::fastmath::tanh`]
@@ -387,7 +413,7 @@ impl<'t> Var<'t> {
     pub fn tanh(&self) -> Var<'t> {
         let y = self.value().map(crate::fastmath::tanh);
         let yc = y.clone();
-        self.tape.unary(self, y, move |g| g.zip_map(&yc, |g, y| g * (1.0 - y * y)))
+        self.tape.unary("tanh", self, y, move |g| g.zip_map(&yc, |g, y| g * (1.0 - y * y)))
     }
 
     /// Fused gated activation `tanh(self) ⊙ σ(gate)` — the
@@ -399,28 +425,30 @@ impl<'t> Var<'t> {
     /// node instead of three and halves the elementwise traffic.
     pub fn gated_tanh_sigmoid(&self, gate: &Var<'t>) -> Var<'t> {
         let (out, t, s) = Tensor::gated_tanh_sigmoid(&self.value(), &gate.value());
-        self.tape.binary(self, gate, out, move |g| Tensor::gated_tanh_sigmoid_backward(g, &t, &s))
+        self.tape.binary("gated_tanh_sigmoid", self, gate, out, move |g| {
+            Tensor::gated_tanh_sigmoid_backward(g, &t, &s)
+        })
     }
 
     /// Elementwise exponential.
     pub fn exp(&self) -> Var<'t> {
         let y = self.value().exp();
         let yc = y.clone();
-        self.tape.unary(self, y, move |g| g.mul(&yc))
+        self.tape.unary("exp", self, y, move |g| g.mul(&yc))
     }
 
     /// Elementwise natural log.
     pub fn ln(&self) -> Var<'t> {
         let x = self.value();
         let xc = x.clone();
-        self.tape.unary(self, x.ln(), move |g| g.div(&xc))
+        self.tape.unary("ln", self, x.ln(), move |g| g.div(&xc))
     }
 
     /// Elementwise square root.
     pub fn sqrt(&self) -> Var<'t> {
         let y = self.value().sqrt();
         let yc = y.clone();
-        self.tape.unary(self, y, move |g| g.div(&yc.mul_scalar(2.0)))
+        self.tape.unary("sqrt", self, y, move |g| g.div(&yc.mul_scalar(2.0)))
     }
 
     /// Smooth absolute value: `sqrt(x² + eps)`; with `eps = 0` this is exact
@@ -428,7 +456,7 @@ impl<'t> Var<'t> {
     pub fn abs(&self) -> Var<'t> {
         let x = self.value();
         let sign = x.map(|v| if v >= 0.0 { 1.0 } else { -1.0 });
-        self.tape.unary(self, x.abs(), move |g| g.mul(&sign))
+        self.tape.unary("abs", self, x.abs(), move |g| g.mul(&sign))
     }
 
     /// Multiplies by a constant mask tensor (no gradient into the mask).
@@ -436,14 +464,14 @@ impl<'t> Var<'t> {
         let m = mask.clone();
         let y = self.value().mul(mask);
         let tgt = self.shape();
-        self.tape.unary(self, y, move |g| g.mul(&m).unbroadcast(&tgt))
+        self.tape.unary("mul_const", self, y, move |g| g.mul(&m).unbroadcast(&tgt))
     }
 
     /// Adds a constant tensor (no gradient into the constant).
     pub fn add_const(&self, c: &Tensor) -> Var<'t> {
         let y = self.value().add(c);
         let tgt = self.shape();
-        self.tape.unary(self, y, move |g| g.unbroadcast(&tgt))
+        self.tape.unary("add_const", self, y, move |g| g.unbroadcast(&tgt))
     }
 
     // ------------------------------------------------------------------
@@ -454,7 +482,9 @@ impl<'t> Var<'t> {
     pub fn sum_all(&self) -> Var<'t> {
         let x = self.value();
         let shape = x.shape().to_vec();
-        self.tape.unary(self, Tensor::scalar(x.sum_all()), move |g| Tensor::full(&shape, g.item()))
+        self.tape.unary("sum_all", self, Tensor::scalar(x.sum_all()), move |g| {
+            Tensor::full(&shape, g.item())
+        })
     }
 
     /// Mean over all elements → scalar.
@@ -475,7 +505,7 @@ impl<'t> Var<'t> {
             }
             s
         };
-        self.tape.unary(self, y, move |g| g.reshape(&kept).broadcast_to(&in_shape))
+        self.tape.unary("sum_axes", self, y, move |g| g.reshape(&kept).broadcast_to(&in_shape))
     }
 
     /// Mean over `axes` (keepdim).
@@ -498,7 +528,7 @@ impl<'t> Var<'t> {
         let (ac, bc) = (a.clone(), b.clone());
         let (ash, bsh) = (a.shape().to_vec(), b.shape().to_vec());
         let y = a.matmul(&b);
-        self.tape.binary(self, other, y, move |g| {
+        self.tape.binary("matmul", self, other, y, move |g| {
             // Transposed-storage kernels: bit-identical to materialising
             // `.t()` first, without the full permute copy per step.
             let ga = g.matmul_nt(&bc).unbroadcast(&ash);
@@ -512,7 +542,7 @@ impl<'t> Var<'t> {
         let x = self.value();
         let orig = x.shape().to_vec();
         let y = x.reshape(shape);
-        self.tape.unary(self, y, move |g| g.reshape(&orig))
+        self.tape.unary("reshape", self, y, move |g| g.reshape(&orig))
     }
 
     /// Axis permutation.
@@ -524,7 +554,7 @@ impl<'t> Var<'t> {
         for (i, &p) in perm.iter().enumerate() {
             inv[p] = i;
         }
-        self.tape.unary(self, y, move |g| g.permute(&inv))
+        self.tape.unary("permute", self, y, move |g| g.permute(&inv))
     }
 
     /// Transpose of the last two axes.
@@ -541,7 +571,7 @@ impl<'t> Var<'t> {
         let full = x.shape()[axis];
         let y = x.narrow(axis, start, len);
         let rank = x.rank();
-        self.tape.unary(self, y, move |g| {
+        self.tape.unary("narrow", self, y, move |g| {
             let mut pads = vec![(0usize, 0usize); rank];
             pads[axis] = (start, full - start - len);
             g.pad(&pads)
@@ -553,7 +583,7 @@ impl<'t> Var<'t> {
         let x = self.value();
         let y = x.pad(pads);
         let pads = pads.to_vec();
-        self.tape.unary(self, y, move |g| g.unpad(&pads))
+        self.tape.unary("pad", self, y, move |g| g.unpad(&pads))
     }
 
     /// Concatenates variables along `axis`.
@@ -566,6 +596,7 @@ impl<'t> Var<'t> {
         let sizes: Vec<usize> = values.iter().map(|v| v.shape()[axis]).collect();
         let rg = parts.iter().any(|p| tape.requires_grad(p.id));
         let node = Node {
+            op: "concat",
             value: y,
             requires_grad: rg,
             parents: Parents::Many(parts.iter().map(|p| p.id).collect()),
@@ -605,7 +636,7 @@ impl<'t> Var<'t> {
         let s = e.sum_axes(&[axis], true);
         let y = e.div(&s);
         let yc = y.clone();
-        self.tape.unary(self, y, move |g| {
+        self.tape.unary("softmax", self, y, move |g| {
             // dx = (g - sum(g*y, axis)) * y
             let dot = g.mul(&yc).sum_axes(&[axis], true);
             g.sub(&dot).mul(&yc)
@@ -636,7 +667,7 @@ impl<'t> Var<'t> {
         let y = x.index_select0(indices);
         let idx = indices.to_vec();
         let in_shape = x.shape().to_vec();
-        self.tape.unary(self, y, move |g| {
+        self.tape.unary("index_select0", self, y, move |g| {
             let inner: usize = in_shape[1..].iter().product();
             let mut out = Tensor::zeros(&in_shape);
             {
@@ -665,7 +696,7 @@ impl<'t> Var<'t> {
         let wmat = w.reshape(&[o, c * kh * kw]);
         let y = wmat.matmul(&cols).reshape(&[b, o, oh, ow]);
         let w_shape = w.shape().to_vec();
-        self.tape.binary(self, weight, y, move |g| {
+        self.tape.binary("conv2d", self, weight, y, move |g| {
             let gmat = g.reshape(&[b, o, oh * ow]); // [B, O, L]
                                                     // grad wrt weight: sum over batch of g · colsᵀ
             let gw = gmat.matmul_nt(&cols); // [B, O, CKK]

@@ -1,6 +1,8 @@
 //! Telemetry demo: trains one model with the console sink showing live
-//! per-epoch loss lines, writes a JSONL manifest under `reports/runs/`,
-//! then parses the manifest back and prints where the time went.
+//! per-epoch loss lines, writes a JSONL manifest under `reports/runs/`
+//! with op-level profiling enabled, then parses the manifest back and
+//! prints where the time went — span summary, op-level flame table, and
+//! a Chrome trace for `ui.perfetto.dev`.
 //!
 //! ```sh
 //! cargo run --release --example telemetry -- --scale smoke
@@ -18,6 +20,7 @@ fn main() {
     let run = obs::Run::named("telemetry-demo")
         .console(true)
         .jsonl("reports/runs")
+        .profiled("reports/profiles")
         .start()
         .expect("reports/runs must be writable");
     let manifest = run.manifest_path().expect("jsonl sink requested").to_path_buf();
@@ -30,6 +33,24 @@ fn main() {
     run.finish(); // summary metrics + run_end, sinks detached
 
     println!("\n== where the time went ==\n{}", render_span_summary(marker));
+    // `Run::finish` stopped the profiler but kept its records, so the
+    // flame table is still available in-process.
+    println!(
+        "== op-level flame table ==\n{}",
+        obs::profile::render_flame_table(&obs::profile::flame_table())
+    );
+
+    // The Chrome trace written next to the manifest must itself be valid
+    // JSON — load it with the bundled parser as a self-check.
+    let trace_path = "reports/profiles/telemetry-demo.trace.json";
+    let trace_text = std::fs::read_to_string(trace_path).expect("trace file written");
+    let trace = obs::json::parse(&trace_text).expect("trace must be valid JSON");
+    let n_events = match trace.get("traceEvents") {
+        Some(obs::json::Json::Arr(evs)) => evs.len(),
+        _ => panic!("trace must contain a traceEvents array"),
+    };
+    assert!(n_events > 0, "trace must record at least one op");
+    println!("chrome trace: {trace_path} ({n_events} events) — load in ui.perfetto.dev");
     println!(
         "trained {} epochs (mean {:.2?}/epoch), inference over {} windows took {:.2?}",
         report.epoch_losses.len(),

@@ -1,0 +1,59 @@
+#!/usr/bin/env bash
+# Perf-regression gate: diffs fresh bench reports against the committed
+# baselines and fails on timing leaves that regressed past a tolerance.
+#
+# Usage:
+#   scripts/check_bench.sh                       # committed vs on-disk reports
+#   scripts/check_bench.sh --run                 # regenerate reports first
+#   scripts/check_bench.sh base.json cand.json   # explicit pair (acceptance tests)
+#
+#   BENCH_TOL=0.5 scripts/check_bench.sh         # widen tolerance (default 0.15)
+#   BENCH_MIN_SECS=0.01 scripts/check_bench.sh   # ignore baselines under 10ms
+#   CHECK_BENCH_STRICT=1 scripts/check_bench.sh  # missing keys are fatal
+#
+# With no explicit pair, the baseline for each report is the version
+# committed at HEAD (`git show HEAD:BENCH_*.json`) and the candidate is
+# the file currently on disk — so CI runs the smoke benches, then this
+# script compares the fresh numbers against what the PR claims.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BENCH_TOL="${BENCH_TOL:-0.15}"
+STRICT_FLAG=()
+[[ "${CHECK_BENCH_STRICT:-0}" == "1" ]] && STRICT_FLAG=(--strict)
+
+check() {
+  cargo run --release -q -p traffic-bench --bin check_bench -- \
+    --tol "$BENCH_TOL" "${STRICT_FLAG[@]}" "$@"
+}
+
+# Explicit pair: compare exactly those two files and exit.
+if [[ $# -eq 2 && "$1" != "--run" ]]; then
+  check "$1" "$2"
+  exit $?
+fi
+
+if [[ "${1:-}" == "--run" ]]; then
+  scripts/bench_gemm.sh >/dev/null
+  scripts/bench_train.sh >/dev/null
+fi
+
+status=0
+for report in BENCH_gemm.json BENCH_train.json; do
+  if [[ ! -f "$report" ]]; then
+    echo "check_bench.sh: $report not on disk (run scripts/bench_*.sh first); skipping"
+    continue
+  fi
+  base="$(mktemp "/tmp/baseline.$report.XXXXXX")"
+  trap 'rm -f "$base"' EXIT
+  if ! git show "HEAD:$report" > "$base" 2>/dev/null; then
+    # Report not committed yet: nothing to gate against.
+    echo "check_bench.sh: $report has no committed baseline at HEAD; skipping"
+    rm -f "$base"
+    continue
+  fi
+  echo "== $report =="
+  check "$base" "$report" || status=1
+  rm -f "$base"
+done
+exit $status
