@@ -1,0 +1,178 @@
+//! Divergence detection for the trainer: a rolling-median loss monitor
+//! and the policy that decides how to react (rollback + LR backoff).
+//!
+//! Gradient clipping bounds a single step, but it cannot save a run
+//! whose loss has already blown up (too-high LR, fp32 overflow in an
+//! attention softmax, a poisoned batch). The [`LossMonitor`] watches
+//! the per-batch training loss and flags two conditions:
+//!
+//! - **non-finite** — the loss itself is NaN/∞; the step that produced
+//!   it has already polluted nothing (the trainer skips the optimizer
+//!   step on non-finite losses), but the run is clearly unstable;
+//! - **exploding** — the loss exceeds `explode_factor ×` the rolling
+//!   median of the last `window` batches. The median (not the mean)
+//!   keeps one earlier spike from masking the next.
+//!
+//! The trainer reacts by restoring the last end-of-epoch snapshot
+//! (weights, optimizer moments, RNG), scaling the learning rate by
+//! `lr_backoff`, and retrying the epoch — the recovery recipe of the
+//! DCRNN/Graph-WaveNet training scripts, automated. After
+//! `max_retries` consecutive failed attempts of the same epoch it
+//! gives up cleanly (`TrainReport::diverged`) instead of looping.
+
+use std::collections::VecDeque;
+
+/// How the trainer supervises and recovers from divergence.
+#[derive(Debug, Clone)]
+pub struct DivergencePolicy {
+    /// Rolling window of recent batch losses fed to the median.
+    pub window: usize,
+    /// A batch loss above `median × explode_factor` counts as exploding.
+    pub explode_factor: f32,
+    /// Consecutive failed attempts of one epoch before giving up.
+    pub max_retries: usize,
+    /// Learning-rate multiplier applied at each rollback.
+    pub lr_backoff: f32,
+}
+
+impl Default for DivergencePolicy {
+    fn default() -> Self {
+        DivergencePolicy { window: 16, explode_factor: 25.0, max_retries: 3, lr_backoff: 0.5 }
+    }
+}
+
+/// What the monitor concluded from one batch loss.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Verdict {
+    /// Within the expected band.
+    Healthy,
+    /// The loss is NaN or infinite.
+    NonFinite,
+    /// The loss exceeds the rolling median by more than the factor.
+    Exploding {
+        /// The offending batch loss.
+        loss: f32,
+        /// Rolling median it was compared against.
+        median: f32,
+    },
+}
+
+/// Rolling-median explosion detector over per-batch losses.
+#[derive(Debug, Clone)]
+pub struct LossMonitor {
+    window: usize,
+    factor: f32,
+    recent: VecDeque<f32>,
+}
+
+impl LossMonitor {
+    /// Monitor with the given window and explosion factor.
+    pub fn new(window: usize, factor: f32) -> Self {
+        assert!(window >= 2, "median needs at least 2 samples");
+        LossMonitor { window, factor, recent: VecDeque::with_capacity(window) }
+    }
+
+    /// Monitor configured from a policy.
+    pub fn from_policy(p: &DivergencePolicy) -> Self {
+        Self::new(p.window, p.explode_factor)
+    }
+
+    /// Median of the current window (`None` until the window is full).
+    fn median(&self) -> Option<f32> {
+        if self.recent.len() < self.window {
+            return None;
+        }
+        let mut sorted: Vec<f32> = self.recent.iter().copied().collect();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        Some(sorted[sorted.len() / 2])
+    }
+
+    /// Feeds one batch loss; healthy losses enter the window, anomalous
+    /// ones are reported and kept out of it.
+    pub fn observe(&mut self, loss: f32) -> Verdict {
+        if !loss.is_finite() {
+            return Verdict::NonFinite;
+        }
+        if let Some(median) = self.median() {
+            if median > 0.0 && loss > median * self.factor {
+                return Verdict::Exploding { loss, median };
+            }
+        }
+        if self.recent.len() == self.window {
+            self.recent.pop_front();
+        }
+        self.recent.push_back(loss);
+        Verdict::Healthy
+    }
+
+    /// Clears the window (after a rollback: the retried epoch starts
+    /// from a restored state, so old losses no longer apply).
+    pub fn reset(&mut self) {
+        self.recent.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn healthy_stream_stays_healthy() {
+        let mut m = LossMonitor::new(4, 10.0);
+        for i in 0..50 {
+            let loss = 1.0 + 0.1 * ((i % 7) as f32);
+            assert_eq!(m.observe(loss), Verdict::Healthy, "batch {i}");
+        }
+    }
+
+    #[test]
+    fn nonfinite_is_flagged_immediately() {
+        let mut m = LossMonitor::new(4, 10.0);
+        assert_eq!(m.observe(f32::NAN), Verdict::NonFinite);
+        assert_eq!(m.observe(f32::INFINITY), Verdict::NonFinite);
+        // a single NaN does not corrupt the window
+        assert_eq!(m.observe(1.0), Verdict::Healthy);
+    }
+
+    #[test]
+    fn explosion_needs_a_full_window() {
+        let mut m = LossMonitor::new(4, 10.0);
+        // Window not yet full: even a huge loss is tolerated (no
+        // baseline to compare against).
+        assert_eq!(m.observe(500.0), Verdict::Healthy);
+        for _ in 0..4 {
+            assert_eq!(m.observe(1.0), Verdict::Healthy);
+        }
+        match m.observe(50.0) {
+            Verdict::Exploding { loss, median } => {
+                assert_eq!(loss, 50.0);
+                assert!((median - 1.0).abs() < 1e-6);
+            }
+            v => panic!("expected explosion, got {v:?}"),
+        }
+    }
+
+    #[test]
+    fn spike_does_not_poison_the_median() {
+        let mut m = LossMonitor::new(4, 5.0);
+        for _ in 0..4 {
+            m.observe(1.0);
+        }
+        // First spike flagged and excluded; the next spike must still be
+        // flagged (median unchanged at 1.0).
+        assert!(matches!(m.observe(100.0), Verdict::Exploding { .. }));
+        assert!(matches!(m.observe(100.0), Verdict::Exploding { .. }));
+        assert_eq!(m.observe(1.1), Verdict::Healthy);
+    }
+
+    #[test]
+    fn reset_clears_baseline() {
+        let mut m = LossMonitor::new(2, 5.0);
+        m.observe(1.0);
+        m.observe(1.0);
+        assert!(matches!(m.observe(100.0), Verdict::Exploding { .. }));
+        m.reset();
+        // After reset the window must refill before flagging again.
+        assert_eq!(m.observe(100.0), Verdict::Healthy);
+    }
+}

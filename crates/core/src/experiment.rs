@@ -1,6 +1,15 @@
 //! The paper's experiments: Fig 1 (model comparison across datasets and
 //! horizons), Fig 2 (difficult intervals + degradation), Fig 3 (per-road
 //! case study).
+//!
+//! Sweeps are **panic-isolated**: each (dataset, model) cell runs under
+//! [`run_cell`], so one model blowing up (a panic in a kernel, an
+//! injected fault, a pathological config) marks only that cell as failed
+//! — [`Fig1Row::error`] / [`Fig2Row::error`] — instead of killing the
+//! whole cross-product. Failed cells carry NaN metrics, which every
+//! downstream aggregate (findings, winners) already filters out.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -17,6 +26,39 @@ use traffic_tensor::Tensor;
 
 use crate::scale::ExperimentScale;
 use crate::trainer::{predict, train, TrainConfig, TrainReport};
+
+/// Extracts the human-readable message from a panic payload.
+pub(crate) fn panic_reason(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with non-string payload".to_string()
+    }
+}
+
+/// Runs one experiment cell with panic isolation: a panic inside `f`
+/// becomes `Err(reason)` (counted under `experiment/failed_cells` and
+/// emitted as a `cell_failed` event) instead of unwinding through the
+/// sweep. `AssertUnwindSafe` is sound here because a failed cell's state
+/// (model, tapes) is dropped wholesale — nothing half-mutated survives.
+pub(crate) fn run_cell<T>(label: &str, f: impl FnOnce() -> T) -> Result<T, String> {
+    match catch_unwind(AssertUnwindSafe(f)) {
+        Ok(v) => Ok(v),
+        Err(payload) => {
+            let reason = panic_reason(payload.as_ref());
+            traffic_obs::counter("experiment/failed_cells").inc();
+            traffic_obs::emit_with(|| {
+                traffic_obs::Event::new("cell_failed")
+                    .with("cell", label.to_string())
+                    .with("reason", reason.clone())
+            });
+            eprintln!("traffic-resilience: experiment cell {label} failed: {reason}");
+            Err(reason)
+        }
+    }
+}
 
 /// A simulated dataset, windowed and ready to train on.
 pub struct PreparedExperiment {
@@ -115,10 +157,31 @@ pub struct Fig1Row {
     pub rmse: (f32, f32),
     /// (mean, std) over repeats, percent.
     pub mape: (f32, f32),
+    /// `Some(reason)` when this cell's training/evaluation panicked and
+    /// was isolated; metrics are then NaN and excluded from aggregates.
+    pub error: Option<String>,
+}
+
+impl Fig1Row {
+    /// A failed cell: NaN metrics plus the panic reason.
+    pub fn failed(dataset: &str, model: &str, horizon: &'static str, reason: String) -> Self {
+        let nan = (f32::NAN, f32::NAN);
+        Fig1Row {
+            dataset: dataset.to_string(),
+            model: model.to_string(),
+            horizon,
+            mae: nan,
+            rmse: nan,
+            mape: nan,
+            error: Some(reason),
+        }
+    }
 }
 
 /// Runs the Fig 1 cross-product: every model on every dataset, evaluated at
-/// 15/30/60 minutes, `scale.repeats` times.
+/// 15/30/60 minutes, `scale.repeats` times. Each (dataset, model) cell is
+/// panic-isolated: a crash yields [`Fig1Row::failed`] rows for its three
+/// horizons and the sweep continues.
 pub fn model_comparison(
     datasets: &[&str],
     models: &[&str],
@@ -126,32 +189,61 @@ pub fn model_comparison(
 ) -> Vec<Fig1Row> {
     let mut rows = Vec::new();
     for &ds in datasets {
-        let exp = prepare_experiment(ds, scale, 42);
-        let test = eval_split(&exp.data.test, scale);
-        for &m in models {
-            // per-repeat metric collection: [horizon][repeat]
-            let mut mae = vec![Vec::new(); 3];
-            let mut rmse = vec![Vec::new(); 3];
-            let mut mape = vec![Vec::new(); 3];
-            for rep in 0..scale.repeats {
-                let (model, _report) = train_model(m, &exp, scale, 1000 + rep as u64);
-                let pred = predict(model.as_ref(), &test, &exp.data.scaler, scale.batch_size);
-                let metrics = evaluate_horizons(&pred, &test.y_raw, &PAPER_HORIZONS, None);
-                for (h, met) in metrics.iter().enumerate() {
-                    mae[h].push(met.mae);
-                    rmse[h].push(met.rmse);
-                    mape[h].push(met.mape);
+        let exp = match run_cell(&format!("fig1/{ds}/prepare"), || {
+            let exp = prepare_experiment(ds, scale, 42);
+            let test = eval_split(&exp.data.test, scale);
+            (exp, test)
+        }) {
+            Ok(v) => v,
+            Err(reason) => {
+                // The whole dataset is unusable: fail every dependent cell
+                // explicitly rather than dropping them silently.
+                for &m in models {
+                    for &label in &PAPER_HORIZON_LABELS {
+                        rows.push(Fig1Row::failed(ds, m, label, reason.clone()));
+                    }
                 }
+                continue;
             }
-            for h in 0..3 {
-                rows.push(Fig1Row {
-                    dataset: ds.to_string(),
-                    model: m.to_string(),
-                    horizon: PAPER_HORIZON_LABELS[h],
-                    mae: mean_std(&mae[h]),
-                    rmse: mean_std(&rmse[h]),
-                    mape: mean_std(&mape[h]),
-                });
+        };
+        let (exp, test) = exp;
+        for &m in models {
+            let cell = run_cell(&format!("fig1/{ds}/{m}"), || {
+                // per-repeat metric collection: [horizon][repeat]
+                let mut mae = vec![Vec::new(); 3];
+                let mut rmse = vec![Vec::new(); 3];
+                let mut mape = vec![Vec::new(); 3];
+                for rep in 0..scale.repeats {
+                    let (model, _report) = train_model(m, &exp, scale, 1000 + rep as u64);
+                    let pred = predict(model.as_ref(), &test, &exp.data.scaler, scale.batch_size);
+                    let metrics = evaluate_horizons(&pred, &test.y_raw, &PAPER_HORIZONS, None);
+                    for (h, met) in metrics.iter().enumerate() {
+                        mae[h].push(met.mae);
+                        rmse[h].push(met.rmse);
+                        mape[h].push(met.mape);
+                    }
+                }
+                (mae, rmse, mape)
+            });
+            match cell {
+                Ok((mae, rmse, mape)) => {
+                    for h in 0..3 {
+                        rows.push(Fig1Row {
+                            dataset: ds.to_string(),
+                            model: m.to_string(),
+                            horizon: PAPER_HORIZON_LABELS[h],
+                            mae: mean_std(&mae[h]),
+                            rmse: mean_std(&rmse[h]),
+                            mape: mean_std(&mape[h]),
+                            error: None,
+                        });
+                    }
+                }
+                Err(reason) => {
+                    for &label in &PAPER_HORIZON_LABELS {
+                        rows.push(Fig1Row::failed(ds, m, label, reason.clone()));
+                    }
+                }
             }
         }
     }
@@ -173,6 +265,23 @@ pub struct Fig2Row {
     pub difficult: MetricSet,
     /// `100·(difficult − overall)/overall` (the paper reports 67–180%).
     pub degradation_pct: f32,
+    /// `Some(reason)` when this model's cell panicked and was isolated;
+    /// metrics are then NaN and excluded from aggregates.
+    pub error: Option<String>,
+}
+
+impl Fig2Row {
+    /// A failed cell: NaN metrics plus the panic reason.
+    pub fn failed(model: &str, reason: String) -> Self {
+        let nan = MetricSet { mae: f32::NAN, rmse: f32::NAN, mape: f32::NAN, count: 0 };
+        Fig2Row {
+            model: model.to_string(),
+            overall: nan,
+            difficult: nan,
+            degradation_pct: f32::NAN,
+            error: Some(reason),
+        }
+    }
 }
 
 /// Builds the `[S, T_out, N]` difficult mask aligned with a windowed split.
@@ -205,21 +314,25 @@ pub fn difficult_interval_experiment(
     let dmask = sample_difficult_mask(&exp.dataset, &test);
     let mut rows = Vec::new();
     for &m in models {
-        let (model, _) = train_model(m, &exp, scale, 2000);
-        let pred = predict(model.as_ref(), &test, &exp.data.scaler, scale.batch_size);
-        let overall = evaluate(&pred, &test.y_raw, None);
-        let difficult = evaluate(&pred, &test.y_raw, Some(&dmask));
-        let degradation = if overall.mae > 0.0 && difficult.count > 0 {
-            degradation_pct(overall.mae, difficult.mae)
-        } else {
-            f32::NAN
-        };
-        rows.push(Fig2Row {
-            model: m.to_string(),
-            overall,
-            difficult,
-            degradation_pct: degradation,
+        let cell = run_cell(&format!("fig2/{dataset}/{m}"), || {
+            let (model, _) = train_model(m, &exp, scale, 2000);
+            let pred = predict(model.as_ref(), &test, &exp.data.scaler, scale.batch_size);
+            let overall = evaluate(&pred, &test.y_raw, None);
+            let difficult = evaluate(&pred, &test.y_raw, Some(&dmask));
+            let degradation = if overall.mae > 0.0 && difficult.count > 0 {
+                degradation_pct(overall.mae, difficult.mae)
+            } else {
+                f32::NAN
+            };
+            Fig2Row {
+                model: m.to_string(),
+                overall,
+                difficult,
+                degradation_pct: degradation,
+                error: None,
+            }
         });
+        rows.push(cell.unwrap_or_else(|reason| Fig2Row::failed(m, reason)));
     }
     rows
 }

@@ -353,6 +353,7 @@ mod tests {
             mae: (mae, 0.0),
             rmse: (mae * 1.5, 0.0),
             mape: (mae * 2.0, 0.0),
+            error: None,
         }
     }
 
@@ -394,6 +395,7 @@ mod tests {
             overall: MetricSet { mae: overall, rmse: 0.0, mape: 0.0, count: 10 },
             difficult: MetricSet { mae: difficult, rmse: 0.0, mape: 0.0, count: 5 },
             degradation_pct: 100.0 * (difficult - overall) / overall,
+            error: None,
         };
         let rows = vec![
             mk("ASTGCN", 2.0, 3.0),        // +50%
@@ -433,6 +435,7 @@ mod tests {
             mae: (mae, 0.0),
             rmse: (mae, 0.0),
             mape: (mae, 0.0),
+            error: None,
         }
     }
 

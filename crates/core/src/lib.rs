@@ -6,10 +6,12 @@
 //! the Fig 3 per-road case study, and text/CSV renderers for each.
 
 pub mod ablation;
+pub mod divergence;
 pub mod experiment;
 pub mod findings;
 pub mod regimes;
 pub mod report;
+pub mod resume;
 pub mod scale;
 pub mod tables;
 pub mod timing;
@@ -18,6 +20,7 @@ pub mod trainer;
 pub use ablation::{
     gwn_adaptive_ablation, horizon_curve, stgcn_spatial_kind_ablation, AblationResult,
 };
+pub use divergence::{DivergencePolicy, LossMonitor, Verdict};
 pub use experiment::{
     case_study, case_study_on, difficult_interval_experiment, eval_split, model_comparison,
     prepare_experiment, sample_difficult_mask, train_model, CaseStudy, Fig1Row, Fig2Row,
@@ -28,6 +31,7 @@ pub use findings::{
 };
 pub use regimes::{classify, decompose, regime_mask, Regime};
 pub use report::{format_table, sparkline, write_csv};
+pub use resume::{config_fingerprint, BestSnapshot, TrainState, STATE_VERSION};
 pub use scale::ExperimentScale;
 pub use tables::{
     fig1_csv_rows, fig2_csv_rows, fig3_csv_rows, render_fig1, render_fig2, render_fig3,

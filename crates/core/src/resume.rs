@@ -1,0 +1,483 @@
+//! Full-state training checkpoints: everything [`crate::train`] needs to
+//! continue a run **bit-identically** after a crash.
+//!
+//! A weights-only checkpoint (`TNN1`, [`traffic_nn::save_weights`]) is
+//! not enough to resume: Adam's moment estimates, the scheduled-sampling
+//! RNG, the global step (which drives the teacher-forcing probability),
+//! and the early-stopping bookkeeping all shape the remaining
+//! trajectory. [`TrainState`] captures the lot and serialises it into
+//! the sectioned, CRC-checked `TNN2` container
+//! ([`traffic_nn::tnn2`]), written atomically so a crash mid-save
+//! leaves the previous checkpoint intact.
+//!
+//! Resume correctness is guarded two ways:
+//! - a **config fingerprint** ([`config_fingerprint`]) of every
+//!   math-relevant [`TrainConfig`] field is stored and compared on load,
+//!   so a checkpoint is never silently continued under different
+//!   hyper-parameters;
+//! - [`TrainState::apply_weights`] validates parameter names and shapes
+//!   against the live [`ParamStore`] before writing anything.
+
+use std::path::Path;
+
+use traffic_nn::tnn2::{self, PayloadReader, PayloadWriter};
+use traffic_nn::{AdamState, CheckpointError, ParamStore};
+use traffic_tensor::Tensor;
+
+use crate::trainer::TrainConfig;
+
+/// Version of the **state schema** inside the `TNN2` container (the
+/// container itself has its own format version).
+pub const STATE_VERSION: u32 = 1;
+
+/// Best-validation-epoch snapshot carried inside a [`TrainState`].
+#[derive(Debug, Clone)]
+pub struct BestSnapshot {
+    /// Best validation loss seen so far.
+    pub val: f32,
+    /// Epoch that produced it.
+    pub epoch: usize,
+    /// Weight snapshot from that epoch (store order).
+    pub weights: Vec<Tensor>,
+}
+
+/// Everything the trainer needs to continue a run bit-identically.
+#[derive(Debug, Clone)]
+pub struct TrainState {
+    /// Fingerprint of the math-relevant config fields (see
+    /// [`config_fingerprint`]); checked on resume.
+    pub fingerprint: u64,
+    /// Number of fully completed epochs; training resumes at this epoch
+    /// index.
+    pub epochs_done: usize,
+    /// Batches processed across all epochs (drives scheduled sampling).
+    pub global_step: usize,
+    /// Scheduled-sampling / dropout RNG state (xoshiro256++ words).
+    pub rng: [u64; 4],
+    /// Divergence-supervisor LR backoff accumulated so far.
+    pub lr_scale: f32,
+    /// Cumulative rollbacks performed by the divergence supervisor.
+    pub rollbacks: usize,
+    /// Cumulative optimizer steps skipped on non-finite gradients.
+    pub skipped_steps: usize,
+    /// Early-stopping staleness counter at the checkpoint.
+    pub stale: usize,
+    /// Mean training loss of each completed epoch.
+    pub epoch_losses: Vec<f32>,
+    /// Validation loss of each completed epoch (may be empty).
+    pub val_losses: Vec<f32>,
+    /// Wall-clock seconds of each completed epoch.
+    pub epoch_times: Vec<f64>,
+    /// Current model weights, `(name, value)` in store order.
+    pub weights: Vec<(String, Tensor)>,
+    /// Adam step count, lr, and moment estimates.
+    pub adam: AdamState,
+    /// Best-epoch snapshot for early stopping, if any.
+    pub best: Option<BestSnapshot>,
+}
+
+/// FNV-1a hash of every [`TrainConfig`] field that affects the training
+/// trajectory. `epochs` is deliberately excluded (extending a finished
+/// run is a legitimate resume), as are the checkpoint paths themselves.
+pub fn config_fingerprint(cfg: &TrainConfig) -> u64 {
+    let mut h = Fnv::new();
+    h.u64(cfg.batch_size as u64);
+    h.u32(cfg.lr.to_bits());
+    h.u32(cfg.grad_clip.to_bits());
+    h.u64(cfg.seed);
+    h.u64(cfg.max_batches_per_epoch.map_or(u64::MAX, |v| v as u64));
+    h.u32(cfg.teacher_decay.to_bits());
+    h.u64(cfg.early_stop_patience.map_or(u64::MAX, |v| v as u64));
+    h.u64(cfg.max_val_batches.map_or(u64::MAX, |v| v as u64));
+    match cfg.lr_decay {
+        Some((gamma, every)) => {
+            h.u32(1);
+            h.u32(gamma.to_bits());
+            h.u64(every as u64);
+        }
+        None => h.u32(0),
+    }
+    match &cfg.divergence {
+        Some(p) => {
+            h.u32(1);
+            h.u64(p.window as u64);
+            h.u32(p.explode_factor.to_bits());
+            h.u64(p.max_retries as u64);
+            h.u32(p.lr_backoff.to_bits());
+        }
+        None => h.u32(0),
+    }
+    h.finish()
+}
+
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+    fn byte(&mut self, b: u8) {
+        self.0 = (self.0 ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    fn u32(&mut self, v: u32) {
+        for b in v.to_le_bytes() {
+            self.byte(b);
+        }
+    }
+    fn u64(&mut self, v: u64) {
+        for b in v.to_le_bytes() {
+            self.byte(b);
+        }
+    }
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl TrainState {
+    /// Serialises into `TNN2` sections and writes them atomically to
+    /// `path` (temp sibling + fsync + rename).
+    pub fn save(&self, path: &Path) -> Result<(), CheckpointError> {
+        let mut meta = PayloadWriter::new();
+        meta.u32(STATE_VERSION);
+        meta.u64(self.fingerprint);
+        meta.u64(self.epochs_done as u64);
+        meta.u64(self.global_step as u64);
+        for w in self.rng {
+            meta.u64(w);
+        }
+        meta.f32(self.lr_scale);
+        meta.u64(self.rollbacks as u64);
+        meta.u64(self.skipped_steps as u64);
+        meta.u64(self.stale as u64);
+
+        let mut progress = PayloadWriter::new();
+        progress.u32(self.epoch_losses.len() as u32);
+        for &l in &self.epoch_losses {
+            progress.f32(l);
+        }
+        progress.u32(self.val_losses.len() as u32);
+        for &l in &self.val_losses {
+            progress.f32(l);
+        }
+        progress.u32(self.epoch_times.len() as u32);
+        for &t in &self.epoch_times {
+            progress.f64(t);
+        }
+
+        let mut weights = PayloadWriter::new();
+        weights.u32(self.weights.len() as u32);
+        for (name, value) in &self.weights {
+            weights.str(name);
+            weights.tensor(value);
+        }
+
+        let mut adam = PayloadWriter::new();
+        adam.u32(self.adam.t as u32);
+        adam.f32(self.adam.lr);
+        debug_assert_eq!(self.adam.m.len(), self.adam.v.len());
+        adam.u32(self.adam.m.len() as u32);
+        for m in &self.adam.m {
+            adam.opt_tensor(m.as_ref());
+        }
+        for v in &self.adam.v {
+            adam.opt_tensor(v.as_ref());
+        }
+
+        let mut best = PayloadWriter::new();
+        match &self.best {
+            Some(b) => {
+                best.u32(1);
+                best.f32(b.val);
+                best.u64(b.epoch as u64);
+                best.u32(b.weights.len() as u32);
+                for t in &b.weights {
+                    best.tensor(t);
+                }
+            }
+            None => best.u32(0),
+        }
+
+        tnn2::write_file(
+            path,
+            &[
+                ("meta", meta.into_bytes()),
+                ("progress", progress.into_bytes()),
+                ("weights", weights.into_bytes()),
+                ("adam", adam.into_bytes()),
+                ("best", best.into_bytes()),
+            ],
+        )
+    }
+
+    /// Reads and verifies a checkpoint written by [`TrainState::save`].
+    /// Any structural problem — bad magic, CRC mismatch, truncation,
+    /// missing section — is [`CheckpointError::Corrupt`].
+    pub fn load(path: &Path) -> Result<TrainState, CheckpointError> {
+        let sections = tnn2::read_file(path)?;
+        let find = |name: &str| -> Result<&[u8], CheckpointError> {
+            sections
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, p)| p.as_slice())
+                .ok_or_else(|| CheckpointError::Corrupt(format!("missing section {name:?}")))
+        };
+
+        let mut meta = PayloadReader::new(find("meta")?);
+        let version = meta.u32()?;
+        if version != STATE_VERSION {
+            return Err(CheckpointError::Corrupt(format!(
+                "unsupported train-state version {version} (reader supports {STATE_VERSION})"
+            )));
+        }
+        let fingerprint = meta.u64()?;
+        let epochs_done = meta.u64()? as usize;
+        let global_step = meta.u64()? as usize;
+        let mut rng = [0u64; 4];
+        for w in &mut rng {
+            *w = meta.u64()?;
+        }
+        let lr_scale = meta.f32()?;
+        let rollbacks = meta.u64()? as usize;
+        let skipped_steps = meta.u64()? as usize;
+        let stale = meta.u64()? as usize;
+
+        let mut progress = PayloadReader::new(find("progress")?);
+        let n = progress.u32()? as usize;
+        let mut epoch_losses = Vec::with_capacity(n.min(4096));
+        for _ in 0..n {
+            epoch_losses.push(progress.f32()?);
+        }
+        let n = progress.u32()? as usize;
+        let mut val_losses = Vec::with_capacity(n.min(4096));
+        for _ in 0..n {
+            val_losses.push(progress.f32()?);
+        }
+        let n = progress.u32()? as usize;
+        let mut epoch_times = Vec::with_capacity(n.min(4096));
+        for _ in 0..n {
+            epoch_times.push(progress.f64()?);
+        }
+
+        let mut wsec = PayloadReader::new(find("weights")?);
+        let n = wsec.u32()? as usize;
+        let mut weights = Vec::with_capacity(n.min(4096));
+        for _ in 0..n {
+            let name = wsec.str()?;
+            let value = wsec.tensor()?;
+            weights.push((name, value));
+        }
+
+        let mut asec = PayloadReader::new(find("adam")?);
+        let t = asec.u32()? as i32;
+        let lr = asec.f32()?;
+        let n = asec.u32()? as usize;
+        let mut m = Vec::with_capacity(n.min(4096));
+        for _ in 0..n {
+            m.push(asec.opt_tensor()?);
+        }
+        let mut v = Vec::with_capacity(n.min(4096));
+        for _ in 0..n {
+            v.push(asec.opt_tensor()?);
+        }
+        let adam = AdamState { t, lr, m, v };
+
+        let mut bsec = PayloadReader::new(find("best")?);
+        let best = match bsec.u32()? {
+            0 => None,
+            1 => {
+                let val = bsec.f32()?;
+                let epoch = bsec.u64()? as usize;
+                let n = bsec.u32()? as usize;
+                let mut bw = Vec::with_capacity(n.min(4096));
+                for _ in 0..n {
+                    bw.push(bsec.tensor()?);
+                }
+                Some(BestSnapshot { val, epoch, weights: bw })
+            }
+            f => return Err(CheckpointError::Corrupt(format!("bad best-presence flag {f}"))),
+        };
+
+        Ok(TrainState {
+            fingerprint,
+            epochs_done,
+            global_step,
+            rng,
+            lr_scale,
+            rollbacks,
+            skipped_steps,
+            stale,
+            epoch_losses,
+            val_losses,
+            epoch_times,
+            weights,
+            adam,
+            best,
+        })
+    }
+
+    /// Captures the current weights of `store` as `(name, value)` pairs.
+    pub fn capture_weights(store: &ParamStore) -> Vec<(String, Tensor)> {
+        store.params().iter().map(|p| (p.name().to_string(), p.value())).collect()
+    }
+
+    /// Writes the checkpointed weights into `store`, validating names
+    /// and shapes first (all-or-nothing: a mismatch writes no value).
+    pub fn apply_weights(&self, store: &ParamStore) -> Result<(), CheckpointError> {
+        if self.weights.len() != store.len() {
+            return Err(CheckpointError::Mismatch(format!(
+                "checkpoint has {} params, store has {}",
+                self.weights.len(),
+                store.len()
+            )));
+        }
+        for ((name, value), p) in self.weights.iter().zip(store.params()) {
+            if name != p.name() {
+                return Err(CheckpointError::Mismatch(format!(
+                    "parameter order mismatch: checkpoint {name} vs store {}",
+                    p.name()
+                )));
+            }
+            if value.shape() != p.shape() {
+                return Err(CheckpointError::Mismatch(format!(
+                    "{name}: checkpoint shape {:?} vs store {:?}",
+                    value.shape(),
+                    p.shape()
+                )));
+            }
+        }
+        for ((_, value), p) in self.weights.iter().zip(store.params()) {
+            p.set_value(value.clone());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("traffic_state_{name}_{}", std::process::id()))
+    }
+
+    fn sample_state() -> TrainState {
+        TrainState {
+            fingerprint: 0xdead_beef_cafe_f00d,
+            epochs_done: 3,
+            global_step: 42,
+            rng: [1, u64::MAX, 0x1234_5678_9abc_def0, 7],
+            lr_scale: 0.25,
+            rollbacks: 2,
+            skipped_steps: 5,
+            stale: 1,
+            epoch_losses: vec![1.5, 0.9, 0.7],
+            val_losses: vec![1.2, f32::NAN, 0.8],
+            epoch_times: vec![0.5, 0.45, 0.48],
+            weights: vec![
+                ("a.w".into(), Tensor::from_vec(vec![1.0, -2.0, 3.5, 0.0], &[2, 2])),
+                ("a.b".into(), Tensor::from_vec(vec![0.1], &[1])),
+            ],
+            adam: AdamState {
+                t: 42,
+                lr: 1e-3,
+                m: vec![Some(Tensor::from_vec(vec![0.1, 0.2, 0.3, 0.4], &[2, 2])), None],
+                v: vec![Some(Tensor::from_vec(vec![0.5, 0.6, 0.7, 0.8], &[2, 2])), None],
+            },
+            best: Some(BestSnapshot {
+                val: 0.8,
+                epoch: 2,
+                weights: vec![Tensor::ones(&[2, 2]), Tensor::zeros(&[1])],
+            }),
+        }
+    }
+
+    #[test]
+    fn roundtrip_is_bit_exact() {
+        let st = sample_state();
+        let path = tmp("roundtrip");
+        st.save(&path).unwrap();
+        let back = TrainState::load(&path).unwrap();
+        assert_eq!(back.fingerprint, st.fingerprint);
+        assert_eq!(back.epochs_done, 3);
+        assert_eq!(back.global_step, 42);
+        assert_eq!(back.rng, st.rng);
+        assert_eq!(back.lr_scale.to_bits(), st.lr_scale.to_bits());
+        assert_eq!(back.rollbacks, 2);
+        assert_eq!(back.skipped_steps, 5);
+        assert_eq!(back.stale, 1);
+        assert_eq!(back.epoch_losses, st.epoch_losses);
+        // NaN val loss must survive by bit pattern
+        assert!(back.val_losses[1].is_nan());
+        assert_eq!(back.epoch_times, st.epoch_times);
+        assert_eq!(back.weights.len(), 2);
+        assert_eq!(back.weights[0].0, "a.w");
+        assert_eq!(back.weights[0].1, st.weights[0].1);
+        assert_eq!(back.adam.t, 42);
+        assert_eq!(back.adam.m[0], st.adam.m[0]);
+        assert!(back.adam.m[1].is_none());
+        let best = back.best.unwrap();
+        assert_eq!(best.epoch, 2);
+        assert_eq!(best.weights.len(), 2);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupted_checkpoint_is_rejected() {
+        let st = sample_state();
+        let path = tmp("corrupt");
+        st.save(&path).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(TrainState::load(&path), Err(CheckpointError::Corrupt(_))));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn apply_weights_validates_before_writing() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut store = ParamStore::new();
+        store.add("a.w", traffic_tensor::init::xavier_uniform(&[2, 2], &mut rng));
+        store.add("a.b", traffic_tensor::init::uniform(&[1], -1.0, 1.0, &mut rng));
+        let before = store.snapshot();
+
+        let st = sample_state();
+        st.apply_weights(&store).unwrap();
+        assert_eq!(store.params()[0].value(), st.weights[0].1);
+
+        // Shape mismatch: nothing is written, not even the matching param.
+        store.restore(&before);
+        let mut bad = st.clone();
+        bad.weights[1].1 = Tensor::zeros(&[3]);
+        assert!(matches!(bad.apply_weights(&store), Err(CheckpointError::Mismatch(_))));
+        assert_eq!(store.params()[0].value(), before[0]);
+        assert_eq!(store.params()[1].value(), before[1]);
+    }
+
+    #[test]
+    fn fingerprint_tracks_math_fields_only() {
+        let base = TrainConfig::default();
+        let fp = config_fingerprint(&base);
+        // epochs and checkpoint knobs do not change the fingerprint
+        let mut more_epochs = base.clone();
+        more_epochs.epochs += 10;
+        more_epochs.checkpoint_every = Some(1);
+        more_epochs.checkpoint_path = Some("x.tnn2".into());
+        more_epochs.resume_from = Some("x.tnn2".into());
+        assert_eq!(config_fingerprint(&more_epochs), fp);
+        // but seed / lr / schedule do
+        let mut other_seed = base.clone();
+        other_seed.seed ^= 1;
+        assert_ne!(config_fingerprint(&other_seed), fp);
+        let mut other_lr = base.clone();
+        other_lr.lr *= 2.0;
+        assert_ne!(config_fingerprint(&other_lr), fp);
+        let mut with_decay = base.clone();
+        with_decay.lr_decay = Some((0.5, 2));
+        assert_ne!(config_fingerprint(&with_decay), fp);
+    }
+}

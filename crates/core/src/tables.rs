@@ -64,35 +64,62 @@ pub fn render_table3(rows: &[Table3Row]) -> String {
     format_table(&["Model", "Train time/epoch", "Inference time", "# params"], &table_rows)
 }
 
-/// Renders Fig 1 rows (model comparison) as a table.
+/// Renders Fig 1 rows (model comparison) as a table. Panic-isolated
+/// cells render as `FAILED: <reason>` instead of NaN noise.
 pub fn render_fig1(rows: &[Fig1Row]) -> String {
     let table_rows: Vec<Vec<String>> = rows
         .iter()
-        .map(|r| {
-            vec![
+        .map(|r| match &r.error {
+            Some(reason) => vec![
+                r.dataset.clone(),
+                r.model.clone(),
+                r.horizon.to_string(),
+                format!("FAILED: {}", truncate_reason(reason)),
+                "—".into(),
+                "—".into(),
+            ],
+            None => vec![
                 r.dataset.clone(),
                 r.model.clone(),
                 r.horizon.to_string(),
                 format!("{:.3} ± {:.3}", r.mae.0, r.mae.1),
                 format!("{:.3} ± {:.3}", r.rmse.0, r.rmse.1),
                 format!("{:.2} ± {:.2} %", r.mape.0, r.mape.1),
-            ]
+            ],
         })
         .collect();
     format_table(&["Dataset", "Model", "Horizon", "MAE", "RMSE", "MAPE"], &table_rows)
 }
 
-/// Renders Fig 2 rows (difficult intervals).
+/// Keeps failure reasons table-friendly (one line, bounded width).
+fn truncate_reason(reason: &str) -> String {
+    let line = reason.lines().next().unwrap_or("");
+    if line.chars().count() > 60 {
+        let cut: String = line.chars().take(57).collect();
+        format!("{cut}…")
+    } else {
+        line.to_string()
+    }
+}
+
+/// Renders Fig 2 rows (difficult intervals). Panic-isolated cells render
+/// as `FAILED: <reason>`.
 pub fn render_fig2(rows: &[Fig2Row]) -> String {
     let table_rows: Vec<Vec<String>> = rows
         .iter()
-        .map(|r| {
-            vec![
+        .map(|r| match &r.error {
+            Some(reason) => vec![
+                r.model.clone(),
+                format!("FAILED: {}", truncate_reason(reason)),
+                "—".into(),
+                "—".into(),
+            ],
+            None => vec![
                 r.model.clone(),
                 format!("{:.3}", r.overall.mae),
                 format!("{:.3}", r.difficult.mae),
                 format!("{:+.1} %", r.degradation_pct),
-            ]
+            ],
         })
         .collect();
     format_table(&["Model", "Overall MAE", "Difficult MAE", "Degradation"], &table_rows)
@@ -128,6 +155,7 @@ pub fn fig1_csv_rows(rows: &[Fig1Row]) -> (Vec<&'static str>, Vec<Vec<String>>) 
         "rmse_std",
         "mape_mean",
         "mape_std",
+        "error",
     ];
     let data = rows
         .iter()
@@ -142,6 +170,7 @@ pub fn fig1_csv_rows(rows: &[Fig1Row]) -> (Vec<&'static str>, Vec<Vec<String>>) 
                 r.rmse.1.to_string(),
                 r.mape.0.to_string(),
                 r.mape.1.to_string(),
+                r.error.clone().unwrap_or_default(),
             ]
         })
         .collect();
@@ -150,7 +179,7 @@ pub fn fig1_csv_rows(rows: &[Fig1Row]) -> (Vec<&'static str>, Vec<Vec<String>>) 
 
 /// CSV rows for Fig 2.
 pub fn fig2_csv_rows(rows: &[Fig2Row]) -> (Vec<&'static str>, Vec<Vec<String>>) {
-    let headers = vec!["model", "overall_mae", "difficult_mae", "degradation_pct"];
+    let headers = vec!["model", "overall_mae", "difficult_mae", "degradation_pct", "error"];
     let data = rows
         .iter()
         .map(|r| {
@@ -159,6 +188,7 @@ pub fn fig2_csv_rows(rows: &[Fig2Row]) -> (Vec<&'static str>, Vec<Vec<String>>) 
                 r.overall.mae.to_string(),
                 r.difficult.mae.to_string(),
                 r.degradation_pct.to_string(),
+                r.error.clone().unwrap_or_default(),
             ]
         })
         .collect();
@@ -273,10 +303,37 @@ mod tests {
             overall: MetricSet { mae: 2.0, rmse: 3.0, mape: 5.0, count: 10 },
             difficult: MetricSet { mae: 4.0, rmse: 6.0, mape: 9.0, count: 3 },
             degradation_pct: 100.0,
+            error: None,
         }];
         let t = render_fig2(&rows);
         assert!(t.contains("GMAN"));
         assert!(t.contains("+100.0 %"));
+    }
+
+    #[test]
+    fn failed_cells_render_explicitly() {
+        let rows = vec![
+            Fig1Row {
+                dataset: "METR-LA".into(),
+                model: "GMAN".into(),
+                horizon: "15 min",
+                mae: (1.0, 0.1),
+                rmse: (2.0, 0.2),
+                mape: (3.0, 0.3),
+                error: None,
+            },
+            Fig1Row::failed("METR-LA", "DCRNN", "15 min", "injected mid-epoch abort".into()),
+        ];
+        let t = render_fig1(&rows);
+        assert!(t.contains("FAILED: injected mid-epoch abort"), "{t}");
+        assert!(!t.contains("NaN"), "failed rows must not print NaN metrics:\n{t}");
+        let f2 = vec![Fig2Row::failed("DCRNN", "boom".into())];
+        let t2 = render_fig2(&f2);
+        assert!(t2.contains("FAILED: boom"), "{t2}");
+        // CSV keeps the reason in a dedicated column
+        let (h, d) = fig2_csv_rows(&f2);
+        assert_eq!(*h.last().unwrap(), "error");
+        assert_eq!(d[0].last().unwrap(), "boom");
     }
 
     #[test]
@@ -322,6 +379,7 @@ mod tests {
             mae: (1.0, 0.1),
             rmse: (2.0, 0.2),
             mape: (3.0, 0.3),
+            error: None,
         }];
         let (h, d) = fig1_csv_rows(&rows);
         assert_eq!(h.len(), d[0].len());

@@ -45,27 +45,33 @@ pub fn computation_time_on(
     traffic_tensor::pool::warmup();
     models
         .iter()
-        .map(|&name| {
-            let marker = span_marker();
-            let (model, report) = train_model(name, exp, scale, 4000);
-            let (_pred, stopwatch_inference) =
-                timed_predict(model.as_ref(), &test, &exp.data.scaler, scale.batch_size);
-            // Prefer the span registry (this thread's spans only, so
-            // concurrent experiments can't pollute the row); the raw
-            // measurements only back it up if the ring buffer evicted
-            // the records mid-run.
-            let epoch_stats = span_stats_local("train/epoch", marker);
-            let train_time_per_epoch =
-                if epoch_stats.count > 0 { epoch_stats.mean } else { report.mean_epoch_time };
-            let predict_stats = span_stats_local("predict", marker);
-            let inference_time =
-                if predict_stats.count > 0 { predict_stats.total } else { stopwatch_inference };
-            Table3Row {
-                model: name.to_string(),
-                train_time_per_epoch,
-                inference_time,
-                params: model.num_params(),
-            }
+        .filter_map(|&name| {
+            // Panic isolation: a crashing model is dropped from the table
+            // (a Duration can't carry NaN) and the sweep continues; the
+            // failure is still counted and emitted by `run_cell`.
+            crate::experiment::run_cell(&format!("table3/{name}"), || {
+                let marker = span_marker();
+                let (model, report) = train_model(name, exp, scale, 4000);
+                let (_pred, stopwatch_inference) =
+                    timed_predict(model.as_ref(), &test, &exp.data.scaler, scale.batch_size);
+                // Prefer the span registry (this thread's spans only, so
+                // concurrent experiments can't pollute the row); the raw
+                // measurements only back it up if the ring buffer evicted
+                // the records mid-run.
+                let epoch_stats = span_stats_local("train/epoch", marker);
+                let train_time_per_epoch =
+                    if epoch_stats.count > 0 { epoch_stats.mean } else { report.mean_epoch_time };
+                let predict_stats = span_stats_local("predict", marker);
+                let inference_time =
+                    if predict_stats.count > 0 { predict_stats.total } else { stopwatch_inference };
+                Table3Row {
+                    model: name.to_string(),
+                    train_time_per_epoch,
+                    inference_time,
+                    params: model.num_params(),
+                }
+            })
+            .ok()
         })
         .collect()
 }

@@ -4,7 +4,31 @@
 //! values, gradient clipping, mini-batches; scheduled sampling for the
 //! seq2seq models with an inverse-sigmoid decay of the teacher-forcing
 //! probability.
+//!
+//! ## Resilience
+//!
+//! The trainer is crash- and divergence-tolerant:
+//!
+//! - **Checkpoints** — with [`TrainConfig::checkpoint_every`] /
+//!   [`TrainConfig::checkpoint_path`] set, a full [`TrainState`]
+//!   (weights, Adam moments, RNG, counters) is written atomically at
+//!   epoch boundaries; [`TrainConfig::resume_from`] continues a killed
+//!   run **bit-identically** (same epoch losses as an uninterrupted
+//!   run, verified by integration test).
+//! - **Divergence supervision** — with [`TrainConfig::divergence`] set,
+//!   a rolling-median [`LossMonitor`] watches batch losses; on NaN or
+//!   explosion the epoch is rolled back to its starting snapshot with
+//!   the learning rate scaled by `lr_backoff`, giving up cleanly after
+//!   `max_retries` consecutive failures ([`TrainReport::diverged`]).
+//! - **Step skipping** — a non-finite gradient norm skips the optimizer
+//!   step (counted in [`TrainReport::skipped_steps`] and the
+//!   `train/skipped_steps` counter) instead of poisoning the weights.
+//!
+//! Fault sites `abort`, `nan_grad`, and `nan_val` (see
+//! [`traffic_obs::faults`]) let tests inject crashes, NaN gradients,
+//! and NaN validation losses at deterministic batch counts.
 
+use std::path::PathBuf;
 use std::time::Duration;
 
 use rand::rngs::StdRng;
@@ -12,9 +36,13 @@ use rand::SeedableRng;
 use traffic_data::{batches, PreparedData, WindowedData, ZScore};
 use traffic_models::{train_horizon, TrafficModel, TrainCtx};
 use traffic_nn::loss::{masked_mae, null_mask};
-use traffic_nn::Adam;
+use traffic_nn::{Adam, AdamState};
+use traffic_obs::faults::{self, FaultMode};
 use traffic_obs::{counter, emit_with, gauge, histogram, span, Event};
 use traffic_tensor::{Tape, Tensor};
+
+use crate::divergence::{DivergencePolicy, LossMonitor, Verdict};
+use crate::resume::{config_fingerprint, BestSnapshot, TrainState};
 
 /// Training configuration.
 #[derive(Debug, Clone)]
@@ -42,6 +70,18 @@ pub struct TrainConfig {
     /// Optional step-decay LR schedule `(gamma, every_epochs)` — the
     /// original DCRNN/Graph-WaveNet training recipes decay the lr.
     pub lr_decay: Option<(f32, usize)>,
+    /// Write a full [`TrainState`] checkpoint every N completed epochs
+    /// (requires [`TrainConfig::checkpoint_path`]). `None` disables.
+    pub checkpoint_every: Option<usize>,
+    /// Where epoch checkpoints are written (atomically, `TNN2` format).
+    pub checkpoint_path: Option<PathBuf>,
+    /// Resume from this checkpoint if it exists. A missing file means a
+    /// fresh start; a corrupt file or config-fingerprint mismatch is
+    /// reported (counter `train/resume_failures`) and also starts fresh.
+    pub resume_from: Option<PathBuf>,
+    /// Enable the divergence supervisor (rollback + LR backoff).
+    /// `None` disables monitoring entirely.
+    pub divergence: Option<DivergencePolicy>,
 }
 
 impl Default for TrainConfig {
@@ -57,6 +97,10 @@ impl Default for TrainConfig {
             early_stop_patience: None,
             max_val_batches: Some(8),
             lr_decay: None,
+            checkpoint_every: None,
+            checkpoint_path: None,
+            resume_from: None,
+            divergence: None,
         }
     }
 }
@@ -74,6 +118,15 @@ pub struct TrainReport {
     pub mean_epoch_time: Duration,
     /// Epoch whose weights were kept (last epoch without early stopping).
     pub best_epoch: usize,
+    /// Optimizer steps skipped because the gradient norm was non-finite.
+    pub skipped_steps: usize,
+    /// Epoch rollbacks performed by the divergence supervisor.
+    pub rollbacks: usize,
+    /// True when the divergence supervisor exhausted its retries and
+    /// gave up (the report then covers the completed epochs only).
+    pub diverged: bool,
+    /// Epoch index training resumed at, if a checkpoint was loaded.
+    pub resumed_at: Option<usize>,
 }
 
 /// Mean masked-MAE loss of a model over a split (normalised scale),
@@ -85,6 +138,11 @@ pub fn validation_loss(
     batch_size: usize,
     max_batches: Option<usize>,
 ) -> f32 {
+    // Fault site: a poisoned validation pass (tests the trainer's
+    // NaN-val-loss handling without touching the model).
+    if faults::fire("nan_val").is_some() {
+        return f32::NAN;
+    }
     let mut sum = 0.0f64;
     let mut count = 0usize;
     // One tape for the whole split: `reset` keeps the node list's
@@ -121,35 +179,133 @@ pub fn teacher_probability(step: usize, decay: f32) -> f32 {
     decay / (decay + (step as f32 / decay).exp())
 }
 
+/// In-memory state captured at the start of an epoch attempt so the
+/// divergence supervisor can rewind a blown-up epoch exactly.
+struct EpochSnapshot {
+    weights: Vec<Tensor>,
+    adam: AdamState,
+    rng: [u64; 4],
+    global_step: usize,
+}
+
 /// Trains `model` on the prepared dataset.
 pub fn train(model: &dyn TrafficModel, data: &PreparedData, cfg: &TrainConfig) -> TrainReport {
+    let fingerprint = config_fingerprint(cfg);
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let mut opt = Adam::new(cfg.lr);
     let horizon = train_horizon(model.name(), data.t_out);
     let mut epoch_losses = Vec::with_capacity(cfg.epochs);
     let mut val_losses = Vec::with_capacity(cfg.epochs);
-    let mut epoch_times = Vec::with_capacity(cfg.epochs);
+    let mut epoch_times: Vec<Duration> = Vec::with_capacity(cfg.epochs);
     let mut global_step = 0usize;
     let mut best: Option<(f32, usize, Vec<Tensor>)> = None;
     let mut stale = 0usize;
+    let mut epoch = 0usize;
+    let mut lr_scale = 1.0f32;
+    let mut retries = 0usize;
+    let mut rollbacks = 0usize;
+    let mut skipped_steps = 0usize;
+    let mut diverged = false;
+    let mut resumed_at = None;
+
+    // ---- resume -------------------------------------------------------
+    if let Some(path) = &cfg.resume_from {
+        if path.exists() {
+            match TrainState::load(path) {
+                Ok(st) if st.fingerprint != fingerprint => {
+                    counter("train/resume_failures").inc();
+                    eprintln!(
+                        "traffic-resilience: checkpoint {} was written under a different \
+                         training config (fingerprint mismatch); starting fresh",
+                        path.display()
+                    );
+                }
+                Ok(st) => match st.apply_weights(model.store()) {
+                    Ok(()) => {
+                        rng = StdRng::from_state(st.rng);
+                        opt.load_state(st.adam);
+                        epoch = st.epochs_done;
+                        global_step = st.global_step;
+                        lr_scale = st.lr_scale;
+                        rollbacks = st.rollbacks;
+                        skipped_steps = st.skipped_steps;
+                        stale = st.stale;
+                        epoch_losses = st.epoch_losses;
+                        val_losses = st.val_losses;
+                        epoch_times =
+                            st.epoch_times.iter().map(|&s| Duration::from_secs_f64(s)).collect();
+                        best = st.best.map(|b| (b.val, b.epoch, b.weights));
+                        resumed_at = Some(epoch);
+                        counter("train/resumes").inc();
+                        emit_with(|| {
+                            Event::new("resume")
+                                .with("model", model.name())
+                                .with("epoch", epoch as u64)
+                                .with("global_step", global_step as u64)
+                        });
+                    }
+                    Err(e) => {
+                        counter("train/resume_failures").inc();
+                        eprintln!(
+                            "traffic-resilience: checkpoint {} does not match the model ({e}); \
+                             starting fresh",
+                            path.display()
+                        );
+                    }
+                },
+                Err(e) => {
+                    counter("train/resume_failures").inc();
+                    eprintln!(
+                        "traffic-resilience: cannot resume from {} ({e}); starting fresh",
+                        path.display()
+                    );
+                }
+            }
+        }
+    }
+
+    let mut monitor = cfg.divergence.as_ref().map(LossMonitor::from_policy);
     // One tape for the whole run; `reset` per batch retains capacity and
     // returns the previous batch's node buffers to the traffic-mem pool.
     let mut tape = Tape::new();
-    for _epoch in 0..cfg.epochs {
-        if let Some((gamma, every)) = cfg.lr_decay {
-            let schedule = traffic_nn::StepDecay::new(cfg.lr, gamma, every);
-            opt.set_lr(schedule.lr_at(_epoch));
-        }
-        let epoch_span = span!("train/epoch", model = model.name(), epoch = _epoch as u64);
+    while epoch < cfg.epochs {
+        // Epoch-start snapshot for divergence rollback (tensor clones are
+        // cheap copy-on-write buffer handles).
+        let rollback_snap = cfg.divergence.as_ref().map(|_| EpochSnapshot {
+            weights: model.store().snapshot(),
+            adam: opt.state(),
+            rng: rng.state(),
+            global_step,
+        });
+        // The effective lr is fully derived (schedule × backoff), so a
+        // resumed run reconstructs it exactly.
+        let base_lr = match cfg.lr_decay {
+            Some((gamma, every)) => traffic_nn::StepDecay::new(cfg.lr, gamma, every).lr_at(epoch),
+            None => cfg.lr,
+        };
+        opt.set_lr(base_lr * lr_scale);
+        let epoch_span = span!("train/epoch", model = model.name(), epoch = epoch as u64);
         let mut loss_sum = 0.0f64;
         let mut batches_run = 0usize;
         let mut samples_seen = 0usize;
-        let mut shuffle_rng =
-            StdRng::seed_from_u64(cfg.seed ^ (_epoch as u64).wrapping_mul(0x9e37));
+        let mut rollback_verdict: Option<Verdict> = None;
+        let mut shuffle_rng = StdRng::seed_from_u64(cfg.seed ^ (epoch as u64).wrapping_mul(0x9e37));
         for batch in batches(&data.train, cfg.batch_size, Some(&mut shuffle_rng)) {
             if let Some(cap) = cfg.max_batches_per_epoch {
                 if batches_run >= cap {
                     break;
+                }
+            }
+            // Fault site: a mid-epoch crash. Hard = the process dies on
+            // the spot (SIGKILL-grade, for kill-and-resume tests); Soft =
+            // a panic that `catch_unwind` harnesses can contain.
+            if let Some(mode) = faults::fire("abort") {
+                match mode {
+                    FaultMode::Hard => {
+                        eprintln!("traffic-resilience: injected hard abort (fault site `abort`)");
+                        std::process::abort();
+                    }
+                    FaultMode::Soft => panic!("injected mid-epoch abort (fault site `abort`)"),
                 }
             }
             let batch_span = span!("train/batch");
@@ -177,11 +333,29 @@ pub fn train(model: &dyn TrafficModel, data: &PreparedData, cfg: &TrainConfig) -
                 let _prof = traffic_obs::profile::op("train", "optim");
                 model.store().zero_grads();
                 model.store().capture_grads(&tape, &grads);
+                // Fault site: a numerically blown-up backward pass.
+                if faults::fire("nan_grad").is_some() {
+                    model.store().poison_grads();
+                }
                 let grad_norm = model.store().clip_grad_norm(cfg.grad_clip);
-                gauge("train.grad_norm").set(grad_norm as f64);
-                opt.step(model.store());
+                if grad_norm.is_finite() {
+                    gauge("train.grad_norm").set(grad_norm as f64);
+                    opt.step(model.store());
+                    loss_sum += loss_val as f64;
+                } else {
+                    // Stepping on NaN/∞ gradients would poison every
+                    // weight; skip the update and count it.
+                    skipped_steps += 1;
+                    counter("train/skipped_steps").inc();
+                    emit_with(|| {
+                        Event::new("skipped_step")
+                            .with("model", model.name())
+                            .with("epoch", epoch as u64)
+                            .with("step", global_step as u64)
+                            .with("grad_norm", grad_norm)
+                    });
+                }
                 drop(_prof);
-                loss_sum += loss_val as f64;
             } else {
                 counter("train.nonfinite_batches").inc();
             }
@@ -190,7 +364,56 @@ pub fn train(model: &dyn TrafficModel, data: &PreparedData, cfg: &TrainConfig) -
             batches_run += 1;
             samples_seen += batch_samples;
             global_step += 1;
+            if let Some(mon) = monitor.as_mut() {
+                match mon.observe(loss_val) {
+                    Verdict::Healthy => {}
+                    verdict => {
+                        rollback_verdict = Some(verdict);
+                        break;
+                    }
+                }
+            }
         }
+        // ---- divergence rollback -------------------------------------
+        if let Some(verdict) = rollback_verdict {
+            let policy = cfg.divergence.as_ref().expect("verdict implies policy");
+            let snap = rollback_snap.as_ref().expect("verdict implies snapshot");
+            model.store().restore(&snap.weights);
+            opt.load_state(snap.adam.clone());
+            rng = StdRng::from_state(snap.rng);
+            global_step = snap.global_step;
+            if let Some(mon) = monitor.as_mut() {
+                mon.reset();
+            }
+            rollbacks += 1;
+            counter("train/rollbacks").inc();
+            let give_up = retries >= policy.max_retries;
+            if !give_up {
+                retries += 1;
+                lr_scale *= policy.lr_backoff;
+            }
+            emit_with(|| {
+                let (kind, loss, median) = match verdict {
+                    Verdict::NonFinite => ("non_finite", f32::NAN, f32::NAN),
+                    Verdict::Exploding { loss, median } => ("exploding", loss, median),
+                    Verdict::Healthy => unreachable!(),
+                };
+                Event::new(if give_up { "divergence_giveup" } else { "divergence_rollback" })
+                    .with("model", model.name())
+                    .with("epoch", epoch as u64)
+                    .with("kind", kind)
+                    .with("loss", loss)
+                    .with("median", median)
+                    .with("lr_scale", lr_scale)
+                    .with("retries", retries as u64)
+            });
+            if give_up {
+                diverged = true;
+                break;
+            }
+            continue; // retry the same epoch from its snapshot
+        }
+        retries = 0;
         let epoch_loss = (loss_sum / batches_run.max(1) as f64) as f32;
         epoch_losses.push(epoch_loss);
         let epoch_dur = epoch_span.finish();
@@ -209,18 +432,24 @@ pub fn train(model: &dyn TrafficModel, data: &PreparedData, cfg: &TrainConfig) -
             let vl = if data.val.is_empty() {
                 *epoch_losses.last().expect("at least one epoch")
             } else {
-                let val_span = span!("train/validate", model = model.name(), epoch = _epoch as u64);
+                let val_span = span!("train/validate", model = model.name(), epoch = epoch as u64);
                 let vl =
                     validation_loss(model, &data.val, horizon, cfg.batch_size, cfg.max_val_batches);
                 val_span.finish();
                 vl
             };
             val_losses.push(vl);
-            let improved = best.as_ref().is_none_or(|(b, _, _)| vl < *b);
+            // A NaN val loss must never become the "best" (NaN < x is
+            // false, so it would silently freeze best at the first NaN);
+            // it is "no improvement" and counts toward patience.
+            let improved = vl.is_finite() && best.as_ref().is_none_or(|(b, _, _)| vl < *b);
             if improved {
-                best = Some((vl, _epoch, model.store().snapshot()));
+                best = Some((vl, epoch, model.store().snapshot()));
                 stale = 0;
             } else {
+                if !vl.is_finite() {
+                    counter("train/nonfinite_val").inc();
+                }
                 stale += 1;
                 if stale >= patience {
                     stop = true;
@@ -233,7 +462,7 @@ pub fn train(model: &dyn TrafficModel, data: &PreparedData, cfg: &TrainConfig) -
             let secs = epoch_dur.as_secs_f64();
             let mut ev = Event::new("epoch")
                 .with("model", model.name())
-                .with("epoch", _epoch as u64)
+                .with("epoch", epoch as u64)
                 .with("loss", epoch_loss)
                 .with("epoch_s", secs)
                 .with("teacher_prob", teacher_probability(global_step, cfg.teacher_decay))
@@ -246,9 +475,60 @@ pub fn train(model: &dyn TrafficModel, data: &PreparedData, cfg: &TrainConfig) -
             }
             ev
         });
+        // ---- checkpoint ----------------------------------------------
+        if let (Some(every), Some(path)) = (cfg.checkpoint_every, cfg.checkpoint_path.as_ref()) {
+            if every > 0 && (epoch + 1).is_multiple_of(every) {
+                let state = TrainState {
+                    fingerprint,
+                    epochs_done: epoch + 1,
+                    global_step,
+                    rng: rng.state(),
+                    lr_scale,
+                    rollbacks,
+                    skipped_steps,
+                    stale,
+                    epoch_losses: epoch_losses.clone(),
+                    val_losses: val_losses.clone(),
+                    epoch_times: epoch_times.iter().map(Duration::as_secs_f64).collect(),
+                    weights: TrainState::capture_weights(model.store()),
+                    adam: opt.state(),
+                    best: best.as_ref().map(|(v, e, w)| BestSnapshot {
+                        val: *v,
+                        epoch: *e,
+                        weights: w.clone(),
+                    }),
+                };
+                match state.save(path) {
+                    Ok(()) => {
+                        counter("train/checkpoints").inc();
+                        emit_with(|| {
+                            Event::new("checkpoint")
+                                .with("model", model.name())
+                                .with("epoch", (epoch + 1) as u64)
+                                .with("path", path.display().to_string())
+                        });
+                    }
+                    Err(e) => {
+                        // A failed save must not kill the run: keep
+                        // training, the previous checkpoint stays valid.
+                        counter("train/ckpt_failures").inc();
+                        emit_with(|| {
+                            Event::new("checkpoint_failed")
+                                .with("model", model.name())
+                                .with("epoch", (epoch + 1) as u64)
+                                .with("error", e.to_string())
+                        });
+                        eprintln!(
+                            "traffic-resilience: checkpoint save failed ({e}); training continues"
+                        );
+                    }
+                }
+            }
+        }
         if stop {
             break;
         }
+        epoch += 1;
     }
     let best_epoch = match best {
         Some((_, epoch, snapshot)) => {
@@ -262,7 +542,17 @@ pub fn train(model: &dyn TrafficModel, data: &PreparedData, cfg: &TrainConfig) -
     } else {
         epoch_times.iter().sum::<Duration>() / epoch_times.len() as u32
     };
-    TrainReport { epoch_losses, val_losses, epoch_times, mean_epoch_time, best_epoch }
+    TrainReport {
+        epoch_losses,
+        val_losses,
+        epoch_times,
+        mean_epoch_time,
+        best_epoch,
+        skipped_steps,
+        rollbacks,
+        diverged,
+        resumed_at,
+    }
 }
 
 /// Runs the model over a windowed split and returns predictions on the

@@ -1,0 +1,189 @@
+//! Property tests for the `TNN2` train-state checkpoint: arbitrary
+//! states must round-trip **bit-exactly** (including NaN/∞ payloads),
+//! and any single-byte corruption or truncation of the file must be
+//! rejected as [`CheckpointError::Corrupt`] rather than silently loaded.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use proptest::prelude::*;
+use traffic_core::{BestSnapshot, TrainState};
+use traffic_nn::{AdamState, CheckpointError};
+use traffic_tensor::Tensor;
+
+static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
+
+fn tmp(tag: &str) -> PathBuf {
+    let n = TMP_SEQ.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("traffic_state_prop_{tag}_{}_{n}.tnn2", std::process::id()))
+}
+
+/// Any f32 bit pattern: normals, subnormals, ±∞, NaNs.
+fn any_bits_f32() -> impl Strategy<Value = f32> {
+    (0u32..=u32::MAX).prop_map(f32::from_bits)
+}
+
+/// Small tensor of arbitrary rank 1–3 and arbitrary f32 bit patterns.
+fn small_tensor() -> impl Strategy<Value = Tensor> {
+    prop::collection::vec(1usize..4, 1..4).prop_flat_map(|shape| {
+        let numel: usize = shape.iter().product();
+        prop::collection::vec(any_bits_f32(), numel..=numel)
+            .prop_map(move |data| Tensor::from_vec(data, &shape))
+    })
+}
+
+fn arb_state() -> impl Strategy<Value = TrainState> {
+    let header = (
+        0u64..=u64::MAX,                               // fingerprint
+        0usize..500,                                   // epochs_done
+        0usize..100_000,                               // global_step
+        prop::collection::vec(0u64..=u64::MAX, 4..=4), // rng words
+        any_bits_f32(),                                // lr_scale
+    );
+    let counters = (0usize..50, 0usize..50, 0usize..50); // rollbacks, skipped, stale
+    let progress = (
+        prop::collection::vec(any_bits_f32(), 0..6), // epoch losses
+        prop::collection::vec(any_bits_f32(), 0..6), // val losses
+        prop::collection::vec(0.0f64..1e4, 0..6),    // epoch times
+    );
+    let params = (
+        prop::collection::vec(small_tensor(), 1..4), // weights
+        0u8..2,                                      // moments present?
+        0u8..2,                                      // best present?
+    );
+    (header, counters, progress, params).prop_map(
+        |(
+            (fingerprint, epochs_done, global_step, rng, lr_scale),
+            (rollbacks, skipped_steps, stale),
+            (epoch_losses, val_losses, epoch_times),
+            (tensors, with_moments, with_best),
+        )| {
+            let weights: Vec<(String, Tensor)> = tensors
+                .iter()
+                .enumerate()
+                .map(|(i, t)| (format!("layer{i}.w"), t.clone()))
+                .collect();
+            let (m, v) = if with_moments == 1 {
+                // First moment deliberately None: Adam lazily allocates.
+                let mut m: Vec<Option<Tensor>> = tensors.iter().map(|t| Some(t.clone())).collect();
+                m[0] = None;
+                (m.clone(), m)
+            } else {
+                (vec![None; tensors.len()], vec![None; tensors.len()])
+            };
+            let best = (with_best == 1).then(|| BestSnapshot {
+                val: 0.5,
+                epoch: epochs_done.saturating_sub(1),
+                weights: tensors.clone(),
+            });
+            TrainState {
+                fingerprint,
+                epochs_done,
+                global_step,
+                rng: [rng[0], rng[1], rng[2], rng[3]],
+                lr_scale,
+                rollbacks,
+                skipped_steps,
+                stale,
+                epoch_losses,
+                val_losses,
+                epoch_times,
+                weights,
+                adam: AdamState { t: global_step as i32, lr: 1e-3, m, v },
+                best,
+            }
+        },
+    )
+}
+
+fn bits(t: &Tensor) -> Vec<u32> {
+    t.as_slice().iter().map(|v| v.to_bits()).collect()
+}
+
+fn bits_vec(v: &[f32]) -> Vec<u32> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn save_load_roundtrip_is_bit_exact(st in arb_state()) {
+        let path = tmp("roundtrip");
+        st.save(&path).unwrap();
+        let back = TrainState::load(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+
+        prop_assert_eq!(back.fingerprint, st.fingerprint);
+        prop_assert_eq!(back.epochs_done, st.epochs_done);
+        prop_assert_eq!(back.global_step, st.global_step);
+        prop_assert_eq!(back.rng, st.rng);
+        prop_assert_eq!(back.lr_scale.to_bits(), st.lr_scale.to_bits());
+        prop_assert_eq!(back.rollbacks, st.rollbacks);
+        prop_assert_eq!(back.skipped_steps, st.skipped_steps);
+        prop_assert_eq!(back.stale, st.stale);
+        prop_assert_eq!(bits_vec(&back.epoch_losses), bits_vec(&st.epoch_losses));
+        prop_assert_eq!(bits_vec(&back.val_losses), bits_vec(&st.val_losses));
+        prop_assert_eq!(&back.epoch_times, &st.epoch_times);
+
+        prop_assert_eq!(back.weights.len(), st.weights.len());
+        for ((bn, bt), (sn, stt)) in back.weights.iter().zip(&st.weights) {
+            prop_assert_eq!(bn, sn);
+            prop_assert_eq!(bt.shape(), stt.shape());
+            prop_assert_eq!(bits(bt), bits(stt));
+        }
+
+        prop_assert_eq!(back.adam.t, st.adam.t);
+        prop_assert_eq!(back.adam.m.len(), st.adam.m.len());
+        for (bm, sm) in back.adam.m.iter().zip(&st.adam.m) {
+            match (bm, sm) {
+                (None, None) => {}
+                (Some(b), Some(s)) => prop_assert_eq!(bits(b), bits(s)),
+                _ => prop_assert!(false, "moment presence changed across round-trip"),
+            }
+        }
+
+        match (&back.best, &st.best) {
+            (None, None) => {}
+            (Some(b), Some(s)) => {
+                prop_assert_eq!(b.epoch, s.epoch);
+                prop_assert_eq!(b.weights.len(), s.weights.len());
+                for (bt, stt) in b.weights.iter().zip(&s.weights) {
+                    prop_assert_eq!(bits(bt), bits(stt));
+                }
+            }
+            _ => prop_assert!(false, "best presence changed across round-trip"),
+        }
+    }
+
+    #[test]
+    fn any_flipped_byte_is_rejected(st in arb_state(), pos in 0usize..1_000_000, xor in 1u8..=255) {
+        let path = tmp("flip");
+        st.save(&path).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let idx = pos % bytes.len();
+        bytes[idx] ^= xor;
+        std::fs::write(&path, &bytes).unwrap();
+        let res = TrainState::load(&path);
+        std::fs::remove_file(&path).ok();
+        prop_assert!(
+            matches!(res, Err(CheckpointError::Corrupt(_))),
+            "flip at byte {idx} was not rejected: {res:?}"
+        );
+    }
+
+    #[test]
+    fn any_truncation_is_rejected(st in arb_state(), cut in 0usize..1_000_000) {
+        let path = tmp("trunc");
+        st.save(&path).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        let keep = cut % bytes.len(); // strictly shorter than the full file
+        std::fs::write(&path, &bytes[..keep]).unwrap();
+        let res = TrainState::load(&path);
+        std::fs::remove_file(&path).ok();
+        prop_assert!(
+            matches!(res, Err(CheckpointError::Corrupt(_))),
+            "truncation to {keep} bytes was not rejected: {res:?}"
+        );
+    }
+}

@@ -6,7 +6,7 @@
 //! All integers little-endian.
 
 use std::fs::File;
-use std::io::{BufReader, BufWriter, Read, Write};
+use std::io::{BufReader, Read};
 use std::path::Path;
 
 use traffic_tensor::Tensor;
@@ -22,6 +22,9 @@ pub enum CheckpointError {
     Io(std::io::Error),
     /// Structure mismatch between file and store.
     Mismatch(String),
+    /// The file failed structural validation (bad magic/version, CRC
+    /// mismatch, truncation) — it is not a usable checkpoint.
+    Corrupt(String),
 }
 
 impl std::fmt::Display for CheckpointError {
@@ -29,6 +32,7 @@ impl std::fmt::Display for CheckpointError {
         match self {
             CheckpointError::Io(e) => write!(f, "io error: {e}"),
             CheckpointError::Mismatch(m) => write!(f, "checkpoint mismatch: {m}"),
+            CheckpointError::Corrupt(m) => write!(f, "corrupt checkpoint: {m}"),
         }
     }
 }
@@ -42,27 +46,31 @@ impl From<std::io::Error> for CheckpointError {
 }
 
 /// Writes every parameter of `store` to `path`.
+///
+/// The write is atomic (staged in a temp sibling, fsynced, renamed —
+/// the `TNN2` write path from [`crate::tnn2::atomic_write`]): a crash
+/// mid-save leaves the previous file intact instead of a torn `TNN1`.
+/// The bytes on disk are exactly the legacy `TNN1` layout, readable by
+/// older code.
 pub fn save_weights(store: &ParamStore, path: &Path) -> Result<(), CheckpointError> {
-    if let Some(dir) = path.parent() {
-        std::fs::create_dir_all(dir)?;
-    }
-    let mut w = BufWriter::new(File::create(path)?);
-    w.write_all(MAGIC)?;
-    w.write_all(&(store.len() as u32).to_le_bytes())?;
+    let mut w = Vec::new();
+    w.extend_from_slice(MAGIC);
+    w.extend_from_slice(&(store.len() as u32).to_le_bytes());
     for p in store.params() {
         let name = p.name().as_bytes();
-        w.write_all(&(name.len() as u32).to_le_bytes())?;
-        w.write_all(name)?;
+        w.extend_from_slice(&(name.len() as u32).to_le_bytes());
+        w.extend_from_slice(name);
         let value = p.value();
         let shape = value.shape();
-        w.write_all(&(shape.len() as u32).to_le_bytes())?;
+        w.extend_from_slice(&(shape.len() as u32).to_le_bytes());
         for &d in shape {
-            w.write_all(&(d as u64).to_le_bytes())?;
+            w.extend_from_slice(&(d as u64).to_le_bytes());
         }
         for &v in value.as_slice() {
-            w.write_all(&v.to_le_bytes())?;
+            w.extend_from_slice(&v.to_le_bytes());
         }
     }
+    crate::tnn2::atomic_write(path, &w)?;
     Ok(())
 }
 

@@ -21,6 +21,7 @@ pub mod norm;
 pub mod optim;
 pub mod param;
 pub mod rnn;
+pub mod tnn2;
 
 pub use attention::{scaled_dot_attention, MultiHeadAttention};
 pub use checkpoint::{load_weights, save_weights, CheckpointError};
@@ -29,6 +30,6 @@ pub use embedding::Embedding;
 pub use graphconv::{ChebConv, DenseGraphConv, DiffusionConv, GraphAttention};
 pub use linear::Linear;
 pub use norm::{BatchNorm2d, LayerNorm};
-pub use optim::{Adam, Sgd, StepDecay};
+pub use optim::{Adam, AdamState, Sgd, StepDecay};
 pub use param::{Param, ParamStore, Parameter};
 pub use rnn::{GruCell, LstmCell};

@@ -179,9 +179,16 @@ impl ParamStore {
 
     /// Scales all gradients so the global norm is at most `max_norm`.
     /// Returns the pre-clip norm (useful for gradient telemetry).
+    ///
+    /// A non-finite pre-clip norm (NaN/∞ gradients) leaves the gradients
+    /// untouched and simply reports it: scaling by `max_norm / inf`
+    /// would silently zero every gradient, and NaN would poison the
+    /// weights on the next optimizer step. Callers are expected to test
+    /// the returned norm and skip the step (the trainer does, counting
+    /// it under `train/skipped_steps`).
     pub fn clip_grad_norm(&self, max_norm: f32) -> f32 {
         let norm = self.grad_norm();
-        if norm > max_norm && norm > 0.0 {
+        if norm.is_finite() && norm > max_norm && norm > 0.0 {
             let scale = max_norm / norm;
             for p in &self.params {
                 if let Some(g) = p.grad.borrow_mut().as_mut() {
@@ -204,6 +211,18 @@ impl ParamStore {
         assert_eq!(snapshot.len(), self.params.len(), "snapshot size mismatch");
         for (p, t) in self.params.iter().zip(snapshot) {
             p.set_value(t.clone());
+        }
+    }
+
+    /// Overwrites every stored gradient with NaN. Fault-injection
+    /// support (the trainer's `nan_grad` site): simulates a numerically
+    /// blown-up backward pass so the skip-step guard can be exercised on
+    /// real models.
+    pub fn poison_grads(&self) {
+        for p in &self.params {
+            if let Some(g) = p.grad.borrow_mut().as_mut() {
+                g.map_inplace(|_| f32::NAN);
+            }
         }
     }
 
@@ -272,6 +291,24 @@ mod tests {
         assert!((store.grad_norm() - 5.0).abs() < 1e-5);
         store.clip_grad_norm(1.0);
         assert!((store.grad_norm() - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn clip_leaves_nonfinite_grads_untouched() {
+        let mut store = ParamStore::new();
+        let w = store.add("w", Tensor::from_vec(vec![1.0, 2.0], &[2]));
+        let tape = Tape::new();
+        let wv = w.var(&tape);
+        let loss = wv.sum_all();
+        let grads = tape.backward(loss);
+        store.capture_grads(&tape, &grads);
+        store.poison_grads();
+        let norm = store.clip_grad_norm(1.0);
+        assert!(!norm.is_finite());
+        // gradients still NaN, not zeroed by a bogus `max/inf` scale
+        assert!(w.grad().unwrap().as_slice().iter().all(|v| v.is_nan()));
+        // and the weights themselves were never touched
+        assert_eq!(w.value().as_slice(), &[1.0, 2.0]);
     }
 
     #[test]

@@ -37,6 +37,7 @@
 //! ```
 
 pub mod event;
+pub mod faults;
 pub mod json;
 pub mod metrics;
 pub mod profile;

@@ -1,15 +1,20 @@
 //! Using the library on your own data: build a road network by hand,
-//! simulate (or substitute) a series, run the full pipeline, and persist
-//! everything to CSV.
+//! simulate (or substitute) a series, run the full pipeline with
+//! crash-safe checkpointing, and persist everything to CSV.
 //!
 //! ```text
 //! cargo run --release --example custom_dataset
 //! ```
+//!
+//! The training step doubles as a kill-and-resume demo: a soft fault is
+//! armed that panics mid-epoch 2, the panic is caught, and a second
+//! `train` call picks up from the epoch-1 `TrainState` checkpoint.
 
 use traffic_suite::core::{predict, train, TrainConfig};
 use traffic_suite::data::{prepare, save_dataset, simulate, SimConfig, Task, TrafficDataset};
 use traffic_suite::metrics::evaluate;
 use traffic_suite::models::{build_model, GraphContext};
+use traffic_suite::obs::faults::{self, FaultMode};
 use traffic_suite::tensor::Tensor;
 
 fn main() {
@@ -46,19 +51,45 @@ fn main() {
     let reloaded = traffic_suite::data::load_dataset(&path).expect("load");
     assert_eq!(reloaded.num_nodes(), 6);
 
-    // 4. Train any model on it.
+    // 4. Train any model on it, checkpointing a full TrainState (weights,
+    //    Adam moments, RNG, counters) after every epoch.
     let data = prepare(&reloaded, 12, 12);
     let ctx = GraphContext::from_network(&reloaded.network, 4);
     let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(0);
     let model = build_model("STG2Seq", &ctx, &mut rng);
+    let ckpt = std::path::PathBuf::from("reports/custom/stg2seq.tnn2");
+    let _ = std::fs::remove_file(&ckpt); // always demo a fresh run
     let cfg = TrainConfig {
         epochs: 3,
         batch_size: 16,
         max_batches_per_epoch: Some(40),
         early_stop_patience: Some(2),
+        checkpoint_every: Some(1),
+        checkpoint_path: Some(ckpt.clone()),
+        resume_from: Some(ckpt.clone()),
         ..Default::default()
     };
+
+    // 4a. Simulate a crash: batch 50 lands mid-epoch 2, after the epoch-1
+    //     checkpoint is on disk. Soft mode panics instead of aborting so we
+    //     can catch it in-process and carry on.
+    faults::arm("abort", 50, FaultMode::Soft);
+    let quiet: Box<dyn Fn(&std::panic::PanicHookInfo) + Send + Sync> = Box::new(|_| {});
+    let prev_hook = std::panic::take_hook();
+    std::panic::set_hook(quiet);
+    let crashed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        train(model.as_ref(), &data, &cfg)
+    }));
+    std::panic::set_hook(prev_hook);
+    faults::reset();
+    assert!(crashed.is_err(), "armed fault should have interrupted training");
+    println!("training crashed mid-epoch 2 (injected fault) — checkpoint survives");
+
+    // 4b. Resume: same config, same checkpoint path. The trainer restores
+    //     the full state and replays from epoch 2.
     let report = train(model.as_ref(), &data, &cfg);
+    assert!(report.resumed_at.is_some(), "second run should resume from the checkpoint");
+    println!("resumed at epoch {} from {}", report.resumed_at.unwrap(), ckpt.display());
     println!(
         "trained STG2Seq: losses {:?} (best epoch {})",
         report.epoch_losses.iter().map(|l| format!("{l:.3}")).collect::<Vec<_>>(),

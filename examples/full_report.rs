@@ -78,15 +78,23 @@ fn main() {
     writeln!(md, "## Fig 1 — accuracy (mean ± std over {} repeat(s))\n", scale.repeats).unwrap();
     let rows: Vec<Vec<String>> = f1
         .iter()
-        .map(|r| {
-            vec![
+        .map(|r| match &r.error {
+            Some(reason) => vec![
+                r.dataset.clone(),
+                r.model.clone(),
+                r.horizon.to_string(),
+                format!("FAILED: {reason}"),
+                "—".into(),
+                "—".into(),
+            ],
+            None => vec![
                 r.dataset.clone(),
                 r.model.clone(),
                 r.horizon.to_string(),
                 format!("{:.3} ± {:.3}", r.mae.0, r.mae.1),
                 format!("{:.3} ± {:.3}", r.rmse.0, r.rmse.1),
                 format!("{:.2} ± {:.2}", r.mape.0, r.mape.1),
-            ]
+            ],
         })
         .collect();
     md.push_str(&md_table(&["Dataset", "Model", "Horizon", "MAE", "RMSE", "MAPE %"], &rows));
@@ -108,13 +116,16 @@ fn main() {
     writeln!(md, "## Fig 2 — difficult intervals (METR-LA)\n").unwrap();
     let rows: Vec<Vec<String>> = f2
         .iter()
-        .map(|r| {
-            vec![
+        .map(|r| match &r.error {
+            Some(reason) => {
+                vec![r.model.clone(), format!("FAILED: {reason}"), "—".into(), "—".into()]
+            }
+            None => vec![
                 r.model.clone(),
                 format!("{:.3}", r.overall.mae),
                 format!("{:.3}", r.difficult.mae),
                 format!("{:+.1}", r.degradation_pct),
-            ]
+            ],
         })
         .collect();
     md.push_str(&md_table(&["Model", "Overall MAE", "Difficult MAE", "Degradation %"], &rows));
@@ -124,15 +135,29 @@ fn main() {
 
     // ---------------- Fig 3 ----------------
     eprintln!("[4/4] Fig 3: case study (Graph-WaveNet on PeMS-BAY)…");
-    let cs = case_study(&scale);
+    // Panic-isolated like the sweep cells: a crashing case study still
+    // yields a report with the three completed sections.
+    let cs = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| case_study(&scale)));
     writeln!(md, "## Fig 3 — case study\n").unwrap();
-    writeln!(md, "```text\n{}```\n", render_fig3(&cs)).unwrap();
-    writeln!(
-        md,
-        "MAE ratio volatile/smooth: **{:.2}×** (paper's example pair: 4.5×)\n",
-        cs.volatile.mae / cs.smooth.mae
-    )
-    .unwrap();
+    match cs {
+        Ok(cs) => {
+            writeln!(md, "```text\n{}```\n", render_fig3(&cs)).unwrap();
+            writeln!(
+                md,
+                "MAE ratio volatile/smooth: **{:.2}×** (paper's example pair: 4.5×)\n",
+                cs.volatile.mae / cs.smooth.mae
+            )
+            .unwrap();
+        }
+        Err(payload) => {
+            let reason = payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "panic with non-string payload".into());
+            writeln!(md, "**FAILED**: {reason}\n").unwrap();
+        }
+    }
 
     if let Some(dir) = out_path.parent() {
         std::fs::create_dir_all(dir).expect("create report dir");

@@ -1,0 +1,61 @@
+//! Kill-and-resume demo: a deterministic STGCN run that checkpoints a
+//! full [`TrainState`] after every epoch and resumes from the checkpoint
+//! if one exists. Used by `scripts/resume_smoke.sh`, which SIGKILLs the
+//! first run mid-epoch via the `abort` fault site and asserts that the
+//! resumed run's per-epoch losses are **bit-identical** to an
+//! uninterrupted reference run.
+//!
+//! ```text
+//! cargo run --release --example resume_train -- --checkpoint reports/resume/stgcn.tnn2
+//! TRAFFIC_FAULTS="abort@20:hard" cargo run --release --example resume_train -- …
+//! ```
+//!
+//! The final `LOSSES <hex>` line prints each epoch loss as its f32 bit
+//! pattern, so continuity can be checked exactly, not approximately.
+
+use std::path::PathBuf;
+
+use traffic_suite::core::{train, TrainConfig};
+use traffic_suite::data::{prepare, simulate, SimConfig, Task};
+use traffic_suite::models::{build_model, GraphContext};
+
+fn main() {
+    let checkpoint: PathBuf = std::env::args()
+        .skip_while(|a| a != "--checkpoint")
+        .nth(1)
+        .map(PathBuf::from)
+        .unwrap_or_else(|| "reports/resume/stgcn.tnn2".into());
+
+    // Small fixed-seed dataset: every run sees identical data.
+    let ds = simulate(&SimConfig::new("resume-demo", Task::Speed, 6, 4));
+    let data = prepare(&ds, 12, 12);
+    let ctx = GraphContext::from_network(&ds.network, 4);
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(11);
+    let model = build_model("STGCN", &ctx, &mut rng);
+
+    let cfg = TrainConfig {
+        epochs: 4,
+        batch_size: 8,
+        max_batches_per_epoch: Some(8),
+        seed: 7,
+        checkpoint_every: Some(1),
+        checkpoint_path: Some(checkpoint.clone()),
+        resume_from: Some(checkpoint.clone()),
+        ..Default::default()
+    };
+    let report = train(model.as_ref(), &data, &cfg);
+
+    match report.resumed_at {
+        Some(e) => println!("resumed from {} at epoch {e}", checkpoint.display()),
+        None => println!("fresh run (no usable checkpoint at {})", checkpoint.display()),
+    }
+    println!(
+        "epoch losses: {:?}",
+        report.epoch_losses.iter().map(|l| format!("{l:.4}")).collect::<Vec<_>>()
+    );
+    // Bit patterns: the resume contract is exact, so the smoke test
+    // compares these, not rounded decimals.
+    let bits: Vec<String> =
+        report.epoch_losses.iter().map(|l| format!("{:08x}", l.to_bits())).collect();
+    println!("LOSSES {}", bits.join(","));
+}

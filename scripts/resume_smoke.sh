@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# Kill-and-resume smoke test for the fault-tolerance layer.
+#
+# 1. Starts a checkpointing training run with a hard abort injected at
+#    batch 20 (mid-epoch 3 of 4) via the TRAFFIC_FAULTS env hook — the
+#    process dies with SIGABRT, exactly like a crash or OOM kill.
+# 2. Re-runs the same command without the fault: it must resume from the
+#    last epoch checkpoint and complete.
+# 3. Runs an uninterrupted reference with a separate checkpoint path.
+# 4. Asserts the resumed run's per-epoch losses are bit-identical to the
+#    reference (the example prints f32 bit patterns as `LOSSES <hex>`).
+#
+# Usage: scripts/resume_smoke.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+WORK=$(mktemp -d "${TMPDIR:-/tmp}/resume_smoke.XXXXXX")
+trap 'rm -rf "$WORK"' EXIT
+
+run() { cargo run --release -q --example resume_train -- --checkpoint "$1"; }
+
+echo "[resume_smoke] 1/3 interrupted run (hard abort at batch 20)…"
+if TRAFFIC_FAULTS="abort@20:hard" run "$WORK/ckpt.tnn2" >"$WORK/killed.log" 2>&1; then
+  echo "FAIL: the fault-injected run exited cleanly (no abort fired)"
+  cat "$WORK/killed.log"
+  exit 1
+fi
+[[ -f "$WORK/ckpt.tnn2" ]] || { echo "FAIL: no checkpoint written before the abort"; exit 1; }
+
+echo "[resume_smoke] 2/3 resumed run…"
+run "$WORK/ckpt.tnn2" | tee "$WORK/resumed.log"
+grep -q "^resumed from" "$WORK/resumed.log" || {
+  echo "FAIL: second run did not resume from the checkpoint"
+  exit 1
+}
+
+echo "[resume_smoke] 3/3 uninterrupted reference run…"
+run "$WORK/ref.tnn2" | tee "$WORK/reference.log"
+
+resumed=$(grep '^LOSSES ' "$WORK/resumed.log")
+reference=$(grep '^LOSSES ' "$WORK/reference.log")
+if [[ "$resumed" != "$reference" ]]; then
+  echo "FAIL: resumed losses differ from the uninterrupted run"
+  echo "  resumed:   $resumed"
+  echo "  reference: $reference"
+  exit 1
+fi
+echo "[resume_smoke] OK: resume is bit-identical ($resumed)"

@@ -9,6 +9,25 @@ pub struct Xoshiro256PlusPlus {
     s: [u64; 4],
 }
 
+impl Xoshiro256PlusPlus {
+    /// The full 256-bit internal state, for checkpointing. Restoring via
+    /// [`Xoshiro256PlusPlus::from_state`] resumes the stream exactly
+    /// where it left off.
+    pub fn state(&self) -> [u64; 4] {
+        self.s
+    }
+
+    /// Rebuilds an RNG from a state captured with
+    /// [`Xoshiro256PlusPlus::state`]. An all-zero state is a fixed point
+    /// of the generator and is nudged the same way `from_seed` does.
+    pub fn from_state(s: [u64; 4]) -> Self {
+        if s == [0; 4] {
+            return Self::from_seed([0; 32]);
+        }
+        Xoshiro256PlusPlus { s }
+    }
+}
+
 impl RngCore for Xoshiro256PlusPlus {
     fn next_u64(&mut self) -> u64 {
         let result = self.s[0].wrapping_add(self.s[3]).rotate_left(23).wrapping_add(self.s[0]);
