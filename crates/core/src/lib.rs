@@ -9,6 +9,7 @@ pub mod ablation;
 pub mod divergence;
 pub mod experiment;
 pub mod findings;
+pub mod insight;
 pub mod regimes;
 pub mod report;
 pub mod resume;
@@ -29,6 +30,7 @@ pub use experiment::{
 pub use findings::{
     check_fig1, check_fig1_flow, check_fig2, check_table3, fig1_winners, render_findings, Finding,
 };
+pub use insight::{BlameEntry, BlameReport, HealthMonitor};
 pub use regimes::{classify, decompose, regime_mask, Regime};
 pub use report::{format_table, sparkline, write_csv};
 pub use resume::{config_fingerprint, BestSnapshot, TrainState, STATE_VERSION};

@@ -42,6 +42,7 @@ use traffic_obs::{counter, emit_with, gauge, histogram, span, Event};
 use traffic_tensor::{Tape, Tensor};
 
 use crate::divergence::{DivergencePolicy, LossMonitor, Verdict};
+use crate::insight::{self, BlameReport, HealthMonitor};
 use crate::resume::{config_fingerprint, BestSnapshot, TrainState};
 
 /// Training configuration.
@@ -82,6 +83,13 @@ pub struct TrainConfig {
     /// Enable the divergence supervisor (rollback + LR backoff).
     /// `None` disables monitoring entirely.
     pub divergence: Option<DivergencePolicy>,
+    /// Training-health sampling cadence ([`crate::insight`]): `Some(k)`
+    /// samples per-layer statistics every `k` optimizer steps,
+    /// `Some(0)` forces it off, `None` (default) defers to the
+    /// `TRAFFIC_INSIGHT` environment knob. Telemetry-only — never part
+    /// of the resume fingerprint, and the loss sequence is
+    /// bit-identical whether sampling is on or off.
+    pub insight_every: Option<usize>,
 }
 
 impl Default for TrainConfig {
@@ -101,6 +109,7 @@ impl Default for TrainConfig {
             checkpoint_path: None,
             resume_from: None,
             divergence: None,
+            insight_every: None,
         }
     }
 }
@@ -127,6 +136,10 @@ pub struct TrainReport {
     pub diverged: bool,
     /// Epoch index training resumed at, if a checkpoint was loaded.
     pub resumed_at: Option<usize>,
+    /// First blame report captured by the health monitor (skipped step
+    /// or divergence rollback); `None` when insight was off or the run
+    /// stayed healthy.
+    pub blame: Option<BlameReport>,
 }
 
 /// Mean masked-MAE loss of a model over a split (normalised scale),
@@ -265,6 +278,15 @@ pub fn train(model: &dyn TrafficModel, data: &PreparedData, cfg: &TrainConfig) -
     }
 
     let mut monitor = cfg.divergence.as_ref().map(LossMonitor::from_policy);
+    // Health telemetry: `None` (the default) keeps the hot loop at one
+    // Option check per step — see the overhead policy in [`insight`].
+    let mut health = insight::resolve_every(cfg.insight_every).map(HealthMonitor::new);
+    let mut blame: Option<BlameReport> = None;
+    // Metric handles are 'static interned slots; resolving them once here
+    // keeps the per-step path free of registry lookups (which allocate
+    // their key) — see the zero-alloc gate in tests/insight_alloc.rs.
+    let grad_norm_gauge = gauge("train.grad_norm");
+    let grad_norm_hist = histogram("train.grad_norm");
     // One tape for the whole run; `reset` per batch retains capacity and
     // returns the previous batch's node buffers to the traffic-mem pool.
     let mut tape = Tape::new();
@@ -339,14 +361,30 @@ pub fn train(model: &dyn TrafficModel, data: &PreparedData, cfg: &TrainConfig) -
                 }
                 let grad_norm = model.store().clip_grad_norm(cfg.grad_clip);
                 if grad_norm.is_finite() {
-                    gauge("train.grad_norm").set(grad_norm as f64);
+                    grad_norm_gauge.set(grad_norm as f64);
+                    grad_norm_hist.record(grad_norm as f64);
+                    // On sampled steps keep pre-step weight handles
+                    // (cheap COW clones) so the monitor can compute
+                    // update/weight ratios after the optimizer runs.
+                    let prev = health
+                        .as_ref()
+                        .filter(|h| h.due(global_step))
+                        .map(|_| model.store().snapshot());
                     opt.step(model.store());
+                    if let (Some(prev), Some(h)) = (prev, health.as_mut()) {
+                        h.sample(model.name(), epoch, global_step, model.store(), &tape, &prev);
+                    }
                     loss_sum += loss_val as f64;
                 } else {
                     // Stepping on NaN/∞ gradients would poison every
                     // weight; skip the update and count it.
                     skipped_steps += 1;
                     counter("train/skipped_steps").inc();
+                    if let Some(h) = health.as_ref() {
+                        let report = h.blame(model.store(), "non_finite_grad", epoch, global_step);
+                        report.emit(model.name());
+                        blame.get_or_insert(report);
+                    }
                     emit_with(|| {
                         Event::new("skipped_step")
                             .with("model", model.name())
@@ -378,6 +416,14 @@ pub fn train(model: &dyn TrafficModel, data: &PreparedData, cfg: &TrainConfig) -
         if let Some(verdict) = rollback_verdict {
             let policy = cfg.divergence.as_ref().expect("verdict implies policy");
             let snap = rollback_snap.as_ref().expect("verdict implies snapshot");
+            // Blame before the restore wipes the diverged state; the
+            // rewound history no longer describes the live weights.
+            if let Some(h) = health.as_mut() {
+                let report = h.blame(model.store(), "divergence_rollback", epoch, global_step);
+                report.emit(model.name());
+                blame.get_or_insert(report);
+                h.clear_history();
+            }
             model.store().restore(&snap.weights);
             opt.load_state(snap.adam.clone());
             rng = StdRng::from_state(snap.rng);
@@ -552,6 +598,7 @@ pub fn train(model: &dyn TrafficModel, data: &PreparedData, cfg: &TrainConfig) -
         rollbacks,
         diverged,
         resumed_at,
+        blame,
     }
 }
 

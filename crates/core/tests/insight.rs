@@ -1,0 +1,89 @@
+//! Trainer-level insight invariants: blame reports under injected
+//! faults, and bit-identical losses with sampling on vs off. Both
+//! tests touch process-global state (the fault registry), so they
+//! serialize on one mutex.
+
+use std::sync::Mutex;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use traffic_core::{train, TrainConfig};
+use traffic_data::{prepare, simulate, PreparedData, SimConfig, Task};
+use traffic_models::{build_model, GraphContext};
+use traffic_obs::faults::{self, FaultMode};
+
+static GLOBALS: Mutex<()> = Mutex::new(());
+
+fn tiny_setup() -> (PreparedData, GraphContext) {
+    let ds = simulate(&SimConfig::new("insight", Task::Speed, 6, 4));
+    let prepared = prepare(&ds, 12, 12);
+    let ctx = GraphContext::from_network(&ds.network, 4);
+    (prepared, ctx)
+}
+
+/// The `nan_grad` fault site (what `TRAFFIC_FAULTS=nan_grad@3` arms
+/// from the environment) poisons every captured gradient; the skipped
+/// step must produce a blame report naming the poisoned groups.
+#[test]
+fn nan_grad_fault_produces_blame_report() {
+    let _lock = GLOBALS.lock().unwrap_or_else(|e| e.into_inner());
+    faults::reset();
+    let (data, ctx) = tiny_setup();
+    let mut rng = StdRng::seed_from_u64(11);
+    let model = build_model("STGCN", &ctx, &mut rng);
+    faults::arm("nan_grad", 3, FaultMode::Soft);
+    let cfg = TrainConfig {
+        epochs: 1,
+        batch_size: 8,
+        max_batches_per_epoch: Some(6),
+        insight_every: Some(1),
+        ..Default::default()
+    };
+    let report = train(model.as_ref(), &data, &cfg);
+    faults::reset();
+
+    assert_eq!(report.skipped_steps, 1, "poisoned grads skip exactly one step");
+    let blame = report.blame.expect("skipped step must capture blame");
+    assert_eq!(blame.reason, "non_finite_grad");
+    assert_eq!(blame.step, 2, "fault armed at the 3rd batch (0-based global step 2)");
+    assert!(!blame.entries.is_empty(), "every parameter group is examined");
+    let culprit = blame.culprit().expect("a poisoned group must be accused");
+    assert!(culprit.non_finite, "the culprit's gradient was non-finite: {culprit:?}");
+    assert!(culprit.spike.is_infinite());
+    assert!(blame.render().contains(&culprit.group));
+    // Training recovered: weights stayed finite and later steps ran.
+    assert!(!model.store().has_non_finite());
+    assert!(report.epoch_losses.iter().all(|l| l.is_finite()));
+}
+
+/// Telemetry must be observation-only: the loss sequence with
+/// per-step sampling is bit-identical to a run with insight off.
+#[test]
+fn insight_sampling_never_changes_the_losses() {
+    let _lock = GLOBALS.lock().unwrap_or_else(|e| e.into_inner());
+    faults::reset();
+    let (data, ctx) = tiny_setup();
+    let run_with = |insight_every: Option<usize>| {
+        let mut rng = StdRng::seed_from_u64(21);
+        let model = build_model("STGCN", &ctx, &mut rng);
+        let cfg = TrainConfig {
+            epochs: 2,
+            batch_size: 8,
+            max_batches_per_epoch: Some(5),
+            insight_every,
+            ..Default::default()
+        };
+        train(model.as_ref(), &data, &cfg).epoch_losses
+    };
+    // Some(0) forces sampling off regardless of TRAFFIC_INSIGHT.
+    let off = run_with(Some(0));
+    let on = run_with(Some(1));
+    assert_eq!(off.len(), on.len());
+    for (epoch, (a, b)) in off.iter().zip(&on).enumerate() {
+        assert_eq!(
+            a.to_bits(),
+            b.to_bits(),
+            "epoch {epoch} loss must be bit-identical: {a} vs {b}"
+        );
+    }
+}

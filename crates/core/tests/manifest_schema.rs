@@ -1,0 +1,85 @@
+//! Golden manifest replay: a smoke training run under the full
+//! telemetry stack (JSONL sink, profiler, insight sampling, system
+//! sampler) must emit only events that round-trip through the bundled
+//! JSON parser and are accepted by the run store's indexer. Lives in
+//! its own binary with a single `#[test]` because it installs global
+//! sinks, which concurrent tests in the same process would observe.
+
+use std::collections::BTreeSet;
+use std::time::Duration;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use traffic_core::{train, TrainConfig};
+use traffic_data::{prepare, simulate, SimConfig, Task};
+use traffic_models::{build_model, GraphContext};
+use traffic_obs::store::{RunStore, RunSummary};
+use traffic_obs::{html, json};
+
+#[test]
+fn every_emitted_event_round_trips_through_the_store() {
+    let dir = std::env::temp_dir().join("traffic_manifest_schema_test");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let run = traffic_obs::Run::named("schema-check")
+        .jsonl(dir.join("runs"))
+        .profiled(dir.join("profiles"))
+        .system_sampler(Duration::from_millis(20))
+        .start()
+        .expect("temp dir writable");
+    let manifest = run.manifest_path().expect("jsonl requested").to_path_buf();
+
+    let ds = simulate(&SimConfig::new("schema", Task::Speed, 6, 4));
+    let data = prepare(&ds, 12, 12);
+    let ctx = GraphContext::from_network(&ds.network, 4);
+    let mut rng = StdRng::seed_from_u64(1);
+    let model = build_model("STGCN", &ctx, &mut rng);
+    let cfg = TrainConfig {
+        epochs: 2,
+        batch_size: 8,
+        max_batches_per_epoch: Some(4),
+        insight_every: Some(2),
+        ..Default::default()
+    };
+    let report = train(model.as_ref(), &data, &cfg);
+    assert_eq!(report.epoch_losses.len(), 2, "smoke train must complete");
+    // Let the 20ms system sampler land at least one more sample.
+    std::thread::sleep(Duration::from_millis(50));
+    run.finish();
+
+    // Every line is valid JSON and the store's accept() takes each one.
+    let content = std::fs::read_to_string(&manifest).expect("manifest written");
+    let mut replayed = RunSummary::default();
+    let mut kinds: BTreeSet<String> = BTreeSet::new();
+    for (i, line) in content.lines().enumerate() {
+        let ev = json::parse(line)
+            .unwrap_or_else(|e| panic!("line {} must parse: {e:?}\n{line}", i + 1));
+        let kind = ev.get("type").and_then(|v| v.as_str()).expect("every event has a type");
+        kinds.insert(kind.to_string());
+        replayed.accept(&ev);
+    }
+    for required in ["run_start", "span", "metric", "epoch", "op_stat", "insight", "sys", "run_end"]
+    {
+        assert!(kinds.contains(required), "manifest must contain a `{required}` event: {kinds:?}");
+    }
+
+    // The indexer agrees with the manual replay and finds the content.
+    let store = RunStore::index(dir.join("runs")).expect("store indexes");
+    let summary = store.get("schema-check").expect("run indexed");
+    assert_eq!(summary.malformed, 0, "no line may be rejected");
+    assert_eq!(summary.epochs.len(), 2);
+    assert_eq!(summary.events, content.lines().count());
+    assert!(!summary.insight.is_empty(), "insight samples indexed");
+    assert!(!summary.insight_groups().is_empty(), "layer groups recovered");
+    assert!(!summary.op_stats.is_empty(), "profiler flame rows indexed");
+    assert!(!summary.sys.is_empty(), "system samples indexed");
+    assert!(summary.wall_s.is_some(), "run_end recorded");
+    assert_eq!(replayed.events, summary.events, "manual replay matches indexer");
+
+    // The dashboard renders from the same summary, with itself as the
+    // comparison baseline (self-diff: zero regressions).
+    let page = html::render(summary, Some(summary));
+    assert!(page.contains("</html>") && page.contains("0 regressed"));
+
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -31,5 +31,5 @@ pub use graphconv::{ChebConv, DenseGraphConv, DiffusionConv, GraphAttention};
 pub use linear::Linear;
 pub use norm::{BatchNorm2d, LayerNorm};
 pub use optim::{Adam, AdamState, Sgd, StepDecay};
-pub use param::{Param, ParamStore, Parameter};
+pub use param::{GroupHealth, Param, ParamStore, Parameter};
 pub use rnn::{GruCell, LstmCell};

@@ -75,6 +75,13 @@ impl Parameter {
         self.grad.borrow().clone()
     }
 
+    /// Replaces the stored gradient directly (fault-injection tests and
+    /// custom training loops; normal training uses
+    /// [`ParamStore::capture_grads`]).
+    pub fn set_grad(&self, g: Tensor) {
+        *self.grad.borrow_mut() = Some(g);
+    }
+
     /// Clears the stored gradient.
     pub fn zero_grad(&self) {
         *self.grad.borrow_mut() = None;
@@ -115,6 +122,26 @@ impl Parameter {
 #[derive(Default)]
 pub struct ParamStore {
     params: Vec<Param>,
+}
+
+/// Health statistics for one parameter group (a dot-separated name
+/// prefix, i.e. a layer). Produced by [`ParamStore::group_health`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupHealth {
+    /// Group name (`block0.t1` for params `block0.t1.weight`, `.bias`).
+    pub group: String,
+    /// Parameter tensors in the group.
+    pub params: usize,
+    /// Scalar weights in the group.
+    pub scalars: usize,
+    /// L2 norm of the group's weights.
+    pub weight_norm: f32,
+    /// L2 norm of the group's stored gradients (`None` when no param in
+    /// the group holds a gradient). NaN/∞ when gradients are poisoned.
+    pub grad_norm: Option<f32>,
+    /// `‖w − w_prev‖ / ‖w_prev‖` against the pre-step snapshot (`None`
+    /// when [`ParamStore::group_health`] was called without one).
+    pub update_ratio: Option<f32>,
 }
 
 impl ParamStore {
@@ -212,6 +239,82 @@ impl ParamStore {
         for (p, t) in self.params.iter().zip(snapshot) {
             p.set_value(t.clone());
         }
+    }
+
+    /// Per-parameter-group health statistics for the insight sampler.
+    ///
+    /// Parameters are grouped by their dot-separated name prefix (the
+    /// "layer": `block0.t1.weight` and `block0.t1.bias` share group
+    /// `block0.t1`; an undotted name is its own group), preserving
+    /// registration order. Norm accumulation is f64 so NaN/∞ gradients
+    /// surface as non-finite group norms instead of overflowing.
+    ///
+    /// `prev` — a [`ParamStore::snapshot`] taken *before* the optimizer
+    /// step — enables the update/weight ratio `‖w − w_prev‖ / ‖w_prev‖`;
+    /// pass `None` when no pre-step snapshot exists (blame capture).
+    pub fn group_health(&self, prev: Option<&[Tensor]>) -> Vec<GroupHealth> {
+        if let Some(prev) = prev {
+            assert_eq!(prev.len(), self.params.len(), "group_health snapshot size mismatch");
+        }
+        struct Acc {
+            group: String,
+            params: usize,
+            scalars: usize,
+            w_sq: f64,
+            g_sq: f64,
+            has_grad: bool,
+            delta_sq: f64,
+            prev_sq: f64,
+        }
+        let mut accs: Vec<Acc> = Vec::new();
+        for (i, p) in self.params.iter().enumerate() {
+            let group = p.name.rsplit_once('.').map_or(p.name.as_str(), |(g, _)| g);
+            let idx = match accs.iter().position(|a| a.group == group) {
+                Some(idx) => idx,
+                None => {
+                    accs.push(Acc {
+                        group: group.to_string(),
+                        params: 0,
+                        scalars: 0,
+                        w_sq: 0.0,
+                        g_sq: 0.0,
+                        has_grad: false,
+                        delta_sq: 0.0,
+                        prev_sq: 0.0,
+                    });
+                    accs.len() - 1
+                }
+            };
+            let acc = &mut accs[idx];
+            acc.params += 1;
+            acc.scalars += p.numel();
+            let value = p.value.borrow();
+            acc.w_sq += value.as_slice().iter().map(|&v| (v as f64) * (v as f64)).sum::<f64>();
+            if let Some(g) = p.grad.borrow().as_ref() {
+                acc.has_grad = true;
+                acc.g_sq += g.as_slice().iter().map(|&v| (v as f64) * (v as f64)).sum::<f64>();
+            }
+            if let Some(prev) = prev {
+                let old = prev[i].as_slice();
+                for (&w, &o) in value.as_slice().iter().zip(old) {
+                    let d = w as f64 - o as f64;
+                    acc.delta_sq += d * d;
+                    acc.prev_sq += (o as f64) * (o as f64);
+                }
+            }
+        }
+        accs.into_iter()
+            .map(|a| GroupHealth {
+                group: a.group,
+                params: a.params,
+                scalars: a.scalars,
+                weight_norm: a.w_sq.sqrt() as f32,
+                grad_norm: a.has_grad.then(|| a.g_sq.sqrt() as f32),
+                update_ratio: prev
+                    .is_some()
+                    .then(|| (a.delta_sq.sqrt() / (a.prev_sq.sqrt() + 1e-12)) as f32),
+            })
+            .collect()
     }
 
     /// Overwrites every stored gradient with NaN. Fault-injection
@@ -317,6 +420,46 @@ mod tests {
         store.add("a", Tensor::zeros(&[3, 4]));
         store.add("b", Tensor::zeros(&[5]));
         assert_eq!(store.num_scalars(), 17);
+    }
+
+    #[test]
+    fn group_health_groups_by_prefix() {
+        let mut store = ParamStore::new();
+        let w = store.add("layer.weight", Tensor::from_vec(vec![3.0, 4.0], &[2]));
+        store.add("layer.bias", Tensor::zeros(&[1]));
+        store.add("head", Tensor::from_vec(vec![2.0], &[1]));
+        let h = store.group_health(None);
+        assert_eq!(h.len(), 2);
+        assert_eq!(h[0].group, "layer");
+        assert_eq!((h[0].params, h[0].scalars), (2, 3));
+        assert!((h[0].weight_norm - 5.0).abs() < 1e-5);
+        assert_eq!(h[0].grad_norm, None);
+        assert_eq!(h[1].group, "head");
+
+        // Update ratio against a pre-step snapshot: doubling the weights
+        // gives ‖w − w_prev‖ = ‖w_prev‖, i.e. a ratio of 1.
+        let prev = store.snapshot();
+        w.update_value(|t| t.map_inplace(|v| v * 2.0));
+        let h = store.group_health(Some(&prev));
+        let r = h[0].update_ratio.expect("snapshot provided");
+        assert!((r - 1.0).abs() < 1e-4, "update ratio {r}");
+        assert_eq!(h[1].update_ratio, Some(0.0));
+    }
+
+    #[test]
+    fn group_health_flags_poisoned_grads() {
+        let mut store = ParamStore::new();
+        let w = store.add("enc.weight", Tensor::from_vec(vec![1.0, 2.0], &[2]));
+        let tape = Tape::new();
+        let wv = w.var(&tape);
+        let loss = wv.sum_all();
+        let grads = tape.backward(loss);
+        store.capture_grads(&tape, &grads);
+        let h = store.group_health(None);
+        assert!(h[0].grad_norm.expect("grad stored").is_finite());
+        store.poison_grads();
+        let h = store.group_health(None);
+        assert!(!h[0].grad_norm.expect("grad stored").is_finite());
     }
 
     #[test]

@@ -38,12 +38,15 @@
 
 pub mod event;
 pub mod faults;
+pub mod html;
 pub mod json;
 pub mod metrics;
 pub mod profile;
 pub mod run;
 pub mod sink;
 pub mod span;
+pub mod store;
+pub mod sysmon;
 
 pub use event::{Event, IntoValue, Value};
 pub use metrics::{
@@ -55,6 +58,8 @@ pub use span::{
     current_thread_id, span_marker, span_stats, span_stats_local, spans_since, SpanGuard,
     SpanRecord, SpanStats,
 };
+pub use store::{diff, Direction, RunDiff, RunStore, RunSummary};
+pub use sysmon::SysSampler;
 
 use std::sync::OnceLock;
 use std::time::Instant;

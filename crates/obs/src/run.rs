@@ -13,12 +13,13 @@
 //! and both report files (`<run>.txt`, `<run>.trace.json`) are written
 //! under the chosen directory.
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use crate::event::Event;
 use crate::sink::{add_sink, remove_sink, ConsoleSink, JsonlSink, Sink};
+use crate::sysmon::SysSampler;
 
 /// Flame-table rows exported to the manifest as `op_stat` events.
 const MANIFEST_OP_STATS: usize = 16;
@@ -30,6 +31,7 @@ pub struct RunBuilder {
     jsonl_dir: Option<PathBuf>,
     profile_dir: Option<PathBuf>,
     reset_metrics: bool,
+    sys_sample: Option<Duration>,
 }
 
 impl RunBuilder {
@@ -60,17 +62,35 @@ impl RunBuilder {
         self
     }
 
+    /// Attaches the background system sampler ([`crate::sysmon`]) for
+    /// the lifetime of the run, emitting `sys` events every `interval`.
+    /// Without this call the sampler still starts when
+    /// `TRAFFIC_SYS_SAMPLE_MS` is set in the environment.
+    pub fn system_sampler(mut self, interval: Duration) -> Self {
+        self.sys_sample = Some(interval);
+        self
+    }
+
     /// Installs the sinks and starts the run.
     pub fn start(self) -> std::io::Result<Run> {
+        let keep = runs_keep_from_env();
         let mut sinks: Vec<Arc<dyn Sink>> = Vec::new();
         let mut manifest_path = None;
         if self.console {
             sinks.push(Arc::new(ConsoleSink::new()));
         }
         if let Some(dir) = &self.jsonl_dir {
+            // Retention first, so the new manifest never counts against
+            // its own budget and the directory cannot grow past keep+1.
+            if let Some(keep) = keep {
+                prune_dir(dir, keep, &[".jsonl"]);
+            }
             let jsonl = JsonlSink::create(dir, &self.name)?;
             manifest_path = Some(jsonl.path().to_path_buf());
             sinks.push(Arc::new(jsonl));
+        }
+        if let (Some(dir), Some(keep)) = (&self.profile_dir, keep) {
+            prune_dir(dir, keep, &[".txt", ".trace.json"]);
         }
         if self.reset_metrics {
             crate::metrics::reset_metrics();
@@ -81,11 +101,14 @@ impl RunBuilder {
         if self.profile_dir.is_some() {
             crate::profile::start();
         }
+        let sampler =
+            self.sys_sample.or_else(crate::sysmon::interval_from_env).map(SysSampler::start);
         let run = Run {
             name: self.name,
             sinks,
             manifest_path,
             profile_dir: self.profile_dir,
+            sampler,
             started: Instant::now(),
             ended: false,
         };
@@ -101,6 +124,69 @@ impl RunBuilder {
         );
         Ok(run)
     }
+}
+
+/// Manifest retention budget from `TRAFFIC_RUNS_KEEP` (`None` = keep
+/// everything; `0` also means keep everything, so the knob can be
+/// force-disabled in CI).
+fn runs_keep_from_env() -> Option<usize> {
+    std::env::var("TRAFFIC_RUNS_KEEP")
+        .ok()
+        .and_then(|s| s.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+}
+
+/// Deletes report files beyond the `keep` newest run groups in `dir`.
+///
+/// Files are grouped by run stem — the filename with the first matching
+/// suffix stripped — so a profile pair (`<run>.txt`,
+/// `<run>.trace.json`) counts as one run and is deleted together.
+/// Groups are ranked by their newest member's mtime (name as
+/// tiebreaker); files matching none of the suffixes are never touched.
+pub fn prune_dir(dir: impl AsRef<Path>, keep: usize, suffixes: &[&str]) -> usize {
+    let dir = dir.as_ref();
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return 0;
+    };
+    // stem -> (newest mtime, paths)
+    let mut groups: Vec<(String, std::time::SystemTime, Vec<PathBuf>)> = Vec::new();
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if !path.is_file() {
+            continue;
+        }
+        let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+            continue;
+        };
+        let Some(stem) = suffixes.iter().find_map(|s| name.strip_suffix(s)) else {
+            continue;
+        };
+        let mtime = entry
+            .metadata()
+            .and_then(|m| m.modified())
+            .unwrap_or(std::time::SystemTime::UNIX_EPOCH);
+        match groups.iter_mut().find(|(g, ..)| g == stem) {
+            Some((_, newest, paths)) => {
+                *newest = (*newest).max(mtime);
+                paths.push(path);
+            }
+            None => groups.push((stem.to_string(), mtime, vec![path])),
+        }
+    }
+    if groups.len() <= keep {
+        return 0;
+    }
+    // newest first; equal mtimes (coarse filesystems) fall back to name
+    groups.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| b.0.cmp(&a.0)));
+    let mut removed = 0;
+    for (_, _, paths) in groups.drain(keep..) {
+        for p in paths {
+            if std::fs::remove_file(&p).is_ok() {
+                removed += 1;
+            }
+        }
+    }
+    removed
 }
 
 /// Thread count the compute pool will use: `TRAFFIC_THREADS` when set,
@@ -159,6 +245,7 @@ pub struct Run {
     sinks: Vec<Arc<dyn Sink>>,
     manifest_path: Option<PathBuf>,
     profile_dir: Option<PathBuf>,
+    sampler: Option<SysSampler>,
     started: Instant,
     ended: bool,
 }
@@ -172,6 +259,7 @@ impl Run {
             jsonl_dir: None,
             profile_dir: None,
             reset_metrics: true,
+            sys_sample: None,
         }
     }
 
@@ -195,6 +283,9 @@ impl Run {
             return;
         }
         self.ended = true;
+        // Stop the system sampler first so its final gauges land in the
+        // metrics summary and no `sys` event trails `run_end`.
+        drop(self.sampler.take());
         if let Some(dir) = self.profile_dir.take() {
             crate::profile::stop();
             // Flame table into the manifest, then the report files.
@@ -240,5 +331,45 @@ impl Run {
 impl Drop for Run {
     fn drop(&mut self) {
         self.end();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Tested directly (not via TRAFFIC_RUNS_KEEP) so the test does not
+    // mutate process-global env shared with concurrently running tests.
+    #[test]
+    fn prune_keeps_newest_run_groups() {
+        let dir = std::env::temp_dir().join("traffic_obs_prune_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        for (i, run) in ["alpha", "beta", "gamma", "delta"].iter().enumerate() {
+            std::fs::write(dir.join(format!("{run}.txt")), "flame").unwrap();
+            std::fs::write(dir.join(format!("{run}.trace.json")), "{}").unwrap();
+            // Distinct mtimes even on coarse-grained filesystems.
+            let mtime = std::time::SystemTime::UNIX_EPOCH
+                + std::time::Duration::from_secs(1_000_000 + i as u64 * 100);
+            let f = std::fs::File::open(dir.join(format!("{run}.txt"))).unwrap();
+            f.set_modified(mtime).unwrap();
+            let f = std::fs::File::open(dir.join(format!("{run}.trace.json"))).unwrap();
+            f.set_modified(mtime).unwrap();
+        }
+        std::fs::write(dir.join("unrelated.md"), "keep me").unwrap();
+
+        let removed = prune_dir(&dir, 2, &[".txt", ".trace.json"]);
+        assert_eq!(removed, 4, "two oldest groups × two files each");
+        assert!(!dir.join("alpha.txt").exists());
+        assert!(!dir.join("beta.trace.json").exists());
+        assert!(dir.join("gamma.txt").exists());
+        assert!(dir.join("delta.trace.json").exists());
+        assert!(dir.join("unrelated.md").exists(), "non-matching files are never pruned");
+
+        // Within budget: nothing to do.
+        assert_eq!(prune_dir(&dir, 2, &[".txt", ".trace.json"]), 0);
+        // Missing directory: quietly a no-op.
+        assert_eq!(prune_dir(dir.join("nope"), 1, &[".jsonl"]), 0);
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -1,0 +1,722 @@
+//! Cross-run analytics store: indexes the JSONL manifests under
+//! `reports/runs/` into queryable [`RunSummary`] values and diffs two
+//! runs metric-by-metric (the `insight` CLI and the HTML dashboard are
+//! both built on this module).
+//!
+//! A summary is a lossy projection of a manifest: run header and
+//! wall-clock, the per-epoch loss curve, the end-of-run metrics
+//! snapshot, the insight/system time series, op stats, and blame
+//! events. Unknown event kinds are merely counted, so the store stays
+//! forward-compatible with events later PRs add.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::json::{self, Json};
+
+/// One end-of-run metric from the manifest summary section.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    /// Monotone counter value.
+    Counter(f64),
+    /// Last-write-wins gauge value.
+    Gauge(f64),
+    /// Histogram summary (count/mean/min/max plus quantiles).
+    Histogram {
+        /// Sample count.
+        count: f64,
+        /// Arithmetic mean.
+        mean: f64,
+        /// Smallest finite sample.
+        min: f64,
+        /// Largest finite sample.
+        max: f64,
+        /// Median.
+        p50: f64,
+        /// 90th percentile.
+        p90: f64,
+        /// 99th percentile.
+        p99: f64,
+    },
+}
+
+/// One `epoch` event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EpochPoint {
+    /// Model name.
+    pub model: String,
+    /// Epoch index.
+    pub epoch: u64,
+    /// Mean training loss.
+    pub loss: f64,
+    /// Validation loss, when early stopping ran.
+    pub val_loss: Option<f64>,
+    /// Epoch wall-clock seconds.
+    pub epoch_s: Option<f64>,
+    /// Training throughput.
+    pub samples_per_sec: Option<f64>,
+}
+
+/// One per-parameter-group `insight` sample.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InsightPoint {
+    /// Global step the sample was taken at.
+    pub step: u64,
+    /// Parameter-group (layer) name.
+    pub group: String,
+    /// Group gradient L2 norm (NaN when the manifest recorded `null`).
+    pub grad_norm: f64,
+    /// Update/weight ratio for the step.
+    pub update_ratio: f64,
+    /// Group weight L2 norm.
+    pub weight_norm: f64,
+}
+
+/// One activation-saturation `insight` sample.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SaturationPoint {
+    /// Global step.
+    pub step: u64,
+    /// Activation op (`tanh`, `sigmoid`, …).
+    pub op: String,
+    /// Saturated fraction in `[0, 1]`.
+    pub fraction: f64,
+}
+
+/// One `sys` event from the system sampler.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SysPoint {
+    /// Manifest timestamp (ms since the telemetry clock started).
+    pub ts_ms: f64,
+    /// Resident set size in bytes.
+    pub rss_bytes: f64,
+    /// CPU utilization in cores.
+    pub cpu_util: f64,
+    /// Compute-pool queue depth at sample time.
+    pub queue_depth: f64,
+    /// Mem-pool hit rate in `[0, 1]`.
+    pub pool_hit_rate: f64,
+}
+
+/// One `op_stat` flame-table row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OpStatRow {
+    /// `category/name` of the op.
+    pub op: String,
+    /// Invocations.
+    pub count: f64,
+    /// Total inclusive milliseconds.
+    pub total_ms: f64,
+    /// Self milliseconds.
+    pub self_ms: f64,
+}
+
+/// One `blame` event (divergence supervisor / skipped-step capture).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BlamePoint {
+    /// Why blame was captured (`non_finite_grad`, `exploding`, …).
+    pub reason: String,
+    /// Epoch of the capture.
+    pub epoch: u64,
+    /// Global step of the capture.
+    pub step: u64,
+    /// Rank in the blame ordering (0 = prime suspect).
+    pub rank: u64,
+    /// Parameter group named by this entry.
+    pub group: String,
+    /// Grad-norm spike factor vs the group's rolling median.
+    pub spike: f64,
+    /// Whether the group's gradient norm was NaN/∞.
+    pub non_finite: bool,
+}
+
+/// Queryable summary of one run manifest.
+#[derive(Debug, Clone, Default)]
+pub struct RunSummary {
+    /// Run name (manifest file stem).
+    pub name: String,
+    /// Manifest path.
+    pub path: PathBuf,
+    /// Git commit from the `run_start` header.
+    pub git: String,
+    /// Thread configuration from the header.
+    pub threads: u64,
+    /// Run wall-clock seconds (`None` when the run never ended —
+    /// crashed or still in flight).
+    pub wall_s: Option<f64>,
+    /// Total well-formed events.
+    pub events: usize,
+    /// Lines that failed JSON parsing (a crashed writer's torn tail).
+    pub malformed: usize,
+    /// Events per kind.
+    pub event_counts: BTreeMap<String, usize>,
+    /// Per-epoch loss curve, in emission order.
+    pub epochs: Vec<EpochPoint>,
+    /// End-of-run metrics by name.
+    pub metrics: BTreeMap<String, MetricValue>,
+    /// Per-group training-health samples.
+    pub insight: Vec<InsightPoint>,
+    /// Activation-saturation samples.
+    pub saturation: Vec<SaturationPoint>,
+    /// System time series.
+    pub sys: Vec<SysPoint>,
+    /// Flame-table rows.
+    pub op_stats: Vec<OpStatRow>,
+    /// Blame entries.
+    pub blame: Vec<BlamePoint>,
+}
+
+fn num(ev: &Json, key: &str) -> Option<f64> {
+    ev.get(key).and_then(Json::as_f64)
+}
+
+fn num_or_nan(ev: &Json, key: &str) -> f64 {
+    // Non-finite field values encode as JSON `null`; read them back as NaN.
+    match ev.get(key) {
+        Some(Json::Num(x)) => *x,
+        _ => f64::NAN,
+    }
+}
+
+fn string(ev: &Json, key: &str) -> String {
+    ev.get(key).and_then(Json::as_str).unwrap_or_default().to_string()
+}
+
+impl RunSummary {
+    /// Parses one manifest into a summary. Unreadable files error;
+    /// unparseable *lines* are tolerated and counted in
+    /// [`RunSummary::malformed`] (a killed run tears its last line).
+    pub fn load(path: impl AsRef<Path>) -> io::Result<RunSummary> {
+        let path = path.as_ref();
+        let text = fs::read_to_string(path)?;
+        let mut run = RunSummary {
+            name: path.file_stem().map(|s| s.to_string_lossy().into_owned()).unwrap_or_default(),
+            path: path.to_path_buf(),
+            ..RunSummary::default()
+        };
+        for line in text.lines() {
+            let Ok(ev) = json::parse(line) else {
+                run.malformed += 1;
+                continue;
+            };
+            run.accept(&ev);
+        }
+        Ok(run)
+    }
+
+    /// Folds one parsed event into the summary. Public so round-trip
+    /// tests can feed events straight from an in-process sink.
+    pub fn accept(&mut self, ev: &Json) {
+        let kind = string(ev, "type");
+        if kind.is_empty() {
+            self.malformed += 1;
+            return;
+        }
+        self.events += 1;
+        *self.event_counts.entry(kind.clone()).or_insert(0) += 1;
+        match kind.as_str() {
+            "run_start" => {
+                if self.name.is_empty() {
+                    self.name = string(ev, "run");
+                }
+                self.git = string(ev, "git");
+                self.threads = num(ev, "threads").unwrap_or(0.0) as u64;
+            }
+            "run_end" => self.wall_s = num(ev, "wall_s"),
+            "epoch" => self.epochs.push(EpochPoint {
+                model: string(ev, "model"),
+                epoch: num(ev, "epoch").unwrap_or(0.0) as u64,
+                loss: num_or_nan(ev, "loss"),
+                val_loss: num(ev, "val_loss"),
+                epoch_s: num(ev, "epoch_s"),
+                samples_per_sec: num(ev, "samples_per_sec"),
+            }),
+            "metric" => {
+                let name = string(ev, "metric");
+                let value = match ev.get("kind").and_then(Json::as_str) {
+                    Some("counter") => MetricValue::Counter(num_or_nan(ev, "value")),
+                    Some("gauge") => MetricValue::Gauge(num_or_nan(ev, "value")),
+                    Some("histogram") => MetricValue::Histogram {
+                        count: num_or_nan(ev, "count"),
+                        mean: num_or_nan(ev, "mean"),
+                        min: num_or_nan(ev, "min"),
+                        max: num_or_nan(ev, "max"),
+                        p50: num_or_nan(ev, "p50"),
+                        p90: num_or_nan(ev, "p90"),
+                        p99: num_or_nan(ev, "p99"),
+                    },
+                    _ => return,
+                };
+                self.metrics.insert(name, value);
+            }
+            "insight" => {
+                let step = num(ev, "step").unwrap_or(0.0) as u64;
+                if let Some(Json::Str(op)) = ev.get("op") {
+                    self.saturation.push(SaturationPoint {
+                        step,
+                        op: op.clone(),
+                        fraction: num_or_nan(ev, "saturation"),
+                    });
+                } else {
+                    self.insight.push(InsightPoint {
+                        step,
+                        group: string(ev, "group"),
+                        grad_norm: num_or_nan(ev, "grad_norm"),
+                        update_ratio: num_or_nan(ev, "update_ratio"),
+                        weight_norm: num_or_nan(ev, "weight_norm"),
+                    });
+                }
+            }
+            "sys" => self.sys.push(SysPoint {
+                ts_ms: num(ev, "ts_ms").unwrap_or(0.0),
+                rss_bytes: num_or_nan(ev, "rss_bytes"),
+                cpu_util: num_or_nan(ev, "cpu_util"),
+                queue_depth: num_or_nan(ev, "queue_depth"),
+                pool_hit_rate: num_or_nan(ev, "pool_hit_rate"),
+            }),
+            "op_stat" => self.op_stats.push(OpStatRow {
+                op: string(ev, "op"),
+                count: num_or_nan(ev, "count"),
+                total_ms: num_or_nan(ev, "total_ms"),
+                self_ms: num_or_nan(ev, "self_ms"),
+            }),
+            "blame" => self.blame.push(BlamePoint {
+                reason: string(ev, "reason"),
+                epoch: num(ev, "epoch").unwrap_or(0.0) as u64,
+                step: num(ev, "step").unwrap_or(0.0) as u64,
+                rank: num(ev, "rank").unwrap_or(0.0) as u64,
+                group: string(ev, "group"),
+                spike: num_or_nan(ev, "spike"),
+                non_finite: matches!(ev.get("non_finite"), Some(Json::Bool(true))),
+            }),
+            _ => {} // counted above; spans etc. need no projection
+        }
+    }
+
+    /// Distinct model names in epoch order of first appearance.
+    pub fn models(&self) -> Vec<&str> {
+        let mut out: Vec<&str> = Vec::new();
+        for e in &self.epochs {
+            if !out.contains(&e.model.as_str()) {
+                out.push(&e.model);
+            }
+        }
+        out
+    }
+
+    /// Distinct insight parameter groups in first-seen order.
+    pub fn insight_groups(&self) -> Vec<&str> {
+        let mut out: Vec<&str> = Vec::new();
+        for p in &self.insight {
+            if !out.contains(&p.group.as_str()) {
+                out.push(&p.group);
+            }
+        }
+        out
+    }
+
+    /// Flattens the summary into comparable scalar leaves (the diff
+    /// input): final losses per model, wall-clock, and every metric
+    /// (histograms contribute `mean`/`p50`/`p99`/`count` leaves).
+    pub fn comparable(&self) -> BTreeMap<String, f64> {
+        let mut out = BTreeMap::new();
+        for model in self.models() {
+            if let Some(e) = self.epochs.iter().rev().find(|e| e.model == model) {
+                out.insert(format!("loss/{model}/final"), e.loss);
+                if let Some(vl) = e.val_loss {
+                    out.insert(format!("val_loss/{model}/final"), vl);
+                }
+            }
+        }
+        if let Some(w) = self.wall_s {
+            out.insert("wall_s".to_string(), w);
+        }
+        for (name, m) in &self.metrics {
+            match m {
+                MetricValue::Counter(v) | MetricValue::Gauge(v) => {
+                    out.insert(name.clone(), *v);
+                }
+                MetricValue::Histogram { count, mean, p50, p99, .. } => {
+                    out.insert(format!("{name}/count"), *count);
+                    out.insert(format!("{name}/mean"), *mean);
+                    out.insert(format!("{name}/p50"), *p50);
+                    out.insert(format!("{name}/p99"), *p99);
+                }
+            }
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------
+// Store
+// ---------------------------------------------------------------------
+
+/// An indexed directory of run manifests.
+pub struct RunStore {
+    dir: PathBuf,
+    runs: Vec<RunSummary>,
+}
+
+impl RunStore {
+    /// Indexes every `*.jsonl` under `dir`, newest first (by file
+    /// mtime, name as tiebreak). A missing directory is an empty store.
+    pub fn index(dir: impl Into<PathBuf>) -> io::Result<RunStore> {
+        let dir = dir.into();
+        let mut entries: Vec<(std::time::SystemTime, String, PathBuf)> = Vec::new();
+        match fs::read_dir(&dir) {
+            Ok(rd) => {
+                for entry in rd {
+                    let entry = entry?;
+                    let path = entry.path();
+                    if path.extension().is_none_or(|e| e != "jsonl") {
+                        continue;
+                    }
+                    let mtime = entry
+                        .metadata()
+                        .and_then(|m| m.modified())
+                        .unwrap_or(std::time::SystemTime::UNIX_EPOCH);
+                    let name = path
+                        .file_stem()
+                        .map(|s| s.to_string_lossy().into_owned())
+                        .unwrap_or_default();
+                    entries.push((mtime, name, path));
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+            Err(e) => return Err(e),
+        }
+        entries.sort_by(|a, b| b.0.cmp(&a.0).then_with(|| a.1.cmp(&b.1)));
+        let mut runs = Vec::with_capacity(entries.len());
+        for (_, _, path) in &entries {
+            runs.push(RunSummary::load(path)?);
+        }
+        Ok(RunStore { dir, runs })
+    }
+
+    /// Indexed directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// All runs, newest first.
+    pub fn runs(&self) -> &[RunSummary] {
+        &self.runs
+    }
+
+    /// Looks a run up by name (manifest stem).
+    pub fn get(&self, name: &str) -> Option<&RunSummary> {
+        self.runs.iter().find(|r| r.name == name)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Diff
+// ---------------------------------------------------------------------
+
+/// Which way a comparable leaf should move to count as an improvement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Smaller is better (losses, times, failure counts, memory).
+    LowerIsBetter,
+    /// Larger is better (throughput, hit rates).
+    HigherIsBetter,
+    /// No quality ordering (plain volume counters).
+    Neutral,
+}
+
+/// Classifies a comparable-leaf key by name.
+pub fn direction(key: &str) -> Direction {
+    const HIGHER: &[&str] = &["samples_per_sec", "hit_rate", "gflops"];
+    if HIGHER.iter().any(|p| key.contains(p)) {
+        return Direction::HigherIsBetter;
+    }
+    // Volume counters carry no quality ordering — a longer run is not a
+    // worse run. Checked before the lower-is-better patterns so e.g.
+    // `train.batch_s/count` stays neutral while `…/p99` is gated.
+    const NEUTRAL: &[&str] = &["/count", "batches", "checkpoints", "resumes", "pool_hits"];
+    if NEUTRAL.iter().any(|p| key.contains(p)) {
+        return Direction::Neutral;
+    }
+    const LOWER: &[&str] = &[
+        "loss",
+        "_s/",
+        "wall_s",
+        "_ms",
+        "skipped",
+        "rollback",
+        "failures",
+        "nonfinite",
+        "rss",
+        "queue",
+        "misses",
+        "bytes",
+        "giveup",
+    ];
+    if LOWER.iter().any(|p| key.contains(p)) || key.ends_with("_s") {
+        return Direction::LowerIsBetter;
+    }
+    Direction::Neutral
+}
+
+/// One compared leaf.
+#[derive(Debug, Clone)]
+pub struct DiffEntry {
+    /// Leaf key (see [`RunSummary::comparable`]).
+    pub key: String,
+    /// Baseline value (`None` when the leaf is new in the candidate).
+    pub base: Option<f64>,
+    /// Candidate value (`None` when the leaf disappeared).
+    pub cand: Option<f64>,
+    /// Relative change `(cand − base) / max(|base|, ε)`, 0 when either
+    /// side is missing or non-finite.
+    pub rel: f64,
+    /// Leaf direction.
+    pub direction: Direction,
+    /// True when the leaf moved in the bad direction beyond tolerance.
+    pub regressed: bool,
+}
+
+/// Result of diffing a candidate run against a baseline.
+#[derive(Debug, Clone)]
+pub struct RunDiff {
+    /// Baseline run name.
+    pub base: String,
+    /// Candidate run name.
+    pub cand: String,
+    /// Every leaf present in either run, sorted by key.
+    pub entries: Vec<DiffEntry>,
+    /// Leaves whose values differ at all (exact inequality).
+    pub changed: usize,
+    /// Leaves that regressed beyond tolerance.
+    pub regressions: usize,
+}
+
+/// Diffs two runs with relative tolerance `tol` (e.g. `0.05` = 5%).
+/// Identical manifests produce `changed == 0` and `regressions == 0`.
+pub fn diff(base: &RunSummary, cand: &RunSummary, tol: f64) -> RunDiff {
+    let b = base.comparable();
+    let c = cand.comparable();
+    let mut keys: Vec<&String> = b.keys().chain(c.keys()).collect();
+    keys.sort();
+    keys.dedup();
+    let mut entries = Vec::with_capacity(keys.len());
+    let mut changed = 0usize;
+    let mut regressions = 0usize;
+    for key in keys {
+        let bv = b.get(key).copied();
+        let cv = c.get(key).copied();
+        let dir = direction(key);
+        let rel = match (bv, cv) {
+            (Some(bv), Some(cv)) if bv.is_finite() && cv.is_finite() => {
+                (cv - bv) / bv.abs().max(1e-12)
+            }
+            _ => 0.0,
+        };
+        let differs = match (bv, cv) {
+            (Some(bv), Some(cv)) => bv.to_bits() != cv.to_bits() && !(bv.is_nan() && cv.is_nan()),
+            (None, None) => false,
+            _ => true,
+        };
+        let regressed = match dir {
+            Direction::Neutral => false,
+            Direction::LowerIsBetter => rel > tol,
+            Direction::HigherIsBetter => rel < -tol,
+        };
+        changed += differs as usize;
+        regressions += regressed as usize;
+        entries.push(DiffEntry {
+            key: key.clone(),
+            base: bv,
+            cand: cv,
+            rel,
+            direction: dir,
+            regressed,
+        });
+    }
+    RunDiff { base: base.name.clone(), cand: cand.name.clone(), entries, changed, regressions }
+}
+
+impl RunDiff {
+    /// Plain-text table of the diff: regressions first, then the
+    /// largest movers; unchanged leaves are summarised, not listed.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "diff {} -> {}: {} leaves, {} changed, {} regressed\n",
+            self.base,
+            self.cand,
+            self.entries.len(),
+            self.changed,
+            self.regressions
+        ));
+        let mut shown: Vec<&DiffEntry> = self
+            .entries
+            .iter()
+            .filter(|e| e.regressed || e.rel != 0.0 || e.base.is_none() || e.cand.is_none())
+            .collect();
+        shown.sort_by(|a, b| {
+            b.regressed
+                .cmp(&a.regressed)
+                .then(b.rel.abs().partial_cmp(&a.rel.abs()).unwrap_or(std::cmp::Ordering::Equal))
+        });
+        for e in shown.iter().take(40) {
+            let fmt = |v: Option<f64>| match v {
+                Some(x) => format!("{x:.6}"),
+                None => "-".to_string(),
+            };
+            let mark = if e.regressed { " REGRESSED" } else { "" };
+            out.push_str(&format!(
+                "  {:<40} {:>14} -> {:>14}  ({:+.2}%){}\n",
+                e.key,
+                fmt(e.base),
+                fmt(e.cand),
+                e.rel * 100.0,
+                mark
+            ));
+        }
+        if shown.is_empty() {
+            out.push_str("  (no differences)\n");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Event;
+
+    fn feed(run: &mut RunSummary, ev: Event) {
+        run.accept(&json::parse(&ev.to_json()).expect("event encodes as valid JSON"));
+    }
+
+    fn sample_run(name: &str, loss: f64) -> RunSummary {
+        let mut run = RunSummary::default();
+        feed(
+            &mut run,
+            Event::new("run_start").with("run", name).with("git", "abc").with("threads", 4u64),
+        );
+        feed(
+            &mut run,
+            Event::new("epoch").with("model", "STGCN").with("epoch", 0u64).with("loss", loss),
+        );
+        feed(
+            &mut run,
+            Event::new("metric")
+                .with("metric", "train.batch_s")
+                .with("kind", "histogram")
+                .with("count", 10u64)
+                .with("mean", 0.02)
+                .with("min", 0.01)
+                .with("max", 0.04)
+                .with("p50", 0.02)
+                .with("p90", 0.03)
+                .with("p99", 0.04),
+        );
+        feed(&mut run, Event::new("run_end").with("run", name).with("wall_s", 1.5));
+        run.name = name.to_string();
+        run
+    }
+
+    #[test]
+    fn accept_projects_all_kinds() {
+        let mut run = sample_run("a", 0.5);
+        feed(
+            &mut run,
+            Event::new("insight")
+                .with("step", 10u64)
+                .with("group", "block0.t1")
+                .with("grad_norm", 1.25)
+                .with("update_ratio", 1e-3)
+                .with("weight_norm", 4.0),
+        );
+        feed(
+            &mut run,
+            Event::new("insight").with("step", 10u64).with("op", "tanh").with("saturation", 0.125),
+        );
+        feed(
+            &mut run,
+            Event::new("sys")
+                .with("rss_bytes", 1_000_000u64)
+                .with("cpu_util", 1.5)
+                .with("queue_depth", 2.0)
+                .with("pool_hit_rate", 0.9),
+        );
+        feed(
+            &mut run,
+            Event::new("blame")
+                .with("reason", "non_finite_grad")
+                .with("group", "block0.t1")
+                .with("rank", 0u64)
+                .with("non_finite", true),
+        );
+        assert_eq!(run.epochs.len(), 1);
+        assert_eq!(run.insight.len(), 1);
+        assert_eq!(run.insight[0].group, "block0.t1");
+        assert_eq!(run.saturation.len(), 1);
+        assert_eq!(run.sys.len(), 1);
+        assert_eq!(run.blame.len(), 1);
+        assert!(run.blame[0].non_finite);
+        assert_eq!(run.wall_s, Some(1.5));
+        assert_eq!(run.threads, 4);
+        assert_eq!(run.malformed, 0);
+        assert!(run.metrics.contains_key("train.batch_s"));
+        assert_eq!(run.insight_groups(), vec!["block0.t1"]);
+    }
+
+    #[test]
+    fn diff_of_identical_runs_is_zero() {
+        let a = sample_run("a", 0.5);
+        let b = sample_run("b", 0.5);
+        let d = diff(&a, &b, 0.05);
+        assert_eq!(d.changed, 0, "identical runs must report zero deltas: {}", d.render());
+        assert_eq!(d.regressions, 0);
+    }
+
+    #[test]
+    fn diff_flags_loss_regression() {
+        let a = sample_run("a", 0.5);
+        let b = sample_run("b", 0.7);
+        let d = diff(&a, &b, 0.05);
+        assert!(d.regressions >= 1, "{}", d.render());
+        assert!(d.entries.iter().any(|e| e.key == "loss/STGCN/final" && e.regressed));
+        // improvement direction must not regress
+        let d = diff(&b, &a, 0.05);
+        assert!(!d.entries.iter().any(|e| e.key == "loss/STGCN/final" && e.regressed));
+    }
+
+    #[test]
+    fn direction_heuristics() {
+        assert_eq!(direction("loss/STGCN/final"), Direction::LowerIsBetter);
+        assert_eq!(direction("train.batch_s/p99"), Direction::LowerIsBetter);
+        assert_eq!(direction("train.batch_s/count"), Direction::Neutral);
+        assert_eq!(direction("train.samples_per_sec/p50"), Direction::HigherIsBetter);
+        assert_eq!(direction("mem/pool_hit_rate"), Direction::HigherIsBetter);
+        assert_eq!(direction("train/skipped_steps"), Direction::LowerIsBetter);
+        assert_eq!(direction("wall_s"), Direction::LowerIsBetter);
+        assert_eq!(direction("train.batches"), Direction::Neutral);
+    }
+
+    #[test]
+    fn store_indexes_and_tolerates_torn_tail() {
+        let dir = std::env::temp_dir().join("traffic_obs_store_test");
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        let ev = Event::new("run_start").with("run", "r1").with("git", "x").with("threads", 1u64);
+        fs::write(dir.join("r1.jsonl"), format!("{}\n{{\"type\":\"run_end\",\"wa", ev.to_json()))
+            .unwrap();
+        let store = RunStore::index(&dir).unwrap();
+        assert_eq!(store.runs().len(), 1);
+        let r = store.get("r1").expect("indexed by stem");
+        assert_eq!(r.events, 1);
+        assert_eq!(r.malformed, 1);
+        assert_eq!(r.wall_s, None);
+        // a missing directory indexes as empty, not an error
+        let empty = RunStore::index(dir.join("nope")).unwrap();
+        assert!(empty.runs().is_empty());
+        fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,180 @@
+//! Background system sampler: a low-priority thread that periodically
+//! emits `sys` events (RSS, CPU utilization, compute-pool queue depth,
+//! mem-pool hit rate) so long runs leave a system-level time series in
+//! their manifest next to the training telemetry.
+//!
+//! Off by default. Enabled per run via [`crate::RunBuilder::system_sampler`]
+//! or globally with `TRAFFIC_SYS_SAMPLE_MS=<interval>` (0/unset = off).
+//! The sampler is RAII: dropping the handle stops and joins the thread,
+//! which checks its stop flag every few milliseconds so shutdown never
+//! waits a full interval.
+//!
+//! Process stats come straight from procfs (`/proc/self/statm`,
+//! `/proc/self/stat`) with no subprocess; on platforms without procfs
+//! the thread parks itself and emits nothing.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crate::event::Event;
+use crate::metrics::{counter, gauge};
+
+/// Kernel clock ticks per second (`USER_HZ`); fixed at 100 on every
+/// Linux ABI we target.
+const TICKS_PER_SEC: f64 = 100.0;
+
+/// Stop-flag poll interval while sleeping between samples.
+const POLL: Duration = Duration::from_millis(10);
+
+/// One procfs reading.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProcStat {
+    /// Resident set size in bytes (`statm` field 2 × page size).
+    pub rss_bytes: u64,
+    /// Cumulative CPU time of the process in clock ticks
+    /// (`stat` utime + stime).
+    pub cpu_ticks: u64,
+}
+
+/// Reads the current process stats from procfs (`None` off-Linux or on
+/// a parse failure).
+pub fn read_proc_stat() -> Option<ProcStat> {
+    let statm = std::fs::read_to_string("/proc/self/statm").ok()?;
+    let resident_pages: u64 = statm.split_whitespace().nth(1)?.parse().ok()?;
+    let stat = std::fs::read_to_string("/proc/self/stat").ok()?;
+    // The comm field is parenthesised and may contain spaces; fields
+    // after the last ')' are whitespace-separated, starting with the
+    // state char (field 3 of the 1-based stat layout).
+    let rest = &stat[stat.rfind(')')? + 1..];
+    let mut fields = rest.split_whitespace();
+    let utime: u64 = fields.nth(11)?.parse().ok()?; // stat field 14
+    let stime: u64 = fields.next()?.parse().ok()?; // stat field 15
+    Some(ProcStat { rss_bytes: resident_pages * 4096, cpu_ticks: utime + stime })
+}
+
+/// Sampling interval from `TRAFFIC_SYS_SAMPLE_MS` (`None` = disabled).
+pub fn interval_from_env() -> Option<Duration> {
+    std::env::var("TRAFFIC_SYS_SAMPLE_MS")
+        .ok()
+        .and_then(|s| s.trim().parse::<u64>().ok())
+        .filter(|&ms| ms > 0)
+        .map(Duration::from_millis)
+}
+
+/// RAII handle to the sampler thread (see module docs).
+pub struct SysSampler {
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl SysSampler {
+    /// Spawns the sampler thread; the first sample is emitted
+    /// immediately, then one per `interval`.
+    pub fn start(interval: Duration) -> SysSampler {
+        let stop = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("traffic-sysmon".into())
+            .spawn(move || sampler_loop(interval, &flag))
+            .ok();
+        SysSampler { stop, handle }
+    }
+}
+
+impl Drop for SysSampler {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn sampler_loop(interval: Duration, stop: &AtomicBool) {
+    let mut prev: Option<(ProcStat, Instant)> = None;
+    loop {
+        if let Some(stat) = read_proc_stat() {
+            let now = Instant::now();
+            // CPU utilization in cores (may exceed 1.0 with the compute
+            // pool active); 0 for the first sample, which has no delta.
+            let cpu_util = match prev {
+                Some((p, t)) => {
+                    let dt = now.duration_since(t).as_secs_f64();
+                    let ticks = stat.cpu_ticks.saturating_sub(p.cpu_ticks) as f64;
+                    if dt > 0.0 {
+                        ticks / TICKS_PER_SEC / dt
+                    } else {
+                        0.0
+                    }
+                }
+                None => 0.0,
+            };
+            prev = Some((stat, now));
+            emit_sample(&stat, cpu_util);
+        }
+        // Sleep one interval, polling the stop flag so drop is prompt.
+        let wake = Instant::now() + interval;
+        while Instant::now() < wake {
+            if stop.load(Ordering::Relaxed) {
+                return;
+            }
+            std::thread::sleep(POLL.min(interval));
+        }
+        if stop.load(Ordering::Relaxed) {
+            return;
+        }
+    }
+}
+
+fn emit_sample(stat: &ProcStat, cpu_util: f64) {
+    let hits = counter("mem/pool_hits").get();
+    let misses = counter("mem/pool_misses").get();
+    let total = hits + misses;
+    let hit_rate = if total > 0 { hits as f64 / total as f64 } else { 0.0 };
+    // Gauges keep the latest reading in the run's metrics summary even
+    // when no sink consumed the time series.
+    gauge("sys/rss_bytes").set(stat.rss_bytes as f64);
+    gauge("sys/cpu_util").set(cpu_util);
+    crate::emit_with(|| {
+        Event::new("sys")
+            .with("rss_bytes", stat.rss_bytes)
+            .with("cpu_util", cpu_util)
+            .with("queue_depth", gauge("compute/pool_queue_depth").get())
+            .with("pool_hit_rate", hit_rate)
+            .with("pool_hits", hits)
+            .with("pool_misses", misses)
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn proc_stat_reads_on_linux() {
+        if !std::path::Path::new("/proc/self/statm").exists() {
+            return; // not procfs — nothing to assert
+        }
+        let s = read_proc_stat().expect("procfs readable");
+        assert!(s.rss_bytes > 0);
+        // Burn a little CPU so ticks are plausibly non-decreasing.
+        let mut x = 0u64;
+        for i in 0..2_000_000u64 {
+            x = x.wrapping_add(i * i);
+        }
+        std::hint::black_box(x);
+        let s2 = read_proc_stat().expect("procfs readable");
+        assert!(s2.cpu_ticks >= s.cpu_ticks);
+    }
+
+    #[test]
+    fn sampler_stops_promptly() {
+        let sampler = SysSampler::start(Duration::from_millis(5));
+        std::thread::sleep(Duration::from_millis(20));
+        let t = Instant::now();
+        drop(sampler);
+        assert!(t.elapsed() < Duration::from_secs(2), "drop must join promptly");
+    }
+}

@@ -48,5 +48,5 @@ mod tape;
 mod tensor;
 
 pub use sparse::{CsrMatrix, Propagator};
-pub use tape::{Gradients, Tape, Var};
+pub use tape::{ActSaturation, Gradients, Tape, Var};
 pub use tensor::Tensor;

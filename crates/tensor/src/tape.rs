@@ -212,6 +212,51 @@ impl Tape {
         Var { tape: self, id: self.push(node) }
     }
 
+    /// Walks the recorded forward pass and aggregates activation
+    /// saturation per op kind (training-health telemetry).
+    ///
+    /// "Saturated" means the activation sits in its flat region where
+    /// the local gradient has all but vanished: `|tanh| > 0.995`,
+    /// `σ < 0.005` or `σ > 0.995`, `|tanh·σ| > 0.99` for the fused
+    /// gated nonlinearity, and exactly-zero outputs ("dead" units) for
+    /// ReLU. Ops without a saturation notion are skipped.
+    ///
+    /// The fraction is a diagnostic, not a reduction the math depends
+    /// on, so large activation buffers are strided down to at most
+    /// [`Tape::SATURATION_SAMPLES`] probed elements each — the scan
+    /// stays cheap enough for the insight sampler's per-step overhead
+    /// budget while the estimate keeps sub-percent resolution.
+    pub fn saturation_stats(&self) -> Vec<ActSaturation> {
+        fn count(t: &Tensor, pred: impl Fn(f32) -> bool) -> (usize, usize) {
+            let data = t.as_slice();
+            let stride = data.len().div_ceil(Tape::SATURATION_SAMPLES).max(1);
+            let probed = data.iter().step_by(stride);
+            (probed.clone().count(), probed.filter(|&&v| pred(v)).count())
+        }
+        let nodes = self.nodes.borrow();
+        let mut out: Vec<ActSaturation> = Vec::new();
+        for n in nodes.iter() {
+            let (elems, saturated) = match n.op {
+                "tanh" => count(&n.value, |v| v.abs() > 0.995),
+                "sigmoid" => count(&n.value, |v| !(0.005..=0.995).contains(&v)),
+                "gated_tanh_sigmoid" => count(&n.value, |v| v.abs() > 0.99),
+                "relu" => count(&n.value, |v| v == 0.0),
+                _ => continue,
+            };
+            match out.iter_mut().find(|s| s.op == n.op) {
+                Some(s) => {
+                    s.elems += elems;
+                    s.saturated += saturated;
+                }
+                None => out.push(ActSaturation { op: n.op, elems, saturated }),
+            }
+        }
+        out
+    }
+
+    /// Per-node probe budget for [`Tape::saturation_stats`].
+    pub const SATURATION_SAMPLES: usize = 4096;
+
     /// Runs reverse-mode differentiation from the scalar `loss`.
     pub fn backward(&self, loss: Var<'_>) -> Gradients {
         assert_eq!(loss.tape.id, self.id, "backward called with a Var from a different tape");
@@ -261,6 +306,29 @@ impl Tape {
             }
         }
         Gradients { tape_id: self.id, grads }
+    }
+}
+
+/// Saturation tally for one activation op kind over a recorded forward
+/// pass (see [`Tape::saturation_stats`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ActSaturation {
+    /// Activation op name (`tanh`, `sigmoid`, `gated_tanh_sigmoid`, `relu`).
+    pub op: &'static str,
+    /// Activations of this kind recorded on the tape.
+    pub elems: usize,
+    /// How many sit in the op's flat (vanishing-gradient) region.
+    pub saturated: usize,
+}
+
+impl ActSaturation {
+    /// Saturated fraction in `[0, 1]` (0 when no activations recorded).
+    pub fn fraction(&self) -> f64 {
+        if self.elems == 0 {
+            0.0
+        } else {
+            self.saturated as f64 / self.elems as f64
+        }
     }
 }
 

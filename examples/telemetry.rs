@@ -1,8 +1,10 @@
 //! Telemetry demo: trains one model with the console sink showing live
 //! per-epoch loss lines, writes a JSONL manifest under `reports/runs/`
-//! with op-level profiling enabled, then parses the manifest back and
-//! prints where the time went — span summary, op-level flame table, and
-//! a Chrome trace for `ui.perfetto.dev`.
+//! with op-level profiling, per-layer training-health sampling, and the
+//! background system sampler all enabled, then parses the manifest back
+//! and prints where the time went — span summary, op-level flame table,
+//! and a Chrome trace for `ui.perfetto.dev` — and finally exports the
+//! offline HTML dashboard to `reports/insight/telemetry-demo.html`.
 //!
 //! ```sh
 //! cargo run --release --example telemetry -- --scale smoke
@@ -17,10 +19,18 @@ fn main() {
     let scale = traffic_suite::scale_from_args();
     let marker = obs::span_marker();
 
+    // Training-health sampling every 2 optimizer steps (a smoke run has
+    // only a handful of steps; real runs use the default cadence via
+    // TRAFFIC_INSIGHT=1). Set before any training threads exist.
+    if std::env::var_os("TRAFFIC_INSIGHT").is_none() {
+        std::env::set_var("TRAFFIC_INSIGHT", "2");
+    }
+
     let run = obs::Run::named("telemetry-demo")
         .console(true)
         .jsonl("reports/runs")
         .profiled("reports/profiles")
+        .system_sampler(std::time::Duration::from_millis(250))
         .start()
         .expect("reports/runs must be writable");
     let manifest = run.manifest_path().expect("jsonl sink requested").to_path_buf();
@@ -77,4 +87,20 @@ fn main() {
         "\nfinal event, pretty-printed:\n{}",
         obs::json::pretty(&obs::json::parse(last).unwrap())
     );
+
+    // Index the manifest through the run store and export the offline
+    // dashboard — the same path the `insight` CLI uses.
+    let store = obs::RunStore::index("reports/runs").expect("store indexes");
+    let summary = store.get("telemetry-demo").expect("run indexed").clone();
+    assert_eq!(summary.malformed, 0, "every manifest line must parse");
+    assert!(!summary.insight.is_empty(), "insight sampling was enabled");
+    assert!(!summary.sys.is_empty(), "system sampler was running");
+    println!(
+        "\ninsight: {} layer samples across {} groups, {} system samples",
+        summary.insight.len(),
+        summary.insight_groups().len(),
+        summary.sys.len()
+    );
+    let page = obs::html::export(&summary, None, "reports/insight").expect("dashboard written");
+    println!("dashboard: {} (self-contained, open in any browser)", page.display());
 }

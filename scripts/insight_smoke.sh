@@ -1,0 +1,75 @@
+#!/usr/bin/env bash
+# End-to-end smoke test for the insight layer: telemetry example →
+# manifest → run store → CLI → offline dashboard.
+#
+# 1. Runs the telemetry example at smoke scale (insight sampling and the
+#    system sampler both on), which writes reports/runs/telemetry-demo.jsonl
+#    and exports reports/insight/telemetry-demo.html itself.
+# 2. Asserts the dashboard is non-empty, well-formed, self-contained HTML.
+# 3. Exercises the `insight` CLI: list, show, a regeneration of the
+#    dashboard, and a self-diff — a run diffed against itself must report
+#    zero regressions and exit 0.
+#
+# Usage: scripts/insight_smoke.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+WORK=$(mktemp -d "${TMPDIR:-/tmp}/insight_smoke.XXXXXX")
+trap 'rm -rf "$WORK"' EXIT
+
+echo "[insight_smoke] 1/3 telemetry example (smoke scale)…"
+cargo run --release -q --example telemetry -- --scale smoke >"$WORK/telemetry.log" 2>&1 || {
+  echo "FAIL: telemetry example did not complete"
+  cat "$WORK/telemetry.log"
+  exit 1
+}
+grep -q '^dashboard: ' "$WORK/telemetry.log" || {
+  echo "FAIL: example did not export the dashboard"
+  exit 1
+}
+
+echo "[insight_smoke] 2/3 dashboard well-formedness…"
+DASH=reports/insight/telemetry-demo.html
+[[ -s "$DASH" ]] || { echo "FAIL: $DASH missing or empty"; exit 1; }
+grep -q '<!DOCTYPE html>' "$DASH" || { echo "FAIL: $DASH has no doctype"; exit 1; }
+grep -q '</html>' "$DASH" || { echo "FAIL: $DASH is truncated (no </html>)"; exit 1; }
+grep -q '<svg' "$DASH" || { echo "FAIL: $DASH renders no charts"; exit 1; }
+# Self-contained means zero external fetches and zero scripting.
+if grep -qiE '<script|https?://|src=|@import' "$DASH"; then
+  echo "FAIL: $DASH references external resources or scripts"
+  exit 1
+fi
+open_svg=$(grep -o '<svg' "$DASH" | wc -l)
+close_svg=$(grep -o '</svg>' "$DASH" | wc -l)
+[[ "$open_svg" -eq "$close_svg" && "$open_svg" -gt 0 ]] || {
+  echo "FAIL: unbalanced <svg> tags ($open_svg open, $close_svg close)"
+  exit 1
+}
+
+echo "[insight_smoke] 3/3 insight CLI…"
+insight() { cargo run --release -q --bin insight -- "$@"; }
+insight list | tee "$WORK/list.log"
+grep -q 'telemetry-demo' "$WORK/list.log" || {
+  echo "FAIL: 'insight list' does not show the run"
+  exit 1
+}
+insight show telemetry-demo >"$WORK/show.log"
+grep -q '^insight .* samples across ' "$WORK/show.log" || {
+  echo "FAIL: 'insight show' reports no health samples"
+  cat "$WORK/show.log"
+  exit 1
+}
+insight html telemetry-demo --out "$WORK/html" >/dev/null
+[[ -s "$WORK/html/telemetry-demo.html" ]] || {
+  echo "FAIL: 'insight html' wrote nothing"
+  exit 1
+}
+# A run diffed against itself has zero deltas; a nonzero exit here would
+# mean the regression detector flags noise.
+insight diff telemetry-demo telemetry-demo | tee "$WORK/diff.log"
+grep -q '0 regressed' "$WORK/diff.log" || {
+  echo "FAIL: self-diff reported regressions"
+  exit 1
+}
+
+echo "[insight_smoke] OK"

@@ -1,0 +1,258 @@
+//! `insight` — cross-run analytics CLI over `reports/runs/*.jsonl`.
+//!
+//! ```text
+//! insight list  [--dir reports/runs]
+//! insight show  <run> [--dir reports/runs]
+//! insight diff  <base> <cand> [--tol 0.05] [--dir reports/runs]
+//! insight html  <run> [--baseline <run>] [--out reports/insight] [--dir reports/runs]
+//! ```
+//!
+//! `diff` exits 1 when any leaf regressed beyond the tolerance (so CI
+//! can gate on it) and 2 on usage errors. `html` writes a fully
+//! self-contained dashboard to `<out>/<run>.html`.
+
+use std::process::ExitCode;
+
+use traffic_obs::store::{diff, RunStore, RunSummary};
+use traffic_obs::{html, sparkline};
+
+const DEFAULT_DIR: &str = "reports/runs";
+const DEFAULT_OUT: &str = "reports/insight";
+const DEFAULT_TOL: f64 = 0.05;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut positional: Vec<&str> = Vec::new();
+    let mut dir = DEFAULT_DIR.to_string();
+    let mut out = DEFAULT_OUT.to_string();
+    let mut baseline: Option<String> = None;
+    let mut tol = DEFAULT_TOL;
+
+    let mut i = 0;
+    while i < args.len() {
+        let take_value = |i: &mut usize| -> Option<String> {
+            *i += 1;
+            args.get(*i).cloned()
+        };
+        match args[i].as_str() {
+            "--dir" => match take_value(&mut i) {
+                Some(v) => dir = v,
+                None => return usage("--dir needs a value"),
+            },
+            "--out" => match take_value(&mut i) {
+                Some(v) => out = v,
+                None => return usage("--out needs a value"),
+            },
+            "--baseline" => match take_value(&mut i) {
+                Some(v) => baseline = Some(v),
+                None => return usage("--baseline needs a value"),
+            },
+            "--tol" => match take_value(&mut i).and_then(|v| v.parse::<f64>().ok()) {
+                Some(v) => tol = v,
+                None => return usage("--tol needs a number"),
+            },
+            "-h" | "--help" => return usage(""),
+            flag if flag.starts_with('-') => {
+                return usage(&format!("unknown flag {flag}"));
+            }
+            _ => positional.push(&args[i]),
+        }
+        i += 1;
+    }
+
+    let Some((&cmd, rest)) = positional.split_first() else {
+        return usage("missing subcommand");
+    };
+    match cmd {
+        "list" => cmd_list(&dir),
+        "show" => match rest {
+            [run] => cmd_show(&dir, run),
+            _ => usage("show takes exactly one run name"),
+        },
+        "diff" => match rest {
+            [base, cand] => cmd_diff(&dir, base, cand, tol),
+            _ => usage("diff takes exactly two run names"),
+        },
+        "html" => match rest {
+            [run] => cmd_html(&dir, run, baseline.as_deref(), &out),
+            _ => usage("html takes exactly one run name"),
+        },
+        other => usage(&format!("unknown subcommand {other}")),
+    }
+}
+
+fn usage(err: &str) -> ExitCode {
+    if !err.is_empty() {
+        eprintln!("insight: {err}\n");
+    }
+    eprintln!(
+        "usage:\n  insight list  [--dir {DEFAULT_DIR}]\n  \
+         insight show  <run> [--dir {DEFAULT_DIR}]\n  \
+         insight diff  <base> <cand> [--tol {DEFAULT_TOL}] [--dir {DEFAULT_DIR}]\n  \
+         insight html  <run> [--baseline <run>] [--out {DEFAULT_OUT}] [--dir {DEFAULT_DIR}]"
+    );
+    if err.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(2)
+    }
+}
+
+fn open_store(dir: &str) -> Result<RunStore, ExitCode> {
+    RunStore::index(dir).map_err(|e| {
+        eprintln!("insight: cannot index {dir}/: {e}");
+        ExitCode::FAILURE
+    })
+}
+
+fn load(dir: &str, run: &str) -> Result<RunSummary, ExitCode> {
+    let store = open_store(dir)?;
+    match store.get(run) {
+        Some(summary) => Ok(summary.clone()),
+        None => {
+            eprintln!("insight: no run named `{run}` under {dir}/");
+            if store.runs().is_empty() {
+                eprintln!("insight: (no manifests found at all — is the directory right?)");
+            } else {
+                eprintln!("insight: available runs:");
+                for r in store.runs().iter().take(10) {
+                    eprintln!("  {}", r.name);
+                }
+            }
+            Err(ExitCode::from(2))
+        }
+    }
+}
+
+fn cmd_list(dir: &str) -> ExitCode {
+    let store = match open_store(dir) {
+        Ok(s) => s,
+        Err(code) => return code,
+    };
+    if store.runs().is_empty() {
+        println!("no run manifests under {dir}/");
+        return ExitCode::SUCCESS;
+    }
+    println!(
+        "{:<32} {:>8} {:>9} {:>7} {:>7}  loss",
+        "run (newest first)", "events", "wall_s", "epochs", "blame"
+    );
+    for run in store.runs() {
+        let losses: Vec<f32> = run.epochs.iter().map(|e| e.loss as f32).collect();
+        let final_loss =
+            losses.last().map_or("-".to_string(), |l| format!("{l:.4} {}", sparkline(&losses)));
+        println!(
+            "{:<32} {:>8} {:>9} {:>7} {:>7}  {}",
+            run.name,
+            run.events,
+            run.wall_s.map_or("-".to_string(), |w| format!("{w:.1}")),
+            run.epochs.len(),
+            if run.blame.is_empty() { "-".to_string() } else { run.blame.len().to_string() },
+            final_loss
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_show(dir: &str, run: &str) -> ExitCode {
+    let summary = match load(dir, run) {
+        Ok(s) => s,
+        Err(code) => return code,
+    };
+    println!("run     {}", summary.name);
+    println!("path    {}", summary.path.display());
+    println!("git     {}", summary.git);
+    println!("threads {}", summary.threads);
+    match summary.wall_s {
+        Some(w) => println!("wall    {w:.2}s"),
+        None => println!("wall    (no run_end — crashed or still running)"),
+    }
+    print!("events  {}", summary.events);
+    for (kind, n) in &summary.event_counts {
+        print!("  {kind}:{n}");
+    }
+    println!();
+    if summary.malformed > 0 {
+        println!("warning {} malformed manifest lines", summary.malformed);
+    }
+    for model in summary.models() {
+        let losses: Vec<f32> =
+            summary.epochs.iter().filter(|e| e.model == model).map(|e| e.loss as f32).collect();
+        if let (Some(first), Some(last)) = (losses.first(), losses.last()) {
+            println!(
+                "loss    {model}: {first:.4} → {last:.4} over {} epochs {}",
+                losses.len(),
+                sparkline(&losses)
+            );
+        }
+    }
+    if !summary.insight.is_empty() {
+        println!(
+            "insight {} samples across {} layers",
+            summary.insight.len(),
+            summary.insight_groups().len()
+        );
+    }
+    if !summary.sys.is_empty() {
+        let peak = summary.sys.iter().map(|p| p.rss_bytes).fold(0.0f64, f64::max);
+        println!(
+            "system  {} samples, peak RSS {:.0} MB",
+            summary.sys.len(),
+            peak / (1024.0 * 1024.0)
+        );
+    }
+    for b in summary.blame.iter().filter(|b| b.rank == 0) {
+        println!(
+            "blame   {} at epoch {} step {}: {}{}",
+            b.reason,
+            b.epoch,
+            b.step,
+            b.group,
+            if b.non_finite { " (non-finite grads)" } else { "" }
+        );
+    }
+    let comparable = summary.comparable();
+    println!(
+        "leaves  {} comparable metrics (use `insight diff` against another run)",
+        comparable.len()
+    );
+    ExitCode::SUCCESS
+}
+
+fn cmd_diff(dir: &str, base: &str, cand: &str, tol: f64) -> ExitCode {
+    let (base, cand) = match (load(dir, base), load(dir, cand)) {
+        (Ok(b), Ok(c)) => (b, c),
+        (Err(code), _) | (_, Err(code)) => return code,
+    };
+    let d = diff(&base, &cand, tol);
+    print!("{}", d.render());
+    if d.regressions > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn cmd_html(dir: &str, run: &str, baseline: Option<&str>, out: &str) -> ExitCode {
+    let summary = match load(dir, run) {
+        Ok(s) => s,
+        Err(code) => return code,
+    };
+    let base = match baseline {
+        Some(name) => match load(dir, name) {
+            Ok(s) => Some(s),
+            Err(code) => return code,
+        },
+        None => None,
+    };
+    match html::export(&summary, base.as_ref(), out) {
+        Ok(path) => {
+            println!("wrote {}", path.display());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("insight: cannot write dashboard: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
