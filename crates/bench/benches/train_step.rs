@@ -18,6 +18,14 @@
 //!   alone buys on top of this PR's kernels.
 //! - `pooled`: the shipping configuration — buffer recycling on, one
 //!   tape reused via `Tape::reset()`, fused in-place `Adam::step`.
+//! - `simd_off`: the shipping configuration with every elementwise
+//!   kernel forced onto the scalar fallback (`TRAFFIC_SIMD=0`
+//!   equivalent) — isolates what the AVX2 kernels buy on a full step.
+//!
+//! Every mode section records the worker-thread count it actually ran
+//! with; the pooled-vs-off speedup keys are emitted only when that
+//! count is > 1 (on a single-core runner the pool is pure overhead and
+//! a "speedup" below 1.0 would just restate that).
 //!
 //! Besides median wall-clock and thread-CPU seconds per step, each mode
 //! reports fresh heap bytes per step (the `mem/bytes_allocated` counter
@@ -38,7 +46,7 @@ use traffic_data::{batches, prepare, simulate, Batch, SimConfig, Task};
 use traffic_models::{build_model, train_horizon, GraphContext, TrainCtx};
 use traffic_nn::loss::{masked_mae, null_mask};
 use traffic_nn::Adam;
-use traffic_tensor::{mem, pool, Tape};
+use traffic_tensor::{mem, pool, simd, Tape};
 
 struct ModeStats {
     step_secs: f64,
@@ -56,6 +64,8 @@ struct ModeStats {
     samples_per_sec: f64,
     bytes_per_step: f64,
     hit_rate: f64,
+    /// Worker threads the pool actually used during this mode's run.
+    threads: usize,
 }
 
 fn median(sorted: &mut [f64]) -> f64 {
@@ -224,6 +234,7 @@ fn run_matrix(
         samples_per_sec: batch_size as f64 / secs,
         bytes_per_step: db as f64 / measure as f64,
         hit_rate: if dh + dm > 0.0 { dh / (dh + dm) } else { 0.0 },
+        threads: pool::effective_threads(),
     }
 }
 
@@ -265,7 +276,12 @@ fn main() {
     for model_name in ["STGCN", "Graph-WaveNet"] {
         eprintln!("benchmarking {model_name} (pool-off ablation)...");
         let base = run_mode(model_name, &ctx, &batch_set, data.t_out, &cfg, false, warmup, measure);
-        eprintln!("benchmarking {model_name} (pooled)...");
+        eprintln!("benchmarking {model_name} (simd off)...");
+        simd::set_force_scalar(true);
+        let simd_off =
+            run_mode(model_name, &ctx, &batch_set, data.t_out, &cfg, true, warmup, measure);
+        simd::set_force_scalar(false);
+        eprintln!("benchmarking {model_name} (pooled, backend {})...", simd::active_backend());
         let pooled =
             run_mode(model_name, &ctx, &batch_set, data.t_out, &cfg, true, warmup, measure);
         let peak_nodes = traffic_obs::gauge("mem/tape_peak_nodes").get();
@@ -296,18 +312,35 @@ fn main() {
                 base.step_secs,
             ),
         };
+        // Pooled-vs-off deltas only mean something when the pool has
+        // threads to spend; on a 1-thread runner they'd report the
+        // pool's overhead as a sub-1.0 "speedup" (satellite fix).
+        let pooled_speedups = if pooled.threads > 1 {
+            format!(
+                "      \"speedup_pooled_vs_baseline\": {:.3},\n\
+                 \x20     \"speedup_pooled_vs_pool_off\": {:.3},\n",
+                base_secs / pooled.step_secs,
+                base.step_secs / pooled.step_secs,
+            )
+        } else {
+            String::new()
+        };
         entries.push(format!(
             concat!(
                 "    \"{name}\": {{\n",
                 "      \"baseline\": {baseline},\n",
                 "      \"pool_off\": {{\"step_secs\": {bs:.6e}, \"cpu_step_secs\": {bc:.6e}, ",
-                "\"samples_per_sec\": {bsp:.2}, \"bytes_allocated_per_step\": {bb:.0}}},\n",
+                "\"samples_per_sec\": {bsp:.2}, \"bytes_allocated_per_step\": {bb:.0}, ",
+                "\"threads\": {bt}}},\n",
+                "      \"simd_off\": {{\"step_secs\": {ss:.6e}, \"cpu_step_secs\": {sc:.6e}, ",
+                "\"samples_per_sec\": {ssp:.2}, \"threads\": {st}}},\n",
                 "      \"pooled\": {{\"step_secs\": {ps:.6e}, \"cpu_step_secs\": {pc:.6e}, ",
                 "\"samples_per_sec\": {psp:.2}, ",
-                "\"bytes_allocated_per_step\": {pb:.0}, \"pool_hit_rate\": {hr:.4}}},\n",
+                "\"bytes_allocated_per_step\": {pb:.0}, \"pool_hit_rate\": {hr:.4}, ",
+                "\"threads\": {pt}}},\n",
                 "      \"tape_peak_nodes\": {peak:.0},\n",
-                "      \"speedup_pooled_vs_baseline\": {spd:.3},\n",
-                "      \"speedup_pooled_vs_pool_off\": {spd_ab:.3}\n",
+                "{pooled_speedups}",
+                "      \"speedup_simd_vs_scalar\": {spd_simd:.3}\n",
                 "    }}"
             ),
             name = model_name,
@@ -316,14 +349,20 @@ fn main() {
             bc = base.cpu_step_secs,
             bsp = base.samples_per_sec,
             bb = base.bytes_per_step,
+            bt = base.threads,
+            ss = simd_off.step_secs,
+            sc = simd_off.cpu_step_secs,
+            ssp = simd_off.samples_per_sec,
+            st = simd_off.threads,
             ps = pooled.step_secs,
             pc = pooled.cpu_step_secs,
             psp = pooled.samples_per_sec,
             pb = pooled.bytes_per_step,
             hr = pooled.hit_rate,
+            pt = pooled.threads,
             peak = peak_nodes,
-            spd = base_secs / pooled.step_secs,
-            spd_ab = base.step_secs / pooled.step_secs,
+            pooled_speedups = pooled_speedups,
+            spd_simd = simd_off.step_secs / pooled.step_secs,
         ));
     }
 
@@ -376,6 +415,7 @@ fn main() {
             "  \"dataset\": {{\"nodes\": {nodes}, \"t_in\": 12, \"t_out\": 12, ",
             "\"batch_size\": {batch}}},\n",
             "  \"pool_threads\": {threads},\n",
+            "  \"simd_backend\": \"{backend}\",\n",
             "  \"smoke\": {smoke},\n",
             "  \"steps\": {{\"warmup\": {warmup}, \"measured\": {measure}}},\n",
             "  \"insight\": {{\"model\": \"STGCN\", \"every\": {every}, ",
@@ -390,6 +430,7 @@ fn main() {
         nodes = nodes,
         batch = batch_size,
         threads = threads,
+        backend = simd::active_backend(),
         smoke = smoke,
         warmup = warmup,
         measure = measure,

@@ -9,6 +9,7 @@
 //! ([`Adam::step_reference`], [`Sgd::step_reference`]) — the test suite
 //! asserts the two remain bit-identical.
 
+use traffic_tensor::simd::{Binary, Ternary, Unary};
 use traffic_tensor::Tensor;
 
 use crate::param::ParamStore;
@@ -51,18 +52,21 @@ impl Sgd {
             let Some(mut g) = p.grad() else { continue };
             if wd > 0.0 {
                 let pv = p.value();
-                g.zip_map_assign(&pv, |gi, pi| gi + pi * wd);
+                // gi + wd·pi (mul is commutative bit-for-bit).
+                g.apply_binary_assign(&pv, Binary::Axpy(wd));
             }
             let update = if mom > 0.0 {
                 match &mut self.velocity[i] {
-                    Some(v) => v.zip_map_assign(&g, |vi, gi| vi * mom + gi),
+                    Some(v) => v.apply_binary_assign(&g, Binary::ScaleAdd(mom)),
                     slot => *slot = Some(g),
                 }
                 self.velocity[i].as_ref().unwrap().clone()
             } else {
                 g
             };
-            p.update_value(|t| t.zip_map_assign(&update, |pi, ui| pi - ui * lr));
+            // pi + (−lr)·ui ≡ pi − ui·lr bitwise (sign flip of the
+            // product is exact).
+            p.update_value(|t| t.apply_binary_assign(&update, Binary::Axpy(-lr)));
         }
     }
 
@@ -186,22 +190,19 @@ impl Adam {
             let Some(mut g) = p.grad() else { continue };
             if wd > 0.0 {
                 let pv = p.value();
-                g.zip_map_assign(&pv, |gi, pi| gi + pi * wd);
+                g.apply_binary_assign(&pv, Binary::Axpy(wd));
             }
             match &mut self.m[i] {
-                Some(m) => m.zip_map_assign(&g, |mi, gi| mi * b1 + gi * c1),
-                slot => *slot = Some(g.map(|gi| gi * c1)),
+                Some(m) => m.apply_binary_assign(&g, Binary::Lerp(b1, c1)),
+                slot => *slot = Some(g.apply_unary(Unary::MulS(c1))),
             }
             match &mut self.v[i] {
-                Some(v) => v.zip_map_assign(&g, |vi, gi| vi * b2 + (gi * gi) * c2),
-                slot => *slot = Some(g.map(|gi| (gi * gi) * c2)),
+                Some(v) => v.apply_binary_assign(&g, Binary::SqLerp(b2, c2)),
+                slot => *slot = Some(g.apply_unary(Unary::SqMulS(c2))),
             }
             let (m, v) = (self.m[i].as_ref().unwrap(), self.v[i].as_ref().unwrap());
             p.update_value(|t| {
-                t.zip_map2_assign(m, v, |pi, mi, vi| {
-                    let update = (mi * inv_bc1) / ((vi * inv_bc2).sqrt() + eps);
-                    pi - update * lr
-                })
+                t.apply_ternary_assign(m, v, Ternary::AdamUpdate { inv_bc1, inv_bc2, eps, lr })
             });
         }
     }

@@ -43,6 +43,7 @@ pub mod mem;
 pub mod pool;
 mod reduce;
 pub mod shape;
+pub mod simd;
 pub mod sparse;
 mod tape;
 mod tensor;

@@ -60,6 +60,9 @@ impl Tensor {
             base
         };
         // Every slot is written exactly once (`*slot_out = acc`).
+        let mut prof = traffic_obs::profile::op("elem", "sum_axes");
+        prof.set_flops(self.len());
+        prof.set_bytes((self.len() + out_len) * 4);
         let mut out = crate::mem::take_uninit(out_len);
         let chunk = if self.len() < ELEMENTWISE_PAR_THRESHOLD {
             out_len // single chunk → runs inline
@@ -69,17 +72,18 @@ impl Tensor {
         pool::parallel_chunks_mut(&mut out, chunk, |ci, dst| {
             for (local, slot_out) in dst.iter_mut().enumerate() {
                 let base = slot_base(ci * chunk + local);
-                let mut acc = 0.0f32;
-                if contiguous {
-                    for &v in &data[base..base + red_len] {
-                        acc += v;
-                    }
+                // Whole-slot reductions at any thread count: only the
+                // TRAFFIC_SIMD_REDUCE flag (not threads or chunking)
+                // can change the per-slot accumulation order.
+                *slot_out = if contiguous {
+                    crate::simd::sum(&data[base..base + red_len])
                 } else {
+                    let mut acc = 0.0f32;
                     for &off in &red_offsets {
                         acc += data[base + off];
                     }
-                }
-                *slot_out = acc;
+                    acc
+                };
             }
         });
         let t = Tensor::from_vec(out, &kept_shape);

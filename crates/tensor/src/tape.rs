@@ -467,21 +467,24 @@ impl<'t> Var<'t> {
         self.tape.unary("leaky_relu", self, y, move |g| g.mul(&mask))
     }
 
-    /// Logistic sigmoid. Backward is a single fused pass
+    /// Logistic sigmoid ([`crate::fastmath::sigmoid`], vectorized
+    /// forward and backward). Backward is a single fused pass
     /// (`g · y·(1 − y)`) instead of two allocating elementwise ops.
     pub fn sigmoid(&self) -> Var<'t> {
-        let y = self.value().map(crate::fastmath::sigmoid);
+        let y = self.value().sigmoid();
         let yc = y.clone();
-        self.tape.unary("sigmoid", self, y, move |g| g.zip_map(&yc, |g, y| (g * y) * (1.0 - y)))
+        self.tape.unary("sigmoid", self, y, move |g| {
+            g.apply_binary(&yc, crate::simd::Binary::SigmoidBwd)
+        })
     }
 
     /// Hyperbolic tangent, via the ~4× faster [`crate::fastmath::tanh`]
-    /// kernel (a few f32 ulps from libm). Backward is a single fused
-    /// pass (`g · (1 − y²)`).
+    /// kernel (a few f32 ulps from libm), vectorized forward and
+    /// backward. Backward is a single fused pass (`g · (1 − y²)`).
     pub fn tanh(&self) -> Var<'t> {
-        let y = self.value().map(crate::fastmath::tanh);
+        let y = self.value().tanh();
         let yc = y.clone();
-        self.tape.unary("tanh", self, y, move |g| g.zip_map(&yc, |g, y| g * (1.0 - y * y)))
+        self.tape.unary("tanh", self, y, move |g| g.apply_binary(&yc, crate::simd::Binary::TanhBwd))
     }
 
     /// Fused gated activation `tanh(self) ⊙ σ(gate)` — the

@@ -14,6 +14,7 @@ use std::sync::Arc;
 use crate::mem::{self, Buffer};
 use crate::pool;
 use crate::shape::{broadcast_shapes, broadcast_strides, for_each_broadcast2, numel, strides_for};
+use crate::simd;
 
 /// Elementwise kernels at or above this many elements fan out across
 /// the worker pool; smaller ones run inline (dispatch costs more than
@@ -306,6 +307,120 @@ impl Tensor {
         });
     }
 
+    // ------------------------------------------------------------------
+    // SIMD-routed elementwise kernels
+    //
+    // The named-op entry points below (`add`, `mul_scalar`, the fused
+    // optimizer updates, …) funnel through `crate::simd`'s fixed kernel
+    // vocabulary instead of the generic closure loops, so they run 8
+    // lanes at a time when the CPU supports it. Lane-wise kernels are
+    // bit-identical to their scalar forms (see `simd` module docs), so
+    // this routing never changes results. Generic `map`/`zip_map`
+    // closures stay scalar.
+    // ------------------------------------------------------------------
+
+    /// Elementwise [`simd::Unary`] kernel over the whole tensor
+    /// (vectorized when dispatch allows; parallel when large).
+    pub fn apply_unary(&self, op: simd::Unary) -> Tensor {
+        let n = self.len();
+        let mut prof = traffic_obs::profile::op("elem", op.name());
+        prof.set_flops(n * op.flops_per_elem());
+        prof.set_bytes(n * 8);
+        let mut out = mem::take_uninit(n);
+        let src: &[f32] = &self.data;
+        if n < ELEMENTWISE_PAR_THRESHOLD {
+            simd::unary(op, src, &mut out);
+            return Tensor::from_vec(out, &self.shape);
+        }
+        let chunk = n.div_ceil(pool::effective_threads() * 2).max(1);
+        pool::parallel_chunks_mut(&mut out, chunk, |ci, dst| {
+            let base = ci * chunk;
+            simd::unary(op, &src[base..base + dst.len()], dst);
+        });
+        Tensor::from_vec(out, &self.shape)
+    }
+
+    /// In-place [`Tensor::apply_unary`].
+    pub fn apply_unary_inplace(&mut self, op: simd::Unary) {
+        let n = self.len();
+        let mut prof = traffic_obs::profile::op("elem", op.name());
+        prof.set_flops(n * op.flops_per_elem());
+        prof.set_bytes(n * 8);
+        let buf = self.make_mut();
+        if n < ELEMENTWISE_PAR_THRESHOLD {
+            simd::unary_inplace(op, buf);
+            return;
+        }
+        let chunk = n.div_ceil(pool::effective_threads() * 2).max(1);
+        pool::parallel_chunks_mut(buf, chunk, |_ci, dst| {
+            simd::unary_inplace(op, dst);
+        });
+    }
+
+    /// Elementwise [`simd::Binary`] kernel against an identically-shaped
+    /// tensor: `out[i] = op(self[i], other[i])`.
+    pub fn apply_binary(&self, other: &Tensor, op: simd::Binary) -> Tensor {
+        assert_eq!(self.shape, other.shape, "apply_binary requires identical shapes");
+        let n = self.len();
+        let mut prof = traffic_obs::profile::op("elem", op.name());
+        prof.set_flops(n * op.flops_per_elem());
+        prof.set_bytes(n * 12);
+        let mut out = mem::take_uninit(n);
+        let (a, b): (&[f32], &[f32]) = (&self.data, &other.data);
+        if n < ELEMENTWISE_PAR_THRESHOLD {
+            simd::binary(op, a, b, &mut out);
+            return Tensor::from_vec(out, &self.shape);
+        }
+        let chunk = n.div_ceil(pool::effective_threads() * 2).max(1);
+        pool::parallel_chunks_mut(&mut out, chunk, |ci, dst| {
+            let base = ci * chunk;
+            simd::binary(op, &a[base..base + dst.len()], &b[base..base + dst.len()], dst);
+        });
+        Tensor::from_vec(out, &self.shape)
+    }
+
+    /// In-place [`Tensor::apply_binary`]: `self[i] = op(self[i], other[i])`.
+    pub fn apply_binary_assign(&mut self, other: &Tensor, op: simd::Binary) {
+        assert_eq!(self.shape, other.shape, "apply_binary_assign requires identical shapes");
+        let n = self.len();
+        let mut prof = traffic_obs::profile::op("elem", op.name());
+        prof.set_flops(n * op.flops_per_elem());
+        prof.set_bytes(n * 12);
+        let src: &[f32] = &other.data;
+        let buf = self.make_mut();
+        if n < ELEMENTWISE_PAR_THRESHOLD {
+            simd::binary_assign(op, buf, src);
+            return;
+        }
+        let chunk = n.div_ceil(pool::effective_threads() * 2).max(1);
+        pool::parallel_chunks_mut(buf, chunk, |ci, dst| {
+            let base = ci * chunk;
+            simd::binary_assign(op, dst, &src[base..base + dst.len()]);
+        });
+    }
+
+    /// In-place [`simd::Ternary`] kernel:
+    /// `self[i] = op(self[i], a[i], b[i])` (fused optimizer update).
+    pub fn apply_ternary_assign(&mut self, a: &Tensor, b: &Tensor, op: simd::Ternary) {
+        assert_eq!(self.shape, a.shape, "apply_ternary_assign requires identical shapes");
+        assert_eq!(self.shape, b.shape, "apply_ternary_assign requires identical shapes");
+        let n = self.len();
+        let mut prof = traffic_obs::profile::op("elem", op.name());
+        prof.set_flops(n * op.flops_per_elem());
+        prof.set_bytes(n * 16);
+        let (sa, sb): (&[f32], &[f32]) = (&a.data, &b.data);
+        let buf = self.make_mut();
+        if n < ELEMENTWISE_PAR_THRESHOLD {
+            simd::ternary_assign(op, buf, sa, sb);
+            return;
+        }
+        let chunk = n.div_ceil(pool::effective_threads() * 2).max(1);
+        pool::parallel_chunks_mut(buf, chunk, |ci, dst| {
+            let base = ci * chunk;
+            simd::ternary_assign(op, dst, &sa[base..base + dst.len()], &sb[base..base + dst.len()]);
+        });
+    }
+
     /// Fused gated activation `tanh(f) ⊙ σ(g)` (identical shapes).
     ///
     /// Returns `(out, t, s)` where `t = tanh(f)` and `s = σ(g)` — the
@@ -317,19 +432,14 @@ impl Tensor {
     pub fn gated_tanh_sigmoid(f: &Tensor, g: &Tensor) -> (Tensor, Tensor, Tensor) {
         assert_eq!(f.shape, g.shape, "gated_tanh_sigmoid requires identical shapes");
         let n = f.len();
+        let mut prof = traffic_obs::profile::op("elem", "gated_fwd");
+        prof.set_flops(n * 41); // tanh (22) + sigmoid (18) + mul
+        prof.set_bytes(n * 20); // 2 reads + 3 writes
         let (fd, gd): (&[f32], &[f32]) = (&f.data, &g.data);
         let mut t = mem::take_uninit(n);
         let mut s = mem::take_uninit(n);
         let mut out = mem::take_uninit(n);
-        let kernel = |fd: &[f32], gd: &[f32], t: &mut [f32], s: &mut [f32], out: &mut [f32]| {
-            for i in 0..out.len() {
-                let tv = crate::fastmath::tanh(fd[i]);
-                let sv = crate::fastmath::sigmoid(gd[i]);
-                t[i] = tv;
-                s[i] = sv;
-                out[i] = tv * sv;
-            }
-        };
+        let kernel = simd::gated_fwd;
         if n < ELEMENTWISE_PAR_THRESHOLD {
             kernel(fd, gd, &mut t, &mut s, &mut out);
         } else {
@@ -366,16 +476,13 @@ impl Tensor {
         assert_eq!(grad.shape, t.shape, "gated_tanh_sigmoid_backward shape mismatch");
         assert_eq!(grad.shape, s.shape, "gated_tanh_sigmoid_backward shape mismatch");
         let n = grad.len();
+        let mut prof = traffic_obs::profile::op("elem", "gated_bwd");
+        prof.set_flops(n * 9);
+        prof.set_bytes(n * 20); // 3 reads + 2 writes
         let (gd, td, sd): (&[f32], &[f32], &[f32]) = (&grad.data, &t.data, &s.data);
         let mut gf = mem::take_uninit(n);
         let mut gg = mem::take_uninit(n);
-        let kernel = |gd: &[f32], td: &[f32], sd: &[f32], gf: &mut [f32], gg: &mut [f32]| {
-            for i in 0..gf.len() {
-                let (g, tv, sv) = (gd[i], td[i], sd[i]);
-                gf[i] = (g * sv) * (1.0 - tv * tv);
-                gg[i] = ((g * tv) * sv) * (1.0 - sv);
-            }
-        };
+        let kernel = simd::gated_bwd;
         if n < ELEMENTWISE_PAR_THRESHOLD {
             kernel(gd, td, sd, &mut gf, &mut gg);
         } else {
@@ -402,22 +509,22 @@ impl Tensor {
     /// Fused in-place accumulate: `self += other` (identical shapes).
     /// Bit-identical to `self = self.add(other)` for equal shapes.
     pub fn add_assign(&mut self, other: &Tensor) {
-        self.zip_map_assign(other, |a, b| a + b);
+        self.apply_binary_assign(other, simd::Binary::Add);
     }
 
     /// Fused axpy: `self += alpha * other` (identical shapes).
     pub fn scaled_add_assign(&mut self, alpha: f32, other: &Tensor) {
-        self.zip_map_assign(other, move |a, b| a + alpha * b);
+        self.apply_binary_assign(other, simd::Binary::Axpy(alpha));
     }
 
     /// Negation.
     pub fn neg(&self) -> Tensor {
-        self.map(|v| -v)
+        self.apply_unary(simd::Unary::Neg)
     }
 
     /// Elementwise absolute value.
     pub fn abs(&self) -> Tensor {
-        self.map(f32::abs)
+        self.apply_unary(simd::Unary::Abs)
     }
 
     /// Elementwise exponential.
@@ -442,22 +549,33 @@ impl Tensor {
 
     /// Adds a scalar.
     pub fn add_scalar(&self, s: f32) -> Tensor {
-        self.map(|v| v + s)
+        self.apply_unary(simd::Unary::AddS(s))
     }
 
     /// Multiplies by a scalar.
     pub fn mul_scalar(&self, s: f32) -> Tensor {
-        self.map(|v| v * s)
+        self.apply_unary(simd::Unary::MulS(s))
     }
 
     /// Elementwise maximum with a scalar.
     pub fn clamp_min(&self, lo: f32) -> Tensor {
-        self.map(|v| v.max(lo))
+        self.apply_unary(simd::Unary::MaxS(lo))
     }
 
     /// Elementwise minimum with a scalar.
     pub fn clamp_max(&self, hi: f32) -> Tensor {
-        self.map(|v| v.min(hi))
+        self.apply_unary(simd::Unary::MinS(hi))
+    }
+
+    /// Elementwise fast tanh ([`crate::fastmath::tanh`], vectorized).
+    pub fn tanh(&self) -> Tensor {
+        self.apply_unary(simd::Unary::Tanh)
+    }
+
+    /// Elementwise logistic sigmoid ([`crate::fastmath::sigmoid`],
+    /// vectorized).
+    pub fn sigmoid(&self) -> Tensor {
+        self.apply_unary(simd::Unary::Sigmoid)
     }
 
     // ------------------------------------------------------------------
@@ -483,23 +601,35 @@ impl Tensor {
         Tensor::from_vec(out, &out_shape)
     }
 
-    /// Broadcast add.
+    /// Broadcast add. Same-shape operands take the vectorized rail.
     pub fn add(&self, other: &Tensor) -> Tensor {
+        if self.shape == other.shape {
+            return self.apply_binary(other, simd::Binary::Add);
+        }
         self.broadcast_zip(other, |a, b| a + b)
     }
 
-    /// Broadcast subtract.
+    /// Broadcast subtract. Same-shape operands take the vectorized rail.
     pub fn sub(&self, other: &Tensor) -> Tensor {
+        if self.shape == other.shape {
+            return self.apply_binary(other, simd::Binary::Sub);
+        }
         self.broadcast_zip(other, |a, b| a - b)
     }
 
-    /// Broadcast multiply.
+    /// Broadcast multiply. Same-shape operands take the vectorized rail.
     pub fn mul(&self, other: &Tensor) -> Tensor {
+        if self.shape == other.shape {
+            return self.apply_binary(other, simd::Binary::Mul);
+        }
         self.broadcast_zip(other, |a, b| a * b)
     }
 
-    /// Broadcast divide.
+    /// Broadcast divide. Same-shape operands take the vectorized rail.
     pub fn div(&self, other: &Tensor) -> Tensor {
+        if self.shape == other.shape {
+            return self.apply_binary(other, simd::Binary::Div);
+        }
         self.broadcast_zip(other, |a, b| a / b)
     }
 
@@ -762,9 +892,11 @@ impl Tensor {
     // Whole-tensor statistics (used heavily by data prep / metrics)
     // ------------------------------------------------------------------
 
-    /// Sum of all elements.
+    /// Sum of all elements. Sequential left-to-right by default; the
+    /// 8-accumulator SIMD fold runs only under `TRAFFIC_SIMD_REDUCE=1`
+    /// (association order changes — see `simd` module docs).
     pub fn sum_all(&self) -> f32 {
-        self.data.iter().sum()
+        simd::sum(&self.data)
     }
 
     /// Mean of all elements (0 for empty tensors).

@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Regenerates BENCH_elementwise.json at the workspace root: scalar vs
+# AVX2 for every SIMD kernel (tanh, sigmoid, fused gated fwd/bwd, add,
+# axpy, fused Adam update, horizontal sum) at the METR-LA per-layer
+# elementwise size 207×64.
+#
+# Usage:
+#   scripts/bench_elementwise.sh            # full run (stable best-of timings)
+#   BENCH_SMOKE=1 scripts/bench_elementwise.sh   # fast CI smoke pass
+#
+# TRAFFIC_SIMD=0 forces the scalar fallback (the JSON then records
+# backend "scalar" and speedups of 1.0).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+cargo bench -p traffic-bench --bench elementwise
+echo
+echo "--- BENCH_elementwise.json ---"
+cat BENCH_elementwise.json

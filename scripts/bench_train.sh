@@ -17,10 +17,17 @@
 #   scripts/bench_train.sh                 # full run (reuses BENCH_PREPR_* if set)
 #   BENCH_SMOKE=1 scripts/bench_train.sh   # fast CI smoke pass
 #
-# TRAFFIC_THREADS caps the worker pool (default: all cores), e.g.:
+# TRAFFIC_THREADS caps the worker pool (default: all available cores),
+# e.g.:
 #   TRAFFIC_THREADS=8 scripts/bench_train.sh
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+# Default to every available core explicitly, so the JSON's per-section
+# "threads" fields reflect a deliberate choice rather than whatever the
+# environment happened to leak in. Pooled-vs-off speedup keys are only
+# emitted when this ends up > 1.
+export TRAFFIC_THREADS="${TRAFFIC_THREADS:-$(nproc)}"
 
 # The commit immediately before the traffic-mem PR landed.
 PREPR_COMMIT="${PREPR_COMMIT:-1d50a57df84b60f70210be0b68d8bb5097a7827c}"

@@ -6,12 +6,20 @@
 //! - buffer recycling: the traffic-mem pool only changes where output
 //!   buffers come from, never what is written, so `TRAFFIC_MEM_CAP=0`
 //!   (pool off) vs the default (pool on) must also be bit-identical
-//!   (exercised via [`mem::set_mem_cap`]).
+//!   (exercised via [`mem::set_mem_cap`]);
+//! - SIMD dispatch: lane-wise AVX2 kernels are bit-identical
+//!   transliterations of their scalar fallbacks, so `TRAFFIC_SIMD=0`
+//!   vs default must be bit-identical (exercised via
+//!   [`simd::set_force_scalar`]). Horizontal reductions are the one
+//!   documented exception: `TRAFFIC_SIMD_REDUCE=1` changes summation
+//!   association order (different low-order bits allowed), but each
+//!   mode must still be run-to-run deterministic — both are pinned
+//!   here.
 
 use traffic_suite::core::{train, TrainConfig};
 use traffic_suite::data::{prepare, simulate, SimConfig, Task};
 use traffic_suite::models::{build_model, GraphContext};
-use traffic_suite::tensor::{mem, pool};
+use traffic_suite::tensor::{mem, pool, simd};
 
 /// Both tests flip process-global knobs (thread cap, mem cap); they
 /// serialise on one lock so neither observes the other mid-flip.
@@ -48,6 +56,45 @@ fn stgcn_losses_identical_across_thread_counts() {
     let pooled = stgcn_losses(8);
     pool::set_thread_cap(usize::MAX);
     assert_eq!(serial, pooled, "2-epoch STGCN losses must be bit-identical with 1 vs 8 threads");
+}
+
+#[test]
+fn stgcn_losses_identical_with_simd_on_and_off() {
+    let _guard = knob_lock();
+    // TRAFFIC_SIMD=0 equivalent: every elementwise kernel runs the
+    // scalar fallback.
+    simd::set_force_scalar(true);
+    let scalar = stgcn_losses(usize::MAX);
+    // Default: AVX2 lane-wise kernels where the CPU supports them.
+    simd::set_force_scalar(false);
+    let vectorized = stgcn_losses(usize::MAX);
+    assert_eq!(
+        scalar, vectorized,
+        "2-epoch STGCN losses must be bit-identical with SIMD on vs off (lane-wise path)"
+    );
+}
+
+#[test]
+fn stgcn_losses_deterministic_in_both_reduce_modes() {
+    let _guard = knob_lock();
+    // Default mode: sequential scalar reductions. Two runs must agree
+    // bit-for-bit.
+    simd::set_reduce_simd(false);
+    let seq_a = stgcn_losses(usize::MAX);
+    let seq_b = stgcn_losses(usize::MAX);
+    assert_eq!(seq_a, seq_b, "sequential-reduction training must be run-to-run deterministic");
+    // Opt-in TRAFFIC_SIMD_REDUCE=1: the 8-accumulator fold may differ
+    // from sequential in low-order bits (association order), but must
+    // itself be run-to-run deterministic at any thread count — slots
+    // are reduced whole, so chunk boundaries never split a sum.
+    simd::set_reduce_simd(true);
+    let simd_a = stgcn_losses(1);
+    let simd_b = stgcn_losses(8);
+    simd::set_reduce_simd(false);
+    assert_eq!(
+        simd_a, simd_b,
+        "SIMD-reduction training must be deterministic across runs and thread counts"
+    );
 }
 
 #[test]
