@@ -52,12 +52,13 @@ fn main() {
         out.fill(0.0);
         gemm::matmul_naive(&a, &b, &mut out, M, K, N);
     });
-    pool::set_thread_cap(1);
-    let blocked = best_secs(reps, inner, || {
-        out.fill(0.0);
-        gemm::gemm(&a, &b, &mut out, M, K, N);
-    });
-    pool::set_thread_cap(usize::MAX);
+    let blocked = {
+        let _cap = pool::ThreadCapGuard::new(1);
+        best_secs(reps, inner, || {
+            out.fill(0.0);
+            gemm::gemm(&a, &b, &mut out, M, K, N);
+        })
+    };
     let parallel = best_secs(reps, inner, || {
         out.fill(0.0);
         gemm::gemm_parallel(&a, &b, &mut out, M, K, N);

@@ -1,0 +1,204 @@
+//! Experiment-scheduler benchmark behind `BENCH_report.json`.
+//!
+//! Not a criterion harness: the numbers feed the perf-regression gate
+//! (see README §Performance). It times the same mini Fig-1 sweep twice
+//! — once on the legacy serial path (`TRAFFIC_JOBS=1` equivalent) and
+//! once on the parallel scheduler — and reports:
+//!
+//! - `serial` / `parallel`: sweep wall-clock plus per-cell p50/p99
+//!   seconds from the `sched/cell_s` histogram (metrics are reset
+//!   between modes so each section sees only its own cells);
+//! - `cores` and `jobs`: what the machine and the scheduler actually
+//!   ran with. The `speedup_parallel_vs_serial` key is emitted only
+//!   when `cores > 1` — on a single-core runner the parallel path can
+//!   only restate its own overhead, and a sub-1.0 "speedup" there
+//!   would be noise dressed as a result;
+//! - `gwn_adaptive_cache`: eval-mode Graph-WaveNet forward with the
+//!   materialized adaptive-adjacency cache on vs force-disabled
+//!   (`inference::set_force_off`), isolating what the cache satellite
+//!   buys per forward.
+//!
+//! The bench also asserts the serial and parallel sweeps produced
+//! bit-identical rows — a perf number for a wrong answer is worthless.
+//!
+//! Run with `scripts/bench_report.sh`, or directly:
+//! `cargo bench --bench report` (`BENCH_SMOKE=1` for a fast CI pass).
+
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use traffic_core::{model_comparison, set_jobs_override, ExperimentScale, Fig1Row};
+use traffic_data::{batches, prepare, simulate, SimConfig, Task};
+use traffic_models::{build_model, GraphContext};
+use traffic_tensor::{inference, pool, Tape};
+
+struct SweepStats {
+    wall_secs: f64,
+    cell_p50_secs: f64,
+    cell_p99_secs: f64,
+    cells: u64,
+    rows: Vec<Fig1Row>,
+}
+
+/// Runs the Fig-1 sweep at `jobs` scheduler jobs and reads the per-cell
+/// duration quantiles recorded during this run only.
+fn run_sweep(
+    datasets: &[&str],
+    models: &[&str],
+    scale: &ExperimentScale,
+    jobs: usize,
+) -> SweepStats {
+    traffic_obs::reset_metrics();
+    set_jobs_override(Some(jobs));
+    let start = Instant::now();
+    let rows = model_comparison(datasets, models, scale);
+    let wall_secs = start.elapsed().as_secs_f64();
+    set_jobs_override(None);
+    let cells = traffic_obs::histogram("sched/cell_s");
+    SweepStats {
+        wall_secs,
+        cell_p50_secs: cells.quantile(0.5),
+        cell_p99_secs: cells.quantile(0.99),
+        cells: cells.count(),
+        rows,
+    }
+}
+
+/// (dataset, model, horizon, metric bits, error) per row.
+type RowKey = (String, String, String, [u32; 2], Option<String>);
+
+/// Exact-bits row fingerprint: the bench refuses to publish a speedup
+/// for a sweep that changed the answer.
+fn fingerprint(rows: &[Fig1Row]) -> Vec<RowKey> {
+    rows.iter()
+        .map(|r| {
+            (
+                r.dataset.clone(),
+                r.model.clone(),
+                r.horizon.to_string(),
+                [r.mae.0.to_bits(), r.rmse.0.to_bits()],
+                r.error.clone(),
+            )
+        })
+        .collect()
+}
+
+/// Median eval-mode Graph-WaveNet forward seconds with the adaptive
+/// adjacency cache on or force-disabled.
+fn gwn_forward_secs(cached: bool, nodes: usize, warmup: usize, measure: usize) -> f64 {
+    inference::set_force_off(!cached);
+    let mut sim = SimConfig::new("bench-report-gwn", Task::Speed, nodes, 2);
+    sim.missing_rate = 0.0;
+    let ds = simulate(&sim);
+    let data = prepare(&ds, 12, 12);
+    let ctx = GraphContext::from_network(&ds.network, 4);
+    let mut rng = StdRng::seed_from_u64(7);
+    let model = build_model("Graph-WaveNet", &ctx, &mut rng);
+    let batch = batches(&data.test, 8, None::<&mut StdRng>).next().expect("test split has a batch");
+    let _inf = inference::InferenceGuard::enter();
+    let mut tape = Tape::new();
+    let mut times = Vec::with_capacity(measure);
+    for step in 0..warmup + measure {
+        tape.reset();
+        let x = tape.constant(batch.x.clone());
+        let t = Instant::now();
+        let pred = model.forward(&tape, x, None);
+        std::hint::black_box(pred.value());
+        if step >= warmup {
+            times.push(t.elapsed().as_secs_f64());
+        }
+    }
+    inference::set_force_off(false);
+    times.sort_by(f64::total_cmp);
+    times[times.len() / 2]
+}
+
+fn main() {
+    let smoke = std::env::var("BENCH_SMOKE").map(|v| v == "1").unwrap_or(false);
+    pool::warmup();
+    let cores = pool::num_threads();
+
+    let (datasets, models): (Vec<&str>, Vec<&str>) = if smoke {
+        (vec!["METR-LA"], vec!["STGCN", "STSGCN"])
+    } else {
+        (vec!["METR-LA", "PeMSD8"], vec!["STGCN", "STSGCN", "Graph-WaveNet"])
+    };
+    let scale = ExperimentScale::smoke();
+    // One prepare cell per dataset plus one train cell per (ds, model).
+    let sweep_cells = datasets.len() * (1 + models.len());
+    let jobs = sweep_cells.min(4);
+
+    eprintln!("sweep: {} datasets x {} models, serial...", datasets.len(), models.len());
+    let serial = run_sweep(&datasets, &models, &scale, 1);
+    eprintln!("sweep: parallel ({jobs} jobs on {cores} cores)...");
+    let parallel = run_sweep(&datasets, &models, &scale, jobs);
+    assert_eq!(
+        fingerprint(&serial.rows),
+        fingerprint(&parallel.rows),
+        "parallel sweep changed the rows — refusing to publish its timings"
+    );
+    eprintln!(
+        "serial {:.2}s vs parallel {:.2}s ({} cells, rows bit-identical)",
+        serial.wall_secs, parallel.wall_secs, parallel.cells
+    );
+
+    let (gwn_nodes, warmup, measure) = if smoke { (16, 1, 3) } else { (80, 2, 9) };
+    eprintln!("Graph-WaveNet eval forward: adaptive-adjacency cache off...");
+    let uncached = gwn_forward_secs(false, gwn_nodes, warmup, measure);
+    eprintln!("Graph-WaveNet eval forward: adaptive-adjacency cache on...");
+    let cached = gwn_forward_secs(true, gwn_nodes, warmup, measure);
+    eprintln!("uncached {:.4}s vs cached {:.4}s per forward", uncached, cached);
+
+    // On a single-core runner a parallel-vs-serial "speedup" only
+    // restates scheduler overhead; record the honest ingredients
+    // (cores, jobs, both wall-clocks) and let multi-core runs publish
+    // the ratio.
+    let speedup = if cores > 1 {
+        format!("  \"speedup_parallel_vs_serial\": {:.3},\n", serial.wall_secs / parallel.wall_secs)
+    } else {
+        String::new()
+    };
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"smoke\": {smoke},\n",
+            "  \"cores\": {cores},\n",
+            "  \"jobs\": {jobs},\n",
+            "  \"sweep\": {{\"datasets\": {nd}, \"models\": {nm}, \"cells\": {cells}}},\n",
+            "  \"serial\": {{\"wall_secs\": {sw:.6e}, \"cell_p50_secs\": {sp50:.6e}, ",
+            "\"cell_p99_secs\": {sp99:.6e}}},\n",
+            "  \"parallel\": {{\"wall_secs\": {pw:.6e}, \"cell_p50_secs\": {pp50:.6e}, ",
+            "\"cell_p99_secs\": {pp99:.6e}}},\n",
+            "{speedup}",
+            "  \"gwn_adaptive_cache\": {{\"nodes\": {gn}, ",
+            "\"uncached_forward_secs\": {gu:.6e}, \"cached_forward_secs\": {gc:.6e}, ",
+            "\"speedup_cached_vs_uncached\": {gs:.3}}}\n",
+            "}}\n"
+        ),
+        smoke = smoke,
+        cores = cores,
+        jobs = jobs,
+        nd = datasets.len(),
+        nm = models.len(),
+        cells = parallel.cells,
+        sw = serial.wall_secs,
+        sp50 = serial.cell_p50_secs,
+        sp99 = serial.cell_p99_secs,
+        pw = parallel.wall_secs,
+        pp50 = parallel.cell_p50_secs,
+        pp99 = parallel.cell_p99_secs,
+        speedup = speedup,
+        gn = gwn_nodes,
+        gu = uncached,
+        gc = cached,
+        gs = uncached / cached,
+    );
+    print!("{json}");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_report.json");
+    if let Err(e) = std::fs::write(path, &json) {
+        eprintln!("warning: could not write {path}: {e}");
+    } else {
+        eprintln!("wrote {path}");
+    }
+}

@@ -44,6 +44,10 @@ pub(crate) fn panic_reason(payload: &(dyn std::any::Any + Send)) -> String {
 /// sweep. `AssertUnwindSafe` is sound here because a failed cell's state
 /// (model, tapes) is dropped wholesale — nothing half-mutated survives.
 pub(crate) fn run_cell<T>(label: &str, f: impl FnOnce() -> T) -> Result<T, String> {
+    // Cell scope in serial and parallel sweeps alike: events from this
+    // thread gain a `cell` tag, and fault plans restricted by cell
+    // (`TRAFFIC_FAULT_CELL`) count calls identically in both modes.
+    let _scope = traffic_obs::CellScope::enter(label);
     match catch_unwind(AssertUnwindSafe(f)) {
         Ok(v) => Ok(v),
         Err(payload) => {
@@ -182,40 +186,46 @@ impl Fig1Row {
 /// 15/30/60 minutes, `scale.repeats` times. Each (dataset, model) cell is
 /// panic-isolated: a crash yields [`Fig1Row::failed`] rows for its three
 /// horizons and the sweep continues.
+///
+/// Cells run on the experiment scheduler ([`crate::sched::run_cells`]):
+/// `TRAFFIC_JOBS=N` trains N cells concurrently, each on its own core
+/// group of the compute pool; rows come back in canonical
+/// (dataset, model, horizon) order and bit-identical to `TRAFFIC_JOBS=1`
+/// (the exact legacy serial path) because every cell seeds its own RNGs.
 pub fn model_comparison(
     datasets: &[&str],
     models: &[&str],
     scale: &ExperimentScale,
 ) -> Vec<Fig1Row> {
-    let mut rows = Vec::new();
-    for &ds in datasets {
-        let exp = match run_cell(&format!("fig1/{ds}/prepare"), || {
-            let exp = prepare_experiment(ds, scale, 42);
-            let test = eval_split(&exp.data.test, scale);
-            (exp, test)
-        }) {
-            Ok(v) => v,
-            Err(reason) => {
-                // The whole dataset is unusable: fail every dependent cell
-                // explicitly rather than dropping them silently.
-                for &m in models {
-                    for &label in &PAPER_HORIZON_LABELS {
-                        rows.push(Fig1Row::failed(ds, m, label, reason.clone()));
-                    }
-                }
-                continue;
-            }
-        };
-        let (exp, test) = exp;
+    // Phase 1: prepare every dataset (scheduled cells, so one bad
+    // dataset fails its own rows instead of sinking the sweep).
+    let prep_cells: Vec<(String, _)> = datasets
+        .iter()
+        .map(|&ds| {
+            (format!("fig1/{ds}/prepare"), move || {
+                let exp = prepare_experiment(ds, scale, 42);
+                let test = eval_split(&exp.data.test, scale);
+                (exp, test)
+            })
+        })
+        .collect();
+    let prepared = crate::sched::run_cells("fig1/prepare", prep_cells);
+
+    // Phase 2: one scheduled cell per (dataset, model); cells borrow
+    // their dataset's PreparedExperiment by shared reference (Tensors
+    // are Arc-backed, so this is cheap and thread-safe).
+    let mut train_cells = Vec::new();
+    for (di, &ds) in datasets.iter().enumerate() {
+        let Ok((exp, test)) = &prepared[di].result else { continue };
         for &m in models {
-            let cell = run_cell(&format!("fig1/{ds}/{m}"), || {
+            train_cells.push((format!("fig1/{ds}/{m}"), move || {
                 // per-repeat metric collection: [horizon][repeat]
                 let mut mae = vec![Vec::new(); 3];
                 let mut rmse = vec![Vec::new(); 3];
                 let mut mape = vec![Vec::new(); 3];
                 for rep in 0..scale.repeats {
-                    let (model, _report) = train_model(m, &exp, scale, 1000 + rep as u64);
-                    let pred = predict(model.as_ref(), &test, &exp.data.scaler, scale.batch_size);
+                    let (model, _report) = train_model(m, exp, scale, 1000 + rep as u64);
+                    let pred = predict(model.as_ref(), test, &exp.data.scaler, scale.batch_size);
                     let metrics = evaluate_horizons(&pred, &test.y_raw, &PAPER_HORIZONS, None);
                     for (h, met) in metrics.iter().enumerate() {
                         mae[h].push(met.mae);
@@ -224,8 +234,30 @@ pub fn model_comparison(
                     }
                 }
                 (mae, rmse, mape)
-            });
-            match cell {
+            }));
+        }
+    }
+    let outcomes = crate::sched::run_cells("fig1", train_cells);
+
+    // Deterministic collection: emit rows in canonical
+    // (dataset, model, horizon) order regardless of completion order.
+    let mut rows = Vec::new();
+    let mut next_outcome = outcomes.iter();
+    for (di, &ds) in datasets.iter().enumerate() {
+        if let Err(reason) = &prepared[di].result {
+            // The whole dataset is unusable: fail every dependent cell
+            // explicitly rather than dropping it silently.
+            for &m in models {
+                for &label in &PAPER_HORIZON_LABELS {
+                    rows.push(Fig1Row::failed(ds, m, label, reason.clone()));
+                }
+            }
+            continue;
+        }
+        for &m in models {
+            let outcome = next_outcome.next().expect("one outcome per scheduled cell");
+            debug_assert_eq!(outcome.label, format!("fig1/{ds}/{m}"));
+            match &outcome.result {
                 Ok((mae, rmse, mape)) => {
                     for h in 0..3 {
                         rows.push(Fig1Row {
@@ -304,6 +336,8 @@ pub fn sample_difficult_mask(dataset: &TrafficDataset, split: &WindowedData) -> 
 }
 
 /// Runs the Fig 2 experiment on one dataset (the paper uses METR-LA).
+/// Model cells run on the experiment scheduler — same `TRAFFIC_JOBS`
+/// semantics and determinism guarantees as [`model_comparison`].
 pub fn difficult_interval_experiment(
     dataset: &str,
     models: &[&str],
@@ -312,29 +346,35 @@ pub fn difficult_interval_experiment(
     let exp = prepare_experiment(dataset, scale, 42);
     let test = eval_split(&exp.data.test, scale);
     let dmask = sample_difficult_mask(&exp.dataset, &test);
-    let mut rows = Vec::new();
-    for &m in models {
-        let cell = run_cell(&format!("fig2/{dataset}/{m}"), || {
-            let (model, _) = train_model(m, &exp, scale, 2000);
-            let pred = predict(model.as_ref(), &test, &exp.data.scaler, scale.batch_size);
-            let overall = evaluate(&pred, &test.y_raw, None);
-            let difficult = evaluate(&pred, &test.y_raw, Some(&dmask));
-            let degradation = if overall.mae > 0.0 && difficult.count > 0 {
-                degradation_pct(overall.mae, difficult.mae)
-            } else {
-                f32::NAN
-            };
-            Fig2Row {
-                model: m.to_string(),
-                overall,
-                difficult,
-                degradation_pct: degradation,
-                error: None,
-            }
-        });
-        rows.push(cell.unwrap_or_else(|reason| Fig2Row::failed(m, reason)));
-    }
-    rows
+    let cells: Vec<(String, _)> = models
+        .iter()
+        .map(|&m| {
+            let (exp, test, dmask) = (&exp, &test, &dmask);
+            (format!("fig2/{dataset}/{m}"), move || {
+                let (model, _) = train_model(m, exp, scale, 2000);
+                let pred = predict(model.as_ref(), test, &exp.data.scaler, scale.batch_size);
+                let overall = evaluate(&pred, &test.y_raw, None);
+                let difficult = evaluate(&pred, &test.y_raw, Some(dmask));
+                let degradation = if overall.mae > 0.0 && difficult.count > 0 {
+                    degradation_pct(overall.mae, difficult.mae)
+                } else {
+                    f32::NAN
+                };
+                Fig2Row {
+                    model: m.to_string(),
+                    overall,
+                    difficult,
+                    degradation_pct: degradation,
+                    error: None,
+                }
+            })
+        })
+        .collect();
+    crate::sched::run_cells("fig2", cells)
+        .into_iter()
+        .zip(models)
+        .map(|(o, &m)| o.result.unwrap_or_else(|reason| Fig2Row::failed(m, reason)))
+        .collect()
 }
 
 // ---------------------------------------------------------------------

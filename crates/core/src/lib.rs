@@ -14,6 +14,7 @@ pub mod regimes;
 pub mod report;
 pub mod resume;
 pub mod scale;
+pub mod sched;
 pub mod tables;
 pub mod timing;
 pub mod trainer;
@@ -35,6 +36,7 @@ pub use regimes::{classify, decompose, regime_mask, Regime};
 pub use report::{format_table, sparkline, write_csv};
 pub use resume::{config_fingerprint, BestSnapshot, TrainState, STATE_VERSION};
 pub use scale::ExperimentScale;
+pub use sched::{planned_jobs, run_cells, set_jobs_override, CellOutcome};
 pub use tables::{
     fig1_csv_rows, fig2_csv_rows, fig3_csv_rows, render_fig1, render_fig2, render_fig3,
     render_span_summary, render_table1, render_table2, render_table3, table3_csv_rows,

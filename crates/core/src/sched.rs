@@ -1,0 +1,298 @@
+//! Job-level parallel experiment scheduler.
+//!
+//! The Fig-1/Fig-2 sweeps are embarrassingly parallel at the *cell*
+//! level — one (dataset, model) training run per cell, every cell's RNG
+//! seed derived independently — yet the serial sweep pays the sum of
+//! all cells even on a many-core box. [`run_cells`] runs them on a
+//! self-scheduling job queue instead:
+//!
+//! - **Core groups.** The persistent worker pool is partitioned, not
+//!   oversubscribed: each of the `J` job threads holds a
+//!   [`pool::ThreadCapGuard`] capping its kernel fan-out at
+//!   `cores / J`, clamped under any enclosing cap (nested caps only
+//!   shrink), so `J` concurrent cells share the machine instead of
+//!   fighting over it.
+//! - **Work stealing by self-scheduling.** Jobs pull the next cell
+//!   index from a shared atomic counter, so a slow cell (Graph-WaveNet)
+//!   never blocks the queue behind it.
+//! - **Deterministic collection.** Results are written into per-cell
+//!   slots and emitted in canonical submission order; completion order
+//!   never leaks into the report. Cells themselves are bit-identical to
+//!   the serial sweep because the compute pool splits only output
+//!   ranges and every cell seeds its own RNGs.
+//! - **Panic isolation.** Every cell runs under the experiment layer's
+//!   `run_cell`, so one diverging model yields one FAILED row.
+//! - **Scoped obs.** Each cell runs inside a [`traffic_obs::CellScope`]:
+//!   events gain a `cell` tag, and with `TRAFFIC_CELL_MANIFESTS=<dir>`
+//!   each cell writes its own JSONL manifest
+//!   (`<dir>/<sanitized-label>.jsonl`, readable by the insight
+//!   `RunStore`) so concurrent cells never interleave lines.
+//!
+//! Job count: `TRAFFIC_JOBS=N` env, [`set_jobs_override`], or the
+//! default `min(cells, cores/2)`. `TRAFFIC_JOBS=1` takes the exact
+//! legacy serial path — same thread, same call order, no scheduler
+//! threads. Nested sweeps (a cell starting its own sweep) always run
+//! serially inside their cell.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use traffic_tensor::pool;
+
+use crate::experiment::run_cell;
+
+/// Outcome of one scheduled cell.
+#[derive(Debug)]
+pub struct CellOutcome<T> {
+    /// The cell's label (`fig1/<dataset>/<model>`).
+    pub label: String,
+    /// The cell's value, or the panic reason if it failed.
+    pub result: Result<T, String>,
+    /// Wall-clock seconds the cell took.
+    pub secs: f64,
+}
+
+/// `0` = no override (env/default applies).
+static JOBS_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Programmatic equivalent of `TRAFFIC_JOBS` (benches and tests compare
+/// serial vs parallel in one process without re-reading the env).
+/// `None` removes the override. Takes precedence over the env var.
+pub fn set_jobs_override(jobs: Option<usize>) {
+    JOBS_OVERRIDE.store(jobs.unwrap_or(0), Ordering::Relaxed);
+}
+
+/// The job count [`run_cells`] would use for a sweep of `cells` cells:
+/// override, else `TRAFFIC_JOBS`, else `cores / 2`, all clamped to
+/// `[1, cells]`.
+pub fn planned_jobs(cells: usize) -> usize {
+    if cells <= 1 {
+        return 1;
+    }
+    let explicit = match JOBS_OVERRIDE.load(Ordering::Relaxed) {
+        0 => std::env::var("TRAFFIC_JOBS")
+            .ok()
+            .and_then(|s| s.trim().parse::<usize>().ok())
+            .filter(|&n| n >= 1),
+        n => Some(n),
+    };
+    explicit.unwrap_or_else(|| (pool::num_threads() / 2).max(1)).clamp(1, cells)
+}
+
+/// `TRAFFIC_CELL_MANIFESTS=<dir>`: per-cell JSONL manifest directory.
+fn manifest_dir() -> Option<PathBuf> {
+    std::env::var("TRAFFIC_CELL_MANIFESTS").ok().filter(|s| !s.trim().is_empty()).map(PathBuf::from)
+}
+
+/// A cell label as a manifest file stem: path separators and other
+/// non-filename characters become `-`.
+fn manifest_name(label: &str) -> String {
+    label
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() || matches!(c, '-' | '_' | '.') { c } else { '-' })
+        .collect()
+}
+
+/// Runs one cell with scoped obs: a per-cell manifest sink when `dir`
+/// is set, and (in parallel mode) `cell_start`/`cell_end` events for
+/// the console's in-flight progress lines.
+fn run_one<T>(
+    label: &str,
+    dir: Option<&Path>,
+    announce: bool,
+    f: impl FnOnce() -> T,
+) -> (Result<T, String>, f64) {
+    let _scope = dir.map(|d| match traffic_obs::JsonlSink::create(d, &manifest_name(label)) {
+        Ok(sink) => traffic_obs::CellScope::enter_with_sink(label, Arc::new(sink)),
+        Err(e) => {
+            // Telemetry must never sink an experiment: tag-only fallback.
+            eprintln!("traffic-sched: cannot create manifest for {label}: {e}");
+            traffic_obs::CellScope::enter(label)
+        }
+    });
+    if announce {
+        traffic_obs::emit_with(|| traffic_obs::Event::new("cell_start").with("cell", label));
+    }
+    let start = Instant::now();
+    let result = run_cell(label, f);
+    let secs = start.elapsed().as_secs_f64();
+    traffic_obs::histogram("sched/cell_s").record(secs);
+    if announce {
+        traffic_obs::emit_with(|| {
+            traffic_obs::Event::new("cell_end")
+                .with("cell", label)
+                .with("ok", result.is_ok())
+                .with("secs", secs)
+        });
+    }
+    (result, secs)
+}
+
+/// Runs every `(label, body)` cell and returns their outcomes **in
+/// submission order**, regardless of completion order. See the module
+/// docs for the scheduling, determinism, and obs-scoping rules.
+pub fn run_cells<T, F>(group: &str, cells: Vec<(String, F)>) -> Vec<CellOutcome<T>>
+where
+    T: Send,
+    F: FnOnce() -> T + Send,
+{
+    let n = cells.len();
+    // A sweep started from inside a cell stays serial: its cell already
+    // owns exactly one core group.
+    let jobs = if traffic_obs::current_cell().is_some() { 1 } else { planned_jobs(n) };
+    let dir = manifest_dir();
+    if jobs <= 1 {
+        // Legacy serial path: same thread, same call order as the
+        // pre-scheduler sweeps.
+        return cells
+            .into_iter()
+            .map(|(label, f)| {
+                let (result, secs) = run_one(&label, dir.as_deref(), false, f);
+                CellOutcome { label, result, secs }
+            })
+            .collect();
+    }
+
+    // Each job thread's kernels fan out over one core group; an
+    // enclosing caller cap clamps the groups (nested caps only shrink).
+    let group_cap = (pool::num_threads() / jobs).max(1).min(pool::current_cap());
+    traffic_obs::counter("sched/parallel_sweeps").inc();
+    traffic_obs::emit_with(|| {
+        traffic_obs::Event::new("sched_start")
+            .with("group", group)
+            .with("cells", n as u64)
+            .with("jobs", jobs as u64)
+            .with("group_threads", group_cap as u64)
+    });
+    let sweep_start = Instant::now();
+    let next = AtomicUsize::new(0);
+    let work: Vec<Mutex<Option<(String, F)>>> =
+        cells.into_iter().map(|c| Mutex::new(Some(c))).collect();
+    let slots: Vec<Mutex<Option<CellOutcome<T>>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|s| {
+        for w in 0..jobs {
+            let (next, work, slots, dir) = (&next, &work, &slots, &dir);
+            std::thread::Builder::new()
+                .name(format!("traffic-sched-{w}"))
+                .spawn_scoped(s, move || {
+                    let _cap = pool::ThreadCapGuard::new(group_cap);
+                    loop {
+                        // Self-scheduling queue: claim the next unstarted
+                        // cell; slow cells never block the ones behind them.
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        let (label, f) = work[i]
+                            .lock()
+                            .expect("sched work slot poisoned")
+                            .take()
+                            .expect("cell claimed twice");
+                        let (result, secs) = run_one(&label, dir.as_deref(), true, f);
+                        *slots[i].lock().expect("sched result slot poisoned") =
+                            Some(CellOutcome { label, result, secs });
+                    }
+                })
+                .expect("failed to spawn scheduler job thread");
+        }
+    });
+    traffic_obs::emit_with(|| {
+        traffic_obs::Event::new("sched_end")
+            .with("group", group)
+            .with("cells", n as u64)
+            .with("jobs", jobs as u64)
+            .with("wall_s", sweep_start.elapsed().as_secs_f64())
+    });
+    slots
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("sched result slot poisoned")
+                .expect("scheduler finished with an unfilled cell slot")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Serialises tests that flip the process-global jobs override.
+    fn jobs_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn label_cells(n: usize) -> Vec<(String, impl FnOnce() -> usize + Send)> {
+        (0..n).map(|i| (format!("t/cell{i}"), move || i * 10)).collect()
+    }
+
+    #[test]
+    fn collection_order_is_submission_order() {
+        let _g = jobs_lock();
+        set_jobs_override(Some(4));
+        let out = run_cells("t", label_cells(17));
+        set_jobs_override(None);
+        assert_eq!(out.len(), 17);
+        for (i, o) in out.iter().enumerate() {
+            assert_eq!(o.label, format!("t/cell{i}"));
+            assert_eq!(*o.result.as_ref().unwrap(), i * 10);
+            assert!(o.secs >= 0.0);
+        }
+    }
+
+    #[test]
+    fn panicking_cell_is_isolated_in_parallel_mode() {
+        let _g = jobs_lock();
+        set_jobs_override(Some(3));
+        let cells: Vec<(String, Box<dyn FnOnce() -> usize + Send>)> = (0..6)
+            .map(|i| {
+                let f: Box<dyn FnOnce() -> usize + Send> =
+                    if i == 2 { Box::new(|| panic!("cell blew up")) } else { Box::new(move || i) };
+                (format!("t/p{i}"), f)
+            })
+            .collect();
+        let out = run_cells("t", cells);
+        set_jobs_override(None);
+        assert_eq!(out.len(), 6);
+        for (i, o) in out.iter().enumerate() {
+            if i == 2 {
+                assert_eq!(o.result.as_ref().unwrap_err(), "cell blew up");
+            } else {
+                assert_eq!(*o.result.as_ref().unwrap(), i);
+            }
+        }
+    }
+
+    #[test]
+    fn planned_jobs_clamps() {
+        let _g = jobs_lock();
+        set_jobs_override(Some(8));
+        assert_eq!(planned_jobs(3), 3, "jobs never exceed cells");
+        assert_eq!(planned_jobs(1), 1, "single cell is always serial");
+        assert_eq!(planned_jobs(100), 8);
+        set_jobs_override(None);
+        assert!(planned_jobs(100) >= 1);
+    }
+
+    #[test]
+    fn nested_sweeps_run_serial() {
+        let _g = jobs_lock();
+        set_jobs_override(Some(4));
+        let outer: Vec<(String, _)> = vec![("t/outer".to_string(), || {
+            let inner = run_cells("t-inner", label_cells(3));
+            inner.iter().map(|o| *o.result.as_ref().unwrap()).sum::<usize>()
+        })];
+        let out = run_cells("t-outer", outer);
+        set_jobs_override(None);
+        assert_eq!(*out[0].result.as_ref().unwrap(), 30);
+    }
+
+    #[test]
+    fn manifest_names_are_filesystem_safe() {
+        assert_eq!(manifest_name("fig1/METR-LA/Graph-WaveNet"), "fig1-METR-LA-Graph-WaveNet");
+        assert_eq!(manifest_name("a b@c"), "a-b-c");
+    }
+}

@@ -156,6 +156,9 @@ pub fn validation_loss(
     if faults::fire("nan_val").is_some() {
         return f32::NAN;
     }
+    // No backward pass ever runs on these forwards: let models take
+    // their inference shortcuts (e.g. GWN's cached adjacency).
+    let _inf = traffic_tensor::inference::InferenceGuard::enter();
     let mut sum = 0.0f64;
     let mut count = 0usize;
     // One tape for the whole split: `reset` keeps the node list's
@@ -610,6 +613,9 @@ pub fn predict(
     scaler: &ZScore,
     batch_size: usize,
 ) -> Tensor {
+    // Pure no-grad evaluation: models may shortcut (GWN serves its
+    // cached adaptive adjacency) without changing any value.
+    let _inf = traffic_tensor::inference::InferenceGuard::enter();
     let mut parts: Vec<Tensor> = Vec::new();
     let mut tape = Tape::new();
     for batch in batches(data, batch_size, None::<&mut StdRng>) {

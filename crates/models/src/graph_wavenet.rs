@@ -4,9 +4,11 @@
 //! learned end-to-end. All 12 output steps are produced in a single pass —
 //! the reason Table III shows it with the fastest inference.
 
+use std::cell::RefCell;
+
 use rand::rngs::StdRng;
 use traffic_nn::{Conv2d, DiffusionConv, GatedTemporalConv, Param, ParamStore, TemporalPadding};
-use traffic_tensor::{init, Tape, Var};
+use traffic_tensor::{inference, init, Tape, Tensor, Var};
 
 use crate::common::{to_conv_layout, GraphContext, TrafficModel, TrainCtx};
 use crate::meta::{taxonomy, ModelMeta};
@@ -67,6 +69,12 @@ pub struct GraphWavenet {
     end2: Conv2d,
     e1: Option<Param>,
     e2: Option<Param>,
+    /// Inference-mode cache of the materialized `[N, N]` adaptive
+    /// adjacency, keyed by the embeddings' mutation counters. Rebuilding
+    /// the `softmax(relu(E₁E₂ᵀ))` subgraph dominates small-batch no-grad
+    /// forwards (Table III, `predict`), yet between optimizer steps its
+    /// value never changes.
+    adaptive_cache: RefCell<Option<(u64, u64, Tensor)>>,
     cfg: GraphWavenetConfig,
 }
 
@@ -162,7 +170,17 @@ impl GraphWavenet {
             } else {
                 (None, None)
             };
-        GraphWavenet { store, start, layers, end1, end2, e1, e2, cfg }
+        GraphWavenet {
+            store,
+            start,
+            layers,
+            end1,
+            end2,
+            e1,
+            e2,
+            adaptive_cache: RefCell::new(None),
+            cfg,
+        }
     }
 
     /// The learned adaptive adjacency `softmax(relu(E₁ E₂ᵀ))`, or `None`
@@ -171,6 +189,28 @@ impl GraphWavenet {
         let (e1, e2) = (self.e1.as_ref()?, self.e2.as_ref()?);
         let a = e1.var(tape).matmul(&e2.var(tape).t()).relu();
         Some(a.softmax(1))
+    }
+
+    /// The materialized adaptive adjacency, cached across no-grad
+    /// forwards and invalidated whenever an optimizer step touches an
+    /// embedding. The cached tensor is produced by the exact kernel
+    /// chain the tape path runs, so serving it is bit-identical to
+    /// recomputing — the eval-vs-train determinism tests pin this.
+    fn cached_adaptive(&self) -> Option<Tensor> {
+        let (e1, e2) = (self.e1.as_ref()?, self.e2.as_ref()?);
+        let key = (e1.version(), e2.version());
+        if let Some((v1, v2, a)) = self.adaptive_cache.borrow().as_ref() {
+            if (*v1, *v2) == key {
+                return Some(a.clone());
+            }
+        }
+        // Constants on a scratch tape: same compute, no autograd bookkeeping
+        // and no interference with the parameters' tape-binding cache.
+        let t = Tape::new();
+        let a = t.constant(e1.value()).matmul(&t.constant(e2.value()).t()).relu().softmax(1);
+        let a = a.value();
+        *self.adaptive_cache.borrow_mut() = Some((key.0, key.1, a.clone()));
+        Some(a)
     }
 }
 
@@ -196,7 +236,16 @@ impl TrafficModel for GraphWavenet {
         let shape = x.shape();
         let (b, t, n) = (shape[0], shape[1], shape[2]);
         assert_eq!(t, self.cfg.t_in);
-        let adaptive: Vec<Var<'t>> = self.adaptive_adjacency(tape).into_iter().collect();
+        // In inference mode the gradient never flows, so the adjacency is a
+        // constant: serve the cached materialization instead of re-recording
+        // its subgraph on every forward. Training (or a no-grad forward that
+        // still wants the graph, e.g. gradcheck outside the trainer) keeps
+        // the tape path.
+        let adaptive: Vec<Var<'t>> = if train.is_none() && inference::active() {
+            self.cached_adaptive().map(|a| tape.constant(a)).into_iter().collect()
+        } else {
+            self.adaptive_adjacency(tape).into_iter().collect()
+        };
         let mut h = self.start.forward(tape, to_conv_layout(x)); // [B, R, N, T]
         let mut skip_sum: Option<Var<'t>> = None;
         for layer in &self.layers {
@@ -323,6 +372,34 @@ mod tests {
         let mut mid = base.clone();
         mid.make_mut()[5 * 6 * 2] = 3.0; // t = 5, node 0, value feature
         assert_ne!(run(mid), y0, "step inside the receptive field must matter");
+    }
+
+    #[test]
+    fn cached_inference_is_bit_identical_and_invalidates() {
+        let (ctx, mut rng) = setup();
+        let model = GraphWavenet::new(&ctx, GraphWavenetConfig::default(), &mut rng);
+        let x = init::uniform(&[2, 12, 6, 2], -1.0, 1.0, &mut rng);
+        let run = |m: &GraphWavenet| {
+            let tape = Tape::new();
+            m.forward(&tape, tape.constant(x.clone()), None).value()
+        };
+        let plain = run(&model);
+        let cached = {
+            let _inf = inference::InferenceGuard::enter();
+            let first = run(&model);
+            // second forward actually hits the cache
+            assert!(model.adaptive_cache.borrow().is_some());
+            let second = run(&model);
+            assert_eq!(first, second);
+            first
+        };
+        assert_eq!(plain, cached, "cached adjacency must not change the forward value");
+
+        // An optimizer-style in-place update must invalidate the cache.
+        model.e1.as_ref().unwrap().update_value(|t| t.map_inplace(|v| v + 0.5));
+        let _inf = inference::InferenceGuard::enter();
+        let after = run(&model);
+        assert_ne!(plain, after, "stale adjacency served after embedding update");
     }
 
     #[test]

@@ -17,6 +17,11 @@ pub struct Parameter {
     grad: RefCell<Option<Tensor>>,
     /// `(tape_id, var_id)` of the leaf created for the current forward pass.
     binding: Cell<(u64, usize)>,
+    /// Bumped on every value mutation; lets derived-tensor caches
+    /// (e.g. Graph-WaveNet's materialized adaptive adjacency) detect
+    /// staleness without comparing buffers — in-place optimizer steps
+    /// reuse the same allocation, so pointer identity is useless.
+    version: Cell<u64>,
 }
 
 /// Shared handle to a [`Parameter`].
@@ -29,6 +34,7 @@ impl Parameter {
             value: RefCell::new(value),
             grad: RefCell::new(None),
             binding: Cell::new((0, usize::MAX)),
+            version: Cell::new(0),
         })
     }
 
@@ -61,6 +67,7 @@ impl Parameter {
             self.name
         );
         *self.value.borrow_mut() = t;
+        self.version.set(self.version.get() + 1);
     }
 
     /// Mutates the value in place (fused optimizer steps). The closure
@@ -68,6 +75,14 @@ impl Parameter {
     /// keeps any outstanding snapshots/tape leaves unchanged.
     pub fn update_value(&self, f: impl FnOnce(&mut Tensor)) {
         f(&mut self.value.borrow_mut());
+        self.version.set(self.version.get() + 1);
+    }
+
+    /// Monotone mutation counter: changes whenever [`Parameter::set_value`]
+    /// or [`Parameter::update_value`] touched the value. Cache keys for
+    /// tensors derived from this parameter.
+    pub fn version(&self) -> u64 {
+        self.version.get()
     }
 
     /// The gradient captured by the last backward pass, if any.
@@ -460,6 +475,20 @@ mod tests {
         store.poison_grads();
         let h = store.group_health(None);
         assert!(!h[0].grad_norm.expect("grad stored").is_finite());
+    }
+
+    #[test]
+    fn version_tracks_every_mutation() {
+        let mut store = ParamStore::new();
+        let w = store.add("w", Tensor::zeros(&[2]));
+        let v0 = w.version();
+        w.set_value(Tensor::ones(&[2]));
+        let v1 = w.version();
+        assert_ne!(v0, v1);
+        w.update_value(|t| t.map_inplace(|v| v + 1.0));
+        assert_ne!(w.version(), v1);
+        w.grad(); // reads must not bump
+        assert_eq!(w.version(), v1 + 1);
     }
 
     #[test]

@@ -26,6 +26,14 @@
 //! is a catchable panic and `hard` is `std::process::abort`, i.e. a
 //! SIGKILL-grade death no destructor or unwind handler sees).
 //!
+//! **Cell filter.** Under the parallel experiment scheduler, cells on
+//! other threads would otherwise advance a site's global call counter
+//! nondeterministically. A filter ([`set_cell_filter`] or the
+//! `TRAFFIC_FAULT_CELL` env var) restricts counting to calls made
+//! inside a cell scope whose label contains the given substring (see
+//! [`crate::scope`]), making fault plans reproducible in both serial
+//! and parallel sweeps.
+//!
 //! The disabled fast path is one relaxed atomic load — safe to leave
 //! `fire` calls on hot paths.
 
@@ -62,6 +70,27 @@ fn plans() -> &'static Mutex<HashMap<String, Plan>> {
     PLANS.get_or_init(|| Mutex::new(HashMap::new()))
 }
 
+fn cell_filter() -> &'static Mutex<Option<String>> {
+    static FILTER: OnceLock<Mutex<Option<String>>> = OnceLock::new();
+    FILTER.get_or_init(|| Mutex::new(None))
+}
+
+/// Restricts [`fire`] to calls made inside a cell scope whose label
+/// contains `filter` (substring match); calls from other cells — or
+/// from outside any cell — neither count nor fire. `None` removes the
+/// restriction. [`reset`] also clears it.
+pub fn set_cell_filter(filter: Option<&str>) {
+    *cell_filter().lock().unwrap_or_else(|e| e.into_inner()) = filter.map(str::to_string);
+}
+
+fn cell_matches() -> bool {
+    let f = cell_filter().lock().unwrap_or_else(|e| e.into_inner());
+    match f.as_deref() {
+        None => true,
+        Some(f) => crate::scope::current_cell().is_some_and(|c| c.contains(f)),
+    }
+}
+
 fn ensure_env_parsed() {
     if ENV_PARSED.swap(true, Ordering::SeqCst) {
         return;
@@ -72,6 +101,12 @@ fn ensure_env_parsed() {
                 Some((site, at, mode)) => arm(&site, at, mode),
                 None => eprintln!("TRAFFIC_FAULTS: ignoring malformed entry {item:?}"),
             }
+        }
+    }
+    if let Ok(cell) = std::env::var("TRAFFIC_FAULT_CELL") {
+        let cell = cell.trim();
+        if !cell.is_empty() {
+            set_cell_filter(Some(cell));
         }
     }
 }
@@ -99,11 +134,14 @@ pub fn arm(site: &str, at: u64, mode: FaultMode) {
     }
 }
 
-/// Disarms every fault and resets call counters (tests).
+/// Disarms every fault, resets call counters, and clears the cell
+/// filter (tests).
 pub fn reset() {
     let mut map = plans().lock().unwrap_or_else(|e| e.into_inner());
     map.clear();
     ARMED.store(0, Ordering::SeqCst);
+    drop(map);
+    set_cell_filter(None);
 }
 
 /// True when at least one fault is armed and unfired.
@@ -117,6 +155,9 @@ pub fn any_armed() -> bool {
 pub fn fire(site: &str) -> Option<FaultMode> {
     ensure_env_parsed();
     if ARMED.load(Ordering::Relaxed) == 0 {
+        return None;
+    }
+    if !cell_matches() {
         return None;
     }
     let mut map = plans().lock().unwrap_or_else(|e| e.into_inner());
@@ -186,6 +227,30 @@ mod tests {
         arm("t.r", 2, FaultMode::Soft); // counter back to 0
         assert_eq!(fire("t.r"), None);
         assert_eq!(fire("t.r"), Some(FaultMode::Soft));
+        reset();
+    }
+
+    #[test]
+    fn cell_filter_scopes_counting() {
+        let _g = lock();
+        reset();
+        set_cell_filter(Some("fig1/METR-LA/STGCN"));
+        arm("t.cell", 2, FaultMode::Soft);
+        // Outside any cell: neither counts nor fires.
+        assert_eq!(fire("t.cell"), None);
+        {
+            // A non-matching cell: still ignored.
+            let _scope = crate::scope::CellScope::enter("fig1/METR-LA/DCRNN");
+            assert_eq!(fire("t.cell"), None);
+        }
+        {
+            let _scope = crate::scope::CellScope::enter("fig1/METR-LA/STGCN");
+            assert_eq!(fire("t.cell"), None); // call 1
+            assert_eq!(fire("t.cell"), Some(FaultMode::Soft)); // call 2
+        }
+        reset(); // must clear the filter too
+        arm("t.cell2", 1, FaultMode::Soft);
+        assert_eq!(fire("t.cell2"), Some(FaultMode::Soft));
         reset();
     }
 

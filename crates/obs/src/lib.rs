@@ -43,6 +43,7 @@ pub mod json;
 pub mod metrics;
 pub mod profile;
 pub mod run;
+pub mod scope;
 pub mod sink;
 pub mod span;
 pub mod store;
@@ -53,6 +54,7 @@ pub use metrics::{
     counter, gauge, histogram, metrics_snapshot, reset_metrics, Counter, Gauge, Histogram,
 };
 pub use run::{Run, RunBuilder};
+pub use scope::{current_cell, CellScope};
 pub use sink::{add_sink, clear_sinks, enabled, remove_sink, ConsoleSink, JsonlSink, Sink};
 pub use span::{
     current_thread_id, span_marker, span_stats, span_stats_local, spans_since, SpanGuard,

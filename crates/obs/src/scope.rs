@@ -1,0 +1,142 @@
+//! Cell scopes: thread-local event tagging and per-cell sinks.
+//!
+//! The parallel experiment scheduler runs many sweep cells at once, and
+//! the global sink table is shared by all of them — without scoping,
+//! concurrent cells interleave their JSONL lines and sparklines beyond
+//! repair. A [`CellScope`] fixes both halves:
+//!
+//! - **Tagging.** While a scope is active on a thread, every event
+//!   dispatched from that thread gains a `cell` field with the scope's
+//!   label, so shared sinks can tell concurrent cells apart.
+//! - **Scoped sinks.** A scope may carry its own [`Sink`] (typically a
+//!   [`crate::JsonlSink`] writing a per-cell manifest). Events emitted
+//!   on the thread are delivered to the innermost scoped sink *and* to
+//!   the global table; the scoped sink is flushed when the scope drops.
+//!
+//! Scopes are strictly thread-local and RAII: nothing leaks to other
+//! threads (a concurrent cell never sees a neighbour's label) or past a
+//! panic that unwinds through the scope. Nested scopes shadow the outer
+//! label; the innermost sink wins.
+
+use std::cell::RefCell;
+use std::sync::Arc;
+
+use crate::sink::Sink;
+
+struct Frame {
+    label: Arc<str>,
+    sink: Option<Arc<dyn Sink>>,
+}
+
+thread_local! {
+    static STACK: RefCell<Vec<Frame>> = const { RefCell::new(Vec::new()) };
+}
+
+/// RAII guard for one cell scope (see module docs). `!Send`: must drop
+/// on the thread that entered it.
+#[must_use = "the scope ends when the guard drops"]
+pub struct CellScope {
+    _not_send: std::marker::PhantomData<*const ()>,
+}
+
+impl CellScope {
+    /// Enters a tag-only scope: events from this thread gain
+    /// `cell=<label>` until drop.
+    pub fn enter(label: &str) -> Self {
+        Self::push(label, None)
+    }
+
+    /// Enters a scope that also routes this thread's events into `sink`
+    /// (flushed on drop), in addition to the global sink table.
+    pub fn enter_with_sink(label: &str, sink: Arc<dyn Sink>) -> Self {
+        Self::push(label, Some(sink))
+    }
+
+    fn push(label: &str, sink: Option<Arc<dyn Sink>>) -> Self {
+        STACK.with(|s| s.borrow_mut().push(Frame { label: Arc::from(label), sink }));
+        CellScope { _not_send: std::marker::PhantomData }
+    }
+}
+
+impl Drop for CellScope {
+    fn drop(&mut self) {
+        let frame = STACK.with(|s| s.borrow_mut().pop());
+        if let Some(Frame { sink: Some(sink), .. }) = frame {
+            sink.flush();
+        }
+    }
+}
+
+/// The innermost cell label active on the current thread, if any.
+pub fn current_cell() -> Option<Arc<str>> {
+    STACK.with(|s| s.borrow().last().map(|f| Arc::clone(&f.label)))
+}
+
+/// The innermost scoped sink active on the current thread, if any.
+pub(crate) fn scoped_sink() -> Option<Arc<dyn Sink>> {
+    STACK.with(|s| s.borrow().iter().rev().find_map(|f| f.sink.clone()))
+}
+
+/// True when any scope on the current thread carries a sink — part of
+/// the [`crate::enabled`] fast path, so scoped-sink-only events are
+/// still built.
+pub(crate) fn has_scoped_sink() -> bool {
+    STACK.with(|s| s.borrow().iter().any(|f| f.sink.is_some()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Event;
+    use std::sync::Mutex;
+
+    #[derive(Default)]
+    struct Capture {
+        events: Mutex<Vec<Event>>,
+        flushes: Mutex<usize>,
+    }
+
+    impl Sink for Capture {
+        fn on_event(&self, event: &Event) {
+            self.events.lock().unwrap().push(event.clone());
+        }
+        fn flush(&self) {
+            *self.flushes.lock().unwrap() += 1;
+        }
+    }
+
+    #[test]
+    fn labels_nest_and_restore() {
+        assert_eq!(current_cell(), None);
+        let _a = CellScope::enter("outer");
+        assert_eq!(current_cell().as_deref(), Some("outer"));
+        {
+            let _b = CellScope::enter("inner");
+            assert_eq!(current_cell().as_deref(), Some("inner"));
+        }
+        assert_eq!(current_cell().as_deref(), Some("outer"));
+    }
+
+    #[test]
+    fn scoped_sink_receives_tagged_events_and_flushes() {
+        let cap = Arc::new(Capture::default());
+        {
+            let _scope = CellScope::enter_with_sink("fig1/x/y", cap.clone() as Arc<dyn Sink>);
+            // No global sink is installed, yet emit_with must still fire.
+            crate::emit_with(|| Event::new("epoch").with("loss", 1.0));
+        }
+        let events = cap.events.lock().unwrap();
+        assert_eq!(events.len(), 1);
+        match events[0].get("cell") {
+            Some(crate::Value::Str(s)) => assert_eq!(s, "fig1/x/y"),
+            other => panic!("missing cell tag: {other:?}"),
+        }
+        assert!(*cap.flushes.lock().unwrap() >= 1, "scope drop must flush the sink");
+    }
+
+    #[test]
+    fn scope_is_thread_local() {
+        let _scope = CellScope::enter("here");
+        std::thread::spawn(|| assert_eq!(current_cell(), None)).join().unwrap();
+    }
+}

@@ -26,9 +26,10 @@ pub trait Sink: Send + Sync {
 static ENABLED: AtomicBool = AtomicBool::new(false);
 static SINKS: RwLock<Vec<Arc<dyn Sink>>> = RwLock::new(Vec::new());
 
-/// True when at least one sink is installed.
+/// True when at least one sink is listening: a global one, or a
+/// cell-scoped sink on the current thread.
 pub fn enabled() -> bool {
-    ENABLED.load(Ordering::Relaxed)
+    ENABLED.load(Ordering::Relaxed) || crate::scope::has_scoped_sink()
 }
 
 /// Installs a sink; events flow to it until [`remove_sink`] /
@@ -54,12 +55,29 @@ pub fn clear_sinks() {
 }
 
 pub(crate) fn dispatch(event: &Event) {
-    if !enabled() {
+    let scoped = crate::scope::scoped_sink();
+    let global = ENABLED.load(Ordering::Relaxed);
+    if !global && scoped.is_none() {
         return;
     }
-    let sinks = SINKS.read().expect("sink table poisoned");
-    for s in sinks.iter() {
+    // Inside a cell scope, tag the event so shared sinks can tell
+    // concurrent cells apart (explicit `cell` fields win).
+    let tagged;
+    let event = match crate::scope::current_cell() {
+        Some(cell) if event.get("cell").is_none() => {
+            tagged = event.clone().with("cell", cell.as_ref());
+            &tagged
+        }
+        _ => event,
+    };
+    if let Some(s) = scoped {
         s.on_event(event);
+    }
+    if global {
+        let sinks = SINKS.read().expect("sink table poisoned");
+        for s in sinks.iter() {
+            s.on_event(event);
+        }
     }
 }
 
@@ -77,9 +95,17 @@ pub(crate) fn flush_all() {
 /// Human-oriented sink: prints one line per epoch with a live loss
 /// sparkline, plus run banners. Span and metric events are skipped
 /// (they belong in the JSONL manifest).
+///
+/// When the experiment scheduler announces concurrent cells
+/// (`cell_start`/`cell_end` events), epoch lines from those cells
+/// switch to one compact `[sched]` progress line per in-flight cell —
+/// interleaved sparklines from parallel cells would be unreadable.
+/// Serial runs (no `cell_start` seen) keep the legacy sparkline output.
 #[derive(Default)]
 pub struct ConsoleSink {
     loss_curves: Mutex<HashMap<String, Vec<f32>>>,
+    /// Cells announced by the scheduler and not yet finished.
+    in_flight: Mutex<Vec<String>>,
 }
 
 impl ConsoleSink {
@@ -117,10 +143,39 @@ impl Sink for ConsoleSink {
                 let wall = field_f64(event, "wall_s").unwrap_or(f64::NAN);
                 println!("[obs] run '{name}' finished in {wall:.2}s");
             }
+            "cell_start" => {
+                if let Some(cell) = field_str(event, "cell") {
+                    let mut cells = self.in_flight.lock().expect("console sink poisoned");
+                    cells.push(cell.to_string());
+                    println!("[sched] > {cell} started ({} in flight)", cells.len());
+                }
+            }
+            "cell_end" => {
+                if let Some(cell) = field_str(event, "cell") {
+                    let mut cells = self.in_flight.lock().expect("console sink poisoned");
+                    cells.retain(|c| c != cell);
+                    let secs = field_f64(event, "secs").unwrap_or(f64::NAN);
+                    let ok = matches!(event.get("ok"), Some(Value::Bool(true)));
+                    let mark = if ok { "ok" } else { "FAILED" };
+                    println!("[sched] < {cell} {mark} in {secs:.1}s ({} in flight)", cells.len());
+                }
+            }
             "epoch" => {
                 let model = field_str(event, "model").unwrap_or("?").to_string();
                 let epoch = field_f64(event, "epoch").unwrap_or(-1.0) as i64;
                 let loss = field_f64(event, "loss").unwrap_or(f64::NAN);
+                // Scheduler-tracked cell: one compact progress line per
+                // in-flight cell instead of an interleaved sparkline.
+                if let Some(cell) = field_str(event, "cell") {
+                    let cells = self.in_flight.lock().expect("console sink poisoned");
+                    if cells.iter().any(|c| c == cell) {
+                        println!(
+                            "[sched] {cell} epoch {epoch} loss {loss:.4} ({} in flight)",
+                            cells.len()
+                        );
+                        return;
+                    }
+                }
                 let spark = {
                     let mut curves = self.loss_curves.lock().expect("console sink poisoned");
                     let curve = curves.entry(model.clone()).or_default();

@@ -37,6 +37,7 @@ pub mod conv;
 pub mod fastmath;
 pub mod gemm;
 pub mod gradcheck;
+pub mod inference;
 pub mod init;
 mod linalg;
 pub mod mem;

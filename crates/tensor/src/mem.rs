@@ -55,7 +55,7 @@ const DEFAULT_CAP_BYTES: usize = 256 << 20;
 /// Runtime override for the retention cap; `usize::MAX` means "use the
 /// `TRAFFIC_MEM_CAP` env var / default". Tests and benches flip this to
 /// compare pooled vs unpooled runs in one process, mirroring
-/// [`crate::pool::set_thread_cap`].
+/// [`crate::pool::ThreadCapGuard`].
 static CAP_OVERRIDE: AtomicUsize = AtomicUsize::new(usize::MAX);
 
 /// Bytes currently retained across all free lists.

@@ -23,7 +23,7 @@
 use std::collections::VecDeque;
 use std::ops::Range;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 
 /// Break work into at most this many tasks per participating thread;
@@ -139,16 +139,18 @@ fn worker_loop(shared: Arc<Shared>) {
 
 static POOL: OnceLock<Pool> = OnceLock::new();
 
-/// Runtime cap on threads used per dispatch (`usize::MAX` = uncapped).
-/// Benches and determinism tests use it to compare serial vs parallel
-/// execution inside one process without re-reading the environment.
-static THREAD_CAP: AtomicUsize = AtomicUsize::new(usize::MAX);
-
 thread_local! {
     /// True while this thread is executing a pool task (worker threads
     /// permanently; dispatching threads while helping). Nested
     /// parallel ops then run inline instead of re-entering the queue.
     static IN_TASK: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+
+    /// Per-thread cap on threads a dispatch from this thread may use
+    /// (`usize::MAX` = uncapped). Scoped via [`ThreadCapGuard`]; being
+    /// thread-local is what lets the experiment scheduler give each of
+    /// its job threads a private core group without the old
+    /// process-global `set_thread_cap` races.
+    static LOCAL_CAP: std::cell::Cell<usize> = const { std::cell::Cell::new(usize::MAX) };
 }
 
 struct PoolMetrics {
@@ -193,16 +195,52 @@ pub fn num_threads() -> usize {
     pool().threads
 }
 
-/// Caps the threads any subsequent dispatch may use (`1` forces inline
-/// serial execution). Pass `usize::MAX` to restore the default. The
-/// workers stay alive either way; this only limits task fan-out.
-pub fn set_thread_cap(cap: usize) {
-    THREAD_CAP.store(cap.max(1), Ordering::Relaxed);
+/// Scoped, per-thread cap on the threads a dispatch may use. Replaces
+/// the old process-global `set_thread_cap`, whose set/reset pairs raced
+/// across concurrent callers and leaked caps on early return.
+///
+/// While the guard is alive, every [`parallel_for`] issued *from this
+/// thread* fans out to at most `cap` threads (`1` forces inline serial
+/// execution); drop restores the enclosing cap. Nesting only shrinks:
+/// an inner guard is clamped to the enclosing cap, so a scheduler core
+/// group created inside a user cap can never exceed the user cap. The
+/// pool workers stay alive either way; this only limits task fan-out.
+///
+/// The guard is `!Send` — it must be dropped on the thread that
+/// created it.
+#[must_use = "the cap is restored when the guard drops"]
+pub struct ThreadCapGuard {
+    prev: usize,
+    _not_send: std::marker::PhantomData<*const ()>,
 }
 
-/// Current effective parallelism: pool width limited by the cap.
+impl ThreadCapGuard {
+    /// Caps dispatch fan-out from the current thread at
+    /// `min(cap.max(1), enclosing cap)` until drop.
+    pub fn new(cap: usize) -> Self {
+        let prev = LOCAL_CAP.with(|c| c.get());
+        LOCAL_CAP.with(|c| c.set(cap.max(1).min(prev)));
+        ThreadCapGuard { prev, _not_send: std::marker::PhantomData }
+    }
+}
+
+impl Drop for ThreadCapGuard {
+    fn drop(&mut self) {
+        LOCAL_CAP.with(|c| c.set(self.prev));
+    }
+}
+
+/// The cap in effect on the current thread (`usize::MAX` when
+/// uncapped). The experiment scheduler reads this to clamp the core
+/// groups it hands its job threads under a caller's enclosing cap.
+pub fn current_cap() -> usize {
+    LOCAL_CAP.with(|c| c.get())
+}
+
+/// Current effective parallelism: pool width limited by this thread's
+/// scoped cap.
 pub fn effective_threads() -> usize {
-    num_threads().min(THREAD_CAP.load(Ordering::Relaxed))
+    num_threads().min(current_cap())
 }
 
 /// Spins the pool up (thread creation, first-touch of queue memory) so
@@ -403,16 +441,8 @@ mod tests {
         assert!(data[60..].iter().all(|&v| v == 3));
     }
 
-    /// Serialises the tests that mutate the process-global thread cap.
-    fn cap_lock() -> std::sync::MutexGuard<'static, ()> {
-        static LOCK: Mutex<()> = Mutex::new(());
-        LOCK.lock().unwrap_or_else(|e| e.into_inner())
-    }
-
     #[test]
     fn worker_panic_propagates() {
-        let _guard = cap_lock();
-        set_thread_cap(usize::MAX);
         if effective_threads() <= 1 {
             return; // degenerate 1-core host: nothing crosses a thread
         }
@@ -444,15 +474,57 @@ mod tests {
 
     #[test]
     fn cap_one_is_serial_inline() {
-        let _guard = cap_lock();
-        set_thread_cap(1);
+        let _cap = ThreadCapGuard::new(1);
         let tid = std::thread::current().id();
         let seen = Mutex::new(Vec::new());
         parallel_for(100, 1, |r| {
             assert_eq!(std::thread::current().id(), tid);
             seen.lock().unwrap().push(r);
         });
-        set_thread_cap(usize::MAX);
         assert_eq!(seen.into_inner().unwrap(), vec![0..100]);
+    }
+
+    #[test]
+    fn cap_guard_restores_on_drop() {
+        let before = current_cap();
+        {
+            let _cap = ThreadCapGuard::new(3);
+            assert_eq!(current_cap(), 3);
+        }
+        assert_eq!(current_cap(), before);
+    }
+
+    #[test]
+    fn nested_caps_only_shrink() {
+        let _outer = ThreadCapGuard::new(2);
+        assert_eq!(current_cap(), 2);
+        {
+            // A wider inner cap is clamped to the enclosing one…
+            let _inner = ThreadCapGuard::new(8);
+            assert_eq!(current_cap(), 2);
+        }
+        {
+            // …while a narrower one takes effect and restores on drop.
+            let _inner = ThreadCapGuard::new(1);
+            assert_eq!(current_cap(), 1);
+        }
+        assert_eq!(current_cap(), 2);
+    }
+
+    #[test]
+    fn cap_is_thread_local() {
+        let _cap = ThreadCapGuard::new(1);
+        assert_eq!(current_cap(), 1);
+        std::thread::spawn(|| {
+            assert_eq!(current_cap(), usize::MAX, "caps must not leak across threads");
+        })
+        .join()
+        .unwrap();
+    }
+
+    #[test]
+    fn zero_cap_clamps_to_one() {
+        let _cap = ThreadCapGuard::new(0);
+        assert_eq!(current_cap(), 1);
     }
 }

@@ -4,8 +4,15 @@
 //!
 //! ```text
 //! cargo run --release --example full_report -- --scale quick \
-//!     [--out reports/EXPERIMENTS_generated.md]
+//!     [--out reports/EXPERIMENTS_generated.md] \
+//!     [--datasets METR-LA,PeMSD8] [--models STGCN,Graph-WaveNet]
 //! ```
+//!
+//! `--datasets` / `--models` restrict the sweeps to a comma-separated
+//! subset (CI smokes); unknown names are ignored with a warning. The
+//! sweeps run on the experiment scheduler: `TRAFFIC_JOBS=N` trains N
+//! cells concurrently (default `cores/2`), `TRAFFIC_JOBS=1` is the
+//! legacy serial path, and the rows are bit-identical either way.
 
 use std::fmt::Write as _;
 use std::path::PathBuf;
@@ -26,6 +33,20 @@ fn md_table(headers: &[&str], rows: &[Vec<String>]) -> String {
         writeln!(out, "| {} |", r.join(" | ")).unwrap();
     }
     out
+}
+
+/// `--flag a,b,c` as a subset filter over `all` (order preserved from
+/// `all`); `None` when the flag is absent.
+fn subset_arg(flag: &str, all: &[&'static str]) -> Option<Vec<&'static str>> {
+    let raw = std::env::args().skip_while(|a| a != flag).nth(1)?;
+    let wanted: Vec<String> =
+        raw.split(',').map(|s| s.trim().to_string()).filter(|s| !s.is_empty()).collect();
+    for w in &wanted {
+        if !all.contains(&w.as_str()) {
+            eprintln!("full_report: {flag} ignores unknown name {w:?}");
+        }
+    }
+    Some(all.iter().copied().filter(|n| wanted.iter().any(|w| w == n)).collect())
 }
 
 fn main() {
@@ -51,9 +72,14 @@ fn main() {
     )
     .unwrap();
 
+    let all_datasets: Vec<&'static str> = DATASETS.iter().map(|d| d.name).collect();
+    let dataset_names =
+        subset_arg("--datasets", &all_datasets).unwrap_or_else(|| all_datasets.clone());
+    let models = subset_arg("--models", &ALL_MODELS).unwrap_or_else(|| ALL_MODELS.to_vec());
+
     // ---------------- Table III ----------------
-    eprintln!("[1/4] Table III: computation time (8 models on METR-LA)…");
-    let t3 = computation_time(&ALL_MODELS, &scale);
+    eprintln!("[1/4] Table III: computation time ({} models on METR-LA)…", models.len());
+    let t3 = computation_time(&models, &scale);
     let rows: Vec<Vec<String>> = t3
         .iter()
         .map(|r| {
@@ -72,9 +98,12 @@ fn main() {
     md.push('\n');
 
     // ---------------- Fig 1 ----------------
-    eprintln!("[2/4] Fig 1: model comparison (7 datasets × 8 models)…");
-    let dataset_names: Vec<&str> = DATASETS.iter().map(|d| d.name).collect();
-    let f1 = model_comparison(&dataset_names, &ALL_MODELS, &scale);
+    eprintln!(
+        "[2/4] Fig 1: model comparison ({} datasets × {} models)…",
+        dataset_names.len(),
+        models.len()
+    );
+    let f1 = model_comparison(&dataset_names, &models, &scale);
     writeln!(md, "## Fig 1 — accuracy (mean ± std over {} repeat(s))\n", scale.repeats).unwrap();
     let rows: Vec<Vec<String>> = f1
         .iter()
@@ -112,7 +141,7 @@ fn main() {
 
     // ---------------- Fig 2 ----------------
     eprintln!("[3/4] Fig 2: difficult intervals (METR-LA)…");
-    let f2 = difficult_interval_experiment("METR-LA", &ALL_MODELS, &scale);
+    let f2 = difficult_interval_experiment("METR-LA", &models, &scale);
     writeln!(md, "## Fig 2 — difficult intervals (METR-LA)\n").unwrap();
     let rows: Vec<Vec<String>> = f2
         .iter()

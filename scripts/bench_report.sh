@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Regenerates BENCH_report.json at the workspace root: the experiment
+# scheduler's mini Fig-1 sweep timed serial vs parallel (wall-clock plus
+# per-cell p50/p99 from the sched/cell_s histogram), and Graph-WaveNet's
+# eval-mode forward with the adaptive-adjacency cache on vs off.
+#
+# The bench asserts the serial and parallel sweeps produced
+# bit-identical rows before publishing any timing. The
+# speedup_parallel_vs_serial key is emitted only on multi-core runners;
+# cores and jobs are always recorded so the numbers stay interpretable.
+#
+# Usage:
+#   scripts/bench_report.sh                 # full run
+#   BENCH_SMOKE=1 scripts/bench_report.sh   # fast CI smoke pass
+#
+# TRAFFIC_THREADS caps the worker pool (default: all available cores).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+# Pin the pool size explicitly so the JSON's "cores" field reflects a
+# deliberate choice rather than whatever the environment leaked in.
+export TRAFFIC_THREADS="${TRAFFIC_THREADS:-$(nproc)}"
+
+cargo bench -p traffic-bench --bench report
+echo
+echo "--- BENCH_report.json ---"
+cat BENCH_report.json

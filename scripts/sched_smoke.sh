@@ -1,0 +1,64 @@
+#!/usr/bin/env bash
+# End-to-end smoke test for the experiment scheduler: the same tiny
+# report generated on the legacy serial path (TRAFFIC_JOBS=1) and on
+# the parallel scheduler (TRAFFIC_JOBS=4) must contain bit-identical
+# experiment rows, and the parallel run's per-cell JSONL manifests must
+# exist and parse through the insight run store.
+#
+# Table III is excluded from the row diff: it reports *wall-clock
+# timings*, which legitimately differ run to run. Everything from Fig 1
+# on (accuracy tables, winners, findings, Fig 2, Fig 3) must match
+# byte for byte.
+#
+# Usage: scripts/sched_smoke.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+WORK=$(mktemp -d "${TMPDIR:-/tmp}/sched_smoke.XXXXXX")
+trap 'rm -rf "$WORK"' EXIT
+
+ARGS=(--scale smoke --datasets METR-LA,PeMSD8 --models STGCN,STSGCN)
+
+echo "[sched_smoke] 1/3 serial report (TRAFFIC_JOBS=1)…"
+TRAFFIC_JOBS=1 cargo run --release -q --example full_report -- \
+  "${ARGS[@]}" --out "$WORK/serial.md" >/dev/null
+
+echo "[sched_smoke] 2/3 parallel report (TRAFFIC_JOBS=4, cell manifests on)…"
+TRAFFIC_JOBS=4 TRAFFIC_CELL_MANIFESTS="$WORK/cells" \
+  cargo run --release -q --example full_report -- \
+  "${ARGS[@]}" --out "$WORK/parallel.md" >/dev/null
+
+# Rows must be bit-identical from Fig 1 onward (Table III is timing).
+awk '/^## Fig 1/,0' "$WORK/serial.md" >"$WORK/serial.rows"
+awk '/^## Fig 1/,0' "$WORK/parallel.md" >"$WORK/parallel.rows"
+[[ -s "$WORK/serial.rows" ]] || { echo "FAIL: serial report has no Fig 1 section"; exit 1; }
+if ! diff -u "$WORK/serial.rows" "$WORK/parallel.rows"; then
+  echo "FAIL: parallel rows differ from serial"
+  exit 1
+fi
+
+echo "[sched_smoke] 3/3 per-cell manifests…"
+# 2 datasets x (1 prepare + 2 train) + 2 fig2 cells = 8 manifests.
+count=$(ls "$WORK/cells"/*.jsonl 2>/dev/null | wc -l)
+[[ "$count" -ge 8 ]] || {
+  echo "FAIL: expected >= 8 cell manifests, found $count"
+  ls "$WORK/cells" || true
+  exit 1
+}
+for want in fig1-METR-LA-STGCN fig1-PeMSD8-prepare fig2-METR-LA-STSGCN; do
+  [[ -s "$WORK/cells/$want.jsonl" ]] || {
+    echo "FAIL: manifest $want.jsonl missing or empty"
+    exit 1
+  }
+done
+# Every manifest must parse through the insight run store.
+cargo run --release -q --bin insight -- list --dir "$WORK/cells" \
+  | tee "$WORK/list.log"
+for want in fig1-METR-LA-STGCN fig1-METR-LA-STSGCN fig2-METR-LA-STGCN; do
+  grep -q "$want" "$WORK/list.log" || {
+    echo "FAIL: 'insight list' does not show $want"
+    exit 1
+  }
+done
+
+echo "[sched_smoke] OK (rows bit-identical, $count manifests parse)"

@@ -2,7 +2,7 @@
 //! - thread counts: the compute pool splits only output ranges (never
 //!   the reduction axis), so `TRAFFIC_THREADS=1` vs `TRAFFIC_THREADS=8`
 //!   must produce bit-identical losses (exercised via the equivalent
-//!   [`pool::set_thread_cap`] override, which both runs in one process);
+//!   scoped [`pool::ThreadCapGuard`], which runs both in one process);
 //! - buffer recycling: the traffic-mem pool only changes where output
 //!   buffers come from, never what is written, so `TRAFFIC_MEM_CAP=0`
 //!   (pool off) vs the default (pool on) must also be bit-identical
@@ -14,9 +14,19 @@
 //!   documented exception: `TRAFFIC_SIMD_REDUCE=1` changes summation
 //!   association order (different low-order bits allowed), but each
 //!   mode must still be run-to-run deterministic — both are pinned
-//!   here.
+//!   here;
+//! - the experiment scheduler: `TRAFFIC_JOBS=4` runs sweep cells
+//!   concurrently on partitioned core groups, but every cell seeds its
+//!   own RNGs and results are collected in submission order, so the
+//!   Fig-1/Fig-2 rows must be bit-identical to the `TRAFFIC_JOBS=1`
+//!   legacy serial path — including a cell killed by an injected fault
+//!   (`abort` site scoped to one cell), which must render the same
+//!   FAILED row in both modes.
 
-use traffic_suite::core::{train, TrainConfig};
+use traffic_suite::core::{
+    difficult_interval_experiment, model_comparison, set_jobs_override, train, ExperimentScale,
+    Fig1Row, Fig2Row, TrainConfig,
+};
 use traffic_suite::data::{prepare, simulate, SimConfig, Task};
 use traffic_suite::models::{build_model, GraphContext};
 use traffic_suite::tensor::{mem, pool, simd};
@@ -29,7 +39,7 @@ fn knob_lock() -> std::sync::MutexGuard<'static, ()> {
 }
 
 fn stgcn_losses(thread_cap: usize) -> Vec<u32> {
-    pool::set_thread_cap(thread_cap);
+    let _cap = pool::ThreadCapGuard::new(thread_cap);
     pool::warmup();
     let mut cfg = SimConfig::new("determinism", Task::Speed, 8, 5);
     cfg.missing_rate = 0.0;
@@ -54,7 +64,6 @@ fn stgcn_losses_identical_across_thread_counts() {
     let _guard = knob_lock();
     let serial = stgcn_losses(1);
     let pooled = stgcn_losses(8);
-    pool::set_thread_cap(usize::MAX);
     assert_eq!(serial, pooled, "2-epoch STGCN losses must be bit-identical with 1 vs 8 threads");
 }
 
@@ -112,5 +121,121 @@ fn stgcn_losses_identical_with_mem_pool_on_and_off() {
     assert_eq!(
         unpooled, recycled,
         "2-epoch STGCN losses must be bit-identical with the buffer pool on vs off"
+    );
+}
+
+// ---------------- scheduler: parallel vs serial sweeps ----------------
+
+/// (dataset, model, horizon, metric bits, error) per Fig-1 row.
+type Fig1Key = (String, String, String, [u32; 6], Option<String>);
+
+/// Every Fig-1 field as exact bits (NaNs from FAILED rows compare as
+/// their bit patterns, which are deterministic constants).
+fn fig1_fingerprint(rows: &[Fig1Row]) -> Vec<Fig1Key> {
+    rows.iter()
+        .map(|r| {
+            (
+                r.dataset.clone(),
+                r.model.clone(),
+                r.horizon.to_string(),
+                [
+                    r.mae.0.to_bits(),
+                    r.mae.1.to_bits(),
+                    r.rmse.0.to_bits(),
+                    r.rmse.1.to_bits(),
+                    r.mape.0.to_bits(),
+                    r.mape.1.to_bits(),
+                ],
+                r.error.clone(),
+            )
+        })
+        .collect()
+}
+
+fn fig2_fingerprint(rows: &[Fig2Row]) -> Vec<(String, [u32; 7], Option<String>)> {
+    rows.iter()
+        .map(|r| {
+            (
+                r.model.clone(),
+                [
+                    r.overall.mae.to_bits(),
+                    r.overall.rmse.to_bits(),
+                    r.overall.mape.to_bits(),
+                    r.difficult.mae.to_bits(),
+                    r.difficult.rmse.to_bits(),
+                    r.difficult.mape.to_bits(),
+                    r.degradation_pct.to_bits(),
+                ],
+                r.error.clone(),
+            )
+        })
+        .collect()
+}
+
+/// One full Fig-1 + Fig-2 sweep at `jobs` scheduler jobs. With
+/// `fault_cell` set, the `abort` site is armed Soft and scoped to that
+/// cell, so exactly one cell dies identically in either mode.
+fn sweep_rows(jobs: usize, fault_cell: Option<&str>) -> (Vec<Fig1Row>, Vec<Fig2Row>) {
+    use traffic_suite::obs::faults;
+    set_jobs_override(Some(jobs));
+    if let Some(cell) = fault_cell {
+        faults::arm("abort", 1, faults::FaultMode::Soft);
+        faults::set_cell_filter(Some(cell));
+    }
+    let scale = ExperimentScale::smoke();
+    let f1 = model_comparison(&["METR-LA"], &["STGCN", "STSGCN"], &scale);
+    let f2 = difficult_interval_experiment("METR-LA", &["STGCN", "STSGCN"], &scale);
+    set_jobs_override(None);
+    if fault_cell.is_some() {
+        faults::reset();
+    }
+    (f1, f2)
+}
+
+#[test]
+fn parallel_sweep_rows_identical_to_serial() {
+    let _guard = knob_lock();
+    let (f1_serial, f2_serial) = sweep_rows(1, None);
+    let (f1_par, f2_par) = sweep_rows(4, None);
+    assert!(f1_serial.iter().all(|r| r.error.is_none()), "healthy sweep must not fail");
+    assert_eq!(
+        fig1_fingerprint(&f1_serial),
+        fig1_fingerprint(&f1_par),
+        "Fig-1 rows must be bit-identical with TRAFFIC_JOBS=1 vs 4"
+    );
+    assert_eq!(
+        fig2_fingerprint(&f2_serial),
+        fig2_fingerprint(&f2_par),
+        "Fig-2 rows must be bit-identical with TRAFFIC_JOBS=1 vs 4"
+    );
+}
+
+#[test]
+fn injected_fault_cell_fails_identically_in_both_modes() {
+    let _guard = knob_lock();
+    let cell = "fig1/METR-LA/STGCN";
+    let (f1_serial, f2_serial) = sweep_rows(1, Some(cell));
+    let (f1_par, f2_par) = sweep_rows(4, Some(cell));
+    // The targeted cell dies; its rows carry the injected-panic reason.
+    let failed: Vec<&Fig1Row> =
+        f1_serial.iter().filter(|r| r.model == "STGCN" && r.dataset == "METR-LA").collect();
+    assert!(!failed.is_empty());
+    for r in &failed {
+        let reason = r.error.as_deref().expect("faulted cell must yield FAILED rows");
+        assert!(reason.contains("injected mid-epoch abort"), "unexpected reason: {reason}");
+    }
+    // Everything outside the scoped cell survives untouched.
+    assert!(f1_serial.iter().filter(|r| r.model == "STSGCN").all(|r| r.error.is_none()));
+    assert!(f2_serial.iter().all(|r| r.error.is_none()), "fig2 cells are outside the filter");
+    // And the parallel run renders the exact same rows, FAILED included.
+    assert_eq!(
+        fig1_fingerprint(&f1_serial),
+        fig1_fingerprint(&f1_par),
+        "faulted Fig-1 rows must be bit-identical with TRAFFIC_JOBS=1 vs 4"
+    );
+    assert_eq!(
+        fig2_fingerprint(&f2_serial),
+        fig2_fingerprint(&f2_par),
+        "Fig-2 rows must be bit-identical with TRAFFIC_JOBS=1 vs 4"
     );
 }
