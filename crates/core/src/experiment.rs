@@ -78,6 +78,7 @@ pub struct PreparedExperiment {
 /// Each stage (simulate, windowing, graph matrices) runs under its own
 /// span, and a `dataset_prepared` event summarises the result.
 pub fn prepare_experiment(name: &str, scale: &ExperimentScale, seed: u64) -> PreparedExperiment {
+    let _phase = traffic_obs::live::phase(traffic_obs::live::Phase::Prepare);
     let info = dataset_info(name).unwrap_or_else(|| panic!("unknown dataset {name}"));
     let cfg = SimConfig::for_dataset(info, scale.dataset_scale).with_seed(seed);
     let prep_span = traffic_obs::span!("prepare", dataset = name, seed = seed);

@@ -139,6 +139,9 @@ where
     F: FnOnce() -> T + Send,
 {
     let n = cells.len();
+    // `/health` reports "sweep" while the grid runs; the per-cell
+    // train/validate phases nest inside it.
+    let _phase = traffic_obs::live::phase(traffic_obs::live::Phase::Sweep);
     // A sweep started from inside a cell stays serial: its cell already
     // owns exactly one core group.
     let jobs = if traffic_obs::current_cell().is_some() { 1 } else { planned_jobs(n) };

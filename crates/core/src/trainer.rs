@@ -159,6 +159,7 @@ pub fn validation_loss(
     // No backward pass ever runs on these forwards: let models take
     // their inference shortcuts (e.g. GWN's cached adjacency).
     let _inf = traffic_tensor::inference::InferenceGuard::enter();
+    let _phase = traffic_obs::live::phase(traffic_obs::live::Phase::Validate);
     let mut sum = 0.0f64;
     let mut count = 0usize;
     // One tape for the whole split: `reset` keeps the node list's
@@ -206,6 +207,9 @@ struct EpochSnapshot {
 
 /// Trains `model` on the prepared dataset.
 pub fn train(model: &dyn TrafficModel, data: &PreparedData, cfg: &TrainConfig) -> TrainReport {
+    // Live-telemetry phase marker (`/health` reports "train"); restored
+    // on every exit path by the guard.
+    let _phase = traffic_obs::live::phase(traffic_obs::live::Phase::Train);
     let fingerprint = config_fingerprint(cfg);
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let mut opt = Adam::new(cfg.lr);
@@ -402,6 +406,8 @@ pub fn train(model: &dyn TrafficModel, data: &PreparedData, cfg: &TrainConfig) -
             }
             counter("train.batches").inc();
             histogram("train.batch_s").record_duration(batch_span.finish());
+            // One relaxed atomic load when nothing live is attached.
+            traffic_obs::live::heartbeat(epoch, global_step);
             batches_run += 1;
             samples_seen += batch_samples;
             global_step += 1;
@@ -616,6 +622,7 @@ pub fn predict(
     // Pure no-grad evaluation: models may shortcut (GWN serves its
     // cached adaptive adjacency) without changing any value.
     let _inf = traffic_tensor::inference::InferenceGuard::enter();
+    let _phase = traffic_obs::live::phase(traffic_obs::live::Phase::Predict);
     let mut parts: Vec<Tensor> = Vec::new();
     let mut tape = Tape::new();
     for batch in batches(data, batch_size, None::<&mut StdRng>) {

@@ -40,6 +40,7 @@ pub mod event;
 pub mod faults;
 pub mod html;
 pub mod json;
+pub mod live;
 pub mod metrics;
 pub mod profile;
 pub mod run;
@@ -48,8 +49,10 @@ pub mod sink;
 pub mod span;
 pub mod store;
 pub mod sysmon;
+pub mod watch;
 
 pub use event::{Event, IntoValue, Value};
+pub use live::{heartbeat, LiveServer, Phase, PhaseGuard};
 pub use metrics::{
     counter, gauge, histogram, metrics_snapshot, reset_metrics, Counter, Gauge, Histogram,
 };

@@ -223,6 +223,33 @@ impl Histogram {
         self.max()
     }
 
+    /// Sum of all finite samples.
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.sum_bits.load(Ordering::Relaxed))
+    }
+
+    /// Cumulative bucket readout for exposition-format exports:
+    /// `(upper_bound, samples ≤ upper_bound)` for every **non-empty**
+    /// bucket in ascending order, plus the grand total (which includes
+    /// the overflow bucket, i.e. the `+Inf` count). The underflow
+    /// bucket (zero/negative/non-finite samples) reports under the
+    /// smallest covered edge, `10^MIN_EXP`.
+    pub fn cumulative_buckets(&self) -> (Vec<(f64, u64)>, u64) {
+        let mut out = Vec::new();
+        let mut cum = 0u64;
+        for (idx, b) in self.buckets.iter().enumerate().take(N_BUCKETS + 1) {
+            let n = b.load(Ordering::Relaxed);
+            if n == 0 {
+                continue;
+            }
+            cum += n;
+            let upper = if idx == 0 { bucket_bounds(1).0 } else { bucket_bounds(idx).1 };
+            out.push((upper, cum));
+        }
+        let total = cum + self.buckets[N_BUCKETS + 1].load(Ordering::Relaxed);
+        (out, total)
+    }
+
     /// Resets all state.
     pub fn reset(&self) {
         for b in self.buckets.iter() {
@@ -301,6 +328,26 @@ pub fn reset_metrics() {
         for h in r.histograms.values() {
             h.reset();
         }
+    })
+}
+
+/// Every registered metric as `(name, handle)` lists sorted by name —
+/// the raw-handle sibling of [`metrics_snapshot`], used by the live
+/// `/metrics` exporter, which needs bucket-level histogram access.
+#[allow(clippy::type_complexity)]
+pub(crate) fn export_lists() -> (
+    Vec<(String, &'static Counter)>,
+    Vec<(String, &'static Gauge)>,
+    Vec<(String, &'static Histogram)>,
+) {
+    with_registry(|r| {
+        let mut counters: Vec<_> = r.counters.iter().map(|(n, c)| (n.clone(), *c)).collect();
+        let mut gauges: Vec<_> = r.gauges.iter().map(|(n, g)| (n.clone(), *g)).collect();
+        let mut histograms: Vec<_> = r.histograms.iter().map(|(n, h)| (n.clone(), *h)).collect();
+        counters.sort_by(|a, b| a.0.cmp(&b.0));
+        gauges.sort_by(|a, b| a.0.cmp(&b.0));
+        histograms.sort_by(|a, b| a.0.cmp(&b.0));
+        (counters, gauges, histograms)
     })
 }
 
@@ -409,6 +456,26 @@ mod tests {
         // min/max only track finite samples
         assert_eq!(h.max(), 2.0);
         assert_eq!(h.min(), -5.0);
+    }
+
+    #[test]
+    fn cumulative_buckets_are_monotone_and_complete() {
+        let h = Histogram::default();
+        for v in [1e-3, 1e-3, 0.5, 2.0, 1e12, -1.0] {
+            h.record(v);
+        }
+        let (buckets, total) = h.cumulative_buckets();
+        assert_eq!(total, 6, "total includes under- and overflow");
+        // ascending bounds, non-decreasing cumulative counts
+        for w in buckets.windows(2) {
+            assert!(w[0].0 < w[1].0);
+            assert!(w[0].1 <= w[1].1);
+        }
+        // the underflow sample (-1.0) counts under the smallest edge
+        assert_eq!(buckets.first().unwrap().1, 1);
+        // everything but the 1e12 overflow sample is ≤ the last bound
+        assert_eq!(buckets.last().unwrap().1, 5);
+        assert!((h.sum() - (1e-3 + 1e-3 + 0.5 + 2.0 + 1e12 - 1.0)).abs() < 1.0);
     }
 
     #[test]

@@ -32,6 +32,8 @@ pub struct RunBuilder {
     profile_dir: Option<PathBuf>,
     reset_metrics: bool,
     sys_sample: Option<Duration>,
+    live_addr: Option<String>,
+    watchdog: Option<Vec<crate::watch::Rule>>,
 }
 
 impl RunBuilder {
@@ -71,6 +73,26 @@ impl RunBuilder {
         self
     }
 
+    /// Serves live telemetry ([`crate::live::LiveServer`]) on `addr`
+    /// (e.g. `127.0.0.1:9898`; port `0` picks a free port) for the
+    /// lifetime of the run. Without this call the server still starts
+    /// when `TRAFFIC_LIVE=<addr>` is set in the environment. A bind
+    /// failure warns and continues — telemetry never kills a run.
+    pub fn live_server(mut self, addr: &str) -> Self {
+        self.live_addr = Some(addr.to_string());
+        self
+    }
+
+    /// Arms the watchdog ([`crate::watch`]) with `rules` for the
+    /// lifetime of the run. Without this call the standard rule set
+    /// still arms when `TRAFFIC_WATCHDOG=1` is set in the environment.
+    /// Rules are evaluated on the system-sampler cadence; arming the
+    /// watchdog without a sampler configured starts one at 500 ms.
+    pub fn watchdog(mut self, rules: Vec<crate::watch::Rule>) -> Self {
+        self.watchdog = Some(rules);
+        self
+    }
+
     /// Installs the sinks and starts the run.
     pub fn start(self) -> std::io::Result<Run> {
         let keep = runs_keep_from_env();
@@ -79,36 +101,75 @@ impl RunBuilder {
         if self.console {
             sinks.push(Arc::new(ConsoleSink::new()));
         }
+        // Retention first, so the new manifest never counts against
+        // its own budget and the directories cannot grow past keep+1.
+        let cell_dir = std::env::var("TRAFFIC_CELL_MANIFESTS")
+            .ok()
+            .map(|d| PathBuf::from(d.trim()))
+            .filter(|d| !d.as_os_str().is_empty());
+        apply_retention(
+            keep,
+            self.jsonl_dir.as_deref(),
+            self.profile_dir.as_deref(),
+            cell_dir.as_deref(),
+        );
         if let Some(dir) = &self.jsonl_dir {
-            // Retention first, so the new manifest never counts against
-            // its own budget and the directory cannot grow past keep+1.
-            if let Some(keep) = keep {
-                prune_dir(dir, keep, &[".jsonl"]);
-            }
             let jsonl = JsonlSink::create(dir, &self.name)?;
             manifest_path = Some(jsonl.path().to_path_buf());
             sinks.push(Arc::new(jsonl));
         }
-        if let (Some(dir), Some(keep)) = (&self.profile_dir, keep) {
-            prune_dir(dir, keep, &[".txt", ".trace.json"]);
-        }
         if self.reset_metrics {
             crate::metrics::reset_metrics();
         }
+        crate::live::reset_progress();
         for s in &sinks {
             add_sink(Arc::clone(s));
         }
         if self.profile_dir.is_some() {
             crate::profile::start();
         }
-        let sampler =
-            self.sys_sample.or_else(crate::sysmon::interval_from_env).map(SysSampler::start);
+        let live = self
+            .live_addr
+            .or_else(|| std::env::var("TRAFFIC_LIVE").ok().filter(|a| !a.trim().is_empty()))
+            .and_then(|addr| {
+                let runs_dir = self.jsonl_dir.clone().unwrap_or_else(|| "reports/runs".into());
+                match crate::live::LiveServer::start_with(
+                    addr.trim(),
+                    Some(&self.name),
+                    Some(&runs_dir),
+                ) {
+                    Ok(server) => Some(server),
+                    Err(e) => {
+                        eprintln!("warning: live server could not bind {addr}: {e}");
+                        None
+                    }
+                }
+            });
+        let watchdog_rules = self.watchdog.or_else(|| {
+            std::env::var("TRAFFIC_WATCHDOG")
+                .ok()
+                .filter(|v| matches!(v.trim(), "1" | "true" | "on"))
+                .map(|_| crate::watch::standard_rules())
+        });
+        let armed_watchdog = watchdog_rules.is_some();
+        if let Some(rules) = watchdog_rules {
+            crate::watch::arm(rules);
+        }
+        // The watchdog only ever ticks from the sampler loop: arming it
+        // without a sampler configured gets the default cadence.
+        let sample = self
+            .sys_sample
+            .or_else(crate::sysmon::interval_from_env)
+            .or_else(|| armed_watchdog.then(|| Duration::from_millis(500)));
+        let sampler = sample.map(SysSampler::start);
         let run = Run {
             name: self.name,
             sinks,
             manifest_path,
             profile_dir: self.profile_dir,
             sampler,
+            live,
+            armed_watchdog,
             started: Instant::now(),
             ended: false,
         };
@@ -124,6 +185,32 @@ impl RunBuilder {
         );
         Ok(run)
     }
+}
+
+/// One retention pass over every report directory a run writes to:
+/// the main JSONL manifests, the profile reports, and the per-cell
+/// manifests under `TRAFFIC_CELL_MANIFESTS` (same stem-group policy).
+/// Explicit-dir seam so the unit test needs no env mutation.
+fn apply_retention(
+    keep: Option<usize>,
+    jsonl_dir: Option<&Path>,
+    profile_dir: Option<&Path>,
+    cell_dir: Option<&Path>,
+) -> usize {
+    let Some(keep) = keep else {
+        return 0;
+    };
+    let mut removed = 0;
+    if let Some(dir) = jsonl_dir {
+        removed += prune_dir(dir, keep, &[".jsonl"]);
+    }
+    if let Some(dir) = profile_dir {
+        removed += prune_dir(dir, keep, &[".txt", ".trace.json"]);
+    }
+    if let Some(dir) = cell_dir {
+        removed += prune_dir(dir, keep, &[".jsonl"]);
+    }
+    removed
 }
 
 /// Manifest retention budget from `TRAFFIC_RUNS_KEEP` (`None` = keep
@@ -246,6 +333,8 @@ pub struct Run {
     manifest_path: Option<PathBuf>,
     profile_dir: Option<PathBuf>,
     sampler: Option<SysSampler>,
+    live: Option<crate::live::LiveServer>,
+    armed_watchdog: bool,
     started: Instant,
     ended: bool,
 }
@@ -260,6 +349,8 @@ impl Run {
             profile_dir: None,
             reset_metrics: true,
             sys_sample: None,
+            live_addr: None,
+            watchdog: None,
         }
     }
 
@@ -273,6 +364,12 @@ impl Run {
         self.manifest_path.as_deref()
     }
 
+    /// Bound address of the live telemetry server, when one is up
+    /// (resolves a requested port `0` to the actual port).
+    pub fn live_addr(&self) -> Option<std::net::SocketAddr> {
+        self.live.as_ref().map(|s| s.addr())
+    }
+
     /// Ends the run explicitly (otherwise happens on drop).
     pub fn finish(mut self) {
         self.end();
@@ -283,6 +380,11 @@ impl Run {
             return;
         }
         self.ended = true;
+        // Disarm the watchdog before the sampler stops so no tick can
+        // raise a fresh alert into a closing manifest.
+        if self.armed_watchdog {
+            crate::watch::disarm();
+        }
         // Stop the system sampler first so its final gauges land in the
         // metrics summary and no `sys` event trails `run_end`.
         drop(self.sampler.take());
@@ -321,6 +423,10 @@ impl Run {
                 .with("wall_s", self.started.elapsed().as_secs_f64()),
         );
         crate::sink::flush_all();
+        // The live server goes down after the flush so `run_end` (and
+        // the metrics summary) reach the broadcast ring for any open
+        // `/events` stream, then its tap leaves the sink table.
+        drop(self.live.take());
         for s in &self.sinks {
             remove_sink(s);
         }
@@ -371,5 +477,46 @@ mod tests {
         // Missing directory: quietly a no-op.
         assert_eq!(prune_dir(dir.join("nope"), 1, &[".jsonl"]), 0);
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    // The retention gap this covers: per-cell manifests (the
+    // TRAFFIC_CELL_MANIFESTS directory) were never pruned, so a long
+    // sweep series grew that directory without bound while the main
+    // manifest directory stayed within TRAFFIC_RUNS_KEEP.
+    #[test]
+    fn retention_covers_cell_manifest_dir() {
+        let root = std::env::temp_dir().join("traffic_obs_retention_test");
+        let _ = std::fs::remove_dir_all(&root);
+        let runs = root.join("runs");
+        let cells = root.join("cells");
+        std::fs::create_dir_all(&runs).unwrap();
+        std::fs::create_dir_all(&cells).unwrap();
+        // Cell manifests are named by sanitized cell label (the
+        // scheduler truncates on rewrite, so stale entries are cells
+        // that left the sweep grid — exactly what retention should
+        // collect).
+        let cell_names =
+            ["fig1-METR-LA-STGCN.jsonl", "fig1-METR-LA-STSGCN.jsonl", "fig2-METR-LA-STGCN.jsonl"];
+        for (i, run) in ["alpha", "beta", "gamma"].iter().enumerate() {
+            let mtime = std::time::SystemTime::UNIX_EPOCH
+                + std::time::Duration::from_secs(1_000_000 + i as u64 * 100);
+            let path = runs.join(format!("{run}.jsonl"));
+            std::fs::write(&path, "{}\n").unwrap();
+            std::fs::File::open(&path).unwrap().set_modified(mtime).unwrap();
+            let path = cells.join(cell_names[i]);
+            std::fs::write(&path, "{}\n").unwrap();
+            std::fs::File::open(&path).unwrap().set_modified(mtime).unwrap();
+        }
+        // keep=1: the two older groups go from every directory.
+        let removed = apply_retention(Some(1), Some(&runs), None, Some(&cells));
+        assert_eq!(removed, 4);
+        assert!(runs.join("gamma.jsonl").exists());
+        assert!(!runs.join("alpha.jsonl").exists());
+        assert!(cells.join("fig2-METR-LA-STGCN.jsonl").exists(), "newest cell manifest stays");
+        assert!(!cells.join("fig1-METR-LA-STGCN.jsonl").exists());
+        assert!(!cells.join("fig1-METR-LA-STSGCN.jsonl").exists());
+        // No budget set: everything stays.
+        assert_eq!(apply_retention(None, Some(&runs), None, Some(&cells)), 0);
+        std::fs::remove_dir_all(&root).ok();
     }
 }

@@ -160,6 +160,16 @@ impl Sink for ConsoleSink {
                     println!("[sched] < {cell} {mark} in {secs:.1}s ({} in flight)", cells.len());
                 }
             }
+            "alert" => {
+                let rule = field_str(event, "rule").unwrap_or("?");
+                match field_str(event, "state") {
+                    Some("resolved") => println!("[watch] resolved: {rule}"),
+                    _ => {
+                        let msg = field_str(event, "message").unwrap_or("");
+                        eprintln!("[watch] ALERT {rule}: {msg}");
+                    }
+                }
+            }
             "epoch" => {
                 let model = field_str(event, "model").unwrap_or("?").to_string();
                 let epoch = field_f64(event, "epoch").unwrap_or(-1.0) as i64;

@@ -132,6 +132,23 @@ pub struct BlamePoint {
     pub non_finite: bool,
 }
 
+/// One watchdog `alert` event (raised or resolved edge).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AlertPoint {
+    /// Manifest timestamp (ms since the telemetry clock started).
+    pub ts_ms: f64,
+    /// Watchdog rule name (`step_stall`, `rss_near_cap`, …).
+    pub rule: String,
+    /// `raised` or `resolved`.
+    pub state: String,
+    /// Human-readable description (raised edges only).
+    pub message: String,
+    /// Observed value at the edge.
+    pub value: f64,
+    /// The rule's threshold.
+    pub threshold: f64,
+}
+
 /// Queryable summary of one run manifest.
 #[derive(Debug, Clone, Default)]
 pub struct RunSummary {
@@ -166,6 +183,8 @@ pub struct RunSummary {
     pub op_stats: Vec<OpStatRow>,
     /// Blame entries.
     pub blame: Vec<BlamePoint>,
+    /// Watchdog alert edges, in emission order.
+    pub alerts: Vec<AlertPoint>,
 }
 
 fn num(ev: &Json, key: &str) -> Option<f64> {
@@ -290,6 +309,14 @@ impl RunSummary {
                 group: string(ev, "group"),
                 spike: num_or_nan(ev, "spike"),
                 non_finite: matches!(ev.get("non_finite"), Some(Json::Bool(true))),
+            }),
+            "alert" => self.alerts.push(AlertPoint {
+                ts_ms: num(ev, "ts_ms").unwrap_or(0.0),
+                rule: string(ev, "rule"),
+                state: string(ev, "state"),
+                message: string(ev, "message"),
+                value: num_or_nan(ev, "value"),
+                threshold: num_or_nan(ev, "threshold"),
             }),
             _ => {} // counted above; spans etc. need no projection
         }
@@ -653,6 +680,15 @@ mod tests {
                 .with("rank", 0u64)
                 .with("non_finite", true),
         );
+        feed(
+            &mut run,
+            Event::new("alert")
+                .with("rule", "step_stall")
+                .with("state", "raised")
+                .with("message", "no training-step progress for 45.0s (limit 30s)")
+                .with("value", 45.0)
+                .with("threshold", 30.0),
+        );
         assert_eq!(run.epochs.len(), 1);
         assert_eq!(run.insight.len(), 1);
         assert_eq!(run.insight[0].group, "block0.t1");
@@ -660,6 +696,10 @@ mod tests {
         assert_eq!(run.sys.len(), 1);
         assert_eq!(run.blame.len(), 1);
         assert!(run.blame[0].non_finite);
+        assert_eq!(run.alerts.len(), 1);
+        assert_eq!(run.alerts[0].rule, "step_stall");
+        assert_eq!(run.alerts[0].state, "raised");
+        assert_eq!(run.alerts[0].value, 45.0);
         assert_eq!(run.wall_s, Some(1.5));
         assert_eq!(run.threads, 4);
         assert_eq!(run.malformed, 0);

@@ -42,8 +42,16 @@ pub struct ProcStat {
 /// a parse failure).
 pub fn read_proc_stat() -> Option<ProcStat> {
     let statm = std::fs::read_to_string("/proc/self/statm").ok()?;
-    let resident_pages: u64 = statm.split_whitespace().nth(1)?.parse().ok()?;
     let stat = std::fs::read_to_string("/proc/self/stat").ok()?;
+    parse_proc_stat(&statm, &stat)
+}
+
+/// Pure parse of `/proc/self/statm` + `/proc/self/stat` contents
+/// (factored out of [`read_proc_stat`] so edge cases — parenthesised
+/// comm names with spaces, truncated files — are testable on fixture
+/// strings).
+fn parse_proc_stat(statm: &str, stat: &str) -> Option<ProcStat> {
+    let resident_pages: u64 = statm.split_whitespace().nth(1)?.parse().ok()?;
     // The comm field is parenthesised and may contain spaces; fields
     // after the last ')' are whitespace-separated, starting with the
     // state char (field 3 of the 1-based stat layout).
@@ -52,6 +60,17 @@ pub fn read_proc_stat() -> Option<ProcStat> {
     let utime: u64 = fields.nth(11)?.parse().ok()?; // stat field 14
     let stime: u64 = fields.next()?.parse().ok()?; // stat field 15
     Some(ProcStat { rss_bytes: resident_pages * 4096, cpu_ticks: utime + stime })
+}
+
+/// CPU utilization in cores from two consecutive readings: tick delta
+/// over `USER_HZ` over wall delta. Zero when no time passed or the
+/// tick counter did not advance (including counter weirdness across a
+/// checkpoint restore, which `saturating_sub` absorbs).
+fn cpu_util(prev: &ProcStat, cur: &ProcStat, dt_secs: f64) -> f64 {
+    if dt_secs <= 0.0 {
+        return 0.0;
+    }
+    cur.cpu_ticks.saturating_sub(prev.cpu_ticks) as f64 / TICKS_PER_SEC / dt_secs
 }
 
 /// Sampling interval from `TRAFFIC_SYS_SAMPLE_MS` (`None` = disabled).
@@ -95,25 +114,21 @@ impl Drop for SysSampler {
 fn sampler_loop(interval: Duration, stop: &AtomicBool) {
     let mut prev: Option<(ProcStat, Instant)> = None;
     loop {
-        if let Some(stat) = read_proc_stat() {
+        let stat = read_proc_stat();
+        if let Some(stat) = stat {
             let now = Instant::now();
             // CPU utilization in cores (may exceed 1.0 with the compute
             // pool active); 0 for the first sample, which has no delta.
-            let cpu_util = match prev {
-                Some((p, t)) => {
-                    let dt = now.duration_since(t).as_secs_f64();
-                    let ticks = stat.cpu_ticks.saturating_sub(p.cpu_ticks) as f64;
-                    if dt > 0.0 {
-                        ticks / TICKS_PER_SEC / dt
-                    } else {
-                        0.0
-                    }
-                }
+            let util = match prev {
+                Some((p, t)) => cpu_util(&p, &stat, now.duration_since(t).as_secs_f64()),
                 None => 0.0,
             };
             prev = Some((stat, now));
-            emit_sample(&stat, cpu_util);
+            emit_sample(&stat, util);
         }
+        // The watchdog shares the sampler cadence (and still ticks when
+        // procfs is absent — step-stall needs no /proc).
+        crate::watch::tick(stat.as_ref());
         // Sleep one interval, polling the stop flag so drop is prompt.
         let wake = Instant::now() + interval;
         while Instant::now() < wake {
@@ -167,6 +182,53 @@ mod tests {
         std::hint::black_box(x);
         let s2 = read_proc_stat().expect("procfs readable");
         assert!(s2.cpu_ticks >= s.cpu_ticks);
+    }
+
+    #[test]
+    fn parses_comm_names_containing_spaces_and_parens() {
+        // Field 2 of stat is the comm name in parentheses — it may
+        // itself contain spaces and ')' (kernel threads, renamed
+        // processes), so field splitting must anchor on the LAST ')'.
+        let statm = "12345 678 90 1 0 2 0\n";
+        let stat = "4242 (traffic live) worker) S 1 4242 4242 0 -1 4194304 \
+                    100 0 0 0 7 3 0 0 20 0 8 0 100 0 0 18446744073709551615\n";
+        let s = parse_proc_stat(statm, stat).expect("spaced comm parses");
+        assert_eq!(s.rss_bytes, 678 * 4096);
+        assert_eq!(s.cpu_ticks, 7 + 3);
+    }
+
+    #[test]
+    fn truncated_stat_yields_none_not_panic() {
+        let statm = "12345 678 90\n";
+        // Torn read: file ends inside the comm field (no closing paren).
+        assert_eq!(parse_proc_stat(statm, "4242 (traffic li"), None);
+        // Closing paren present but the line stops before utime/stime.
+        assert_eq!(parse_proc_stat(statm, "4242 (x) S 1 4242 4242 0 -1"), None);
+        // Empty file.
+        assert_eq!(parse_proc_stat(statm, ""), None);
+    }
+
+    #[test]
+    fn missing_statm_fields_yield_none() {
+        let stat = "1 (x) S 1 1 1 0 -1 0 0 0 0 0 5 5 0 0 20 0 1 0 1 0 0 1\n";
+        assert_eq!(parse_proc_stat("", stat), None, "empty statm");
+        assert_eq!(parse_proc_stat("12345", stat), None, "statm missing resident field");
+        assert_eq!(parse_proc_stat("12345 not-a-number 1", stat), None, "non-numeric resident");
+        assert!(parse_proc_stat("12345 678", stat).is_some(), "two fields suffice");
+    }
+
+    #[test]
+    fn zero_tick_and_zero_time_deltas_report_zero_util() {
+        let a = ProcStat { rss_bytes: 1 << 20, cpu_ticks: 100 };
+        let b = ProcStat { rss_bytes: 1 << 20, cpu_ticks: 100 };
+        assert_eq!(cpu_util(&a, &b, 0.5), 0.0, "no ticks consumed");
+        let c = ProcStat { rss_bytes: 1 << 20, cpu_ticks: 150 };
+        assert_eq!(cpu_util(&a, &c, 0.0), 0.0, "zero wall delta must not divide by zero");
+        assert_eq!(cpu_util(&a, &c, -1.0), 0.0, "clock weirdness reports idle");
+        // Counter going backwards (restored checkpoint) saturates to 0.
+        assert_eq!(cpu_util(&c, &a, 0.5), 0.0);
+        // And the healthy case: 50 ticks over 0.5 s = 1 core.
+        assert_eq!(cpu_util(&a, &c, 0.5), 1.0);
     }
 
     #[test]

@@ -1,0 +1,360 @@
+//! Stall/divergence watchdog: declarative threshold rules evaluated on
+//! the [`crate::sysmon`] sampling cadence.
+//!
+//! Rules watch the signals a human tails during a long sweep — step
+//! progress, RSS vs `TRAFFIC_MEM_CAP`, mem-pool hit rate, divergence-
+//! supervisor rollbacks — and raise **edge-triggered** `alert` manifest
+//! events: one event when a rule first trips, one `resolved` event when
+//! it clears. The active set is served by the live server's `/health`
+//! endpoint, printed by the console sink, and listed in the insight
+//! HTML dashboard's alert section.
+//!
+//! The watchdog never intervenes: it observes and reports. Arming it
+//! registers as a live tracker so the trainer's [`crate::live::heartbeat`]
+//! flows; disarmed, the hot path stays at one relaxed atomic load.
+
+use std::sync::Mutex;
+use std::time::Duration;
+
+use crate::live::{self, Phase};
+use crate::sysmon::ProcStat;
+
+/// One declarative watchdog rule.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Rule {
+    /// No training-step progress for `after` while the run is in the
+    /// `train` phase (deadlock, livelock, or an I/O hang).
+    StepStall {
+        /// Quiet period before the alert trips.
+        after: Duration,
+    },
+    /// Resident set size above `frac` of `TRAFFIC_MEM_CAP`. Only
+    /// evaluated when the cap env var is explicitly set — the built-in
+    /// default cap bounds the tensor pool, not process RSS.
+    RssNearCap {
+        /// Fraction of the cap (e.g. `0.9`).
+        frac: f64,
+    },
+    /// Mem-pool hit rate below `below` after at least `min_samples`
+    /// pool requests (a collapse means the size-class mix changed and
+    /// buffers stopped recycling).
+    PoolHitRateCollapse {
+        /// Hit-rate floor in `[0, 1]`.
+        below: f64,
+        /// Minimum hits+misses before the rule is live (warmup misses
+        /// are expected).
+        min_samples: u64,
+    },
+    /// More than `max` divergence-supervisor rollbacks — training is
+    /// repeatedly exploding and rewinding.
+    DivergenceRollbacks {
+        /// Rollbacks tolerated before alerting.
+        max: u64,
+    },
+}
+
+impl Rule {
+    /// Stable rule name used in `alert` events and `/health`.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Rule::StepStall { .. } => "step_stall",
+            Rule::RssNearCap { .. } => "rss_near_cap",
+            Rule::PoolHitRateCollapse { .. } => "pool_hit_rate_collapse",
+            Rule::DivergenceRollbacks { .. } => "divergence_rollbacks",
+        }
+    }
+}
+
+/// The default rule set armed by `TRAFFIC_WATCHDOG=1`.
+pub fn standard_rules() -> Vec<Rule> {
+    vec![
+        Rule::StepStall { after: Duration::from_secs(30) },
+        Rule::RssNearCap { frac: 0.9 },
+        Rule::PoolHitRateCollapse { below: 0.5, min_samples: 10_000 },
+        Rule::DivergenceRollbacks { max: 1 },
+    ]
+}
+
+/// One currently-raised alert.
+#[derive(Debug, Clone)]
+pub struct Alert {
+    /// [`Rule::name`] of the tripped rule.
+    pub rule: &'static str,
+    /// Human-readable description with the observed value.
+    pub message: String,
+    /// Observed value that tripped the rule.
+    pub value: f64,
+    /// The rule's threshold.
+    pub threshold: f64,
+    /// Telemetry-clock ms when the alert was raised.
+    pub since_ms: u64,
+}
+
+/// The signal snapshot a tick evaluates rules against. Plain data so
+/// rule evaluation is a pure function (and unit-testable without
+/// touching process-global metrics).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Signals {
+    /// Run is in the `train` phase right now.
+    pub training: bool,
+    /// Seconds since the last training-step heartbeat (`None` before
+    /// the first step).
+    pub last_step_age_s: Option<f64>,
+    /// Current RSS in bytes (`None` when /proc was unreadable).
+    pub rss_bytes: Option<f64>,
+    /// `TRAFFIC_MEM_CAP` in bytes, when the env var is explicitly set.
+    pub mem_cap_bytes: Option<f64>,
+    /// Cumulative mem-pool hits.
+    pub pool_hits: u64,
+    /// Cumulative mem-pool misses.
+    pub pool_misses: u64,
+    /// Cumulative divergence-supervisor rollbacks.
+    pub rollbacks: u64,
+}
+
+impl Signals {
+    /// Reads the live process-global signal sources.
+    fn capture(stat: Option<&ProcStat>) -> Signals {
+        Signals {
+            training: live::current_phase() == Phase::Train,
+            last_step_age_s: live::last_step_age(),
+            rss_bytes: stat.map(|s| s.rss_bytes as f64),
+            mem_cap_bytes: std::env::var("TRAFFIC_MEM_CAP")
+                .ok()
+                .and_then(|v| v.trim().parse::<u64>().ok())
+                .filter(|&cap| cap > 0)
+                .map(|cap| cap as f64),
+            pool_hits: crate::metrics::counter("mem/pool_hits").get(),
+            pool_misses: crate::metrics::counter("mem/pool_misses").get(),
+            rollbacks: crate::metrics::counter("train/rollbacks").get(),
+        }
+    }
+}
+
+/// Pure rule evaluation: `Some((value, threshold, message))` when the
+/// rule is tripped by `sig`.
+fn eval(rule: &Rule, sig: &Signals) -> Option<(f64, f64, String)> {
+    match rule {
+        Rule::StepStall { after } => {
+            let age = sig.last_step_age_s?;
+            let limit = after.as_secs_f64();
+            (sig.training && age > limit).then(|| {
+                (age, limit, format!("no training-step progress for {age:.1}s (limit {limit:.0}s)"))
+            })
+        }
+        Rule::RssNearCap { frac } => {
+            let rss = sig.rss_bytes?;
+            let cap = sig.mem_cap_bytes?;
+            let limit = cap * frac;
+            (rss > limit).then(|| {
+                (
+                    rss,
+                    limit,
+                    format!(
+                        "rss {:.0} MiB above {:.0}% of TRAFFIC_MEM_CAP ({:.0} MiB)",
+                        rss / (1 << 20) as f64,
+                        frac * 100.0,
+                        cap / (1 << 20) as f64
+                    ),
+                )
+            })
+        }
+        Rule::PoolHitRateCollapse { below, min_samples } => {
+            let total = sig.pool_hits + sig.pool_misses;
+            if total < *min_samples {
+                return None;
+            }
+            let rate = sig.pool_hits as f64 / total as f64;
+            (rate < *below).then(|| {
+                (
+                    rate,
+                    *below,
+                    format!("mem-pool hit rate {rate:.2} below {below:.2} after {total} requests"),
+                )
+            })
+        }
+        Rule::DivergenceRollbacks { max } => {
+            let n = sig.rollbacks;
+            (n > *max).then(|| {
+                (
+                    n as f64,
+                    *max as f64,
+                    format!("{n} divergence rollbacks (tolerated {max}) — training is unstable"),
+                )
+            })
+        }
+    }
+}
+
+struct WatchState {
+    rules: Vec<Rule>,
+    active: Vec<Alert>,
+}
+
+static STATE: Mutex<Option<WatchState>> = Mutex::new(None);
+
+/// Arms the watchdog with `rules` (replacing any previous set). Counts
+/// as a live tracker so step heartbeats start flowing.
+pub fn arm(rules: Vec<Rule>) {
+    let mut g = STATE.lock().unwrap_or_else(|e| e.into_inner());
+    if g.is_none() {
+        live::track();
+    }
+    *g = Some(WatchState { rules, active: Vec::new() });
+}
+
+/// Disarms the watchdog and clears all active alerts.
+pub fn disarm() {
+    let mut g = STATE.lock().unwrap_or_else(|e| e.into_inner());
+    if g.take().is_some() {
+        live::untrack();
+    }
+}
+
+/// True while armed.
+pub fn armed() -> bool {
+    STATE.lock().unwrap_or_else(|e| e.into_inner()).is_some()
+}
+
+/// The currently-raised alerts (empty when disarmed or healthy).
+pub fn active_alerts() -> Vec<Alert> {
+    STATE
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .as_ref()
+        .map(|s| s.active.clone())
+        .unwrap_or_default()
+}
+
+/// One watchdog evaluation pass — called by the sysmon sampler loop
+/// each sample with the freshly-read [`ProcStat`]. No-op when disarmed.
+pub fn tick(stat: Option<&ProcStat>) {
+    if !armed() {
+        return;
+    }
+    let sig = Signals::capture(stat);
+    tick_with(&sig);
+}
+
+/// [`tick`] against an explicit signal snapshot (test seam).
+pub fn tick_with(sig: &Signals) {
+    let mut g = STATE.lock().unwrap_or_else(|e| e.into_inner());
+    let Some(state) = g.as_mut() else {
+        return;
+    };
+    for rule in &state.rules {
+        let name = rule.name();
+        let raised = state.active.iter().position(|a| a.rule == name);
+        match (eval(rule, sig), raised) {
+            (Some((value, threshold, message)), None) => {
+                crate::metrics::counter("watch/alerts").inc();
+                crate::emit_with(|| {
+                    crate::Event::new("alert")
+                        .with("rule", name)
+                        .with("state", "raised")
+                        .with("message", message.as_str())
+                        .with("value", value)
+                        .with("threshold", threshold)
+                });
+                state.active.push(Alert {
+                    rule: name,
+                    message,
+                    value,
+                    threshold,
+                    since_ms: crate::elapsed_ms() as u64,
+                });
+            }
+            (Some((value, threshold, message)), Some(idx)) => {
+                // Still tripped: refresh the observed value, keep the
+                // original raise timestamp, stay silent (edge-triggered).
+                let a = &mut state.active[idx];
+                a.value = value;
+                a.threshold = threshold;
+                a.message = message;
+            }
+            (None, Some(idx)) => {
+                let a = state.active.remove(idx);
+                crate::emit_with(|| {
+                    crate::Event::new("alert")
+                        .with("rule", name)
+                        .with("state", "resolved")
+                        .with("value", a.value)
+                        .with("threshold", a.threshold)
+                });
+            }
+            (None, None) => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trip_eval(rule: &Rule, sig: &Signals) -> bool {
+        eval(rule, sig).is_some()
+    }
+
+    #[test]
+    fn step_stall_requires_training_phase_and_first_step() {
+        let rule = Rule::StepStall { after: Duration::from_secs(30) };
+        let mut sig = Signals { training: true, last_step_age_s: Some(45.0), ..Default::default() };
+        assert!(trip_eval(&rule, &sig));
+        sig.training = false;
+        assert!(!trip_eval(&rule, &sig), "stall only fires mid-training");
+        sig.training = true;
+        sig.last_step_age_s = None;
+        assert!(!trip_eval(&rule, &sig), "no alert before the first step");
+        sig.last_step_age_s = Some(5.0);
+        assert!(!trip_eval(&rule, &sig));
+    }
+
+    #[test]
+    fn rss_rule_needs_explicit_cap() {
+        let rule = Rule::RssNearCap { frac: 0.9 };
+        let mut sig = Signals { rss_bytes: Some(950e6), ..Default::default() };
+        assert!(!trip_eval(&rule, &sig), "no cap env → rule dormant");
+        sig.mem_cap_bytes = Some(1e9);
+        assert!(trip_eval(&rule, &sig));
+        sig.rss_bytes = Some(100e6);
+        assert!(!trip_eval(&rule, &sig));
+    }
+
+    #[test]
+    fn pool_collapse_waits_for_min_samples() {
+        let rule = Rule::PoolHitRateCollapse { below: 0.5, min_samples: 1000 };
+        let mut sig = Signals { pool_hits: 10, pool_misses: 90, ..Default::default() };
+        assert!(!trip_eval(&rule, &sig), "warmup misses are expected");
+        sig.pool_hits = 100;
+        sig.pool_misses = 900;
+        assert!(trip_eval(&rule, &sig));
+        sig.pool_hits = 900;
+        sig.pool_misses = 100;
+        assert!(!trip_eval(&rule, &sig));
+    }
+
+    #[test]
+    fn alerts_are_edge_triggered_and_resolve() {
+        // Private rule name so concurrent obs tests (shared globals)
+        // can't interfere: drive tick_with directly.
+        arm(vec![Rule::DivergenceRollbacks { max: 1 }]);
+        let healthy = Signals::default();
+        let sick = Signals { rollbacks: 3, ..Default::default() };
+        tick_with(&healthy);
+        assert!(active_alerts().is_empty());
+        tick_with(&sick);
+        let alerts = active_alerts();
+        assert_eq!(alerts.len(), 1);
+        assert_eq!(alerts[0].rule, "divergence_rollbacks");
+        assert_eq!(alerts[0].value, 3.0);
+        // Still sick: stays one alert (no re-raise).
+        tick_with(&sick);
+        assert_eq!(active_alerts().len(), 1);
+        tick_with(&healthy);
+        assert!(active_alerts().is_empty(), "falling edge resolves the alert");
+        disarm();
+        assert!(!armed());
+        tick_with(&sick);
+        assert!(active_alerts().is_empty(), "disarmed watchdog never raises");
+    }
+}

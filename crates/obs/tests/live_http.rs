@@ -1,0 +1,147 @@
+//! End-to-end exercise of the live telemetry server over real sockets:
+//! bind on an ephemeral port, hit every endpoint, stream `/events`
+//! while events are emitted, and verify the Prometheus exposition is
+//! line-well-formed. One `#[test]` because the sink table and metric
+//! registry are process-global.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use traffic_obs::live::LiveServer;
+use traffic_obs::{json, Event};
+
+fn http_get(addr: &str, path: &str) -> (String, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    write!(stream, "GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n").unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read response");
+    let (head, body) = response.split_once("\r\n\r\n").expect("has header/body split");
+    (head.lines().next().unwrap_or("").to_string(), body.to_string())
+}
+
+#[test]
+fn live_server_serves_all_endpoints() {
+    // A manifest directory with one finished run for /runs.
+    let dir = std::env::temp_dir().join("traffic_obs_live_http_test");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    std::fs::write(
+        dir.join("r1.jsonl"),
+        concat!(
+            "{\"type\":\"run_start\",\"run\":\"r1\",\"git\":\"abc\",\"threads\":2}\n",
+            "{\"type\":\"epoch\",\"model\":\"STGCN\",\"epoch\":0,\"loss\":0.5}\n",
+            "{\"type\":\"alert\",\"rule\":\"step_stall\",\"state\":\"raised\",",
+            "\"message\":\"m\",\"value\":45.0,\"threshold\":30.0}\n",
+            "{\"type\":\"run_end\",\"run\":\"r1\",\"wall_s\":1.0}\n",
+        ),
+    )
+    .unwrap();
+
+    // Live metrics the exporter should surface.
+    traffic_obs::counter("httptest/requests").add(7);
+    traffic_obs::gauge("httptest/load").set(1.5);
+    let h = traffic_obs::histogram("httptest/lat_s");
+    h.record(0.002);
+    h.record(0.004);
+
+    let server = LiveServer::start_with("127.0.0.1:0", Some("itest"), Some(&dir)).expect("bind");
+    let addr = server.addr().to_string();
+
+    // ---- / (index) ----------------------------------------------------
+    let (status, body) = http_get(&addr, "/");
+    assert!(status.contains("200"), "{status}");
+    assert!(body.contains("/metrics"));
+
+    // ---- /metrics -----------------------------------------------------
+    let (status, metrics) = http_get(&addr, "/metrics");
+    assert!(status.contains("200"), "{status}");
+    assert!(metrics.contains("traffic_httptest_requests_total 7"));
+    assert!(metrics.contains("traffic_httptest_load 1.5"));
+    assert!(metrics.contains("traffic_httptest_lat_s_bucket{le=\"+Inf\"} 2"));
+    assert!(metrics.contains("traffic_httptest_lat_s_min 0.002"));
+    assert!(metrics.contains("traffic_httptest_lat_s_max 0.004"));
+    for line in metrics.lines() {
+        let ok = line.starts_with("# HELP ") || line.starts_with("# TYPE ") || {
+            let mut it = line.rsplitn(2, ' ');
+            let val = it.next().unwrap_or("");
+            let name = it.next().unwrap_or("");
+            !name.is_empty() && (val.parse::<f64>().is_ok() || val == "+Inf" || val == "NaN")
+        };
+        assert!(ok, "malformed exposition line: {line:?}");
+    }
+
+    // ---- /health ------------------------------------------------------
+    let (status, health) = http_get(&addr, "/health");
+    assert!(status.contains("200"), "{status}");
+    let hj = json::parse(&health).expect("health is valid JSON");
+    assert!(hj.get("phase").is_some());
+    assert_eq!(hj.get("run").and_then(json::Json::as_str), Some("itest"));
+    assert!(hj.get("watchdog").is_some());
+
+    // ---- /runs and /runs/<id> -----------------------------------------
+    let (status, runs) = http_get(&addr, "/runs");
+    assert!(status.contains("200"), "{status}");
+    let rj = json::parse(&runs).expect("runs is valid JSON");
+    match rj {
+        json::Json::Arr(list) => {
+            assert!(!list.is_empty());
+            assert_eq!(list[0].get("name").and_then(json::Json::as_str), Some("r1"));
+            assert_eq!(list[0].get("alerts").and_then(json::Json::as_f64), Some(1.0));
+        }
+        other => panic!("/runs should be an array, got {other:?}"),
+    }
+    let (status, run) = http_get(&addr, "/runs/r1");
+    assert!(status.contains("200"), "{status}");
+    let rj = json::parse(&run).expect("run detail is valid JSON");
+    assert_eq!(rj.get("name").and_then(json::Json::as_str), Some("r1"));
+    assert!(matches!(rj.get("losses"), Some(json::Json::Arr(l)) if l.len() == 1));
+    let (status, _) = http_get(&addr, "/runs/no-such-run");
+    assert!(status.contains("404"), "{status}");
+    let (status, _) = http_get(&addr, "/bogus");
+    assert!(status.contains("404"), "{status}");
+
+    // ---- /events (SSE) ------------------------------------------------
+    let mut stream = TcpStream::connect(&addr).expect("connect sse");
+    stream.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    write!(stream, "GET /events HTTP/1.1\r\nHost: {addr}\r\n\r\n").unwrap();
+    // The tap is a registered sink, so a plain emit reaches the ring.
+    traffic_obs::emit(
+        &Event::new("epoch").with("model", "STGCN").with("epoch", 3u64).with("loss", 0.25),
+    );
+    traffic_obs::emit(&Event::new("metric").with("metric", "noise")); // filtered kind
+    traffic_obs::emit(&Event::new("alert").with("rule", "step_stall").with("state", "raised"));
+    let mut reader = BufReader::new(stream);
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let mut saw_epoch = false;
+    let mut saw_alert = false;
+    let mut saw_metric = false;
+    let mut line = String::new();
+    while Instant::now() < deadline && !(saw_epoch && saw_alert) {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) => {
+                let l = line.trim_end();
+                saw_epoch |= l == "event: epoch";
+                saw_alert |= l == "event: alert";
+                saw_metric |= l == "event: metric";
+                if let Some(data) = l.strip_prefix("data: ") {
+                    json::parse(data).expect("SSE data lines are valid JSON");
+                }
+            }
+            Err(_) => break,
+        }
+    }
+    assert!(saw_epoch, "epoch event must stream over /events");
+    assert!(saw_alert, "alert event must stream over /events");
+    assert!(!saw_metric, "metric snapshots are filtered from the stream");
+
+    // ---- shutdown -----------------------------------------------------
+    let t = Instant::now();
+    drop(server); // joins accept loop + this open SSE connection
+    assert!(t.elapsed() < Duration::from_secs(5), "server drop must join promptly");
+    assert!(TcpStream::connect(&addr).is_err(), "listener must be closed after drop");
+    std::fs::remove_dir_all(&dir).ok();
+}

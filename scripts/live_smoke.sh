@@ -1,0 +1,106 @@
+#!/usr/bin/env bash
+# End-to-end smoke test for the live telemetry layer: a real training
+# run served over HTTP while it is scraped, then proven unperturbed.
+#
+# 1. Runs `live demo` (2-epoch STGCN) with TRAFFIC_LIVE=127.0.0.1:0 in
+#    the background; the demo holds the server open after training so
+#    this script has a stable probe window.
+# 2. curl /metrics — every line must be Prometheus text exposition
+#    (`# HELP`/`# TYPE` or `name[{labels}] value`), and the training
+#    counter families must be present.
+# 3. curl /health — must parse as JSON and report the run name.
+# 4. curl /events — the SSE stream must replay at least one epoch event.
+# 5. Exercises the `live attach` client against the same server.
+# 6. Reruns the demo with the server OFF and byte-compares the
+#    `loss[i]=<bits>` lines: observation must not change training.
+#
+# Usage: scripts/live_smoke.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+WORK=$(mktemp -d "${TMPDIR:-/tmp}/live_smoke.XXXXXX")
+DEMO_PID=""
+cleanup() {
+  [[ -n "$DEMO_PID" ]] && kill "$DEMO_PID" 2>/dev/null || true
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+cargo build --release -q --bin live
+
+echo "[live_smoke] 1/6 demo run with TRAFFIC_LIVE…"
+TRAFFIC_LIVE=127.0.0.1:0 target/release/live demo --epochs 2 --hold-ms 20000 \
+  >"$WORK/served.log" 2>&1 &
+DEMO_PID=$!
+
+ADDR=""
+for _ in $(seq 1 100); do
+  ADDR=$(sed -n 's|^serving http://\([^ ]*\).*|\1|p' "$WORK/served.log" | head -1)
+  [[ -n "$ADDR" ]] && break
+  kill -0 "$DEMO_PID" 2>/dev/null || { echo "FAIL: demo died before serving"; cat "$WORK/served.log"; exit 1; }
+  sleep 0.1
+done
+[[ -n "$ADDR" ]] || { echo "FAIL: demo never printed its server address"; cat "$WORK/served.log"; exit 1; }
+echo "[live_smoke]     serving at $ADDR"
+
+echo "[live_smoke] 2/6 /metrics exposition format…"
+curl -sf "http://$ADDR/metrics" >"$WORK/metrics.txt"
+grep -q '^# TYPE traffic_train_batches_total counter$' "$WORK/metrics.txt" || {
+  echo "FAIL: /metrics is missing the training counter family"
+  head -20 "$WORK/metrics.txt"
+  exit 1
+}
+grep -q '^traffic_train_batch_s_bucket{le="+Inf"} ' "$WORK/metrics.txt" || {
+  echo "FAIL: /metrics has no histogram buckets"
+  exit 1
+}
+awk '
+  /^# (HELP|TYPE) /                                  { next }
+  /^[A-Za-z_:][A-Za-z0-9_:]*({[^}]*})? (-?[0-9.eE+-]+|\+Inf|-Inf|NaN)$/ { next }
+  { print "malformed: " $0; bad = 1 }
+  END { exit bad }
+' "$WORK/metrics.txt" || { echo "FAIL: /metrics line not in exposition format"; exit 1; }
+
+echo "[live_smoke] 3/6 /health JSON…"
+curl -sf "http://$ADDR/health" >"$WORK/health.json"
+python3 - "$WORK/health.json" <<'EOF'
+import json, sys
+h = json.load(open(sys.argv[1]))
+assert h["run"] == "live-demo", h
+assert "phase" in h and "epoch" in h and "step" in h, h
+assert "watchdog" in h, h
+EOF
+
+echo "[live_smoke] 4/6 /events SSE replay…"
+# The ring replays from the oldest retained event; training is done, so
+# the epoch events are already in it. curl exits 28 at --max-time.
+curl -sN --max-time 3 "http://$ADDR/events" >"$WORK/events.txt" || true
+grep -q '^event: epoch$' "$WORK/events.txt" || {
+  echo "FAIL: /events streamed no epoch event"
+  head -20 "$WORK/events.txt"
+  exit 1
+}
+
+echo "[live_smoke] 5/6 live attach client…"
+target/release/live attach "$ADDR" | tee "$WORK/attach.log"
+grep -q '^run     live-demo$' "$WORK/attach.log" || {
+  echo "FAIL: 'live attach' did not report the run"
+  exit 1
+}
+
+kill "$DEMO_PID" 2>/dev/null || true
+wait "$DEMO_PID" 2>/dev/null || true
+DEMO_PID=""
+
+echo "[live_smoke] 6/6 server-off run must be bit-identical…"
+target/release/live demo --epochs 2 >"$WORK/plain.log" 2>&1
+grep '^loss\[' "$WORK/served.log" >"$WORK/served.losses"
+grep '^loss\[' "$WORK/plain.log" >"$WORK/plain.losses"
+[[ -s "$WORK/served.losses" ]] || { echo "FAIL: served run printed no losses"; cat "$WORK/served.log"; exit 1; }
+if ! cmp -s "$WORK/served.losses" "$WORK/plain.losses"; then
+  echo "FAIL: losses differ with the live server on vs off"
+  diff "$WORK/served.losses" "$WORK/plain.losses" || true
+  exit 1
+fi
+
+echo "[live_smoke] OK"

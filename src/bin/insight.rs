@@ -5,20 +5,29 @@
 //! insight show  <run> [--dir reports/runs]
 //! insight diff  <base> <cand> [--tol 0.05] [--dir reports/runs]
 //! insight html  <run> [--baseline <run>] [--out reports/insight] [--dir reports/runs]
+//! insight tail  <run> [--poll-ms 500] [--max-ms <n>] [--dir reports/runs]
 //! ```
 //!
 //! `diff` exits 1 when any leaf regressed beyond the tolerance (so CI
 //! can gate on it) and 2 on usage errors. `html` writes a fully
-//! self-contained dashboard to `<out>/<run>.html`.
+//! self-contained dashboard to `<out>/<run>.html`. `tail` follows a
+//! live (growing) manifest — `<run>` may also be a path, so per-cell
+//! manifests under `TRAFFIC_CELL_MANIFESTS` tail the same way — and
+//! exits when the run ends.
 
+use std::io::{Read, Seek, SeekFrom};
+use std::path::PathBuf;
 use std::process::ExitCode;
+use std::time::{Duration, Instant};
 
+use traffic_obs::json::{self, Json};
 use traffic_obs::store::{diff, RunStore, RunSummary};
 use traffic_obs::{html, sparkline};
 
 const DEFAULT_DIR: &str = "reports/runs";
 const DEFAULT_OUT: &str = "reports/insight";
 const DEFAULT_TOL: f64 = 0.05;
+const DEFAULT_POLL_MS: u64 = 500;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -27,6 +36,8 @@ fn main() -> ExitCode {
     let mut out = DEFAULT_OUT.to_string();
     let mut baseline: Option<String> = None;
     let mut tol = DEFAULT_TOL;
+    let mut poll_ms = DEFAULT_POLL_MS;
+    let mut max_ms: Option<u64> = None;
 
     let mut i = 0;
     while i < args.len() {
@@ -50,6 +61,14 @@ fn main() -> ExitCode {
             "--tol" => match take_value(&mut i).and_then(|v| v.parse::<f64>().ok()) {
                 Some(v) => tol = v,
                 None => return usage("--tol needs a number"),
+            },
+            "--poll-ms" => match take_value(&mut i).and_then(|v| v.parse::<u64>().ok()) {
+                Some(v) => poll_ms = v.max(1),
+                None => return usage("--poll-ms needs a number"),
+            },
+            "--max-ms" => match take_value(&mut i).and_then(|v| v.parse::<u64>().ok()) {
+                Some(v) => max_ms = Some(v),
+                None => return usage("--max-ms needs a number"),
             },
             "-h" | "--help" => return usage(""),
             flag if flag.starts_with('-') => {
@@ -77,6 +96,10 @@ fn main() -> ExitCode {
             [run] => cmd_html(&dir, run, baseline.as_deref(), &out),
             _ => usage("html takes exactly one run name"),
         },
+        "tail" => match rest {
+            [run] => cmd_tail(&dir, run, poll_ms, max_ms),
+            _ => usage("tail takes exactly one run name or manifest path"),
+        },
         other => usage(&format!("unknown subcommand {other}")),
     }
 }
@@ -89,7 +112,8 @@ fn usage(err: &str) -> ExitCode {
         "usage:\n  insight list  [--dir {DEFAULT_DIR}]\n  \
          insight show  <run> [--dir {DEFAULT_DIR}]\n  \
          insight diff  <base> <cand> [--tol {DEFAULT_TOL}] [--dir {DEFAULT_DIR}]\n  \
-         insight html  <run> [--baseline <run>] [--out {DEFAULT_OUT}] [--dir {DEFAULT_DIR}]"
+         insight html  <run> [--baseline <run>] [--out {DEFAULT_OUT}] [--dir {DEFAULT_DIR}]\n  \
+         insight tail  <run> [--poll-ms {DEFAULT_POLL_MS}] [--max-ms <n>] [--dir {DEFAULT_DIR}]"
     );
     if err.is_empty() {
         ExitCode::SUCCESS
@@ -211,12 +235,195 @@ fn cmd_show(dir: &str, run: &str) -> ExitCode {
             if b.non_finite { " (non-finite grads)" } else { "" }
         );
     }
+    for a in &summary.alerts {
+        println!("alert   {} {} {}", a.rule, a.state, a.message);
+    }
+    // Histogram summaries with the exact extrema next to the bucketed
+    // quantiles (min/max come from dedicated atomics, not buckets).
+    let hists: Vec<(&String, [f64; 6])> = summary
+        .metrics
+        .iter()
+        .filter_map(|(name, m)| match m {
+            traffic_obs::store::MetricValue::Histogram {
+                count, mean, min, max, p50, p99, ..
+            } => Some((name, [*count, *mean, *min, *max, *p50, *p99])),
+            _ => None,
+        })
+        .collect();
+    if !hists.is_empty() {
+        println!(
+            "\n{:<28} {:>8} {:>10} {:>10} {:>10} {:>10} {:>10}",
+            "histogram", "count", "mean", "min", "max", "p50", "p99"
+        );
+        for (name, [count, mean, min, max, p50, p99]) in hists {
+            println!(
+                "{name:<28} {count:>8} {mean:>10.4} {min:>10.4} {max:>10.4} \
+                 {p50:>10.4} {p99:>10.4}"
+            );
+        }
+        println!();
+    }
     let comparable = summary.comparable();
     println!(
         "leaves  {} comparable metrics (use `insight diff` against another run)",
         comparable.len()
     );
     ExitCode::SUCCESS
+}
+
+/// Follows a live manifest: polls the file for appended lines, parses
+/// each through the same JSON layer as [`RunSummary`], and renders the
+/// human-relevant kinds. Exits when the run ends (`run_end` seen) or
+/// the `--max-ms` budget expires. A shrinking file (the sink truncates
+/// on rewrite) restarts from the top.
+fn cmd_tail(dir: &str, run: &str, poll_ms: u64, max_ms: Option<u64>) -> ExitCode {
+    // A bare run name resolves under --dir; anything path-like (slash
+    // or .jsonl suffix) is used verbatim so per-cell manifests work.
+    let path: PathBuf = if run.contains('/') || run.ends_with(".jsonl") {
+        run.into()
+    } else {
+        PathBuf::from(dir).join(format!("{run}.jsonl"))
+    };
+    let start = Instant::now();
+    let deadline = max_ms.map(|ms| start + Duration::from_millis(ms));
+    let poll = Duration::from_millis(poll_ms);
+    let mut offset: u64 = 0;
+    let mut partial = String::new();
+    let mut announced = false;
+    let mut ended = false;
+    loop {
+        let len = std::fs::metadata(&path).map(|m| m.len()).ok();
+        match len {
+            None => {
+                if !announced {
+                    println!("[tail] waiting for {} to appear…", path.display());
+                    announced = true;
+                }
+            }
+            Some(len) => {
+                if !announced {
+                    println!("[tail] following {}", path.display());
+                    announced = true;
+                }
+                if len < offset {
+                    println!("[tail] manifest truncated (new run?) — restarting from the top");
+                    offset = 0;
+                    partial.clear();
+                }
+                if len > offset {
+                    match read_from(&path, offset) {
+                        Ok(chunk) => {
+                            offset = len;
+                            partial.push_str(&chunk);
+                            // Only complete lines parse; the trailing
+                            // fragment waits for the writer's next flush.
+                            while let Some(nl) = partial.find('\n') {
+                                let line: String = partial.drain(..=nl).collect();
+                                ended |= render_tail_line(line.trim());
+                            }
+                        }
+                        Err(e) => {
+                            eprintln!("insight: cannot read {}: {e}", path.display());
+                            return ExitCode::FAILURE;
+                        }
+                    }
+                }
+            }
+        }
+        if ended {
+            return ExitCode::SUCCESS;
+        }
+        if let Some(d) = deadline {
+            if Instant::now() >= d {
+                return ExitCode::SUCCESS;
+            }
+        }
+        std::thread::sleep(poll);
+    }
+}
+
+/// Reads the file contents from `offset` to EOF.
+fn read_from(path: &std::path::Path, offset: u64) -> std::io::Result<String> {
+    let mut f = std::fs::File::open(path)?;
+    f.seek(SeekFrom::Start(offset))?;
+    let mut buf = String::new();
+    f.read_to_string(&mut buf)?;
+    Ok(buf)
+}
+
+fn num(ev: &Json, key: &str) -> f64 {
+    ev.get(key).and_then(Json::as_f64).unwrap_or(f64::NAN)
+}
+
+fn text<'j>(ev: &'j Json, key: &str) -> &'j str {
+    ev.get(key).and_then(Json::as_str).unwrap_or("?")
+}
+
+/// One manifest line → at most one console line (same vocabulary as
+/// the store's projection; registry noise stays silent). Returns true
+/// when the line was the run's `run_end`.
+fn render_tail_line(line: &str) -> bool {
+    if line.is_empty() {
+        return false;
+    }
+    let Ok(ev) = json::parse(line) else {
+        return false; // torn tail of a crashed writer
+    };
+    match ev.get("type").and_then(Json::as_str).unwrap_or("") {
+        "run_start" => {
+            println!("[tail] run '{}' started (git {})", text(&ev, "run"), text(&ev, "git"))
+        }
+        "run_end" => {
+            println!("[tail] run '{}' finished in {:.2}s", text(&ev, "run"), num(&ev, "wall_s"));
+            return true;
+        }
+        "epoch" => {
+            let mut line = format!(
+                "[tail] {} epoch {} loss {:.4}",
+                text(&ev, "model"),
+                num(&ev, "epoch"),
+                num(&ev, "loss")
+            );
+            if let Some(vl) = ev.get("val_loss").and_then(Json::as_f64) {
+                line.push_str(&format!(" val {vl:.4}"));
+            }
+            println!("{line}");
+        }
+        "insight" => {
+            if let Some(op) = ev.get("op").and_then(Json::as_str) {
+                println!(
+                    "[tail] step {} {} saturation {:.3}",
+                    num(&ev, "step"),
+                    op,
+                    num(&ev, "saturation")
+                );
+            } else {
+                println!(
+                    "[tail] step {} {} grad {:.3e} upd {:.1e}",
+                    num(&ev, "step"),
+                    text(&ev, "group"),
+                    num(&ev, "grad_norm"),
+                    num(&ev, "update_ratio")
+                );
+            }
+        }
+        "alert" => println!(
+            "[tail] ALERT {} {}: {}",
+            text(&ev, "rule"),
+            text(&ev, "state"),
+            text(&ev, "message")
+        ),
+        "blame" => println!(
+            "[tail] blame {} rank {} {}",
+            text(&ev, "reason"),
+            num(&ev, "rank"),
+            text(&ev, "group")
+        ),
+        "cell_start" => println!("[tail] cell {} started", text(&ev, "cell")),
+        "cell_end" => println!("[tail] cell {} finished", text(&ev, "cell")),
+        _ => {}
+    }
+    false
 }
 
 fn cmd_diff(dir: &str, base: &str, cand: &str, tol: f64) -> ExitCode {

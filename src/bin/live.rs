@@ -1,0 +1,263 @@
+//! `live` — client CLI for the in-process telemetry server
+//! ([`traffic_obs::live`]).
+//!
+//! ```text
+//! live attach <addr>                      one-shot /health + /metrics summary
+//! live tail   <addr> [--max-events <n>]   stream /events (SSE) to the console
+//! live demo   [--epochs <n>]              tiny STGCN run; honours TRAFFIC_LIVE
+//! ```
+//!
+//! `attach` and `tail` speak plain HTTP/1.1 over a std `TcpStream` —
+//! no client dependencies, mirroring the server's zero-dep design.
+//! `demo` exists for smoke tests: it prints each epoch loss as exact
+//! bits (`loss[i]=<hex>`), so two runs can be byte-compared to verify
+//! the server never perturbs training.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::process::ExitCode;
+use std::time::Duration;
+
+use traffic_suite::core::{train, TrainConfig};
+use traffic_suite::data::{prepare, simulate, SimConfig, Task};
+use traffic_suite::models::{build_model, GraphContext};
+use traffic_suite::obs::json::{self, Json};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut positional: Vec<&str> = Vec::new();
+    let mut max_events: Option<usize> = None;
+    let mut epochs = 2usize;
+    let mut hold_ms = 0u64;
+    let mut i = 0;
+    while i < args.len() {
+        let take_value = |i: &mut usize| -> Option<String> {
+            *i += 1;
+            args.get(*i).cloned()
+        };
+        match args[i].as_str() {
+            "--max-events" => match take_value(&mut i).and_then(|v| v.parse().ok()) {
+                Some(v) => max_events = Some(v),
+                None => return usage("--max-events needs a number"),
+            },
+            "--epochs" => match take_value(&mut i).and_then(|v| v.parse().ok()) {
+                Some(v) => epochs = v,
+                None => return usage("--epochs needs a number"),
+            },
+            "--hold-ms" => match take_value(&mut i).and_then(|v| v.parse().ok()) {
+                Some(v) => hold_ms = v,
+                None => return usage("--hold-ms needs a number"),
+            },
+            "-h" | "--help" => return usage(""),
+            flag if flag.starts_with('-') => return usage(&format!("unknown flag {flag}")),
+            _ => positional.push(&args[i]),
+        }
+        i += 1;
+    }
+    let Some((&cmd, rest)) = positional.split_first() else {
+        return usage("missing subcommand");
+    };
+    match cmd {
+        "attach" => match rest {
+            [addr] => cmd_attach(addr),
+            _ => usage("attach takes exactly one <host:port>"),
+        },
+        "tail" => match rest {
+            [addr] => cmd_tail(addr, max_events),
+            _ => usage("tail takes exactly one <host:port>"),
+        },
+        "demo" => cmd_demo(epochs, hold_ms),
+        other => usage(&format!("unknown subcommand {other}")),
+    }
+}
+
+fn usage(err: &str) -> ExitCode {
+    if !err.is_empty() {
+        eprintln!("live: {err}\n");
+    }
+    eprintln!(
+        "usage:\n  live attach <host:port>\n  \
+         live tail   <host:port> [--max-events <n>]\n  \
+         live demo   [--epochs 2] [--hold-ms 0]   (set TRAFFIC_LIVE=<addr> to serve it)"
+    );
+    if err.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(2)
+    }
+}
+
+/// Plain HTTP/1.1 GET: returns the response body (reads to EOF — the
+/// server always answers `Connection: close`).
+fn http_get(addr: &str, path: &str) -> std::io::Result<String> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+    write!(stream, "GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n")?;
+    let mut response = String::new();
+    stream.read_to_string(&mut response)?;
+    match response.split_once("\r\n\r\n") {
+        Some((head, body)) if head.starts_with("HTTP/1.1 200") => Ok(body.to_string()),
+        Some((head, _)) => Err(std::io::Error::other(format!(
+            "server said: {}",
+            head.lines().next().unwrap_or("?")
+        ))),
+        None => Err(std::io::Error::other("malformed HTTP response")),
+    }
+}
+
+fn cmd_attach(addr: &str) -> ExitCode {
+    let health = match http_get(addr, "/health") {
+        Ok(body) => body,
+        Err(e) => {
+            eprintln!("live: cannot reach {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let Ok(h) = json::parse(&health) else {
+        eprintln!("live: /health returned unparseable JSON: {health}");
+        return ExitCode::FAILURE;
+    };
+    let text = |key: &str| h.get(key).and_then(Json::as_str).unwrap_or("-").to_string();
+    let num = |key: &str| h.get(key).and_then(Json::as_f64);
+    println!("server  {addr}");
+    println!("run     {}", text("run"));
+    println!("phase   {}", text("phase"));
+    println!("step    epoch {} step {}", num("epoch").unwrap_or(0.0), num("step").unwrap_or(0.0));
+    match num("last_step_age_s") {
+        Some(age) => println!("last    {age:.1}s since last training step"),
+        None => println!("last    no training step yet"),
+    }
+    if let Some(up) = num("uptime_s") {
+        println!("uptime  {up:.1}s");
+    }
+    if let Some(wd) = h.get("watchdog") {
+        let armed = matches!(wd.get("armed"), Some(Json::Bool(true)));
+        let alerts = match wd.get("alerts") {
+            Some(Json::Arr(a)) => a.len(),
+            _ => 0,
+        };
+        println!(
+            "watch   {} ({} active alert{})",
+            if armed { "armed" } else { "disarmed" },
+            alerts,
+            if alerts == 1 { "" } else { "s" }
+        );
+        if let Some(Json::Arr(list)) = wd.get("alerts") {
+            for a in list {
+                println!(
+                    "        ALERT {}: {}",
+                    a.get("rule").and_then(Json::as_str).unwrap_or("?"),
+                    a.get("message").and_then(Json::as_str).unwrap_or("")
+                );
+            }
+        }
+    }
+    match http_get(addr, "/metrics") {
+        Ok(metrics) => {
+            let families = metrics.lines().filter(|l| l.starts_with("# TYPE ")).count();
+            println!("metrics {families} families exported at /metrics");
+        }
+        Err(e) => eprintln!("live: /metrics failed: {e}"),
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_tail(addr: &str, max_events: Option<usize>) -> ExitCode {
+    let stream = match TcpStream::connect(addr) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("live: cannot reach {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut stream = stream;
+    if write!(stream, "GET /events HTTP/1.1\r\nHost: {addr}\r\nAccept: text/event-stream\r\n\r\n")
+        .is_err()
+    {
+        eprintln!("live: request write failed");
+        return ExitCode::FAILURE;
+    }
+    let mut reader = BufReader::new(stream);
+    let mut seen = 0usize;
+    let mut event_kind = String::new();
+    let mut in_body = false;
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) => break, // server went down with its run
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("live: stream error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        let l = line.trim_end();
+        if !in_body {
+            in_body = l.is_empty(); // blank line ends the HTTP head
+            continue;
+        }
+        if let Some(kind) = l.strip_prefix("event: ") {
+            event_kind = kind.to_string();
+        } else if let Some(data) = l.strip_prefix("data: ") {
+            println!("[{event_kind}] {data}");
+            seen += 1;
+            let done = event_kind == "run_end" || max_events.is_some_and(|m| seen >= m);
+            if done {
+                break;
+            }
+        }
+        // keep-alive comments (": keepalive") and blank separators skip
+    }
+    println!("({seen} events)");
+    ExitCode::SUCCESS
+}
+
+/// A tiny deterministic STGCN run for smoke tests. With
+/// `TRAFFIC_LIVE=<addr>` set, the run serves telemetry while training;
+/// either way the epoch losses print as exact bit patterns so two
+/// invocations can be byte-compared.
+fn cmd_demo(epochs: usize, hold_ms: u64) -> ExitCode {
+    let run = match traffic_suite::obs::Run::named("live-demo")
+        .console(false)
+        .jsonl("reports/runs")
+        .start()
+    {
+        Ok(run) => run,
+        Err(e) => {
+            eprintln!("live: cannot start run: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Some(addr) = run.live_addr() {
+        // Flush so a piped smoke test sees the address before training
+        // ends (stdout is block-buffered when not a tty).
+        println!("serving http://{addr} (metrics/health/runs/events)");
+        let _ = std::io::stdout().flush();
+    }
+    let mut cfg = SimConfig::new("live-demo", Task::Speed, 8, 5);
+    cfg.missing_rate = 0.0;
+    let ds = simulate(&cfg);
+    let data = prepare(&ds, 12, 12);
+    let ctx = GraphContext::from_network(&ds.network, 4);
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(7);
+    let model = build_model("STGCN", &ctx, &mut rng);
+    let train_cfg = TrainConfig {
+        epochs,
+        batch_size: 16,
+        max_batches_per_epoch: Some(8),
+        ..Default::default()
+    };
+    let report = train(model.as_ref(), &data, &train_cfg);
+    for (i, loss) in report.epoch_losses.iter().enumerate() {
+        println!("loss[{i}]={:08x}", loss.to_bits());
+    }
+    let _ = std::io::stdout().flush();
+    // Keep the server up after training so smoke tests can probe it
+    // (the run — and with it the server — drops when this returns).
+    if hold_ms > 0 && run.live_addr().is_some() {
+        std::thread::sleep(Duration::from_millis(hold_ms));
+    }
+    drop(run);
+    ExitCode::SUCCESS
+}

@@ -107,6 +107,67 @@ fn stgcn_losses_deterministic_in_both_reduce_modes() {
 }
 
 #[test]
+fn stgcn_losses_identical_with_live_server_on_and_scraped() {
+    use std::io::{Read, Write};
+    use std::net::TcpStream;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    let _guard = knob_lock();
+    // Baseline: no telemetry server, heartbeat is a single untracked
+    // atomic load.
+    let off = stgcn_losses(usize::MAX);
+
+    // Same training with a live server attached AND under active load:
+    // one thread hammering /metrics + /health, one holding /events
+    // open. Observation must never perturb the arithmetic.
+    let server =
+        traffic_suite::obs::live::LiveServer::start("127.0.0.1:0").expect("bind live server");
+    let addr = server.addr().to_string();
+    let stop = Arc::new(AtomicBool::new(false));
+    let scraper = {
+        let (addr, stop) = (addr.clone(), Arc::clone(&stop));
+        std::thread::spawn(move || {
+            while !stop.load(Ordering::Relaxed) {
+                for path in ["/metrics", "/health"] {
+                    if let Ok(mut s) = TcpStream::connect(&addr) {
+                        let _ = s.set_read_timeout(Some(std::time::Duration::from_secs(1)));
+                        let _ = write!(s, "GET {path} HTTP/1.1\r\nConnection: close\r\n\r\n");
+                        let mut buf = String::new();
+                        let _ = s.read_to_string(&mut buf);
+                    }
+                }
+            }
+        })
+    };
+    let streamer = {
+        let (addr, stop) = (addr, Arc::clone(&stop));
+        std::thread::spawn(move || {
+            if let Ok(mut s) = TcpStream::connect(&addr) {
+                let _ = s.set_read_timeout(Some(std::time::Duration::from_millis(200)));
+                let _ = write!(s, "GET /events HTTP/1.1\r\n\r\n");
+                let mut buf = [0u8; 4096];
+                while !stop.load(Ordering::Relaxed) {
+                    // Anything else is keepalives, events, or timeouts.
+                    if let Ok(0) = s.read(&mut buf) {
+                        break;
+                    }
+                }
+            }
+        })
+    };
+    let on = stgcn_losses(usize::MAX);
+    stop.store(true, Ordering::Relaxed);
+    scraper.join().unwrap();
+    streamer.join().unwrap();
+    drop(server);
+    assert_eq!(
+        off, on,
+        "2-epoch STGCN losses must be bit-identical with the live server off vs scraped"
+    );
+}
+
+#[test]
 fn stgcn_losses_identical_with_mem_pool_on_and_off() {
     let _guard = knob_lock();
     // TRAFFIC_MEM_CAP=0 equivalent: recycling disabled, every buffer
