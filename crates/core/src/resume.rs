@@ -19,9 +19,11 @@
 //!   against the live [`ParamStore`] before writing anything.
 
 use std::path::Path;
+use std::time::Duration;
 
 use traffic_nn::tnn2::{self, PayloadReader, PayloadWriter};
 use traffic_nn::{AdamState, CheckpointError, ParamStore};
+use traffic_obs::counter;
 use traffic_tensor::Tensor;
 
 use crate::trainer::TrainConfig;
@@ -29,6 +31,45 @@ use crate::trainer::TrainConfig;
 /// Version of the **state schema** inside the `TNN2` container (the
 /// container itself has its own format version).
 pub const STATE_VERSION: u32 = 1;
+
+/// Default attempt budget for the `*_with_retry` checkpoint I/O
+/// wrappers (1 try + 2 retries).
+pub const CKPT_IO_ATTEMPTS: u32 = 3;
+
+/// Default initial backoff for checkpoint I/O retries (doubles per
+/// retry: 5ms, 10ms).
+pub const CKPT_IO_BACKOFF: Duration = Duration::from_millis(5);
+
+/// Bounded retry-with-backoff around a checkpoint I/O operation.
+/// Retries **only** [`CheckpointError::Io`] — transient by nature;
+/// corruption and mismatches return immediately because retrying can't
+/// make a structurally bad file good. Each retry increments
+/// `train/ckpt_retries`.
+fn io_retry<T>(
+    what: &str,
+    path: &Path,
+    attempts: u32,
+    backoff: Duration,
+    mut op: impl FnMut() -> Result<T, CheckpointError>,
+) -> Result<T, CheckpointError> {
+    let mut delay = backoff;
+    for attempt in 1.. {
+        match op() {
+            Err(CheckpointError::Io(e)) if attempt < attempts => {
+                counter("train/ckpt_retries").inc();
+                eprintln!(
+                    "resume: {what} {} failed ({e}); retry {attempt}/{}",
+                    path.display(),
+                    attempts - 1
+                );
+                std::thread::sleep(delay);
+                delay = delay.saturating_mul(2);
+            }
+            other => return other,
+        }
+    }
+    unreachable!("retry loop returns on the last attempt")
+}
 
 /// Best-validation-epoch snapshot carried inside a [`TrainState`].
 #[derive(Debug, Clone)]
@@ -208,6 +249,29 @@ impl TrainState {
                 ("best", best.into_bytes()),
             ],
         )
+    }
+
+    /// [`TrainState::save`] with bounded retry-with-backoff on **I/O**
+    /// errors (`ckpt_io` faults, NFS hiccups, disk-full races that
+    /// clear). Corruption/mismatch never retries — rewriting won't fix
+    /// a structural bug. Retries count as `train/ckpt_retries`.
+    pub fn save_with_retry(
+        &self,
+        path: &Path,
+        attempts: u32,
+        backoff: Duration,
+    ) -> Result<(), CheckpointError> {
+        io_retry("checkpoint save", path, attempts, backoff, || self.save(path))
+    }
+
+    /// [`TrainState::load`] with the same bounded I/O retry policy as
+    /// [`TrainState::save_with_retry`].
+    pub fn load_with_retry(
+        path: &Path,
+        attempts: u32,
+        backoff: Duration,
+    ) -> Result<TrainState, CheckpointError> {
+        io_retry("checkpoint load", path, attempts, backoff, || TrainState::load(path))
     }
 
     /// Reads and verifies a checkpoint written by [`TrainState::save`].

@@ -231,7 +231,11 @@ pub fn train(model: &dyn TrafficModel, data: &PreparedData, cfg: &TrainConfig) -
     // ---- resume -------------------------------------------------------
     if let Some(path) = &cfg.resume_from {
         if path.exists() {
-            match TrainState::load(path) {
+            match TrainState::load_with_retry(
+                path,
+                crate::resume::CKPT_IO_ATTEMPTS,
+                crate::resume::CKPT_IO_BACKOFF,
+            ) {
                 Ok(st) if st.fingerprint != fingerprint => {
                     counter("train/resume_failures").inc();
                     eprintln!(
@@ -553,7 +557,11 @@ pub fn train(model: &dyn TrafficModel, data: &PreparedData, cfg: &TrainConfig) -
                         weights: w.clone(),
                     }),
                 };
-                match state.save(path) {
+                match state.save_with_retry(
+                    path,
+                    crate::resume::CKPT_IO_ATTEMPTS,
+                    crate::resume::CKPT_IO_BACKOFF,
+                ) {
                     Ok(()) => {
                         counter("train/checkpoints").inc();
                         emit_with(|| {

@@ -1,15 +1,25 @@
 //! Deterministic fault injection for resilience testing.
 //!
 //! A fault *site* is a named point in the pipeline that asks
-//! [`fire`] whether it should fail this time. Sites used by the
-//! workspace:
+//! [`fire`] whether it should fail this time. [`SITES`] is the
+//! canonical vocabulary — every site the workspace defines, in one
+//! place:
 //!
-//! | site       | effect at the call site                              |
-//! |------------|------------------------------------------------------|
-//! | `nan_grad` | trainer poisons the captured gradients with NaN      |
-//! | `ckpt_io`  | checkpoint writer returns an I/O error               |
-//! | `abort`    | trainer panics (or hard-aborts) mid-epoch            |
-//! | `nan_val`  | `validation_loss` returns NaN                        |
+//! | site        | effect at the call site                              |
+//! |-------------|------------------------------------------------------|
+//! | `nan_grad`  | trainer poisons the captured gradients with NaN      |
+//! | `ckpt_io`   | checkpoint writer returns an I/O error               |
+//! | `abort`     | trainer panics (or hard-aborts) mid-epoch            |
+//! | `nan_val`   | `validation_loss` returns NaN                        |
+//! | `serve_io`  | serving-snapshot read returns a transient I/O error  |
+//! | `reload`    | serving-snapshot decode reports corruption           |
+//! | `serve_nan` | serve engine treats one batched forward as non-finite|
+//!
+//! The trainer sites (`nan_grad`/`ckpt_io`/`abort`/`nan_val`) exercise
+//! training resilience (skip-and-recover, checkpoint retry, resume);
+//! the serve sites (`serve_io`/`reload`/`serve_nan`) exercise the
+//! serving degradation ladder (reload retry, validate-then-swap
+//! keeping last-good, circuit breaker tripping to `DEGRADED`).
 //!
 //! Triggers are **call-count based**, never time- or randomness-based:
 //! the N-th call to `fire(site)` fires, exactly once, so a run with a
@@ -42,6 +52,21 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Mutex, OnceLock};
 
 use crate::{counter, emit_with, Event};
+
+/// Every fault site defined across the workspace, as
+/// `(site, effect at the call site)` pairs — the single source of
+/// truth for the vocabulary (the module table above renders the same
+/// list). Tools that validate `TRAFFIC_FAULTS` plans or enumerate
+/// chaos coverage iterate this instead of hard-coding names.
+pub const SITES: &[(&str, &str)] = &[
+    ("nan_grad", "trainer poisons the captured gradients with NaN"),
+    ("ckpt_io", "checkpoint writer returns an I/O error"),
+    ("abort", "trainer panics (or hard-aborts) mid-epoch"),
+    ("nan_val", "validation_loss returns NaN"),
+    ("serve_io", "serving-snapshot read returns a transient I/O error"),
+    ("reload", "serving-snapshot decode reports corruption"),
+    ("serve_nan", "serve engine treats one batched forward as non-finite"),
+];
 
 /// How the site should fail when the trigger fires.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -202,6 +202,8 @@ fn streamed(kind: &str) -> bool {
             | "skipped_step"
             | "divergence_rollback"
             | "divergence_giveup"
+            | "reload"
+            | "breaker"
     )
 }
 
@@ -631,6 +633,32 @@ fn health_json(ctx: &ServeCtx) -> String {
     if let Some(run) = &ctx.run {
         out.push(',');
         push_kv_str(&mut out, "run", run);
+    }
+    // Serving section: only rendered when a serve queue exists in this
+    // process (the high-water gauge is set by its constructor).
+    let high_water = crate::metrics::gauge("serve/queue_high_water").get();
+    if high_water > 0.0 {
+        let c = |name: &str| crate::metrics::counter(name).get();
+        out.push_str(&format!(
+            ",\"serving\":{{\"state\":\"{}\",\"queue_depth\":{},\"high_water\":{},\
+             \"requests\":{},\"ok\":{},\"degraded\":{},\"shed\":{},\"timeouts\":{},\
+             \"breaker_trips\":{},\"reloads\":{},\"reload_failures\":{}}}",
+            if crate::metrics::gauge("serve/breaker_open").get() > 0.0 {
+                "DEGRADED"
+            } else {
+                "HEALTHY"
+            },
+            crate::metrics::gauge("serve/queue_depth").get(),
+            high_water,
+            c("serve/requests"),
+            c("serve/ok"),
+            c("serve/degraded"),
+            c("serve/shed"),
+            c("serve/timeouts"),
+            c("serve/breaker_trips"),
+            c("serve/reloads"),
+            c("serve/reload_failures"),
+        ));
     }
     out.push_str(",\"watchdog\":{");
     out.push_str(&format!("\"armed\":{},\"alerts\":[", crate::watch::armed()));

@@ -51,6 +51,23 @@ pub enum Rule {
         /// Rollbacks tolerated before alerting.
         max: u64,
     },
+    /// Serve queue depth at or above `frac` of its high-water mark —
+    /// the server is about to shed. Dormant unless a serve queue
+    /// exists (high-water gauge > 0).
+    ServeQueueDepth {
+        /// Fraction of the high-water mark (e.g. `0.9`).
+        frac: f64,
+    },
+    /// More than `above` of serve requests answered `TIMEOUT`, after at
+    /// least `min_requests` requests — deadlines are systematically
+    /// missed, not occasionally.
+    DeadlineMissRate {
+        /// Miss-rate ceiling in `[0, 1]`.
+        above: f64,
+        /// Requests before the rule is live (a cold server's first
+        /// timeouts are not a trend).
+        min_requests: u64,
+    },
 }
 
 impl Rule {
@@ -61,6 +78,8 @@ impl Rule {
             Rule::RssNearCap { .. } => "rss_near_cap",
             Rule::PoolHitRateCollapse { .. } => "pool_hit_rate_collapse",
             Rule::DivergenceRollbacks { .. } => "divergence_rollbacks",
+            Rule::ServeQueueDepth { .. } => "serve_queue_depth",
+            Rule::DeadlineMissRate { .. } => "deadline_miss_rate",
         }
     }
 }
@@ -72,6 +91,8 @@ pub fn standard_rules() -> Vec<Rule> {
         Rule::RssNearCap { frac: 0.9 },
         Rule::PoolHitRateCollapse { below: 0.5, min_samples: 10_000 },
         Rule::DivergenceRollbacks { max: 1 },
+        Rule::ServeQueueDepth { frac: 0.9 },
+        Rule::DeadlineMissRate { above: 0.2, min_requests: 200 },
     ]
 }
 
@@ -110,6 +131,15 @@ pub struct Signals {
     pub pool_misses: u64,
     /// Cumulative divergence-supervisor rollbacks.
     pub rollbacks: u64,
+    /// Current serve queue depth (`serve/queue_depth` gauge).
+    pub serve_queue_depth: f64,
+    /// Serve queue shed threshold (`serve/queue_high_water` gauge;
+    /// `0` = no serve queue in this process).
+    pub serve_queue_high_water: f64,
+    /// Cumulative serve requests admitted or refused.
+    pub serve_requests: u64,
+    /// Cumulative serve requests answered `TIMEOUT`.
+    pub serve_timeouts: u64,
 }
 
 impl Signals {
@@ -127,6 +157,10 @@ impl Signals {
             pool_hits: crate::metrics::counter("mem/pool_hits").get(),
             pool_misses: crate::metrics::counter("mem/pool_misses").get(),
             rollbacks: crate::metrics::counter("train/rollbacks").get(),
+            serve_queue_depth: crate::metrics::gauge("serve/queue_depth").get(),
+            serve_queue_high_water: crate::metrics::gauge("serve/queue_high_water").get(),
+            serve_requests: crate::metrics::counter("serve/requests").get(),
+            serve_timeouts: crate::metrics::counter("serve/timeouts").get(),
         }
     }
 }
@@ -180,6 +214,42 @@ fn eval(rule: &Rule, sig: &Signals) -> Option<(f64, f64, String)> {
                     n as f64,
                     *max as f64,
                     format!("{n} divergence rollbacks (tolerated {max}) — training is unstable"),
+                )
+            })
+        }
+        Rule::ServeQueueDepth { frac } => {
+            if sig.serve_queue_high_water <= 0.0 {
+                return None; // no serve queue in this process
+            }
+            let depth = sig.serve_queue_depth;
+            let limit = sig.serve_queue_high_water * frac;
+            (depth >= limit).then(|| {
+                (
+                    depth,
+                    limit,
+                    format!(
+                        "serve queue at {depth:.0}/{:.0} ({:.0}% of high water) — shedding imminent",
+                        sig.serve_queue_high_water,
+                        100.0 * depth / sig.serve_queue_high_water
+                    ),
+                )
+            })
+        }
+        Rule::DeadlineMissRate { above, min_requests } => {
+            if sig.serve_requests < *min_requests {
+                return None;
+            }
+            let rate = sig.serve_timeouts as f64 / sig.serve_requests as f64;
+            (rate > *above).then(|| {
+                (
+                    rate,
+                    *above,
+                    format!(
+                        "{:.0}% of {} serve requests timed out (ceiling {:.0}%)",
+                        rate * 100.0,
+                        sig.serve_requests,
+                        above * 100.0
+                    ),
                 )
             })
         }
@@ -331,6 +401,31 @@ mod tests {
         sig.pool_hits = 900;
         sig.pool_misses = 100;
         assert!(!trip_eval(&rule, &sig));
+    }
+
+    #[test]
+    fn serve_queue_rule_is_dormant_without_a_queue() {
+        let rule = Rule::ServeQueueDepth { frac: 0.9 };
+        let mut sig = Signals { serve_queue_depth: 50.0, ..Default::default() };
+        assert!(!trip_eval(&rule, &sig), "no high-water gauge → no serve queue → dormant");
+        sig.serve_queue_high_water = 64.0;
+        assert!(!trip_eval(&rule, &sig), "50/64 is below 90%");
+        sig.serve_queue_depth = 60.0;
+        assert!(trip_eval(&rule, &sig));
+        sig.serve_queue_depth = 2.0;
+        assert!(!trip_eval(&rule, &sig));
+    }
+
+    #[test]
+    fn deadline_miss_rate_waits_for_min_requests() {
+        let rule = Rule::DeadlineMissRate { above: 0.2, min_requests: 200 };
+        let mut sig = Signals { serve_requests: 100, serve_timeouts: 90, ..Default::default() };
+        assert!(!trip_eval(&rule, &sig), "cold server: not enough requests to call a trend");
+        sig.serve_requests = 400;
+        sig.serve_timeouts = 90;
+        assert!(trip_eval(&rule, &sig), "22.5% > 20% ceiling");
+        sig.serve_timeouts = 60;
+        assert!(!trip_eval(&rule, &sig), "15% is under the ceiling");
     }
 
     #[test]

@@ -1,0 +1,104 @@
+//! Per-model circuit breaker.
+//!
+//! A model that panics or emits non-finite outputs on consecutive
+//! batches is *tripped*: the engine stops routing real traffic through
+//! it and serves the persistence-baseline fallback (`DEGRADED`)
+//! instead. While open, every `probe_every`-th batch is still sent
+//! through the model as a **probe**; one fully-finite probe closes the
+//! breaker. Probing is keyed on the batch counter, not wall time, so
+//! recovery behaviour is deterministic under test.
+
+/// Circuit breaker state machine. Pure — no clocks, no metrics; the
+/// engine owns side effects so transitions stay unit-testable.
+#[derive(Debug)]
+pub struct Breaker {
+    threshold: u32,
+    probe_every: u64,
+    consecutive: u32,
+    open: bool,
+    trips: u64,
+}
+
+impl Breaker {
+    /// Trips after `threshold` consecutive failures; while open, probes
+    /// on every `probe_every`-th batch.
+    pub fn new(threshold: u32, probe_every: u64) -> Self {
+        assert!(threshold > 0 && probe_every > 0);
+        Breaker { threshold, probe_every, consecutive: 0, open: false, trips: 0 }
+    }
+
+    /// Is the model currently considered broken?
+    pub fn is_open(&self) -> bool {
+        self.open
+    }
+
+    /// Lifetime trip count (for `/status` and `BENCH_serve.json`).
+    pub fn trips(&self) -> u64 {
+        self.trips
+    }
+
+    /// Should `batch_idx` go through the real model? Always while
+    /// closed; every `probe_every`-th batch while open.
+    pub fn allow_real(&self, batch_idx: u64) -> bool {
+        !self.open || batch_idx.is_multiple_of(self.probe_every)
+    }
+
+    /// A fully-finite forward completed. Returns `true` when this
+    /// *closes* an open breaker (a successful probe).
+    pub fn record_success(&mut self) -> bool {
+        self.consecutive = 0;
+        std::mem::replace(&mut self.open, false)
+    }
+
+    /// A forward panicked or produced non-finite outputs. Returns
+    /// `true` when this failure *trips* the breaker.
+    pub fn record_failure(&mut self) -> bool {
+        self.consecutive = self.consecutive.saturating_add(1);
+        if !self.open && self.consecutive >= self.threshold {
+            self.open = true;
+            self.trips += 1;
+            return true;
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trips_only_on_consecutive_failures() {
+        let mut b = Breaker::new(3, 4);
+        assert!(!b.record_failure());
+        assert!(!b.record_failure());
+        assert!(!b.record_success(), "success while closed is not a close event");
+        assert!(!b.record_failure(), "the streak was reset");
+        assert!(!b.record_failure());
+        assert!(b.record_failure(), "third consecutive failure trips");
+        assert!(b.is_open());
+        assert_eq!(b.trips(), 1);
+    }
+
+    #[test]
+    fn probes_are_periodic_while_open() {
+        let mut b = Breaker::new(1, 4);
+        assert!(b.record_failure());
+        let allowed: Vec<u64> = (0..10).filter(|&i| b.allow_real(i)).collect();
+        assert_eq!(allowed, vec![0, 4, 8]);
+        assert!(b.record_success(), "successful probe closes the breaker");
+        assert!(!b.is_open());
+        assert!(b.allow_real(1), "closed breaker allows everything");
+    }
+
+    #[test]
+    fn reopen_counts_a_second_trip() {
+        let mut b = Breaker::new(2, 2);
+        b.record_failure();
+        assert!(b.record_failure());
+        b.record_success();
+        b.record_failure();
+        assert!(b.record_failure());
+        assert_eq!(b.trips(), 2);
+    }
+}

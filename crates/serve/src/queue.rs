@@ -1,0 +1,240 @@
+//! Deadline-aware admission queue.
+//!
+//! Every robustness decision the server makes *before* touching compute
+//! lives here, and all of it is a pure function of `(queue state,
+//! now_ns)` — the clock is an explicit argument, never read internally,
+//! so `SHED`/`TIMEOUT` decisions are bit-identical whether the kernels
+//! underneath run on one worker thread or eight (tested in
+//! `tests/determinism.rs`).
+//!
+//! - **Admission control**: past the high-water mark the queue refuses
+//!   new work with [`ServeResponse::Shed`] — bounded memory, and the
+//!   refusal is instant so clients can retry elsewhere instead of
+//!   waiting on a doomed request.
+//! - **Deadlines**: a request whose deadline has already passed is
+//!   answered [`ServeResponse::Timeout`] at admission; one that expires
+//!   while queued is timed out at batch-formation time, so expired work
+//!   never occupies a forward pass.
+
+use std::collections::VecDeque;
+use std::sync::mpsc;
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+use traffic_obs::{counter, gauge};
+
+/// A single prediction request on the raw (vehicle-count / km/h) scale.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeRequest {
+    /// Raw observed window, row-major `[t_in, n]` (oldest frame first).
+    pub window: Vec<f32>,
+    /// Time-of-day of the *first* window frame, as a fraction of a day
+    /// in `[0, 1)`.
+    pub tod: f32,
+    /// Absolute deadline on the serve clock, in nanoseconds
+    /// (`u64::MAX` = no deadline).
+    pub deadline_ns: u64,
+}
+
+/// What the server answered. Every request gets exactly one of these —
+/// the server never drops a request on the floor.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeResponse {
+    /// Model prediction, raw scale, row-major `[t_out, n]`.
+    Ok(Vec<f32>),
+    /// Persistence-baseline fallback (circuit breaker open): last
+    /// observed frame repeated across the horizon, raw scale.
+    Degraded(Vec<f32>),
+    /// Refused at admission: queue past its high-water mark.
+    Shed,
+    /// Deadline expired before a forward pass could serve it.
+    Timeout,
+}
+
+impl ServeResponse {
+    /// Wire status string (`OK`/`DEGRADED`/`SHED`/`TIMEOUT`).
+    pub fn status(&self) -> &'static str {
+        match self {
+            ServeResponse::Ok(_) => "OK",
+            ServeResponse::Degraded(_) => "DEGRADED",
+            ServeResponse::Shed => "SHED",
+            ServeResponse::Timeout => "TIMEOUT",
+        }
+    }
+}
+
+/// A queued request plus its reply channel.
+pub struct Job {
+    /// The request.
+    pub req: ServeRequest,
+    /// When the request was admitted (serve clock, ns).
+    pub submit_ns: u64,
+    /// Where the single response goes. Send failures are ignored — a
+    /// client that hung up doesn't destabilise the server.
+    pub reply: mpsc::Sender<ServeResponse>,
+}
+
+impl Job {
+    /// Replies and swallows hung-up clients.
+    pub fn respond(self, resp: ServeResponse) {
+        let _ = self.reply.send(resp);
+    }
+}
+
+/// Admission verdict from [`DeadlineQueue::submit`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// Accepted; the reply channel will eventually carry a response.
+    Queued,
+    /// Refused (`SHED` already sent on the reply channel).
+    Shed,
+    /// Dead on arrival (`TIMEOUT` already sent on the reply channel).
+    Expired,
+}
+
+/// Bounded FIFO with deadline enforcement at both ends.
+pub struct DeadlineQueue {
+    inner: Mutex<VecDeque<Job>>,
+    nonempty: Condvar,
+    high_water: usize,
+}
+
+impl DeadlineQueue {
+    /// A queue that sheds beyond `high_water` pending jobs.
+    pub fn new(high_water: usize) -> Self {
+        assert!(high_water > 0, "a zero-capacity queue would shed everything");
+        gauge("serve/queue_high_water").set(high_water as f64);
+        DeadlineQueue { inner: Mutex::new(VecDeque::new()), nonempty: Condvar::new(), high_water }
+    }
+
+    /// The shed threshold.
+    pub fn high_water(&self) -> usize {
+        self.high_water
+    }
+
+    /// Current depth (for `/status`; the gauge tracks it too).
+    pub fn depth(&self) -> usize {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    /// Admission control. `now_ns` is the caller's reading of the serve
+    /// clock; the decision depends only on it and the queue contents.
+    pub fn submit(&self, job: Job, now_ns: u64) -> Admission {
+        counter("serve/requests").inc();
+        if job.req.deadline_ns <= now_ns {
+            counter("serve/timeouts").inc();
+            job.respond(ServeResponse::Timeout);
+            return Admission::Expired;
+        }
+        let mut q = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        if q.len() >= self.high_water {
+            drop(q);
+            counter("serve/shed").inc();
+            job.respond(ServeResponse::Shed);
+            return Admission::Shed;
+        }
+        q.push_back(job);
+        gauge("serve/queue_depth").set(q.len() as f64);
+        drop(q);
+        self.nonempty.notify_one();
+        Admission::Queued
+    }
+
+    /// Takes up to `max_batch` live jobs, answering `TIMEOUT` for any
+    /// whose deadline passed while queued. Blocks up to `wait` for work
+    /// (`None` = non-blocking). Returns an empty vec on timeout — the
+    /// caller's loop decides what idleness means.
+    pub fn pop_batch(&self, now_ns: u64, max_batch: usize, wait: Option<Duration>) -> Vec<Job> {
+        let mut q = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        if q.is_empty() {
+            match wait {
+                Some(d) => {
+                    let (guard, _timeout) =
+                        self.nonempty.wait_timeout(q, d).unwrap_or_else(|e| e.into_inner());
+                    q = guard;
+                }
+                None => return Vec::new(),
+            }
+        }
+        let mut live = Vec::new();
+        let mut expired = Vec::new();
+        while live.len() < max_batch {
+            let Some(job) = q.pop_front() else { break };
+            if job.req.deadline_ns <= now_ns {
+                expired.push(job);
+            } else {
+                live.push(job);
+            }
+        }
+        gauge("serve/queue_depth").set(q.len() as f64);
+        drop(q);
+        for job in expired {
+            counter("serve/timeouts").inc();
+            job.respond(ServeResponse::Timeout);
+        }
+        live
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn job(deadline_ns: u64) -> (Job, mpsc::Receiver<ServeResponse>) {
+        let (tx, rx) = mpsc::channel();
+        let req = ServeRequest { window: vec![0.0; 4], tod: 0.0, deadline_ns };
+        (Job { req, submit_ns: 0, reply: tx }, rx)
+    }
+
+    #[test]
+    fn expired_requests_never_enter_the_queue() {
+        let q = DeadlineQueue::new(4);
+        let (j, rx) = job(100);
+        assert_eq!(q.submit(j, 100), Admission::Expired);
+        assert_eq!(rx.recv().unwrap(), ServeResponse::Timeout);
+        assert_eq!(q.depth(), 0);
+    }
+
+    #[test]
+    fn high_water_sheds_and_bounds_memory() {
+        let q = DeadlineQueue::new(2);
+        let mut rxs = Vec::new();
+        for _ in 0..2 {
+            let (j, rx) = job(u64::MAX);
+            assert_eq!(q.submit(j, 0), Admission::Queued);
+            rxs.push(rx);
+        }
+        let (j, rx) = job(u64::MAX);
+        assert_eq!(q.submit(j, 0), Admission::Shed);
+        assert_eq!(rx.recv().unwrap(), ServeResponse::Shed);
+        assert_eq!(q.depth(), 2, "shed must not grow the queue");
+    }
+
+    #[test]
+    fn queued_jobs_expire_at_batch_formation() {
+        let q = DeadlineQueue::new(8);
+        let (early, early_rx) = job(50);
+        let (late, late_rx) = job(u64::MAX);
+        q.submit(early, 0);
+        q.submit(late, 0);
+        // Clock has advanced past the first deadline by drain time.
+        let batch = q.pop_batch(60, 8, None);
+        assert_eq!(batch.len(), 1);
+        assert_eq!(early_rx.recv().unwrap(), ServeResponse::Timeout);
+        batch.into_iter().next().unwrap().respond(ServeResponse::Ok(vec![1.0]));
+        assert_eq!(late_rx.recv().unwrap(), ServeResponse::Ok(vec![1.0]));
+    }
+
+    #[test]
+    fn batch_size_is_respected_fifo_order_kept() {
+        let q = DeadlineQueue::new(16);
+        for _ in 0..5 {
+            let (j, rx) = job(u64::MAX);
+            q.submit(j, 0);
+            std::mem::forget(rx);
+        }
+        assert_eq!(q.pop_batch(0, 3, None).len(), 3);
+        assert_eq!(q.depth(), 2);
+        assert_eq!(q.pop_batch(0, 3, None).len(), 2);
+    }
+}

@@ -1,0 +1,120 @@
+//! Hot-reload robustness against corrupted checkpoints.
+//!
+//! Two layers: a proptest sweep proving the snapshot *reader* rejects
+//! arbitrary truncations and single-bit flips anywhere in a `TNN2`
+//! blob (every byte is load-bearing — magic, version, counts, lengths,
+//! names, CRCs, payloads), and an engine-level test proving a rejected
+//! reload never displaces the last-good model: the server keeps
+//! answering with bit-identical predictions throughout.
+
+use std::sync::mpsc;
+use std::sync::OnceLock;
+use std::time::Duration;
+
+use proptest::prelude::*;
+use proptest::test_runner::TestRng;
+use traffic_serve::{Engine, EngineConfig, ServeRequest, ServeResponse, ServeSnapshot};
+
+/// One encoded good snapshot, shared across proptest cases (building a
+/// model per case would dominate the test's runtime).
+fn good_bytes() -> &'static [u8] {
+    static BYTES: OnceLock<Vec<u8>> = OnceLock::new();
+    BYTES.get_or_init(|| traffic_serve::export_fresh("STGCN", 4, 9).encode())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn truncated_snapshots_never_decode(cut_frac in 0.0f64..1.0) {
+        let bytes = good_bytes();
+        let cut = (cut_frac * (bytes.len() - 1) as f64) as usize;
+        prop_assert!(
+            ServeSnapshot::decode(&bytes[..cut]).is_err(),
+            "truncation to {cut} of {} bytes must be rejected",
+            bytes.len()
+        );
+    }
+
+    #[test]
+    fn bit_flipped_snapshots_never_decode(pos_frac in 0.0f64..1.0, bit in 0u32..8) {
+        let bytes = good_bytes();
+        let pos = ((pos_frac * (bytes.len() - 1) as f64) as usize).min(bytes.len() - 1);
+        let mut bad = bytes.to_vec();
+        bad[pos] ^= 1 << bit;
+        prop_assert!(
+            ServeSnapshot::decode(&bad).is_err(),
+            "bit {bit} flipped at byte {pos} of {} must be rejected",
+            bytes.len()
+        );
+    }
+}
+
+fn tmp(tag: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("serve_reload_{tag}_{}.tnn2", std::process::id()))
+}
+
+fn request(n: usize, t_in: usize) -> ServeRequest {
+    let window = (0..t_in * n).map(|k| 50.0 + (k % 13) as f32).collect();
+    ServeRequest { window, tod: 0.5, deadline_ns: u64::MAX }
+}
+
+fn predict_ok(engine: &Engine, req: ServeRequest) -> Vec<u32> {
+    match engine.predict(req) {
+        ServeResponse::Ok(v) => v.iter().map(|f| f.to_bits()).collect(),
+        other => panic!("expected OK, got {}", other.status()),
+    }
+}
+
+#[test]
+fn rejected_reloads_keep_the_last_good_model_serving() {
+    let good = tmp("good");
+    let bad = tmp("bad");
+    traffic_serve::export_fresh("STGCN", 4, 9).save(&good).expect("save good snapshot");
+    let cfg = EngineConfig {
+        reload_attempts: 1,
+        reload_backoff: Duration::from_millis(1),
+        ..Default::default()
+    };
+    let engine = Engine::start_from_path(&good, cfg).expect("start engine");
+    let baseline = predict_ok(&engine, request(4, 12));
+
+    let bytes = std::fs::read(&good).expect("read good snapshot back");
+    let mut rng = TestRng::from_name("serve::tests::reload::last_good");
+    for case in 0..24 {
+        let mut b = bytes.clone();
+        if case % 2 == 0 {
+            let cut = 1 + (rng.next_u64() as usize) % (b.len() - 1);
+            b.truncate(cut);
+        } else {
+            let pos = (rng.next_u64() as usize) % b.len();
+            b[pos] ^= 1 << (rng.next_u64() % 8);
+        }
+        std::fs::write(&bad, &b).expect("write corrupted snapshot");
+        assert!(
+            engine.reload(Some(&bad)).is_err(),
+            "corrupted reload (case {case}) must be rejected"
+        );
+        assert_eq!(
+            predict_ok(&engine, request(4, 12)),
+            baseline,
+            "after rejected reload {case}, the last-good model must still answer bit-identically"
+        );
+    }
+
+    // A good file still swaps in after any number of rejections.
+    assert!(engine.reload(Some(&good)).is_ok(), "intact snapshot must reload");
+    assert_eq!(predict_ok(&engine, request(4, 12)), baseline);
+    let status = engine.status();
+    assert_eq!(status.state, "HEALTHY");
+    assert!(status.reload_failures >= 24);
+
+    // A client that hung up mid-reload-storm must not wedge anything:
+    // drop the receiver before the worker answers.
+    let rx: mpsc::Receiver<ServeResponse> = engine.submit(request(4, 12));
+    drop(rx);
+    assert_eq!(predict_ok(&engine, request(4, 12)), baseline);
+
+    std::fs::remove_file(&good).ok();
+    std::fs::remove_file(&bad).ok();
+}

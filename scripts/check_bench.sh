@@ -38,10 +38,11 @@ if [[ "${1:-}" == "--run" ]]; then
   scripts/bench_elementwise.sh >/dev/null
   scripts/bench_train.sh >/dev/null
   scripts/bench_report.sh >/dev/null
+  scripts/bench_serve.sh >/dev/null
 fi
 
 status=0
-for report in BENCH_gemm.json BENCH_elementwise.json BENCH_train.json BENCH_report.json; do
+for report in BENCH_gemm.json BENCH_elementwise.json BENCH_train.json BENCH_report.json BENCH_serve.json; do
   if [[ ! -f "$report" ]]; then
     echo "check_bench.sh: $report not on disk (run scripts/bench_*.sh first); skipping"
     continue

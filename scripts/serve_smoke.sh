@@ -1,0 +1,123 @@
+#!/usr/bin/env bash
+# End-to-end smoke test for the inference server's robustness ladder:
+# a real HTTP server is pushed through a fault, a corrupt hot reload,
+# and a load burst, and must come back HEALTHY every time.
+#
+# 1. Exports a warm STGCN snapshot and starts `serve serve` with a
+#    one-shot `serve_nan` fault armed via TRAFFIC_FAULTS and a
+#    hair-trigger breaker (threshold 1, probe every batch).
+# 2. First /predict hits the poisoned forward: the answer must be the
+#    DEGRADED persistence fallback and /status must report DEGRADED.
+# 3. Next /predict is the probe: it must be OK and /status must be back
+#    to HEALTHY with the trip on record — breaker recovery, observed
+#    over the wire.
+# 4. `serve loadgen` burst: every request answered, zero client errors.
+# 5. POST /reload pointing at a truncated and a bit-flipped copy of the
+#    snapshot: both must be 409 REJECTED with last-good still serving
+#    (predict stays OK), then a reload of the intact file must be 200.
+# 6. `serve bench` (smoke scale) reruns the whole chaos ladder
+#    in-process and BENCH_serve.json must parse with recovered=true.
+#
+# Usage: scripts/serve_smoke.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+WORK=$(mktemp -d "${TMPDIR:-/tmp}/serve_smoke.XXXXXX")
+SERVE_PID=""
+cleanup() {
+  [[ -n "$SERVE_PID" ]] && kill "$SERVE_PID" 2>/dev/null || true
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+cargo build --release -q --bin serve
+
+echo "[serve_smoke] 1/6 export snapshot + start server (serve_nan armed)…"
+target/release/serve export --out "$WORK/model.tnn2" --nodes 8 --seed 7
+TRAFFIC_FAULTS="serve_nan@1" target/release/serve serve \
+  --snapshot "$WORK/model.tnn2" --addr 127.0.0.1:0 \
+  --breaker-threshold 1 --probe-every 1 --hold-ms 60000 \
+  >"$WORK/serve.log" 2>&1 &
+SERVE_PID=$!
+
+ADDR=""
+for _ in $(seq 1 100); do
+  ADDR=$(sed -n 's|^serving http://\([^ ]*\).*|\1|p' "$WORK/serve.log" | head -1)
+  [[ -n "$ADDR" ]] && break
+  kill -0 "$SERVE_PID" 2>/dev/null || { echo "FAIL: server died on startup"; cat "$WORK/serve.log"; exit 1; }
+  sleep 0.1
+done
+[[ -n "$ADDR" ]] || { echo "FAIL: server never printed its address"; cat "$WORK/serve.log"; exit 1; }
+echo "[serve_smoke]     serving at $ADDR"
+
+BODY=$(python3 -c 'import json; print(json.dumps({"window": [55.0 + (i % 7) for i in range(12 * 8)], "tod": 0.25}))')
+
+predict_status() {
+  curl -s -X POST -d "$BODY" "http://$ADDR/predict" \
+    | python3 -c 'import json, sys; print(json.load(sys.stdin)["status"])'
+}
+
+server_state() {
+  curl -sf "http://$ADDR/status" \
+    | python3 -c 'import json, sys; print(json.load(sys.stdin)["state"])'
+}
+
+echo "[serve_smoke] 2/6 poisoned forward must degrade, not crash…"
+got=$(predict_status)
+[[ "$got" == "DEGRADED" ]] || { echo "FAIL: expected DEGRADED fallback, got $got"; exit 1; }
+state=$(server_state)
+[[ "$state" == "DEGRADED" ]] || { echo "FAIL: /status should be DEGRADED, got $state"; exit 1; }
+
+echo "[serve_smoke] 3/6 probe must recover the breaker…"
+got=$(predict_status)
+[[ "$got" == "OK" ]] || { echo "FAIL: probe predict should be OK, got $got"; exit 1; }
+state=$(server_state)
+[[ "$state" == "HEALTHY" ]] || { echo "FAIL: /status should be HEALTHY again, got $state"; exit 1; }
+trips=$(curl -sf "http://$ADDR/status" \
+  | python3 -c 'import json, sys; print(json.load(sys.stdin)["breaker_trips"])')
+[[ "$trips" -ge 1 ]] || { echo "FAIL: the trip must be on record, got $trips"; exit 1; }
+
+echo "[serve_smoke] 4/6 loadgen burst…"
+target/release/serve loadgen "$ADDR" --clients 4 --requests 25 --interval-ms 1 --nodes 8 \
+  | tee "$WORK/loadgen.log"
+grep -q ' errors=0$' "$WORK/loadgen.log" || { echo "FAIL: loadgen saw client errors"; exit 1; }
+
+echo "[serve_smoke] 5/6 corrupt hot reloads must be rejected, last-good kept…"
+head -c 200 "$WORK/model.tnn2" >"$WORK/truncated.tnn2"
+cp "$WORK/model.tnn2" "$WORK/flipped.tnn2"
+printf '\x42' | dd of="$WORK/flipped.tnn2" bs=1 seek=100 conv=notrunc 2>/dev/null
+for bad in truncated flipped; do
+  code=$(curl -s -o "$WORK/reload.json" -w '%{http_code}' -X POST \
+    -d "{\"path\": \"$WORK/$bad.tnn2\"}" "http://$ADDR/reload")
+  [[ "$code" == "409" ]] || { echo "FAIL: $bad reload returned $code, wanted 409"; cat "$WORK/reload.json"; exit 1; }
+  grep -q '"serving":"last-good"' "$WORK/reload.json" || { echo "FAIL: $bad rejection lost last-good"; exit 1; }
+  got=$(predict_status)
+  [[ "$got" == "OK" ]] || { echo "FAIL: predict after $bad rejection should be OK, got $got"; exit 1; }
+done
+code=$(curl -s -o /dev/null -w '%{http_code}' -X POST \
+  -d "{\"path\": \"$WORK/model.tnn2\"}" "http://$ADDR/reload")
+[[ "$code" == "200" ]] || { echo "FAIL: intact reload returned $code, wanted 200"; exit 1; }
+state=$(server_state)
+[[ "$state" == "HEALTHY" ]] || { echo "FAIL: post-reload state should be HEALTHY, got $state"; exit 1; }
+
+kill "$SERVE_PID" 2>/dev/null || true
+wait "$SERVE_PID" 2>/dev/null || true
+SERVE_PID=""
+
+echo "[serve_smoke] 6/6 bench chaos ladder + BENCH_serve.json…"
+BENCH_SMOKE=1 target/release/serve bench >"$WORK/bench.log" 2>&1 \
+  || { echo "FAIL: serve bench failed"; tail -30 "$WORK/bench.log"; exit 1; }
+python3 - BENCH_serve.json <<'EOF'
+import json, sys
+b = json.load(open(sys.argv[1]))
+assert b["requests"]["ok"] > 0, b["requests"]
+for key in ("p50_secs", "p99_secs", "p999_secs"):
+    assert b["latency"][key] > 0, b["latency"]
+chaos = b["chaos"]
+assert chaos["ran"], chaos
+assert chaos["recovered"], "server failed to recover in the chaos ladder"
+assert chaos["reload_rejections"] >= 2, chaos
+assert chaos["breaker_trips"] >= 1, chaos
+EOF
+
+echo "[serve_smoke] OK"

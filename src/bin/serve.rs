@@ -1,0 +1,580 @@
+//! `serve` — warm-model inference serving CLI ([`traffic_serve`]).
+//!
+//! ```text
+//! serve export  --out <path> [--model STGCN] [--nodes 8] [--seed 7]
+//! serve serve   --snapshot <path> [--addr 127.0.0.1:0] [--high-water 256]
+//!               [--breaker-threshold 3] [--probe-every 4] [--hold-ms 0]
+//! serve loadgen <host:port> [--clients 4] [--requests 50] [--interval-ms 2]
+//!               [--deadline-ms <n>] [--nodes 8] [--t-in 12] [--seed 7]
+//! serve bench   [--smoke] [--no-chaos] [--model STGCN] [--nodes 8]
+//! ```
+//!
+//! `bench` is the self-contained SLO harness: it exports a fresh
+//! snapshot, starts an engine + HTTP front-end in-process, measures a
+//! sustained load phase (QPS, p50/p99/p999), then drives the chaos
+//! ladder — reload corruption (server keeps last-good), injected NaN
+//! forwards (breaker trips to `DEGRADED`, probe recovers), queue
+//! overload (`SHED`), zero deadlines (`TIMEOUT`) — asserting the server
+//! ends `HEALTHY`, and writes `BENCH_serve.json` for
+//! `scripts/check_bench.sh`.
+
+use std::io::Write as IoWrite;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Duration;
+
+use traffic_suite::obs::{faults, json, json::Json};
+use traffic_suite::serve::{
+    engine::EngineConfig, export_fresh, loadgen, Engine, HttpServer, ServeSnapshot,
+};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut positional: Vec<&str> = Vec::new();
+    let mut opts = Opts::default();
+    let mut i = 0;
+    while i < args.len() {
+        let take = |i: &mut usize| -> Option<String> {
+            *i += 1;
+            args.get(*i).cloned()
+        };
+        match args[i].as_str() {
+            "--out" | "--snapshot" => match take(&mut i) {
+                Some(v) => opts.path = Some(PathBuf::from(v)),
+                None => return usage("--out/--snapshot needs a path"),
+            },
+            "--model" => match take(&mut i) {
+                Some(v) => opts.model = v,
+                None => return usage("--model needs a name"),
+            },
+            "--addr" => match take(&mut i) {
+                Some(v) => opts.addr = v,
+                None => return usage("--addr needs host:port"),
+            },
+            "--nodes" => match parse_num(take(&mut i)) {
+                Some(v) => opts.nodes = v,
+                None => return usage("--nodes needs a number"),
+            },
+            "--seed" => match parse_num(take(&mut i)) {
+                Some(v) => opts.seed = v as u64,
+                None => return usage("--seed needs a number"),
+            },
+            "--high-water" => match parse_num(take(&mut i)) {
+                Some(v) => opts.high_water = v,
+                None => return usage("--high-water needs a number"),
+            },
+            "--breaker-threshold" => match parse_num(take(&mut i)) {
+                Some(v) => opts.breaker_threshold = v as u32,
+                None => return usage("--breaker-threshold needs a number"),
+            },
+            "--probe-every" => match parse_num(take(&mut i)) {
+                Some(v) => opts.probe_every = v as u64,
+                None => return usage("--probe-every needs a number"),
+            },
+            "--hold-ms" => match parse_num(take(&mut i)) {
+                Some(v) => opts.hold_ms = Some(v as u64),
+                None => return usage("--hold-ms needs a number"),
+            },
+            "--clients" => match parse_num(take(&mut i)) {
+                Some(v) => opts.clients = v,
+                None => return usage("--clients needs a number"),
+            },
+            "--requests" => match parse_num(take(&mut i)) {
+                Some(v) => opts.requests = v,
+                None => return usage("--requests needs a number"),
+            },
+            "--interval-ms" => match parse_num(take(&mut i)) {
+                Some(v) => opts.interval_ms = v as u64,
+                None => return usage("--interval-ms needs a number"),
+            },
+            "--deadline-ms" => match parse_num(take(&mut i)) {
+                Some(v) => opts.deadline_ms = Some(v as u64),
+                None => return usage("--deadline-ms needs a number"),
+            },
+            "--t-in" => match parse_num(take(&mut i)) {
+                Some(v) => opts.t_in = v,
+                None => return usage("--t-in needs a number"),
+            },
+            "--smoke" => opts.smoke = true,
+            "--no-chaos" => opts.no_chaos = true,
+            "-h" | "--help" => return usage(""),
+            flag if flag.starts_with('-') => return usage(&format!("unknown flag {flag}")),
+            _ => positional.push(&args[i]),
+        }
+        i += 1;
+    }
+    let Some((&cmd, rest)) = positional.split_first() else {
+        return usage("missing subcommand");
+    };
+    match cmd {
+        "export" => cmd_export(&opts),
+        "serve" => cmd_serve(&opts),
+        "loadgen" => match rest {
+            [addr] => cmd_loadgen(addr, &opts),
+            _ => usage("loadgen takes exactly one <host:port>"),
+        },
+        "bench" => cmd_bench(&opts),
+        other => usage(&format!("unknown subcommand {other}")),
+    }
+}
+
+struct Opts {
+    path: Option<PathBuf>,
+    model: String,
+    addr: String,
+    nodes: usize,
+    seed: u64,
+    high_water: usize,
+    breaker_threshold: u32,
+    probe_every: u64,
+    hold_ms: Option<u64>,
+    clients: usize,
+    requests: usize,
+    interval_ms: u64,
+    deadline_ms: Option<u64>,
+    t_in: usize,
+    smoke: bool,
+    no_chaos: bool,
+}
+
+impl Default for Opts {
+    fn default() -> Self {
+        Opts {
+            path: None,
+            model: "STGCN".into(),
+            addr: "127.0.0.1:0".into(),
+            nodes: 8,
+            seed: 7,
+            high_water: 256,
+            breaker_threshold: 3,
+            probe_every: 4,
+            hold_ms: None,
+            clients: 4,
+            requests: 50,
+            interval_ms: 2,
+            deadline_ms: None,
+            t_in: 12,
+            smoke: false,
+            no_chaos: false,
+        }
+    }
+}
+
+fn parse_num(v: Option<String>) -> Option<usize> {
+    v.and_then(|s| s.parse().ok())
+}
+
+fn usage(err: &str) -> ExitCode {
+    if !err.is_empty() {
+        eprintln!("serve: {err}\n");
+    }
+    eprintln!(
+        "usage:\n  serve export  --out <path> [--model STGCN] [--nodes 8] [--seed 7]\n  \
+         serve serve   --snapshot <path> [--addr 127.0.0.1:0] [--high-water 256]\n                \
+         [--breaker-threshold 3] [--probe-every 4] [--hold-ms <n>]\n  \
+         serve loadgen <host:port> [--clients 4] [--requests 50] [--interval-ms 2]\n                \
+         [--deadline-ms <n>] [--nodes 8] [--t-in 12] [--seed 7]\n  \
+         serve bench   [--smoke] [--no-chaos] [--model STGCN] [--nodes 8]"
+    );
+    if err.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(2)
+    }
+}
+
+fn engine_config(opts: &Opts) -> EngineConfig {
+    EngineConfig {
+        high_water: opts.high_water,
+        breaker_threshold: opts.breaker_threshold,
+        probe_every: opts.probe_every,
+        ..Default::default()
+    }
+}
+
+fn cmd_export(opts: &Opts) -> ExitCode {
+    let Some(path) = &opts.path else {
+        return usage("export needs --out <path>");
+    };
+    let snap = export_fresh(&opts.model, opts.nodes, opts.seed);
+    match snap.save(path) {
+        Ok(()) => {
+            println!(
+                "exported {} snapshot: {} nodes, {} params -> {}",
+                snap.model,
+                snap.n,
+                snap.weights.iter().map(|(_, t)| t.len()).sum::<usize>(),
+                path.display()
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("serve: export failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_serve(opts: &Opts) -> ExitCode {
+    let Some(path) = &opts.path else {
+        return usage("serve needs --snapshot <path>");
+    };
+    let engine = match Engine::start_from_path(path, engine_config(opts)) {
+        Ok(e) => Arc::new(e),
+        Err(e) => {
+            eprintln!("serve: cannot start from {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let http = match HttpServer::start(&opts.addr, Arc::clone(&engine)) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("serve: cannot bind {}: {e}", opts.addr);
+            return ExitCode::FAILURE;
+        }
+    };
+    let status = engine.status();
+    println!(
+        "serving http://{} ({} | {} nodes | {} params | predict/reload/status)",
+        http.addr(),
+        status.model,
+        status.n,
+        status.params
+    );
+    let _ = std::io::stdout().flush();
+    match opts.hold_ms {
+        // Smoke-testable: stay up a bounded time, then exit cleanly.
+        Some(ms) => std::thread::sleep(Duration::from_millis(ms)),
+        None => loop {
+            std::thread::sleep(Duration::from_secs(3600));
+        },
+    }
+    drop(http);
+    ExitCode::SUCCESS
+}
+
+fn cmd_loadgen(addr: &str, opts: &Opts) -> ExitCode {
+    let cfg = loadgen::LoadgenConfig {
+        addr: addr.to_string(),
+        clients: opts.clients,
+        requests_per_client: opts.requests,
+        interval: Duration::from_millis(opts.interval_ms),
+        deadline_ms: opts.deadline_ms,
+        n: opts.nodes,
+        t_in: opts.t_in,
+        seed: opts.seed,
+    };
+    let stats = loadgen::run(&cfg);
+    println!(
+        "sent={} ok={} degraded={} shed={} timeout={} errors={}",
+        stats.sent, stats.ok, stats.degraded, stats.shed, stats.timeout, stats.errors
+    );
+    println!(
+        "qps={:.1} p50={:.6}s p99={:.6}s p999={:.6}s",
+        stats.sustained_qps(),
+        stats.percentile_secs(50.0),
+        stats.percentile_secs(99.0),
+        stats.percentile_secs(99.9)
+    );
+    if stats.errors > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+// ---------------------------------------------------------------------
+// bench: sustained-load measurement + chaos ladder + BENCH_serve.json
+// ---------------------------------------------------------------------
+
+struct ChaosOutcome {
+    ran: bool,
+    reload_rejections: u64,
+    reloads_ok: u64,
+    breaker_trips: u64,
+    degraded_seen: u64,
+    shed_seen: u64,
+    timeout_seen: u64,
+    recovered: bool,
+}
+
+fn cmd_bench(opts: &Opts) -> ExitCode {
+    let smoke = opts.smoke || std::env::var("BENCH_SMOKE").map(|v| v == "1").unwrap_or(false);
+    let (nodes, clients, requests) = if smoke { (6, 4, 40) } else { (opts.nodes.max(8), 8, 200) };
+    let snap_path =
+        std::env::temp_dir().join(format!("traffic_serve_bench_{}.tnn2", std::process::id()));
+    let snap = export_fresh(&opts.model, nodes, opts.seed);
+    if let Err(e) = snap.save(&snap_path) {
+        eprintln!("serve: bench export failed: {e}");
+        return ExitCode::FAILURE;
+    }
+
+    let cfg =
+        EngineConfig { high_water: 64, breaker_threshold: 3, probe_every: 2, ..Default::default() };
+    let engine = match Engine::start_from_path(&snap_path, cfg) {
+        Ok(e) => Arc::new(e),
+        Err(e) => {
+            eprintln!("serve: bench engine failed to start: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let http = match HttpServer::start("127.0.0.1:0", Arc::clone(&engine)) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("serve: bench cannot bind: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let addr = http.addr().to_string();
+    eprintln!("bench: serving {} on {addr} ({} nodes)", opts.model, nodes);
+
+    // Phase 1 — sustained load, the measured SLO numbers.
+    let load = loadgen::LoadgenConfig {
+        addr: addr.clone(),
+        clients,
+        requests_per_client: requests,
+        interval: Duration::from_millis(opts.interval_ms),
+        deadline_ms: Some(2_000),
+        n: nodes,
+        t_in: 12,
+        seed: opts.seed,
+    };
+    let stats = loadgen::run(&load);
+    eprintln!(
+        "bench: sustained {:.1} qps, p50 {:.4}s p99 {:.4}s ({} ok / {} sent)",
+        stats.sustained_qps(),
+        stats.percentile_secs(50.0),
+        stats.percentile_secs(99.0),
+        stats.ok,
+        stats.sent
+    );
+    if stats.ok == 0 {
+        eprintln!("serve: bench measured zero OK responses");
+        return ExitCode::FAILURE;
+    }
+
+    // Phase 2 — chaos ladder.
+    let chaos = if opts.no_chaos {
+        ChaosOutcome {
+            ran: false,
+            reload_rejections: 0,
+            reloads_ok: 0,
+            breaker_trips: 0,
+            degraded_seen: 0,
+            shed_seen: 0,
+            timeout_seen: 0,
+            recovered: true,
+        }
+    } else {
+        match run_chaos(&engine, &addr, &snap, &snap_path, nodes) {
+            Ok(c) => c,
+            Err(msg) => {
+                eprintln!("serve: chaos phase failed: {msg}");
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+
+    let json = bench_json(opts, smoke, nodes, &stats, &load, &chaos);
+    let out = Path::new(env!("CARGO_MANIFEST_DIR")).join("BENCH_serve.json");
+    if let Err(e) = std::fs::write(&out, &json) {
+        eprintln!("serve: cannot write {}: {e}", out.display());
+        return ExitCode::FAILURE;
+    }
+    println!("{json}");
+    std::fs::remove_file(&snap_path).ok();
+    ExitCode::SUCCESS
+}
+
+/// Drives the degradation ladder end to end over live HTTP and asserts
+/// each rung: corrupt reload rejected (last-good kept), good reload
+/// accepted, breaker trips to DEGRADED under injected NaN forwards and
+/// probe-recovers, overload sheds, zero deadlines time out, and the
+/// final state is HEALTHY.
+fn run_chaos(
+    engine: &Arc<Engine>,
+    addr: &str,
+    snap: &ServeSnapshot,
+    snap_path: &Path,
+    nodes: usize,
+) -> Result<ChaosOutcome, String> {
+    let mut out = ChaosOutcome {
+        ran: true,
+        reload_rejections: 0,
+        reloads_ok: 0,
+        breaker_trips: 0,
+        degraded_seen: 0,
+        shed_seen: 0,
+        timeout_seen: 0,
+        recovered: false,
+    };
+    let predict = |tag: &str| -> Result<String, String> {
+        let (window, tod) = loadgen::synth_window(nodes, 12, 7, 0, 0);
+        loadgen::predict_once(addr, &window, tod, None)
+            .map(|(_, status)| status)
+            .map_err(|e| format!("{tag}: transport error: {e}"))
+    };
+
+    // Rung 1 — torn snapshot on disk: reload must be rejected with the
+    // old model still serving.
+    let good = snap.encode();
+    let mut torn = good.clone();
+    let flip = torn.len() / 2;
+    torn[flip] ^= 0x40;
+    std::fs::write(snap_path, &torn).map_err(|e| format!("write torn: {e}"))?;
+    let (code, _) =
+        loadgen::http_post(addr, "/reload", "{}").map_err(|e| format!("reload request: {e}"))?;
+    if code != 409 {
+        return Err(format!("torn reload answered {code}, want 409"));
+    }
+    out.reload_rejections += 1;
+    std::fs::write(snap_path, &good[..good.len() / 3]).map_err(|e| format!("truncate: {e}"))?;
+    let (code, _) =
+        loadgen::http_post(addr, "/reload", "{}").map_err(|e| format!("reload request: {e}"))?;
+    if code != 409 {
+        return Err(format!("truncated reload answered {code}, want 409"));
+    }
+    out.reload_rejections += 1;
+    if predict("post-corrupt predict")? != "OK" {
+        return Err("server did not keep serving last-good weights".into());
+    }
+
+    // Rung 2 — restored snapshot: reload must go through.
+    std::fs::write(snap_path, &good).map_err(|e| format!("restore: {e}"))?;
+    let (code, _) =
+        loadgen::http_post(addr, "/reload", "{}").map_err(|e| format!("reload request: {e}"))?;
+    if code != 200 {
+        return Err(format!("good reload answered {code}, want 200"));
+    }
+    out.reloads_ok += 1;
+
+    // Rung 3 — injected NaN forwards trip the breaker to DEGRADED...
+    for k in 0..3 {
+        faults::arm("serve_nan", 1, faults::FaultMode::Soft);
+        let status = predict("nan predict")?;
+        if status != "DEGRADED" {
+            return Err(format!("poisoned forward {k} answered {status}, want DEGRADED"));
+        }
+        out.degraded_seen += 1;
+    }
+    // ...and the periodic probe recovers it.
+    for _ in 0..32 {
+        let status = predict("probe predict")?;
+        if status == "DEGRADED" {
+            out.degraded_seen += 1;
+        } else if status == "OK" {
+            out.recovered = true;
+            break;
+        }
+    }
+    if !out.recovered {
+        return Err("breaker never probe-recovered after NaN injection".into());
+    }
+
+    // Rung 4 — stalled worker + burst: the queue must shed, not grow.
+    engine.stall(Duration::from_millis(300));
+    // The worker polls its control channel on a <=5ms cadence; give it
+    // a beat to actually enter the stall before bursting.
+    std::thread::sleep(Duration::from_millis(50));
+    let burst: Vec<_> = (0..engine.status().high_water + 24)
+        .map(|_| {
+            let (window, tod) = loadgen::synth_window(nodes, 12, 7, 1, 1);
+            engine.submit(traffic_suite::serve::ServeRequest { window, tod, deadline_ns: u64::MAX })
+        })
+        .collect();
+    for rx in burst {
+        match rx.recv() {
+            Ok(resp) if resp.status() == "SHED" => out.shed_seen += 1,
+            Ok(_) => {}
+            Err(_) => return Err("burst request dropped without a response".into()),
+        }
+    }
+    if out.shed_seen == 0 {
+        return Err("overload burst produced no SHED responses".into());
+    }
+
+    // Rung 5 — a zero deadline is answered TIMEOUT without compute.
+    let (window, tod) = loadgen::synth_window(nodes, 12, 7, 2, 2);
+    let (code, body) = {
+        let mut body = String::from("{\"window\":[");
+        for (i, v) in window.iter().enumerate() {
+            if i > 0 {
+                body.push(',');
+            }
+            body.push_str(&format!("{v}"));
+        }
+        body.push_str(&format!("],\"tod\":{tod},\"deadline_ms\":0}}"));
+        loadgen::http_post(addr, "/predict", &body).map_err(|e| format!("timeout rung: {e}"))?
+    };
+    let status = json::parse(&body)
+        .ok()
+        .and_then(|j| j.get("status").and_then(Json::as_str).map(str::to_string))
+        .unwrap_or_default();
+    if code != 504 || status != "TIMEOUT" {
+        return Err(format!("zero deadline answered {code}/{status}, want 504/TIMEOUT"));
+    }
+    out.timeout_seen += 1;
+
+    // Final — the ladder ends back at HEALTHY.
+    let final_status = engine.status();
+    if final_status.state != "HEALTHY" {
+        return Err(format!("final state {} after chaos, want HEALTHY", final_status.state));
+    }
+    if predict("final predict")? != "OK" {
+        return Err("final predict after chaos was not OK".into());
+    }
+    out.breaker_trips = final_status.breaker_trips;
+    if out.breaker_trips == 0 {
+        return Err("NaN injection never tripped the breaker".into());
+    }
+    eprintln!(
+        "bench: chaos ok — {} reload rejections, {} trips, {} degraded, {} shed, recovered",
+        out.reload_rejections, out.breaker_trips, out.degraded_seen, out.shed_seen
+    );
+    Ok(out)
+}
+
+fn bench_json(
+    opts: &Opts,
+    smoke: bool,
+    nodes: usize,
+    stats: &loadgen::LoadStats,
+    load: &loadgen::LoadgenConfig,
+    chaos: &ChaosOutcome,
+) -> String {
+    let offered_qps = load.clients as f64 / load.interval.as_secs_f64().max(1e-9);
+    format!(
+        "{{\n  \"smoke\": {smoke},\n  \"model\": \"{}\",\n  \"nodes\": {nodes},\n  \
+         \"threads\": {},\n  \"clients\": {},\n  \"offered_qps\": {offered_qps:.1},\n  \
+         \"sustained_qps\": {:.2},\n  \"requests\": {{\n    \"sent\": {},\n    \"ok\": {},\n    \
+         \"degraded\": {},\n    \"shed\": {},\n    \"timeout\": {},\n    \"errors\": {}\n  }},\n  \
+         \"latency\": {{\n    \"p50_secs\": {:.6},\n    \"p99_secs\": {:.6},\n    \
+         \"p999_secs\": {:.6},\n    \"mean_secs\": {:.6}\n  }},\n  \"chaos\": {{\n    \
+         \"ran\": {},\n    \"reload_rejections\": {},\n    \"reloads_ok\": {},\n    \
+         \"breaker_trips\": {},\n    \"degraded\": {},\n    \"shed\": {},\n    \
+         \"timeout\": {},\n    \"recovered\": {}\n  }}\n}}\n",
+        opts.model,
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        load.clients,
+        stats.sustained_qps(),
+        stats.sent,
+        stats.ok,
+        stats.degraded,
+        stats.shed,
+        stats.timeout,
+        stats.errors,
+        stats.percentile_secs(50.0),
+        stats.percentile_secs(99.0),
+        stats.percentile_secs(99.9),
+        stats.mean_secs(),
+        chaos.ran,
+        chaos.reload_rejections,
+        chaos.reloads_ok,
+        chaos.breaker_trips,
+        chaos.degraded_seen,
+        chaos.shed_seen,
+        chaos.timeout_seen,
+        chaos.recovered
+    )
+}

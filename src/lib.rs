@@ -31,6 +31,7 @@ pub use traffic_metrics as metrics;
 pub use traffic_models as models;
 pub use traffic_nn as nn;
 pub use traffic_obs as obs;
+pub use traffic_serve as serve;
 pub use traffic_tensor as tensor;
 
 /// Parses the common `--scale` CLI argument used by the examples.

@@ -13,6 +13,7 @@ use traffic_suite::core::{
 };
 use traffic_suite::data::{prepare, simulate, PreparedData, SimConfig, Task};
 use traffic_suite::models::{build_model, GraphContext};
+use traffic_suite::obs::counter;
 use traffic_suite::obs::faults::{self, FaultMode};
 
 /// Fault state is process-global: every test that arms a fault holds
@@ -233,11 +234,18 @@ fn checkpoint_io_failure_does_not_kill_training() {
         checkpoint_path: Some(ckpt.clone()),
         ..Default::default()
     };
+    let retries_before = counter("train/ckpt_retries").get();
     let report = train(model.as_ref(), &data, &cfg);
     faults::reset();
     assert_eq!(report.epoch_losses.len(), 2, "a failed checkpoint save must not stop the run");
-    // Epoch 0's save hit the injected I/O error; epoch 1's went through.
-    assert!(ckpt.exists(), "the later checkpoint should have been written normally");
+    // Epoch 0's save hit the injected one-shot I/O error; the bounded
+    // retry absorbed it (counted), so both checkpoints went through.
+    assert_eq!(
+        counter("train/ckpt_retries").get(),
+        retries_before + 1,
+        "the transient ckpt_io fault must be retried exactly once"
+    );
+    assert!(ckpt.exists(), "the checkpoint should exist after the retried save");
     std::fs::remove_file(&ckpt).ok();
 }
 
