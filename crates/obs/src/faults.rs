@@ -14,12 +14,15 @@
 //! | `serve_io`  | serving-snapshot read returns a transient I/O error  |
 //! | `reload`    | serving-snapshot decode reports corruption           |
 //! | `serve_nan` | serve engine treats one batched forward as non-finite|
+//! | `serve_panic` | serve worker thread panics outside any catch_unwind |
 //!
 //! The trainer sites (`nan_grad`/`ckpt_io`/`abort`/`nan_val`) exercise
 //! training resilience (skip-and-recover, checkpoint retry, resume);
-//! the serve sites (`serve_io`/`reload`/`serve_nan`) exercise the
-//! serving degradation ladder (reload retry, validate-then-swap
-//! keeping last-good, circuit breaker tripping to `DEGRADED`).
+//! the serve sites (`serve_io`/`reload`/`serve_nan`/`serve_panic`)
+//! exercise the serving degradation ladder (reload retry,
+//! validate-then-swap keeping last-good, circuit breaker tripping to
+//! `DEGRADED`, and the worker-death guard that answers `ERROR` to
+//! every stranded client instead of hanging them).
 //!
 //! Triggers are **call-count based**, never time- or randomness-based:
 //! the N-th call to `fire(site)` fires, exactly once, so a run with a
@@ -66,6 +69,7 @@ pub const SITES: &[(&str, &str)] = &[
     ("serve_io", "serving-snapshot read returns a transient I/O error"),
     ("reload", "serving-snapshot decode reports corruption"),
     ("serve_nan", "serve engine treats one batched forward as non-finite"),
+    ("serve_panic", "serve worker thread panics outside any catch_unwind"),
 ];
 
 /// How the site should fail when the trigger fires.

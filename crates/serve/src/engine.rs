@@ -18,6 +18,15 @@
 //! probe succeeds → `HEALTHY`. Queue overload answers `SHED` at
 //! admission regardless of model health; neither state ever escalates
 //! to a crash.
+//!
+//! Two rarer failure shapes are also answered, never hung or crashed:
+//! a hot reload that changes model geometry (`n`/`t_in`) answers
+//! `ERROR` to jobs admitted under the old geometry (re-validated
+//! against the live model in [`Processor::process_batch`], since the
+//! HTTP layer's check races the swap), and if the worker thread itself
+//! ever dies, a scope guard closes the queue and answers `ERROR` to
+//! every stranded and future request so clients fail fast instead of
+//! blocking forever (`FAILED` in `/status`).
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
@@ -140,6 +149,22 @@ impl Processor {
     /// response, whatever the model does. Returns the per-batch verdict
     /// (`true` = real model output served).
     pub fn process_batch(&mut self, jobs: Vec<Job>) -> bool {
+        // Re-validate geometry against the *live* model: the HTTP layer
+        // checked against a /status snapshot, but a hot reload that
+        // changes n/t_in can land between admission and this drain. A
+        // stale-geometry window would index out of bounds in pack() and
+        // persistence() — answer ERROR instead of letting it panic.
+        let expected = self.model.snap.t_in * self.model.snap.n;
+        let (jobs, stale): (Vec<Job>, Vec<Job>) =
+            jobs.into_iter().partition(|j| j.req.window.len() == expected);
+        for job in stale {
+            counter("serve/geometry_rejects").inc();
+            let got = job.req.window.len();
+            job.respond(ServeResponse::Error(format!(
+                "window has {got} values but the live model wants t_in*n = {expected} \
+                 (model geometry changed after admission; re-read /status and retry)"
+            )));
+        }
         if jobs.is_empty() {
             return false;
         }
@@ -220,7 +245,8 @@ pub struct EngineStatus {
     pub t_in: usize,
     /// Output horizon.
     pub t_out: usize,
-    /// `HEALTHY` or `DEGRADED` (breaker open).
+    /// `HEALTHY`, `DEGRADED` (breaker open), or `FAILED` (worker
+    /// thread dead — requests get terminal `ERROR` answers).
     pub state: &'static str,
     /// Current queue depth.
     pub queue_depth: usize,
@@ -238,6 +264,9 @@ pub struct EngineStatus {
 struct Shared {
     model: Mutex<(String, usize, usize, usize, usize)>,
     degraded: AtomicBool,
+    /// Worker thread exited (panic or shutdown); `/status` says
+    /// `FAILED` and every request is answered `ERROR` at admission.
+    worker_dead: AtomicBool,
     breaker_trips: AtomicU64,
     reloads: AtomicU64,
     reload_failures: AtomicU64,
@@ -321,9 +350,14 @@ impl Engine {
         rx
     }
 
-    /// Submit + block for the response.
+    /// Submit + block for the response. Always returns: a dead worker
+    /// answers `ERROR` (via the queue close + [`WorkerGuard`] drain),
+    /// and the `unwrap_or_else` is a final backstop should a job ever
+    /// be dropped without a reply.
     pub fn predict(&self, req: ServeRequest) -> ServeResponse {
-        self.submit(req).recv().unwrap_or(ServeResponse::Shed) // worker died: shed, don't hang
+        self.submit(req)
+            .recv()
+            .unwrap_or_else(|_| ServeResponse::Error("serve worker dropped the request".into()))
     }
 
     /// Hot reload with validate-then-swap. The read (with bounded I/O
@@ -397,7 +431,9 @@ impl Engine {
             n,
             t_in,
             t_out,
-            state: if self.shared.degraded.load(Ordering::Relaxed) {
+            state: if self.shared.worker_dead.load(Ordering::Relaxed) {
+                "FAILED"
+            } else if self.shared.degraded.load(Ordering::Relaxed) {
                 "DEGRADED"
             } else {
                 "HEALTHY"
@@ -428,6 +464,42 @@ fn publish(shared: &Shared, proc_: &Processor) {
     shared.breaker_trips.store(proc_.breaker().trips(), Ordering::Relaxed);
 }
 
+/// Scope guard armed for the whole worker lifetime: however the worker
+/// exits — clean shutdown, a panic that escapes `catch_unwind`, or the
+/// injected `serve_panic` fault — it closes the queue and answers every
+/// stranded job, so no client ever blocks on a reply channel whose
+/// consumer is gone. Runs during unwind too (`Drop`), which is the
+/// whole point.
+struct WorkerGuard {
+    queue: Arc<DeadlineQueue>,
+    shared: Arc<Shared>,
+}
+
+impl Drop for WorkerGuard {
+    fn drop(&mut self) {
+        self.shared.worker_dead.store(true, Ordering::SeqCst);
+        let stranded = self.queue.close_and_drain();
+        let died = std::thread::panicking();
+        if died || !stranded.is_empty() {
+            counter("serve/worker_deaths").inc();
+            let count = stranded.len();
+            emit_with(|| {
+                Event::new("alert").with("rule", "serve_worker_died").with("state", "raised").with(
+                    "message",
+                    format!(
+                        "serve worker exited{}; {count} queued request(s) answered ERROR",
+                        if died { " via panic" } else { "" }
+                    ),
+                )
+            });
+        }
+        for job in stranded {
+            counter("serve/worker_down_rejects").inc();
+            job.respond(ServeResponse::Error("serve worker is down".into()));
+        }
+    }
+}
+
 fn worker_loop(
     snap: ServeSnapshot,
     cfg: EngineConfig,
@@ -436,6 +508,7 @@ fn worker_loop(
     ready: mpsc::Sender<Result<(), CheckpointError>>,
     shared: Arc<Shared>,
 ) {
+    let _guard = WorkerGuard { queue: Arc::clone(&queue), shared: Arc::clone(&shared) };
     let mut proc_ = match snap.instantiate() {
         Ok(model) => Processor::new(model, &cfg),
         Err(e) => {
@@ -447,6 +520,11 @@ fn worker_loop(
     let _ = ready.send(Ok(()));
 
     loop {
+        // Chaos hook: kill the worker outside every catch_unwind, so
+        // the WorkerGuard's strand-no-client promise stays testable.
+        if faults::fire("serve_panic").is_some() {
+            panic!("injected serve worker panic (serve_panic)");
+        }
         // Drain control first so a reload never waits behind a backlog.
         loop {
             match ctrl.try_recv() {

@@ -14,8 +14,11 @@
 //!
 //! Status mapping: `OK`/`DEGRADED` → 200 (degradation is a successful
 //! answer with provenance), `SHED` → 503 (retry elsewhere/later),
-//! `TIMEOUT` → 504, malformed input → 400. A reload that is rejected
-//! answers 409 — the server is still healthy on last-good weights.
+//! `TIMEOUT` → 504, malformed input → 400, `ERROR` → 500 (request
+//! admitted under a geometry a hot reload then changed, or the serve
+//! worker is down — terminal either way, the body says which). A
+//! reload that is rejected answers 409 — the server is still healthy
+//! on last-good weights.
 
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -56,11 +59,12 @@ impl HttpServer {
         let addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
         let ctx = Arc::new(Ctx { engine, stop: Arc::clone(&stop), conns: Mutex::new(Vec::new()) });
+        // A spawn failure must fail start(): an HttpServer whose accept
+        // thread never launched would look started but serve nothing.
         let accept = std::thread::Builder::new()
             .name("traffic-serve-http".into())
-            .spawn(move || accept_loop(listener, ctx))
-            .ok();
-        Ok(HttpServer { addr, stop, accept })
+            .spawn(move || accept_loop(listener, ctx))?;
+        Ok(HttpServer { addr, stop, accept: Some(accept) })
     }
 
     /// The bound address (resolves port 0).
@@ -267,6 +271,9 @@ fn render_response(resp: &ServeResponse) -> (u16, String) {
         ServeResponse::Degraded(pred) => (200, pred_json("DEGRADED", pred)),
         ServeResponse::Shed => (503, "{\"status\":\"SHED\"}".into()),
         ServeResponse::Timeout => (504, "{\"status\":\"TIMEOUT\"}".into()),
+        ServeResponse::Error(msg) => {
+            (500, format!("{{\"status\":\"ERROR\",\"error\":{}}}", json_str(msg)))
+        }
     }
 }
 

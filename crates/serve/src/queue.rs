@@ -49,16 +49,23 @@ pub enum ServeResponse {
     Shed,
     /// Deadline expired before a forward pass could serve it.
     Timeout,
+    /// Terminal rejection that is neither load nor deadline: the
+    /// request no longer matches the live model geometry (a hot reload
+    /// changed `n`/`t_in` after admission) or the serve worker is down.
+    /// Always answered — a broken server tells you so instead of
+    /// hanging your connection.
+    Error(String),
 }
 
 impl ServeResponse {
-    /// Wire status string (`OK`/`DEGRADED`/`SHED`/`TIMEOUT`).
+    /// Wire status string (`OK`/`DEGRADED`/`SHED`/`TIMEOUT`/`ERROR`).
     pub fn status(&self) -> &'static str {
         match self {
             ServeResponse::Ok(_) => "OK",
             ServeResponse::Degraded(_) => "DEGRADED",
             ServeResponse::Shed => "SHED",
             ServeResponse::Timeout => "TIMEOUT",
+            ServeResponse::Error(_) => "ERROR",
         }
     }
 }
@@ -90,11 +97,24 @@ pub enum Admission {
     Shed,
     /// Dead on arrival (`TIMEOUT` already sent on the reply channel).
     Expired,
+    /// Queue closed — the consumer is gone (`ERROR` already sent on
+    /// the reply channel).
+    Rejected,
+}
+
+#[derive(Default)]
+struct QueueState {
+    jobs: VecDeque<Job>,
+    /// Set by [`DeadlineQueue::close_and_drain`] when the consumer is
+    /// gone for good. Checked under the same lock as admission, so a
+    /// job is either drained by the closer or refused at submit —
+    /// never silently stranded between the two.
+    closed: bool,
 }
 
 /// Bounded FIFO with deadline enforcement at both ends.
 pub struct DeadlineQueue {
-    inner: Mutex<VecDeque<Job>>,
+    inner: Mutex<QueueState>,
     nonempty: Condvar,
     high_water: usize,
 }
@@ -104,7 +124,11 @@ impl DeadlineQueue {
     pub fn new(high_water: usize) -> Self {
         assert!(high_water > 0, "a zero-capacity queue would shed everything");
         gauge("serve/queue_high_water").set(high_water as f64);
-        DeadlineQueue { inner: Mutex::new(VecDeque::new()), nonempty: Condvar::new(), high_water }
+        DeadlineQueue {
+            inner: Mutex::new(QueueState::default()),
+            nonempty: Condvar::new(),
+            high_water,
+        }
     }
 
     /// The shed threshold.
@@ -114,7 +138,7 @@ impl DeadlineQueue {
 
     /// Current depth (for `/status`; the gauge tracks it too).
     pub fn depth(&self) -> usize {
-        self.inner.lock().unwrap_or_else(|e| e.into_inner()).len()
+        self.inner.lock().unwrap_or_else(|e| e.into_inner()).jobs.len()
     }
 
     /// Admission control. `now_ns` is the caller's reading of the serve
@@ -127,17 +151,37 @@ impl DeadlineQueue {
             return Admission::Expired;
         }
         let mut q = self.inner.lock().unwrap_or_else(|e| e.into_inner());
-        if q.len() >= self.high_water {
+        if q.closed {
+            drop(q);
+            counter("serve/worker_down_rejects").inc();
+            job.respond(ServeResponse::Error("serve worker is down".into()));
+            return Admission::Rejected;
+        }
+        if q.jobs.len() >= self.high_water {
             drop(q);
             counter("serve/shed").inc();
             job.respond(ServeResponse::Shed);
             return Admission::Shed;
         }
-        q.push_back(job);
-        gauge("serve/queue_depth").set(q.len() as f64);
+        q.jobs.push_back(job);
+        gauge("serve/queue_depth").set(q.jobs.len() as f64);
         drop(q);
         self.nonempty.notify_one();
         Admission::Queued
+    }
+
+    /// Closes the queue for good and returns every pending job. After
+    /// this, [`DeadlineQueue::submit`] refuses everything with an
+    /// `ERROR` response. Called by the serve worker's failure guard so
+    /// a dead consumer strands no client: jobs admitted before the
+    /// close come back here for a terminal answer, jobs racing the
+    /// close are refused at submit — the lock makes those exhaustive.
+    pub fn close_and_drain(&self) -> Vec<Job> {
+        let mut q = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        q.closed = true;
+        let jobs: Vec<Job> = q.jobs.drain(..).collect();
+        gauge("serve/queue_depth").set(0.0);
+        jobs
     }
 
     /// Takes up to `max_batch` live jobs, answering `TIMEOUT` for any
@@ -146,7 +190,7 @@ impl DeadlineQueue {
     /// caller's loop decides what idleness means.
     pub fn pop_batch(&self, now_ns: u64, max_batch: usize, wait: Option<Duration>) -> Vec<Job> {
         let mut q = self.inner.lock().unwrap_or_else(|e| e.into_inner());
-        if q.is_empty() {
+        if q.jobs.is_empty() {
             match wait {
                 Some(d) => {
                     let (guard, _timeout) =
@@ -159,14 +203,14 @@ impl DeadlineQueue {
         let mut live = Vec::new();
         let mut expired = Vec::new();
         while live.len() < max_batch {
-            let Some(job) = q.pop_front() else { break };
+            let Some(job) = q.jobs.pop_front() else { break };
             if job.req.deadline_ns <= now_ns {
                 expired.push(job);
             } else {
                 live.push(job);
             }
         }
-        gauge("serve/queue_depth").set(q.len() as f64);
+        gauge("serve/queue_depth").set(q.jobs.len() as f64);
         drop(q);
         for job in expired {
             counter("serve/timeouts").inc();
@@ -223,6 +267,24 @@ mod tests {
         assert_eq!(early_rx.recv().unwrap(), ServeResponse::Timeout);
         batch.into_iter().next().unwrap().respond(ServeResponse::Ok(vec![1.0]));
         assert_eq!(late_rx.recv().unwrap(), ServeResponse::Ok(vec![1.0]));
+    }
+
+    #[test]
+    fn close_drains_pending_and_refuses_new_work() {
+        let q = DeadlineQueue::new(4);
+        let (j, queued_rx) = job(u64::MAX);
+        assert_eq!(q.submit(j, 0), Admission::Queued);
+        let pending = q.close_and_drain();
+        assert_eq!(pending.len(), 1, "close must hand back every queued job");
+        for job in pending {
+            job.respond(ServeResponse::Error("worker gone".into()));
+        }
+        assert_eq!(queued_rx.recv().unwrap().status(), "ERROR");
+        // Post-close submissions are refused immediately, never queued.
+        let (j, rx) = job(u64::MAX);
+        assert_eq!(q.submit(j, 0), Admission::Rejected);
+        assert_eq!(rx.recv().unwrap().status(), "ERROR");
+        assert_eq!(q.depth(), 0);
     }
 
     #[test]

@@ -197,6 +197,16 @@ impl ServeSnapshot {
         if n == 0 || t_in == 0 || t_out == 0 {
             return Err(CheckpointError::Corrupt("zero-sized serving geometry".into()));
         }
+        // The canary forwards a raw synthetic input and never exercises
+        // request normalization, so a degenerate scaler would pass every
+        // other gate and then turn all real requests non-finite. Gate it
+        // here: every served value goes through (x - mean) / std.
+        if !mean.is_finite() || !std.is_finite() || std <= 0.0 {
+            return Err(CheckpointError::Corrupt(format!(
+                "degenerate z-score scaler (mean={mean}, std={std}): \
+                 std must be finite and > 0, mean finite"
+            )));
+        }
 
         let mut adj = PayloadReader::new(find("adjacency")?);
         let adjacency = adj.tensor()?;
@@ -402,6 +412,31 @@ mod tests {
             let mut bad = bytes.clone();
             bad[flip] ^= 0x10;
             assert!(ServeSnapshot::decode(&bad).is_err(), "bit flip at {flip} must be rejected");
+        }
+    }
+
+    #[test]
+    fn degenerate_scalers_are_rejected_at_decode() {
+        for (mean, std) in [
+            (55.0, 0.0),
+            (55.0, -1.0),
+            (55.0, f32::NAN),
+            (f32::INFINITY, 12.0),
+            (55.0, f32::INFINITY),
+        ] {
+            let mut snap = tiny_snapshot("STGCN", 5, 8);
+            snap.mean = mean;
+            snap.std = std;
+            let bytes = snap.encode();
+            match ServeSnapshot::decode(&bytes) {
+                Err(CheckpointError::Corrupt(m)) => {
+                    assert!(m.contains("scaler"), "mean={mean} std={std}: {m}")
+                }
+                other => panic!(
+                    "mean={mean} std={std} must be rejected at decode, got ok={}",
+                    other.is_ok()
+                ),
+            }
         }
     }
 

@@ -66,6 +66,42 @@ fn predict_ok(engine: &Engine, req: ServeRequest) -> Vec<u32> {
     }
 }
 
+/// A hot reload that changes model geometry (here n: 4 → 6) must not
+/// crash the worker on jobs admitted under the old geometry: they were
+/// valid at admission, the swap happens before the drain, and the
+/// worker re-validates against the live model — stale jobs get a
+/// terminal `ERROR`, new-geometry requests serve normally.
+#[test]
+fn geometry_changing_reload_answers_stale_jobs_instead_of_crashing() {
+    let small = tmp("geom_small");
+    let big = tmp("geom_big");
+    traffic_serve::export_fresh("STGCN", 4, 9).save(&small).expect("save n=4 snapshot");
+    traffic_serve::export_fresh("STGCN", 6, 9).save(&big).expect("save n=6 snapshot");
+    let engine = Engine::start_from_path(&small, EngineConfig::default()).expect("start engine");
+
+    // Stall the worker so the old-geometry job is still queued when the
+    // reload swaps the live model; control drains before the queue, so
+    // the swap always lands first.
+    engine.stall(Duration::from_millis(300));
+    std::thread::sleep(Duration::from_millis(50));
+    let stale_rx = engine.submit(request(4, 12));
+    assert!(engine.reload(Some(&big)).is_ok(), "n=6 snapshot must validate and swap");
+
+    match stale_rx.recv().expect("stale job must still be answered") {
+        ServeResponse::Error(msg) => {
+            assert!(msg.contains("geometry"), "error should say why: {msg}")
+        }
+        other => panic!("stale-geometry job must answer ERROR, got {}", other.status()),
+    }
+    // The worker survived and serves the new geometry.
+    predict_ok(&engine, request(6, 12));
+    assert_eq!(engine.status().state, "HEALTHY");
+    assert_eq!(engine.status().n, 6);
+
+    std::fs::remove_file(&small).ok();
+    std::fs::remove_file(&big).ok();
+}
+
 #[test]
 fn rejected_reloads_keep_the_last_good_model_serving() {
     let good = tmp("good");

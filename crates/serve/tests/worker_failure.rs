@@ -1,0 +1,44 @@
+//! Worker-death containment: if the serve worker thread dies, clients
+//! must get terminal `ERROR` answers — stranded and future alike —
+//! never a hang on a reply channel whose consumer is gone, and the
+//! failure must be observable as `FAILED` in `/status`.
+//!
+//! Lives in its own integration binary: the `serve_panic` fault site is
+//! process-global and every engine worker polls it, so it must not
+//! share a process with tests that start healthy engines.
+
+use std::time::{Duration, Instant};
+
+use traffic_obs::faults;
+use traffic_serve::{Engine, EngineConfig, ServeRequest};
+
+fn request(n: usize, t_in: usize) -> ServeRequest {
+    let window = (0..t_in * n).map(|k| 50.0 + (k % 13) as f32).collect();
+    ServeRequest { window, tod: 0.5, deadline_ns: u64::MAX }
+}
+
+#[test]
+fn dead_worker_answers_error_and_reports_failed() {
+    faults::reset();
+    faults::arm("serve_panic", 1, faults::FaultMode::Soft);
+    // The worker signals ready before its first loop iteration, so
+    // start() succeeds and the injected panic lands right after.
+    let engine = Engine::start(traffic_serve::export_fresh("STGCN", 4, 9), EngineConfig::default())
+        .expect("start must succeed; the panic hits the serve loop");
+
+    // Whether this submit races the guard's queue close (drained with
+    // ERROR) or lands after it (refused with ERROR at admission), the
+    // client gets a terminal answer — the point is it never hangs.
+    let resp = engine.predict(request(4, 12));
+    assert_eq!(resp.status(), "ERROR", "dead worker must answer ERROR, got {}", resp.status());
+
+    // The guard publishes the death; give the unwind a moment to run.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while engine.status().state != "FAILED" {
+        assert!(Instant::now() < deadline, "status never reached FAILED");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    // Every subsequent request is refused instantly, not queued.
+    assert_eq!(engine.predict(request(4, 12)).status(), "ERROR");
+    faults::reset();
+}
